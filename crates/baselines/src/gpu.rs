@@ -1,0 +1,174 @@
+//! Data-parallel brute-force aligner — the algorithm of the paper's CUDA
+//! kernel ("our highly optimized GPU implementation on the high-end NVIDIA
+//! GTX 1080Ti", §IV).
+//!
+//! The GPU kernel computes, for every reference position, the number of
+//! back-translated query elements matching the window, and reports
+//! positions above a threshold — exactly FabP's computation, mapped onto
+//! thousands of CUDA threads instead of LUT instances. Here the same
+//! kernel runs on CPU threads; the `fabp-platforms` crate scales its
+//! *operation counts* by GTX 1080Ti throughput to model GPU wall time.
+//!
+//! Per query element the matcher pre-computes a 64-entry truth table over
+//! the context `(ref[i−2], ref[i−1], ref[i])` — the comparator and its
+//! input multiplexer fused into one lookup — making the inner loop a
+//! single indexed bit test.
+
+use fabp_bio::backtranslate::BackTranslatedQuery;
+use fabp_bio::seq::RnaSeq;
+
+pub use fabp_encoding::fused::FusedScorer as FusedQuery;
+
+/// Work counters for the GPU performance model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GpuWorkStats {
+    /// Alignment positions evaluated.
+    pub positions: u64,
+    /// Element comparisons performed (`positions × L_q`).
+    pub comparisons: u64,
+}
+
+/// Result of a brute-force search.
+#[derive(Debug, Clone)]
+pub struct GpuSearchResult {
+    /// `(position, score)` pairs with `score >= threshold`, position-sorted.
+    pub hits: Vec<(usize, u32)>,
+    /// Work counters.
+    pub stats: GpuWorkStats,
+}
+
+/// Brute-force threshold search over all reference positions, parallelised
+/// over `threads` workers (the CUDA grid's analogue).
+pub fn brute_force_search(
+    query: &BackTranslatedQuery,
+    reference: &RnaSeq,
+    threshold: u32,
+    threads: usize,
+) -> GpuSearchResult {
+    let fused = FusedQuery::build(query);
+    let bases = reference.as_slice();
+    if fused.is_empty() || bases.len() < fused.len() {
+        return GpuSearchResult {
+            hits: Vec::new(),
+            stats: GpuWorkStats::default(),
+        };
+    }
+    let positions = bases.len() - fused.len() + 1;
+    let threads = threads.max(1).min(positions);
+    let chunk = positions.div_ceil(threads);
+
+    let mut hits: Vec<(usize, u32)> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(positions);
+            if start >= end {
+                break;
+            }
+            let fused = &fused;
+            handles.push(scope.spawn(move |_| {
+                let mut local = Vec::new();
+                for pos in start..end {
+                    let score = fused.score_window(&bases[pos..]);
+                    if score >= threshold {
+                        local.push((pos, score));
+                    }
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            hits.extend(handle.join().expect("gpu worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    hits.sort_unstable();
+    GpuSearchResult {
+        hits,
+        stats: GpuWorkStats {
+            positions: positions as u64,
+            comparisons: positions as u64 * fused.len() as u64,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_bio::generate::{coding_rna_for_paper_patterns, random_protein, random_rna};
+    use fabp_bio::seq::ProteinSeq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fused_scorer_matches_golden_model() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let protein = random_protein(25, &mut rng);
+        let bt = BackTranslatedQuery::from_protein(&protein);
+        let fused = FusedQuery::build(&bt);
+        let reference = random_rna(500, &mut rng);
+        let golden = bt.score_all_positions(reference.as_slice());
+        let fast = fused.score_all_positions(reference.as_slice());
+        assert_eq!(golden.len(), fast.len());
+        for (g, f) in golden.iter().zip(&fast) {
+            assert_eq!(*g as u32, *f);
+        }
+    }
+
+    #[test]
+    fn brute_force_finds_planted_hit() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let protein = random_protein(20, &mut rng);
+        let coding = coding_rna_for_paper_patterns(&protein, &mut rng);
+        let background = random_rna(5_000, &mut rng);
+        let mut bases = background.as_slice().to_vec();
+        bases.splice(2_000..2_000 + coding.len(), coding.iter().copied());
+        let reference = RnaSeq::from(bases);
+
+        let bt = BackTranslatedQuery::from_protein(&protein);
+        let qlen = bt.len() as u32;
+        let result = brute_force_search(&bt, &reference, qlen, 4);
+        assert!(result.hits.contains(&(2_000, qlen)));
+        assert_eq!(
+            result.stats.positions as usize,
+            reference.len() - bt.len() + 1
+        );
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let protein = random_protein(10, &mut rng);
+        let bt = BackTranslatedQuery::from_protein(&protein);
+        let reference = random_rna(4_000, &mut rng);
+        let serial = brute_force_search(&bt, &reference, 20, 1);
+        let parallel = brute_force_search(&bt, &reference, 20, 8);
+        assert_eq!(serial.hits, parallel.hits);
+        assert_eq!(serial.stats, parallel.stats);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let bt = BackTranslatedQuery::from_elements(Vec::new());
+        let reference: RnaSeq = "ACGU".parse().unwrap();
+        let r = brute_force_search(&bt, &reference, 0, 4);
+        assert!(r.hits.is_empty());
+        let protein: ProteinSeq = "MKWVF".parse().unwrap();
+        let bt = BackTranslatedQuery::from_protein(&protein);
+        let r = brute_force_search(&bt, &"ACG".parse().unwrap(), 0, 4);
+        assert!(r.hits.is_empty());
+    }
+
+    #[test]
+    fn comparisons_scale_with_query_length() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let reference = random_rna(2_000, &mut rng);
+        let short = BackTranslatedQuery::from_protein(&random_protein(10, &mut rng));
+        let long = BackTranslatedQuery::from_protein(&random_protein(40, &mut rng));
+        let rs = brute_force_search(&short, &reference, u32::MAX, 2);
+        let rl = brute_force_search(&long, &reference, u32::MAX, 2);
+        assert!(rl.stats.comparisons > rs.stats.comparisons * 3);
+    }
+}

@@ -1,0 +1,260 @@
+//! Protein k-mer (word) index with BLAST-style neighbourhoods.
+//!
+//! "BLAST looks for similar k-mers … all the k-mers of the query sequence
+//! in a hash-table and use k-mers of the reference sequence to find the
+//! similar subsequences (hits)" (§II). For protein search the table is
+//! seeded not just with the query's own words but with every word whose
+//! BLOSUM62 score against a query word reaches the neighbourhood threshold
+//! `T` — the classic BLASTP/TBLASTN word neighbourhood.
+
+use fabp_bio::alphabet::AminoAcid;
+use fabp_bio::blosum::blosum62;
+
+/// Number of protein symbols (20 amino acids + Stop).
+const SYMBOLS: usize = 21;
+
+/// Packs a protein word into a dense table key (`Σ aa_i · 21^i`).
+pub fn pack_word(word: &[AminoAcid]) -> usize {
+    word.iter()
+        .fold(0usize, |acc, aa| acc * SYMBOLS + aa.index())
+}
+
+/// A query word index: maps every neighbourhood word to the query
+/// positions it seeds.
+///
+/// Stored in compressed-sparse-row form (one offsets array over the dense
+/// `21^w` key space plus a postings array) so the scan loop's lookup is a
+/// two-load slice, cache-friendly even for the full 1 Gbase sweeps.
+///
+/// # Examples
+///
+/// ```
+/// use fabp_bio::seq::ProteinSeq;
+/// use fabp_baselines::kmer::WordIndex;
+///
+/// let query: ProteinSeq = "MKWVF".parse()?;
+/// let index = WordIndex::build(query.as_slice(), 3, 11);
+/// // The query's own words always seed themselves.
+/// assert!(index.lookup(&query.as_slice()[0..3]).contains(&0));
+/// # Ok::<(), fabp_bio::alphabet::ParseSymbolError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WordIndex {
+    word_size: usize,
+    /// CSR row offsets, `table_size + 1` entries.
+    offsets: Vec<u32>,
+    /// Query positions, grouped by packed word.
+    postings: Vec<u32>,
+    /// Number of distinct neighbourhood words stored.
+    words_stored: usize,
+}
+
+impl WordIndex {
+    /// Builds the index for `query` with words of `word_size` residues and
+    /// neighbourhood threshold `t` (BLOSUM62 word score ≥ `t` seeds the
+    /// position). BLAST's protein defaults are `word_size = 3`, `t = 11`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_size` is 0 or greater than 5 (table size 21^w).
+    pub fn build(query: &[AminoAcid], word_size: usize, t: i32) -> WordIndex {
+        assert!(
+            (1..=5).contains(&word_size),
+            "word size {word_size} out of supported range"
+        );
+        let table_size = SYMBOLS.pow(word_size as u32);
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+
+        if query.len() >= word_size {
+            let mut scratch = vec![AminoAcid::Ala; word_size];
+            for pos in 0..=query.len() - word_size {
+                let qword = &query[pos..pos + word_size];
+                enumerate_neighbourhood(qword, t, &mut scratch, 0, 0, &mut |word| {
+                    pairs.push((pack_word(word) as u32, pos as u32));
+                });
+            }
+        }
+
+        // Counting sort into CSR.
+        let mut counts = vec![0u32; table_size + 1];
+        for &(key, _) in &pairs {
+            counts[key as usize + 1] += 1;
+        }
+        let words_stored = counts[1..].iter().filter(|&&c| c > 0).count();
+        for i in 0..table_size {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut postings = vec![0u32; pairs.len()];
+        for &(key, pos) in &pairs {
+            let slot = cursor[key as usize];
+            postings[slot as usize] = pos;
+            cursor[key as usize] += 1;
+        }
+
+        WordIndex {
+            word_size,
+            offsets,
+            postings,
+            words_stored,
+        }
+    }
+
+    /// The configured word size.
+    pub fn word_size(&self) -> usize {
+        self.word_size
+    }
+
+    /// Number of distinct words present in the table.
+    pub fn words_stored(&self) -> usize {
+        self.words_stored
+    }
+
+    /// Query positions seeded by the packed word `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key >= 21^word_size`.
+    #[inline]
+    pub fn lookup_key(&self, key: usize) -> &[u32] {
+        let start = self.offsets[key] as usize;
+        let end = self.offsets[key + 1] as usize;
+        &self.postings[start..end]
+    }
+
+    /// Query positions seeded by `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word.len() != self.word_size()`.
+    pub fn lookup(&self, word: &[AminoAcid]) -> &[u32] {
+        assert_eq!(word.len(), self.word_size, "word length mismatch");
+        self.lookup_key(pack_word(word))
+    }
+
+    /// Modulus for rolling-key updates: `21^(word_size − 1)`.
+    pub fn rolling_modulus(&self) -> usize {
+        SYMBOLS.pow(self.word_size as u32 - 1)
+    }
+}
+
+/// Recursively enumerates all words whose partial BLOSUM62 score can still
+/// reach `t`, calling `emit` for each complete word with total score ≥ `t`.
+fn enumerate_neighbourhood(
+    qword: &[AminoAcid],
+    t: i32,
+    scratch: &mut [AminoAcid],
+    depth: usize,
+    score_so_far: i32,
+    emit: &mut impl FnMut(&[AminoAcid]),
+) {
+    if depth == qword.len() {
+        if score_so_far >= t {
+            emit(scratch);
+        }
+        return;
+    }
+    // Upper bound on the remaining score: best self-score is 11 (W/W).
+    let remaining_max: i32 = qword[depth..]
+        .iter()
+        .map(|&q| {
+            AminoAcid::ALL
+                .iter()
+                .map(|&s| blosum62(q, s))
+                .max()
+                .unwrap_or(0)
+        })
+        .sum();
+    if score_so_far + remaining_max < t {
+        return;
+    }
+    for symbol in AminoAcid::ALL {
+        scratch[depth] = symbol;
+        enumerate_neighbourhood(
+            qword,
+            t,
+            scratch,
+            depth + 1,
+            score_so_far + blosum62(qword[depth], symbol),
+            emit,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_bio::seq::ProteinSeq;
+
+    fn protein(s: &str) -> Vec<AminoAcid> {
+        s.parse::<ProteinSeq>().unwrap().into_inner()
+    }
+
+    #[test]
+    fn own_words_seed_when_self_score_clears_t() {
+        let q = protein("MKWVFA");
+        let index = WordIndex::build(&q, 3, 11);
+        for pos in 0..=q.len() - 3 {
+            let word = &q[pos..pos + 3];
+            let self_score: i32 = word.iter().map(|&a| blosum62(a, a)).sum();
+            if self_score >= 11 {
+                assert!(
+                    index.lookup(word).contains(&(pos as u32)),
+                    "word at {pos} missing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbourhood_includes_conservative_substitutions() {
+        // ILE and VAL score +3; WWW region: neighbourhood of "WIW" should
+        // include "WVW" (11 + 3 + 11 = 25 >= 11).
+        let q = protein("WIW");
+        let index = WordIndex::build(&q, 3, 11);
+        assert!(index.lookup(&protein("WVW")).contains(&0));
+        // And exclude hopeless words like "GGG" (-2 -4 -2 = -8).
+        assert!(!index.lookup(&protein("GGG")).contains(&0));
+    }
+
+    #[test]
+    fn higher_threshold_shrinks_neighbourhood() {
+        let q = protein("MKWVFACDE");
+        let loose = WordIndex::build(&q, 3, 10);
+        let tight = WordIndex::build(&q, 3, 14);
+        assert!(tight.words_stored() < loose.words_stored());
+    }
+
+    #[test]
+    fn short_query_yields_empty_index() {
+        let q = protein("MK");
+        let index = WordIndex::build(&q, 3, 11);
+        assert_eq!(index.words_stored(), 0);
+    }
+
+    #[test]
+    fn pack_word_is_injective_for_small_words() {
+        let mut seen = std::collections::HashSet::new();
+        for a in AminoAcid::ALL {
+            for b in AminoAcid::ALL {
+                assert!(seen.insert(pack_word(&[a, b])), "collision at {a}{b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "word length mismatch")]
+    fn lookup_rejects_wrong_length() {
+        let q = protein("MKWVF");
+        let index = WordIndex::build(&q, 3, 11);
+        let _ = index.lookup(&q[0..2]);
+    }
+
+    #[test]
+    fn word_size_two_works() {
+        let q = protein("WW");
+        let index = WordIndex::build(&q, 2, 15);
+        assert!(index.lookup(&protein("WW")).contains(&0));
+    }
+}

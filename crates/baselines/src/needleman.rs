@@ -1,0 +1,240 @@
+//! Needleman–Wunsch global alignment.
+//!
+//! The DP family referenced in §II ("Dynamic Programming based algorithms
+//! consider all the possible sequence mutations") contains both local
+//! (Smith–Waterman) and global alignment; global alignment is the natural
+//! scorer when two sequences are already known to correspond end-to-end —
+//! used here to quantify how far a mutated planted region drifted from its
+//! source.
+
+use crate::sw::{AlignOp, GapPenalties};
+
+/// A global alignment: score plus the operation string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalAlignment {
+    /// Total alignment score.
+    pub score: i32,
+    /// Operations from the start of both sequences (empty when traceback
+    /// was not requested).
+    pub ops: Vec<AlignOp>,
+}
+
+impl GlobalAlignment {
+    /// Number of indel operations.
+    pub fn indel_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| !matches!(op, AlignOp::Diagonal))
+            .count()
+    }
+
+    /// Fraction of aligned (diagonal) positions among all operations.
+    pub fn identity_like_fraction(&self) -> f64 {
+        if self.ops.is_empty() {
+            return 0.0;
+        }
+        let diag = self
+            .ops
+            .iter()
+            .filter(|op| matches!(op, AlignOp::Diagonal))
+            .count();
+        diag as f64 / self.ops.len() as f64
+    }
+}
+
+/// Global alignment with affine gaps (Gotoh's algorithm).
+///
+/// `score` gives the substitution score for a pair of symbols.
+pub fn needleman_wunsch<T: Copy, F: Fn(T, T) -> i32>(
+    a: &[T],
+    b: &[T],
+    score: F,
+    gaps: GapPenalties,
+    traceback: bool,
+) -> GlobalAlignment {
+    let n = a.len();
+    let m = b.len();
+    let width = m + 1;
+    let neg = i32::MIN / 4;
+    let open = gaps.open + gaps.extend;
+    let extend = gaps.extend;
+
+    // h = best ending in match/mismatch; e = gap in a (b consumed);
+    // f = gap in b (a consumed).
+    let mut h = vec![neg; (n + 1) * width];
+    let mut e = vec![neg; (n + 1) * width];
+    let mut f = vec![neg; (n + 1) * width];
+    h[0] = 0;
+    for j in 1..=m {
+        e[j] = -(gaps.open + gaps.extend * j as i32);
+        h[j] = e[j];
+    }
+    for i in 1..=n {
+        f[i * width] = -(gaps.open + gaps.extend * i as i32);
+        h[i * width] = f[i * width];
+    }
+
+    for i in 1..=n {
+        for j in 1..=m {
+            let idx = i * width + j;
+            e[idx] = (e[idx - 1] - extend).max(h[idx - 1] - open);
+            f[idx] = (f[idx - width] - extend).max(h[idx - width] - open);
+            let diag = h[idx - width - 1] + score(a[i - 1], b[j - 1]);
+            h[idx] = diag.max(e[idx]).max(f[idx]);
+        }
+    }
+
+    let final_score = h[n * width + m];
+    let mut ops = Vec::new();
+    if traceback {
+        let (mut i, mut j) = (n, m);
+        #[derive(PartialEq, Clone, Copy)]
+        enum State {
+            H,
+            E,
+            F,
+        }
+        let mut state = State::H;
+        while i > 0 || j > 0 {
+            let idx = i * width + j;
+            match state {
+                State::H => {
+                    if i > 0 && j > 0 {
+                        let diag = h[idx - width - 1] + score(a[i - 1], b[j - 1]);
+                        if h[idx] == diag {
+                            ops.push(AlignOp::Diagonal);
+                            i -= 1;
+                            j -= 1;
+                            continue;
+                        }
+                    }
+                    if j > 0 && h[idx] == e[idx] {
+                        state = State::E;
+                    } else {
+                        state = State::F;
+                    }
+                }
+                State::E => {
+                    ops.push(AlignOp::Insertion);
+                    if e[idx] == h[idx - 1] - open {
+                        state = State::H;
+                    }
+                    j -= 1;
+                }
+                State::F => {
+                    ops.push(AlignOp::Deletion);
+                    if f[idx] == h[idx - width] - open {
+                        state = State::H;
+                    }
+                    i -= 1;
+                }
+            }
+        }
+        ops.reverse();
+    }
+
+    GlobalAlignment {
+        score: final_score,
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_bio::alphabet::AminoAcid;
+    use fabp_bio::blosum::blosum62;
+    use fabp_bio::seq::ProteinSeq;
+
+    fn protein(s: &str) -> Vec<AminoAcid> {
+        s.parse::<ProteinSeq>().unwrap().into_inner()
+    }
+
+    #[test]
+    fn identity_global_alignment() {
+        let a = protein("MKWVF");
+        let aln = needleman_wunsch(&a, &a, blosum62, GapPenalties::default(), true);
+        let expected: i32 = a.iter().map(|&x| blosum62(x, x)).sum();
+        assert_eq!(aln.score, expected);
+        assert_eq!(aln.ops.len(), 5);
+        assert_eq!(aln.identity_like_fraction(), 1.0);
+    }
+
+    #[test]
+    fn single_deletion_bridged() {
+        let a = protein("MKWVPLLL");
+        let b = protein("MKWVLLL");
+        let g = GapPenalties { open: 3, extend: 1 };
+        let aln = needleman_wunsch(&a, &b, blosum62, g, true);
+        let expected: i32 = a.iter().map(|&x| blosum62(x, x)).sum::<i32>()
+            - blosum62(AminoAcid::Pro, AminoAcid::Pro)
+            - 4;
+        assert_eq!(aln.score, expected);
+        assert_eq!(aln.indel_count(), 1);
+    }
+
+    #[test]
+    fn empty_vs_sequence_is_all_gaps() {
+        let b = protein("MKW");
+        let g = GapPenalties { open: 5, extend: 2 };
+        let aln = needleman_wunsch(&[], &b, blosum62, g, true);
+        assert_eq!(aln.score, -(5 + 2 * 3));
+        assert_eq!(aln.ops.len(), 3);
+        assert_eq!(aln.indel_count(), 3);
+    }
+
+    #[test]
+    fn both_empty() {
+        let aln =
+            needleman_wunsch::<AminoAcid, _>(&[], &[], blosum62, GapPenalties::default(), true);
+        assert_eq!(aln.score, 0);
+        assert!(aln.ops.is_empty());
+    }
+
+    #[test]
+    fn global_score_is_symmetric_with_swapped_gap_roles() {
+        let a = protein("MKWVFAC");
+        let b = protein("MKYVAC");
+        let g = GapPenalties::default();
+        let ab = needleman_wunsch(&a, &b, blosum62, g, false).score;
+        let ba = needleman_wunsch(&b, &a, blosum62, g, false).score;
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn global_never_exceeds_local_plus_context() {
+        // For identical sequences global == local; with noise, global pays
+        // for mismatched ends that local would skip.
+        use crate::sw::sw_protein;
+        let a = protein("WWWWMKWVFWWWW");
+        let b = protein("GGGGMKWVFGGGG");
+        let g = GapPenalties::default();
+        let local = sw_protein(&a, &b, g, false).score;
+        let global = needleman_wunsch(&a, &b, blosum62, g, false).score;
+        assert!(global <= local, "global {global} vs local {local}");
+    }
+
+    #[test]
+    fn traceback_length_invariant() {
+        let a = protein("MKWVFACDE");
+        let b = protein("MKVFACD");
+        let aln = needleman_wunsch(&a, &b, blosum62, GapPenalties::default(), true);
+        let diag = aln
+            .ops
+            .iter()
+            .filter(|o| matches!(o, AlignOp::Diagonal))
+            .count();
+        let ins = aln
+            .ops
+            .iter()
+            .filter(|o| matches!(o, AlignOp::Insertion))
+            .count();
+        let del = aln
+            .ops
+            .iter()
+            .filter(|o| matches!(o, AlignOp::Deletion))
+            .count();
+        assert_eq!(diag + del, a.len());
+        assert_eq!(diag + ins, b.len());
+    }
+}

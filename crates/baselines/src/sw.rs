@@ -1,0 +1,429 @@
+//! Smith–Waterman local alignment (the paper's DP-based reference
+//! algorithm, §II).
+//!
+//! "The Smith-Waterman (SW) algorithm is a dynamic programming technique
+//! widely used for local alignment … It calculates a scoring matrix for all
+//! possible alignments supporting both substitution and indel mutations."
+//! SW serves two roles in the reproduction: the gapped-extension stage of
+//! the TBLASTN-like baseline, and the ground-truth aligner for the
+//! accuracy experiment (E4) that quantifies FabP's substitution-only
+//! approximation.
+
+use fabp_bio::alphabet::{AminoAcid, Nucleotide};
+use fabp_bio::blosum::blosum62;
+
+/// Affine gap penalties (positive numbers; they are subtracted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapPenalties {
+    /// Cost of opening a gap (charged for the first gapped position).
+    pub open: i32,
+    /// Cost of extending a gap by one more position.
+    pub extend: i32,
+}
+
+impl Default for GapPenalties {
+    /// BLAST's default protein gap costs (11, 1).
+    fn default() -> GapPenalties {
+        GapPenalties {
+            open: 11,
+            extend: 1,
+        }
+    }
+}
+
+/// One aligned-pair operation in a traceback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignOp {
+    /// Both sequences advance (match or substitution).
+    Diagonal,
+    /// Gap in the query (reference advances alone) — an insertion.
+    Insertion,
+    /// Gap in the reference (query advances alone) — a deletion.
+    Deletion,
+}
+
+/// A local alignment with score and coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalAlignment {
+    /// Alignment score.
+    pub score: i32,
+    /// Half-open aligned range in the query.
+    pub query_range: (usize, usize),
+    /// Half-open aligned range in the reference.
+    pub ref_range: (usize, usize),
+    /// Operations from the start of the ranges (empty when traceback was
+    /// not requested).
+    pub ops: Vec<AlignOp>,
+}
+
+impl LocalAlignment {
+    /// Number of indel operations in the traceback.
+    pub fn indel_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| !matches!(op, AlignOp::Diagonal))
+            .count()
+    }
+}
+
+/// Generic affine-gap Smith–Waterman over any symbol type.
+///
+/// `score` gives the substitution score for a pair of symbols. Returns the
+/// best local alignment (score 0 with empty ranges when nothing positive
+/// exists).
+pub fn smith_waterman<T: Copy, F: Fn(T, T) -> i32>(
+    query: &[T],
+    reference: &[T],
+    score: F,
+    gaps: GapPenalties,
+    traceback: bool,
+) -> LocalAlignment {
+    let q = query.len();
+    let r = reference.len();
+    if q == 0 || r == 0 {
+        return LocalAlignment {
+            score: 0,
+            query_range: (0, 0),
+            ref_range: (0, 0),
+            ops: Vec::new(),
+        };
+    }
+
+    // H, E (gap in query), F (gap in reference), row-major (q+1) x (r+1).
+    let width = r + 1;
+    let mut h = vec![0i32; (q + 1) * width];
+    let mut e = vec![i32::MIN / 2; (q + 1) * width];
+    let mut f = vec![i32::MIN / 2; (q + 1) * width];
+    let mut best = (0i32, 0usize, 0usize);
+
+    for i in 1..=q {
+        for j in 1..=r {
+            let idx = i * width + j;
+            e[idx] = (e[idx - 1] - gaps.extend).max(h[idx - 1] - gaps.open - gaps.extend);
+            f[idx] = (f[idx - width] - gaps.extend).max(h[idx - width] - gaps.open - gaps.extend);
+            let diag = h[idx - width - 1] + score(query[i - 1], reference[j - 1]);
+            let cell = diag.max(e[idx]).max(f[idx]).max(0);
+            h[idx] = cell;
+            if cell > best.0 {
+                best = (cell, i, j);
+            }
+        }
+    }
+
+    let (best_score, mut bi, mut bj) = best;
+    if best_score == 0 {
+        return LocalAlignment {
+            score: 0,
+            query_range: (0, 0),
+            ref_range: (0, 0),
+            ops: Vec::new(),
+        };
+    }
+    let (qend, rend) = (bi, bj);
+    let mut ops = Vec::new();
+
+    if traceback {
+        // Re-derive the path from the filled matrices.
+        #[derive(Clone, Copy, PartialEq)]
+        enum State {
+            H,
+            E,
+            F,
+        }
+        let mut state = State::H;
+        while bi > 0 && bj > 0 {
+            let idx = bi * width + bj;
+            match state {
+                State::H => {
+                    if h[idx] == 0 {
+                        break;
+                    }
+                    let diag = h[idx - width - 1] + score(query[bi - 1], reference[bj - 1]);
+                    if h[idx] == diag {
+                        ops.push(AlignOp::Diagonal);
+                        bi -= 1;
+                        bj -= 1;
+                    } else if h[idx] == e[idx] {
+                        state = State::E;
+                    } else {
+                        state = State::F;
+                    }
+                }
+                State::E => {
+                    ops.push(AlignOp::Insertion);
+                    let idx_left = idx - 1;
+                    if e[idx] == h[idx_left] - gaps.open - gaps.extend {
+                        state = State::H;
+                    }
+                    bj -= 1;
+                }
+                State::F => {
+                    ops.push(AlignOp::Deletion);
+                    let idx_up = idx - width;
+                    if f[idx] == h[idx_up] - gaps.open - gaps.extend {
+                        state = State::H;
+                    }
+                    bi -= 1;
+                }
+            }
+        }
+        ops.reverse();
+    } else {
+        // Without traceback we still want the start coordinates; rerun a
+        // cheap backward scan is avoided by reporting only the end.
+        bi = qend;
+        bj = rend;
+    }
+
+    LocalAlignment {
+        score: best_score,
+        query_range: (if traceback { bi } else { 0 }, qend),
+        ref_range: (if traceback { bj } else { 0 }, rend),
+        ops,
+    }
+}
+
+/// Protein Smith–Waterman with BLOSUM62 and affine gaps.
+pub fn sw_protein(
+    query: &[AminoAcid],
+    reference: &[AminoAcid],
+    gaps: GapPenalties,
+    traceback: bool,
+) -> LocalAlignment {
+    smith_waterman(query, reference, blosum62, gaps, traceback)
+}
+
+/// Nucleotide scoring parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NucScoring {
+    /// Score for a matching pair (positive).
+    pub matches: i32,
+    /// Score for a mismatching pair (negative).
+    pub mismatch: i32,
+}
+
+impl Default for NucScoring {
+    /// BLASTN-like +2/−3.
+    fn default() -> NucScoring {
+        NucScoring {
+            matches: 2,
+            mismatch: -3,
+        }
+    }
+}
+
+/// Nucleotide Smith–Waterman with affine gaps.
+pub fn sw_nucleotide(
+    query: &[Nucleotide],
+    reference: &[Nucleotide],
+    scoring: NucScoring,
+    gaps: GapPenalties,
+    traceback: bool,
+) -> LocalAlignment {
+    smith_waterman(
+        query,
+        reference,
+        |a, b| {
+            if a == b {
+                scoring.matches
+            } else {
+                scoring.mismatch
+            }
+        },
+        gaps,
+        traceback,
+    )
+}
+
+/// Banded Smith–Waterman score: only cells with `|i - j - shift| <= band`
+/// are computed. Used by the gapped-extension stage of the TBLASTN
+/// baseline, where a seed anchors the diagonal.
+pub fn sw_banded_score<T: Copy, F: Fn(T, T) -> i32>(
+    query: &[T],
+    reference: &[T],
+    score: F,
+    gaps: GapPenalties,
+    shift: isize,
+    band: usize,
+) -> i32 {
+    let q = query.len();
+    let r = reference.len();
+    if q == 0 || r == 0 {
+        return 0;
+    }
+    let band = band as isize;
+    let width = r + 1;
+    let neg = i32::MIN / 2;
+    let mut h_prev = vec![0i32; width];
+    let mut f_prev = vec![neg; width];
+    let mut best = 0i32;
+
+    for i in 1..=q {
+        let mut h_row = vec![0i32; width];
+        let mut e_row = vec![neg; width];
+        let mut f_row = vec![neg; width];
+        let center = i as isize + shift;
+        let lo = (center - band).max(1) as usize;
+        let hi = ((center + band).max(1) as usize).min(r);
+        for j in lo..=hi {
+            e_row[j] = (e_row[j - 1] - gaps.extend).max(h_row[j - 1] - gaps.open - gaps.extend);
+            f_row[j] = (f_prev[j] - gaps.extend).max(h_prev[j] - gaps.open - gaps.extend);
+            let diag = h_prev[j - 1] + score(query[i - 1], reference[j - 1]);
+            let cell = diag.max(e_row[j]).max(f_row[j]).max(0);
+            h_row[j] = cell;
+            best = best.max(cell);
+        }
+        h_prev = h_row;
+        f_prev = f_row;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_bio::seq::{ProteinSeq, RnaSeq};
+
+    fn protein(s: &str) -> Vec<AminoAcid> {
+        s.parse::<ProteinSeq>().unwrap().into_inner()
+    }
+
+    fn rna(s: &str) -> Vec<Nucleotide> {
+        s.parse::<RnaSeq>().unwrap().into_inner()
+    }
+
+    #[test]
+    fn identity_alignment_scores_sum_of_diagonal() {
+        let q = protein("MKWVF");
+        let aln = sw_protein(&q, &q, GapPenalties::default(), true);
+        let expected: i32 = q.iter().map(|&a| blosum62(a, a)).sum();
+        assert_eq!(aln.score, expected);
+        assert_eq!(aln.query_range, (0, 5));
+        assert_eq!(aln.ref_range, (0, 5));
+        assert!(aln.ops.iter().all(|op| matches!(op, AlignOp::Diagonal)));
+    }
+
+    #[test]
+    fn local_alignment_finds_embedded_motif() {
+        let q = protein("WWWW");
+        let r = protein("AAAAWWWWAAAA");
+        let aln = sw_protein(&q, &r, GapPenalties::default(), true);
+        assert_eq!(aln.score, 44); // 4 × W/W = 4 × 11
+        assert_eq!(aln.ref_range, (4, 8));
+    }
+
+    #[test]
+    fn gap_penalty_is_applied() {
+        // Query = reference with one residue deleted: alignment must bridge
+        // with a gap (P/L scores −3, so no gapless path can tie).
+        let q = protein("MKWVPLLL");
+        let r = protein("MKWVLLL"); // P removed
+        let aln = sw_protein(&q, &r, GapPenalties { open: 3, extend: 1 }, true);
+        // Bridged alignment: all residues matched except P (deleted):
+        // sum of self-scores minus P/P minus gap open+extend.
+        let bridged = q.iter().map(|&a| blosum62(a, a)).sum::<i32>()
+            - blosum62(AminoAcid::Pro, AminoAcid::Pro)
+            - 3
+            - 1;
+        assert_eq!(aln.score, bridged);
+        assert_eq!(aln.indel_count(), 1);
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        let a = protein("MKWVFAC");
+        let b = protein("MKYVFAD");
+        let g = GapPenalties::default();
+        assert_eq!(
+            sw_protein(&a, &b, g, false).score,
+            sw_protein(&b, &a, g, false).score
+        );
+    }
+
+    #[test]
+    fn unrelated_sequences_score_low() {
+        let a = protein("WWWW");
+        let b = protein("GGGG");
+        let aln = sw_protein(&a, &b, GapPenalties::default(), false);
+        assert_eq!(aln.score, 0, "W vs G is -2; nothing positive exists");
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        let aln = sw_protein(&[], &protein("MK"), GapPenalties::default(), true);
+        assert_eq!(aln.score, 0);
+        assert!(aln.ops.is_empty());
+    }
+
+    #[test]
+    fn nucleotide_sw_counts_matches() {
+        let q = rna("ACGUACGU");
+        let aln = sw_nucleotide(
+            &q,
+            &q,
+            NucScoring::default(),
+            GapPenalties::default(),
+            false,
+        );
+        assert_eq!(aln.score, 16); // 8 × +2
+    }
+
+    #[test]
+    fn nucleotide_sw_handles_substitution() {
+        let q = rna("ACGUACGU");
+        let r = rna("ACGUGCGU"); // one substitution
+        let aln = sw_nucleotide(
+            &q,
+            &r,
+            NucScoring::default(),
+            GapPenalties::default(),
+            false,
+        );
+        assert_eq!(aln.score, 11); // 7 matches × 2 − one mismatch × 3
+    }
+
+    #[test]
+    fn banded_equals_full_when_band_is_wide() {
+        let q = protein("MKWVFLLAC");
+        let r = protein("AMKWVFLLACA");
+        let g = GapPenalties::default();
+        let full = sw_protein(&q, &r, g, false).score;
+        let banded = sw_banded_score(&q, &r, blosum62, g, 1, 10);
+        assert_eq!(full, banded);
+    }
+
+    #[test]
+    fn narrow_band_bounds_score_from_below() {
+        let q = protein("MKWVFLLAC");
+        let r = protein("MKWVFLLAC");
+        let g = GapPenalties::default();
+        let banded = sw_banded_score(&q, &r, blosum62, g, 0, 1);
+        let full = sw_protein(&q, &r, g, false).score;
+        assert!(banded <= full);
+        assert!(banded > 0);
+    }
+
+    #[test]
+    fn traceback_ops_are_consistent_with_ranges() {
+        let q = protein("MKWVFLLL");
+        let r = protein("MKWVLLL");
+        let aln = sw_protein(&q, &r, GapPenalties { open: 3, extend: 1 }, true);
+        let diag = aln
+            .ops
+            .iter()
+            .filter(|o| matches!(o, AlignOp::Diagonal))
+            .count();
+        let ins = aln
+            .ops
+            .iter()
+            .filter(|o| matches!(o, AlignOp::Insertion))
+            .count();
+        let del = aln
+            .ops
+            .iter()
+            .filter(|o| matches!(o, AlignOp::Deletion))
+            .count();
+        assert_eq!(aln.query_range.1 - aln.query_range.0, diag + del);
+        assert_eq!(aln.ref_range.1 - aln.ref_range.0, diag + ins);
+    }
+}

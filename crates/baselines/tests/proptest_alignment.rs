@@ -1,0 +1,138 @@
+//! Property-based tests for the alignment baselines.
+
+use fabp_baselines::needleman::needleman_wunsch;
+use fabp_baselines::sw::{sw_banded_score, sw_nucleotide, sw_protein, GapPenalties, NucScoring};
+use fabp_baselines::tblastn::{tblastn_search, ungapped_extend, TblastnConfig};
+use fabp_bio::alphabet::{AminoAcid, Nucleotide};
+use fabp_bio::blosum::blosum62;
+use fabp_bio::seq::{ProteinSeq, RnaSeq};
+use proptest::prelude::*;
+
+fn arb_protein(min: usize, max: usize) -> impl Strategy<Value = Vec<AminoAcid>> {
+    prop::collection::vec(0usize..20, min..=max)
+        .prop_map(|v| v.into_iter().map(|i| AminoAcid::STANDARD[i]).collect())
+}
+
+fn arb_rna(min: usize, max: usize) -> impl Strategy<Value = RnaSeq> {
+    prop::collection::vec(0u8..4, min..=max)
+        .prop_map(|v| v.into_iter().map(Nucleotide::from_code2).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Local alignment scores are non-negative and symmetric.
+    #[test]
+    fn sw_nonnegative_and_symmetric(
+        a in arb_protein(0, 40),
+        b in arb_protein(0, 40),
+    ) {
+        let g = GapPenalties::default();
+        let ab = sw_protein(&a, &b, g, false).score;
+        let ba = sw_protein(&b, &a, g, false).score;
+        prop_assert!(ab >= 0);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Self-alignment achieves exactly the sum of self-scores.
+    #[test]
+    fn sw_self_alignment_is_maximal(a in arb_protein(1, 50)) {
+        let aln = sw_protein(&a, &a, GapPenalties::default(), false);
+        let expected: i32 = a.iter().map(|&x| blosum62(x, x)).sum();
+        prop_assert_eq!(aln.score, expected);
+    }
+
+    /// A banded score never exceeds the full DP score and matches it for
+    /// wide bands.
+    #[test]
+    fn banded_bounds_full(
+        a in arb_protein(1, 30),
+        b in arb_protein(1, 30),
+        band in 1usize..8,
+    ) {
+        let g = GapPenalties::default();
+        let full = sw_protein(&a, &b, g, false).score;
+        let banded = sw_banded_score(&a, &b, blosum62, g, 0, band);
+        prop_assert!(banded <= full, "banded {banded} > full {full}");
+        let wide = sw_banded_score(&a, &b, blosum62, g, 0, a.len() + b.len());
+        prop_assert_eq!(wide, full);
+    }
+
+    /// Traceback operation counts always reconcile with the aligned
+    /// ranges.
+    #[test]
+    fn sw_traceback_reconciles(
+        a in arb_protein(1, 25),
+        b in arb_protein(1, 25),
+    ) {
+        use fabp_baselines::sw::AlignOp;
+        let aln = sw_protein(&a, &b, GapPenalties::default(), true);
+        let diag = aln.ops.iter().filter(|o| matches!(o, AlignOp::Diagonal)).count();
+        let ins = aln.ops.iter().filter(|o| matches!(o, AlignOp::Insertion)).count();
+        let del = aln.ops.iter().filter(|o| matches!(o, AlignOp::Deletion)).count();
+        prop_assert_eq!(aln.query_range.1 - aln.query_range.0, diag + del);
+        prop_assert_eq!(aln.ref_range.1 - aln.ref_range.0, diag + ins);
+    }
+
+    /// Global alignment of a sequence against itself never uses gaps.
+    #[test]
+    fn nw_self_alignment_is_gapless(a in arb_protein(1, 40)) {
+        let aln = needleman_wunsch(&a, &a, blosum62, GapPenalties::default(), true);
+        prop_assert_eq!(aln.indel_count(), 0);
+        prop_assert_eq!(aln.ops.len(), a.len());
+    }
+
+    /// Global score is never above the local score (local may skip bad
+    /// prefixes/suffixes; global must pay for them).
+    #[test]
+    fn nw_below_sw(
+        a in arb_protein(1, 25),
+        b in arb_protein(1, 25),
+    ) {
+        let g = GapPenalties::default();
+        let local = sw_protein(&a, &b, g, false).score;
+        let global = needleman_wunsch(&a, &b, blosum62, g, false).score;
+        prop_assert!(global <= local, "global {global} > local {local}");
+    }
+
+    /// Nucleotide SW of identical sequences is `2 × len` with the default
+    /// +2 match score.
+    #[test]
+    fn nucleotide_sw_identity(rna in arb_rna(1, 60)) {
+        let bases = rna.as_slice();
+        let aln = sw_nucleotide(bases, bases, NucScoring::default(), GapPenalties::default(), false);
+        prop_assert_eq!(aln.score, 2 * bases.len() as i32);
+    }
+
+    /// Ungapped extension is bounded by the global self-score and at least
+    /// the seed-word score for identical sequences.
+    #[test]
+    fn ungapped_extension_bounds(a in arb_protein(5, 40), at in 0usize..35) {
+        prop_assume!(at + 3 <= a.len());
+        let score = ungapped_extend(&a, &a, at, at, 3, 10_000);
+        let self_score: i32 = a.iter().map(|&x| blosum62(x, x)).sum();
+        prop_assert_eq!(score, self_score, "unlimited X-drop must reach the full self-score");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// TBLASTN never reports an HSP below its score cutoff, and all
+    /// coordinates are in range.
+    #[test]
+    fn tblastn_hsps_are_well_formed(
+        query in arb_protein(10, 30),
+        reference in arb_rna(200, 2000),
+    ) {
+        let query: ProteinSeq = query.into_iter().collect();
+        let config = TblastnConfig { min_score: 25, ..TblastnConfig::default() };
+        let result = tblastn_search(&query, &reference, &config);
+        for hsp in &result.hsps {
+            prop_assert!(hsp.score >= config.min_score);
+            prop_assert!(hsp.frame < 3);
+            prop_assert!(hsp.nucleotide_pos < reference.len());
+            prop_assert!(hsp.query_pos < query.len());
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Cycle-level engine throughput (bit-exact datapath simulation) for short
+//! and long queries — the simulator behind experiments E1/E3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fabp_bench::BenchWorkload;
+use fabp_bio::seq::PackedSeq;
+use fabp_encoding::encoder::EncodedQuery;
+use fabp_fpga::engine::{EngineConfig, FabpEngine};
+
+const REF_BASES: usize = 64 * 1024;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle_engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REF_BASES as u64));
+
+    for &length in &[50usize, 250] {
+        let workload = BenchWorkload::generate(length, REF_BASES, 0xE6);
+        let query = EncodedQuery::from_protein(&workload.query);
+        let threshold = (query.len() as u32 * 9).div_ceil(10);
+        let engine = FabpEngine::new(query, EngineConfig::kintex7(threshold)).unwrap();
+        let packed = PackedSeq::from_rna(&workload.reference);
+        group.bench_with_input(
+            BenchmarkId::new("kintex7", length),
+            &packed,
+            |b, reference| b.iter(|| engine.run(reference)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

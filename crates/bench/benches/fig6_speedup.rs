@@ -1,0 +1,52 @@
+//! Criterion companion to experiment E1 (Fig. 6(a)): wall-clock of the
+//! three software-executable platforms on a scaled-down workload.
+//!
+//! The `figures` binary extrapolates these to paper scale; this bench
+//! tracks regressions in the underlying kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fabp_baselines::gpu::brute_force_search;
+use fabp_baselines::tblastn::{tblastn_search, tblastn_search_parallel, TblastnConfig};
+use fabp_bench::BenchWorkload;
+use fabp_bio::backtranslate::BackTranslatedQuery;
+use fabp_core::software::SoftwareEngine;
+use fabp_encoding::encoder::EncodedQuery;
+
+const REF_BASES: usize = 1 << 20; // 1 Mbase
+
+fn bench_platforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_platforms");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(REF_BASES as u64));
+
+    for &length in &[50usize, 250] {
+        let workload = BenchWorkload::generate(length, REF_BASES, 0xF16);
+        let config = TblastnConfig::default();
+
+        group.bench_with_input(BenchmarkId::new("tblastn_1t", length), &workload, |b, w| {
+            b.iter(|| tblastn_search(&w.query, &w.reference, &config))
+        });
+        group.bench_with_input(BenchmarkId::new("tblastn_mt", length), &workload, |b, w| {
+            b.iter(|| tblastn_search_parallel(&w.query, &w.reference, &config, 12))
+        });
+
+        let bt = BackTranslatedQuery::from_protein(&workload.query);
+        let threshold = (bt.len() as u32 * 9).div_ceil(10);
+        group.bench_with_input(
+            BenchmarkId::new("gpu_bruteforce", length),
+            &workload,
+            |b, w| b.iter(|| brute_force_search(&bt, &w.reference, threshold, 12)),
+        );
+
+        let engine = SoftwareEngine::new(&EncodedQuery::from_protein(&workload.query));
+        group.bench_with_input(
+            BenchmarkId::new("fabp_software", length),
+            &workload,
+            |b, w| b.iter(|| engine.search(w.reference.as_slice(), threshold)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_platforms);
+criterion_main!(benches);

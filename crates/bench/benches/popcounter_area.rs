@@ -1,0 +1,46 @@
+//! Criterion companion to experiment E6: Pop-Counter construction and
+//! gate-level evaluation cost for the two microarchitectures.
+//!
+//! (The *area* comparison itself is printed by `figures -- ablation`;
+//! build time here is a proxy for netlist size, and the eval benchmarks
+//! track the gate-level simulator's speed.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fabp_fpga::popcount::{PopCounter, PopStyle};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("popcounter_build");
+    group.sample_size(10);
+    for width in [36usize, 150, 750] {
+        for (name, style) in [
+            ("handcrafted", PopStyle::HandCrafted),
+            ("tree", PopStyle::TreeAdder),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, width), &width, |b, &w| {
+                b.iter(|| PopCounter::build(w, style))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("popcounter_eval");
+    group.sample_size(20);
+    for width in [36usize, 150] {
+        let bits: Vec<bool> = (0..width).map(|i| i % 3 == 0).collect();
+        for (name, style) in [
+            ("handcrafted", PopStyle::HandCrafted),
+            ("tree", PopStyle::TreeAdder),
+        ] {
+            let mut pc = PopCounter::build(width, style);
+            group.bench_with_input(BenchmarkId::new(name, width), &bits, |b, bits| {
+                b.iter(|| pc.count(bits))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_eval);
+criterion_main!(benches);

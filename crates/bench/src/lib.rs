@@ -1,0 +1,127 @@
+//! # fabp-bench — benchmark harness for the FabP reproduction
+//!
+//! * the `figures` binary regenerates every table and figure of the
+//!   paper's evaluation (run `cargo run --release -p fabp-bench --bin
+//!   figures -- all`); experiment ids map to `DESIGN.md` §4;
+//! * `benches/` holds Criterion micro-benchmarks for the engines and
+//!   baselines.
+//!
+//! This library crate carries the pieces shared by both: deterministic
+//! workload construction and wall-clock measurement helpers.
+
+use fabp_bio::generate::{coding_rna_for, random_protein, random_rna};
+use fabp_bio::seq::{ProteinSeq, RnaSeq};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Deterministic RNG for a named experiment and seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A generated evaluation workload: one query and a reference with the
+/// query's coding sequence planted mid-way (so every platform has a real
+/// hit to find, like the NCBI-sampled queries of §IV).
+#[derive(Debug, Clone)]
+pub struct BenchWorkload {
+    /// The protein query.
+    pub query: ProteinSeq,
+    /// The reference (random background + one planted coding region).
+    pub reference: RnaSeq,
+    /// Planted position in bases.
+    pub planted_at: usize,
+}
+
+impl BenchWorkload {
+    /// Builds a workload with a `query_aa`-residue query and a
+    /// `reference_bases`-base reference.
+    pub fn generate(query_aa: usize, reference_bases: usize, seed: u64) -> BenchWorkload {
+        let mut rng = rng(seed);
+        let query = random_protein(query_aa, &mut rng);
+        let coding = coding_rna_for(&query, &mut rng);
+        let mut bases = random_rna(reference_bases, &mut rng).into_inner();
+        let planted_at = (reference_bases / 2).min(reference_bases - coding.len());
+        bases.splice(
+            planted_at..planted_at + coding.len(),
+            coding.iter().copied(),
+        );
+        BenchWorkload {
+            query,
+            reference: RnaSeq::from(bases),
+            planted_at,
+        }
+    }
+}
+
+/// Runs `f` once, returning its result and the wall-clock seconds.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed().as_secs_f64())
+}
+
+/// Runs `f` `n` times, returning the last result and the *minimum*
+/// per-run seconds (the usual robust wall-clock estimator).
+pub fn time_best_of<R>(n: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    assert!(n > 0);
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..n {
+        let (r, t) = time_once(&mut f);
+        best = best.min(t);
+        last = Some(r);
+    }
+    (last.expect("n > 0"), best)
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.2} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = BenchWorkload::generate(20, 5_000, 7);
+        let b = BenchWorkload::generate(20, 5_000, 7);
+        assert_eq!(a.query, b.query);
+        assert_eq!(a.reference, b.reference);
+        assert_eq!(a.planted_at, b.planted_at);
+    }
+
+    #[test]
+    fn workload_plants_the_coding_sequence() {
+        let w = BenchWorkload::generate(15, 2_000, 8);
+        let translated = fabp_bio::translate::translate_slice(
+            &w.reference.as_slice()[w.planted_at..w.planted_at + 45],
+        );
+        assert_eq!(translated, w.query);
+    }
+
+    #[test]
+    fn timing_helpers_run() {
+        let (value, t) = time_once(|| 2 + 2);
+        assert_eq!(value, 4);
+        assert!(t >= 0.0);
+        let (value, t) = time_best_of(3, || 6 * 7);
+        assert_eq!(value, 42);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_seconds(2.5), "2.50 s");
+        assert_eq!(fmt_seconds(0.0025), "2.50 ms");
+        assert_eq!(fmt_seconds(2.5e-6), "2.50 µs");
+    }
+}

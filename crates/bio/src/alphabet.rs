@@ -1,0 +1,580 @@
+//! Biological alphabets: RNA/DNA nucleotides and amino acids.
+//!
+//! FabP's hardware encoding assigns the 2-bit codes `A=00, C=01, G=10, U=11`
+//! (paper §III-B); [`Nucleotide::code2`] and [`Nucleotide::from_code2`]
+//! implement exactly that mapping so every layer above (query instructions,
+//! reference packing, LUT truth tables) agrees on the bit-level view.
+
+use std::fmt;
+
+/// Error returned when a byte/char does not belong to the target alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParseSymbolError {
+    /// The offending character.
+    pub found: char,
+    /// Name of the alphabet that rejected it (`"nucleotide"`, `"amino acid"`, ...).
+    pub alphabet: &'static str,
+}
+
+impl fmt::Display for ParseSymbolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} symbol {:?}", self.alphabet, self.found)
+    }
+}
+
+impl std::error::Error for ParseSymbolError {}
+
+/// An RNA nucleotide.
+///
+/// The discriminants are the 2-bit hardware codes used throughout FabP
+/// (`A=00, C=01, G=10, U=11`).
+///
+/// # Examples
+///
+/// ```
+/// use fabp_bio::alphabet::Nucleotide;
+/// assert_eq!(Nucleotide::U.code2(), 0b11);
+/// assert_eq!(Nucleotide::from_code2(0b01), Nucleotide::C);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Nucleotide {
+    /// Adenine (hardware code `00`).
+    A = 0b00,
+    /// Cytosine (hardware code `01`).
+    C = 0b01,
+    /// Guanine (hardware code `10`).
+    G = 0b10,
+    /// Uracil (hardware code `11`).
+    U = 0b11,
+}
+
+impl Nucleotide {
+    /// All four nucleotides in hardware-code order.
+    pub const ALL: [Nucleotide; 4] = [Nucleotide::A, Nucleotide::C, Nucleotide::G, Nucleotide::U];
+
+    /// The 2-bit hardware code of this nucleotide (paper §III-B).
+    #[inline]
+    pub const fn code2(self) -> u8 {
+        self as u8
+    }
+
+    /// Reconstructs a nucleotide from its 2-bit hardware code.
+    ///
+    /// Only the low two bits of `code` are used.
+    #[inline]
+    pub const fn from_code2(code: u8) -> Nucleotide {
+        match code & 0b11 {
+            0b00 => Nucleotide::A,
+            0b01 => Nucleotide::C,
+            0b10 => Nucleotide::G,
+            _ => Nucleotide::U,
+        }
+    }
+
+    /// Watson–Crick complement (`A↔U`, `C↔G`).
+    #[inline]
+    pub const fn complement(self) -> Nucleotide {
+        match self {
+            Nucleotide::A => Nucleotide::U,
+            Nucleotide::U => Nucleotide::A,
+            Nucleotide::C => Nucleotide::G,
+            Nucleotide::G => Nucleotide::C,
+        }
+    }
+
+    /// `true` when the base is a purine (`A` or `G`).
+    #[inline]
+    pub const fn is_purine(self) -> bool {
+        matches!(self, Nucleotide::A | Nucleotide::G)
+    }
+
+    /// `true` when the base is a pyrimidine (`C` or `U`).
+    #[inline]
+    pub const fn is_pyrimidine(self) -> bool {
+        !self.is_purine()
+    }
+
+    /// One-letter character for this nucleotide.
+    #[inline]
+    pub const fn to_char(self) -> char {
+        match self {
+            Nucleotide::A => 'A',
+            Nucleotide::C => 'C',
+            Nucleotide::G => 'G',
+            Nucleotide::U => 'U',
+        }
+    }
+
+    /// Parses a one-letter RNA code (case-insensitive; `T` is accepted as `U`
+    /// so DNA-flavoured inputs round-trip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSymbolError`] for any other character.
+    pub fn from_char(c: char) -> Result<Nucleotide, ParseSymbolError> {
+        match c.to_ascii_uppercase() {
+            'A' => Ok(Nucleotide::A),
+            'C' => Ok(Nucleotide::C),
+            'G' => Ok(Nucleotide::G),
+            'U' | 'T' => Ok(Nucleotide::U),
+            other => Err(ParseSymbolError {
+                found: other,
+                alphabet: "nucleotide",
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Nucleotide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Nucleotide::A => "A",
+            Nucleotide::C => "C",
+            Nucleotide::G => "G",
+            Nucleotide::U => "U",
+        })
+    }
+}
+
+impl TryFrom<char> for Nucleotide {
+    type Error = ParseSymbolError;
+
+    fn try_from(c: char) -> Result<Self, Self::Error> {
+        Nucleotide::from_char(c)
+    }
+}
+
+/// A DNA nucleotide (`T` instead of `U`).
+///
+/// Reference databases (NCBI `nt`) are DNA; FabP treats them as RNA by the
+/// trivial `T→U` substitution, which [`DnaNucleotide::to_rna`] performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum DnaNucleotide {
+    /// Adenine.
+    A = 0b00,
+    /// Cytosine.
+    C = 0b01,
+    /// Guanine.
+    G = 0b10,
+    /// Thymine.
+    T = 0b11,
+}
+
+impl DnaNucleotide {
+    /// All four DNA nucleotides in hardware-code order.
+    pub const ALL: [DnaNucleotide; 4] = [
+        DnaNucleotide::A,
+        DnaNucleotide::C,
+        DnaNucleotide::G,
+        DnaNucleotide::T,
+    ];
+
+    /// Converts to the RNA alphabet (`T → U`).
+    #[inline]
+    pub const fn to_rna(self) -> Nucleotide {
+        Nucleotide::from_code2(self as u8)
+    }
+
+    /// Converts from the RNA alphabet (`U → T`).
+    #[inline]
+    pub const fn from_rna(n: Nucleotide) -> DnaNucleotide {
+        match n {
+            Nucleotide::A => DnaNucleotide::A,
+            Nucleotide::C => DnaNucleotide::C,
+            Nucleotide::G => DnaNucleotide::G,
+            Nucleotide::U => DnaNucleotide::T,
+        }
+    }
+
+    /// Watson–Crick complement (`A↔T`, `C↔G`).
+    #[inline]
+    pub const fn complement(self) -> DnaNucleotide {
+        DnaNucleotide::from_rna(self.to_rna().complement())
+    }
+
+    /// One-letter character for this nucleotide.
+    #[inline]
+    pub const fn to_char(self) -> char {
+        match self {
+            DnaNucleotide::A => 'A',
+            DnaNucleotide::C => 'C',
+            DnaNucleotide::G => 'G',
+            DnaNucleotide::T => 'T',
+        }
+    }
+
+    /// Parses a one-letter DNA code (case-insensitive; `U` is accepted as `T`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSymbolError`] for any other character.
+    pub fn from_char(c: char) -> Result<DnaNucleotide, ParseSymbolError> {
+        match c.to_ascii_uppercase() {
+            'A' => Ok(DnaNucleotide::A),
+            'C' => Ok(DnaNucleotide::C),
+            'G' => Ok(DnaNucleotide::G),
+            'T' | 'U' => Ok(DnaNucleotide::T),
+            other => Err(ParseSymbolError {
+                found: other,
+                alphabet: "DNA nucleotide",
+            }),
+        }
+    }
+}
+
+impl fmt::Display for DnaNucleotide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl TryFrom<char> for DnaNucleotide {
+    type Error = ParseSymbolError;
+
+    fn try_from(c: char) -> Result<Self, Self::Error> {
+        DnaNucleotide::from_char(c)
+    }
+}
+
+impl From<DnaNucleotide> for Nucleotide {
+    fn from(d: DnaNucleotide) -> Nucleotide {
+        d.to_rna()
+    }
+}
+
+impl From<Nucleotide> for DnaNucleotide {
+    fn from(n: Nucleotide) -> DnaNucleotide {
+        DnaNucleotide::from_rna(n)
+    }
+}
+
+/// The 20 standard amino acids plus the translation Stop signal.
+///
+/// Stop is included because FabP's query alphabet is "whatever a codon can
+/// translate to", and the paper's encoding dedicates the dependent function
+/// `F:00` to the Stop codons (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum AminoAcid {
+    /// Alanine (A).
+    Ala,
+    /// Arginine (R).
+    Arg,
+    /// Asparagine (N).
+    Asn,
+    /// Aspartate (D).
+    Asp,
+    /// Cysteine (C).
+    Cys,
+    /// Glutamine (Q).
+    Gln,
+    /// Glutamate (E).
+    Glu,
+    /// Glycine (G).
+    Gly,
+    /// Histidine (H).
+    His,
+    /// Isoleucine (I).
+    Ile,
+    /// Leucine (L).
+    Leu,
+    /// Lysine (K).
+    Lys,
+    /// Methionine (M), also the canonical start.
+    Met,
+    /// Phenylalanine (F).
+    Phe,
+    /// Proline (P).
+    Pro,
+    /// Serine (S).
+    Ser,
+    /// Threonine (T).
+    Thr,
+    /// Tryptophan (W).
+    Trp,
+    /// Tyrosine (Y).
+    Tyr,
+    /// Valine (V).
+    Val,
+    /// Translation stop signal (`*`).
+    Stop,
+}
+
+impl AminoAcid {
+    /// The 20 standard amino acids (Stop excluded), in enum order.
+    pub const STANDARD: [AminoAcid; 20] = [
+        AminoAcid::Ala,
+        AminoAcid::Arg,
+        AminoAcid::Asn,
+        AminoAcid::Asp,
+        AminoAcid::Cys,
+        AminoAcid::Gln,
+        AminoAcid::Glu,
+        AminoAcid::Gly,
+        AminoAcid::His,
+        AminoAcid::Ile,
+        AminoAcid::Leu,
+        AminoAcid::Lys,
+        AminoAcid::Met,
+        AminoAcid::Phe,
+        AminoAcid::Pro,
+        AminoAcid::Ser,
+        AminoAcid::Thr,
+        AminoAcid::Trp,
+        AminoAcid::Tyr,
+        AminoAcid::Val,
+    ];
+
+    /// All 21 symbols including [`AminoAcid::Stop`].
+    pub const ALL: [AminoAcid; 21] = [
+        AminoAcid::Ala,
+        AminoAcid::Arg,
+        AminoAcid::Asn,
+        AminoAcid::Asp,
+        AminoAcid::Cys,
+        AminoAcid::Gln,
+        AminoAcid::Glu,
+        AminoAcid::Gly,
+        AminoAcid::His,
+        AminoAcid::Ile,
+        AminoAcid::Leu,
+        AminoAcid::Lys,
+        AminoAcid::Met,
+        AminoAcid::Phe,
+        AminoAcid::Pro,
+        AminoAcid::Ser,
+        AminoAcid::Thr,
+        AminoAcid::Trp,
+        AminoAcid::Tyr,
+        AminoAcid::Val,
+        AminoAcid::Stop,
+    ];
+
+    /// Dense index in `0..21`, usable as a table key.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// One-letter IUPAC code (`*` for Stop).
+    #[inline]
+    pub const fn to_char(self) -> char {
+        match self {
+            AminoAcid::Ala => 'A',
+            AminoAcid::Arg => 'R',
+            AminoAcid::Asn => 'N',
+            AminoAcid::Asp => 'D',
+            AminoAcid::Cys => 'C',
+            AminoAcid::Gln => 'Q',
+            AminoAcid::Glu => 'E',
+            AminoAcid::Gly => 'G',
+            AminoAcid::His => 'H',
+            AminoAcid::Ile => 'I',
+            AminoAcid::Leu => 'L',
+            AminoAcid::Lys => 'K',
+            AminoAcid::Met => 'M',
+            AminoAcid::Phe => 'F',
+            AminoAcid::Pro => 'P',
+            AminoAcid::Ser => 'S',
+            AminoAcid::Thr => 'T',
+            AminoAcid::Trp => 'W',
+            AminoAcid::Tyr => 'Y',
+            AminoAcid::Val => 'V',
+            AminoAcid::Stop => '*',
+        }
+    }
+
+    /// Three-letter abbreviation (`Ter` is rendered `Stop` to match the
+    /// paper's notation).
+    #[inline]
+    pub const fn abbreviation(self) -> &'static str {
+        match self {
+            AminoAcid::Ala => "Ala",
+            AminoAcid::Arg => "Arg",
+            AminoAcid::Asn => "Asn",
+            AminoAcid::Asp => "Asp",
+            AminoAcid::Cys => "Cys",
+            AminoAcid::Gln => "Gln",
+            AminoAcid::Glu => "Glu",
+            AminoAcid::Gly => "Gly",
+            AminoAcid::His => "His",
+            AminoAcid::Ile => "Ile",
+            AminoAcid::Leu => "Leu",
+            AminoAcid::Lys => "Lys",
+            AminoAcid::Met => "Met",
+            AminoAcid::Phe => "Phe",
+            AminoAcid::Pro => "Pro",
+            AminoAcid::Ser => "Ser",
+            AminoAcid::Thr => "Thr",
+            AminoAcid::Trp => "Trp",
+            AminoAcid::Tyr => "Tyr",
+            AminoAcid::Val => "Val",
+            AminoAcid::Stop => "Stop",
+        }
+    }
+
+    /// Parses a one-letter code (case-insensitive; `*` is Stop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSymbolError`] for characters outside the 21-symbol
+    /// alphabet (including ambiguity codes like `B`, `Z`, `X`).
+    pub fn from_char(c: char) -> Result<AminoAcid, ParseSymbolError> {
+        match c.to_ascii_uppercase() {
+            'A' => Ok(AminoAcid::Ala),
+            'R' => Ok(AminoAcid::Arg),
+            'N' => Ok(AminoAcid::Asn),
+            'D' => Ok(AminoAcid::Asp),
+            'C' => Ok(AminoAcid::Cys),
+            'Q' => Ok(AminoAcid::Gln),
+            'E' => Ok(AminoAcid::Glu),
+            'G' => Ok(AminoAcid::Gly),
+            'H' => Ok(AminoAcid::His),
+            'I' => Ok(AminoAcid::Ile),
+            'L' => Ok(AminoAcid::Leu),
+            'K' => Ok(AminoAcid::Lys),
+            'M' => Ok(AminoAcid::Met),
+            'F' => Ok(AminoAcid::Phe),
+            'P' => Ok(AminoAcid::Pro),
+            'S' => Ok(AminoAcid::Ser),
+            'T' => Ok(AminoAcid::Thr),
+            'W' => Ok(AminoAcid::Trp),
+            'Y' => Ok(AminoAcid::Tyr),
+            'V' => Ok(AminoAcid::Val),
+            '*' => Ok(AminoAcid::Stop),
+            other => Err(ParseSymbolError {
+                found: other,
+                alphabet: "amino acid",
+            }),
+        }
+    }
+
+    /// `true` for the 20 standard residues, `false` for Stop.
+    #[inline]
+    pub const fn is_standard(self) -> bool {
+        !matches!(self, AminoAcid::Stop)
+    }
+}
+
+impl fmt::Display for AminoAcid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl TryFrom<char> for AminoAcid {
+    type Error = ParseSymbolError;
+
+    fn try_from(c: char) -> Result<Self, Self::Error> {
+        AminoAcid::from_char(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nucleotide_codes_match_paper() {
+        // Paper §III-B: {A, C, G, U} -> {00, 01, 10, 11}.
+        assert_eq!(Nucleotide::A.code2(), 0b00);
+        assert_eq!(Nucleotide::C.code2(), 0b01);
+        assert_eq!(Nucleotide::G.code2(), 0b10);
+        assert_eq!(Nucleotide::U.code2(), 0b11);
+    }
+
+    #[test]
+    fn nucleotide_code_round_trip() {
+        for n in Nucleotide::ALL {
+            assert_eq!(Nucleotide::from_code2(n.code2()), n);
+        }
+    }
+
+    #[test]
+    fn nucleotide_char_round_trip() {
+        for n in Nucleotide::ALL {
+            assert_eq!(Nucleotide::from_char(n.to_char()).unwrap(), n);
+        }
+        assert_eq!(Nucleotide::from_char('t').unwrap(), Nucleotide::U);
+        assert!(Nucleotide::from_char('X').is_err());
+    }
+
+    #[test]
+    fn nucleotide_complement_involution() {
+        for n in Nucleotide::ALL {
+            assert_eq!(n.complement().complement(), n);
+            assert_ne!(n.complement(), n);
+        }
+    }
+
+    #[test]
+    fn purine_pyrimidine_partition() {
+        let purines: Vec<_> = Nucleotide::ALL.iter().filter(|n| n.is_purine()).collect();
+        assert_eq!(purines, [&Nucleotide::A, &Nucleotide::G]);
+        for n in Nucleotide::ALL {
+            assert_ne!(n.is_purine(), n.is_pyrimidine());
+        }
+    }
+
+    #[test]
+    fn dna_rna_round_trip() {
+        for d in DnaNucleotide::ALL {
+            assert_eq!(DnaNucleotide::from_rna(d.to_rna()), d);
+        }
+        assert_eq!(DnaNucleotide::T.to_rna(), Nucleotide::U);
+        assert_eq!(DnaNucleotide::from_char('u').unwrap(), DnaNucleotide::T);
+    }
+
+    #[test]
+    fn dna_complement() {
+        assert_eq!(DnaNucleotide::A.complement(), DnaNucleotide::T);
+        assert_eq!(DnaNucleotide::G.complement(), DnaNucleotide::C);
+        for d in DnaNucleotide::ALL {
+            assert_eq!(d.complement().complement(), d);
+        }
+    }
+
+    #[test]
+    fn amino_acid_char_round_trip() {
+        for aa in AminoAcid::ALL {
+            assert_eq!(AminoAcid::from_char(aa.to_char()).unwrap(), aa);
+        }
+        assert!(AminoAcid::from_char('X').is_err());
+        assert!(AminoAcid::from_char('B').is_err());
+    }
+
+    #[test]
+    fn amino_acid_indices_are_dense_and_unique() {
+        let mut seen = [false; 21];
+        for aa in AminoAcid::ALL {
+            assert!(aa.index() < 21);
+            assert!(!seen[aa.index()], "duplicate index for {aa:?}");
+            seen[aa.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn stop_is_not_standard() {
+        assert!(!AminoAcid::Stop.is_standard());
+        assert_eq!(AminoAcid::STANDARD.len(), 20);
+        assert!(AminoAcid::STANDARD.iter().all(|aa| aa.is_standard()));
+    }
+
+    #[test]
+    fn abbreviations_match_paper_examples() {
+        assert_eq!(AminoAcid::Phe.abbreviation(), "Phe");
+        assert_eq!(AminoAcid::Met.abbreviation(), "Met");
+        assert_eq!(AminoAcid::Stop.abbreviation(), "Stop");
+    }
+
+    #[test]
+    fn parse_error_displays_symbol() {
+        let err = Nucleotide::from_char('!').unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains('!'), "message was {msg:?}");
+        assert!(msg.contains("nucleotide"));
+    }
+}

@@ -1,0 +1,116 @@
+//! The BLOSUM62 substitution matrix.
+//!
+//! TBLASTN scores protein–protein alignments (query vs. translated
+//! reference) with BLOSUM62 by default; the Smith–Waterman and
+//! TBLASTN-like baselines in `fabp-baselines` use this table.
+
+use crate::alphabet::AminoAcid;
+
+/// Number of symbols scored by the matrix (20 amino acids + Stop).
+pub const ALPHABET_SIZE: usize = 21;
+
+/// BLOSUM62 in NCBI symbol order `A R N D C Q E G H I L K M F P S T W Y V *`
+/// — which is exactly [`AminoAcid`]'s index order, so the table can be
+/// indexed directly with [`AminoAcid::index`].
+///
+/// Stop (`*`) scores −4 against everything and +1 against itself, matching
+/// NCBI's convention.
+#[rustfmt::skip]
+const BLOSUM62: [[i32; ALPHABET_SIZE]; ALPHABET_SIZE] = [
+    //A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V   *
+    [ 4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0, -4], // A
+    [-1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3, -4], // R
+    [-2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3, -4], // N
+    [-2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3, -4], // D
+    [ 0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1, -4], // C
+    [-1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2, -4], // Q
+    [-1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2, -4], // E
+    [ 0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3, -4], // G
+    [-2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3, -4], // H
+    [-1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3, -4], // I
+    [-1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1, -4], // L
+    [-1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2, -4], // K
+    [-1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1, -4], // M
+    [-2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1, -4], // F
+    [-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2, -4], // P
+    [ 1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2, -4], // S
+    [ 0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0, -4], // T
+    [-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3, -4], // W
+    [-2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1, -4], // Y
+    [ 0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4, -4], // V
+    [-4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4,  1], // *
+];
+
+/// BLOSUM62 score for substituting `a` with `b`.
+///
+/// # Examples
+///
+/// ```
+/// use fabp_bio::alphabet::AminoAcid;
+/// use fabp_bio::blosum::blosum62;
+///
+/// assert_eq!(blosum62(AminoAcid::Trp, AminoAcid::Trp), 11);
+/// assert_eq!(blosum62(AminoAcid::Ala, AminoAcid::Arg), -1);
+/// ```
+#[inline]
+pub fn blosum62(a: AminoAcid, b: AminoAcid) -> i32 {
+    BLOSUM62[a.index()][b.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_symmetric() {
+        for a in AminoAcid::ALL {
+            for b in AminoAcid::ALL {
+                assert_eq!(blosum62(a, b), blosum62(b, a), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_positive_and_maximal_in_row() {
+        for a in AminoAcid::ALL {
+            let self_score = blosum62(a, a);
+            assert!(self_score > 0, "{a:?} self-score {self_score}");
+            for b in AminoAcid::ALL {
+                if a != b {
+                    assert!(
+                        blosum62(a, b) <= self_score,
+                        "{a:?}/{b:?} exceeds self-score"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(blosum62(AminoAcid::Trp, AminoAcid::Trp), 11);
+        assert_eq!(blosum62(AminoAcid::Cys, AminoAcid::Cys), 9);
+        assert_eq!(blosum62(AminoAcid::Ile, AminoAcid::Val), 3);
+        assert_eq!(blosum62(AminoAcid::Leu, AminoAcid::Ile), 2);
+        assert_eq!(blosum62(AminoAcid::Trp, AminoAcid::Gly), -2);
+        assert_eq!(blosum62(AminoAcid::Stop, AminoAcid::Stop), 1);
+        assert_eq!(blosum62(AminoAcid::Stop, AminoAcid::Ala), -4);
+    }
+
+    #[test]
+    fn average_off_diagonal_is_negative() {
+        // A substitution matrix must have negative expected score for random
+        // pairs; a weak proxy: the mean off-diagonal entry is negative.
+        let mut sum = 0i64;
+        let mut n = 0i64;
+        for a in AminoAcid::STANDARD {
+            for b in AminoAcid::STANDARD {
+                if a != b {
+                    sum += i64::from(blosum62(a, b));
+                    n += 1;
+                }
+            }
+        }
+        assert!(sum / n < 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Codons and the standard genetic code.
+//!
+//! A [`Codon`] is a non-overlapping three-letter window of an mRNA; the
+//! standard codon table (paper Fig. 2) maps each of the 64 codons to one of
+//! the 20 amino acids or the Stop signal.
+
+use crate::alphabet::{AminoAcid, Nucleotide};
+use std::fmt;
+
+/// A three-nucleotide codon.
+///
+/// # Examples
+///
+/// ```
+/// use fabp_bio::alphabet::{AminoAcid, Nucleotide};
+/// use fabp_bio::codon::Codon;
+///
+/// let aug = Codon::new(Nucleotide::A, Nucleotide::U, Nucleotide::G);
+/// assert_eq!(aug.translate(), AminoAcid::Met);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Codon(pub [Nucleotide; 3]);
+
+impl Codon {
+    /// Builds a codon from its three positions (5'→3').
+    #[inline]
+    pub const fn new(first: Nucleotide, second: Nucleotide, third: Nucleotide) -> Codon {
+        Codon([first, second, third])
+    }
+
+    /// Reconstructs a codon from its dense 6-bit index
+    /// (`first.code2() << 4 | second.code2() << 2 | third.code2()`).
+    #[inline]
+    pub const fn from_index(index: u8) -> Codon {
+        Codon([
+            Nucleotide::from_code2(index >> 4),
+            Nucleotide::from_code2(index >> 2),
+            Nucleotide::from_code2(index),
+        ])
+    }
+
+    /// Dense index in `0..64` — the concatenated 2-bit codes of the three
+    /// positions, first position most significant.
+    #[inline]
+    pub const fn index(self) -> usize {
+        ((self.0[0].code2() as usize) << 4)
+            | ((self.0[1].code2() as usize) << 2)
+            | (self.0[2].code2() as usize)
+    }
+
+    /// Iterator over all 64 codons in index order.
+    pub fn all() -> impl Iterator<Item = Codon> {
+        (0u8..64).map(Codon::from_index)
+    }
+
+    /// Translates this codon under the standard genetic code.
+    #[inline]
+    pub fn translate(self) -> AminoAcid {
+        CODON_TABLE[self.index()]
+    }
+
+    /// Parses a codon from exactly three nucleotide characters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if the length is not 3 or a character is not
+    /// a nucleotide.
+    pub fn from_str_strict(s: &str) -> Result<Codon, String> {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() != 3 {
+            return Err(format!("codon must have 3 characters, got {}", chars.len()));
+        }
+        let mut bases = [Nucleotide::A; 3];
+        for (i, &c) in chars.iter().enumerate() {
+            bases[i] = Nucleotide::from_char(c).map_err(|e| e.to_string())?;
+        }
+        Ok(Codon(bases))
+    }
+}
+
+impl fmt::Display for Codon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}", self.0[0], self.0[1], self.0[2])
+    }
+}
+
+/// The standard genetic code indexed by [`Codon::index`].
+///
+/// Generated once at first use from the per-amino-acid codon lists in
+/// [`codons_of`], so the two views of the table can never drift apart.
+pub static CODON_TABLE: CodonTable = CodonTable::new();
+
+/// Lazily-built dense codon → amino-acid table.
+pub struct CodonTable {
+    cell: std::sync::OnceLock<[AminoAcid; 64]>,
+}
+
+impl CodonTable {
+    const fn new() -> CodonTable {
+        CodonTable {
+            cell: std::sync::OnceLock::new(),
+        }
+    }
+
+    fn table(&self) -> &[AminoAcid; 64] {
+        self.cell.get_or_init(|| {
+            let mut t = [None::<AminoAcid>; 64];
+            for aa in AminoAcid::ALL {
+                for codon in codons_of(aa) {
+                    let idx = codon.index();
+                    assert!(
+                        t[idx].is_none(),
+                        "codon {codon} assigned to two amino acids"
+                    );
+                    t[idx] = Some(aa);
+                }
+            }
+            t.map(|slot| slot.expect("codon table must cover all 64 codons"))
+        })
+    }
+}
+
+impl std::ops::Index<usize> for CodonTable {
+    type Output = AminoAcid;
+
+    fn index(&self, idx: usize) -> &AminoAcid {
+        &self.table()[idx]
+    }
+}
+
+impl fmt::Debug for CodonTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CodonTable").finish_non_exhaustive()
+    }
+}
+
+macro_rules! codon_list {
+    ($name:ident: $($s:literal),+ $(,)?) => {
+        const $name: &[Codon] = &[$(parse_codon_literal($s)),+];
+    };
+}
+
+const fn parse_base(b: u8) -> Nucleotide {
+    match b {
+        b'A' => Nucleotide::A,
+        b'C' => Nucleotide::C,
+        b'G' => Nucleotide::G,
+        b'U' => Nucleotide::U,
+        _ => panic!("invalid codon literal"),
+    }
+}
+
+const fn parse_codon_literal(s: &str) -> Codon {
+    let b = s.as_bytes();
+    assert!(b.len() == 3, "codon literal must be 3 bases");
+    Codon([parse_base(b[0]), parse_base(b[1]), parse_base(b[2])])
+}
+
+codon_list!(ALA: "GCU", "GCC", "GCA", "GCG");
+codon_list!(ARG: "CGU", "CGC", "CGA", "CGG", "AGA", "AGG");
+codon_list!(ASN: "AAU", "AAC");
+codon_list!(ASP: "GAU", "GAC");
+codon_list!(CYS: "UGU", "UGC");
+codon_list!(GLN: "CAA", "CAG");
+codon_list!(GLU: "GAA", "GAG");
+codon_list!(GLY: "GGU", "GGC", "GGA", "GGG");
+codon_list!(HIS: "CAU", "CAC");
+codon_list!(ILE: "AUU", "AUC", "AUA");
+codon_list!(LEU: "UUA", "UUG", "CUU", "CUC", "CUA", "CUG");
+codon_list!(LYS: "AAA", "AAG");
+codon_list!(MET: "AUG");
+codon_list!(PHE: "UUU", "UUC");
+codon_list!(PRO: "CCU", "CCC", "CCA", "CCG");
+codon_list!(SER: "UCU", "UCC", "UCA", "UCG", "AGU", "AGC");
+codon_list!(THR: "ACU", "ACC", "ACA", "ACG");
+codon_list!(TRP: "UGG");
+codon_list!(TYR: "UAU", "UAC");
+codon_list!(VAL: "GUU", "GUC", "GUA", "GUG");
+codon_list!(STOP: "UAA", "UAG", "UGA");
+
+/// The RNA codons that translate to `aa` under the standard genetic code.
+///
+/// The lists follow the standard table (NCBI translation table 1), which is
+/// the one depicted in the paper's Fig. 2.
+pub const fn codons_of(aa: AminoAcid) -> &'static [Codon] {
+    match aa {
+        AminoAcid::Ala => ALA,
+        AminoAcid::Arg => ARG,
+        AminoAcid::Asn => ASN,
+        AminoAcid::Asp => ASP,
+        AminoAcid::Cys => CYS,
+        AminoAcid::Gln => GLN,
+        AminoAcid::Glu => GLU,
+        AminoAcid::Gly => GLY,
+        AminoAcid::His => HIS,
+        AminoAcid::Ile => ILE,
+        AminoAcid::Leu => LEU,
+        AminoAcid::Lys => LYS,
+        AminoAcid::Met => MET,
+        AminoAcid::Phe => PHE,
+        AminoAcid::Pro => PRO,
+        AminoAcid::Ser => SER,
+        AminoAcid::Thr => THR,
+        AminoAcid::Trp => TRP,
+        AminoAcid::Tyr => TYR,
+        AminoAcid::Val => VAL,
+        AminoAcid::Stop => STOP,
+    }
+}
+
+/// Number of codons that translate to `aa` (its degeneracy).
+pub const fn degeneracy(aa: AminoAcid) -> usize {
+    codons_of(aa).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codon_index_round_trip() {
+        for codon in Codon::all() {
+            assert_eq!(Codon::from_index(codon.index() as u8), codon);
+        }
+    }
+
+    #[test]
+    fn all_yields_64_unique_codons() {
+        let codons: Vec<Codon> = Codon::all().collect();
+        assert_eq!(codons.len(), 64);
+        for (i, c) in codons.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn codon_lists_cover_table_exactly() {
+        let total: usize = AminoAcid::ALL.iter().map(|&aa| degeneracy(aa)).sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn translate_agrees_with_codon_lists() {
+        for aa in AminoAcid::ALL {
+            for &codon in codons_of(aa) {
+                assert_eq!(codon.translate(), aa, "codon {codon}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_fig2_spot_checks() {
+        // Worked examples from §III-A.
+        assert_eq!(
+            Codon::from_str_strict("AUG").unwrap().translate(),
+            AminoAcid::Met
+        );
+        assert_eq!(
+            Codon::from_str_strict("UUU").unwrap().translate(),
+            AminoAcid::Phe
+        );
+        assert_eq!(
+            Codon::from_str_strict("UUC").unwrap().translate(),
+            AminoAcid::Phe
+        );
+        assert_eq!(
+            Codon::from_str_strict("UCA").unwrap().translate(),
+            AminoAcid::Ser
+        );
+        assert_eq!(
+            Codon::from_str_strict("AGA").unwrap().translate(),
+            AminoAcid::Arg
+        );
+        assert_eq!(
+            Codon::from_str_strict("CGG").unwrap().translate(),
+            AminoAcid::Arg
+        );
+        assert_eq!(
+            Codon::from_str_strict("UGA").unwrap().translate(),
+            AminoAcid::Stop
+        );
+        assert_eq!(
+            Codon::from_str_strict("UGG").unwrap().translate(),
+            AminoAcid::Trp
+        );
+    }
+
+    #[test]
+    fn degeneracy_counts() {
+        assert_eq!(degeneracy(AminoAcid::Met), 1);
+        assert_eq!(degeneracy(AminoAcid::Trp), 1);
+        assert_eq!(degeneracy(AminoAcid::Leu), 6);
+        assert_eq!(degeneracy(AminoAcid::Ser), 6);
+        assert_eq!(degeneracy(AminoAcid::Arg), 6);
+        assert_eq!(degeneracy(AminoAcid::Stop), 3);
+        assert_eq!(degeneracy(AminoAcid::Ile), 3);
+    }
+
+    #[test]
+    fn from_str_strict_rejects_bad_input() {
+        assert!(Codon::from_str_strict("AU").is_err());
+        assert!(Codon::from_str_strict("AUGC").is_err());
+        assert!(Codon::from_str_strict("AXG").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for codon in Codon::all() {
+            let s = codon.to_string();
+            assert_eq!(Codon::from_str_strict(&s).unwrap(), codon);
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Codon usage tables and usage-weighted back-translation.
+//!
+//! The paper's abstract describes back-translation as generating "an mRNA
+//! sequence representing the most likely non-degenerate coding sequence".
+//! FabP sidesteps picking one by matching *all* codons via degenerate
+//! patterns, but the most-likely sequence is still needed when a concrete
+//! mRNA must be produced (primer design, workload generation with
+//! realistic codon bias). This module provides per-organism codon usage
+//! tables and the derived generators.
+//!
+//! Frequencies are the widely tabulated genome-wide fractions (rounded);
+//! swap in exact Kazusa counts via [`CodonUsage::from_weights`] if needed.
+
+use crate::alphabet::AminoAcid;
+use crate::codon::{codons_of, Codon};
+use crate::seq::{ProteinSeq, RnaSeq};
+use rand::Rng;
+
+/// Per-codon usage weights, normalised within each amino acid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodonUsage {
+    /// Human-readable source label.
+    name: &'static str,
+    /// Weight per codon index (0..64), normalised so each amino acid's
+    /// codons sum to 1.
+    weights: [f64; 64],
+}
+
+impl CodonUsage {
+    /// Uniform usage: every codon of an amino acid equally likely.
+    pub fn uniform() -> CodonUsage {
+        let mut weights = [0.0f64; 64];
+        for aa in AminoAcid::ALL {
+            let codons = codons_of(aa);
+            for codon in codons {
+                weights[codon.index()] = 1.0 / codons.len() as f64;
+            }
+        }
+        CodonUsage {
+            name: "uniform",
+            weights,
+        }
+    }
+
+    /// Builds a table from `(codon, weight)` pairs; weights are
+    /// renormalised within each amino acid. Codons not listed get weight 0
+    /// unless their amino acid has no listed codon at all, in which case
+    /// its codons stay uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any listed weight is negative.
+    pub fn from_weights(name: &'static str, pairs: &[(&str, f64)]) -> CodonUsage {
+        let mut usage = CodonUsage::uniform();
+        usage.name = name;
+        let mut listed = [false; 64];
+        let mut raw = [0.0f64; 64];
+        for &(codon_str, w) in pairs {
+            assert!(w >= 0.0, "negative codon weight for {codon_str}");
+            let codon = Codon::from_str_strict(codon_str)
+                .unwrap_or_else(|e| panic!("bad codon literal {codon_str}: {e}"));
+            raw[codon.index()] = w;
+            listed[codon.index()] = true;
+        }
+        for aa in AminoAcid::ALL {
+            let codons = codons_of(aa);
+            if !codons.iter().any(|c| listed[c.index()]) {
+                continue; // keep uniform
+            }
+            let total: f64 = codons.iter().map(|c| raw[c.index()]).sum();
+            for c in codons {
+                usage.weights[c.index()] = if total > 0.0 {
+                    raw[c.index()] / total
+                } else {
+                    1.0 / codons.len() as f64
+                };
+            }
+        }
+        usage
+    }
+
+    /// Approximate human genome-wide codon usage (fractions per amino
+    /// acid).
+    pub fn human() -> CodonUsage {
+        CodonUsage::from_weights(
+            "human",
+            &[
+                ("GCU", 0.27),
+                ("GCC", 0.40),
+                ("GCA", 0.23),
+                ("GCG", 0.11),
+                ("CGU", 0.08),
+                ("CGC", 0.18),
+                ("CGA", 0.11),
+                ("CGG", 0.20),
+                ("AGA", 0.21),
+                ("AGG", 0.21),
+                ("AAU", 0.47),
+                ("AAC", 0.53),
+                ("GAU", 0.46),
+                ("GAC", 0.54),
+                ("UGU", 0.46),
+                ("UGC", 0.54),
+                ("CAA", 0.27),
+                ("CAG", 0.73),
+                ("GAA", 0.42),
+                ("GAG", 0.58),
+                ("GGU", 0.16),
+                ("GGC", 0.34),
+                ("GGA", 0.25),
+                ("GGG", 0.25),
+                ("CAU", 0.42),
+                ("CAC", 0.58),
+                ("AUU", 0.36),
+                ("AUC", 0.47),
+                ("AUA", 0.17),
+                ("UUA", 0.08),
+                ("UUG", 0.13),
+                ("CUU", 0.13),
+                ("CUC", 0.20),
+                ("CUA", 0.07),
+                ("CUG", 0.40),
+                ("AAA", 0.43),
+                ("AAG", 0.57),
+                ("AUG", 1.0),
+                ("UUU", 0.46),
+                ("UUC", 0.54),
+                ("CCU", 0.29),
+                ("CCC", 0.32),
+                ("CCA", 0.28),
+                ("CCG", 0.11),
+                ("UCU", 0.19),
+                ("UCC", 0.22),
+                ("UCA", 0.15),
+                ("UCG", 0.05),
+                ("AGU", 0.15),
+                ("AGC", 0.24),
+                ("ACU", 0.25),
+                ("ACC", 0.36),
+                ("ACA", 0.28),
+                ("ACG", 0.11),
+                ("UGG", 1.0),
+                ("UAU", 0.44),
+                ("UAC", 0.56),
+                ("GUU", 0.18),
+                ("GUC", 0.24),
+                ("GUA", 0.12),
+                ("GUG", 0.46),
+                ("UAA", 0.30),
+                ("UAG", 0.24),
+                ("UGA", 0.47),
+            ],
+        )
+    }
+
+    /// Approximate E. coli K-12 codon usage (fractions per amino acid).
+    pub fn e_coli() -> CodonUsage {
+        CodonUsage::from_weights(
+            "e_coli",
+            &[
+                ("GCU", 0.16),
+                ("GCC", 0.27),
+                ("GCA", 0.21),
+                ("GCG", 0.36),
+                ("CGU", 0.38),
+                ("CGC", 0.40),
+                ("CGA", 0.06),
+                ("CGG", 0.10),
+                ("AGA", 0.04),
+                ("AGG", 0.02),
+                ("AAU", 0.45),
+                ("AAC", 0.55),
+                ("GAU", 0.63),
+                ("GAC", 0.37),
+                ("UGU", 0.45),
+                ("UGC", 0.55),
+                ("CAA", 0.35),
+                ("CAG", 0.65),
+                ("GAA", 0.69),
+                ("GAG", 0.31),
+                ("GGU", 0.34),
+                ("GGC", 0.40),
+                ("GGA", 0.11),
+                ("GGG", 0.15),
+                ("CAU", 0.57),
+                ("CAC", 0.43),
+                ("AUU", 0.51),
+                ("AUC", 0.42),
+                ("AUA", 0.07),
+                ("UUA", 0.13),
+                ("UUG", 0.13),
+                ("CUU", 0.10),
+                ("CUC", 0.10),
+                ("CUA", 0.04),
+                ("CUG", 0.50),
+                ("AAA", 0.77),
+                ("AAG", 0.23),
+                ("AUG", 1.0),
+                ("UUU", 0.57),
+                ("UUC", 0.43),
+                ("CCU", 0.16),
+                ("CCC", 0.12),
+                ("CCA", 0.19),
+                ("CCG", 0.53),
+                ("UCU", 0.15),
+                ("UCC", 0.15),
+                ("UCA", 0.12),
+                ("UCG", 0.15),
+                ("AGU", 0.15),
+                ("AGC", 0.28),
+                ("ACU", 0.17),
+                ("ACC", 0.44),
+                ("ACA", 0.13),
+                ("ACG", 0.27),
+                ("UGG", 1.0),
+                ("UAU", 0.57),
+                ("UAC", 0.43),
+                ("GUU", 0.26),
+                ("GUC", 0.22),
+                ("GUA", 0.15),
+                ("GUG", 0.37),
+                ("UAA", 0.64),
+                ("UAG", 0.07),
+                ("UGA", 0.29),
+            ],
+        )
+    }
+
+    /// Source label of this table.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Usage fraction of `codon` among its amino acid's codons.
+    pub fn fraction(&self, codon: Codon) -> f64 {
+        self.weights[codon.index()]
+    }
+
+    /// The most frequent codon for `aa` (ties: table order).
+    pub fn most_likely_codon(&self, aa: AminoAcid) -> Codon {
+        *codons_of(aa)
+            .iter()
+            .max_by(|a, b| {
+                self.fraction(**a)
+                    .partial_cmp(&self.fraction(**b))
+                    .expect("weights are finite")
+            })
+            .expect("every amino acid has codons")
+    }
+
+    /// The "most likely non-degenerate coding sequence" of a protein
+    /// (paper abstract): the concatenation of each residue's most frequent
+    /// codon.
+    pub fn most_likely_coding(&self, protein: &ProteinSeq) -> RnaSeq {
+        let mut rna = RnaSeq::with_capacity(protein.len() * 3);
+        for &aa in protein {
+            rna.extend(self.most_likely_codon(aa).0);
+        }
+        rna
+    }
+
+    /// Samples one codon for `aa` with usage-proportional probability.
+    pub fn sample_codon<R: Rng + ?Sized>(&self, aa: AminoAcid, rng: &mut R) -> Codon {
+        let codons = codons_of(aa);
+        let mut x: f64 = rng.gen_range(0.0..1.0);
+        for &codon in codons {
+            x -= self.fraction(codon);
+            if x <= 0.0 {
+                return codon;
+            }
+        }
+        *codons.last().expect("every amino acid has codons")
+    }
+
+    /// A usage-weighted random coding sequence for a protein — workload
+    /// generation with realistic codon bias.
+    pub fn sample_coding<R: Rng + ?Sized>(&self, protein: &ProteinSeq, rng: &mut R) -> RnaSeq {
+        let mut rna = RnaSeq::with_capacity(protein.len() * 3);
+        for &aa in protein {
+            rna.extend(self.sample_codon(aa, rng).0);
+        }
+        rna
+    }
+}
+
+impl Default for CodonUsage {
+    fn default() -> CodonUsage {
+        CodonUsage::uniform()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_protein;
+    use crate::translate::translate_frame;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fractions_sum_to_one_per_amino_acid() {
+        for usage in [
+            CodonUsage::uniform(),
+            CodonUsage::human(),
+            CodonUsage::e_coli(),
+        ] {
+            for aa in AminoAcid::ALL {
+                let total: f64 = codons_of(aa).iter().map(|&c| usage.fraction(c)).sum();
+                assert!(
+                    (total - 1.0).abs() < 1e-9,
+                    "{} / {aa:?}: total {total}",
+                    usage.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn most_likely_coding_translates_back() {
+        let mut rng = StdRng::seed_from_u64(0xC0D);
+        let protein = random_protein(60, &mut rng);
+        for usage in [
+            CodonUsage::uniform(),
+            CodonUsage::human(),
+            CodonUsage::e_coli(),
+        ] {
+            let rna = usage.most_likely_coding(&protein);
+            assert_eq!(translate_frame(&rna, 0), protein, "{}", usage.name());
+        }
+    }
+
+    #[test]
+    fn sampled_coding_translates_back() {
+        let mut rng = StdRng::seed_from_u64(0xC0E);
+        let protein = random_protein(40, &mut rng);
+        let usage = CodonUsage::human();
+        for _ in 0..10 {
+            let rna = usage.sample_coding(&protein, &mut rng);
+            assert_eq!(translate_frame(&rna, 0), protein);
+        }
+    }
+
+    #[test]
+    fn organisms_prefer_different_codons() {
+        // Arg: human favours CGG/AGA-ish, E. coli strongly CGC/CGU.
+        let human = CodonUsage::human().most_likely_codon(AminoAcid::Arg);
+        let ecoli = CodonUsage::e_coli().most_likely_codon(AminoAcid::Arg);
+        assert_ne!(human, ecoli);
+        assert_eq!(ecoli.to_string(), "CGC");
+    }
+
+    #[test]
+    fn sampling_matches_fractions() {
+        let usage = CodonUsage::human();
+        let mut rng = StdRng::seed_from_u64(0xC0F);
+        let n = 20_000;
+        let mut cag = 0usize;
+        for _ in 0..n {
+            if usage.sample_codon(AminoAcid::Gln, &mut rng).to_string() == "CAG" {
+                cag += 1;
+            }
+        }
+        let share = cag as f64 / n as f64;
+        assert!((share - 0.73).abs() < 0.02, "CAG share {share}");
+    }
+
+    #[test]
+    fn from_weights_renormalises() {
+        let usage = CodonUsage::from_weights("test", &[("UUU", 3.0), ("UUC", 1.0)]);
+        let uuu = Codon::from_str_strict("UUU").unwrap();
+        assert!((usage.fraction(uuu) - 0.75).abs() < 1e-12);
+        // Unlisted amino acids stay uniform.
+        let aug = Codon::from_str_strict("AUG").unwrap();
+        assert!((usage.fraction(aug) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative codon weight")]
+    fn negative_weight_panics() {
+        let _ = CodonUsage::from_weights("bad", &[("UUU", -1.0)]);
+    }
+
+    #[test]
+    fn uniform_is_default() {
+        assert_eq!(CodonUsage::default(), CodonUsage::uniform());
+    }
+}

@@ -1,0 +1,269 @@
+//! Minimal FASTA reading and writing.
+//!
+//! The paper's workloads come from the NCBI protein (`nr`) and nucleotide
+//! (`nt`) FASTA databases; this module lets the examples and benchmark
+//! harness load real FASTA files when available and write the synthetic
+//! databases they generate.
+
+use crate::alphabet::ParseSymbolError;
+use crate::seq::{DnaSeq, ProteinSeq, RnaSeq};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::str::FromStr;
+
+/// One FASTA record: a header line and the raw residue text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Record {
+    /// Identifier: the header up to the first whitespace (without `>`).
+    pub id: String,
+    /// Remainder of the header line after the identifier.
+    pub description: String,
+    /// Concatenated sequence lines (whitespace removed), unparsed.
+    pub sequence: String,
+}
+
+impl Record {
+    /// Creates a record from an identifier and sequence text.
+    pub fn new(id: impl Into<String>, sequence: impl Into<String>) -> Record {
+        Record {
+            id: id.into(),
+            description: String::new(),
+            sequence: sequence.into(),
+        }
+    }
+
+    /// Parses the sequence text as a given sequence type.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the symbol error of the target alphabet.
+    pub fn parse_as<S: FromStr<Err = ParseSymbolError>>(&self) -> Result<S, ParseSymbolError> {
+        self.sequence.parse()
+    }
+}
+
+/// Errors produced while reading FASTA.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Sequence data appeared before any `>` header.
+    MissingHeader {
+        /// 1-based line number of the offending line.
+        line: usize,
+    },
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "fasta i/o error: {e}"),
+            FastaError::MissingHeader { line } => {
+                write!(f, "sequence data before first '>' header at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FastaError::Io(e) => Some(e),
+            FastaError::MissingHeader { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> FastaError {
+        FastaError::Io(e)
+    }
+}
+
+/// Reads all FASTA records from `reader`.
+///
+/// Blank lines are ignored; `;` comment lines (an old FASTA dialect) are
+/// skipped. A `&mut R` can be passed for readers you want to keep.
+///
+/// # Errors
+///
+/// Returns [`FastaError`] on I/O failure or malformed structure.
+///
+/// # Examples
+///
+/// ```
+/// use fabp_bio::fasta::read_records;
+/// let text = ">q1 demo\nMFSR\nMK\n>q2\nACGT\n";
+/// let records = read_records(text.as_bytes())?;
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0].id, "q1");
+/// assert_eq!(records[0].sequence, "MFSRMK");
+/// # Ok::<(), fabp_bio::fasta::FastaError>(())
+/// ```
+pub fn read_records<R: Read>(reader: R) -> Result<Vec<Record>, FastaError> {
+    let buf = BufReader::new(reader);
+    let mut records: Vec<Record> = Vec::new();
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with(';') {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix('>') {
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").to_string();
+            let description = parts.next().unwrap_or("").trim().to_string();
+            records.push(Record {
+                id,
+                description,
+                sequence: String::new(),
+            });
+        } else {
+            let record = records
+                .last_mut()
+                .ok_or(FastaError::MissingHeader { line: idx + 1 })?;
+            record
+                .sequence
+                .extend(trimmed.chars().filter(|c| !c.is_whitespace()));
+        }
+    }
+    Ok(records)
+}
+
+/// Writes records in FASTA format, wrapping sequences at `width` columns.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_records<W: Write>(mut writer: W, records: &[Record], width: usize) -> io::Result<()> {
+    let width = width.max(1);
+    for record in records {
+        if record.description.is_empty() {
+            writeln!(writer, ">{}", record.id)?;
+        } else {
+            writeln!(writer, ">{} {}", record.id, record.description)?;
+        }
+        let bytes = record.sequence.as_bytes();
+        for chunk in bytes.chunks(width) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads and parses every record as a protein sequence.
+///
+/// # Errors
+///
+/// Returns the FASTA error or the first symbol that fails to parse
+/// (as a boxed error, since the two error types differ).
+pub fn read_proteins<R: Read>(
+    reader: R,
+) -> Result<Vec<(String, ProteinSeq)>, Box<dyn std::error::Error + Send + Sync>> {
+    read_typed(reader)
+}
+
+/// Reads and parses every record as a DNA sequence.
+///
+/// # Errors
+///
+/// See [`read_proteins`].
+pub fn read_dna<R: Read>(
+    reader: R,
+) -> Result<Vec<(String, DnaSeq)>, Box<dyn std::error::Error + Send + Sync>> {
+    read_typed(reader)
+}
+
+/// Reads and parses every record as an RNA sequence.
+///
+/// # Errors
+///
+/// See [`read_proteins`].
+pub fn read_rna<R: Read>(
+    reader: R,
+) -> Result<Vec<(String, RnaSeq)>, Box<dyn std::error::Error + Send + Sync>> {
+    read_typed(reader)
+}
+
+fn read_typed<R: Read, S: FromStr<Err = ParseSymbolError>>(
+    reader: R,
+) -> Result<Vec<(String, S)>, Box<dyn std::error::Error + Send + Sync>> {
+    let records = read_records(reader)?;
+    records
+        .into_iter()
+        .map(|r| Ok((r.id.clone(), r.parse_as::<S>()?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_text() {
+        let records = vec![
+            Record {
+                id: "a".into(),
+                description: "first record".into(),
+                sequence: "MFSRMKLV".into(),
+            },
+            Record::new("b", "ACGT"),
+        ];
+        let mut out = Vec::new();
+        write_records(&mut out, &records, 4).unwrap();
+        let parsed = read_records(out.as_slice()).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn wrapping_splits_lines() {
+        let records = vec![Record::new("x", "AAAAAAAAAA")];
+        let mut out = Vec::new();
+        write_records(&mut out, &records, 4).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, ">x\nAAAA\nAAAA\nAA\n");
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = read_records("ACGT\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, FastaError::MissingHeader { line: 1 }));
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "; comment\n\n>s\nAC\n; another\nGT\n\n";
+        let records = read_records(text.as_bytes()).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].sequence, "ACGT");
+    }
+
+    #[test]
+    fn typed_readers_parse_sequences() {
+        let proteins = read_proteins(">p\nMFW\n".as_bytes()).unwrap();
+        assert_eq!(proteins[0].1.to_string(), "MFW");
+        let dna = read_dna(">d\nACGT\n".as_bytes()).unwrap();
+        assert_eq!(dna[0].1.to_string(), "ACGT");
+        let rna = read_rna(">r\nACGU\n".as_bytes()).unwrap();
+        assert_eq!(rna[0].1.to_string(), "ACGU");
+    }
+
+    #[test]
+    fn typed_reader_propagates_symbol_errors() {
+        assert!(read_proteins(">p\nMF!\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_ok() {
+        assert!(read_records("".as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn header_without_description() {
+        let records = read_records(">only_id\nAC\n".as_bytes()).unwrap();
+        assert_eq!(records[0].id, "only_id");
+        assert!(records[0].description.is_empty());
+    }
+}

@@ -1,0 +1,362 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates on queries "randomly sampled from the NCBI protein
+//! database" and "1 GByte of reference sequences from the NCBI DNA
+//! Database" (§IV). Those databases are not redistributable here, so this
+//! module generates statistically comparable synthetic workloads:
+//! uniform/biased random sequences and — for accuracy experiments —
+//! reference databases with *planted* coding regions whose ground-truth
+//! positions are recorded.
+
+use crate::alphabet::{AminoAcid, Nucleotide};
+use crate::backtranslate::back_translate;
+use crate::codon::codons_of;
+use crate::mutate::{IndelModel, MutationSummary, SubstitutionModel};
+use crate::seq::{ProteinSeq, RnaSeq};
+use rand::Rng;
+
+/// Generates a uniform random RNA sequence of `len` bases.
+pub fn random_rna<R: Rng + ?Sized>(len: usize, rng: &mut R) -> RnaSeq {
+    (0..len)
+        .map(|_| Nucleotide::from_code2(rng.gen_range(0..4u8)))
+        .collect()
+}
+
+/// Generates a random RNA sequence with the given GC content in `[0, 1]`.
+pub fn random_rna_gc<R: Rng + ?Sized>(len: usize, gc: f64, rng: &mut R) -> RnaSeq {
+    let gc = gc.clamp(0.0, 1.0);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(gc) {
+                if rng.gen_bool(0.5) {
+                    Nucleotide::G
+                } else {
+                    Nucleotide::C
+                }
+            } else if rng.gen_bool(0.5) {
+                Nucleotide::A
+            } else {
+                Nucleotide::U
+            }
+        })
+        .collect()
+}
+
+/// Generates a random protein of `len` residues.
+///
+/// Residues are drawn with probability proportional to codon degeneracy —
+/// the distribution a uniformly random coding sequence induces — which is a
+/// reasonable stand-in for natural amino-acid frequencies. No Stop symbols
+/// are produced.
+pub fn random_protein<R: Rng + ?Sized>(len: usize, rng: &mut R) -> ProteinSeq {
+    // 61 coding codons; sample a codon uniformly and keep its amino acid.
+    (0..len)
+        .map(|_| loop {
+            let codon = crate::codon::Codon::from_index(rng.gen_range(0..64u8));
+            let aa = codon.translate();
+            if aa.is_standard() {
+                break aa;
+            }
+        })
+        .collect()
+}
+
+/// Generates a uniformly random protein (each of the 20 residues equally
+/// likely).
+pub fn random_protein_uniform<R: Rng + ?Sized>(len: usize, rng: &mut R) -> ProteinSeq {
+    (0..len)
+        .map(|_| AminoAcid::STANDARD[rng.gen_range(0..AminoAcid::STANDARD.len())])
+        .collect()
+}
+
+/// Picks, for every residue of `protein`, a uniformly random codon among
+/// those that translate to it — one concrete mRNA the protein could have
+/// originated from (the inverse of translation, used as ground truth when
+/// planting homologies).
+pub fn coding_rna_for<R: Rng + ?Sized>(protein: &ProteinSeq, rng: &mut R) -> RnaSeq {
+    let mut rna = RnaSeq::with_capacity(protein.len() * 3);
+    for &aa in protein {
+        let codons = codons_of(aa);
+        let codon = codons[rng.gen_range(0..codons.len())];
+        rna.extend(codon.0);
+    }
+    rna
+}
+
+/// Like [`coding_rna_for`], but draws only codons the paper's degenerate
+/// pattern accepts (i.e. excludes Serine's `AGU`/`AGC`). Useful to separate
+/// the Ser-representation accuracy loss from indel-related loss.
+pub fn coding_rna_for_paper_patterns<R: Rng + ?Sized>(protein: &ProteinSeq, rng: &mut R) -> RnaSeq {
+    let mut rna = RnaSeq::with_capacity(protein.len() * 3);
+    for &aa in protein {
+        let pattern = back_translate(aa);
+        let accepted = pattern.accepted_codons();
+        let codon = accepted[rng.gen_range(0..accepted.len())];
+        rna.extend(codon.0);
+    }
+    rna
+}
+
+/// Ground truth for one planted homologous region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlantedRegion {
+    /// Index of the query in the generator's query list.
+    pub query_index: usize,
+    /// Start position (bases) of the planted region in the reference.
+    pub position: usize,
+    /// Length in bases of the planted (possibly indel-shifted) region.
+    pub length: usize,
+    /// Mutations applied to the planted copy.
+    pub mutations: MutationSummary,
+}
+
+/// A synthetic reference database with planted homologies.
+#[derive(Debug, Clone)]
+pub struct PlantedDatabase {
+    /// The reference sequence (random background + planted regions).
+    pub reference: RnaSeq,
+    /// The protein queries whose coding sequences were planted.
+    pub queries: Vec<ProteinSeq>,
+    /// Ground-truth locations of every planted region.
+    pub regions: Vec<PlantedRegion>,
+}
+
+/// Configuration for [`PlantedDatabase::generate`].
+#[derive(Debug, Clone)]
+pub struct PlantedDatabaseConfig {
+    /// Total reference length in bases.
+    pub reference_len: usize,
+    /// Number of protein queries to sample and plant.
+    pub num_queries: usize,
+    /// Length of each protein query in residues.
+    pub query_len: usize,
+    /// Substitution model applied to each planted copy.
+    pub substitutions: SubstitutionModel,
+    /// Indel model applied to each planted copy.
+    pub indels: IndelModel,
+    /// When `true`, planted coding sequences avoid codons the paper's
+    /// patterns cannot express (Ser `AGU`/`AGC`).
+    pub paper_codons_only: bool,
+}
+
+impl Default for PlantedDatabaseConfig {
+    fn default() -> PlantedDatabaseConfig {
+        PlantedDatabaseConfig {
+            reference_len: 100_000,
+            num_queries: 16,
+            query_len: 50,
+            substitutions: SubstitutionModel::new(0.0),
+            indels: IndelModel::none(),
+            paper_codons_only: false,
+        }
+    }
+}
+
+impl PlantedDatabase {
+    /// Generates a random reference and plants one mutated coding copy of
+    /// each sampled query at non-overlapping random positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queries cannot fit in the reference
+    /// (`num_queries × (3 × query_len + slack)` must be ≤ `reference_len`).
+    pub fn generate<R: Rng + ?Sized>(
+        config: &PlantedDatabaseConfig,
+        rng: &mut R,
+    ) -> PlantedDatabase {
+        let coding_len = config.query_len * 3;
+        // Partition the reference into equal slots, one per query, and
+        // plant at a random offset inside each slot: non-overlapping by
+        // construction and near-uniform placement.
+        let slot = config
+            .reference_len
+            .checked_div(config.num_queries.max(1))
+            .unwrap_or(0);
+        assert!(
+            config.num_queries == 0 || slot >= coding_len + coding_len / 2 + 8,
+            "reference too short: slot {slot} cannot hold a {coding_len}-base region"
+        );
+
+        let mut reference = random_rna(config.reference_len, rng);
+        let mut queries = Vec::with_capacity(config.num_queries);
+        let mut regions = Vec::with_capacity(config.num_queries);
+
+        for qi in 0..config.num_queries {
+            let query = random_protein(config.query_len, rng);
+            let coding = if config.paper_codons_only {
+                coding_rna_for_paper_patterns(&query, rng)
+            } else {
+                coding_rna_for(&query, rng)
+            };
+            let (mutated, mut summary) = config.substitutions.mutate_rna(&coding, rng);
+            let (mutated, indel_summary) = config.indels.mutate_rna(&mutated, rng);
+            summary.merge(indel_summary);
+
+            let slot_start = qi * slot;
+            let max_offset = slot.saturating_sub(mutated.len()).max(1);
+            let position = slot_start + rng.gen_range(0..max_offset);
+            let mut bases: Vec<Nucleotide> = reference.as_slice().to_vec();
+            bases.splice(
+                position..(position + mutated.len()).min(bases.len()),
+                mutated.iter().copied(),
+            );
+            bases.truncate(config.reference_len);
+            reference = RnaSeq::from(bases);
+
+            regions.push(PlantedRegion {
+                query_index: qi,
+                position,
+                length: mutated.len(),
+                mutations: summary,
+            });
+            queries.push(query);
+        }
+
+        PlantedDatabase {
+            reference,
+            queries,
+            regions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backtranslate::BackTranslatedQuery;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBEEF)
+    }
+
+    #[test]
+    fn random_rna_has_requested_length() {
+        let mut rng = rng();
+        assert_eq!(random_rna(123, &mut rng).len(), 123);
+        assert!(random_rna(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn random_rna_is_roughly_uniform() {
+        let mut rng = rng();
+        let seq = random_rna(40_000, &mut rng);
+        for target in Nucleotide::ALL {
+            let share = seq.iter().filter(|&&n| n == target).count() as f64 / seq.len() as f64;
+            assert!((share - 0.25).abs() < 0.02, "{target}: {share}");
+        }
+    }
+
+    #[test]
+    fn gc_content_is_respected() {
+        let mut rng = rng();
+        let seq = random_rna_gc(40_000, 0.7, &mut rng);
+        let gc = seq
+            .iter()
+            .filter(|&&n| matches!(n, Nucleotide::G | Nucleotide::C))
+            .count() as f64
+            / seq.len() as f64;
+        assert!((gc - 0.7).abs() < 0.02, "gc {gc}");
+    }
+
+    #[test]
+    fn random_protein_is_stop_free() {
+        let mut rng = rng();
+        let p = random_protein(500, &mut rng);
+        assert_eq!(p.len(), 500);
+        assert!(p.is_stop_free());
+        let u = random_protein_uniform(500, &mut rng);
+        assert!(u.is_stop_free());
+    }
+
+    #[test]
+    fn coding_rna_translates_back_to_protein() {
+        let mut rng = rng();
+        let protein = random_protein(100, &mut rng);
+        let rna = coding_rna_for(&protein, &mut rng);
+        assert_eq!(crate::translate::translate_frame(&rna, 0), protein);
+    }
+
+    #[test]
+    fn paper_codon_rna_matches_patterns_perfectly() {
+        let mut rng = rng();
+        let protein = random_protein(200, &mut rng);
+        let rna = coding_rna_for_paper_patterns(&protein, &mut rng);
+        let bt = BackTranslatedQuery::from_protein(&protein);
+        assert_eq!(bt.score_window(rna.as_slice()), bt.len());
+    }
+
+    #[test]
+    fn planted_database_regions_are_where_claimed() {
+        let mut rng = rng();
+        let config = PlantedDatabaseConfig {
+            reference_len: 20_000,
+            num_queries: 8,
+            query_len: 30,
+            paper_codons_only: true,
+            ..PlantedDatabaseConfig::default()
+        };
+        let db = PlantedDatabase::generate(&config, &mut rng);
+        assert_eq!(db.queries.len(), 8);
+        assert_eq!(db.regions.len(), 8);
+        for region in &db.regions {
+            let bt = BackTranslatedQuery::from_protein(&db.queries[region.query_index]);
+            let window = &db.reference.as_slice()[region.position..region.position + region.length];
+            // No mutations configured: the planted copy matches perfectly.
+            assert_eq!(bt.score_window(window), bt.len());
+        }
+    }
+
+    #[test]
+    fn planted_regions_do_not_overlap() {
+        let mut rng = rng();
+        let config = PlantedDatabaseConfig {
+            reference_len: 50_000,
+            num_queries: 10,
+            query_len: 40,
+            ..PlantedDatabaseConfig::default()
+        };
+        let db = PlantedDatabase::generate(&config, &mut rng);
+        let mut spans: Vec<(usize, usize)> = db
+            .regions
+            .iter()
+            .map(|r| (r.position, r.position + r.length))
+            .collect();
+        spans.sort();
+        for pair in spans.windows(2) {
+            assert!(pair[0].1 <= pair[1].0, "regions overlap: {pair:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reference too short")]
+    fn planting_panics_when_reference_too_small() {
+        let mut rng = rng();
+        let config = PlantedDatabaseConfig {
+            reference_len: 100,
+            num_queries: 4,
+            query_len: 30,
+            ..PlantedDatabaseConfig::default()
+        };
+        let _ = PlantedDatabase::generate(&config, &mut rng);
+    }
+
+    #[test]
+    fn planted_database_with_mutations_tracks_summary() {
+        let mut rng = rng();
+        let config = PlantedDatabaseConfig {
+            reference_len: 40_000,
+            num_queries: 6,
+            query_len: 40,
+            substitutions: SubstitutionModel::new(0.05),
+            ..PlantedDatabaseConfig::default()
+        };
+        let db = PlantedDatabase::generate(&config, &mut rng);
+        let total_subs: usize = db.regions.iter().map(|r| r.mutations.substitutions).sum();
+        assert!(
+            total_subs > 0,
+            "5% substitution rate should mutate something"
+        );
+    }
+}

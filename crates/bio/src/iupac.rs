@@ -1,0 +1,289 @@
+//! IUPAC degenerate nucleotide codes.
+//!
+//! The standard nomenclature for "a position that can be several
+//! nucleotides" — the language bioinformatics tools speak. FabP's Type II
+//! conditions map onto IUPAC codes (`U/C = Y`, `A/G = R`, `G̅ = H`,
+//! `A/C = M`) and the paper's match-anything element `D` is IUPAC `N`
+//! (IUPAC's own `D` means "not C" — a naming collision worth surfacing,
+//! see `DESIGN.md`). This module provides the full 15-code alphabet plus
+//! conversions to/from FabP pattern elements where they exist.
+
+use crate::alphabet::{Nucleotide, ParseSymbolError};
+use crate::backtranslate::{DependentFn, MatchCondition, PatternElement};
+use std::fmt;
+
+/// A set of nucleotides encoded as a 4-bit mask (bit = `Nucleotide::code2`).
+///
+/// # Examples
+///
+/// ```
+/// use fabp_bio::iupac::IupacCode;
+/// use fabp_bio::alphabet::Nucleotide;
+///
+/// let y = IupacCode::from_char('Y')?; // pyrimidine: C or U
+/// assert!(y.contains(Nucleotide::C));
+/// assert!(!y.contains(Nucleotide::A));
+/// # Ok::<(), fabp_bio::alphabet::ParseSymbolError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IupacCode(u8);
+
+impl IupacCode {
+    /// Any nucleotide (`N`).
+    pub const N: IupacCode = IupacCode(0b1111);
+
+    /// Builds a code from a set mask (low four bits, bit index =
+    /// [`Nucleotide::code2`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask is empty (IUPAC has no empty code).
+    pub fn from_mask(mask: u8) -> IupacCode {
+        let mask = mask & 0b1111;
+        assert!(mask != 0, "IUPAC codes are non-empty sets");
+        IupacCode(mask)
+    }
+
+    /// The 4-bit membership mask.
+    pub fn mask(self) -> u8 {
+        self.0
+    }
+
+    /// Builds a code from the set of allowed nucleotides.
+    pub fn from_set(set: &[Nucleotide]) -> IupacCode {
+        let mut mask = 0u8;
+        for &n in set {
+            mask |= 1 << n.code2();
+        }
+        IupacCode::from_mask(mask)
+    }
+
+    /// Whether the code admits `n`.
+    pub fn contains(self, n: Nucleotide) -> bool {
+        self.0 & (1 << n.code2()) != 0
+    }
+
+    /// Number of admitted nucleotides (1–4).
+    pub fn cardinality(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// The admitted nucleotides in code order.
+    pub fn members(self) -> Vec<Nucleotide> {
+        Nucleotide::ALL
+            .into_iter()
+            .filter(|&n| self.contains(n))
+            .collect()
+    }
+
+    /// The one-letter IUPAC symbol.
+    pub fn to_char(self) -> char {
+        // Mask bit order: A=1, C=2, G=4, U=8.
+        match self.0 {
+            0b0001 => 'A',
+            0b0010 => 'C',
+            0b0100 => 'G',
+            0b1000 => 'U',
+            0b0011 => 'M', // A/C
+            0b0101 => 'R', // A/G
+            0b1001 => 'W', // A/U
+            0b0110 => 'S', // C/G
+            0b1010 => 'Y', // C/U
+            0b1100 => 'K', // G/U
+            0b0111 => 'V', // not U
+            0b1011 => 'H', // not G
+            0b1101 => 'D', // not C
+            0b1110 => 'B', // not A
+            _ => 'N',
+        }
+    }
+
+    /// Parses a one-letter IUPAC symbol (case-insensitive; `T` reads as
+    /// `U`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSymbolError`] for non-IUPAC characters.
+    pub fn from_char(c: char) -> Result<IupacCode, ParseSymbolError> {
+        let mask = match c.to_ascii_uppercase() {
+            'A' => 0b0001,
+            'C' => 0b0010,
+            'G' => 0b0100,
+            'U' | 'T' => 0b1000,
+            'M' => 0b0011,
+            'R' => 0b0101,
+            'W' => 0b1001,
+            'S' => 0b0110,
+            'Y' => 0b1010,
+            'K' => 0b1100,
+            'V' => 0b0111,
+            'H' => 0b1011,
+            'D' => 0b1101,
+            'B' => 0b1110,
+            'N' => 0b1111,
+            other => {
+                return Err(ParseSymbolError {
+                    found: other,
+                    alphabet: "IUPAC nucleotide",
+                })
+            }
+        };
+        Ok(IupacCode(mask))
+    }
+
+    /// Converts a FabP pattern element to its IUPAC code, when the element
+    /// is context-free (Type I, Type II, and the match-anything `D`).
+    /// Context-dependent elements (Leu/Arg/Stop functions) return `None` —
+    /// their accepted set varies with earlier reference elements.
+    pub fn from_pattern_element(element: PatternElement) -> Option<IupacCode> {
+        match element {
+            PatternElement::Exact(n) => Some(IupacCode::from_set(&[n])),
+            PatternElement::Conditional(c) => Some(IupacCode::from_condition(c)),
+            PatternElement::Dependent(DependentFn::Any) => Some(IupacCode::N),
+            PatternElement::Dependent(_) => None,
+        }
+    }
+
+    /// The IUPAC code of a Type II matching condition.
+    pub fn from_condition(condition: MatchCondition) -> IupacCode {
+        IupacCode::from_set(
+            &Nucleotide::ALL
+                .into_iter()
+                .filter(|&n| condition.matches(n))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Converts back to a pattern element when one exists: singletons map
+    /// to Type I, the four Type II condition sets to conditionals, `N` to
+    /// the `D` element. Other IUPAC codes (e.g. `W`, `S`) have no FabP
+    /// instruction and return `None` — exactly the paper's observation
+    /// that only five conditions occur in the codon table.
+    pub fn to_pattern_element(self) -> Option<PatternElement> {
+        if self.cardinality() == 1 {
+            return Some(PatternElement::Exact(self.members()[0]));
+        }
+        if self == IupacCode::N {
+            return Some(PatternElement::Dependent(DependentFn::Any));
+        }
+        MatchCondition::ALL
+            .into_iter()
+            .find(|&c| IupacCode::from_condition(c) == self)
+            .map(PatternElement::Conditional)
+    }
+}
+
+impl fmt::Display for IupacCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::AminoAcid;
+    use crate::backtranslate::back_translate;
+
+    #[test]
+    fn char_round_trip_all_fifteen_codes() {
+        for mask in 1u8..16 {
+            let code = IupacCode::from_mask(mask);
+            let parsed = IupacCode::from_char(code.to_char()).unwrap();
+            assert_eq!(parsed, code, "symbol {}", code.to_char());
+        }
+        assert!(IupacCode::from_char('X').is_err());
+    }
+
+    #[test]
+    fn membership_matches_semantics() {
+        let r = IupacCode::from_char('R').unwrap();
+        assert!(r.contains(Nucleotide::A) && r.contains(Nucleotide::G));
+        assert_eq!(r.cardinality(), 2);
+        assert_eq!(r.members(), vec![Nucleotide::A, Nucleotide::G]);
+    }
+
+    #[test]
+    fn conditions_map_to_expected_codes() {
+        assert_eq!(
+            IupacCode::from_condition(MatchCondition::PyrimidineUc).to_char(),
+            'Y'
+        );
+        assert_eq!(
+            IupacCode::from_condition(MatchCondition::PurineAg).to_char(),
+            'R'
+        );
+        assert_eq!(
+            IupacCode::from_condition(MatchCondition::NotG).to_char(),
+            'H'
+        );
+        assert_eq!(
+            IupacCode::from_condition(MatchCondition::AOrC).to_char(),
+            'M'
+        );
+    }
+
+    #[test]
+    fn papers_d_element_is_iupac_n() {
+        // The paper's "D represents all the four nucleotides" — IUPAC
+        // calls that N; IUPAC's own D is "not C".
+        let d = PatternElement::Dependent(DependentFn::Any);
+        assert_eq!(IupacCode::from_pattern_element(d).unwrap(), IupacCode::N);
+        assert_eq!(IupacCode::from_char('D').unwrap().to_char(), 'D');
+        assert_ne!(IupacCode::from_char('D').unwrap(), IupacCode::N);
+    }
+
+    #[test]
+    fn dependent_functions_have_no_static_code() {
+        for f in [DependentFn::Stop, DependentFn::Leu, DependentFn::Arg] {
+            assert_eq!(
+                IupacCode::from_pattern_element(PatternElement::Dependent(f)),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_element_round_trip_where_defined() {
+        for aa in AminoAcid::ALL {
+            for element in back_translate(aa).0 {
+                if let Some(code) = IupacCode::from_pattern_element(element) {
+                    let back = code.to_pattern_element().unwrap();
+                    // Semantically equal: same accepted nucleotide set in
+                    // context-free positions.
+                    for n in Nucleotide::ALL {
+                        assert_eq!(
+                            element.matches(n, Some(Nucleotide::A), Some(Nucleotide::A)),
+                            back.matches(n, Some(Nucleotide::A), Some(Nucleotide::A)),
+                            "{aa:?} element {element}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn codes_without_fabp_instruction_return_none() {
+        // W (A/U) and S (C/G) never occur in back-translation patterns.
+        assert_eq!(
+            IupacCode::from_char('W').unwrap().to_pattern_element(),
+            None
+        );
+        assert_eq!(
+            IupacCode::from_char('S').unwrap().to_pattern_element(),
+            None
+        );
+        // K (G/U) and B/V/D likewise.
+        assert_eq!(
+            IupacCode::from_char('K').unwrap().to_pattern_element(),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_mask_panics() {
+        let _ = IupacCode::from_mask(0);
+    }
+}

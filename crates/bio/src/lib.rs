@@ -1,0 +1,50 @@
+//! # fabp-bio — biological substrate for the FabP reproduction
+//!
+//! Alphabets, sequences, the standard genetic code, translation,
+//! back-translation into FabP's Type I/II/III degenerate patterns, FASTA
+//! I/O, mutation models and synthetic workload generators.
+//!
+//! This crate is the *golden model* of the reproduction: the bit-level
+//! layers in `fabp-encoding` and `fabp-fpga` are property-tested against
+//! the semantics defined here.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fabp_bio::prelude::*;
+//!
+//! let query: ProteinSeq = "MFSR*".parse()?;
+//! let bt = BackTranslatedQuery::from_protein(&query);
+//! assert_eq!(bt.len(), 15); // 3 elements per amino acid
+//!
+//! let reference: RnaSeq = "AUGUUCUCAAGAUAA".parse()?;
+//! assert_eq!(bt.score_window(reference.as_slice()), 15); // perfect hit
+//! # Ok::<(), fabp_bio::alphabet::ParseSymbolError>(())
+//! ```
+
+pub mod alphabet;
+pub mod backtranslate;
+pub mod blosum;
+pub mod codon;
+pub mod codon_usage;
+pub mod fasta;
+pub mod generate;
+pub mod iupac;
+pub mod mutate;
+pub mod orf;
+pub mod seq;
+pub mod stats;
+pub mod translate;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::alphabet::{AminoAcid, DnaNucleotide, Nucleotide};
+    pub use crate::backtranslate::{
+        back_translate, BackTranslatedQuery, BackTranslationMode, CodonPattern, DependentFn,
+        ElementType, MatchCondition, PatternElement,
+    };
+    pub use crate::codon::{codons_of, Codon};
+    pub use crate::codon_usage::CodonUsage;
+    pub use crate::seq::{DnaSeq, PackedSeq, ProteinSeq, RnaSeq};
+    pub use crate::translate::{translate_frame, translate_three_frames, Frame};
+}

@@ -1,0 +1,196 @@
+//! Open-reading-frame discovery.
+//!
+//! Protein-coding regions — the places where FabP hits are biologically
+//! meaningful — run from a start codon (`AUG`) to the first in-frame stop.
+//! ORF discovery lets examples and experiments restrict searches or
+//! cross-check hits against gene structure.
+
+use crate::alphabet::AminoAcid;
+use crate::codon::Codon;
+use crate::seq::{ProteinSeq, RnaSeq};
+
+/// One open reading frame on the forward strand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Orf {
+    /// Nucleotide position of the start codon's first base.
+    pub start: usize,
+    /// One past the stop codon's last base (or the last complete codon for
+    /// open-ended ORFs).
+    pub end: usize,
+    /// Reading frame offset (0, 1, 2).
+    pub frame: u8,
+    /// `true` when terminated by a stop codon (otherwise it ran off the
+    /// sequence end).
+    pub has_stop: bool,
+}
+
+impl Orf {
+    /// Length in nucleotides (including the stop codon when present).
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// ORFs are never shorter than a start codon.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Residue count of the encoded protein (start codon included, stop
+    /// excluded).
+    pub fn protein_len(&self) -> usize {
+        self.len() / 3 - usize::from(self.has_stop)
+    }
+
+    /// Extracts and translates the ORF's protein (stop excluded).
+    pub fn translate(&self, rna: &RnaSeq) -> ProteinSeq {
+        let coding = &rna.as_slice()[self.start..self.end];
+        coding
+            .chunks_exact(3)
+            .map(|c| Codon::new(c[0], c[1], c[2]).translate())
+            .filter(|aa| aa.is_standard())
+            .collect()
+    }
+}
+
+/// Finds every ORF of at least `min_protein_len` residues in all three
+/// forward frames.
+///
+/// An ORF starts at each `AUG` not already inside an ORF of the same frame
+/// and extends to the first in-frame stop codon (or the sequence end).
+///
+/// # Examples
+///
+/// ```
+/// use fabp_bio::orf::find_orfs;
+/// use fabp_bio::seq::RnaSeq;
+///
+/// let rna: RnaSeq = "GGAUGAAAUUUUAAGG".parse()?;
+/// let orfs = find_orfs(&rna, 2);
+/// assert_eq!(orfs.len(), 1);
+/// assert_eq!(orfs[0].start, 2);
+/// assert!(orfs[0].has_stop);
+/// # Ok::<(), fabp_bio::alphabet::ParseSymbolError>(())
+/// ```
+pub fn find_orfs(rna: &RnaSeq, min_protein_len: usize) -> Vec<Orf> {
+    let bases = rna.as_slice();
+    let mut orfs = Vec::new();
+    for frame in 0u8..3 {
+        let mut pos = frame as usize;
+        while pos + 3 <= bases.len() {
+            let codon = Codon::new(bases[pos], bases[pos + 1], bases[pos + 2]);
+            if codon.translate() != AminoAcid::Met {
+                pos += 3;
+                continue;
+            }
+            // Scan to the stop.
+            let start = pos;
+            let mut end = pos;
+            let mut has_stop = false;
+            let mut scan = pos;
+            while scan + 3 <= bases.len() {
+                let c = Codon::new(bases[scan], bases[scan + 1], bases[scan + 2]);
+                scan += 3;
+                end = scan;
+                if c.translate() == AminoAcid::Stop {
+                    has_stop = true;
+                    break;
+                }
+            }
+            let orf = Orf {
+                start,
+                end,
+                frame,
+                has_stop,
+            };
+            if orf.protein_len() >= min_protein_len {
+                orfs.push(orf);
+            }
+            pos = end.max(pos + 3);
+        }
+    }
+    orfs.sort_by_key(|o| (o.start, o.frame));
+    orfs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{coding_rna_for, random_protein, random_rna};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn simple_orf_with_stop() {
+        let rna: RnaSeq = "AUGAAAUUUUAA".parse().unwrap();
+        let orfs = find_orfs(&rna, 1);
+        assert_eq!(orfs.len(), 1);
+        let orf = &orfs[0];
+        assert_eq!((orf.start, orf.end), (0, 12));
+        assert!(orf.has_stop);
+        assert_eq!(orf.protein_len(), 3);
+        assert_eq!(orf.translate(&rna).to_string(), "MKF");
+    }
+
+    #[test]
+    fn open_ended_orf() {
+        let rna: RnaSeq = "AUGAAAUUU".parse().unwrap();
+        let orfs = find_orfs(&rna, 1);
+        assert_eq!(orfs.len(), 1);
+        assert!(!orfs[0].has_stop);
+        assert_eq!(orfs[0].protein_len(), 3);
+    }
+
+    #[test]
+    fn min_length_filters() {
+        let rna: RnaSeq = "AUGUAA".parse().unwrap(); // M then stop
+        assert_eq!(find_orfs(&rna, 1).len(), 1);
+        assert!(find_orfs(&rna, 2).is_empty());
+    }
+
+    #[test]
+    fn orfs_in_all_frames() {
+        // Frame 1 ORF: pad with one base.
+        let rna: RnaSeq = "GAUGAAAUAA".parse().unwrap();
+        let orfs = find_orfs(&rna, 1);
+        assert_eq!(orfs.len(), 1);
+        assert_eq!(orfs[0].frame, 1);
+        assert_eq!(orfs[0].start, 1);
+    }
+
+    #[test]
+    fn nested_aug_is_absorbed() {
+        // AUG AUG AAA UAA: one ORF from the first AUG; the inner AUG must
+        // not spawn a second ORF in the same frame.
+        let rna: RnaSeq = "AUGAUGAAAUAA".parse().unwrap();
+        let orfs = find_orfs(&rna, 1);
+        assert_eq!(orfs.len(), 1);
+        assert_eq!(orfs[0].start, 0);
+    }
+
+    #[test]
+    fn planted_gene_is_recovered() {
+        let mut rng = StdRng::seed_from_u64(0x0F);
+        let mut protein: ProteinSeq = "M".parse().unwrap();
+        protein.extend(random_protein(30, &mut rng).iter().copied());
+        let mut coding = coding_rna_for(&protein, &mut rng);
+        coding.extend("UAA".parse::<RnaSeq>().unwrap().iter().copied());
+
+        let mut bases = random_rna(300, &mut rng).into_inner();
+        // Clear stray AUGs upstream in the planting frame for determinism:
+        // plant at a frame-0 position.
+        bases.splice(99..99 + coding.len(), coding.iter().copied());
+        let rna = RnaSeq::from(bases);
+        let orfs = find_orfs(&rna, 25);
+        assert!(
+            orfs.iter()
+                .any(|o| o.start == 99 && o.has_stop && o.translate(&rna) == protein),
+            "planted ORF not recovered: {orfs:?}"
+        );
+    }
+
+    #[test]
+    fn no_aug_no_orfs() {
+        let rna: RnaSeq = "CCCCCCCCCCCC".parse().unwrap();
+        assert!(find_orfs(&rna, 1).is_empty());
+    }
+}

@@ -1,0 +1,459 @@
+//! Owned sequence types over the biological alphabets.
+//!
+//! [`RnaSeq`], [`DnaSeq`] and [`ProteinSeq`] are thin, invariant-preserving
+//! wrappers around `Vec` of the respective symbols. [`PackedSeq`] stores an
+//! RNA sequence 2 bits per base — the representation FabP streams from the
+//! FPGA DRAM (256 bases per 512-bit AXI beat, paper §III-C).
+
+use crate::alphabet::{AminoAcid, DnaNucleotide, Nucleotide, ParseSymbolError};
+use std::fmt;
+use std::str::FromStr;
+
+macro_rules! seq_newtype {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $elem:ty, $alphabet:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+        pub struct $name(Vec<$elem>);
+
+        impl $name {
+            /// Creates an empty sequence.
+            pub fn new() -> $name {
+                $name(Vec::new())
+            }
+
+            /// Creates an empty sequence with room for `capacity` symbols.
+            pub fn with_capacity(capacity: usize) -> $name {
+                $name(Vec::with_capacity(capacity))
+            }
+
+            /// Number of symbols in the sequence.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// `true` when the sequence holds no symbols.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Borrow the symbols as a slice.
+            pub fn as_slice(&self) -> &[$elem] {
+                &self.0
+            }
+
+            /// Appends one symbol.
+            pub fn push(&mut self, symbol: $elem) {
+                self.0.push(symbol);
+            }
+
+            /// Iterates over the symbols.
+            pub fn iter(&self) -> std::slice::Iter<'_, $elem> {
+                self.0.iter()
+            }
+
+            /// Consumes the sequence, returning the underlying vector.
+            pub fn into_inner(self) -> Vec<$elem> {
+                self.0
+            }
+        }
+
+        impl From<Vec<$elem>> for $name {
+            fn from(v: Vec<$elem>) -> $name {
+                $name(v)
+            }
+        }
+
+        impl FromIterator<$elem> for $name {
+            fn from_iter<I: IntoIterator<Item = $elem>>(iter: I) -> $name {
+                $name(iter.into_iter().collect())
+            }
+        }
+
+        impl Extend<$elem> for $name {
+            fn extend<I: IntoIterator<Item = $elem>>(&mut self, iter: I) {
+                self.0.extend(iter);
+            }
+        }
+
+        impl std::ops::Index<usize> for $name {
+            type Output = $elem;
+
+            fn index(&self, idx: usize) -> &$elem {
+                &self.0[idx]
+            }
+        }
+
+        impl AsRef<[$elem]> for $name {
+            fn as_ref(&self) -> &[$elem] {
+                &self.0
+            }
+        }
+
+        impl<'a> IntoIterator for &'a $name {
+            type Item = &'a $elem;
+            type IntoIter = std::slice::Iter<'a, $elem>;
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.iter()
+            }
+        }
+
+        impl IntoIterator for $name {
+            type Item = $elem;
+            type IntoIter = std::vec::IntoIter<$elem>;
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                for symbol in &self.0 {
+                    write!(f, "{}", symbol)?;
+                }
+                Ok(())
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = ParseSymbolError;
+
+            fn from_str(s: &str) -> Result<$name, ParseSymbolError> {
+                s.chars()
+                    .filter(|c| !c.is_whitespace())
+                    .map(<$elem>::try_from)
+                    .collect()
+            }
+        }
+    };
+}
+
+seq_newtype!(
+    /// An owned RNA sequence (string over `{A, C, G, U}`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fabp_bio::seq::RnaSeq;
+    /// let seq: RnaSeq = "AUGUUU".parse()?;
+    /// assert_eq!(seq.len(), 6);
+    /// # Ok::<(), fabp_bio::alphabet::ParseSymbolError>(())
+    /// ```
+    RnaSeq,
+    Nucleotide,
+    "RNA"
+);
+
+seq_newtype!(
+    /// An owned DNA sequence (string over `{A, C, G, T}`).
+    DnaSeq,
+    DnaNucleotide,
+    "DNA"
+);
+
+seq_newtype!(
+    /// An owned protein sequence (string over the 20 amino acids + `*`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fabp_bio::seq::ProteinSeq;
+    /// let q: ProteinSeq = "MFSR*".parse()?;
+    /// assert_eq!(q.len(), 5);
+    /// # Ok::<(), fabp_bio::alphabet::ParseSymbolError>(())
+    /// ```
+    ProteinSeq,
+    AminoAcid,
+    "protein"
+);
+
+impl RnaSeq {
+    /// Converts to DNA by the `U → T` substitution.
+    pub fn to_dna(&self) -> DnaSeq {
+        self.iter().map(|&n| DnaNucleotide::from_rna(n)).collect()
+    }
+
+    /// Reverse complement of the sequence.
+    pub fn reverse_complement(&self) -> RnaSeq {
+        self.iter().rev().map(|n| n.complement()).collect()
+    }
+}
+
+impl DnaSeq {
+    /// Converts to RNA by the `T → U` substitution (how FabP treats DNA
+    /// reference databases).
+    pub fn to_rna(&self) -> RnaSeq {
+        self.iter().map(|&n| n.to_rna()).collect()
+    }
+
+    /// Reverse complement of the sequence.
+    pub fn reverse_complement(&self) -> DnaSeq {
+        self.iter().rev().map(|n| n.complement()).collect()
+    }
+}
+
+impl ProteinSeq {
+    /// `true` when no position is the Stop symbol.
+    pub fn is_stop_free(&self) -> bool {
+        self.iter().all(|aa| aa.is_standard())
+    }
+}
+
+/// An RNA sequence packed 2 bits per base, in hardware code order.
+///
+/// Base `i` occupies bits `2*(i mod 32)..2*(i mod 32)+2` of word `i / 32`,
+/// i.e. base 0 sits in the least-significant bits of word 0. A 512-bit AXI
+/// beat is therefore exactly eight consecutive words holding 256 bases
+/// (paper §III-C).
+///
+/// # Examples
+///
+/// ```
+/// use fabp_bio::seq::{PackedSeq, RnaSeq};
+/// let rna: RnaSeq = "ACGU".parse()?;
+/// let packed = PackedSeq::from_rna(&rna);
+/// assert_eq!(packed.len(), 4);
+/// assert_eq!(packed.to_rna(), rna);
+/// # Ok::<(), fabp_bio::alphabet::ParseSymbolError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct PackedSeq {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedSeq {
+    /// Bases stored per 64-bit word.
+    pub const BASES_PER_WORD: usize = 32;
+
+    /// Creates an empty packed sequence.
+    pub fn new() -> PackedSeq {
+        PackedSeq::default()
+    }
+
+    /// Packs an RNA sequence.
+    pub fn from_rna(seq: &RnaSeq) -> PackedSeq {
+        let mut packed = PackedSeq::with_capacity(seq.len());
+        for &base in seq {
+            packed.push(base);
+        }
+        packed
+    }
+
+    /// Packs a DNA sequence (treating `T` as `U`).
+    pub fn from_dna(seq: &DnaSeq) -> PackedSeq {
+        let mut packed = PackedSeq::with_capacity(seq.len());
+        for &base in seq {
+            packed.push(base.to_rna());
+        }
+        packed
+    }
+
+    /// Creates an empty packed sequence with room for `bases` bases.
+    pub fn with_capacity(bases: usize) -> PackedSeq {
+        PackedSeq {
+            words: Vec::with_capacity(bases.div_ceil(Self::BASES_PER_WORD)),
+            len: 0,
+        }
+    }
+
+    /// Number of bases stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no bases are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one base.
+    pub fn push(&mut self, base: Nucleotide) {
+        let bit = 2 * (self.len % Self::BASES_PER_WORD);
+        if bit == 0 {
+            self.words.push(0);
+        }
+        let word = self.words.last_mut().expect("word allocated above");
+        *word |= (base.code2() as u64) << bit;
+        self.len += 1;
+    }
+
+    /// The base at position `index`.
+    ///
+    /// Returns `None` when `index >= self.len()`.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<Nucleotide> {
+        if index >= self.len {
+            return None;
+        }
+        Some(self.get_unchecked_internal(index))
+    }
+
+    #[inline]
+    fn get_unchecked_internal(&self, index: usize) -> Nucleotide {
+        let word = self.words[index / Self::BASES_PER_WORD];
+        let bit = 2 * (index % Self::BASES_PER_WORD);
+        Nucleotide::from_code2(((word >> bit) & 0b11) as u8)
+    }
+
+    /// The 2-bit hardware code at position `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[inline]
+    pub fn code_at(&self, index: usize) -> u8 {
+        assert!(index < self.len, "base index {index} out of range");
+        let word = self.words[index / Self::BASES_PER_WORD];
+        let bit = 2 * (index % Self::BASES_PER_WORD);
+        ((word >> bit) & 0b11) as u8
+    }
+
+    /// Borrow the underlying 64-bit words (base 0 in the LSBs of word 0).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates over the bases.
+    pub fn iter(&self) -> impl Iterator<Item = Nucleotide> + '_ {
+        (0..self.len).map(|i| self.get_unchecked_internal(i))
+    }
+
+    /// Unpacks into an owned [`RnaSeq`].
+    pub fn to_rna(&self) -> RnaSeq {
+        self.iter().collect()
+    }
+
+    /// Appends every base of `other` to `self`.
+    pub fn extend_from(&mut self, other: &PackedSeq) {
+        for base in other.iter() {
+            self.push(base);
+        }
+    }
+}
+
+impl FromIterator<Nucleotide> for PackedSeq {
+    fn from_iter<I: IntoIterator<Item = Nucleotide>>(iter: I) -> PackedSeq {
+        let mut packed = PackedSeq::new();
+        for base in iter {
+            packed.push(base);
+        }
+        packed
+    }
+}
+
+impl fmt::Display for PackedSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for base in self.iter() {
+            write!(f, "{base}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rna_parse_display_round_trip() {
+        let s = "AUGCUUACGGAU";
+        let seq: RnaSeq = s.parse().unwrap();
+        assert_eq!(seq.to_string(), s);
+        assert_eq!(seq.len(), s.len());
+    }
+
+    #[test]
+    fn rna_parse_skips_whitespace_and_accepts_t() {
+        let seq: RnaSeq = "AUG\nCT T".parse().unwrap();
+        assert_eq!(seq.to_string(), "AUGCUU");
+    }
+
+    #[test]
+    fn rna_parse_rejects_garbage() {
+        assert!("AUGX".parse::<RnaSeq>().is_err());
+    }
+
+    #[test]
+    fn protein_parse_round_trip() {
+        let s = "MFSR*";
+        let seq: ProteinSeq = s.parse().unwrap();
+        assert_eq!(seq.to_string(), s);
+        assert!(!seq.is_stop_free());
+        let clean: ProteinSeq = "MFSR".parse().unwrap();
+        assert!(clean.is_stop_free());
+    }
+
+    #[test]
+    fn dna_rna_conversion_round_trip() {
+        let dna: DnaSeq = "ACGTTTGA".parse().unwrap();
+        assert_eq!(dna.to_rna().to_dna(), dna);
+        assert_eq!(dna.to_rna().to_string(), "ACGUUUGA");
+    }
+
+    #[test]
+    fn reverse_complement_involution() {
+        let rna: RnaSeq = "AUGCUUACG".parse().unwrap();
+        assert_eq!(rna.reverse_complement().reverse_complement(), rna);
+        let dna: DnaSeq = "ACGT".parse().unwrap();
+        assert_eq!(dna.reverse_complement().to_string(), "ACGT");
+    }
+
+    #[test]
+    fn packed_round_trip_various_lengths() {
+        for len in [0usize, 1, 31, 32, 33, 63, 64, 65, 255, 256, 1000] {
+            let rna: RnaSeq = (0..len)
+                .map(|i| Nucleotide::from_code2((i % 4) as u8))
+                .collect();
+            let packed = PackedSeq::from_rna(&rna);
+            assert_eq!(packed.len(), len);
+            assert_eq!(packed.to_rna(), rna);
+            assert_eq!(packed.words().len(), len.div_ceil(32));
+        }
+    }
+
+    #[test]
+    fn packed_bit_layout_is_lsb_first() {
+        let rna: RnaSeq = "UA".parse().unwrap(); // U=11 at bits 0..2, A=00 at 2..4
+        let packed = PackedSeq::from_rna(&rna);
+        assert_eq!(packed.words()[0], 0b0011);
+        assert_eq!(packed.code_at(0), 0b11);
+        assert_eq!(packed.code_at(1), 0b00);
+    }
+
+    #[test]
+    fn packed_get_bounds() {
+        let packed = PackedSeq::from_rna(&"ACG".parse().unwrap());
+        assert_eq!(packed.get(2), Some(Nucleotide::G));
+        assert_eq!(packed.get(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn packed_code_at_panics_out_of_range() {
+        let packed = PackedSeq::from_rna(&"ACG".parse().unwrap());
+        let _ = packed.code_at(3);
+    }
+
+    #[test]
+    fn packed_extend_from() {
+        let mut a = PackedSeq::from_rna(&"ACG".parse().unwrap());
+        let b = PackedSeq::from_rna(&"UUA".parse().unwrap());
+        a.extend_from(&b);
+        assert_eq!(a.to_rna().to_string(), "ACGUUA");
+    }
+
+    #[test]
+    fn seq_collect_and_extend() {
+        let mut seq: RnaSeq = [Nucleotide::A, Nucleotide::C].into_iter().collect();
+        seq.extend([Nucleotide::G]);
+        assert_eq!(seq.to_string(), "ACG");
+        assert_eq!(seq[1], Nucleotide::C);
+    }
+}

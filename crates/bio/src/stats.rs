@@ -1,0 +1,136 @@
+//! Sequence statistics: composition, GC content, k-mer entropy.
+//!
+//! Used by the workload generators' tests (synthetic references should be
+//! statistically unremarkable) and by examples to sanity-check inputs.
+
+use crate::alphabet::Nucleotide;
+use crate::seq::RnaSeq;
+
+/// Nucleotide composition of a sequence.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Composition {
+    /// Count per nucleotide, indexed by [`Nucleotide::code2`].
+    pub counts: [usize; 4],
+}
+
+impl Composition {
+    /// Computes the composition of a sequence.
+    pub fn of(seq: &RnaSeq) -> Composition {
+        let mut counts = [0usize; 4];
+        for &base in seq {
+            counts[base.code2() as usize] += 1;
+        }
+        Composition { counts }
+    }
+
+    /// Total bases counted.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of a given nucleotide (0 for empty sequences).
+    pub fn fraction(&self, base: Nucleotide) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[base.code2() as usize] as f64 / total as f64
+        }
+    }
+
+    /// GC content in `[0, 1]`.
+    pub fn gc_content(&self) -> f64 {
+        self.fraction(Nucleotide::G) + self.fraction(Nucleotide::C)
+    }
+}
+
+/// Shannon entropy (bits per symbol) of the k-mer distribution of a
+/// sequence. Uniform random RNA approaches `2k` bits; repetitive or biased
+/// sequences score lower.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 16` (k-mers are packed 2 bits each into a
+/// `u32`).
+pub fn kmer_entropy(seq: &RnaSeq, k: usize) -> f64 {
+    assert!((1..=16).contains(&k), "k must be in 1..=16");
+    if seq.len() < k {
+        return 0.0;
+    }
+    let mask: u32 = if k == 16 {
+        u32::MAX
+    } else {
+        (1u32 << (2 * k)) - 1
+    };
+    let mut counts = std::collections::HashMap::new();
+    let mut kmer: u32 = 0;
+    for (i, &base) in seq.iter().enumerate() {
+        kmer = ((kmer << 2) | u32::from(base.code2())) & mask;
+        if i + 1 >= k {
+            *counts.entry(kmer).or_insert(0usize) += 1;
+        }
+    }
+    let total = (seq.len() - k + 1) as f64;
+    -counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / total;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_rna;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn composition_counts() {
+        let seq: RnaSeq = "AACGGGUU".parse().unwrap();
+        let c = Composition::of(&seq);
+        assert_eq!(c.counts, [2, 1, 3, 2]);
+        assert_eq!(c.total(), 8);
+        assert!((c.fraction(Nucleotide::G) - 0.375).abs() < 1e-12);
+        assert!((c.gc_content() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sequence_composition() {
+        let c = Composition::of(&RnaSeq::new());
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.fraction(Nucleotide::A), 0.0);
+    }
+
+    #[test]
+    fn random_rna_entropy_is_near_maximal() {
+        let mut rng = StdRng::seed_from_u64(0x57A7);
+        let seq = random_rna(100_000, &mut rng);
+        let h1 = kmer_entropy(&seq, 1);
+        assert!((h1 - 2.0).abs() < 0.01, "1-mer entropy {h1}");
+        let h3 = kmer_entropy(&seq, 3);
+        assert!((h3 - 6.0).abs() < 0.05, "3-mer entropy {h3}");
+    }
+
+    #[test]
+    fn repetitive_sequence_entropy_is_low() {
+        let seq: RnaSeq = "ACACACACACACACAC".parse().unwrap();
+        assert!((kmer_entropy(&seq, 1) - 1.0).abs() < 1e-9);
+        // Only two distinct 2-mers: AC and CA.
+        assert!(kmer_entropy(&seq, 2) < 1.01);
+    }
+
+    #[test]
+    fn short_sequence_entropy_is_zero() {
+        let seq: RnaSeq = "AC".parse().unwrap();
+        assert_eq!(kmer_entropy(&seq, 3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn entropy_rejects_zero_k() {
+        let _ = kmer_entropy(&RnaSeq::new(), 0);
+    }
+}

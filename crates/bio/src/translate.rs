@@ -1,0 +1,201 @@
+//! Forward translation: nucleotide sequences → protein, in one or many
+//! reading frames.
+//!
+//! TBLASTN (the paper's CPU baseline) "translates the reference sequences to
+//! proteins and then aligns the query with the translated reference
+//! sequence" (§II). For a single-stranded RNA reference that means the three
+//! forward reading frames; for double-stranded DNA it is six (three per
+//! strand).
+
+use crate::alphabet::Nucleotide;
+use crate::codon::Codon;
+use crate::seq::{DnaSeq, ProteinSeq, RnaSeq};
+
+/// Identifies a reading frame of a (possibly double-stranded) reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Frame {
+    /// Offset of the first codon within the (possibly reverse-complemented)
+    /// strand: 0, 1 or 2.
+    pub offset: u8,
+    /// `true` when the frame reads the reverse-complement strand.
+    pub reverse: bool,
+}
+
+impl Frame {
+    /// The three forward frames.
+    pub const FORWARD: [Frame; 3] = [
+        Frame {
+            offset: 0,
+            reverse: false,
+        },
+        Frame {
+            offset: 1,
+            reverse: false,
+        },
+        Frame {
+            offset: 2,
+            reverse: false,
+        },
+    ];
+
+    /// All six frames (forward then reverse).
+    pub const ALL_SIX: [Frame; 6] = [
+        Frame {
+            offset: 0,
+            reverse: false,
+        },
+        Frame {
+            offset: 1,
+            reverse: false,
+        },
+        Frame {
+            offset: 2,
+            reverse: false,
+        },
+        Frame {
+            offset: 0,
+            reverse: true,
+        },
+        Frame {
+            offset: 1,
+            reverse: true,
+        },
+        Frame {
+            offset: 2,
+            reverse: true,
+        },
+    ];
+
+    /// Maps a protein coordinate in this frame back to the nucleotide
+    /// coordinate (on the forward strand) of the codon's first base.
+    ///
+    /// `seq_len` is the nucleotide length of the reference.
+    pub fn to_nucleotide_pos(self, protein_pos: usize, seq_len: usize) -> usize {
+        let strand_pos = self.offset as usize + 3 * protein_pos;
+        if self.reverse {
+            // Position on the reverse strand maps to seq_len - 1 - strand_pos
+            // on the forward strand (codon start = highest coordinate).
+            seq_len - 1 - strand_pos
+        } else {
+            strand_pos
+        }
+    }
+}
+
+/// Translates an RNA sequence in a single forward frame starting at
+/// `offset` (0, 1 or 2). Trailing bases that do not fill a codon are
+/// dropped.
+///
+/// # Examples
+///
+/// ```
+/// use fabp_bio::seq::RnaSeq;
+/// use fabp_bio::translate::translate_frame;
+///
+/// let rna: RnaSeq = "AUGUUU".parse()?;
+/// assert_eq!(translate_frame(&rna, 0).to_string(), "MF");
+/// assert_eq!(translate_frame(&rna, 1).to_string(), "C"); // UGU
+/// # Ok::<(), fabp_bio::alphabet::ParseSymbolError>(())
+/// ```
+pub fn translate_frame(rna: &RnaSeq, offset: u8) -> ProteinSeq {
+    translate_slice(&rna.as_slice()[usize::from(offset).min(rna.len())..])
+}
+
+/// Translates a raw nucleotide slice codon-by-codon from its start.
+pub fn translate_slice(bases: &[Nucleotide]) -> ProteinSeq {
+    bases
+        .chunks_exact(3)
+        .map(|c| Codon::new(c[0], c[1], c[2]).translate())
+        .collect()
+}
+
+/// Translates all three forward frames of an RNA sequence.
+pub fn translate_three_frames(rna: &RnaSeq) -> [ProteinSeq; 3] {
+    [
+        translate_frame(rna, 0),
+        translate_frame(rna, 1),
+        translate_frame(rna, 2),
+    ]
+}
+
+/// Translates all six frames of a DNA sequence (three forward, three on the
+/// reverse complement).
+pub fn translate_six_frames(dna: &DnaSeq) -> [(Frame, ProteinSeq); 6] {
+    let fwd = dna.to_rna();
+    let rev = dna.reverse_complement().to_rna();
+    Frame::ALL_SIX.map(|frame| {
+        let strand = if frame.reverse { &rev } else { &fwd };
+        (frame, translate_frame(strand, frame.offset))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translate_basic_orf() {
+        let rna: RnaSeq = "AUGUUUUCUAGAUAA".parse().unwrap(); // M F S R *
+        assert_eq!(translate_frame(&rna, 0).to_string(), "MFSR*");
+    }
+
+    #[test]
+    fn translate_drops_partial_codon() {
+        let rna: RnaSeq = "AUGUU".parse().unwrap();
+        assert_eq!(translate_frame(&rna, 0).to_string(), "M");
+        assert_eq!(translate_frame(&rna, 2).to_string(), "V"); // GUU
+    }
+
+    #[test]
+    fn three_frames_have_expected_lengths() {
+        let rna: RnaSeq = "AUGUUUACG".parse().unwrap(); // 9 bases
+        let frames = translate_three_frames(&rna);
+        assert_eq!(frames[0].len(), 3);
+        assert_eq!(frames[1].len(), 2);
+        assert_eq!(frames[2].len(), 2);
+    }
+
+    #[test]
+    fn offset_beyond_length_is_empty() {
+        let rna: RnaSeq = "AU".parse().unwrap();
+        assert!(translate_frame(&rna, 2).is_empty());
+        assert!(translate_frame(&rna, 0).is_empty());
+    }
+
+    #[test]
+    fn six_frames_cover_reverse_strand() {
+        let dna: DnaSeq = "ATGAAA".parse().unwrap(); // fwd frame0: MK
+        let frames = translate_six_frames(&dna);
+        assert_eq!(frames[0].1.to_string(), "MK");
+        // reverse complement of ATGAAA is TTTCAT -> FH? TTT CAT = F H
+        assert_eq!(frames[3].1.to_string(), "FH");
+        assert!(frames[3].0.reverse);
+    }
+
+    #[test]
+    fn frame_coordinate_mapping_forward() {
+        let f = Frame {
+            offset: 1,
+            reverse: false,
+        };
+        assert_eq!(f.to_nucleotide_pos(0, 100), 1);
+        assert_eq!(f.to_nucleotide_pos(5, 100), 16);
+    }
+
+    #[test]
+    fn frame_coordinate_mapping_reverse() {
+        let f = Frame {
+            offset: 0,
+            reverse: true,
+        };
+        // First codon of the reverse strand starts at the last forward base.
+        assert_eq!(f.to_nucleotide_pos(0, 100), 99);
+        assert_eq!(f.to_nucleotide_pos(1, 100), 96);
+    }
+
+    #[test]
+    fn translate_slice_matches_frame() {
+        let rna: RnaSeq = "AUGGCUUAA".parse().unwrap();
+        assert_eq!(translate_slice(rna.as_slice()), translate_frame(&rna, 0));
+    }
+}

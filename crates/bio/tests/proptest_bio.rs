@@ -1,0 +1,127 @@
+//! Property-based tests for the biology substrate.
+
+use fabp_bio::alphabet::{AminoAcid, Nucleotide};
+use fabp_bio::backtranslate::BackTranslatedQuery;
+use fabp_bio::fasta::{read_records, write_records, Record};
+use fabp_bio::mutate::SubstitutionModel;
+use fabp_bio::seq::{PackedSeq, ProteinSeq, RnaSeq};
+use fabp_bio::translate::{translate_frame, translate_six_frames};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_rna(max_len: usize) -> impl Strategy<Value = RnaSeq> {
+    prop::collection::vec(0u8..4, 0..=max_len)
+        .prop_map(|v| v.into_iter().map(Nucleotide::from_code2).collect())
+}
+
+fn arb_protein(max_len: usize) -> impl Strategy<Value = ProteinSeq> {
+    prop::collection::vec(0usize..21, 1..=max_len)
+        .prop_map(|v| v.into_iter().map(|i| AminoAcid::ALL[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn packed_seq_round_trip(rna in arb_rna(2000)) {
+        let packed = PackedSeq::from_rna(&rna);
+        prop_assert_eq!(packed.len(), rna.len());
+        prop_assert_eq!(packed.to_rna(), rna);
+    }
+
+    #[test]
+    fn reverse_complement_is_involutive(rna in arb_rna(500)) {
+        prop_assert_eq!(rna.reverse_complement().reverse_complement(), rna);
+    }
+
+    #[test]
+    fn dna_rna_conversions_are_inverse(rna in arb_rna(500)) {
+        prop_assert_eq!(rna.to_dna().to_rna(), rna);
+    }
+
+    #[test]
+    fn sequence_parse_display_round_trip(rna in arb_rna(300)) {
+        let text = rna.to_string();
+        prop_assert_eq!(text.parse::<RnaSeq>().unwrap(), rna);
+    }
+
+    #[test]
+    fn coding_sequences_translate_back(protein in arb_protein(80), seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coding = fabp_bio::generate::coding_rna_for(&protein, &mut rng);
+        prop_assert_eq!(translate_frame(&coding, 0), protein);
+    }
+
+    #[test]
+    fn six_frame_translation_lengths(rna in arb_rna(200)) {
+        let dna = rna.to_dna();
+        for (frame, protein) in translate_six_frames(&dna) {
+            let usable = rna.len().saturating_sub(frame.offset as usize);
+            prop_assert_eq!(protein.len(), usable / 3);
+        }
+    }
+
+    #[test]
+    fn substitutions_preserve_length(
+        rna in arb_rna(400),
+        rate in 0.0f64..=1.0,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mutated, summary) = SubstitutionModel::new(rate).mutate_rna(&rna, &mut rng);
+        prop_assert_eq!(mutated.len(), rna.len());
+        let differing = rna
+            .iter()
+            .zip(mutated.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        prop_assert_eq!(differing, summary.substitutions);
+    }
+
+    #[test]
+    fn back_translation_length_is_three_per_residue(protein in arb_protein(100)) {
+        let bt = BackTranslatedQuery::from_protein(&protein);
+        prop_assert_eq!(bt.len(), protein.len() * 3);
+        let [t1, t2, t3] = bt.type_histogram();
+        prop_assert_eq!(t1 + t2 + t3, bt.len());
+    }
+
+    #[test]
+    fn fasta_round_trip(
+        sequences in prop::collection::vec("[ACGU]{1,80}", 1..6),
+        width in 1usize..100,
+    ) {
+        let records: Vec<Record> = sequences
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Record::new(format!("r{i}"), s.clone()))
+            .collect();
+        let mut bytes = Vec::new();
+        write_records(&mut bytes, &records, width).unwrap();
+        let parsed = read_records(bytes.as_slice()).unwrap();
+        prop_assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn gc_content_is_bounded(rna in arb_rna(500)) {
+        let gc = fabp_bio::stats::Composition::of(&rna).gc_content();
+        prop_assert!((0.0..=1.0).contains(&gc) || rna.is_empty());
+    }
+
+    #[test]
+    fn orfs_are_well_formed(rna in arb_rna(600)) {
+        for orf in fabp_bio::orf::find_orfs(&rna, 1) {
+            prop_assert!(orf.start < orf.end);
+            prop_assert!(orf.end <= rna.len());
+            prop_assert_eq!(orf.len() % 3, 0);
+            prop_assert_eq!((orf.start % 3) as u8, orf.frame);
+            // Starts with AUG.
+            let s = &rna.as_slice()[orf.start..orf.start + 3];
+            prop_assert_eq!(
+                fabp_bio::codon::Codon::new(s[0], s[1], s[2]).translate(),
+                AminoAcid::Met
+            );
+        }
+    }
+}

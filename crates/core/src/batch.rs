@@ -1,0 +1,160 @@
+//! Multi-query batch search.
+//!
+//! The paper evaluates 10 000 queries against one resident database
+//! (§IV-A). On hardware, queries are searched one after another (the query
+//! lives in flip-flops; reloading it is microseconds against a
+//! multi-millisecond scan); in software we additionally parallelise across
+//! queries.
+
+use crate::aligner::{BuildError, Engine, FabpAligner, SearchOutcome, Threshold};
+use fabp_bio::seq::{ProteinSeq, RnaSeq};
+
+/// Searches every query against the reference, returning one outcome per
+/// query (input order preserved).
+///
+/// `threads` parallelises across queries (each query's scan is serial, so
+/// total CPU use stays bounded).
+///
+/// # Errors
+///
+/// Returns the first [`BuildError`] encountered (e.g. an empty query).
+pub fn search_all(
+    queries: &[ProteinSeq],
+    reference: &RnaSeq,
+    threshold: Threshold,
+    threads: usize,
+) -> Result<Vec<SearchOutcome>, BuildError> {
+    // Build all aligners up front so errors surface before work starts.
+    let aligners = queries
+        .iter()
+        .map(|q| {
+            FabpAligner::builder()
+                .protein_query(q)
+                .threshold(threshold)
+                .engine(Engine::Software { threads: 1 })
+                .build()
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let threads = threads.max(1).min(aligners.len().max(1));
+    if threads <= 1 {
+        return Ok(aligners.iter().map(|a| a.search(reference)).collect());
+    }
+
+    let mut outcomes: Vec<Option<SearchOutcome>> = Vec::new();
+    outcomes.resize_with(aligners.len(), || None);
+    let chunk = aligners.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut rest = outcomes.as_mut_slice();
+        let mut offset = 0usize;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let aligners = &aligners;
+            let start = offset;
+            scope.spawn(move |_| {
+                for (i, slot) in head.iter_mut().enumerate() {
+                    *slot = Some(aligners[start + i].search(reference));
+                }
+            });
+            offset += take;
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    Ok(outcomes
+        .into_iter()
+        .map(|o| o.expect("every slot filled by a worker"))
+        .collect())
+}
+
+/// Summary of a batch run: how many queries produced at least one hit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Queries searched.
+    pub queries: usize,
+    /// Queries with ≥ 1 hit.
+    pub queries_with_hits: usize,
+    /// Total hits across all queries.
+    pub total_hits: usize,
+}
+
+/// Summarises batch outcomes.
+pub fn summarize(outcomes: &[SearchOutcome]) -> BatchSummary {
+    BatchSummary {
+        queries: outcomes.len(),
+        queries_with_hits: outcomes.iter().filter(|o| !o.hits.is_empty()).count(),
+        total_hits: outcomes.iter().map(|o| o.hits.len()).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_bio::generate::{PlantedDatabase, PlantedDatabaseConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batch_finds_every_planted_query() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let db = PlantedDatabase::generate(
+            &PlantedDatabaseConfig {
+                reference_len: 30_000,
+                num_queries: 8,
+                query_len: 25,
+                paper_codons_only: true,
+                ..PlantedDatabaseConfig::default()
+            },
+            &mut rng,
+        );
+        let outcomes = search_all(&db.queries, &db.reference, Threshold::Fraction(1.0), 4).unwrap();
+        assert_eq!(outcomes.len(), 8);
+        for (region, outcome) in db.regions.iter().zip(&outcomes) {
+            assert!(
+                outcome.hits.iter().any(|h| h.position == region.position),
+                "query {} missing its planted hit",
+                region.query_index
+            );
+        }
+        let summary = summarize(&outcomes);
+        assert_eq!(summary.queries_with_hits, 8);
+        assert!(summary.total_hits >= 8);
+    }
+
+    #[test]
+    fn serial_and_parallel_batches_agree() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let db = PlantedDatabase::generate(
+            &PlantedDatabaseConfig {
+                reference_len: 12_000,
+                num_queries: 5,
+                query_len: 20,
+                ..PlantedDatabaseConfig::default()
+            },
+            &mut rng,
+        );
+        let serial = search_all(&db.queries, &db.reference, Threshold::Fraction(0.85), 1).unwrap();
+        let parallel =
+            search_all(&db.queries, &db.reference, Threshold::Fraction(0.85), 8).unwrap();
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.hits, b.hits);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_ok() {
+        let reference: RnaSeq = "ACGU".parse().unwrap();
+        let outcomes = search_all(&[], &reference, Threshold::Absolute(0), 4).unwrap();
+        assert!(outcomes.is_empty());
+        assert_eq!(summarize(&outcomes).queries, 0);
+    }
+
+    #[test]
+    fn empty_query_in_batch_errors() {
+        let reference: RnaSeq = "ACGU".parse().unwrap();
+        let queries = vec![ProteinSeq::new()];
+        assert!(search_all(&queries, &reference, Threshold::Absolute(0), 1).is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! Bit-parallel (bit-sliced) software engine.
+//!
+//! The FPGA evaluates 256 alignment instances simultaneously — one match
+//! bit per (instance, element) — and reduces them with Pop-Counters. This
+//! engine is the same computation transposed onto 64-bit words:
+//!
+//! 1. For every *distinct* comparator truth table used by the query, one
+//!    pass over the reference produces a bitvector `W_t` with
+//!    `W_t[p] = t(ctx(p))` — the comparator array's output column.
+//! 2. A block of 64 alignment positions is scored by adding the `L_q`
+//!    shifted bitvector slices into vertical (bit-sliced) counters — the
+//!    Pop-Counter, carried out across 64 instances at once.
+//!
+//! Queries built from proteins qualify automatically (their dependent
+//! elements sit at codon position 2, so per-window and absolute context
+//! coincide); arbitrary element streams with early dependent elements are
+//! rejected at construction.
+
+use crate::hits::Hit;
+use fabp_bio::alphabet::Nucleotide;
+use fabp_bio::backtranslate::{DependentFn, PatternElement};
+use fabp_encoding::encoder::EncodedQuery;
+
+/// Score-counter planes: supports scores up to `2^10 − 1`, matching the
+/// hardware's 10-bit alignment score (§IV-B).
+const PLANES: usize = 10;
+
+/// Error for queries the bit-parallel engine cannot score.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedQuery {
+    /// Index of the offending element.
+    pub element_index: usize,
+}
+
+impl std::fmt::Display for UnsupportedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "context-dependent element at index {} (< 2) requires the scalar engine",
+            self.element_index
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedQuery {}
+
+/// The bit-parallel engine for one encoded query.
+#[derive(Debug, Clone)]
+pub struct BitParallelEngine {
+    /// Distinct fused tables used by the query.
+    tables: Vec<u64>,
+    /// Per query element: index into `tables`.
+    element_table: Vec<u16>,
+    query_len: usize,
+}
+
+impl BitParallelEngine {
+    /// Builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedQuery`] when a context-dependent element
+    /// appears at index 0 or 1 (impossible for protein-derived queries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query is empty.
+    pub fn new(query: &EncodedQuery) -> Result<BitParallelEngine, UnsupportedQuery> {
+        assert!(!query.is_empty(), "query must be non-empty");
+        let elements = query.decode();
+        let mut tables: Vec<u64> = Vec::new();
+        let mut element_table = Vec::with_capacity(elements.len());
+
+        for (i, &element) in elements.elements().iter().enumerate() {
+            if i < 2 {
+                if let PatternElement::Dependent(f) = element {
+                    if f != DependentFn::Any {
+                        return Err(UnsupportedQuery { element_index: i });
+                    }
+                }
+            }
+            // Fused 64-entry table over absolute context
+            // ctx = prev2 << 4 | prev1 << 2 | cur.
+            let mut table = 0u64;
+            for ctx in 0..64u8 {
+                let cur = Nucleotide::from_code2(ctx & 0b11);
+                let prev1 = Some(Nucleotide::from_code2((ctx >> 2) & 0b11));
+                let prev2 = Some(Nucleotide::from_code2((ctx >> 4) & 0b11));
+                if element.matches(cur, prev1, prev2) {
+                    table |= 1 << ctx;
+                }
+            }
+            let slot = match tables.iter().position(|&t| t == table) {
+                Some(slot) => slot,
+                None => {
+                    tables.push(table);
+                    tables.len() - 1
+                }
+            };
+            element_table.push(slot as u16);
+        }
+
+        Ok(BitParallelEngine {
+            tables,
+            element_table,
+            query_len: elements.len(),
+        })
+    }
+
+    /// Query length in elements.
+    pub fn query_len(&self) -> usize {
+        self.query_len
+    }
+
+    /// Number of distinct comparator tables (≤ 12 for protein queries).
+    pub fn distinct_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Scans the reference, reporting hits with `score >= threshold`.
+    pub fn search(&self, reference: &[Nucleotide], threshold: u32) -> Vec<Hit> {
+        let qlen = self.query_len;
+        if reference.len() < qlen {
+            return Vec::new();
+        }
+        let positions = reference.len() - qlen + 1;
+        let words = reference.len().div_ceil(64) + 2; // padding for shifts
+
+        // Pass 1: comparator output columns, one bitvector per distinct
+        // table: W_t[p] = table[ctx(p)].
+        let mut columns: Vec<Vec<u64>> = vec![vec![0u64; words]; self.tables.len()];
+        let mut ctx: u8 = 0;
+        for (p, &base) in reference.iter().enumerate() {
+            ctx = ((ctx << 2) | base.code2()) & 0b11_1111;
+            let word = p / 64;
+            let bit = p % 64;
+            for (t, &table) in self.tables.iter().enumerate() {
+                columns[t][word] |= u64::from((table >> ctx) & 1) << bit;
+            }
+        }
+
+        // Pass 2: vertical-counter accumulation, 64 positions per block.
+        let mut hits = Vec::new();
+        let mut block_base = 0usize;
+        while block_base < positions {
+            let valid = (positions - block_base).min(64);
+            let mut planes = [0u64; PLANES];
+            for (i, &slot) in self.element_table.iter().enumerate() {
+                let m = read_unaligned(&columns[slot as usize], block_base + i);
+                // Bit-sliced increment: add the match mask into the
+                // counters (ripple across planes).
+                let mut carry = m;
+                for plane in planes.iter_mut() {
+                    let t = *plane & carry;
+                    *plane ^= carry;
+                    carry = t;
+                    if carry == 0 {
+                        break;
+                    }
+                }
+            }
+            // Extract scores and threshold.
+            for j in 0..valid {
+                let mut score = 0u32;
+                for (b, plane) in planes.iter().enumerate() {
+                    score |= (((plane >> j) & 1) as u32) << b;
+                }
+                if score >= threshold {
+                    hits.push(Hit {
+                        position: block_base + j,
+                        score,
+                    });
+                }
+            }
+            block_base += 64;
+        }
+        hits
+    }
+}
+
+/// Reads 64 bits starting at bit offset `bit_pos` from a padded word
+/// vector.
+#[inline]
+fn read_unaligned(words: &[u64], bit_pos: usize) -> u64 {
+    let word = bit_pos / 64;
+    let off = bit_pos % 64;
+    if off == 0 {
+        words[word]
+    } else {
+        (words[word] >> off) | (words[word + 1] << (64 - off))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::software::SoftwareEngine;
+    use fabp_bio::backtranslate::BackTranslatedQuery;
+    use fabp_bio::generate::{random_protein, random_rna};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_scalar_engine_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(0xB17A);
+        for _ in 0..5 {
+            let protein = random_protein(20, &mut rng);
+            let query = EncodedQuery::from_protein(&protein);
+            let scalar = SoftwareEngine::new(&query);
+            let parallel = BitParallelEngine::new(&query).unwrap();
+            let reference = random_rna(5_000, &mut rng);
+            for threshold in [0u32, 30, 45, 60] {
+                assert_eq!(
+                    parallel.search(reference.as_slice(), threshold),
+                    scalar.search(reference.as_slice(), threshold),
+                    "threshold {threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_boundaries_are_exact() {
+        // References sized to hit 64-position block edges exactly.
+        let mut rng = StdRng::seed_from_u64(0xB17B);
+        let protein = random_protein(5, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        let scalar = SoftwareEngine::new(&query);
+        let parallel = BitParallelEngine::new(&query).unwrap();
+        for len in [15usize, 64, 78, 79, 128, 142, 143, 200] {
+            let reference = random_rna(len, &mut rng);
+            assert_eq!(
+                parallel.search(reference.as_slice(), 0),
+                scalar.search(reference.as_slice(), 0),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_table_count_is_small() {
+        let mut rng = StdRng::seed_from_u64(0xB17C);
+        let protein = random_protein(250, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        let engine = BitParallelEngine::new(&query).unwrap();
+        assert!(
+            engine.distinct_tables() <= 12,
+            "{} distinct tables",
+            engine.distinct_tables()
+        );
+    }
+
+    #[test]
+    fn early_dependent_element_is_rejected() {
+        use fabp_bio::backtranslate::{DependentFn, PatternElement};
+        let elements = vec![
+            PatternElement::Dependent(DependentFn::Leu),
+            PatternElement::Exact(Nucleotide::A),
+            PatternElement::Exact(Nucleotide::A),
+        ];
+        let query =
+            EncodedQuery::from_back_translated(&BackTranslatedQuery::from_elements(elements));
+        let err = BitParallelEngine::new(&query).unwrap_err();
+        assert_eq!(err.element_index, 0);
+        assert!(err.to_string().contains("scalar engine"));
+    }
+
+    #[test]
+    fn d_element_in_front_is_fine() {
+        use fabp_bio::backtranslate::{DependentFn, PatternElement};
+        let elements = vec![
+            PatternElement::Dependent(DependentFn::Any),
+            PatternElement::Exact(Nucleotide::G),
+        ];
+        let query =
+            EncodedQuery::from_back_translated(&BackTranslatedQuery::from_elements(elements));
+        let engine = BitParallelEngine::new(&query).unwrap();
+        let reference: fabp_bio::seq::RnaSeq = "UGAG".parse().unwrap();
+        let hits = engine.search(reference.as_slice(), 2);
+        // Windows: UG (D matches U, G ✓), GA (✗ second), AG (✓).
+        assert_eq!(
+            hits.iter().map(|h| h.position).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+    }
+
+    #[test]
+    fn short_reference_is_empty() {
+        let protein = "MKW".parse().unwrap();
+        let query = EncodedQuery::from_protein(&protein);
+        let engine = BitParallelEngine::new(&query).unwrap();
+        let reference = random_rna(5, &mut StdRng::seed_from_u64(1));
+        assert!(engine.search(reference.as_slice(), 0).is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Multi-FPGA scale-out model.
+//!
+//! The paper motivates FabP with cloud deployment: "Recent popularity of
+//! FPGAs as accelerators has led to widely deployment of FPGAs in data
+//! centers" (§I). This module models the natural scale-out: shard the
+//! reference database across `N` boards with resident shards, broadcast
+//! each query, and merge hits — the query-throughput configuration a
+//! sequencing centre would run.
+
+use crate::hits::Hit;
+use fabp_bio::seq::{PackedSeq, RnaSeq};
+use fabp_encoding::encoder::EncodedQuery;
+use fabp_fpga::engine::{EngineConfig, FabpEngine};
+use fabp_fpga::resources::PlanError;
+
+/// Splits `total_bases` into `nodes` contiguous shards, sizes differing by
+/// at most one base.
+///
+/// # Panics
+///
+/// Panics if `nodes == 0`.
+pub fn shard_database(total_bases: u64, nodes: usize) -> Vec<u64> {
+    assert!(nodes > 0, "a cluster needs at least one node");
+    let base = total_bases / nodes as u64;
+    let extra = (total_bases % nodes as u64) as usize;
+    (0..nodes).map(|i| base + u64::from(i < extra)).collect()
+}
+
+/// A modelled FPGA cluster with one engine per node.
+#[derive(Debug)]
+pub struct FpgaCluster {
+    engines: Vec<FabpEngine>,
+    shard_bases: Vec<u64>,
+}
+
+/// Timing summary of one broadcast query on the cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterTiming {
+    /// Slowest node's kernel time — the query latency, seconds.
+    pub latency_seconds: f64,
+    /// Aggregate queries/second with perfect query pipelining.
+    pub queries_per_second: f64,
+    /// Total board energy per query, joules (per-board power from the
+    /// activity model).
+    pub joules_per_query: f64,
+}
+
+impl FpgaCluster {
+    /// Builds a homogeneous cluster: `nodes` boards with `config`, the
+    /// database of `total_bases` nucleotides sharded evenly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failure (query too large for the device).
+    pub fn homogeneous(
+        query: &EncodedQuery,
+        config: &EngineConfig,
+        nodes: usize,
+        total_bases: u64,
+    ) -> Result<FpgaCluster, PlanError> {
+        let shard_bases = shard_database(total_bases, nodes);
+        let engines = (0..nodes)
+            .map(|_| FabpEngine::new(query.clone(), config.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FpgaCluster {
+            engines,
+            shard_bases,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Modelled timing of one broadcast query.
+    pub fn timing(&self) -> ClusterTiming {
+        let power_model = fabp_fpga::power_model::PowerModel::default();
+        let mut latency: f64 = 0.0;
+        let mut joules = 0.0;
+        for (engine, &bases) in self.engines.iter().zip(&self.shard_bases) {
+            let t = engine.model_kernel_seconds(bases.div_ceil(4));
+            latency = latency.max(t);
+            let watts = power_model
+                .power(engine.plan().resources, engine.config().device.clock_hz)
+                .total();
+            joules += watts * t;
+        }
+        ClusterTiming {
+            latency_seconds: latency,
+            queries_per_second: if latency > 0.0 { 1.0 / latency } else { 0.0 },
+            joules_per_query: joules,
+        }
+    }
+
+    /// Executes one query for real against in-memory shard data,
+    /// merging hits into global coordinates. `shards` must align with the
+    /// cluster's shard sizes and carry `query_len - 1` bases of overlap
+    /// handled by the caller via [`shard_with_overlap`].
+    pub fn search(&self, shards: &[RnaSeq], shard_offsets: &[usize]) -> Vec<Hit> {
+        assert_eq!(shards.len(), self.engines.len(), "shard count mismatch");
+        assert_eq!(shards.len(), shard_offsets.len());
+        let mut hits = Vec::new();
+        for ((engine, shard), &offset) in self.engines.iter().zip(shards).zip(shard_offsets) {
+            let run = engine.run(&PackedSeq::from_rna(shard));
+            hits.extend(run.hits.into_iter().map(|h| Hit {
+                position: h.position + offset,
+                score: h.score,
+            }));
+        }
+        hits.sort_by_key(|h| h.position);
+        hits.dedup();
+        hits
+    }
+}
+
+/// Splits a concrete reference into `nodes` shards with `overlap` bases of
+/// trailing context copied onto each shard (so windows straddling shard
+/// boundaries are evaluated by exactly one... at least one node). Returns
+/// `(shards, global offsets)`.
+pub fn shard_with_overlap(
+    reference: &RnaSeq,
+    nodes: usize,
+    overlap: usize,
+) -> (Vec<RnaSeq>, Vec<usize>) {
+    let sizes = shard_database(reference.len() as u64, nodes);
+    let mut shards = Vec::with_capacity(nodes);
+    let mut offsets = Vec::with_capacity(nodes);
+    let mut start = 0usize;
+    for size in sizes {
+        let end = ((start + size as usize) + overlap).min(reference.len());
+        shards.push(reference.as_slice()[start..end].iter().copied().collect());
+        offsets.push(start);
+        start += size as usize;
+    }
+    (shards, offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_bio::generate::{coding_rna_for_paper_patterns, random_protein, random_rna};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sharding_is_even_and_complete() {
+        let shards = shard_database(1_000_000_007, 8);
+        assert_eq!(shards.len(), 8);
+        assert_eq!(shards.iter().sum::<u64>(), 1_000_000_007);
+        let min = shards.iter().min().unwrap();
+        let max = shards.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn throughput_scales_with_nodes() {
+        let protein = random_protein(50, &mut StdRng::seed_from_u64(1));
+        let query = EncodedQuery::from_protein(&protein);
+        let config = EngineConfig::kintex7(140);
+        let single = FpgaCluster::homogeneous(&query, &config, 1, 1_000_000_000).unwrap();
+        let quad = FpgaCluster::homogeneous(&query, &config, 4, 1_000_000_000).unwrap();
+        let t1 = single.timing();
+        let t4 = quad.timing();
+        let scaling = t4.queries_per_second / t1.queries_per_second;
+        assert!(
+            (3.2..=4.0).contains(&scaling),
+            "4-node scaling {scaling:.2} (warm-up overhead bounds it below 4)"
+        );
+        // Energy per query stays in the same ballpark (same total work).
+        let ratio = t4.joules_per_query / t1.joules_per_query;
+        assert!((0.8..=1.6).contains(&ratio), "energy ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn cluster_search_finds_hits_across_shard_boundaries() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let protein = random_protein(10, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        let qlen = query.len();
+        let coding = coding_rna_for_paper_patterns(&protein, &mut rng);
+
+        // Reference of 4 shards of 500; plant one copy straddling the
+        // boundary at 1000 and one mid-shard.
+        let mut bases = random_rna(2_000, &mut rng).into_inner();
+        bases.splice(985..985 + coding.len(), coding.iter().copied());
+        bases.splice(300..300 + coding.len(), coding.iter().copied());
+        let reference = RnaSeq::from(bases);
+
+        let cluster = FpgaCluster::homogeneous(
+            &query,
+            &EngineConfig::kintex7(qlen as u32),
+            4,
+            reference.len() as u64,
+        )
+        .unwrap();
+        let (shards, offsets) = shard_with_overlap(&reference, 4, qlen - 1);
+        let hits = cluster.search(&shards, &offsets);
+        assert!(hits.iter().any(|h| h.position == 300), "{hits:?}");
+        assert!(
+            hits.iter().any(|h| h.position == 985),
+            "straddling hit: {hits:?}"
+        );
+
+        // Cross-check against a single-engine scan of the whole reference.
+        let single = FabpEngine::new(query, EngineConfig::kintex7(qlen as u32)).unwrap();
+        let expected = single.run(&PackedSeq::from_rna(&reference)).hits;
+        assert_eq!(hits, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        let _ = shard_database(100, 0);
+    }
+}

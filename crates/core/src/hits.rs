@@ -1,0 +1,143 @@
+//! Hit post-processing: merging, ranking and region extraction.
+//!
+//! FabP reports *every* alignment position above the threshold (§III-C), so
+//! a strong homology produces a cluster of overlapping hits around the true
+//! position. Downstream consumers usually want one region per homology —
+//! [`merge_overlapping`] — or the best few positions — [`top_k`].
+
+pub use fabp_fpga::engine::Hit;
+
+/// A maximal run of overlapping hits, merged into one reported region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HitRegion {
+    /// First hit position in the region.
+    pub start: usize,
+    /// One past the last covered reference element
+    /// (`last hit position + query_len`).
+    pub end: usize,
+    /// The best-scoring hit inside the region (ties: leftmost).
+    pub best: Hit,
+    /// Number of hits merged into the region.
+    pub hit_count: usize,
+}
+
+impl HitRegion {
+    /// Length of the region in reference elements.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Regions are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Merges position-sorted hits whose query windows overlap into
+/// [`HitRegion`]s.
+///
+/// Two hits overlap when their positions differ by less than `query_len`.
+///
+/// # Panics
+///
+/// Panics if `query_len == 0` or `hits` is not sorted by position.
+pub fn merge_overlapping(hits: &[Hit], query_len: usize) -> Vec<HitRegion> {
+    assert!(query_len > 0, "query_len must be positive");
+    let mut regions: Vec<HitRegion> = Vec::new();
+    let mut last_position = 0usize;
+    for &hit in hits {
+        assert!(
+            regions.is_empty() || hit.position >= last_position,
+            "hits must be sorted by position"
+        );
+        last_position = hit.position;
+        match regions.last_mut() {
+            Some(region) if hit.position < region.end => {
+                region.end = region.end.max(hit.position + query_len);
+                region.hit_count += 1;
+                if hit.score > region.best.score {
+                    region.best = hit;
+                }
+            }
+            _ => regions.push(HitRegion {
+                start: hit.position,
+                end: hit.position + query_len,
+                best: hit,
+                hit_count: 1,
+            }),
+        }
+    }
+    regions
+}
+
+/// The `k` best hits by score (ties: lower position first).
+pub fn top_k(hits: &[Hit], k: usize) -> Vec<Hit> {
+    let mut sorted: Vec<Hit> = hits.to_vec();
+    sorted.sort_by(|a, b| b.score.cmp(&a.score).then(a.position.cmp(&b.position)));
+    sorted.truncate(k);
+    sorted
+}
+
+/// The single best hit, if any (ties: lowest position).
+pub fn best_hit(hits: &[Hit]) -> Option<Hit> {
+    top_k(hits, 1).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(position: usize, score: u32) -> Hit {
+        Hit { position, score }
+    }
+
+    #[test]
+    fn merge_groups_overlapping_cluster() {
+        let hits = [hit(100, 50), hit(101, 58), hit(102, 52), hit(400, 55)];
+        let regions = merge_overlapping(&hits, 60);
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].start, 100);
+        assert_eq!(regions[0].end, 102 + 60);
+        assert_eq!(regions[0].best, hit(101, 58));
+        assert_eq!(regions[0].hit_count, 3);
+        assert_eq!(regions[1].hit_count, 1);
+        assert_eq!(regions[1].len(), 60);
+    }
+
+    #[test]
+    fn adjacent_but_disjoint_hits_stay_separate() {
+        let hits = [hit(0, 10), hit(60, 11)];
+        let regions = merge_overlapping(&hits, 60);
+        assert_eq!(regions.len(), 2);
+    }
+
+    #[test]
+    fn chained_overlaps_extend_the_region() {
+        // Each hit overlaps the next; the region spans all of them.
+        let hits = [hit(0, 10), hit(30, 11), hit(59, 12), hit(80, 13)];
+        let regions = merge_overlapping(&hits, 60);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].end, 140);
+        assert_eq!(regions[0].best.score, 13);
+    }
+
+    #[test]
+    fn empty_hits_give_empty_regions() {
+        assert!(merge_overlapping(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn top_k_orders_by_score_then_position() {
+        let hits = [hit(5, 10), hit(1, 20), hit(9, 20), hit(3, 15)];
+        let top = top_k(&hits, 3);
+        assert_eq!(top, vec![hit(1, 20), hit(9, 20), hit(3, 15)]);
+        assert_eq!(best_hit(&hits), Some(hit(1, 20)));
+        assert_eq!(best_hit(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn merge_rejects_zero_query_len() {
+        let _ = merge_overlapping(&[hit(0, 1)], 0);
+    }
+}

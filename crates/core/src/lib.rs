@@ -1,0 +1,47 @@
+//! # fabp-core — the FabP aligner public API
+//!
+//! The paper's primary contribution behind one façade: back-translate a
+//! protein query, encode it into 6-bit instructions, and scan DNA/RNA
+//! references for positions the protein could have been encoded at,
+//! scoring by element matches (substitution-only alignment, §III).
+//!
+//! * [`aligner::FabpAligner`] — builder API with software and
+//!   cycle-accurate execution engines (identical hits; the latter adds
+//!   cycle/bandwidth statistics from the `fabp-fpga` model).
+//! * [`hits`] — hit post-processing (region merging, top-k).
+//! * [`software`] — the fast functional engine (fused comparator tables,
+//!   early-exit threshold scan, multi-threaded).
+//! * [`host`] — end-to-end host pipeline timing per the paper's
+//!   measurement definition.
+//! * [`batch`] — multi-query search.
+//!
+//! ```
+//! use fabp_core::aligner::{FabpAligner, Threshold};
+//! use fabp_bio::seq::{ProteinSeq, RnaSeq};
+//!
+//! // Search for regions that could encode Met-Phe.
+//! let protein: ProteinSeq = "MF".parse()?;
+//! let aligner = FabpAligner::builder()
+//!     .protein_query(&protein)
+//!     .threshold(Threshold::Fraction(1.0))
+//!     .build()?;
+//! let reference: RnaSeq = "AAAUGUUCAA".parse()?;
+//! let outcome = aligner.search(&reference);
+//! assert_eq!(outcome.hits.len(), 1); // AUGUUC at position 2
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod aligner;
+pub mod batch;
+pub mod bitparallel;
+pub mod cluster;
+pub mod hits;
+pub mod host;
+pub mod software;
+pub mod streaming;
+
+pub use aligner::{BuildError, Engine, FabpAligner, SearchOutcome, Threshold};
+pub use bitparallel::BitParallelEngine;
+pub use hits::{best_hit, merge_overlapping, top_k, Hit, HitRegion};
+pub use software::SoftwareEngine;
+pub use streaming::StreamingAligner;

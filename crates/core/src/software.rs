@@ -1,0 +1,178 @@
+//! Fast functional FabP engine: the same scores as the hardware, at
+//! software speed.
+//!
+//! The software engine uses the fused comparator tables
+//! ([`fabp_encoding::fused::FusedScorer`]) with an early-exit threshold
+//! scan, optionally parallelised over reference chunks. It computes
+//! *exactly* the hits the cycle-level engine reports (property-tested),
+//! which makes paper-scale workloads (1 GB references) tractable without
+//! simulating cycles.
+
+use crate::hits::Hit;
+use fabp_bio::alphabet::Nucleotide;
+use fabp_encoding::encoder::EncodedQuery;
+use fabp_encoding::fused::FusedScorer;
+
+/// The fast software engine for one encoded query.
+#[derive(Debug, Clone)]
+pub struct SoftwareEngine {
+    fused: FusedScorer,
+    query_len: usize,
+}
+
+impl SoftwareEngine {
+    /// Builds the engine from an encoded query.
+    pub fn new(query: &EncodedQuery) -> SoftwareEngine {
+        SoftwareEngine {
+            fused: FusedScorer::build(&query.decode()),
+            query_len: query.len(),
+        }
+    }
+
+    /// Query length in elements.
+    pub fn query_len(&self) -> usize {
+        self.query_len
+    }
+
+    /// Scans `reference` serially, reporting hits with
+    /// `score >= threshold`.
+    pub fn search(&self, reference: &[Nucleotide], threshold: u32) -> Vec<Hit> {
+        self.search_range(reference, threshold, 0, usize::MAX)
+    }
+
+    /// Scans positions `start .. min(end, L_r − L_q + 1)`.
+    pub fn search_range(
+        &self,
+        reference: &[Nucleotide],
+        threshold: u32,
+        start: usize,
+        end: usize,
+    ) -> Vec<Hit> {
+        if self.query_len == 0 || reference.len() < self.query_len {
+            return Vec::new();
+        }
+        let limit = (reference.len() - self.query_len + 1).min(end);
+        let mut hits = Vec::new();
+        for position in start..limit {
+            if let Some(score) = self
+                .fused
+                .score_window_thresholded(&reference[position..], threshold)
+            {
+                hits.push(Hit { position, score });
+            }
+        }
+        hits
+    }
+
+    /// Parallel scan over `threads` workers. Hit set equals the serial
+    /// scan's.
+    pub fn search_parallel(
+        &self,
+        reference: &[Nucleotide],
+        threshold: u32,
+        threads: usize,
+    ) -> Vec<Hit> {
+        if self.query_len == 0 || reference.len() < self.query_len {
+            return Vec::new();
+        }
+        let positions = reference.len() - self.query_len + 1;
+        let threads = threads.max(1).min(positions);
+        if threads == 1 {
+            return self.search(reference, threshold);
+        }
+        let chunk = positions.div_ceil(threads);
+        let mut hits: Vec<Hit> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(positions);
+                if start >= end {
+                    break;
+                }
+                handles.push(
+                    scope.spawn(move |_| self.search_range(reference, threshold, start, end)),
+                );
+            }
+            for handle in handles {
+                hits.extend(handle.join().expect("search worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        hits.sort_by_key(|h| h.position);
+        hits
+    }
+
+    /// Raw scores at all positions (no threshold), for analysis workloads.
+    pub fn score_all(&self, reference: &[Nucleotide]) -> Vec<u32> {
+        self.fused.score_all_positions(reference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_bio::generate::{random_protein, random_rna};
+    use fabp_bio::seq::ProteinSeq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine(protein: &str) -> SoftwareEngine {
+        let protein: ProteinSeq = protein.parse().unwrap();
+        SoftwareEngine::new(&EncodedQuery::from_protein(&protein))
+    }
+
+    #[test]
+    fn serial_equals_bruteforce_threshold_filter() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let protein = random_protein(12, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        let eng = SoftwareEngine::new(&query);
+        let reference = random_rna(2_000, &mut rng);
+        for threshold in [0u32, 15, 25, 36] {
+            let hits = eng.search(reference.as_slice(), threshold);
+            let expected: Vec<Hit> = query
+                .score_all_positions(reference.as_slice())
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, s)| s as u32 >= threshold)
+                .map(|(position, score)| Hit {
+                    position,
+                    score: score as u32,
+                })
+                .collect();
+            assert_eq!(hits, expected, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let protein = random_protein(15, &mut rng);
+        let eng = SoftwareEngine::new(&EncodedQuery::from_protein(&protein));
+        let reference = random_rna(10_000, &mut rng);
+        let serial = eng.search(reference.as_slice(), 25);
+        let parallel = eng.search_parallel(reference.as_slice(), 25, 8);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn range_restricts_positions() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let eng = engine("MKWVF");
+        let reference = random_rna(1_000, &mut rng);
+        let all = eng.search(reference.as_slice(), 0);
+        let slice = eng.search_range(reference.as_slice(), 0, 100, 200);
+        assert_eq!(slice.len(), 100);
+        assert_eq!(&all[100..200], slice.as_slice());
+    }
+
+    #[test]
+    fn short_reference_yields_nothing() {
+        let eng = engine("MKWVF");
+        assert!(eng.search(&[], 0).is_empty());
+        let reference = random_rna(5, &mut StdRng::seed_from_u64(54));
+        assert!(eng.search(reference.as_slice(), 0).is_empty());
+        assert!(eng.search_parallel(reference.as_slice(), 0, 4).is_empty());
+    }
+}

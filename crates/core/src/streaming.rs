@@ -1,0 +1,190 @@
+//! Incremental (streaming) search: feed the reference in chunks.
+//!
+//! Mirrors the hardware's own consumption model — "FabP keeps the last
+//! `L_q` elements of the current Reference Stream buffer and concatenates
+//! it with the next incoming reference sequence" (§III-C) — at the API
+//! level, so gigabase FASTA files can be searched without materialising
+//! them in memory.
+
+use crate::hits::Hit;
+use crate::software::SoftwareEngine;
+use fabp_bio::alphabet::Nucleotide;
+use fabp_encoding::encoder::EncodedQuery;
+
+/// A stateful scanner that accepts reference chunks of any size and
+/// reports hits with global coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use fabp_core::streaming::StreamingAligner;
+/// use fabp_encoding::encoder::EncodedQuery;
+/// use fabp_bio::seq::{ProteinSeq, RnaSeq};
+///
+/// let protein: ProteinSeq = "MF".parse()?;
+/// let query = EncodedQuery::from_protein(&protein);
+/// let mut scanner = StreamingAligner::new(&query, 6);
+///
+/// // "AUGUUC" arrives split across two chunks.
+/// let a: RnaSeq = "GGAUGU".parse()?;
+/// let b: RnaSeq = "UCGG".parse()?;
+/// let mut hits = scanner.feed(a.as_slice());
+/// hits.extend(scanner.feed(b.as_slice()));
+/// hits.extend(scanner.finish());
+/// assert_eq!(hits.len(), 1);
+/// assert_eq!(hits[0].position, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingAligner {
+    engine: SoftwareEngine,
+    threshold: u32,
+    /// Carried tail: the last `L_q − 1` elements seen.
+    carry: Vec<Nucleotide>,
+    /// Global position of `carry[0]`.
+    carry_position: usize,
+    /// Total elements consumed.
+    consumed: usize,
+}
+
+impl StreamingAligner {
+    /// Creates a scanner for an encoded query and absolute threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query is empty.
+    pub fn new(query: &EncodedQuery, threshold: u32) -> StreamingAligner {
+        assert!(!query.is_empty(), "query must be non-empty");
+        StreamingAligner {
+            engine: SoftwareEngine::new(query),
+            threshold,
+            carry: Vec::new(),
+            carry_position: 0,
+            consumed: 0,
+        }
+    }
+
+    /// Total reference elements consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Feeds the next chunk, returning all hits whose windows are now
+    /// complete (positions are global).
+    pub fn feed(&mut self, chunk: &[Nucleotide]) -> Vec<Hit> {
+        let qlen = self.engine.query_len();
+        self.consumed += chunk.len();
+
+        // Working buffer: carry + chunk.
+        let mut buffer = Vec::with_capacity(self.carry.len() + chunk.len());
+        buffer.extend_from_slice(&self.carry);
+        buffer.extend_from_slice(chunk);
+
+        let hits: Vec<Hit> = if buffer.len() >= qlen {
+            self.engine
+                .search(&buffer, self.threshold)
+                .into_iter()
+                .map(|h| Hit {
+                    position: h.position + self.carry_position,
+                    score: h.score,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // Keep the trailing qlen-1 elements for the next chunk.
+        let keep = (qlen - 1).min(buffer.len());
+        let drop = buffer.len() - keep;
+        self.carry_position += drop;
+        self.carry = buffer.split_off(drop);
+
+        hits
+    }
+
+    /// Finishes the stream. No further windows can complete (every window
+    /// ending in the carried tail was already reported), so this only
+    /// resets the state and returns nothing; provided for API symmetry
+    /// with chunked decoders.
+    pub fn finish(&mut self) -> Vec<Hit> {
+        self.carry.clear();
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_bio::generate::{random_protein, random_rna};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn chunked_equals_whole_for_any_chunking() {
+        let mut rng = StdRng::seed_from_u64(0x517);
+        let protein = random_protein(10, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        let reference = random_rna(3_000, &mut rng);
+        let threshold = 18u32;
+
+        let whole = SoftwareEngine::new(&query).search(reference.as_slice(), threshold);
+
+        for chunk_size in [1usize, 7, 64, 256, 1000, 5000] {
+            let mut scanner = StreamingAligner::new(&query, threshold);
+            let mut hits = Vec::new();
+            for chunk in reference.as_slice().chunks(chunk_size) {
+                hits.extend(scanner.feed(chunk));
+            }
+            hits.extend(scanner.finish());
+            assert_eq!(hits, whole, "chunk size {chunk_size}");
+            assert_eq!(scanner.consumed(), reference.len());
+        }
+    }
+
+    #[test]
+    fn random_chunk_sizes_agree_too() {
+        let mut rng = StdRng::seed_from_u64(0x518);
+        let protein = random_protein(7, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        let reference = random_rna(2_000, &mut rng);
+        let whole = SoftwareEngine::new(&query).search(reference.as_slice(), 12);
+
+        let mut scanner = StreamingAligner::new(&query, 12);
+        let mut hits = Vec::new();
+        let mut rest = reference.as_slice();
+        while !rest.is_empty() {
+            let take = rng.gen_range(1..=rest.len().min(333));
+            let (chunk, tail) = rest.split_at(take);
+            hits.extend(scanner.feed(chunk));
+            rest = tail;
+        }
+        hits.extend(scanner.finish());
+        assert_eq!(hits, whole);
+    }
+
+    #[test]
+    fn no_duplicate_hits_across_boundaries() {
+        // A hit exactly at a chunk boundary must be reported once.
+        let protein = "MF".parse().unwrap();
+        let query = EncodedQuery::from_protein(&protein);
+        let reference: fabp_bio::seq::RnaSeq = "AUGUUUAUGUUU".parse().unwrap();
+        let mut scanner = StreamingAligner::new(&query, 6);
+        let mut hits = Vec::new();
+        for chunk in reference.as_slice().chunks(6) {
+            hits.extend(scanner.feed(chunk));
+        }
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].position, 0);
+        assert_eq!(hits[1].position, 6);
+    }
+
+    #[test]
+    fn short_stream_produces_nothing() {
+        let protein = "MFW".parse().unwrap();
+        let query = EncodedQuery::from_protein(&protein);
+        let mut scanner = StreamingAligner::new(&query, 0);
+        let chunk: fabp_bio::seq::RnaSeq = "AUG".parse().unwrap();
+        assert!(scanner.feed(chunk.as_slice()).is_empty());
+        assert!(scanner.finish().is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Dense bit-packing of the 6-bit instruction stream.
+//!
+//! The encoded query is "stored in the FPGA main memory (DRAM)" before
+//! being loaded into distributed memory (§III-B/C). In DRAM and over the
+//! host interconnect the instructions are packed back-to-back, 6 bits
+//! each; this module implements that wire format with exact round-trip
+//! guarantees.
+
+use crate::encoder::EncodedQuery;
+use crate::instruction::{DecodeError, Instruction};
+use fabp_bio::backtranslate::BackTranslatedQuery;
+
+/// A densely packed instruction stream: 6 bits per instruction,
+/// little-endian within and across 64-bit words (instruction 0 occupies
+/// bits `0..6` of word 0).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct PackedQuery {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedQuery {
+    /// Bits per packed instruction.
+    pub const BITS_PER_INSTRUCTION: usize = 6;
+
+    /// Packs an encoded query.
+    pub fn from_query(query: &EncodedQuery) -> PackedQuery {
+        let mut packed = PackedQuery {
+            words: vec![0u64; (query.len() * Self::BITS_PER_INSTRUCTION).div_ceil(64)],
+            len: query.len(),
+        };
+        for (i, instr) in query.instructions().iter().enumerate() {
+            packed.write(i, instr.bits());
+        }
+        packed
+    }
+
+    fn write(&mut self, index: usize, bits: u8) {
+        let bit_pos = index * Self::BITS_PER_INSTRUCTION;
+        let word = bit_pos / 64;
+        let offset = bit_pos % 64;
+        self.words[word] |= u64::from(bits) << offset;
+        if offset > 64 - Self::BITS_PER_INSTRUCTION {
+            // Straddles a word boundary: the high bits spill into the next
+            // word.
+            self.words[word + 1] |= u64::from(bits) >> (64 - offset);
+        }
+    }
+
+    /// Number of packed instructions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no instructions are packed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Packed size in bytes (what travels over PCIe).
+    pub fn size_bytes(&self) -> usize {
+        (self.len * Self::BITS_PER_INSTRUCTION).div_ceil(8)
+    }
+
+    /// Borrow the underlying words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The raw 6 bits of instruction `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn bits_at(&self, index: usize) -> u8 {
+        assert!(index < self.len, "instruction index {index} out of range");
+        let bit_pos = index * Self::BITS_PER_INSTRUCTION;
+        let word = bit_pos / 64;
+        let offset = bit_pos % 64;
+        let mut bits = (self.words[word] >> offset) as u8;
+        if offset > 64 - Self::BITS_PER_INSTRUCTION {
+            bits |= (self.words[word + 1] << (64 - offset)) as u8;
+        }
+        bits & 0b11_1111
+    }
+
+    /// Unpacks into an [`EncodedQuery`], validating every instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DecodeError`] encountered — corrupted streams
+    /// do not silently produce wrong queries.
+    pub fn unpack(&self) -> Result<EncodedQuery, DecodeError> {
+        let mut elements = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            elements.push(Instruction::from_bits(self.bits_at(i)).decode()?);
+        }
+        Ok(EncodedQuery::from_back_translated(
+            &BackTranslatedQuery::from_elements(elements),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_bio::generate::random_protein;
+    use fabp_bio::seq::ProteinSeq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_various_lengths() {
+        let mut rng = StdRng::seed_from_u64(0xB17);
+        for aa in [1usize, 2, 10, 11, 32, 64, 100, 250] {
+            let protein = random_protein(aa, &mut rng);
+            let query = EncodedQuery::from_protein(&protein);
+            let packed = PackedQuery::from_query(&query);
+            assert_eq!(packed.len(), query.len());
+            assert_eq!(packed.unpack().unwrap(), query, "{aa} aa");
+        }
+    }
+
+    #[test]
+    fn bit_layout_is_lsb_first() {
+        let protein: ProteinSeq = "M".parse().unwrap(); // AUG: 000000 001100 001000
+        let query = EncodedQuery::from_protein(&protein);
+        let packed = PackedQuery::from_query(&query);
+        // Instruction 0 = 0b000000 at bits 0..6, instruction 1 = 0b001100
+        // at bits 6..12, instruction 2 = 0b001000 at 12..18.
+        assert_eq!(packed.words()[0] & 0x3F, 0b000000);
+        assert_eq!((packed.words()[0] >> 6) & 0x3F, 0b001100);
+        assert_eq!((packed.words()[0] >> 12) & 0x3F, 0b001000);
+    }
+
+    #[test]
+    fn word_boundary_straddle() {
+        // 11 instructions × 6 bits = 66 bits: the 11th instruction (bits
+        // 60..66) straddles words 0 and 1.
+        let mut rng = StdRng::seed_from_u64(0xB18);
+        let protein = random_protein(4, &mut rng); // 12 instructions
+        let query = EncodedQuery::from_protein(&protein);
+        let packed = PackedQuery::from_query(&query);
+        assert!(packed.words().len() >= 2);
+        for (i, instr) in query.instructions().iter().enumerate() {
+            assert_eq!(packed.bits_at(i), instr.bits(), "instruction {i}");
+        }
+    }
+
+    #[test]
+    fn size_bytes_is_six_bits_per_instruction() {
+        let protein: ProteinSeq = "MFSR".parse().unwrap(); // 12 instr = 72 bits
+        let packed = PackedQuery::from_query(&EncodedQuery::from_protein(&protein));
+        assert_eq!(packed.size_bytes(), 9);
+    }
+
+    #[test]
+    fn corrupted_stream_fails_to_unpack() {
+        let protein: ProteinSeq = "MF".parse().unwrap();
+        let query = EncodedQuery::from_protein(&protein);
+        let mut packed = PackedQuery::from_query(&query);
+        // Set a Type I instruction's config bits — an invalid pattern.
+        packed.words[0] |= 0b11;
+        assert!(packed.unpack().is_err());
+    }
+
+    #[test]
+    fn empty_query_packs_empty() {
+        let query = EncodedQuery::from_exact_rna(&fabp_bio::seq::RnaSeq::new());
+        let packed = PackedQuery::from_query(&query);
+        assert!(packed.is_empty());
+        assert_eq!(packed.size_bytes(), 0);
+        assert!(packed.unpack().unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bits_at_bounds() {
+        let query = EncodedQuery::from_protein(&"M".parse().unwrap());
+        let packed = PackedQuery::from_query(&query);
+        let _ = packed.bits_at(3);
+    }
+}

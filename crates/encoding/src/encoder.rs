@@ -1,0 +1,374 @@
+//! Whole-query encoding: protein → stream of 6-bit instructions.
+//!
+//! "FabP first creates the back-translated sequence. Then, it encodes that
+//! sequence and stores it in the FPGA main memory" (§III-B). The encoded
+//! query is what the accelerator keeps in distributed memory (flip-flops)
+//! while the reference streams past it.
+
+use crate::instruction::Instruction;
+use fabp_bio::alphabet::{AminoAcid, Nucleotide};
+use fabp_bio::backtranslate::{serine_secondary_pattern, BackTranslatedQuery, BackTranslationMode};
+use fabp_bio::seq::{ProteinSeq, RnaSeq};
+use std::fmt;
+
+/// An encoded FabP query: one 6-bit instruction per back-translated
+/// element (`L_q = 3 ×` protein length).
+///
+/// # Examples
+///
+/// ```
+/// use fabp_encoding::encoder::EncodedQuery;
+/// use fabp_bio::seq::ProteinSeq;
+///
+/// let protein: ProteinSeq = "MFSR*".parse()?;
+/// let query = EncodedQuery::from_protein(&protein);
+/// assert_eq!(query.len(), 15);
+/// # Ok::<(), fabp_bio::alphabet::ParseSymbolError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedQuery {
+    instructions: Vec<Instruction>,
+}
+
+impl EncodedQuery {
+    /// Encodes a protein query with the paper's back-translation patterns.
+    pub fn from_protein(protein: &ProteinSeq) -> EncodedQuery {
+        EncodedQuery::from_back_translated(&BackTranslatedQuery::from_protein(protein))
+    }
+
+    /// Encodes an already back-translated query.
+    pub fn from_back_translated(query: &BackTranslatedQuery) -> EncodedQuery {
+        EncodedQuery {
+            instructions: query
+                .elements()
+                .iter()
+                .map(|&e| Instruction::encode(e))
+                .collect(),
+        }
+    }
+
+    /// Encodes an exact-match RNA query (every instruction Type I).
+    pub fn from_exact_rna(rna: &RnaSeq) -> EncodedQuery {
+        EncodedQuery::from_back_translated(&BackTranslatedQuery::from_exact_rna(rna))
+    }
+
+    /// Number of instructions (`L_q`).
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// `true` when the query holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Borrow the instruction stream.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Decodes back into a [`BackTranslatedQuery`] (exact inverse of the
+    /// encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any instruction is malformed — impossible for queries
+    /// built by this type's constructors.
+    pub fn decode(&self) -> BackTranslatedQuery {
+        BackTranslatedQuery::from_elements(
+            self.instructions
+                .iter()
+                .map(|i| {
+                    i.decode()
+                        .expect("constructors only store valid instructions")
+                })
+                .collect(),
+        )
+    }
+
+    /// Bit-level alignment score of the query against one reference
+    /// window: the popcount of element-wise matches (the value FabP's
+    /// Pop-Counter produces for an alignment instance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len() < self.len()`.
+    pub fn score_window(&self, window: &[Nucleotide]) -> usize {
+        assert!(
+            window.len() >= self.len(),
+            "window ({}) shorter than query ({})",
+            window.len(),
+            self.len()
+        );
+        self.instructions
+            .iter()
+            .enumerate()
+            .filter(|&(i, instr)| {
+                let prev1 = i.checked_sub(1).map(|j| window[j]);
+                let prev2 = i.checked_sub(2).map(|j| window[j]);
+                instr.matches(window[i], prev1, prev2)
+            })
+            .count()
+    }
+
+    /// Scores every alignment position of the reference
+    /// (`L_r − L_q + 1` instances).
+    pub fn score_all_positions(&self, reference: &[Nucleotide]) -> Vec<usize> {
+        if reference.len() < self.len() || self.is_empty() {
+            return Vec::new();
+        }
+        (0..=reference.len() - self.len())
+            .map(|k| self.score_window(&reference[k..]))
+            .collect()
+    }
+
+    /// Size of the encoded query in bits (6 per instruction) — what the
+    /// hardware must hold in flip-flops.
+    pub fn size_bits(&self) -> usize {
+        self.instructions.len() * 6
+    }
+}
+
+impl EncodedQuery {
+    /// Disassembles the instruction stream into a human-readable listing
+    /// (one instruction per line: index, raw bits, opcode class, operand,
+    /// pattern notation) — the `objdump` of FabP queries.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fabp_encoding::encoder::EncodedQuery;
+    /// let q = EncodedQuery::from_protein(&"M".parse()?);
+    /// let listing = q.disassemble();
+    /// assert!(listing.contains("EXACT"));
+    /// # Ok::<(), fabp_bio::alphabet::ParseSymbolError>(())
+    /// ```
+    pub fn disassemble(&self) -> String {
+        use fabp_bio::backtranslate::PatternElement;
+        use std::fmt::Write as _;
+
+        let mut out = String::new();
+        for (i, instr) in self.instructions.iter().enumerate() {
+            let element = instr
+                .decode()
+                .expect("constructors only store valid instructions");
+            let (class, operand) = match element {
+                PatternElement::Exact(n) => ("EXACT", n.to_string()),
+                PatternElement::Conditional(c) => ("COND ", c.to_string()),
+                PatternElement::Dependent(f) => ("DEP  ", f.to_string()),
+            };
+            writeln!(
+                out,
+                "{i:>4}  {instr}  {class} {operand:<4} ; codon pos {} -> {element}",
+                i % 3
+            )
+            .expect("writing to String cannot fail");
+        }
+        out
+    }
+}
+
+impl fmt::Display for EncodedQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for instr in &self.instructions {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{instr}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// The set of encoded queries needed to search one protein under a given
+/// Serine representation mode.
+///
+/// [`BackTranslationMode::Paper`] yields one query;
+/// [`BackTranslationMode::ExtendedSer`] yields `2^k` queries for a protein
+/// with `k` serines **capped** by enumerating each Ser independently would
+/// explode, so instead the extended mode emits one *additional* query per
+/// serine position, replacing that position's pattern with `AG(U/C)` — a
+/// one-mismatch-tolerant approximation documented in `DESIGN.md`.
+#[derive(Debug, Clone)]
+pub struct QuerySet {
+    /// The primary (paper-scheme) query.
+    pub primary: EncodedQuery,
+    /// Extra queries covering Ser `AGU`/`AGC` codons, one per Ser position.
+    pub secondary: Vec<EncodedQuery>,
+}
+
+impl QuerySet {
+    /// Builds the query set for `protein` under `mode`.
+    pub fn build(protein: &ProteinSeq, mode: BackTranslationMode) -> QuerySet {
+        let primary = EncodedQuery::from_protein(protein);
+        let secondary = match mode {
+            BackTranslationMode::Paper => Vec::new(),
+            BackTranslationMode::ExtendedSer => {
+                let base = BackTranslatedQuery::from_protein(protein);
+                protein
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &aa)| aa == AminoAcid::Ser)
+                    .map(|(pos, _)| {
+                        let mut elements = base.elements().to_vec();
+                        let alt = serine_secondary_pattern();
+                        elements[pos * 3..pos * 3 + 3].copy_from_slice(&alt.0);
+                        EncodedQuery::from_back_translated(&BackTranslatedQuery::from_elements(
+                            elements,
+                        ))
+                    })
+                    .collect()
+            }
+        };
+        QuerySet { primary, secondary }
+    }
+
+    /// Total number of encoded queries.
+    pub fn num_queries(&self) -> usize {
+        1 + self.secondary.len()
+    }
+
+    /// Best score at each reference position across all queries in the set.
+    pub fn best_scores(&self, reference: &[Nucleotide]) -> Vec<usize> {
+        let mut best = self.primary.score_all_positions(reference);
+        for query in &self.secondary {
+            for (b, s) in best.iter_mut().zip(query.score_all_positions(reference)) {
+                *b = (*b).max(s);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_bio::backtranslate::BackTranslatedQuery;
+
+    #[test]
+    fn paper_example_encoding_stream() {
+        // §III-B full worked example, with the Ser/Arg-first-element errata
+        // corrected per Fig. 5(b)'s legend (see DESIGN.md):
+        // AUG UU(U/C) UCD (A/C)G(F:10) U(A/G)(F:00).
+        let protein: ProteinSeq = "MFSR*".parse().unwrap();
+        let query = EncodedQuery::from_protein(&protein);
+        let bits: Vec<u8> = query.instructions().iter().map(|i| i.bits()).collect();
+        assert_eq!(
+            bits,
+            vec![
+                0b00_00_00,  // A
+                0b00_11_00,  // U
+                0b00_10_00,  // G
+                0b00_11_00,  // U
+                0b00_11_00,  // U
+                0b01_00_00,  // U/C
+                0b00_11_00,  // U
+                0b00_01_00,  // C
+                0b1_11_0_00, // D
+                0b01_11_00,  // A/C
+                0b00_10_00,  // G
+                0b1_10_0_01, // F:10
+                0b00_11_00,  // U
+                0b01_01_00,  // A/G
+                0b1_00_0_10, // F:00
+            ]
+        );
+    }
+
+    #[test]
+    fn disassembly_lists_every_instruction() {
+        let protein: ProteinSeq = "MFSR*".parse().unwrap();
+        let query = EncodedQuery::from_protein(&protein);
+        let listing = query.disassemble();
+        assert_eq!(listing.lines().count(), 15);
+        assert!(listing.contains("EXACT"));
+        assert!(listing.contains("COND"));
+        assert!(listing.contains("DEP"));
+        assert!(listing.contains("F:10"), "Arg function visible: {listing}");
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        let protein: ProteinSeq = "MFSRWKLYVAChidnpqgte*".to_uppercase().parse().unwrap();
+        let bt = BackTranslatedQuery::from_protein(&protein);
+        let query = EncodedQuery::from_back_translated(&bt);
+        assert_eq!(query.decode(), bt);
+    }
+
+    #[test]
+    fn score_matches_golden_model() {
+        let protein: ProteinSeq = "MFLSR*".parse().unwrap();
+        let bt = BackTranslatedQuery::from_protein(&protein);
+        let query = EncodedQuery::from_protein(&protein);
+        let reference: RnaSeq = "GAUGUUCUUGUCACGAUAAGGCAUGUUUAGUCGAUGA".parse().unwrap();
+        assert_eq!(
+            query.score_all_positions(reference.as_slice()),
+            bt.score_all_positions(reference.as_slice())
+        );
+    }
+
+    #[test]
+    fn exact_rna_query_is_hamming_scorer() {
+        let rna: RnaSeq = "ACGUA".parse().unwrap();
+        let query = EncodedQuery::from_exact_rna(&rna);
+        let reference: RnaSeq = "ACGUACGU".parse().unwrap();
+        let scores = query.score_all_positions(reference.as_slice());
+        assert_eq!(scores[0], 5);
+        assert!(scores[1] < 5);
+    }
+
+    #[test]
+    fn size_bits_is_six_per_element() {
+        let protein: ProteinSeq = "MF".parse().unwrap();
+        assert_eq!(EncodedQuery::from_protein(&protein).size_bits(), 36);
+    }
+
+    #[test]
+    fn query_set_paper_mode_has_no_secondaries() {
+        let protein: ProteinSeq = "MSS".parse().unwrap();
+        let set = QuerySet::build(&protein, BackTranslationMode::Paper);
+        assert_eq!(set.num_queries(), 1);
+    }
+
+    #[test]
+    fn query_set_extended_adds_one_per_serine() {
+        let protein: ProteinSeq = "MSSF".parse().unwrap();
+        let set = QuerySet::build(&protein, BackTranslationMode::ExtendedSer);
+        assert_eq!(set.num_queries(), 3);
+    }
+
+    #[test]
+    fn extended_mode_recovers_agy_serine_codons() {
+        use fabp_bio::generate::coding_rna_for;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let protein: ProteinSeq = "MSF".parse().unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        // Find a coding RNA that uses AGU/AGC for the serine.
+        let coding = loop {
+            let rna = coding_rna_for(&protein, &mut rng);
+            if rna.as_slice()[3] == Nucleotide::A {
+                break rna;
+            }
+            // Re-roll; AGU/AGC are 2 of 6 serine codons.
+            let _: u8 = rng.gen();
+        };
+        let paper = QuerySet::build(&protein, BackTranslationMode::Paper);
+        let extended = QuerySet::build(&protein, BackTranslationMode::ExtendedSer);
+        let paper_best = paper.best_scores(coding.as_slice());
+        let ext_best = extended.best_scores(coding.as_slice());
+        assert!(paper_best[0] < 9, "paper mode must miss AGY serine");
+        assert_eq!(ext_best[0], 9, "extended mode must recover it");
+    }
+
+    #[test]
+    fn empty_query_scores_nothing() {
+        let query = EncodedQuery::from_exact_rna(&RnaSeq::new());
+        assert!(query.is_empty());
+        let reference: RnaSeq = "ACGU".parse().unwrap();
+        assert!(query.score_all_positions(reference.as_slice()).is_empty());
+    }
+}

@@ -1,0 +1,452 @@
+//! The 6-bit FabP query instruction (paper §III-B).
+//!
+//! Every element of the back-translated query is stored as a 6-bit
+//! *instruction* with three fields:
+//!
+//! * a **variable-length opcode** — `00` (Type I), `01` (Type II), or the
+//!   single bit `1` (Type III and the match-anything element `D`);
+//! * a **matching condition** — the nucleotide to match (Type I), the
+//!   2-bit condition code (Type II), or the 2-bit function code `F`
+//!   (Type III);
+//! * two **configuration bits** that steer the comparator's input
+//!   multiplexer (Fig. 5(a)).
+//!
+//! ## Bit layout
+//!
+//! The paper orders bits "first … last"; we store the first bit `Q[0]` in
+//! bit 5 of a `u8` and the last bit `Q[5]` in bit 0:
+//!
+//! ```text
+//!   bit:      5    4    3    2    1    0
+//!   Type I:   0    0    n1   n0   0    0     n = nucleotide code
+//!   Type II:  0    1    c1   c0   0    0     c = condition code
+//!   Type III: 1    f1   f0   0    s1   s0    f = function, s = config
+//! ```
+//!
+//! The worked example of §III-B encodes `Arg`'s third element as
+//! `1-10-0-01` (`F:10`, config `01` → tap `Ref^{i-2}[0]`) and `Stop`'s
+//! third element as `1-00-0-10` (`F:00`, config `10` → tap
+//! `Ref^{i-1}[1]`); [`Instruction::encode`] reproduces those bit patterns
+//! exactly (see the unit tests).
+
+use fabp_bio::alphabet::Nucleotide;
+use fabp_bio::backtranslate::{DependentFn, MatchCondition, PatternElement};
+use std::fmt;
+
+/// What the comparator's input multiplexer feeds into the compare-LUT's
+/// fourth input (paper Fig. 5(a)), selected by the two configuration bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ConfigSelect {
+    /// Config `00`: pass the instruction's own fourth bit `Q[3]`
+    /// (Types I/II, and `D` whose output ignores it).
+    QueryBit = 0b00,
+    /// Config `01`: tap bit 0 (LSB) of the reference element two back —
+    /// used by `F:10` (Arg).
+    RefPrev2Lsb = 0b01,
+    /// Config `10`: tap bit 1 (MSB) of the reference element one back —
+    /// used by `F:00` (Stop).
+    RefPrev1Msb = 0b10,
+    /// Config `11`: tap bit 1 (MSB) of the reference element two back —
+    /// used by `F:01` (Leu).
+    RefPrev2Msb = 0b11,
+}
+
+impl ConfigSelect {
+    /// All selects in config-code order.
+    pub const ALL: [ConfigSelect; 4] = [
+        ConfigSelect::QueryBit,
+        ConfigSelect::RefPrev2Lsb,
+        ConfigSelect::RefPrev1Msb,
+        ConfigSelect::RefPrev2Msb,
+    ];
+
+    /// The 2-bit configuration code.
+    #[inline]
+    pub const fn code2(self) -> u8 {
+        self as u8
+    }
+
+    /// Reconstructs a select from its 2-bit code.
+    #[inline]
+    pub const fn from_code2(code: u8) -> ConfigSelect {
+        match code & 0b11 {
+            0b00 => ConfigSelect::QueryBit,
+            0b01 => ConfigSelect::RefPrev2Lsb,
+            0b10 => ConfigSelect::RefPrev1Msb,
+            _ => ConfigSelect::RefPrev2Msb,
+        }
+    }
+
+    /// The configuration used by a dependent function, from its hardware
+    /// source tap.
+    pub fn for_function(func: DependentFn) -> ConfigSelect {
+        match func.source_tap() {
+            None => ConfigSelect::QueryBit,
+            Some((1, 1)) => ConfigSelect::RefPrev1Msb,
+            Some((2, 0)) => ConfigSelect::RefPrev2Lsb,
+            Some((2, 1)) => ConfigSelect::RefPrev2Msb,
+            Some(other) => unreachable!("no mux input for tap {other:?}"),
+        }
+    }
+
+    /// Evaluates the multiplexer: returns the selected bit given the
+    /// instruction's `Q[3]` and the previous reference elements. Missing
+    /// context reads as 0, matching hardware shift registers that reset to
+    /// zero.
+    #[inline]
+    pub fn select(self, q3: bool, prev1: Option<Nucleotide>, prev2: Option<Nucleotide>) -> bool {
+        let bit = |n: Option<Nucleotide>, b: u8| n.map_or(false, |n| (n.code2() >> b) & 1 == 1);
+        match self {
+            ConfigSelect::QueryBit => q3,
+            ConfigSelect::RefPrev2Lsb => bit(prev2, 0),
+            ConfigSelect::RefPrev1Msb => bit(prev1, 1),
+            ConfigSelect::RefPrev2Msb => bit(prev2, 1),
+        }
+    }
+}
+
+/// Error returned by [`Instruction::decode`] for bit patterns the encoder
+/// never produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The rejected 6-bit pattern.
+    pub bits: u8,
+    /// Why it was rejected.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction {:06b}: {}", self.bits, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// One 6-bit FabP query instruction.
+///
+/// # Examples
+///
+/// ```
+/// use fabp_bio::alphabet::Nucleotide;
+/// use fabp_bio::backtranslate::PatternElement;
+/// use fabp_encoding::instruction::Instruction;
+///
+/// let instr = Instruction::encode(PatternElement::Exact(Nucleotide::A));
+/// assert_eq!(instr.bits(), 0b000000);
+/// assert_eq!(instr.decode()?, PatternElement::Exact(Nucleotide::A));
+/// # Ok::<(), fabp_encoding::instruction::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction(u8);
+
+impl Instruction {
+    /// Builds an instruction from raw bits (low six bits of `bits`).
+    ///
+    /// No validity check is performed; use [`Instruction::decode`] to
+    /// validate.
+    #[inline]
+    pub const fn from_bits(bits: u8) -> Instruction {
+        Instruction(bits & 0b11_1111)
+    }
+
+    /// The raw 6-bit pattern (`Q[0]` in bit 5 … `Q[5]` in bit 0).
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Bit `Q[i]` in the paper's first-to-last numbering (`i < 6`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 6`.
+    #[inline]
+    pub fn q(self, i: usize) -> bool {
+        assert!(i < 6, "instruction bit index {i} out of range");
+        (self.0 >> (5 - i)) & 1 == 1
+    }
+
+    /// The four "matching information" bits `Q[0..4]` that feed the
+    /// compare-LUT (paper §III-D).
+    #[inline]
+    pub const fn match_bits(self) -> u8 {
+        self.0 >> 2
+    }
+
+    /// The two configuration bits `Q[4..6]`.
+    #[inline]
+    pub const fn config(self) -> ConfigSelect {
+        ConfigSelect::from_code2(self.0 & 0b11)
+    }
+
+    /// `true` when the opcode marks a Type III-encoded element
+    /// (dependent functions and `D`).
+    #[inline]
+    pub const fn is_dependent_opcode(self) -> bool {
+        self.0 & 0b10_0000 != 0
+    }
+
+    /// Encodes a pattern element into its 6-bit instruction.
+    pub fn encode(element: PatternElement) -> Instruction {
+        let bits = match element {
+            PatternElement::Exact(n) => n.code2() << 2, // 00 nn 00
+            PatternElement::Conditional(c) => 0b01_0000 | (c.code2() << 2),
+            PatternElement::Dependent(f) => {
+                0b10_0000 | (f.code2() << 3) | ConfigSelect::for_function(f).code2()
+            }
+        };
+        Instruction(bits)
+    }
+
+    /// Decodes the instruction back into a pattern element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for patterns the encoder never produces:
+    /// non-zero config bits on Type I/II, a set fourth bit on Type III, or
+    /// a config that does not match the function's source tap.
+    pub fn decode(self) -> Result<PatternElement, DecodeError> {
+        let bits = self.0;
+        if !self.is_dependent_opcode() {
+            if bits & 0b11 != 0 {
+                return Err(DecodeError {
+                    bits,
+                    reason: "Type I/II config bits must be 00",
+                });
+            }
+            let payload = (bits >> 2) & 0b11;
+            if bits & 0b01_0000 == 0 {
+                Ok(PatternElement::Exact(Nucleotide::from_code2(payload)))
+            } else {
+                Ok(PatternElement::Conditional(MatchCondition::from_code2(
+                    payload,
+                )))
+            }
+        } else {
+            if bits & 0b00_0100 != 0 {
+                return Err(DecodeError {
+                    bits,
+                    reason: "Type III fourth bit must be 0",
+                });
+            }
+            let func = DependentFn::from_code2((bits >> 3) & 0b11);
+            let config = ConfigSelect::from_code2(bits & 0b11);
+            if config != ConfigSelect::for_function(func) {
+                return Err(DecodeError {
+                    bits,
+                    reason: "config bits do not match the function's source tap",
+                });
+            }
+            Ok(PatternElement::Dependent(func))
+        }
+    }
+
+    /// Bit-level matching semantics: does `reference` match this
+    /// instruction given the two previous reference elements?
+    ///
+    /// This follows the hardware datapath literally — multiplexer first
+    /// (configuration bits select the compare-LUT's fourth input), then the
+    /// comparison function of Fig. 5(b) — and is property-tested equal to
+    /// the golden [`PatternElement::matches`].
+    #[inline]
+    pub fn matches(
+        self,
+        reference: Nucleotide,
+        prev1: Option<Nucleotide>,
+        prev2: Option<Nucleotide>,
+    ) -> bool {
+        let x = self.config().select(self.q(3), prev1, prev2);
+        compare_function(self.q(0), self.q(1), self.q(2), x, reference)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:06b}", self.0)
+    }
+}
+
+/// The comparison function programmed into the compare-LUT (Fig. 5(b)):
+/// inputs are the three leading instruction bits, the multiplexer output
+/// `x`, and the 2-bit reference element.
+///
+/// This is the semantic reference for the LUT truth table generated in
+/// `fabp-fpga`; both are tested against the golden model.
+#[inline]
+pub fn compare_function(q0: bool, q1: bool, q2: bool, x: bool, reference: Nucleotide) -> bool {
+    if !q0 {
+        let hi = u8::from(q2);
+        let lo = u8::from(x);
+        let code = (hi << 1) | lo;
+        if !q1 {
+            // Type I: exact match of the 2-bit code.
+            reference.code2() == code
+        } else {
+            // Type II: conditional match.
+            MatchCondition::from_code2(code).matches(reference)
+        }
+    } else {
+        // Type III: dependent function on (s = x, reference).
+        DependentFn::from_code2((u8::from(q1) << 1) | u8::from(q2)).eval(x, reference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_bio::alphabet::AminoAcid;
+    use fabp_bio::backtranslate::back_translate;
+
+    /// Every instruction the encoder can produce.
+    fn all_valid_instructions() -> Vec<Instruction> {
+        let mut v = Vec::new();
+        for n in Nucleotide::ALL {
+            v.push(Instruction::encode(PatternElement::Exact(n)));
+        }
+        for c in MatchCondition::ALL {
+            v.push(Instruction::encode(PatternElement::Conditional(c)));
+        }
+        for f in DependentFn::ALL {
+            v.push(Instruction::encode(PatternElement::Dependent(f)));
+        }
+        v
+    }
+
+    #[test]
+    fn paper_worked_example_bit_patterns() {
+        // §III-B: Met = AUG -> {00A00, 00U00, 00G00} with A=00, U=11, G=10.
+        assert_eq!(
+            Instruction::encode(PatternElement::Exact(Nucleotide::A)).bits(),
+            0b00_00_00
+        );
+        assert_eq!(
+            Instruction::encode(PatternElement::Exact(Nucleotide::U)).bits(),
+            0b00_11_00
+        );
+        // Phe third element U/C -> {010000}.
+        assert_eq!(
+            Instruction::encode(PatternElement::Conditional(MatchCondition::PyrimidineUc)).bits(),
+            0b01_00_00
+        );
+        // Arg third element -> {110001}: F:10, config 01.
+        assert_eq!(
+            Instruction::encode(PatternElement::Dependent(DependentFn::Arg)).bits(),
+            0b1_10_0_01
+        );
+        // Stop third element -> {100010}: F:00, config 10.
+        assert_eq!(
+            Instruction::encode(PatternElement::Dependent(DependentFn::Stop)).bits(),
+            0b1_00_0_10
+        );
+        // Stop second element A/G -> {010100}.
+        assert_eq!(
+            Instruction::encode(PatternElement::Conditional(MatchCondition::PurineAg)).bits(),
+            0b01_01_00
+        );
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for instr in all_valid_instructions() {
+            let element = instr.decode().expect("encoder output must decode");
+            assert_eq!(Instruction::encode(element), instr);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_patterns() {
+        // Type I with config bits set.
+        assert!(Instruction::from_bits(0b00_00_01).decode().is_err());
+        // Type III with the fourth bit set.
+        assert!(Instruction::from_bits(0b1_00_1_10).decode().is_err());
+        // Type III Stop with the wrong config.
+        assert!(Instruction::from_bits(0b1_00_0_00).decode().is_err());
+    }
+
+    #[test]
+    fn q_bit_numbering_is_first_to_last() {
+        let instr = Instruction::from_bits(0b10_0001);
+        assert!(instr.q(0));
+        assert!(!instr.q(1));
+        assert!(instr.q(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn q_bit_out_of_range_panics() {
+        let _ = Instruction::from_bits(0).q(6);
+    }
+
+    #[test]
+    fn bitlevel_matches_equals_golden_model_exhaustively() {
+        // All valid instructions × all references × all context
+        // combinations (including missing context).
+        let contexts: Vec<Option<Nucleotide>> = std::iter::once(None)
+            .chain(Nucleotide::ALL.into_iter().map(Some))
+            .collect();
+        for instr in all_valid_instructions() {
+            let element = instr.decode().unwrap();
+            for reference in Nucleotide::ALL {
+                for &prev1 in &contexts {
+                    for &prev2 in &contexts {
+                        assert_eq!(
+                            instr.matches(reference, prev1, prev2),
+                            element.matches(reference, prev1, prev2),
+                            "instr {instr} ({element}) vs {reference} ctx {prev1:?},{prev2:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn config_select_for_functions_matches_source_taps() {
+        assert_eq!(
+            ConfigSelect::for_function(DependentFn::Stop),
+            ConfigSelect::RefPrev1Msb
+        );
+        assert_eq!(
+            ConfigSelect::for_function(DependentFn::Leu),
+            ConfigSelect::RefPrev2Msb
+        );
+        assert_eq!(
+            ConfigSelect::for_function(DependentFn::Arg),
+            ConfigSelect::RefPrev2Lsb
+        );
+        assert_eq!(
+            ConfigSelect::for_function(DependentFn::Any),
+            ConfigSelect::QueryBit
+        );
+    }
+
+    #[test]
+    fn whole_codon_instruction_streams_match_paper() {
+        // §III-B encodes Arg as {010100, 000000?...} — the paper prints
+        // {010100, 00000, 110001}: (A/C)=01 01 00, G=00 10 00, F:10=110001.
+        let arg = back_translate(AminoAcid::Arg);
+        let bits: Vec<u8> = arg
+            .0
+            .iter()
+            .map(|&e| Instruction::encode(e).bits())
+            .collect();
+        assert_eq!(bits, vec![0b01_11_00, 0b00_10_00, 0b1_10_0_01]);
+        // (A/C) condition code is 11 per Fig. 5(b)'s legend.
+        let stop = back_translate(AminoAcid::Stop);
+        let bits: Vec<u8> = stop
+            .0
+            .iter()
+            .map(|&e| Instruction::encode(e).bits())
+            .collect();
+        assert_eq!(bits, vec![0b00_11_00, 0b01_01_00, 0b1_00_0_10]);
+    }
+
+    #[test]
+    fn match_bits_are_the_top_four() {
+        let instr = Instruction::from_bits(0b1_10_0_01);
+        assert_eq!(instr.match_bits(), 0b1100);
+        assert_eq!(instr.config(), ConfigSelect::RefPrev2Lsb);
+    }
+}

@@ -1,0 +1,32 @@
+//! # fabp-encoding — FabP's FPGA-friendly query/reference encoding
+//!
+//! Implements paper §III-B: the 6-bit query [`instruction`] format
+//! (variable-length opcode, matching condition, configuration bits), the
+//! whole-query [`encoder`], and the 2-bit reference [`packing`] into
+//! 512-bit AXI beats with the `L_q`-overlap stream buffer.
+//!
+//! Everything here is bit-exact with the worked examples of §III-B and is
+//! property-tested against the golden model in `fabp-bio`.
+//!
+//! ```
+//! use fabp_bio::seq::ProteinSeq;
+//! use fabp_encoding::encoder::EncodedQuery;
+//!
+//! let protein: ProteinSeq = "MF".parse()?;
+//! let query = EncodedQuery::from_protein(&protein);
+//! let reference: fabp_bio::seq::RnaSeq = "AUGUUC".parse()?;
+//! assert_eq!(query.score_window(reference.as_slice()), 6);
+//! # Ok::<(), fabp_bio::alphabet::ParseSymbolError>(())
+//! ```
+
+pub mod bitstream;
+pub mod encoder;
+pub mod fused;
+pub mod instruction;
+pub mod packing;
+
+pub use bitstream::PackedQuery;
+pub use encoder::{EncodedQuery, QuerySet};
+pub use fused::FusedScorer;
+pub use instruction::{compare_function, ConfigSelect, DecodeError, Instruction};
+pub use packing::{axi_beats, AxiBeat, ReferenceStream, StreamWindow, ELEMENTS_PER_BEAT};

@@ -1,0 +1,115 @@
+//! Property-based tests for the instruction encoding layer.
+
+use fabp_bio::alphabet::{AminoAcid, Nucleotide};
+use fabp_bio::backtranslate::BackTranslatedQuery;
+use fabp_bio::seq::ProteinSeq;
+use fabp_encoding::bitstream::PackedQuery;
+use fabp_encoding::encoder::EncodedQuery;
+use fabp_encoding::fused::FusedScorer;
+use fabp_encoding::instruction::Instruction;
+use proptest::prelude::*;
+
+fn arb_protein(max_len: usize) -> impl Strategy<Value = ProteinSeq> {
+    prop::collection::vec(0usize..21, 1..=max_len)
+        .prop_map(|v| v.into_iter().map(|i| AminoAcid::ALL[i]).collect())
+}
+
+fn arb_window(len: usize) -> impl Strategy<Value = Vec<Nucleotide>> {
+    prop::collection::vec(0u8..4, len..=len.max(1) * 3)
+        .prop_map(|v| v.into_iter().map(Nucleotide::from_code2).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Decoding never panics on arbitrary 6-bit patterns, and accepted
+    /// patterns re-encode to themselves.
+    #[test]
+    fn decode_total_and_involutive(bits in 0u8..64) {
+        let instr = Instruction::from_bits(bits);
+        if let Ok(element) = instr.decode() {
+            prop_assert_eq!(Instruction::encode(element), instr);
+        }
+    }
+
+    /// Bit-level matching equals the golden model on random operands.
+    #[test]
+    fn instruction_matches_golden(
+        protein in arb_protein(8),
+        ref_code in 0u8..4,
+        p1 in prop::option::of(0u8..4),
+        p2 in prop::option::of(0u8..4),
+    ) {
+        let bt = BackTranslatedQuery::from_protein(&protein);
+        let reference = Nucleotide::from_code2(ref_code);
+        let prev1 = p1.map(Nucleotide::from_code2);
+        let prev2 = p2.map(Nucleotide::from_code2);
+        for &element in bt.elements() {
+            let instr = Instruction::encode(element);
+            prop_assert_eq!(
+                instr.matches(reference, prev1, prev2),
+                element.matches(reference, prev1, prev2)
+            );
+        }
+    }
+
+    /// Encoder, fused scorer and golden model agree on whole windows.
+    #[test]
+    fn three_scorers_agree(protein in arb_protein(10), seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let bt = BackTranslatedQuery::from_protein(&protein);
+        let query = EncodedQuery::from_back_translated(&bt);
+        let fused = FusedScorer::build(&bt);
+        let window: Vec<Nucleotide> = (0..bt.len() + 16)
+            .map(|_| Nucleotide::from_code2(rng.gen_range(0..4)))
+            .collect();
+        for k in 0..=window.len() - bt.len() {
+            let golden = bt.score_window(&window[k..]);
+            prop_assert_eq!(query.score_window(&window[k..]), golden);
+            prop_assert_eq!(fused.score_window(&window[k..]) as usize, golden);
+        }
+    }
+
+    /// Dense bit-packing round-trips for arbitrary proteins.
+    #[test]
+    fn packed_query_round_trip(protein in arb_protein(120)) {
+        let query = EncodedQuery::from_protein(&protein);
+        let packed = PackedQuery::from_query(&query);
+        prop_assert_eq!(packed.size_bytes(), (query.len() * 6).div_ceil(8));
+        prop_assert_eq!(packed.unpack().unwrap(), query);
+    }
+
+    /// Thresholded scoring is consistent with plain scoring for any
+    /// threshold.
+    #[test]
+    fn thresholded_scoring_consistent(
+        protein in arb_protein(8),
+        window in arb_window(24),
+        threshold in 0u32..30,
+    ) {
+        let bt = BackTranslatedQuery::from_protein(&protein);
+        prop_assume!(window.len() >= bt.len());
+        let fused = FusedScorer::build(&bt);
+        let plain = fused.score_window(&window);
+        match fused.score_window_thresholded(&window, threshold) {
+            Some(s) => {
+                prop_assert_eq!(s, plain);
+                prop_assert!(s >= threshold);
+            }
+            None => prop_assert!(plain < threshold || threshold > bt.len() as u32),
+        }
+    }
+
+    /// A perfect coding window always scores the full query length when
+    /// built from pattern-accepted codons.
+    #[test]
+    fn pattern_codons_score_full(protein in arb_protein(32), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let coding =
+            fabp_bio::generate::coding_rna_for_paper_patterns(&protein, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        prop_assert_eq!(query.score_window(coding.as_slice()), query.len());
+    }
+}

@@ -1,0 +1,437 @@
+//! The FabP custom comparator: two LUT6s per query element (Fig. 5).
+//!
+//! One LUT implements the input multiplexer that selects, based on the
+//! instruction's two configuration bits, the compare-LUT's fourth input:
+//! the instruction's own fourth bit (Types I/II) or one bit of an earlier
+//! reference element (Type III). The second LUT performs the comparison
+//! proper: its inputs are the instruction's three leading bits, the
+//! multiplexer output, and the 2-bit current reference element; its
+//! truth table is Fig. 5(b).
+//!
+//! Two views are provided:
+//!
+//! * [`ComparatorCell`] — the two raw [`Lut6`] truth tables, evaluated
+//!   directly (what the cycle-level engine uses in its inner loop);
+//! * [`build_comparator_netlist`] — a structural [`Netlist`] of the same
+//!   two LUTs, used for resource counting and gate-level verification.
+
+use crate::netlist::{Netlist, NodeId};
+use crate::primitives::Lut6;
+use fabp_bio::alphabet::Nucleotide;
+use fabp_encoding::instruction::{compare_function, ConfigSelect, Instruction};
+
+/// Truth table of the multiplexer LUT.
+///
+/// Input pins (address bits): `I0 = Q[3]`, `I1 = Ref^{i-1}[1]`,
+/// `I2 = Ref^{i-2}[0]`, `I3 = Ref^{i-2}[1]`, `I4 = Q[5]` (config LSB),
+/// `I5 = Q[4]` (config MSB).
+pub fn mux_lut() -> Lut6 {
+    Lut6::from_fn(|addr| {
+        let q3 = addr & 1 != 0;
+        let prev1_msb = addr & 0b10 != 0;
+        let prev2_lsb = addr & 0b100 != 0;
+        let prev2_msb = addr & 0b1000 != 0;
+        let cfg = (((addr >> 5) & 1) << 1) | ((addr >> 4) & 1); // (I5 << 1) | I4
+        match ConfigSelect::from_code2(cfg) {
+            ConfigSelect::QueryBit => q3,
+            ConfigSelect::RefPrev1Msb => prev1_msb,
+            ConfigSelect::RefPrev2Lsb => prev2_lsb,
+            ConfigSelect::RefPrev2Msb => prev2_msb,
+        }
+    })
+}
+
+/// Truth table of the compare LUT (Fig. 5(b)).
+///
+/// Input pins (address bits): `I0 = Ref^i[0]` (LSB), `I1 = Ref^i[1]`
+/// (MSB), `I2 = X` (multiplexer output), `I3 = Q[2]`, `I4 = Q[1]`,
+/// `I5 = Q[0]`.
+pub fn compare_lut() -> Lut6 {
+    Lut6::from_fn(|addr| {
+        let reference = Nucleotide::from_code2(((addr >> 1) & 1) << 1 | (addr & 1));
+        let x = addr & 0b100 != 0;
+        let q2 = addr & 0b1000 != 0;
+        let q1 = addr & 0b1_0000 != 0;
+        let q0 = addr & 0b10_0000 != 0;
+        compare_function(q0, q1, q2, x, reference)
+    })
+}
+
+/// The two-LUT comparator cell, evaluated directly on bit codes.
+///
+/// # Examples
+///
+/// ```
+/// use fabp_fpga::comparator::ComparatorCell;
+/// use fabp_encoding::instruction::Instruction;
+/// use fabp_bio::backtranslate::PatternElement;
+/// use fabp_bio::alphabet::Nucleotide;
+///
+/// let cell = ComparatorCell::new();
+/// let instr = Instruction::encode(PatternElement::Exact(Nucleotide::G));
+/// assert!(cell.matches(instr, Nucleotide::G, None, None));
+/// assert!(!cell.matches(instr, Nucleotide::A, None, None));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComparatorCell {
+    mux: Lut6,
+    cmp: Lut6,
+}
+
+impl Default for ComparatorCell {
+    fn default() -> ComparatorCell {
+        ComparatorCell::new()
+    }
+}
+
+impl ComparatorCell {
+    /// Builds the cell with the generated truth tables.
+    pub fn new() -> ComparatorCell {
+        ComparatorCell {
+            mux: mux_lut(),
+            cmp: compare_lut(),
+        }
+    }
+
+    /// The multiplexer LUT.
+    pub fn mux(self) -> Lut6 {
+        self.mux
+    }
+
+    /// The compare LUT.
+    pub fn cmp(self) -> Lut6 {
+        self.cmp
+    }
+
+    /// Evaluates the cell: both LUT lookups, exactly as the hardware wires
+    /// them. Missing earlier-reference context reads as zero (reset shift
+    /// registers).
+    #[inline]
+    pub fn matches(
+        self,
+        instr: Instruction,
+        reference: Nucleotide,
+        prev1: Option<Nucleotide>,
+        prev2: Option<Nucleotide>,
+    ) -> bool {
+        let bits = instr.bits();
+        let p1 = prev1.map_or(0, Nucleotide::code2);
+        let p2 = prev2.map_or(0, Nucleotide::code2);
+        // Mux pins: I0=Q[3], I1=prev1 MSB, I2=prev2 LSB, I3=prev2 MSB,
+        // I4=Q[5] (config LSB), I5=Q[4] (config MSB).
+        let q3 = (bits >> 2) & 1;
+        let cfg_msb = (bits >> 1) & 1; // Q[4]
+        let cfg_lsb = bits & 1; // Q[5]
+        let mux_addr = q3
+            | (((p1 >> 1) & 1) << 1)
+            | ((p2 & 1) << 2)
+            | (((p2 >> 1) & 1) << 3)
+            | (cfg_lsb << 4)
+            | (cfg_msb << 5);
+        let x = self.mux.eval_addr(mux_addr);
+        let cmp_addr = (reference.code2() & 1)
+            | (((reference.code2() >> 1) & 1) << 1)
+            | ((x as u8) << 2)
+            | (((bits >> 3) & 1) << 3)  // Q[2]
+            | (((bits >> 4) & 1) << 4)  // Q[1]
+            | (((bits >> 5) & 1) << 5); // Q[0]
+        self.cmp.eval_addr(cmp_addr)
+    }
+
+    /// Scores a whole window: popcount of per-element matches — the value
+    /// the hardware Pop-Counter accumulates for one alignment instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len() < instructions.len()`.
+    pub fn score_window(self, instructions: &[Instruction], window: &[Nucleotide]) -> usize {
+        assert!(
+            window.len() >= instructions.len(),
+            "window shorter than query"
+        );
+        instructions
+            .iter()
+            .enumerate()
+            .filter(|&(i, &instr)| {
+                let prev1 = i.checked_sub(1).map(|j| window[j]);
+                let prev2 = i.checked_sub(2).map(|j| window[j]);
+                self.matches(instr, window[i], prev1, prev2)
+            })
+            .count()
+    }
+}
+
+/// Input nodes of a comparator netlist, in creation order.
+#[derive(Debug, Clone, Copy)]
+pub struct ComparatorPorts {
+    /// `Q[0..6]` instruction bits.
+    pub q: [NodeId; 6],
+    /// Current reference element bits `[Ref^i[1], Ref^i[0]]` (MSB first).
+    pub ref_cur: [NodeId; 2],
+    /// `Ref^{i-1}[1]`.
+    pub prev1_msb: NodeId,
+    /// `[Ref^{i-2}[1], Ref^{i-2}[0]]` (MSB first).
+    pub prev2: [NodeId; 2],
+    /// The match output.
+    pub out: NodeId,
+}
+
+/// Builds the two-LUT comparator as a structural netlist.
+///
+/// The returned netlist has exactly **two LUTs** — the paper's headline
+/// optimization ("FabP uses only two Lookup Tables", §III-D) — with inputs
+/// in the order of [`ComparatorPorts`].
+pub fn build_comparator_netlist() -> (Netlist, ComparatorPorts) {
+    let mut n = Netlist::new();
+    let q: Vec<NodeId> = n.inputs(6);
+    let ref_cur: Vec<NodeId> = n.inputs(2); // [msb, lsb]
+    let prev1_msb = n.input();
+    let prev2: Vec<NodeId> = n.inputs(2); // [msb, lsb]
+
+    // Mux LUT pins: I0=Q[3], I1=prev1_msb, I2=prev2_lsb, I3=prev2_msb,
+    // I4=Q[5], I5=Q[4].
+    let x = n.lut(mux_lut(), [q[3], prev1_msb, prev2[1], prev2[0], q[5], q[4]]);
+    // Compare LUT pins: I0=ref_lsb, I1=ref_msb, I2=X, I3=Q[2], I4=Q[1],
+    // I5=Q[0].
+    let out = n.lut(compare_lut(), [ref_cur[1], ref_cur[0], x, q[2], q[1], q[0]]);
+    n.mark_output("match", out);
+
+    let ports = ComparatorPorts {
+        q: [q[0], q[1], q[2], q[3], q[4], q[5]],
+        ref_cur: [ref_cur[0], ref_cur[1]],
+        prev1_msb,
+        prev2: [prev2[0], prev2[1]],
+        out,
+    };
+    (n, ports)
+}
+
+/// Evaluates a comparator netlist for the given operands (test helper and
+/// gate-level reference path).
+pub fn eval_comparator_netlist(
+    netlist: &mut Netlist,
+    instr: Instruction,
+    reference: Nucleotide,
+    prev1: Option<Nucleotide>,
+    prev2: Option<Nucleotide>,
+) -> bool {
+    let bits = instr.bits();
+    let p1 = prev1.map_or(0, Nucleotide::code2);
+    let p2 = prev2.map_or(0, Nucleotide::code2);
+    let r = reference.code2();
+    let inputs = [
+        bits & 0b10_0000 != 0, // Q0
+        bits & 0b01_0000 != 0, // Q1
+        bits & 0b00_1000 != 0, // Q2
+        bits & 0b00_0100 != 0, // Q3
+        bits & 0b00_0010 != 0, // Q4
+        bits & 0b00_0001 != 0, // Q5
+        r & 0b10 != 0,         // ref msb
+        r & 0b01 != 0,         // ref lsb
+        p1 & 0b10 != 0,        // prev1 msb
+        p2 & 0b10 != 0,        // prev2 msb
+        p2 & 0b01 != 0,        // prev2 lsb
+    ];
+    netlist.eval(&inputs);
+    netlist.output_value("match")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_bio::backtranslate::{DependentFn, MatchCondition, PatternElement};
+
+    fn all_valid_instructions() -> Vec<Instruction> {
+        let mut v = Vec::new();
+        for n in Nucleotide::ALL {
+            v.push(Instruction::encode(PatternElement::Exact(n)));
+        }
+        for c in MatchCondition::ALL {
+            v.push(Instruction::encode(PatternElement::Conditional(c)));
+        }
+        for f in DependentFn::ALL {
+            v.push(Instruction::encode(PatternElement::Dependent(f)));
+        }
+        v
+    }
+
+    #[test]
+    fn cell_matches_golden_model_exhaustively() {
+        let cell = ComparatorCell::new();
+        let contexts: Vec<Option<Nucleotide>> = std::iter::once(None)
+            .chain(Nucleotide::ALL.into_iter().map(Some))
+            .collect();
+        for instr in all_valid_instructions() {
+            let element = instr.decode().unwrap();
+            for reference in Nucleotide::ALL {
+                for &prev1 in &contexts {
+                    for &prev2 in &contexts {
+                        assert_eq!(
+                            cell.matches(instr, reference, prev1, prev2),
+                            element.matches(reference, prev1, prev2),
+                            "{instr} vs {reference} ctx {prev1:?}/{prev2:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_uses_exactly_two_luts() {
+        let (netlist, _) = build_comparator_netlist();
+        let r = netlist.resources();
+        assert_eq!(r.luts, 2, "paper §III-D: only two LUTs");
+        assert_eq!(r.ffs, 0);
+    }
+
+    #[test]
+    fn netlist_agrees_with_cell_exhaustively() {
+        let (mut netlist, _) = build_comparator_netlist();
+        let cell = ComparatorCell::new();
+        for instr in all_valid_instructions() {
+            for reference in Nucleotide::ALL {
+                for prev1 in Nucleotide::ALL {
+                    for prev2 in Nucleotide::ALL {
+                        assert_eq!(
+                            eval_comparator_netlist(
+                                &mut netlist,
+                                instr,
+                                reference,
+                                Some(prev1),
+                                Some(prev2)
+                            ),
+                            cell.matches(instr, reference, Some(prev1), Some(prev2)),
+                            "{instr} vs {reference} after {prev2}{prev1}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reproduces Fig. 5(b)'s printed truth-table columns bit for bit.
+    #[test]
+    fn fig5b_truth_table_columns() {
+        use Nucleotide::{A, C, G, U};
+        let cell = ComparatorCell::new();
+        let refs = [A, C, G, U];
+
+        // Exact matching columns: 00-Q-Ref.
+        let exact_cases: [(Nucleotide, [bool; 4]); 4] = [
+            (A, [true, false, false, false]),
+            (C, [false, true, false, false]),
+            (G, [false, false, true, false]),
+            (U, [false, false, false, true]),
+        ];
+        for (q, expected) in exact_cases {
+            let instr = Instruction::encode(PatternElement::Exact(q));
+            for (r, e) in refs.iter().zip(expected) {
+                assert_eq!(cell.matches(instr, *r, None, None), e, "00-{q}-{r}");
+            }
+        }
+
+        // Conditional matching columns: 01-Cnd-Ref.
+        let cond_cases: [(MatchCondition, [bool; 4]); 4] = [
+            (MatchCondition::PyrimidineUc, [false, true, false, true]),
+            (MatchCondition::PurineAg, [true, false, true, false]),
+            (MatchCondition::NotG, [true, true, false, true]),
+            (MatchCondition::AOrC, [true, true, false, false]),
+        ];
+        for (cond, expected) in cond_cases {
+            let instr = Instruction::encode(PatternElement::Conditional(cond));
+            for (r, e) in refs.iter().zip(expected) {
+                assert_eq!(cell.matches(instr, *r, None, None), e, "01-{cond}-{r}");
+            }
+        }
+
+        // Dependent matching columns: 1-F-S-Ref. Drive S through the real
+        // mux inputs: Stop taps prev1 MSB, Leu/Arg tap prev2.
+        // S values are produced with prev elements whose tapped bit is 0/1.
+        struct DepCase {
+            f: DependentFn,
+            s0: [bool; 4],
+            s1: [bool; 4],
+        }
+        let dep_cases = [
+            DepCase {
+                f: DependentFn::Stop,
+                s0: [true, false, true, false],
+                s1: [true, false, false, false],
+            },
+            DepCase {
+                f: DependentFn::Leu,
+                s0: [true, true, true, true],
+                s1: [true, false, true, false],
+            },
+            DepCase {
+                f: DependentFn::Arg,
+                s0: [true, false, true, false],
+                s1: [true, true, true, true],
+            },
+            DepCase {
+                f: DependentFn::Any,
+                s0: [true, true, true, true],
+                s1: [true, true, true, true],
+            },
+        ];
+        for case in dep_cases {
+            let instr = Instruction::encode(PatternElement::Dependent(case.f));
+            let (offset, bit) = case.f.source_tap().unwrap_or((1, 1));
+            for (s, expected) in [(false, case.s0), (true, case.s1)] {
+                // Pick a source element whose tapped bit equals s.
+                let src = Nucleotide::ALL
+                    .into_iter()
+                    .find(|n| (n.code2() >> bit) & 1 == u8::from(s))
+                    .unwrap();
+                let (prev1, prev2) = if offset == 1 {
+                    (Some(src), Some(Nucleotide::A))
+                } else {
+                    (Some(Nucleotide::A), Some(src))
+                };
+                for (r, e) in refs.iter().zip(expected) {
+                    // `Any` ignores S entirely; exercised for completeness.
+                    assert_eq!(
+                        cell.matches(instr, *r, prev1, prev2),
+                        e,
+                        "1-{:02b}-{}-{r}",
+                        case.f.code2(),
+                        u8::from(s)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig5b_highlighted_uc_column() {
+        // "the first four rows of the third column" — 01-U/C against all
+        // four reference elements: 0, 1, 0, 1 (A, C, G, U order).
+        let cell = ComparatorCell::new();
+        let instr = Instruction::encode(PatternElement::Conditional(MatchCondition::PyrimidineUc));
+        let outs: Vec<bool> = Nucleotide::ALL
+            .iter()
+            .map(|&r| cell.matches(instr, r, None, None))
+            .collect();
+        assert_eq!(outs, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn score_window_equals_encoder_score() {
+        use fabp_bio::seq::{ProteinSeq, RnaSeq};
+        use fabp_encoding::encoder::EncodedQuery;
+
+        let protein: ProteinSeq = "MFLSR*W".parse().unwrap();
+        let query = EncodedQuery::from_protein(&protein);
+        let cell = ComparatorCell::new();
+        let reference: RnaSeq = "AUGUUCUUGUCACGAUAAUGGCAUGUU".parse().unwrap();
+        for k in 0..=reference.len() - query.len() {
+            let window = &reference.as_slice()[k..];
+            assert_eq!(
+                cell.score_window(query.instructions(), window),
+                query.score_window(window),
+                "position {k}"
+            );
+        }
+    }
+}

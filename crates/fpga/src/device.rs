@@ -1,0 +1,234 @@
+//! FPGA device descriptors.
+//!
+//! Table I's "Available" row describes the paper's mid-range Kintex-7:
+//! 326 k LUTs, 407 k FFs, 16 Mb BRAM, 840 DSPs, 12.8 GB/s of DRAM
+//! bandwidth through one memory channel. Additional parts are provided for
+//! sweeps ("an FPGA with more LUTs can outperform the GPU-based
+//! implementation", §IV-B).
+
+use crate::netlist::ResourceCount;
+use std::fmt;
+
+/// Static description of an FPGA part plus its board-level memory system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaDevice {
+    /// Human-readable part name.
+    pub name: &'static str,
+    /// Available 6-input LUTs.
+    pub luts: usize,
+    /// Available flip-flops.
+    pub ffs: usize,
+    /// Available block RAM in bits.
+    pub bram_bits: usize,
+    /// Available DSP slices.
+    pub dsps: usize,
+    /// Number of DRAM memory channels.
+    pub mem_channels: usize,
+    /// Peak bandwidth per memory channel in bytes/second.
+    pub channel_bandwidth: f64,
+    /// Kernel clock frequency in Hz.
+    pub clock_hz: f64,
+    /// Typical board power in watts while the kernel runs.
+    pub power_w: f64,
+}
+
+impl FpgaDevice {
+    /// The paper's mid-range Kintex-7 (Table I "Available" row).
+    ///
+    /// The 12.8 GB/s nominal bandwidth equals the paper's
+    /// `BW = 512 bits × Freq` at 200 MHz.
+    pub fn kintex7() -> FpgaDevice {
+        FpgaDevice {
+            name: "Kintex-7 (mid-range)",
+            luts: 326_000,
+            ffs: 407_000,
+            bram_bits: 16_000_000,
+            dsps: 840,
+            mem_channels: 1,
+            channel_bandwidth: 12.8e9,
+            clock_hz: 200.0e6,
+            power_w: 10.0,
+        }
+    }
+
+    /// A smaller Artix-7-class part for down-scaling sweeps.
+    pub fn artix7() -> FpgaDevice {
+        FpgaDevice {
+            name: "Artix-7 (low-end)",
+            luts: 134_000,
+            ffs: 269_000,
+            bram_bits: 13_000_000,
+            dsps: 740,
+            mem_channels: 1,
+            channel_bandwidth: 12.8e9,
+            clock_hz: 200.0e6,
+            power_w: 6.0,
+        }
+    }
+
+    /// A larger Virtex-7-class part for the "more LUTs" projection of
+    /// §IV-B.
+    pub fn virtex7() -> FpgaDevice {
+        FpgaDevice {
+            name: "Virtex-7 (high-end)",
+            luts: 1_221_600,
+            ffs: 2_443_200,
+            bram_bits: 68_000_000,
+            dsps: 3_600,
+            mem_channels: 2,
+            channel_bandwidth: 12.8e9,
+            clock_hz: 200.0e6,
+            power_w: 25.0,
+        }
+    }
+
+    /// Nominal memory bandwidth across all channels, bytes/second.
+    pub fn total_bandwidth(&self) -> f64 {
+        self.channel_bandwidth * self.mem_channels as f64
+    }
+
+    /// Available resources as a [`ResourceCount`].
+    pub fn available(&self) -> ResourceCount {
+        ResourceCount {
+            luts: self.luts,
+            ffs: self.ffs,
+            dsps: self.dsps,
+            bram_bits: self.bram_bits,
+        }
+    }
+
+    /// Utilisation of `used` against this device, per resource class, as
+    /// fractions in `[0, ∞)` (values above 1 mean the design does not fit).
+    pub fn utilization(&self, used: ResourceCount) -> Utilization {
+        Utilization {
+            lut: used.luts as f64 / self.luts as f64,
+            ff: used.ffs as f64 / self.ffs as f64,
+            dsp: used.dsps as f64 / self.dsps as f64,
+            bram: used.bram_bits as f64 / self.bram_bits as f64,
+        }
+    }
+
+    /// `true` when `used` fits within the device, honouring a placement
+    /// headroom factor (`1.0` = may fill the part completely).
+    pub fn fits(&self, used: ResourceCount, headroom: f64) -> bool {
+        let u = self.utilization(used);
+        u.max_fraction() <= headroom
+    }
+}
+
+impl fmt::Display for FpgaDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}k LUT, {}k FF, {} Mb BRAM, {} DSP, {:.1} GB/s × {}ch @ {:.0} MHz",
+            self.name,
+            self.luts / 1000,
+            self.ffs / 1000,
+            self.bram_bits / 1_000_000,
+            self.dsps,
+            self.channel_bandwidth / 1e9,
+            self.mem_channels,
+            self.clock_hz / 1e6
+        )
+    }
+}
+
+/// Per-class utilisation fractions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// LUT fraction.
+    pub lut: f64,
+    /// Flip-flop fraction.
+    pub ff: f64,
+    /// DSP fraction.
+    pub dsp: f64,
+    /// BRAM fraction.
+    pub bram: f64,
+}
+
+impl Utilization {
+    /// The binding (largest) utilisation fraction.
+    pub fn max_fraction(&self) -> f64 {
+        self.lut.max(self.ff).max(self.dsp).max(self.bram)
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LUT {:.0}%, FF {:.0}%, BRAM {:.0}%, DSP {:.0}%",
+            self.lut * 100.0,
+            self.ff * 100.0,
+            self.bram * 100.0,
+            self.dsp * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kintex7_matches_table1_available_row() {
+        let dev = FpgaDevice::kintex7();
+        assert_eq!(dev.luts, 326_000);
+        assert_eq!(dev.ffs, 407_000);
+        assert_eq!(dev.bram_bits, 16_000_000);
+        assert_eq!(dev.dsps, 840);
+        assert!((dev.total_bandwidth() - 12.8e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn nominal_bandwidth_is_512_bits_times_freq() {
+        // §III-C: BW = 512 × Freq.
+        let dev = FpgaDevice::kintex7();
+        let computed = 512.0 / 8.0 * dev.clock_hz;
+        assert!((computed - dev.channel_bandwidth).abs() < 1.0);
+    }
+
+    #[test]
+    fn utilization_and_fit() {
+        let dev = FpgaDevice::kintex7();
+        let half = ResourceCount {
+            luts: 163_000,
+            ffs: 100_000,
+            dsps: 100,
+            bram_bits: 1_000_000,
+        };
+        let u = dev.utilization(half);
+        assert!((u.lut - 0.5).abs() < 1e-9);
+        assert!(dev.fits(half, 1.0));
+        let too_big = ResourceCount {
+            luts: 400_000,
+            ..ResourceCount::zero()
+        };
+        assert!(!dev.fits(too_big, 1.0));
+        assert!((dev.utilization(too_big).max_fraction() - 400_000.0 / 326_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn headroom_reduces_capacity() {
+        let dev = FpgaDevice::kintex7();
+        let at_90 = ResourceCount {
+            luts: 293_400,
+            ..ResourceCount::zero()
+        };
+        assert!(dev.fits(at_90, 0.95));
+        assert!(!dev.fits(at_90, 0.85));
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let s = FpgaDevice::kintex7().to_string();
+        assert!(s.contains("326k LUT"));
+        assert!(s.contains("12.8 GB/s"));
+    }
+
+    #[test]
+    fn device_family_ordering() {
+        assert!(FpgaDevice::artix7().luts < FpgaDevice::kintex7().luts);
+        assert!(FpgaDevice::kintex7().luts < FpgaDevice::virtex7().luts);
+    }
+}

@@ -1,0 +1,412 @@
+//! Cycle-level simulator of the FabP accelerator (Fig. 3).
+//!
+//! The engine couples the planned architecture (`resources`), the AXI
+//! timing model (`axi`) and the gate-level comparator truth tables
+//! (`comparator`) into a beat-by-beat simulation: every 512-bit beat
+//! delivers 256 reference elements into the *Reference Stream* buffer, the
+//! 256 alignment instances score their windows through the two-LUT
+//! comparator cells, a Pop-Counter reduction produces each score, DSP
+//! threshold comparators select hits, and the WB buffer writes hit
+//! positions back. Scores are **bit-exact** with the golden model (the
+//! datapath evaluates the same LUT truth tables the RTL would) while the
+//! cycle accounting reproduces the paper's bandwidth/segmentation
+//! behaviour.
+
+use crate::axi::{AxiChannel, AxiConfig};
+use crate::comparator::ComparatorCell;
+use crate::device::FpgaDevice;
+use crate::primitives::DspThreshold;
+use crate::resources::{plan, ArchParams, FabpPlan, PlanError};
+use fabp_bio::seq::PackedSeq;
+use fabp_encoding::encoder::EncodedQuery;
+use fabp_encoding::packing::{axi_beats, ReferenceStream};
+use std::fmt;
+
+/// Configuration of a FabP engine instance.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Target device.
+    pub device: FpgaDevice,
+    /// AXI channel timing.
+    pub axi: AxiConfig,
+    /// Resource-model overheads.
+    pub arch: ArchParams,
+    /// Score threshold: positions with `score >= threshold` are reported.
+    pub threshold: u32,
+    /// Memory channels to use (clamped to the device's).
+    pub channels: usize,
+    /// Hit positions the WB buffer can retire per cycle.
+    pub wb_rate_per_cycle: usize,
+    /// Pipeline depth in cycles (comparator + Pop-Counter + threshold
+    /// stages), added once as drain latency.
+    pub pipeline_depth: u64,
+}
+
+impl EngineConfig {
+    /// Default configuration on the paper's Kintex-7 with the given
+    /// threshold.
+    pub fn kintex7(threshold: u32) -> EngineConfig {
+        EngineConfig {
+            device: FpgaDevice::kintex7(),
+            axi: AxiConfig::default(),
+            arch: ArchParams::default(),
+            threshold,
+            channels: 1,
+            wb_rate_per_cycle: 4,
+            pipeline_depth: 12,
+        }
+    }
+}
+
+/// One reported alignment hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Hit {
+    /// Start position of the alignment window in the reference.
+    pub position: usize,
+    /// Alignment score: number of matching elements.
+    pub score: u32,
+}
+
+impl fmt::Display for Hit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hit @{} score {}", self.position, self.score)
+    }
+}
+
+/// Cycle/bandwidth statistics of one kernel execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// Total kernel cycles (including AXI warm-up and pipeline drain).
+    pub cycles: u64,
+    /// AXI beats consumed.
+    pub beats: u64,
+    /// Bytes read from DRAM.
+    pub bytes_read: u64,
+    /// Cycles spent waiting on the AXI channel.
+    pub stall_cycles: u64,
+    /// Extra cycles spent draining the write-back buffer.
+    pub wb_stall_cycles: u64,
+    /// Compute cycles (`beats × segments`, summed over channels).
+    pub busy_cycles: u64,
+    /// Alignment instances evaluated.
+    pub instances_evaluated: u64,
+    /// Kernel wall time at the device clock, in seconds.
+    pub kernel_seconds: f64,
+    /// Achieved DRAM read bandwidth in bytes/second.
+    pub achieved_bandwidth: f64,
+}
+
+/// Result of one engine run.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// Hits at or above the threshold, in ascending position order.
+    pub hits: Vec<Hit>,
+    /// Timing statistics.
+    pub stats: EngineStats,
+}
+
+/// The simulated FabP accelerator.
+#[derive(Debug, Clone)]
+pub struct FabpEngine {
+    query: EncodedQuery,
+    plan: FabpPlan,
+    config: EngineConfig,
+    cell: ComparatorCell,
+    dsp: DspThreshold,
+}
+
+impl FabpEngine {
+    /// Plans the architecture for `query` and builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] when the query cannot fit the device at any
+    /// segmentation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query is empty.
+    pub fn new(query: EncodedQuery, config: EngineConfig) -> Result<FabpEngine, PlanError> {
+        assert!(!query.is_empty(), "query must be non-empty");
+        let plan = plan(&config.device, query.len(), config.channels, &config.arch)?;
+        let dsp = DspThreshold::new(config.threshold.min((1 << DspThreshold::SCORE_WIDTH) - 1));
+        Ok(FabpEngine {
+            query,
+            plan,
+            config,
+            cell: ComparatorCell::new(),
+            dsp,
+        })
+    }
+
+    /// The planned architecture (segments, utilisation, bottleneck).
+    pub fn plan(&self) -> &FabpPlan {
+        &self.plan
+    }
+
+    /// The encoded query the engine holds in distributed memory.
+    pub fn query(&self) -> &EncodedQuery {
+        &self.query
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs the kernel over a packed reference, producing hits and cycle
+    /// statistics.
+    pub fn run(&self, reference: &PackedSeq) -> EngineRun {
+        let query_len = self.query.len();
+        let beats = axi_beats(reference);
+        let channels = self.plan.channels.max(1) as u64;
+        let segments = self.plan.segments as u64;
+
+        let mut stream = ReferenceStream::new(query_len);
+        let mut hits = Vec::new();
+        let mut stats = EngineStats::default();
+
+        // Per-channel compute-ready times (C parallel instance arrays).
+        let mut channel_ready = vec![0u64; channels as usize];
+        let mut axi = AxiChannel::new(self.config.axi);
+        let mut next_position = 0usize; // next unscored alignment start
+
+        for (beat_idx, beat) in beats.iter().enumerate() {
+            let ch = beat_idx % channels as usize;
+            // The channel's own beat sequence index drives availability.
+            let t_data = axi.fetch_beat(channel_ready[ch]);
+
+            // Bit-exact scoring of every alignment instance this beat
+            // completes.
+            let window = stream.push_beat(beat);
+            let mut beat_hits = 0u64;
+            if window.elements.len() >= query_len {
+                for offset in 0..=window.elements.len() - query_len {
+                    let position = window.start_position + offset;
+                    if position < next_position {
+                        continue;
+                    }
+                    let score = self
+                        .cell
+                        .score_window(self.query.instructions(), &window.elements[offset..])
+                        as u32;
+                    stats.instances_evaluated += 1;
+                    if self.dsp.exceeds(score) {
+                        hits.push(Hit { position, score });
+                        beat_hits += 1;
+                    }
+                }
+                next_position = window.start_position + window.elements.len() - query_len + 1;
+            }
+
+            // Cycle accounting: S segment cycles, plus WB back-pressure if
+            // this beat produced more hits than the WB port can retire.
+            let wb_cycles = beat_hits.div_ceil(self.config.wb_rate_per_cycle.max(1) as u64);
+            let compute = segments.max(1);
+            let extra_wb = wb_cycles.saturating_sub(compute);
+            channel_ready[ch] = t_data + compute + extra_wb;
+            stats.busy_cycles += compute;
+            stats.wb_stall_cycles += extra_wb;
+        }
+
+        let end = channel_ready.iter().copied().max().unwrap_or(0) + self.config.pipeline_depth;
+        let axi_stats = axi.stats();
+        stats.cycles = end;
+        stats.beats = axi_stats.beats;
+        stats.bytes_read = axi_stats.bytes;
+        stats.stall_cycles = axi_stats.stall_cycles;
+        stats.kernel_seconds = end as f64 / self.config.device.clock_hz;
+        stats.achieved_bandwidth = if end > 0 {
+            axi_stats.bytes as f64 / stats.kernel_seconds
+        } else {
+            0.0
+        };
+
+        EngineRun { hits, stats }
+    }
+
+    /// Analytical kernel time for a reference of `reference_bytes` bytes,
+    /// without simulating the datapath — used to extrapolate the paper's
+    /// 1 GB workloads from smaller simulated runs.
+    ///
+    /// Matches [`FabpEngine::run`]'s cycle accounting for hit-sparse
+    /// workloads (no WB back-pressure).
+    pub fn model_kernel_seconds(&self, reference_bytes: u64) -> f64 {
+        let beats_total = reference_bytes.div_ceil(64);
+        let channels = self.plan.channels.max(1) as u64;
+        let beats_per_channel = beats_total.div_ceil(channels);
+        let segments = self.plan.segments as u64;
+        // Per channel: beats arrive at efficiency eff; compute needs S
+        // cycles per beat. The slower of the two pipelines dominates.
+        let eff = self.config.axi.efficiency();
+        let mem_cycles = (beats_per_channel as f64 / eff).ceil();
+        let compute_cycles = (beats_per_channel * segments) as f64;
+        let cycles = mem_cycles.max(compute_cycles)
+            + self.config.axi.read_latency as f64
+            + self.config.pipeline_depth as f64;
+        cycles / self.config.device.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_bio::generate::{coding_rna_for_paper_patterns, random_protein, random_rna};
+    use fabp_bio::seq::{ProteinSeq, RnaSeq};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine_for(protein: &str, threshold: u32) -> FabpEngine {
+        let protein: ProteinSeq = protein.parse().unwrap();
+        let query = EncodedQuery::from_protein(&protein);
+        FabpEngine::new(query, EngineConfig::kintex7(threshold)).unwrap()
+    }
+
+    #[test]
+    fn finds_planted_perfect_hit() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let protein = random_protein(20, &mut rng);
+        let coding = coding_rna_for_paper_patterns(&protein, &mut rng);
+        let mut reference = random_rna(1000, &mut rng);
+        // Plant at position 400.
+        let mut bases: Vec<_> = reference.as_slice().to_vec();
+        bases.splice(400..400 + coding.len(), coding.iter().copied());
+        reference = RnaSeq::from(bases);
+
+        let query = EncodedQuery::from_protein(&protein);
+        let qlen = query.len() as u32;
+        let engine = FabpEngine::new(query, EngineConfig::kintex7(qlen)).unwrap();
+        let run = engine.run(&PackedSeq::from_rna(&reference));
+        assert!(
+            run.hits
+                .iter()
+                .any(|h| h.position == 400 && h.score == qlen),
+            "hits: {:?}",
+            run.hits
+        );
+    }
+
+    #[test]
+    fn hits_match_functional_scorer_across_chunk_boundaries() {
+        // Reference long enough to span several 256-element beats; verify
+        // against EncodedQuery::score_all_positions at every position.
+        let mut rng = StdRng::seed_from_u64(7);
+        let protein = random_protein(15, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        let reference = random_rna(1500, &mut rng);
+        let threshold = 30u32;
+        let engine = FabpEngine::new(query.clone(), EngineConfig::kintex7(threshold)).unwrap();
+        let run = engine.run(&PackedSeq::from_rna(&reference));
+
+        let expected: Vec<Hit> = query
+            .score_all_positions(reference.as_slice())
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, s)| s as u32 >= threshold)
+            .map(|(position, score)| Hit {
+                position,
+                score: score as u32,
+            })
+            .collect();
+        assert_eq!(run.hits, expected);
+    }
+
+    #[test]
+    fn all_positions_evaluated_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let protein = random_protein(10, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        let qlen = query.len();
+        let reference = random_rna(900, &mut rng);
+        // Threshold 0: every instance is a hit.
+        let engine = FabpEngine::new(query, EngineConfig::kintex7(0)).unwrap();
+        let run = engine.run(&PackedSeq::from_rna(&reference));
+        assert_eq!(run.hits.len(), reference.len() - qlen + 1);
+        for (i, h) in run.hits.iter().enumerate() {
+            assert_eq!(h.position, i);
+        }
+        assert_eq!(run.stats.instances_evaluated, run.hits.len() as u64);
+    }
+
+    #[test]
+    fn short_query_is_bandwidth_bound_with_high_bw() {
+        let engine = engine_for(&"M".repeat(50), 1000);
+        assert_eq!(engine.plan().segments, 1);
+        let mut rng = StdRng::seed_from_u64(9);
+        let reference = random_rna(256 * 1024, &mut rng);
+        let run = engine.run(&PackedSeq::from_rna(&reference));
+        let bw = run.stats.achieved_bandwidth;
+        assert!(
+            bw > 11.0e9 && bw <= 12.8e9,
+            "achieved bandwidth {:.2} GB/s",
+            bw / 1e9
+        );
+    }
+
+    #[test]
+    fn long_query_bandwidth_drops_by_segment_factor() {
+        let engine = engine_for(&"M".repeat(250), 1000);
+        let s = engine.plan().segments as f64;
+        assert!(s >= 3.0);
+        let mut rng = StdRng::seed_from_u64(10);
+        let reference = random_rna(64 * 1024, &mut rng);
+        let run = engine.run(&PackedSeq::from_rna(&reference));
+        let expected = 12.8e9 / s;
+        let bw = run.stats.achieved_bandwidth;
+        assert!(
+            (bw - expected).abs() / expected < 0.15,
+            "bw {:.2} GB/s, expected ≈{:.2} GB/s",
+            bw / 1e9,
+            expected / 1e9
+        );
+    }
+
+    #[test]
+    fn model_time_agrees_with_simulation() {
+        for protein_len in [30usize, 120] {
+            let engine = engine_for(&"M".repeat(protein_len), 1000);
+            let mut rng = StdRng::seed_from_u64(11);
+            let reference = random_rna(32 * 1024, &mut rng);
+            let run = engine.run(&PackedSeq::from_rna(&reference));
+            let modeled = engine.model_kernel_seconds((reference.len() as u64).div_ceil(4) * 1);
+            // bytes = len/4 (2 bits per base -> 4 bases per byte).
+            let simulated = run.stats.kernel_seconds;
+            let ratio = modeled / simulated;
+            assert!(
+                (0.8..1.2).contains(&ratio),
+                "len {protein_len}: modeled {modeled:.2e} vs simulated {simulated:.2e}"
+            );
+        }
+    }
+
+    #[test]
+    fn wb_backpressure_adds_cycles_when_everything_hits() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let protein = random_protein(5, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        let reference = random_rna(8 * 1024, &mut rng);
+        let mut config = EngineConfig::kintex7(0); // every position hits
+        config.wb_rate_per_cycle = 4;
+        let engine = FabpEngine::new(query, config).unwrap();
+        let run = engine.run(&PackedSeq::from_rna(&reference));
+        assert!(
+            run.stats.wb_stall_cycles > 0,
+            "256 hits/beat must exceed 4/cycle WB rate"
+        );
+    }
+
+    #[test]
+    fn empty_reference_is_graceful() {
+        let engine = engine_for("MFW", 0);
+        let run = engine.run(&PackedSeq::new());
+        assert!(run.hits.is_empty());
+        assert_eq!(run.stats.beats, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_query_panics() {
+        let query = EncodedQuery::from_exact_rna(&RnaSeq::new());
+        let _ = FabpEngine::new(query, EngineConfig::kintex7(0));
+    }
+}

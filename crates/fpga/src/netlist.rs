@@ -1,0 +1,569 @@
+//! A small structural netlist of FPGA primitives.
+//!
+//! The comparator and Pop-Counter modules are built as netlists of
+//! [`Lut6`]s and [`FlipFlop`]s — the same primitives the paper's RTL
+//! directly instantiates (§III-D) — so their resource footprints can be
+//! *counted* rather than guessed, and their behaviour simulated gate by
+//! gate.
+//!
+//! The netlist is a DAG of combinational nodes plus registers; [`Netlist::eval`]
+//! computes all node values for given inputs, and [`Netlist::clock`]
+//! advances the registers.
+
+use crate::primitives::{FlipFlop, Lut6};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// External input, set before each evaluation.
+    Input,
+    /// Constant 0 or 1.
+    Const(bool),
+    /// A LUT6 driven by six other nodes.
+    Lut(Lut6, [NodeId; 6]),
+    /// A carry-chain element: `cout = majority(a, b, cin)`. Models the
+    /// dedicated CARRY4 silicon, so it does not count as a LUT.
+    Carry { a: NodeId, b: NodeId, cin: NodeId },
+    /// A register; its combinational value is the stored `Q`.
+    Reg { d: NodeId },
+}
+
+/// Public, read-only view of a netlist node's kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// External input.
+    Input,
+    /// Constant driver.
+    Const(bool),
+    /// A LUT6 with its truth table and six input pins.
+    Lut(Lut6, [NodeId; 6]),
+    /// Carry-chain element `cout = majority(a, b, cin)`.
+    Carry {
+        /// First operand bit.
+        a: NodeId,
+        /// Second operand bit.
+        b: NodeId,
+        /// Carry input.
+        cin: NodeId,
+    },
+    /// Register; `d` is its data input.
+    Reg {
+        /// Data input node.
+        d: NodeId,
+    },
+}
+
+/// Resource count of a netlist (or an analytical module estimate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceCount {
+    /// Number of LUT6 primitives.
+    pub luts: usize,
+    /// Number of flip-flops.
+    pub ffs: usize,
+    /// Number of DSP slices.
+    pub dsps: usize,
+    /// BRAM bits.
+    pub bram_bits: usize,
+}
+
+impl ResourceCount {
+    /// A zero count.
+    pub const fn zero() -> ResourceCount {
+        ResourceCount {
+            luts: 0,
+            ffs: 0,
+            dsps: 0,
+            bram_bits: 0,
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn add(self, other: ResourceCount) -> ResourceCount {
+        ResourceCount {
+            luts: self.luts + other.luts,
+            ffs: self.ffs + other.ffs,
+            dsps: self.dsps + other.dsps,
+            bram_bits: self.bram_bits + other.bram_bits,
+        }
+    }
+
+    /// Component-wise scale.
+    pub fn scale(self, n: usize) -> ResourceCount {
+        ResourceCount {
+            luts: self.luts * n,
+            ffs: self.ffs * n,
+            dsps: self.dsps * n,
+            bram_bits: self.bram_bits * n,
+        }
+    }
+}
+
+impl std::ops::Add for ResourceCount {
+    type Output = ResourceCount;
+
+    fn add(self, rhs: ResourceCount) -> ResourceCount {
+        ResourceCount::add(self, rhs)
+    }
+}
+
+impl std::iter::Sum for ResourceCount {
+    fn sum<I: Iterator<Item = ResourceCount>>(iter: I) -> ResourceCount {
+        iter.fold(ResourceCount::zero(), ResourceCount::add)
+    }
+}
+
+impl fmt::Display for ResourceCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUTs, {} FFs, {} DSPs, {} BRAM bits",
+            self.luts, self.ffs, self.dsps, self.bram_bits
+        )
+    }
+}
+
+/// A gate-level netlist of LUT6s, registers and constants.
+///
+/// Nodes must be added in topological order for combinational paths
+/// (a LUT's inputs must already exist), which the builder enforces by
+/// construction since [`NodeId`]s are only obtainable for existing nodes.
+/// Registers may close cycles: a register's `d` input can be set *after*
+/// creation via [`Netlist::connect_reg`], enabling feedback (accumulators).
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    nodes: Vec<Node>,
+    regs: Vec<(NodeId, FlipFlop)>, // (register node, state)
+    /// node index -> position in `regs` (registers only).
+    reg_lookup: HashMap<u32, usize>,
+    outputs: HashMap<String, NodeId>,
+    values: Vec<bool>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Netlist {
+        Netlist::default()
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("netlist too large"));
+        self.nodes.push(node);
+        self.values.push(false);
+        id
+    }
+
+    /// Adds an external input.
+    pub fn input(&mut self) -> NodeId {
+        self.push(Node::Input)
+    }
+
+    /// Adds `n` external inputs.
+    pub fn inputs(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.input()).collect()
+    }
+
+    /// Adds a constant node.
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        self.push(Node::Const(value))
+    }
+
+    /// Adds a LUT6 node.
+    pub fn lut(&mut self, lut: Lut6, inputs: [NodeId; 6]) -> NodeId {
+        for input in inputs {
+            assert!(
+                input.index() < self.nodes.len(),
+                "LUT input {input:?} does not exist"
+            );
+        }
+        self.push(Node::Lut(lut, inputs))
+    }
+
+    /// Adds a LUT computing a function of up to six nodes; unused inputs
+    /// are tied to constant 0.
+    pub fn lut_fn<F: FnMut(u8) -> bool>(&mut self, inputs: &[NodeId], f: F) -> NodeId {
+        assert!(inputs.len() <= 6, "a LUT6 has at most 6 inputs");
+        let zero = self.constant(false);
+        let mut pins = [zero; 6];
+        pins[..inputs.len()].copy_from_slice(inputs);
+        self.lut(Lut6::from_fn(f), pins)
+    }
+
+    /// Adds a carry-chain element computing `majority(a, b, cin)` — the
+    /// carry-out of a full adder. Free of LUT cost (dedicated CARRY4
+    /// silicon).
+    pub fn carry(&mut self, a: NodeId, b: NodeId, cin: NodeId) -> NodeId {
+        for pin in [a, b, cin] {
+            assert!(
+                pin.index() < self.nodes.len(),
+                "carry input {pin:?} does not exist"
+            );
+        }
+        self.push(Node::Carry { a, b, cin })
+    }
+
+    /// Adds a register with a dangling `d` input (connect later with
+    /// [`Netlist::connect_reg`]), returning its node id.
+    pub fn reg_dangling(&mut self) -> NodeId {
+        let id = self.push(Node::Reg {
+            d: NodeId(u32::MAX),
+        });
+        self.reg_lookup.insert(id.0, self.regs.len());
+        self.regs.push((id, FlipFlop::new()));
+        id
+    }
+
+    /// Adds a register driven by `d`.
+    pub fn reg(&mut self, d: NodeId) -> NodeId {
+        let id = self.push(Node::Reg { d });
+        self.reg_lookup.insert(id.0, self.regs.len());
+        self.regs.push((id, FlipFlop::new()));
+        id
+    }
+
+    /// Connects (or reconnects) a register's `d` input; used to close
+    /// feedback loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is not a register node.
+    pub fn connect_reg(&mut self, reg: NodeId, d: NodeId) {
+        match &mut self.nodes[reg.index()] {
+            Node::Reg { d: slot } => *slot = d,
+            other => panic!("{reg:?} is not a register: {other:?}"),
+        }
+    }
+
+    /// Replaces a node with a constant driver — the mechanism behind
+    /// stuck-at fault injection (`fault` module). Registers lose their
+    /// state entry (a stuck output ignores the clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not exist.
+    pub fn override_node_const(&mut self, node: NodeId, value: bool) {
+        assert!(node.index() < self.nodes.len(), "no node {node:?}");
+        self.nodes[node.index()] = Node::Const(value);
+        self.regs.retain(|(id, _)| *id != node);
+        self.reg_lookup = self
+            .regs
+            .iter()
+            .enumerate()
+            .map(|(slot, (id, _))| (id.0, slot))
+            .collect();
+    }
+
+    /// Iterator over all node ids in creation (topological) order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(|i| NodeId(i as u32))
+    }
+
+    /// Public view of a node's kind (for emitters and inspectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not exist.
+    pub fn node_kind(&self, id: NodeId) -> NodeKind {
+        match &self.nodes[id.index()] {
+            Node::Input => NodeKind::Input,
+            Node::Const(v) => NodeKind::Const(*v),
+            Node::Lut(lut, pins) => NodeKind::Lut(*lut, *pins),
+            Node::Carry { a, b, cin } => NodeKind::Carry {
+                a: *a,
+                b: *b,
+                cin: *cin,
+            },
+            Node::Reg { d } => NodeKind::Reg { d: *d },
+        }
+    }
+
+    /// Ids of all input nodes, in creation order.
+    pub fn input_nodes(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&id| matches!(self.nodes[id.index()], Node::Input))
+            .collect()
+    }
+
+    /// Named outputs, sorted by name for deterministic emission.
+    pub fn named_outputs(&self) -> Vec<(String, NodeId)> {
+        let mut v: Vec<(String, NodeId)> = self
+            .outputs
+            .iter()
+            .map(|(name, id)| (name.clone(), *id))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registers in the netlist.
+    pub fn register_count(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// The value of a constant node, or `None` for any other node kind.
+    /// Lets builders constant-fold (e.g. skip adder bits driven by shifted
+    /// zeros, as a synthesizer would).
+    pub fn const_value(&self, id: NodeId) -> Option<bool> {
+        match self.nodes[id.index()] {
+            Node::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Names a node as an output.
+    pub fn mark_output(&mut self, name: impl Into<String>, id: NodeId) {
+        self.outputs.insert(name.into(), id);
+    }
+
+    /// Looks up a named output.
+    pub fn output(&self, name: &str) -> Option<NodeId> {
+        self.outputs.get(name).copied()
+    }
+
+    /// Resource count: LUTs and registers actually instantiated.
+    pub fn resources(&self) -> ResourceCount {
+        let luts = self
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Lut(..)))
+            .count();
+        ResourceCount {
+            luts,
+            ffs: self.regs.len(),
+            dsps: 0,
+            bram_bits: 0,
+        }
+    }
+
+    /// Evaluates all combinational values for the given input assignment
+    /// (in input-creation order). Register nodes read their stored state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not match the number of input nodes.
+    pub fn eval(&mut self, inputs: &[bool]) {
+        let mut next_input = 0usize;
+        for i in 0..self.nodes.len() {
+            let value = match &self.nodes[i] {
+                Node::Input => {
+                    let v = *inputs
+                        .get(next_input)
+                        .expect("not enough input values supplied");
+                    next_input += 1;
+                    v
+                }
+                Node::Const(v) => *v,
+                Node::Lut(lut, pins) => {
+                    let mut addr = 0u8;
+                    for (bit, pin) in pins.iter().enumerate() {
+                        addr |= (self.read_pin(*pin, i) as u8) << bit;
+                    }
+                    lut.eval_addr(addr)
+                }
+                Node::Carry { a, b, cin } => {
+                    let (a, b, cin) = (*a, *b, *cin);
+                    let va = self.read_pin(a, i);
+                    let vb = self.read_pin(b, i);
+                    let vc = self.read_pin(cin, i);
+                    (va & vb) | (vc & (va ^ vb))
+                }
+                Node::Reg { .. } => self.reg_state(NodeId(i as u32)),
+            };
+            self.values[i] = value;
+        }
+        assert_eq!(next_input, inputs.len(), "too many input values supplied");
+    }
+
+    /// Reads a pin's value during evaluation of node `at`: registers read
+    /// their stored state; combinational nodes must already be evaluated.
+    fn read_pin(&self, pin: NodeId, at: usize) -> bool {
+        match &self.nodes[pin.index()] {
+            Node::Reg { .. } => self.reg_state(pin),
+            _ => {
+                assert!(pin.index() < at, "combinational loop through node {pin:?}");
+                self.values[pin.index()]
+            }
+        }
+    }
+
+    fn reg_state(&self, id: NodeId) -> bool {
+        let slot = *self.reg_lookup.get(&id.0).expect("register state missing");
+        self.regs[slot].1.q()
+    }
+
+    /// Value of a node after the last [`Netlist::eval`].
+    pub fn value(&self, id: NodeId) -> bool {
+        self.values[id.index()]
+    }
+
+    /// Value of a named output after the last [`Netlist::eval`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output does not exist.
+    pub fn output_value(&self, name: &str) -> bool {
+        self.value(
+            self.output(name)
+                .unwrap_or_else(|| panic!("no output {name:?}")),
+        )
+    }
+
+    /// Clock edge: every register latches the current value of its `d`
+    /// node (call after [`Netlist::eval`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any register's `d` input is still dangling.
+    pub fn clock(&mut self) {
+        // Collect D values first so all registers update simultaneously.
+        let ds: Vec<bool> = self
+            .regs
+            .iter()
+            .map(|(id, _)| match &self.nodes[id.index()] {
+                Node::Reg { d } => {
+                    assert!(d.0 != u32::MAX, "register {id:?} has a dangling D input");
+                    self.values[d.index()]
+                }
+                _ => unreachable!("reg list points at a non-register"),
+            })
+            .collect();
+        for ((_, ff), d) in self.regs.iter_mut().zip(ds) {
+            ff.clock(d);
+        }
+    }
+
+    /// Resets every register to 0.
+    pub fn reset(&mut self) {
+        for (_, ff) in &mut self.regs {
+            ff.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_netlist() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let x = n.lut_fn(&[a, b], |addr| (addr & 1) ^ ((addr >> 1) & 1) == 1);
+        n.mark_output("x", x);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            n.eval(&[va, vb]);
+            assert_eq!(n.output_value("x"), va ^ vb);
+        }
+    }
+
+    #[test]
+    fn register_pipeline_delays() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let r1 = n.reg(a);
+        let r2 = n.reg(r1);
+        n.mark_output("out", r2);
+        let stimulus = [true, false, true, true, false];
+        let mut seen = Vec::new();
+        for &s in &stimulus {
+            n.eval(&[s]);
+            seen.push(n.output_value("out"));
+            n.clock();
+        }
+        // Two-stage delay: outputs are 0, 0, s0, s1, s2.
+        assert_eq!(seen, vec![false, false, true, false, true]);
+    }
+
+    #[test]
+    fn feedback_accumulator_toggles() {
+        // T flip-flop: d = q XOR enable.
+        let mut n = Netlist::new();
+        let enable = n.input();
+        let q = n.reg_dangling();
+        let d = n.lut_fn(&[q, enable], |addr| ((addr & 1) ^ ((addr >> 1) & 1)) == 1);
+        n.connect_reg(q, d);
+        n.mark_output("q", q);
+        let mut states = Vec::new();
+        for _ in 0..4 {
+            n.eval(&[true]);
+            states.push(n.output_value("q"));
+            n.clock();
+        }
+        assert_eq!(states, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn resources_count_luts_and_ffs() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let l1 = n.lut_fn(&[a], |addr| addr & 1 == 1);
+        let _r = n.reg(l1);
+        let _l2 = n.lut_fn(&[l1], |addr| addr & 1 == 0);
+        let r = n.resources();
+        assert_eq!(r.luts, 2);
+        assert_eq!(r.ffs, 1);
+    }
+
+    #[test]
+    fn resource_count_arithmetic() {
+        let a = ResourceCount {
+            luts: 2,
+            ffs: 3,
+            dsps: 1,
+            bram_bits: 8,
+        };
+        let b = ResourceCount {
+            luts: 1,
+            ffs: 1,
+            dsps: 0,
+            bram_bits: 0,
+        };
+        let sum = a + b;
+        assert_eq!(sum.luts, 3);
+        assert_eq!(sum.ffs, 4);
+        let scaled = a.scale(3);
+        assert_eq!(scaled.luts, 6);
+        assert_eq!(scaled.bram_bits, 24);
+        let total: ResourceCount = [a, b, scaled].into_iter().sum();
+        assert_eq!(total.luts, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough input values")]
+    fn eval_checks_input_arity() {
+        let mut n = Netlist::new();
+        let _ = n.input();
+        n.eval(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling")]
+    fn clock_rejects_dangling_register() {
+        let mut n = Netlist::new();
+        let _q = n.reg_dangling();
+        n.eval(&[]);
+        n.clock();
+    }
+
+    #[test]
+    fn constants_evaluate() {
+        let mut n = Netlist::new();
+        let one = n.constant(true);
+        let zero = n.constant(false);
+        let or = n.lut_fn(&[one, zero], |addr| addr != 0);
+        n.eval(&[]);
+        assert!(n.value(or));
+    }
+}

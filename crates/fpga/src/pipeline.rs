@@ -1,0 +1,284 @@
+//! Pipelined Pop-Counter: the register-staged variant the accelerator
+//! actually deploys ("the pipelined Pop-Counter", §III-D).
+//!
+//! Every reduction level is followed by a register stage — including
+//! pass-through values, which must be registered too so all paths reach
+//! the output with equal latency (pipeline balancing). One new 36-bit
+//! match vector can be accepted *every cycle*; results emerge `latency`
+//! cycles later.
+
+use crate::netlist::{Netlist, NodeId, ResourceCount};
+use crate::popcount::{add_vectors, pop6_group, PopStyle};
+
+/// A pipelined pop-counter netlist with its cycle-level driver.
+#[derive(Debug, Clone)]
+pub struct PipelinedPopCounter {
+    netlist: Netlist,
+    outputs: Vec<NodeId>,
+    width: usize,
+    latency: usize,
+}
+
+impl PipelinedPopCounter {
+    /// Builds a pipelined counter of `width` bits in the given style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn build(width: usize, style: PopStyle) -> PipelinedPopCounter {
+        assert!(width > 0, "pop-counter width must be positive");
+        let mut n = Netlist::new();
+        let inputs = n.inputs(width);
+        let (outputs, latency) = match style {
+            PopStyle::HandCrafted => build_handcrafted_pipelined(&mut n, &inputs),
+            PopStyle::TreeAdder => {
+                let leaves: Vec<Vec<NodeId>> = inputs.iter().map(|&b| vec![b]).collect();
+                reduce_pipelined(&mut n, leaves)
+            }
+        };
+        for (i, &o) in outputs.iter().enumerate() {
+            n.mark_output(format!("sum{i}"), o);
+        }
+        let _ = inputs; // creation order defines the eval() input layout
+        PipelinedPopCounter {
+            netlist: n,
+            outputs,
+            width,
+            latency,
+        }
+    }
+
+    /// Input width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Pipeline latency in cycles.
+    pub fn latency(&self) -> usize {
+        self.latency
+    }
+
+    /// Resource footprint (the register stages appear as FFs).
+    pub fn resources(&self) -> ResourceCount {
+        self.netlist.resources()
+    }
+
+    /// Borrow the netlist (e.g. for Verilog emission).
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Resets all pipeline registers.
+    pub fn reset(&mut self) {
+        self.netlist.reset();
+    }
+
+    /// Advances one cycle with the given input vector and returns the sum
+    /// currently at the output — valid for the input fed `latency` cycles
+    /// ago (garbage during fill after a reset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != self.width()`.
+    pub fn cycle(&mut self, bits: &[bool]) -> u32 {
+        assert_eq!(bits.len(), self.width, "input width mismatch");
+        self.netlist.eval(bits);
+        let out = self
+            .outputs
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| u32::from(self.netlist.value(o)) << i)
+            .sum();
+        self.netlist.clock();
+        out
+    }
+
+    /// One-shot count: holds `bits` for `latency + 1` cycles and returns
+    /// the settled sum.
+    pub fn count_blocking(&mut self, bits: &[bool]) -> u32 {
+        let mut out = 0;
+        for _ in 0..=self.latency {
+            out = self.cycle(bits);
+        }
+        out
+    }
+}
+
+/// Registers every bit of every value — one balanced pipeline stage.
+fn register_stage(n: &mut Netlist, values: Vec<Vec<NodeId>>) -> Vec<Vec<NodeId>> {
+    values
+        .into_iter()
+        .map(|bits| bits.into_iter().map(|b| n.reg(b)).collect())
+        .collect()
+}
+
+/// Pairwise adder-tree reduction with a register stage after every level.
+/// Returns the final sum bits and the number of stages inserted.
+fn reduce_pipelined(n: &mut Netlist, mut values: Vec<Vec<NodeId>>) -> (Vec<NodeId>, usize) {
+    assert!(!values.is_empty());
+    let mut latency = 0usize;
+    while values.len() > 1 {
+        let mut next = Vec::with_capacity(values.len().div_ceil(2));
+        for pair in values.chunks(2) {
+            match pair {
+                [a, b] => next.push(add_vectors(n, a, b)),
+                [a] => next.push(a.clone()),
+                _ => unreachable!("chunks(2) yields 1 or 2 items"),
+            }
+        }
+        values = register_stage(n, next);
+        latency += 1;
+    }
+    (values.pop().expect("non-empty reduction"), latency)
+}
+
+/// Pop36 blocks with internal stage registers, then a pipelined tree.
+fn build_handcrafted_pipelined(n: &mut Netlist, inputs: &[NodeId]) -> (Vec<NodeId>, usize) {
+    let zero = n.constant(false);
+    let mut block_sums: Vec<Vec<NodeId>> = Vec::new();
+    for chunk in inputs.chunks(36) {
+        let mut bits = [zero; 36];
+        bits[..chunk.len()].copy_from_slice(chunk);
+
+        // Stage 1: six shared-input groups, registered.
+        let stage1: Vec<[NodeId; 3]> = bits
+            .chunks(6)
+            .map(|c| {
+                let mut pins = [zero; 6];
+                pins.copy_from_slice(c);
+                let g = pop6_group(n, &pins);
+                g.map(|b| n.reg(b))
+            })
+            .collect();
+
+        // Stage 2: bit-order summation, registered.
+        let stage2: Vec<[NodeId; 3]> = (0..3)
+            .map(|j| {
+                let pins: [NodeId; 6] = std::array::from_fn(|g| stage1[g][j]);
+                let g = pop6_group(n, &pins);
+                g.map(|b| n.reg(b))
+            })
+            .collect();
+
+        // Stage 3: weighted recombination, registered.
+        let p1_shifted: Vec<NodeId> = std::iter::once(zero)
+            .chain(stage2[1].iter().copied())
+            .collect();
+        let p2_shifted: Vec<NodeId> = [zero, zero]
+            .into_iter()
+            .chain(stage2[2].iter().copied())
+            .collect();
+        let t = add_vectors(n, &p1_shifted, &p2_shifted);
+        let total = add_vectors(n, &stage2[0].to_vec(), &t);
+        block_sums.push(total.into_iter().map(|b| n.reg(b)).collect());
+    }
+
+    let (out, tree_latency) = reduce_pipelined(n, block_sums);
+    (out, 3 + tree_latency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popcount::PopCounter;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(width: usize, rng: &mut StdRng) -> Vec<bool> {
+        (0..width).map(|_| rng.gen_bool(0.5)).collect()
+    }
+
+    #[test]
+    fn blocking_count_matches_combinational() {
+        let mut rng = StdRng::seed_from_u64(0x91);
+        for width in [7usize, 36, 72, 150] {
+            let mut pipelined = PipelinedPopCounter::build(width, PopStyle::HandCrafted);
+            let mut flat = PopCounter::build(width, PopStyle::HandCrafted);
+            for _ in 0..20 {
+                let bits = random_bits(width, &mut rng);
+                pipelined.reset();
+                assert_eq!(
+                    pipelined.count_blocking(&bits),
+                    flat.count(&bits),
+                    "width {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_throughput_one_result_per_cycle() {
+        // Feed a new vector every cycle; outputs must be the popcounts of
+        // the inputs fed `latency` cycles earlier.
+        let mut rng = StdRng::seed_from_u64(0x92);
+        let width = 72usize;
+        let mut pc = PipelinedPopCounter::build(width, PopStyle::HandCrafted);
+        let latency = pc.latency();
+        let stream: Vec<Vec<bool>> = (0..30).map(|_| random_bits(width, &mut rng)).collect();
+        let mut outputs = Vec::new();
+        for bits in &stream {
+            outputs.push(pc.cycle(bits));
+        }
+        // Drain.
+        let zeros = vec![false; width];
+        for _ in 0..latency {
+            outputs.push(pc.cycle(&zeros));
+        }
+        for (i, bits) in stream.iter().enumerate() {
+            let expected = bits.iter().filter(|&&b| b).count() as u32;
+            assert_eq!(outputs[i + latency], expected, "stream element {i}");
+        }
+    }
+
+    #[test]
+    fn tree_style_also_pipelines() {
+        let mut rng = StdRng::seed_from_u64(0x93);
+        let width = 50usize;
+        let mut pc = PipelinedPopCounter::build(width, PopStyle::TreeAdder);
+        assert!(pc.latency() >= 6, "log2(50) levels");
+        let bits = random_bits(width, &mut rng);
+        let expected = bits.iter().filter(|&&b| b).count() as u32;
+        assert_eq!(pc.count_blocking(&bits), expected);
+    }
+
+    #[test]
+    fn pipelining_adds_ffs_not_luts() {
+        let width = 150usize;
+        let flat = PopCounter::build(width, PopStyle::HandCrafted).resources();
+        let pipelined = PipelinedPopCounter::build(width, PopStyle::HandCrafted).resources();
+        assert_eq!(flat.ffs, 0);
+        assert!(pipelined.ffs > 0);
+        // Register insertion must not change the logic size materially.
+        assert!(
+            pipelined.luts <= flat.luts + 8,
+            "pipelined {} vs flat {}",
+            pipelined.luts,
+            flat.luts
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_width() {
+        let small = PipelinedPopCounter::build(36, PopStyle::HandCrafted).latency();
+        let large = PipelinedPopCounter::build(750, PopStyle::HandCrafted).latency();
+        assert_eq!(small, 3, "one Pop36: three internal stages");
+        assert!(large > small);
+        // 750 bits = 21 Pop36 blocks -> ceil(log2(21)) = 5 tree levels.
+        assert_eq!(large, 3 + 5);
+    }
+
+    #[test]
+    fn engine_pipeline_depth_covers_popcounter_latency() {
+        // The engine's default drain latency must cover the deepest
+        // pop-counter it can deploy (750 elements) plus comparator and
+        // threshold stages.
+        let config = crate::engine::EngineConfig::kintex7(0);
+        let deepest = PipelinedPopCounter::build(750, PopStyle::HandCrafted).latency();
+        assert!(
+            config.pipeline_depth as usize >= deepest + 2,
+            "pipeline depth {} vs popcounter latency {}",
+            config.pipeline_depth,
+            deepest
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! FPGA primitive models: LUT6, flip-flop and DSP threshold slice.
+//!
+//! "Each LUT has 6 inputs, and every function with 6 inputs can be
+//! implemented in a LUT … we directly instantiate LUT primitives"
+//! (paper §III-D). [`Lut6`] models a Xilinx LUT6 as its 64-bit truth
+//! table (the `INIT` value); the comparator and Pop-Counter netlists are
+//! built from these, so the simulated datapath computes exactly what the
+//! synthesized RTL would.
+
+use std::fmt;
+
+/// A 6-input lookup table: 64-bit truth table, one output.
+///
+/// Input bit `i` of the address corresponds to LUT input `I{i}`; the
+/// output is bit `address` of the truth table — the same convention as a
+/// Xilinx `LUT6` primitive's `INIT` parameter.
+///
+/// # Examples
+///
+/// ```
+/// use fabp_fpga::primitives::Lut6;
+///
+/// // A 6-input AND gate: only address 0b111111 is true.
+/// let and6 = Lut6::from_fn(|addr| addr == 0b11_1111);
+/// assert!(and6.eval_addr(0b11_1111));
+/// assert!(!and6.eval_addr(0b11_1110));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lut6 {
+    init: u64,
+}
+
+impl Lut6 {
+    /// A LUT whose output is constant 0.
+    pub const ZERO: Lut6 = Lut6 { init: 0 };
+
+    /// Builds a LUT from its 64-bit `INIT` truth table.
+    #[inline]
+    pub const fn from_init(init: u64) -> Lut6 {
+        Lut6 { init }
+    }
+
+    /// Builds a LUT by evaluating `f` on all 64 input addresses.
+    pub fn from_fn<F: FnMut(u8) -> bool>(mut f: F) -> Lut6 {
+        let mut init = 0u64;
+        for addr in 0..64u8 {
+            if f(addr) {
+                init |= 1 << addr;
+            }
+        }
+        Lut6 { init }
+    }
+
+    /// The raw `INIT` truth table.
+    #[inline]
+    pub const fn init(self) -> u64 {
+        self.init
+    }
+
+    /// Evaluates the LUT at a 6-bit input address.
+    #[inline]
+    pub const fn eval_addr(self, addr: u8) -> bool {
+        (self.init >> (addr & 0b11_1111)) & 1 == 1
+    }
+
+    /// Evaluates the LUT on individual input bits `I0..I5`.
+    #[inline]
+    pub fn eval(self, inputs: [bool; 6]) -> bool {
+        let mut addr = 0u8;
+        for (i, &bit) in inputs.iter().enumerate() {
+            addr |= (bit as u8) << i;
+        }
+        self.eval_addr(addr)
+    }
+}
+
+impl fmt::Display for Lut6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LUT6 #INIT=64'h{:016X}", self.init)
+    }
+}
+
+impl fmt::LowerHex for Lut6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.init, f)
+    }
+}
+
+/// A D flip-flop with synchronous reset, modelled at the cycle level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlipFlop {
+    q: bool,
+}
+
+impl FlipFlop {
+    /// A flip-flop initialised to 0.
+    pub const fn new() -> FlipFlop {
+        FlipFlop { q: false }
+    }
+
+    /// Current output `Q`.
+    #[inline]
+    pub const fn q(self) -> bool {
+        self.q
+    }
+
+    /// Clock edge: latches `d`, returns the *previous* output.
+    #[inline]
+    pub fn clock(&mut self, d: bool) -> bool {
+        std::mem::replace(&mut self.q, d)
+    }
+
+    /// Synchronous reset to 0.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.q = false;
+    }
+}
+
+/// A DSP slice used as an `N`-bit compare-against-threshold unit.
+///
+/// FabP "uses DSPs to compare the alignment score with the user-defined
+/// threshold" to save LUTs for the comparators and Pop-Counters
+/// (paper §IV-B). The alignment score is a 10-bit number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DspThreshold {
+    threshold: u32,
+}
+
+impl DspThreshold {
+    /// Width of the score operand (paper: "the alignment score is a 10-bit
+    /// number").
+    pub const SCORE_WIDTH: u32 = 10;
+
+    /// Creates a threshold comparator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` does not fit in [`Self::SCORE_WIDTH`] bits.
+    pub fn new(threshold: u32) -> DspThreshold {
+        assert!(
+            threshold < (1 << Self::SCORE_WIDTH),
+            "threshold {threshold} exceeds {} bits",
+            Self::SCORE_WIDTH
+        );
+        DspThreshold { threshold }
+    }
+
+    /// The configured threshold.
+    #[inline]
+    pub const fn threshold(self) -> u32 {
+        self.threshold
+    }
+
+    /// `true` when `score >= threshold` — the hit condition ("a higher
+    /// score than a user-defined threshold", §III-C).
+    #[inline]
+    pub const fn exceeds(self, score: u32) -> bool {
+        score >= self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut_from_fn_matches_eval() {
+        let parity = Lut6::from_fn(|addr| addr.count_ones() % 2 == 1);
+        for addr in 0..64u8 {
+            assert_eq!(parity.eval_addr(addr), addr.count_ones() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn lut_eval_bit_order() {
+        // Output = I5 (address bit 5).
+        let i5 = Lut6::from_fn(|addr| addr & 0b10_0000 != 0);
+        assert!(i5.eval([false, false, false, false, false, true]));
+        assert!(!i5.eval([true, true, true, true, true, false]));
+    }
+
+    #[test]
+    fn lut_init_round_trip() {
+        let lut = Lut6::from_init(0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(Lut6::from_fn(|a| lut.eval_addr(a)).init(), lut.init());
+    }
+
+    #[test]
+    fn lut_addr_is_masked() {
+        let lut = Lut6::from_init(1); // true only at addr 0
+        assert!(lut.eval_addr(0b0100_0000)); // high bits ignored
+    }
+
+    #[test]
+    fn flip_flop_delays_by_one_cycle() {
+        let mut ff = FlipFlop::new();
+        assert!(!ff.q());
+        assert!(!ff.clock(true)); // returns old value
+        assert!(ff.q());
+        assert!(ff.clock(false));
+        assert!(!ff.q());
+        ff.clock(true);
+        ff.reset();
+        assert!(!ff.q());
+    }
+
+    #[test]
+    fn dsp_threshold_semantics() {
+        let dsp = DspThreshold::new(100);
+        assert!(dsp.exceeds(100));
+        assert!(dsp.exceeds(1023));
+        assert!(!dsp.exceeds(99));
+        assert_eq!(dsp.threshold(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn dsp_threshold_rejects_wide_values() {
+        let _ = DspThreshold::new(1024);
+    }
+
+    #[test]
+    fn lut_display_shows_init() {
+        let lut = Lut6::from_init(0xFF);
+        assert!(lut.to_string().contains("00000000000000FF"));
+    }
+}

@@ -1,0 +1,420 @@
+//! Architecture planning and resource estimation (Table I, experiment E3/E5).
+//!
+//! For a query of `L_q` elements the planner decides how many *segments*
+//! `S` the query must be split into so the 256-instance comparator array
+//! fits the device: "Due to FPGA resource limitation, for long query sizes,
+//! there are not enough resources to perform all the operations in one
+//! cycle. FabP uses a set of multiplexers to divide Query Seq. and
+//! Reference Stream into multiple segments and process each segment in a
+//! cycle" (§III-C). Segmentation divides the effective memory bandwidth by
+//! `S`, which is the paper's explanation for FabP-250's 3.4 GB/s.
+//!
+//! The component costs are *counted* from the gate-level netlists of this
+//! crate (comparator = 2 LUTs, Pop-Counter per [`popcounter_cost`]);
+//! wiring/pipeline overheads and the fixed shell are calibrated constants
+//! documented in `DESIGN.md` and validated against Table I in
+//! `EXPERIMENTS.md`.
+
+use crate::device::{FpgaDevice, Utilization};
+use crate::netlist::ResourceCount;
+use crate::popcount::{popcounter_cost, PopStyle};
+use std::fmt;
+
+/// Number of parallel alignment instances — one per new reference element
+/// delivered in a 512-bit beat (§III-C).
+pub const INSTANCES_PER_CHANNEL: usize = 256;
+
+/// Calibrated overhead constants of the resource model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchParams {
+    /// Extra LUTs per query element per instance for pipeline/routing
+    /// logic not captured by the comparator + Pop-Counter netlists.
+    pub per_element_overhead_luts: f64,
+    /// Fixed LUTs per instance: write-back interface, position tag, valid
+    /// logic, score register glue.
+    pub per_instance_luts: usize,
+    /// Fixed FFs per instance beyond per-element pipeline registers.
+    pub per_instance_ffs: usize,
+    /// Pipeline FFs per query element per instance.
+    pub per_element_ffs: f64,
+    /// Additional pipeline FFs per element per *segment* when the query is
+    /// segmented (accumulator staging, segment-boundary registers).
+    pub per_element_segment_ffs: f64,
+    /// Fixed shell (AXI, control FSM, host interface) LUTs.
+    pub infra_luts: usize,
+    /// Fixed shell FFs.
+    pub infra_ffs: usize,
+    /// Fixed shell DSPs (address generators).
+    pub infra_dsps: usize,
+    /// Fixed BRAM bits (AXI FIFOs + base write-back buffer).
+    pub infra_bram_bits: usize,
+    /// Additional write-back BRAM bits when unsegmented (hit burst buffer,
+    /// shrinks with segmentation since the hit rate per cycle drops).
+    pub wb_bram_bits: usize,
+    /// Maximum utilisation fraction accepted by the placer.
+    pub headroom: f64,
+    /// Pop-Counter style used by the design.
+    pub pop_style: PopStyle,
+    /// Store the query and reference stream buffer in BRAM instead of
+    /// distributed flip-flops. The paper rejects this: "FabP uses
+    /// distributed memory resources (FFs) ... rather than using the BRAMs
+    /// to avoid the routing congestion that may happen due to high fanout
+    /// of the memory blocks, and reduce the power consumption" (§IV-B).
+    /// Modelled costs: the buffered bits move to BRAM, but every 32-bit
+    /// BRAM read port needs replication/fanout buffering to feed 256
+    /// instances, charged as extra LUTs per buffered bit.
+    pub buffers_in_bram: bool,
+}
+
+impl Default for ArchParams {
+    fn default() -> ArchParams {
+        ArchParams {
+            per_element_overhead_luts: 1.0,
+            per_instance_luts: 40,
+            per_instance_ffs: 24,
+            per_element_ffs: 1.33,
+            per_element_segment_ffs: 0.32,
+            infra_luts: 20_000,
+            infra_ffs: 12_000,
+            infra_dsps: 4,
+            infra_bram_bits: 2_400_000,
+            wb_bram_bits: 640_000,
+            headroom: 0.99,
+            pop_style: PopStyle::HandCrafted,
+            buffers_in_bram: false,
+        }
+    }
+}
+
+/// Error returned when no segmentation makes the design fit the device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanError {
+    /// The query length (elements) that failed to fit.
+    pub query_len: usize,
+    /// The device that was targeted.
+    pub device: String,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no feasible FabP configuration for a {}-element query on {}",
+            self.query_len, self.device
+        )
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// What limits throughput for a planned configuration (§IV-B: "for
+/// sequences longer than ~70, the resource utilization is the bottleneck;
+/// while for shorter sequences the bandwidth is the limiting factor").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// Memory bandwidth limits throughput (one beat per cycle, `S = 1`).
+    Bandwidth,
+    /// LUT/FF resources force segmentation (`S > 1`).
+    Resources,
+}
+
+impl fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Bottleneck::Bandwidth => "bandwidth-bound",
+            Bottleneck::Resources => "resource-bound",
+        })
+    }
+}
+
+/// A planned FabP configuration for one query length on one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabpPlan {
+    /// Query length in elements (3 × protein residues).
+    pub query_len: usize,
+    /// Memory channels used.
+    pub channels: usize,
+    /// Segments the query is split into (`S`; cycles per beat).
+    pub segments: usize,
+    /// Elements processed per segment (`⌈L_q / S⌉`).
+    pub segment_len: usize,
+    /// Total resources of the design.
+    pub resources: ResourceCount,
+    /// Utilisation against the device.
+    pub utilization: Utilization,
+    /// What limits throughput.
+    pub bottleneck: Bottleneck,
+}
+
+impl FabpPlan {
+    /// Cycles the instance array needs per 256-element beat.
+    pub fn cycles_per_beat(&self) -> u64 {
+        self.segments as u64
+    }
+}
+
+/// Resource cost of the design with query length `query_len` (elements)
+/// split into `segments`, on `channels` memory channels.
+pub fn design_cost(
+    query_len: usize,
+    segments: usize,
+    channels: usize,
+    params: &ArchParams,
+) -> ResourceCount {
+    assert!(query_len > 0 && segments > 0 && channels > 0);
+    let seg_len = query_len.div_ceil(segments);
+    let instances = INSTANCES_PER_CHANNEL * channels;
+
+    // Per-instance datapath, counted from netlists where possible.
+    let comparator_luts = 2 * seg_len;
+    let pop = popcounter_cost(seg_len, params.pop_style);
+    // Score accumulator across segments (10-bit) maps to the DSP that also
+    // performs the threshold compare when S = 1; S > 1 needs a second DSP.
+    let dsps_per_instance = if segments > 1 { 2 } else { 1 };
+
+    let per_instance_luts = comparator_luts
+        + pop.luts
+        + (seg_len as f64 * params.per_element_overhead_luts) as usize
+        + params.per_instance_luts;
+    let per_instance_ffs = (seg_len as f64 * params.per_element_ffs) as usize
+        + (seg_len as f64 * params.per_element_segment_ffs) as usize
+            * if segments > 1 { segments } else { 0 }
+        + pop.ffs
+        + params.per_instance_ffs;
+
+    // Shared logic: query storage and its segment mux (6 bits/element),
+    // the active slice of the reference stream buffer behind a shared
+    // segment mux (2 bits per buffered element; one LUT6 implements a 4:1
+    // single-bit mux, ⌈S/4⌉ LUTs per bit), and the fixed shell. The
+    // segment muxes select which query/buffer slice all 256 instances see
+    // in a given cycle, so they are instantiated once, not per instance.
+    let mux_per_bit = if segments > 1 {
+        segments.div_ceil(4)
+    } else {
+        0
+    };
+    let buffered_bits = 6 * query_len + 2 * (query_len + 256 * channels);
+    let (query_store_ffs, stream_buffer_ffs, buffer_bram_bits, fanout_luts) =
+        if params.buffers_in_bram {
+            // BRAM variant: bits live in block RAM; wide-fanout reads need
+            // LUT-based replication buffers (~1.5 LUTs per buffered bit to
+            // drive 256 instances through a fanout tree).
+            (0, 0, buffered_bits * 8, buffered_bits * 3 / 2)
+        } else {
+            (6 * query_len, 2 * (query_len + 256 * channels), 0, 0)
+        };
+    let query_mux_luts = 6 * seg_len * mux_per_bit;
+    let stream_mux_luts = 2 * (seg_len + 256 * channels) * mux_per_bit;
+
+    let instance_total = ResourceCount {
+        luts: per_instance_luts,
+        ffs: per_instance_ffs,
+        dsps: dsps_per_instance,
+        bram_bits: 0,
+    }
+    .scale(instances);
+
+    let wb_bram = params.wb_bram_bits / segments;
+
+    instance_total
+        + ResourceCount {
+            luts: params.infra_luts * channels + query_mux_luts + stream_mux_luts + fanout_luts,
+            ffs: params.infra_ffs * channels + query_store_ffs + stream_buffer_ffs,
+            dsps: params.infra_dsps,
+            bram_bits: params.infra_bram_bits + wb_bram + buffer_bram_bits,
+        }
+}
+
+/// Plans the smallest segmentation that fits the device.
+///
+/// # Errors
+///
+/// Returns [`PlanError`] when even maximal segmentation does not fit
+/// (query longer than the device can hold at all).
+pub fn plan(
+    device: &FpgaDevice,
+    query_len: usize,
+    channels: usize,
+    params: &ArchParams,
+) -> Result<FabpPlan, PlanError> {
+    assert!(query_len > 0, "query must be non-empty");
+    let channels = channels.clamp(1, device.mem_channels.max(1));
+    for segments in 1..=query_len {
+        let resources = design_cost(query_len, segments, channels, params);
+        // Skip segment counts that do not reduce the segment length —
+        // they only add mux cost.
+        let seg_len = query_len.div_ceil(segments);
+        if segments > 1 && query_len.div_ceil(segments - 1) == seg_len {
+            continue;
+        }
+        if device.fits(resources, params.headroom) {
+            return Ok(FabpPlan {
+                query_len,
+                channels,
+                segments,
+                segment_len: seg_len,
+                utilization: device.utilization(resources),
+                resources,
+                bottleneck: if segments == 1 {
+                    Bottleneck::Bandwidth
+                } else {
+                    Bottleneck::Resources
+                },
+            });
+        }
+    }
+    Err(PlanError {
+        query_len,
+        device: device.name.to_string(),
+    })
+}
+
+/// The largest query length (in elements) that still fits unsegmented —
+/// the paper's bandwidth/resource crossover point (§IV-B, "~70" amino
+/// acids ⇒ ~210 elements).
+pub fn crossover_query_len(device: &FpgaDevice, params: &ArchParams) -> usize {
+    let mut lo = 1usize;
+    let mut hi = 4096usize;
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        let fits = device.fits(design_cost(mid, 1, 1, params), params.headroom);
+        if fits {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kintex() -> FpgaDevice {
+        FpgaDevice::kintex7()
+    }
+
+    #[test]
+    fn fabp50_plan_matches_table1_shape() {
+        // 50 amino acids = 150 elements: unsegmented, LUT-dominant,
+        // ~58% LUT, ~31% DSP, full bandwidth.
+        let plan = plan(&kintex(), 150, 1, &ArchParams::default()).unwrap();
+        assert_eq!(plan.segments, 1);
+        assert_eq!(plan.bottleneck, Bottleneck::Bandwidth);
+        assert!(
+            (plan.utilization.lut - 0.58).abs() < 0.08,
+            "LUT util {:.2}",
+            plan.utilization.lut
+        );
+        assert!(
+            (plan.utilization.dsp - 0.31).abs() < 0.05,
+            "DSP util {:.2}",
+            plan.utilization.dsp
+        );
+    }
+
+    #[test]
+    fn fabp250_plan_is_segmented_and_nearly_full() {
+        // 250 amino acids = 750 elements: segmented, ~98% LUT.
+        let plan = plan(&kintex(), 750, 1, &ArchParams::default()).unwrap();
+        assert!(plan.segments >= 3, "segments {}", plan.segments);
+        assert_eq!(plan.bottleneck, Bottleneck::Resources);
+        assert!(
+            plan.utilization.lut > 0.85,
+            "LUT util {:.2}",
+            plan.utilization.lut
+        );
+        assert!(plan.utilization.max_fraction() <= ArchParams::default().headroom + 1e-9);
+    }
+
+    #[test]
+    fn utilization_grows_with_query_length() {
+        let params = ArchParams::default();
+        let mut last = 0.0f64;
+        for len in [30usize, 90, 150, 210] {
+            let p = plan(&kintex(), len, 1, &params).unwrap();
+            assert!(p.utilization.lut > last, "len {len}");
+            last = p.utilization.lut;
+        }
+    }
+
+    #[test]
+    fn crossover_is_in_the_paper_ballpark() {
+        // Paper: ~70 aa (210 elements). The model lands in 200..300.
+        let cross = crossover_query_len(&kintex(), &ArchParams::default());
+        assert!(
+            (180..=320).contains(&cross),
+            "crossover {cross} elements ({} aa)",
+            cross / 3
+        );
+    }
+
+    #[test]
+    fn segments_divide_bandwidth_expectation() {
+        let params = ArchParams::default();
+        let p50 = plan(&kintex(), 150, 1, &params).unwrap();
+        let p250 = plan(&kintex(), 750, 1, &params).unwrap();
+        assert_eq!(p50.cycles_per_beat(), 1);
+        assert!(p250.cycles_per_beat() >= 3);
+    }
+
+    #[test]
+    fn bigger_device_defers_segmentation() {
+        let params = ArchParams::default();
+        let on_kintex = plan(&kintex(), 750, 1, &params).unwrap();
+        let on_virtex = plan(&FpgaDevice::virtex7(), 750, 1, &params).unwrap();
+        assert!(on_virtex.segments < on_kintex.segments);
+    }
+
+    #[test]
+    fn tiny_device_eventually_fails() {
+        let mut tiny = FpgaDevice::artix7();
+        tiny.luts = 2_000;
+        tiny.ffs = 2_000;
+        tiny.bram_bits = 100_000;
+        let err = plan(&tiny, 300, 1, &ArchParams::default()).unwrap_err();
+        assert_eq!(err.query_len, 300);
+        assert!(err.to_string().contains("300-element"));
+    }
+
+    #[test]
+    fn design_cost_monotone_in_segments_for_dsps() {
+        let params = ArchParams::default();
+        let s1 = design_cost(600, 1, 1, &params);
+        let s2 = design_cost(600, 2, 1, &params);
+        assert!(s2.dsps > s1.dsps, "segmented design uses accumulator DSPs");
+        assert!(
+            s2.luts < s1.luts,
+            "segmentation shrinks the comparator array"
+        );
+    }
+
+    #[test]
+    fn bram_buffer_variant_trades_ffs_for_luts_and_bram() {
+        // The §IV-B design choice: FF buffers avoid BRAM fanout cost.
+        let ff_params = ArchParams::default();
+        let bram_params = ArchParams {
+            buffers_in_bram: true,
+            ..ArchParams::default()
+        };
+        let ff = design_cost(450, 1, 1, &ff_params);
+        let bram = design_cost(450, 1, 1, &bram_params);
+        assert!(bram.ffs < ff.ffs, "buffer FFs move to BRAM");
+        assert!(bram.bram_bits > ff.bram_bits);
+        assert!(bram.luts > ff.luts, "fanout buffering costs LUTs");
+        // And the power model charges for it.
+        let model = crate::power_model::PowerModel::default();
+        let ff_w = model.power(ff, 200.0e6).total();
+        let bram_w = model.power(bram, 200.0e6).total();
+        assert!(bram_w > ff_w, "{bram_w} vs {ff_w}");
+    }
+
+    #[test]
+    fn two_channels_double_instances() {
+        let params = ArchParams::default();
+        let c1 = design_cost(150, 1, 1, &params);
+        let c2 = design_cost(150, 1, 2, &params);
+        assert!(c2.luts > c1.luts * 3 / 2, "per-instance logic doubles");
+    }
+}

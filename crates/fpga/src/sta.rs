@@ -1,0 +1,232 @@
+//! Static timing analysis (STA) over netlists.
+//!
+//! Answers the question the paper settles empirically — does the design
+//! close timing at 200 MHz? — by propagating arrival times through the
+//! gate-level netlist with 7-series-flavoured delay constants: LUT logic +
+//! average routing per hop, fast dedicated carry propagation, register
+//! clock-to-out and setup. The flat (combinational) wide Pop-Counter fails
+//! 200 MHz exactly where the paper pipelines it; the register-staged
+//! variant closes comfortably.
+
+use crate::netlist::{Netlist, NodeId, NodeKind};
+
+/// Delay constants in nanoseconds (Kintex-7-flavoured, -2 speed grade,
+/// routing averaged in).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayModel {
+    /// LUT6 logic delay plus average net delay to its loads.
+    pub lut_ns: f64,
+    /// Carry propagation per chain element.
+    pub carry_ns: f64,
+    /// Entry into a carry chain (operand routing + first MUXCY).
+    pub carry_entry_ns: f64,
+    /// Register clock-to-output.
+    pub clk_to_q_ns: f64,
+    /// Register setup time.
+    pub setup_ns: f64,
+}
+
+impl Default for DelayModel {
+    fn default() -> DelayModel {
+        DelayModel {
+            lut_ns: 0.45,
+            carry_ns: 0.06,
+            carry_entry_ns: 0.35,
+            clk_to_q_ns: 0.40,
+            setup_ns: 0.10,
+        }
+    }
+}
+
+/// Result of a timing analysis pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Longest combinational path in nanoseconds (input/register to
+    /// output/register, including clk-to-q and setup where applicable).
+    pub critical_path_ns: f64,
+    /// Maximum clock frequency implied by the critical path.
+    pub fmax_hz: f64,
+    /// Logic levels (LUTs) on the critical path.
+    pub levels: usize,
+    /// The node at the end of the critical path.
+    pub endpoint: Option<NodeId>,
+}
+
+impl TimingReport {
+    /// Whether the design closes timing at `clock_hz`.
+    pub fn meets(&self, clock_hz: f64) -> bool {
+        self.fmax_hz >= clock_hz
+    }
+}
+
+/// Analyses a netlist under the delay model.
+///
+/// Arrival times start at 0 for inputs/constants and at `clk_to_q` for
+/// register outputs; the critical path is the maximum over all register
+/// `D` pins (plus setup) and all named outputs.
+pub fn analyze(netlist: &Netlist, delays: &DelayModel) -> TimingReport {
+    let ids: Vec<NodeId> = netlist.node_ids().collect();
+    let n = ids.len();
+    let mut arrival = vec![0.0f64; n];
+    let mut levels = vec![0usize; n];
+
+    for &id in &ids {
+        let idx = id.index();
+        match netlist.node_kind(id) {
+            NodeKind::Input | NodeKind::Const(_) => {
+                arrival[idx] = 0.0;
+            }
+            NodeKind::Reg { .. } => {
+                arrival[idx] = delays.clk_to_q_ns;
+            }
+            NodeKind::Lut(_, pins) => {
+                let (worst, lvl) = pins
+                    .iter()
+                    .map(|p| (arrival[p.index()], levels[p.index()]))
+                    .fold((0.0f64, 0usize), |(a, l), (pa, pl)| (a.max(pa), l.max(pl)));
+                arrival[idx] = worst + delays.lut_ns;
+                levels[idx] = lvl + 1;
+            }
+            NodeKind::Carry { a, b, cin } => {
+                // Operand entry pays routing + mux; the chain itself is
+                // fast.
+                let via_operand =
+                    arrival[a.index()].max(arrival[b.index()]) + delays.carry_entry_ns;
+                let via_chain = arrival[cin.index()] + delays.carry_ns;
+                arrival[idx] = via_operand.max(via_chain);
+                levels[idx] = levels[a.index()]
+                    .max(levels[b.index()])
+                    .max(levels[cin.index()]);
+            }
+        }
+    }
+
+    // Endpoints: register D pins (plus setup) and named outputs.
+    let mut critical = 0.0f64;
+    let mut endpoint = None;
+    let mut end_levels = 0usize;
+    for &id in &ids {
+        if let NodeKind::Reg { d } = netlist.node_kind(id) {
+            let t = arrival[d.index()] + delays.setup_ns;
+            if t > critical {
+                critical = t;
+                endpoint = Some(id);
+                end_levels = levels[d.index()];
+            }
+        }
+    }
+    for (_, id) in netlist.named_outputs() {
+        let t = arrival[id.index()];
+        if t > critical {
+            critical = t;
+            endpoint = Some(id);
+            end_levels = levels[id.index()];
+        }
+    }
+
+    TimingReport {
+        critical_path_ns: critical,
+        fmax_hz: if critical > 0.0 {
+            1e9 / critical
+        } else {
+            f64::INFINITY
+        },
+        levels: end_levels,
+        endpoint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparator::build_comparator_netlist;
+    use crate::pipeline::PipelinedPopCounter;
+    use crate::popcount::{PopCounter, PopStyle};
+
+    const CLOCK_200MHZ: f64 = 200.0e6;
+
+    #[test]
+    fn comparator_closes_timing_easily() {
+        let (netlist, _) = build_comparator_netlist();
+        let report = analyze(&netlist, &DelayModel::default());
+        assert_eq!(report.levels, 2, "mux LUT + compare LUT");
+        assert!((report.critical_path_ns - 0.9).abs() < 1e-9);
+        assert!(report.meets(CLOCK_200MHZ));
+        assert!(report.fmax_hz > 1.0e9);
+    }
+
+    #[test]
+    fn flat_wide_popcounter_fails_200mhz() {
+        // A combinational 750-bit Pop-Counter cannot run at 200 MHz —
+        // the reason the paper pipelines it.
+        let pc = PopCounter::build(750, PopStyle::HandCrafted);
+        let report = analyze(pc.netlist(), &DelayModel::default());
+        assert!(
+            !report.meets(CLOCK_200MHZ),
+            "critical path only {:.2} ns",
+            report.critical_path_ns
+        );
+        assert!(report.critical_path_ns > 5.0);
+    }
+
+    #[test]
+    fn pipelined_popcounter_closes_200mhz() {
+        let pc = PipelinedPopCounter::build(750, PopStyle::HandCrafted);
+        let report = analyze(pc.netlist(), &DelayModel::default());
+        assert!(
+            report.meets(CLOCK_200MHZ),
+            "critical path {:.2} ns (fmax {:.0} MHz)",
+            report.critical_path_ns,
+            report.fmax_hz / 1e6
+        );
+    }
+
+    #[test]
+    fn pipelining_strictly_shortens_the_critical_path() {
+        for width in [72usize, 150, 300] {
+            let flat = analyze(
+                PopCounter::build(width, PopStyle::HandCrafted).netlist(),
+                &DelayModel::default(),
+            );
+            let staged = analyze(
+                PipelinedPopCounter::build(width, PopStyle::HandCrafted).netlist(),
+                &DelayModel::default(),
+            );
+            assert!(
+                staged.critical_path_ns < flat.critical_path_ns,
+                "width {width}: {:.2} vs {:.2}",
+                staged.critical_path_ns,
+                flat.critical_path_ns
+            );
+        }
+    }
+
+    #[test]
+    fn empty_netlist_has_infinite_fmax() {
+        let n = Netlist::new();
+        let report = analyze(&n, &DelayModel::default());
+        assert_eq!(report.critical_path_ns, 0.0);
+        assert!(report.fmax_hz.is_infinite());
+        assert!(report.endpoint.is_none());
+    }
+
+    #[test]
+    fn carry_chains_are_faster_than_lut_paths() {
+        // A 10-bit ripple adder's chain should cost far less than 10 LUT
+        // levels.
+        let mut n = Netlist::new();
+        let a = n.inputs(10);
+        let b = n.inputs(10);
+        let sum = crate::popcount::add_vectors(&mut n, &a, &b);
+        for (i, &s) in sum.iter().enumerate() {
+            n.mark_output(format!("s{i}"), s);
+        }
+        let report = analyze(&n, &DelayModel::default());
+        let ten_luts = 10.0 * DelayModel::default().lut_ns;
+        assert!(
+            report.critical_path_ns < ten_luts,
+            "{:.2} ns vs {ten_luts:.2} ns",
+            report.critical_path_ns
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the gate-level models.
+
+use fabp_bio::alphabet::{AminoAcid, Nucleotide};
+use fabp_bio::backtranslate::back_translate;
+use fabp_encoding::instruction::Instruction;
+use fabp_fpga::comparator::ComparatorCell;
+use fabp_fpga::pipeline::PipelinedPopCounter;
+use fabp_fpga::popcount::{PopCounter, PopStyle};
+use fabp_fpga::primitives::Lut6;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Both pop-counter styles equal `count_ones` at arbitrary widths.
+    #[test]
+    fn popcount_equals_count_ones(
+        bits in prop::collection::vec(any::<bool>(), 1..120),
+    ) {
+        let expected = bits.iter().filter(|&&b| b).count() as u32;
+        let mut hc = PopCounter::build(bits.len(), PopStyle::HandCrafted);
+        let mut tree = PopCounter::build(bits.len(), PopStyle::TreeAdder);
+        prop_assert_eq!(hc.count(&bits), expected);
+        prop_assert_eq!(tree.count(&bits), expected);
+    }
+
+    /// The pipelined counter settles to the combinational value.
+    #[test]
+    fn pipelined_popcount_settles(
+        bits in prop::collection::vec(any::<bool>(), 1..80),
+    ) {
+        let expected = bits.iter().filter(|&&b| b).count() as u32;
+        let mut pc = PipelinedPopCounter::build(bits.len(), PopStyle::HandCrafted);
+        prop_assert_eq!(pc.count_blocking(&bits), expected);
+    }
+
+    /// LUT6 truth tables round-trip through from_fn/eval.
+    #[test]
+    fn lut6_init_round_trip(init in any::<u64>()) {
+        let lut = Lut6::from_init(init);
+        let rebuilt = Lut6::from_fn(|addr| lut.eval_addr(addr));
+        prop_assert_eq!(rebuilt.init(), init);
+    }
+
+    /// The comparator cell agrees with the golden model on arbitrary
+    /// (amino acid, codon position, reference context) tuples.
+    #[test]
+    fn comparator_cell_matches_golden(
+        aa_index in 0usize..21,
+        position in 0usize..3,
+        ref_code in 0u8..4,
+        p1 in 0u8..4,
+        p2 in 0u8..4,
+    ) {
+        let cell = ComparatorCell::new();
+        let element = back_translate(AminoAcid::ALL[aa_index]).0[position];
+        let instr = Instruction::encode(element);
+        let reference = Nucleotide::from_code2(ref_code);
+        let prev1 = Some(Nucleotide::from_code2(p1));
+        let prev2 = Some(Nucleotide::from_code2(p2));
+        prop_assert_eq!(
+            cell.matches(instr, reference, prev1, prev2),
+            element.matches(reference, prev1, prev2)
+        );
+    }
+
+    /// Verilog emission is deterministic and structurally complete for
+    /// arbitrary-width pop-counters.
+    #[test]
+    fn verilog_is_deterministic(width in 1usize..60) {
+        let pc = PopCounter::build(width, PopStyle::HandCrafted);
+        let a = fabp_fpga::verilog::emit_verilog(pc.netlist(), "m");
+        let b = fabp_fpga::verilog::emit_verilog(pc.netlist(), "m");
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.matches("LUT6 #(").count(), pc.resources().luts);
+        prop_assert!(a.ends_with("endmodule\n"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The cycle engine and the plan agree on segmentation-driven
+    /// bandwidth for arbitrary query lengths that fit the device.
+    #[test]
+    fn plan_bandwidth_consistency(aa in 5usize..250) {
+        use fabp_fpga::device::FpgaDevice;
+        use fabp_fpga::resources::{plan, ArchParams};
+        let p = plan(&FpgaDevice::kintex7(), aa * 3, 1, &ArchParams::default());
+        prop_assume!(p.is_ok());
+        let p = p.unwrap();
+        prop_assert!(p.segments >= 1);
+        prop_assert!(p.segment_len * p.segments >= aa * 3);
+        prop_assert!(p.utilization.max_fraction() <= ArchParams::default().headroom + 1e-9);
+        if p.segments == 1 {
+            prop_assert_eq!(p.bottleneck, fabp_fpga::resources::Bottleneck::Bandwidth);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Energy accounting and Fig. 6-style normalisation.
+
+use std::fmt;
+
+/// One platform's result for one workload: time and power, from which
+/// energy and the paper's normalised metrics derive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformPoint {
+    /// Platform label ("TBLASTN-1", "TBLASTN-12", "GPU", "FabP").
+    pub name: String,
+    /// Execution time in seconds.
+    pub seconds: f64,
+    /// Average power in watts.
+    pub watts: f64,
+}
+
+impl PlatformPoint {
+    /// Creates a point.
+    pub fn new(name: impl Into<String>, seconds: f64, watts: f64) -> PlatformPoint {
+        PlatformPoint {
+            name: name.into(),
+            seconds,
+            watts,
+        }
+    }
+
+    /// Energy in joules.
+    pub fn joules(&self) -> f64 {
+        self.seconds * self.watts
+    }
+
+    /// Speedup of `self` relative to `baseline` (>1 means faster).
+    pub fn speedup_vs(&self, baseline: &PlatformPoint) -> f64 {
+        baseline.seconds / self.seconds
+    }
+
+    /// Energy-efficiency gain of `self` relative to `baseline` (>1 means
+    /// less energy).
+    pub fn energy_gain_vs(&self, baseline: &PlatformPoint) -> f64 {
+        baseline.joules() / self.joules()
+    }
+}
+
+impl fmt::Display for PlatformPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.4} s @ {:.1} W = {:.2} J",
+            self.name,
+            self.seconds,
+            self.watts,
+            self.joules()
+        )
+    }
+}
+
+/// Normalised Fig. 6 row: every platform's speedup and energy gain
+/// relative to the first point (the paper normalises "to the single-thread
+/// execution time and energy consumption of the TBLASTN running on a
+/// single core", §IV-A).
+pub fn normalize(points: &[PlatformPoint]) -> Vec<(String, f64, f64)> {
+    let Some(baseline) = points.first() else {
+        return Vec::new();
+    };
+    points
+        .iter()
+        .map(|p| {
+            (
+                p.name.clone(),
+                p.speedup_vs(baseline),
+                p.energy_gain_vs(baseline),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joules_is_time_times_power() {
+        let p = PlatformPoint::new("x", 2.0, 10.0);
+        assert_eq!(p.joules(), 20.0);
+    }
+
+    #[test]
+    fn speedup_and_energy_relative() {
+        let slow = PlatformPoint::new("cpu", 10.0, 100.0);
+        let fast = PlatformPoint::new("fpga", 0.5, 10.0);
+        assert_eq!(fast.speedup_vs(&slow), 20.0);
+        assert_eq!(fast.energy_gain_vs(&slow), 200.0);
+        assert!((slow.speedup_vs(&slow) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_uses_first_as_baseline() {
+        let points = vec![
+            PlatformPoint::new("base", 8.0, 50.0),
+            PlatformPoint::new("better", 2.0, 25.0),
+        ];
+        let rows = normalize(&points);
+        assert_eq!(rows[0].1, 1.0);
+        assert_eq!(rows[0].2, 1.0);
+        assert_eq!(rows[1].1, 4.0);
+        assert_eq!(rows[1].2, 8.0);
+    }
+
+    #[test]
+    fn normalize_empty_is_empty() {
+        assert!(normalize(&[]).is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! # fabp-platforms — performance and energy models for the evaluation
+//!
+//! Fig. 6 compares four platforms: single-thread TBLASTN, 12-thread
+//! TBLASTN (Intel i7-8700K), the authors' CUDA kernel (GTX 1080Ti) and
+//! FabP (Kintex-7). The CPU baseline is *measured* on the real Rust
+//! implementation and linearly extrapolated to the paper's 1 GB
+//! reference; the GPU and FPGA are *modelled* (no CUDA device or FPGA is
+//! available — see DESIGN.md's substitution table):
+//!
+//! * the GPU model charges the brute-force kernel's element-comparison
+//!   count against a calibrated effective throughput;
+//! * the FPGA time comes from `fabp-fpga`'s cycle model.
+//!
+//! Power constants reproduce the paper's energy ratios: the
+//! [`power`] module documents each calibration.
+
+pub mod calibration;
+pub mod energy;
+pub mod models;
+pub mod power;
+pub mod workload;
+
+pub use calibration::{implementation_factor, normalize_cpu_ratio};
+pub use energy::{normalize, PlatformPoint};
+pub use models::{scale_to_reference, CpuScaling, GpuModel};
+pub use workload::Workload;

@@ -1,0 +1,102 @@
+//! Workload descriptors shared by all platform models.
+
+use std::fmt;
+
+/// One evaluation point: a protein query of `query_aa` residues searched
+/// against `reference_bases` nucleotides.
+///
+/// The paper sweeps `query_aa ∈ {50, 100, 150, 200, 250}` against 1 GB of
+/// NCBI `nt` (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Workload {
+    /// Query length in amino-acid residues.
+    pub query_aa: usize,
+    /// Reference length in nucleotides.
+    pub reference_bases: u64,
+}
+
+impl Workload {
+    /// The paper's reference size: 1 GB of FASTA ≈ 10⁹ nucleotides.
+    pub const PAPER_REFERENCE_BASES: u64 = 1_000_000_000;
+
+    /// The paper's query-length sweep.
+    pub const PAPER_QUERY_SWEEP: [usize; 5] = [50, 100, 150, 200, 250];
+
+    /// Creates a workload.
+    pub fn new(query_aa: usize, reference_bases: u64) -> Workload {
+        Workload {
+            query_aa,
+            reference_bases,
+        }
+    }
+
+    /// A paper-scale workload (1 GB reference) for the given query length.
+    pub fn paper_scale(query_aa: usize) -> Workload {
+        Workload::new(query_aa, Self::PAPER_REFERENCE_BASES)
+    }
+
+    /// Back-translated query length in elements (`3 ×` residues, §IV-A).
+    pub fn query_elements(&self) -> usize {
+        self.query_aa * 3
+    }
+
+    /// Packed reference size in bytes (2 bits per base) — the FPGA DRAM
+    /// traffic.
+    pub fn packed_reference_bytes(&self) -> u64 {
+        self.reference_bases.div_ceil(4)
+    }
+
+    /// Alignment positions (`L_r − L_q + 1`).
+    pub fn positions(&self) -> u64 {
+        self.reference_bases
+            .saturating_sub(self.query_elements() as u64)
+            + 1
+    }
+
+    /// Element comparisons a brute-force kernel performs.
+    pub fn comparisons(&self) -> u64 {
+        self.positions() * self.query_elements() as u64
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} aa query vs {:.1} Mbase reference",
+            self.query_aa,
+            self.reference_bases as f64 / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_are_three_per_residue() {
+        assert_eq!(Workload::new(50, 1000).query_elements(), 150);
+        assert_eq!(Workload::new(250, 1000).query_elements(), 750);
+    }
+
+    #[test]
+    fn packed_bytes_are_quarter_of_bases() {
+        assert_eq!(Workload::new(50, 1000).packed_reference_bytes(), 250);
+        assert_eq!(Workload::new(50, 1001).packed_reference_bytes(), 251);
+    }
+
+    #[test]
+    fn comparisons_scale_with_both_dimensions() {
+        let w = Workload::new(50, 10_000);
+        assert_eq!(w.positions(), 10_000 - 150 + 1);
+        assert_eq!(w.comparisons(), (10_000 - 150 + 1) * 150);
+    }
+
+    #[test]
+    fn paper_scale_constants() {
+        let w = Workload::paper_scale(250);
+        assert_eq!(w.reference_bases, 1_000_000_000);
+        assert_eq!(Workload::PAPER_QUERY_SWEEP.len(), 5);
+    }
+}

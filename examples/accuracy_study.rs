@@ -1,0 +1,97 @@
+//! Accuracy study: what does skipping indels cost? (paper §IV-A)
+//!
+//! FabP only supports substitutions; the paper argues this is fine because
+//! indels are rare in protein-coding regions. This example mutates planted
+//! coding sequences with increasing indel pressure and measures FabP's
+//! recall against an indel-tolerant Smith–Waterman ground truth.
+//!
+//! Run with: `cargo run --release --example accuracy_study`
+
+use fabp::baselines::sw::{sw_nucleotide, GapPenalties, NucScoring};
+use fabp::bio::generate::{coding_rna_for, random_protein, random_rna};
+use fabp::bio::mutate::IndelModel;
+use fabp::bio::seq::RnaSeq;
+use fabp::core::aligner::{FabpAligner, Threshold};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let queries = 400usize;
+    let query_aa = 50usize;
+    println!("{queries} queries x {query_aa} aa; FabP threshold 90%, SW cutoff 85% of max\n");
+    println!(
+        "{:>22} {:>10} {:>12} {:>12} {:>12}",
+        "indel model", "affected", "FabP recall", "SW recall", "drop"
+    );
+
+    for (label, model) in [
+        ("none", IndelModel::none()),
+        ("empirical (0.09/kb)", IndelModel::empirical()),
+        (
+            "10x empirical",
+            IndelModel {
+                burst_per_kb: 0.8,
+                burst_mean_events: 1.125,
+                mean_length: 3.0,
+            },
+        ),
+        (
+            "every region",
+            IndelModel {
+                burst_per_kb: 1000.0,
+                burst_mean_events: 1.0,
+                mean_length: 3.0,
+            },
+        ),
+    ] {
+        let mut rng = StdRng::seed_from_u64(0xACC0);
+        let mut affected = 0usize;
+        let mut fabp_found = 0usize;
+        let mut sw_found = 0usize;
+
+        for _ in 0..queries {
+            let query = random_protein(query_aa, &mut rng);
+            let coding = coding_rna_for(&query, &mut rng);
+            let (mutated, summary) = model.mutate_rna(&coding, &mut rng);
+            affected += usize::from(summary.involved_indels());
+
+            let mut bases = random_rna(120, &mut rng).into_inner();
+            bases.extend(mutated.iter().copied());
+            bases.extend(random_rna(120, &mut rng).into_inner());
+            let reference = RnaSeq::from(bases);
+
+            let aligner = FabpAligner::builder()
+                .protein_query(&query)
+                .threshold(Threshold::Fraction(0.9))
+                .build()?;
+            fabp_found += usize::from(!aligner.search(&reference).hits.is_empty());
+
+            let sw = sw_nucleotide(
+                coding.as_slice(),
+                reference.as_slice(),
+                NucScoring::default(),
+                GapPenalties::default(),
+                false,
+            );
+            sw_found += usize::from(sw.score >= (coding.len() as i32 * 2) * 85 / 100);
+        }
+
+        let pct = |x: usize| 100.0 * x as f64 / queries as f64;
+        println!(
+            "{:>22} {:>9.1}% {:>11.1}% {:>11.1}% {:>11.1}%",
+            label,
+            pct(affected),
+            pct(fabp_found),
+            pct(sw_found),
+            pct(sw_found.saturating_sub(fabp_found)),
+        );
+    }
+
+    println!(
+        "\nReading: with realistic indel rates almost no query is affected, so\n\
+         FabP's substitution-only alignment loses almost nothing (the paper's\n\
+         argument); only under artificially heavy indel pressure does the gap\n\
+         to the DP ground truth open up."
+    );
+    Ok(())
+}

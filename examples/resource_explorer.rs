@@ -1,0 +1,86 @@
+//! Resource explorer: how FabP maps onto different FPGAs (paper §IV-B).
+//!
+//! Sweeps query lengths over three device classes and prints the planned
+//! architecture: segmentation, utilisation, bottleneck and the modelled
+//! kernel time for a 1 Gbase search — including the paper's observation
+//! that "an FPGA with more LUTs can outperform the GPU-based
+//! implementation".
+//!
+//! Run with: `cargo run --release --example resource_explorer`
+
+use fabp::bio::generate::random_protein;
+use fabp::encoding::encoder::EncodedQuery;
+use fabp::fpga::device::FpgaDevice;
+use fabp::fpga::engine::{EngineConfig, FabpEngine};
+use fabp::fpga::resources::{crossover_query_len, plan, ArchParams};
+use fabp::platforms::models::GpuModel;
+use fabp::platforms::workload::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let params = ArchParams::default();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    for device in [
+        FpgaDevice::artix7(),
+        FpgaDevice::kintex7(),
+        FpgaDevice::virtex7(),
+    ] {
+        println!("== {device}");
+        println!(
+            "{:>9} {:>9} {:>7} {:>7} {:>12} {:>18}",
+            "query aa", "segments", "LUT %", "DSP %", "1Gb kernel", "bottleneck"
+        );
+        for aa in [50usize, 100, 150, 200, 250] {
+            let elements = aa * 3;
+            match plan(&device, elements, 1, &params) {
+                Ok(p) => {
+                    let query = EncodedQuery::from_protein(&random_protein(aa, &mut rng));
+                    let mut config = EngineConfig::kintex7((query.len() as u32).saturating_sub(2));
+                    config.device = device.clone();
+                    let engine = FabpEngine::new(query, config).expect("plan succeeded");
+                    let kernel = engine
+                        .model_kernel_seconds(Workload::paper_scale(aa).packed_reference_bytes());
+                    println!(
+                        "{:>9} {:>9} {:>6.0}% {:>6.0}% {:>9.1} ms {:>18}",
+                        aa,
+                        p.segments,
+                        p.utilization.lut * 100.0,
+                        p.utilization.dsp * 100.0,
+                        kernel * 1e3,
+                        p.bottleneck.to_string()
+                    );
+                }
+                Err(e) => println!("{aa:>9}  {e}"),
+            }
+        }
+        let cross = crossover_query_len(&device, &params);
+        println!(
+            "   crossover (largest unsegmented query): {} aa\n",
+            cross / 3
+        );
+    }
+
+    // The §IV-B projection: a bigger FPGA vs the GPU on long queries.
+    let gpu = GpuModel::default();
+    println!("GPU model vs FPGA kernels on a 250-aa query, 1 Gbase:");
+    println!(
+        "  GTX 1080Ti (model):   {:.1} ms",
+        gpu.seconds(&Workload::paper_scale(250)) * 1e3
+    );
+    for device in [FpgaDevice::kintex7(), FpgaDevice::virtex7()] {
+        let query = EncodedQuery::from_protein(&random_protein(250, &mut rng));
+        let mut config = EngineConfig::kintex7((query.len() as u32).saturating_sub(2));
+        config.device = device.clone();
+        if let Ok(engine) = FabpEngine::new(query, config) {
+            println!(
+                "  {:<22} {:.1} ms  ({} segment(s))",
+                format!("{}:", device.name),
+                engine.model_kernel_seconds(Workload::paper_scale(250).packed_reference_bytes())
+                    * 1e3,
+                engine.plan().segments
+            );
+        }
+    }
+}

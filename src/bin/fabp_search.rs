@@ -1,0 +1,195 @@
+//! `fabp-search` — command-line protein-vs-nucleotide search.
+//!
+//! The downstream-user entry point: protein queries (FASTA) against a
+//! DNA/RNA database (FASTA), reporting hit regions per query.
+//!
+//! ```text
+//! fabp-search --query queries.faa --reference db.fna [options]
+//!
+//! Options:
+//!   --threshold <0..1>   fraction of matching elements (default 0.9)
+//!   --engine <software|bitparallel|cycle>   execution engine (default software)
+//!   --threads <n>        software engine workers (default 4)
+//!   --top <k>            print at most k regions per query (default 10)
+//!   --stats              print cycle statistics (cycle engine)
+//!   --disasm             print each query's instruction listing
+//! ```
+
+use fabp::bio::fasta::{read_proteins, read_records};
+use fabp::bio::seq::RnaSeq;
+use fabp::core::aligner::{Engine, FabpAligner, Threshold};
+use fabp::fpga::engine::EngineConfig;
+use std::fs::File;
+use std::process::ExitCode;
+
+struct Args {
+    query_path: String,
+    reference_path: String,
+    threshold: f64,
+    engine: String,
+    threads: usize,
+    top: usize,
+    stats: bool,
+    disasm: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fabp-search --query <queries.faa> --reference <db.fna> \
+         [--threshold 0.9] [--engine software|cycle] [--threads 4] \
+         [--top 10] [--stats]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        query_path: String::new(),
+        reference_path: String::new(),
+        threshold: 0.9,
+        engine: "software".to_string(),
+        threads: 4,
+        top: 10,
+        stats: false,
+        disasm: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--query" => args.query_path = it.next().unwrap_or_else(|| usage()),
+            "--reference" => args.reference_path = it.next().unwrap_or_else(|| usage()),
+            "--threshold" => {
+                args.threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--engine" => args.engine = it.next().unwrap_or_else(|| usage()),
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--top" => {
+                args.top = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--stats" => args.stats = true,
+            "--disasm" => args.disasm = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    if args.query_path.is_empty() || args.reference_path.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let args = parse_args();
+
+    let queries = read_proteins(File::open(&args.query_path)?)?;
+    if queries.is_empty() {
+        return Err("query file contains no records".into());
+    }
+
+    // References may be DNA or RNA; parse leniently via the RNA alphabet
+    // (T is accepted as U).
+    let reference_records = read_records(File::open(&args.reference_path)?)?;
+    if reference_records.is_empty() {
+        return Err("reference file contains no records".into());
+    }
+
+    eprintln!(
+        "{} quer{} vs {} reference record(s), threshold {:.0}%, engine {}",
+        queries.len(),
+        if queries.len() == 1 { "y" } else { "ies" },
+        reference_records.len(),
+        args.threshold * 100.0,
+        args.engine
+    );
+
+    println!("# query\treference\tregion_start\tregion_end\tbest_pos\tscore\tmax_score\thits");
+    for (query_id, protein) in &queries {
+        let encoded = fabp::encoding::encoder::EncodedQuery::from_protein(protein);
+        if args.disasm {
+            eprintln!("# disassembly of {query_id}:");
+            for line in encoded.disassemble().lines() {
+                eprintln!("#   {line}");
+            }
+        }
+        let threshold_abs = Threshold::Fraction(args.threshold).resolve(encoded.len());
+        let bitparallel = match args.engine.as_str() {
+            "bitparallel" => Some(fabp::core::bitparallel::BitParallelEngine::new(&encoded)?),
+            _ => None,
+        };
+        let engine = match args.engine.as_str() {
+            "software" | "bitparallel" => Engine::Software {
+                threads: args.threads,
+            },
+            "cycle" => Engine::CycleAccurate(Box::new(EngineConfig::kintex7(0))),
+            other => return Err(format!("unknown engine {other:?}").into()),
+        };
+        let aligner = FabpAligner::builder()
+            .protein_query(protein)
+            .threshold(Threshold::Fraction(args.threshold))
+            .engine(engine)
+            .build()?;
+
+        for record in &reference_records {
+            let reference: RnaSeq = record.sequence.parse()?;
+            let outcome = match &bitparallel {
+                Some(engine) => fabp::core::aligner::SearchOutcome {
+                    hits: engine.search(reference.as_slice(), threshold_abs),
+                    threshold: threshold_abs,
+                    query_len: encoded.len(),
+                    stats: None,
+                },
+                None => aligner.search(&reference),
+            };
+            let mut regions = outcome.regions();
+            regions.sort_by(|a, b| b.best.score.cmp(&a.best.score));
+            for region in regions.iter().take(args.top) {
+                println!(
+                    "{query_id}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                    record.id,
+                    region.start,
+                    region.end,
+                    region.best.position,
+                    region.best.score,
+                    outcome.query_len,
+                    region.hit_count
+                );
+            }
+            if args.stats {
+                if let Some(stats) = outcome.stats {
+                    eprintln!(
+                        "# {query_id} vs {}: {} cycles, {:.2} GB/s, {:.3} ms kernel",
+                        record.id,
+                        stats.cycles,
+                        stats.achieved_bandwidth / 1e9,
+                        stats.kernel_seconds * 1e3
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fabp-search: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # fabp — FPGA acceleration of protein back-translation and alignment
+//!
+//! Facade crate for the FabP reproduction (DATE 2021). Re-exports the
+//! workspace crates under one roof:
+//!
+//! * [`bio`] — alphabets, sequences, codon table, back-translation (golden
+//!   model), FASTA, mutation models, workload generators.
+//! * [`encoding`] — the 6-bit query instruction encoding and 2-bit
+//!   reference packing (paper §III-B).
+//! * [`fpga`] — LUT6/FF primitive netlists of the comparator and
+//!   Pop-Counter, device models, AXI/DRAM model and the cycle-level engine
+//!   (paper §III-C/D).
+//! * [`core`] — the `FabpAligner` public API (paper §III).
+//! * [`baselines`] — Smith–Waterman and the TBLASTN-like CPU baseline plus
+//!   the GPU-style brute-force comparator (paper §IV).
+//! * [`platforms`] — performance/energy models used to regenerate Fig. 6
+//!   and Table I.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and experiment index.
+
+pub use fabp_baselines as baselines;
+pub use fabp_bio as bio;
+pub use fabp_core as core;
+pub use fabp_encoding as encoding;
+pub use fabp_fpga as fpga;
+pub use fabp_platforms as platforms;
+
+pub use fabp_bio::prelude;

@@ -1,0 +1,115 @@
+//! End-to-end test of the `fabp_search` command-line binary.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_file(name: &str, contents: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("fabp_cli_{}_{name}", std::process::id()));
+    fs::write(&p, contents).unwrap();
+    p
+}
+
+#[test]
+fn cli_finds_planted_hit() {
+    let query = temp_file("q.faa", ">q1 demo\nMFSR\n");
+    // DNA spelling of AUG UUC UCA AGA planted at offset 4.
+    let reference = temp_file("db.fna", ">db1\nGGGGATGTTCTCAAGAGGGG\n");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_fabp_search"))
+        .args([
+            "--query",
+            query.to_str().unwrap(),
+            "--reference",
+            reference.to_str().unwrap(),
+            "--threshold",
+            "1.0",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let hit_line = stdout
+        .lines()
+        .find(|l| l.starts_with("q1\t"))
+        .unwrap_or_else(|| panic!("no hit line in output:\n{stdout}"));
+    let fields: Vec<&str> = hit_line.split('\t').collect();
+    assert_eq!(fields[1], "db1");
+    assert_eq!(fields[4], "4", "best position");
+    assert_eq!(fields[5], "12", "score");
+    assert_eq!(fields[6], "12", "max score");
+
+    fs::remove_file(query).ok();
+    fs::remove_file(reference).ok();
+}
+
+#[test]
+fn cli_cycle_engine_reports_stats() {
+    let query = temp_file("q2.faa", ">q\nMF\n");
+    let reference = temp_file("db2.fna", ">r\nAAATGTTTAAA\n");
+    let output = Command::new(env!("CARGO_BIN_EXE_fabp_search"))
+        .args([
+            "--query",
+            query.to_str().unwrap(),
+            "--reference",
+            reference.to_str().unwrap(),
+            "--engine",
+            "cycle",
+            "--stats",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("cycles"), "stats missing: {stderr}");
+
+    fs::remove_file(query).ok();
+    fs::remove_file(reference).ok();
+}
+
+#[test]
+fn cli_rejects_missing_files_and_bad_engine() {
+    let status = Command::new(env!("CARGO_BIN_EXE_fabp_search"))
+        .args([
+            "--query",
+            "/nonexistent.faa",
+            "--reference",
+            "/nonexistent.fna",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!status.status.success());
+
+    let query = temp_file("q3.faa", ">q\nMF\n");
+    let reference = temp_file("db3.fna", ">r\nACGT\n");
+    let output = Command::new(env!("CARGO_BIN_EXE_fabp_search"))
+        .args([
+            "--query",
+            query.to_str().unwrap(),
+            "--reference",
+            reference.to_str().unwrap(),
+            "--engine",
+            "quantum",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown engine"));
+
+    fs::remove_file(query).ok();
+    fs::remove_file(reference).ok();
+}
+
+#[test]
+fn cli_usage_on_no_args() {
+    let output = Command::new(env!("CARGO_BIN_EXE_fabp_search"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("usage:"));
+}

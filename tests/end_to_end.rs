@@ -1,0 +1,140 @@
+//! End-to-end integration: the full Fig. 1 flow exercised across all
+//! crates, with every execution layer (golden model, bit-level encoder,
+//! gate-level comparator, cycle-level engine, fast software engine)
+//! agreeing on the same data.
+
+use fabp::bio::backtranslate::BackTranslatedQuery;
+use fabp::bio::generate::{coding_rna_for_paper_patterns, random_protein, random_rna};
+use fabp::bio::seq::{PackedSeq, ProteinSeq, RnaSeq};
+use fabp::core::aligner::{Engine, FabpAligner, Threshold};
+use fabp::core::software::SoftwareEngine;
+use fabp::encoding::encoder::EncodedQuery;
+use fabp::fpga::comparator::ComparatorCell;
+use fabp::fpga::engine::{EngineConfig, FabpEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn five_layers_agree_on_scores() {
+    let mut rng = StdRng::seed_from_u64(100);
+    let protein = random_protein(18, &mut rng);
+    let reference = random_rna(800, &mut rng);
+
+    let golden = BackTranslatedQuery::from_protein(&protein);
+    let encoded = EncodedQuery::from_protein(&protein);
+    let cell = ComparatorCell::new();
+    let software = SoftwareEngine::new(&encoded);
+
+    let golden_scores = golden.score_all_positions(reference.as_slice());
+    let encoded_scores = encoded.score_all_positions(reference.as_slice());
+    let software_scores = software.score_all(reference.as_slice());
+
+    assert_eq!(golden_scores.len(), encoded_scores.len());
+    assert_eq!(golden_scores.len(), software_scores.len());
+    for (k, &g) in golden_scores.iter().enumerate() {
+        assert_eq!(g, encoded_scores[k], "bit-level encoder at {k}");
+        assert_eq!(g as u32, software_scores[k], "fused software at {k}");
+        let lut = cell.score_window(encoded.instructions(), &reference.as_slice()[k..]);
+        assert_eq!(g, lut, "gate-level comparator at {k}");
+    }
+
+    // Cycle engine hits = thresholded golden scores.
+    let threshold = (golden.len() as u32 * 3) / 4;
+    let engine = FabpEngine::new(encoded, EngineConfig::kintex7(threshold)).unwrap();
+    let run = engine.run(&PackedSeq::from_rna(&reference));
+    let expected: Vec<usize> = golden_scores
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s as u32 >= threshold)
+        .map(|(k, _)| k)
+        .collect();
+    let got: Vec<usize> = run.hits.iter().map(|h| h.position).collect();
+    assert_eq!(got, expected, "cycle engine hit positions");
+}
+
+#[test]
+fn planted_homology_found_through_the_public_api() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let protein = random_protein(30, &mut rng);
+    let coding = coding_rna_for_paper_patterns(&protein, &mut rng);
+    let mut bases = random_rna(5_000, &mut rng).into_inner();
+    bases.splice(2_345..2_345 + coding.len(), coding.iter().copied());
+    let reference = RnaSeq::from(bases);
+
+    for engine in [
+        Engine::Software { threads: 2 },
+        Engine::CycleAccurate(Box::new(EngineConfig::kintex7(0))),
+    ] {
+        let aligner = FabpAligner::builder()
+            .protein_query(&protein)
+            .threshold(Threshold::Fraction(1.0))
+            .engine(engine)
+            .build()
+            .unwrap();
+        let outcome = aligner.search(&reference);
+        assert!(
+            outcome
+                .hits
+                .iter()
+                .any(|h| h.position == 2_345 && h.score as usize == outcome.query_len),
+            "planted hit missing"
+        );
+    }
+}
+
+#[test]
+fn dna_reference_is_searched_via_t_to_u() {
+    // DNA database input: the paper aligns against DNA or RNA references.
+    let protein: ProteinSeq = "MKW".parse().unwrap();
+    let coding = "ATGAAATGG"; // DNA spelling of AUG AAA UGG
+    let reference_dna: fabp::bio::seq::DnaSeq = format!("CCCC{coding}CCCC").parse().unwrap();
+    let aligner = FabpAligner::builder()
+        .protein_query(&protein)
+        .threshold(Threshold::Fraction(1.0))
+        .build()
+        .unwrap();
+    let outcome = aligner.search(&reference_dna.to_rna());
+    assert_eq!(outcome.hits.len(), 1);
+    assert_eq!(outcome.hits[0].position, 4);
+}
+
+#[test]
+fn cycle_engine_statistics_are_self_consistent() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let protein = random_protein(40, &mut rng);
+    let reference = random_rna(100_000, &mut rng);
+    let encoded = EncodedQuery::from_protein(&protein);
+    let qlen = encoded.len();
+    let engine = FabpEngine::new(encoded, EngineConfig::kintex7(1_000)).unwrap();
+    let run = engine.run(&PackedSeq::from_rna(&reference));
+
+    let stats = run.stats;
+    assert_eq!(stats.beats as usize, reference.len().div_ceil(256));
+    assert_eq!(stats.bytes_read, stats.beats * 64);
+    assert_eq!(
+        stats.instances_evaluated as usize,
+        reference.len() - qlen + 1
+    );
+    assert!(stats.cycles >= stats.beats, "at least one cycle per beat");
+    assert!(stats.kernel_seconds > 0.0);
+    assert!(stats.achieved_bandwidth <= 12.8e9 * 1.001);
+}
+
+#[test]
+fn search_outcome_regions_cover_all_hits() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let protein = random_protein(10, &mut rng);
+    let reference = random_rna(3_000, &mut rng);
+    let aligner = FabpAligner::builder()
+        .protein_query(&protein)
+        .threshold(Threshold::Fraction(0.6))
+        .build()
+        .unwrap();
+    let outcome = aligner.search(&reference);
+    let regions = outcome.regions();
+    let covered: usize = regions.iter().map(|r| r.hit_count).sum();
+    assert_eq!(covered, outcome.hits.len());
+    for window in regions.windows(2) {
+        assert!(window[0].end <= window[1].start, "regions must be disjoint");
+    }
+}

@@ -1,0 +1,89 @@
+//! File-backed pipeline: write a synthetic database and query set as
+//! FASTA, read them back, and run the search — the workflow a downstream
+//! user runs against real NCBI extracts.
+
+use fabp::bio::fasta::{read_dna, read_proteins, write_records, Record};
+use fabp::bio::generate::{PlantedDatabase, PlantedDatabaseConfig};
+use fabp::core::aligner::{FabpAligner, Threshold};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("fabp_test_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn fasta_round_trip_search() {
+    let mut rng = StdRng::seed_from_u64(404);
+    let db = PlantedDatabase::generate(
+        &PlantedDatabaseConfig {
+            reference_len: 12_000,
+            num_queries: 4,
+            query_len: 25,
+            paper_codons_only: true,
+            ..PlantedDatabaseConfig::default()
+        },
+        &mut rng,
+    );
+
+    // Write the reference as DNA (the NCBI `nt` flavour) and the queries
+    // as protein FASTA.
+    let ref_path = temp_path("ref.fna");
+    let query_path = temp_path("queries.faa");
+    {
+        let records = vec![Record::new(
+            "synthetic_db",
+            db.reference.to_dna().to_string(),
+        )];
+        let mut file = fs::File::create(&ref_path).unwrap();
+        write_records(&mut file, &records, 70).unwrap();
+
+        let records: Vec<Record> = db
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| Record::new(format!("q{i}"), q.to_string()))
+            .collect();
+        let mut file = fs::File::create(&query_path).unwrap();
+        write_records(&mut file, &records, 60).unwrap();
+    }
+
+    // Read back and search.
+    let references = read_dna(fs::File::open(&ref_path).unwrap()).unwrap();
+    assert_eq!(references.len(), 1);
+    let reference = references[0].1.to_rna();
+    let queries = read_proteins(fs::File::open(&query_path).unwrap()).unwrap();
+    assert_eq!(queries.len(), 4);
+
+    for (i, (id, query)) in queries.iter().enumerate() {
+        assert_eq!(id, &format!("q{i}"));
+        let aligner = FabpAligner::builder()
+            .protein_query(query)
+            .threshold(Threshold::Fraction(1.0))
+            .build()
+            .unwrap();
+        let outcome = aligner.search(&reference);
+        let planted = &db.regions[i];
+        assert!(
+            outcome.hits.iter().any(|h| h.position == planted.position),
+            "query {i}: planted hit at {} not found after FASTA round trip",
+            planted.position
+        );
+    }
+
+    fs::remove_file(ref_path).ok();
+    fs::remove_file(query_path).ok();
+}
+
+#[test]
+fn fasta_errors_surface() {
+    // Sequence data before a header is a structural error.
+    let err = fabp::bio::fasta::read_records("ACGT\n".as_bytes()).unwrap_err();
+    assert!(err.to_string().contains("header"));
+    // A protein file read as DNA fails on the first bad symbol.
+    assert!(read_dna(">p\nMKWVF\n".as_bytes()).is_err());
+}

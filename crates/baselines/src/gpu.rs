@@ -58,7 +58,7 @@ pub fn brute_force_search(
     let chunk = positions.div_ceil(threads);
 
     let mut hits: Vec<(usize, u32)> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let start = t * chunk;
@@ -67,7 +67,7 @@ pub fn brute_force_search(
                 break;
             }
             let fused = &fused;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 for pos in start..end {
                     let score = fused.score_window(&bases[pos..]);
@@ -81,8 +81,7 @@ pub fn brute_force_search(
         for handle in handles {
             hits.extend(handle.join().expect("gpu worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     hits.sort_unstable();
     GpuSearchResult {

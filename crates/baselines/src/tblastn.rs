@@ -102,6 +102,52 @@ impl SearchStats {
         self.gapped_extensions += other.gapped_extensions;
         self.dp_cells += other.dp_cells;
     }
+
+    /// Publishes these counters (plus the HSP count) to `registry` as
+    /// `fabp_tblastn_*_total` counters. Called once per completed
+    /// search, so the per-word scan loop stays untouched.
+    pub fn record(&self, registry: &fabp_telemetry::Registry, hsps: usize) {
+        if !registry.is_enabled() {
+            return;
+        }
+        registry
+            .counter(
+                "fabp_tblastn_words_scanned_total",
+                "TBLASTN reference words scanned across all frames",
+            )
+            .add(self.words_scanned);
+        registry
+            .counter(
+                "fabp_tblastn_seed_hits_total",
+                "TBLASTN hash-table seed hits",
+            )
+            .add(self.seed_hits);
+        registry
+            .counter(
+                "fabp_tblastn_ungapped_extensions_total",
+                "TBLASTN ungapped X-drop extensions",
+            )
+            .add(self.ungapped_extensions);
+        registry
+            .counter(
+                "fabp_tblastn_gapped_extensions_total",
+                "TBLASTN banded gapped extensions",
+            )
+            .add(self.gapped_extensions);
+        registry
+            .counter(
+                "fabp_tblastn_dp_cells_total",
+                "TBLASTN dynamic-programming cells evaluated",
+            )
+            .add(self.dp_cells);
+        registry
+            .counter_with(
+                "fabp_hits_total",
+                "Hits emitted, by engine",
+                fabp_telemetry::labels(&[("engine", "tblastn")]),
+            )
+            .add(hsps as u64);
+    }
 }
 
 /// Result of one search: HSPs plus work statistics.
@@ -162,6 +208,7 @@ pub fn ungapped_extend(
 
 /// Searches one translated frame. `frame_offset` is the frame id,
 /// `nucleotide_base` the nucleotide coordinate of frame position 0.
+#[allow(clippy::too_many_arguments)] // internal; mirrors the pipeline's knobs
 fn search_frame(
     query: &[AminoAcid],
     index: &WordIndex,
@@ -313,6 +360,9 @@ pub fn tblastn_search(
         .hsps
         .sort_by_key(|h| (h.frame, h.nucleotide_pos, h.query_pos));
     result
+        .stats
+        .record(fabp_telemetry::Registry::global(), result.hsps.len());
+    result
 }
 
 /// Multi-threaded search: the reference is split into overlapping chunks
@@ -336,7 +386,7 @@ pub fn tblastn_search_parallel(
 
     let bases = reference.as_slice();
     let mut results: Vec<(Vec<Hsp>, SearchStats)> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         let mut start = 0usize;
         while start < bases.len() {
@@ -346,7 +396,7 @@ pub fn tblastn_search_parallel(
             let query = query.as_slice();
             handles.push((
                 start,
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut hsps = Vec::new();
                     let mut stats = SearchStats::default();
                     let chunk_rna: RnaSeq = chunk.iter().copied().collect();
@@ -378,8 +428,7 @@ pub fn tblastn_search_parallel(
             }
             results.push((hsps, stats));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut merged = SearchResult {
         hsps: Vec::new(),
@@ -401,6 +450,9 @@ pub fn tblastn_search_parallel(
     merged
         .hsps
         .dedup_by_key(|h| (h.frame, h.nucleotide_pos, h.query_pos));
+    merged
+        .stats
+        .record(fabp_telemetry::Registry::global(), merged.hsps.len());
     merged
 }
 

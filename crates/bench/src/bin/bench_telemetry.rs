@@ -1,0 +1,162 @@
+//! `bench_telemetry` — perf-trajectory snapshot driven by the telemetry
+//! registry.
+//!
+//! Runs a fixed synthetic workload (seeded, so byte-identical across
+//! machines) through the cycle-accurate engine and the software matcher,
+//! then derives a compact JSON summary — engine throughput and stall
+//! fractions — straight from the telemetry counters the run published.
+//! Future PRs diff `BENCH_telemetry.json` to spot perf (or counter
+//! accounting) regressions.
+//!
+//! ```text
+//! cargo run -p fabp-bench --bin bench_telemetry [--out BENCH_telemetry.json]
+//! ```
+
+use fabp_bio::generate::{PlantedDatabase, PlantedDatabaseConfig};
+use fabp_bio::seq::PackedSeq;
+use fabp_core::aligner::Threshold;
+use fabp_core::software::SoftwareEngine;
+use fabp_encoding::encoder::EncodedQuery;
+use fabp_fpga::engine::{EngineConfig, FabpEngine};
+use fabp_telemetry::Registry;
+use std::time::Instant;
+
+/// Fixed workload: deterministic planted database so the counter totals
+/// (and therefore the JSON) are stable across runs and machines.
+const SEED: u64 = 0xFAB9;
+const REFERENCE_LEN: usize = 200_000;
+const NUM_QUERIES: usize = 4;
+const QUERY_LEN: usize = 40;
+
+fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0.0".to_string()
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+fn counter(registry: &Registry, name: &str) -> u64 {
+    registry.snapshot().counter_total(name)
+}
+
+fn main() {
+    let mut out_path = "BENCH_telemetry.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = it.next().expect("missing value for --out"),
+            "--help" | "-h" => {
+                eprintln!("usage: bench_telemetry [--out BENCH_telemetry.json]");
+                std::process::exit(2);
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // A scoped registry keeps this run's counters isolated from the
+    // global one (nothing else runs in this process, but isolation makes
+    // the derivation auditable).
+    let registry = Registry::new();
+
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(SEED);
+    let db = PlantedDatabase::generate(
+        &PlantedDatabaseConfig {
+            reference_len: REFERENCE_LEN,
+            num_queries: NUM_QUERIES,
+            query_len: QUERY_LEN,
+            paper_codons_only: true,
+            ..PlantedDatabaseConfig::default()
+        },
+        &mut rng,
+    );
+    let packed = PackedSeq::from_rna(&db.reference);
+
+    // --- Cycle-accurate engine, fixed Kintex-7 device model. -------------
+    let mut cycle_hits = 0usize;
+    let mut modelled_kernel_seconds = 0.0f64;
+    let wall_start = Instant::now();
+    for protein in &db.queries {
+        let query = EncodedQuery::from_protein(protein);
+        let threshold = Threshold::Fraction(0.9).resolve(query.len());
+        let engine = FabpEngine::new(query, EngineConfig::kintex7(threshold))
+            .expect("fixed workload fits the device");
+        let run = engine.run_with_registry(&packed, &registry);
+        cycle_hits += run.hits.len();
+        modelled_kernel_seconds += run.stats.kernel_seconds;
+    }
+    let cycle_wall_seconds = wall_start.elapsed().as_secs_f64();
+
+    let cycles = counter(&registry, "fabp_engine_cycles_total");
+    let beats = counter(&registry, "fabp_engine_beats_total");
+    let stall = counter(&registry, "fabp_engine_stall_cycles_total");
+    let wb_stall = counter(&registry, "fabp_engine_wb_stall_cycles_total");
+    let busy = counter(&registry, "fabp_engine_busy_cycles_total");
+    let bytes_read = counter(&registry, "fabp_axi_bytes_read_total");
+    let axi_stall = counter(&registry, "fabp_axi_stall_cycles_total");
+
+    let stall_fraction = if cycles > 0 {
+        stall as f64 / cycles as f64
+    } else {
+        0.0
+    };
+    let wb_stall_fraction = if cycles > 0 {
+        wb_stall as f64 / cycles as f64
+    } else {
+        0.0
+    };
+    let busy_fraction = if cycles > 0 {
+        (busy.min(cycles)) as f64 / cycles as f64
+    } else {
+        0.0
+    };
+    // Modelled device throughput: nucleotides scanned per modelled second.
+    let total_bases = (REFERENCE_LEN * NUM_QUERIES) as f64;
+    let modelled_bases_per_second = if modelled_kernel_seconds > 0.0 {
+        total_bases / modelled_kernel_seconds
+    } else {
+        0.0
+    };
+    let modelled_bandwidth = if modelled_kernel_seconds > 0.0 {
+        bytes_read as f64 / modelled_kernel_seconds
+    } else {
+        0.0
+    };
+
+    // --- Software reference point on the same workload. -------------------
+    let sw_start = Instant::now();
+    let mut software_hits = 0usize;
+    for protein in &db.queries {
+        let query = EncodedQuery::from_protein(protein);
+        let threshold = Threshold::Fraction(0.9).resolve(query.len());
+        let engine = SoftwareEngine::with_registry(&query, &registry);
+        software_hits += engine.search(db.reference.as_slice(), threshold).len();
+    }
+    let software_wall_seconds = sw_start.elapsed().as_secs_f64();
+    let software_bases_per_second = if software_wall_seconds > 0.0 {
+        total_bases / software_wall_seconds
+    } else {
+        0.0
+    };
+
+    let json = format!(
+        "{{\n  \"schema\": \"fabp-bench-telemetry/1\",\n  \"workload\": {{\n    \"seed\": {SEED},\n    \"reference_len\": {REFERENCE_LEN},\n    \"num_queries\": {NUM_QUERIES},\n    \"query_len\": {QUERY_LEN}\n  }},\n  \"cycle_engine\": {{\n    \"hits\": {cycle_hits},\n    \"cycles_total\": {cycles},\n    \"beats_total\": {beats},\n    \"stall_cycles_total\": {stall},\n    \"wb_stall_cycles_total\": {wb_stall},\n    \"busy_cycles_total\": {busy},\n    \"axi_bytes_read_total\": {bytes_read},\n    \"axi_stall_cycles_total\": {axi_stall},\n    \"stall_fraction\": {},\n    \"wb_stall_fraction\": {},\n    \"busy_fraction\": {},\n    \"modelled_kernel_seconds\": {},\n    \"modelled_bases_per_second\": {},\n    \"modelled_bandwidth_bytes_per_second\": {},\n    \"sim_wall_seconds\": {}\n  }},\n  \"software_engine\": {{\n    \"hits\": {software_hits},\n    \"wall_seconds\": {},\n    \"bases_per_second\": {}\n  }}\n}}\n",
+        fmt_f64(stall_fraction),
+        fmt_f64(wb_stall_fraction),
+        fmt_f64(busy_fraction),
+        fmt_f64(modelled_kernel_seconds),
+        fmt_f64(modelled_bases_per_second),
+        fmt_f64(modelled_bandwidth),
+        fmt_f64(cycle_wall_seconds),
+        fmt_f64(software_wall_seconds),
+        fmt_f64(software_bases_per_second),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark snapshot");
+    eprintln!(
+        "bench_telemetry: {cycle_hits} cycle hits / {software_hits} software hits; \
+         stall fraction {stall_fraction:.4}; snapshot written to {out_path}"
+    );
+}

@@ -44,6 +44,10 @@ struct Options {
     queries: usize,
     /// RNG seed.
     seed: u64,
+    /// Write the run's telemetry as Prometheus text here.
+    metrics_out: Option<String>,
+    /// Write the run's span ring as a Chrome trace here.
+    trace_out: Option<String>,
 }
 
 impl Default for Options {
@@ -52,6 +56,8 @@ impl Default for Options {
             ref_mbases: 4.0,
             queries: 2_000,
             seed: 0xFAB,
+            metrics_out: None,
+            trace_out: None,
         }
     }
 }
@@ -79,6 +85,12 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--seed needs a number");
+            }
+            "--metrics-out" => {
+                options.metrics_out = Some(args.next().expect("--metrics-out needs a path"));
+            }
+            "--trace-out" => {
+                options.trace_out = Some(args.next().expect("--trace-out needs a path"));
             }
             other => commands.push(other.to_string()),
         }
@@ -127,6 +139,18 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    // Export the telemetry the experiments produced (engine counters,
+    // AXI stall attribution, host-stage spans, …).
+    let snapshot = fabp_telemetry::Registry::global().snapshot();
+    if let Some(path) = &options.metrics_out {
+        std::fs::write(path, snapshot.to_prometheus()).expect("write --metrics-out");
+        eprintln!("telemetry metrics written to {path}");
+    }
+    if let Some(path) = &options.trace_out {
+        std::fs::write(path, snapshot.to_chrome_trace()).expect("write --trace-out");
+        eprintln!("telemetry trace written to {path}");
     }
 }
 

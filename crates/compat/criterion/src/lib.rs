@@ -1,0 +1,255 @@
+//! Offline drop-in subset of the `criterion` 0.5 bench API.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be fetched. This vendored shim keeps the workspace's
+//! `harness = false` benches compiling and producing useful numbers:
+//!
+//! * [`Criterion`], [`BenchmarkGroup`] (`bench_function`,
+//!   `bench_with_input`, `throughput`, `sample_size`, `finish`);
+//! * [`Bencher::iter`] — auto-calibrated iteration count, reports the
+//!   minimum and mean wall-clock per iteration plus derived throughput;
+//! * [`criterion_group!`] / [`criterion_main!`] and [`black_box`].
+//!
+//! Differences from upstream: no statistical analysis, HTML reports, or
+//! baseline comparison — one plain-text line per benchmark. Honour
+//! `--bench` (ignored) and a substring filter argument like upstream so
+//! `cargo bench <filter>` works.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times one closure; the shim's analogue of criterion's sampler.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    min_ns: f64,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: calibrates an iteration count targeting
+    /// ~200 ms of total work (capped), then reports min/mean per-iteration
+    /// wall time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up + calibration.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut min = f64::INFINITY;
+        let mut total = 0.0f64;
+        let batches = 5u64;
+        for _ in 0..batches {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per_iter = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+            min = min.min(per_iter);
+            total += per_iter;
+        }
+        self.min_ns = min;
+        self.mean_ns = total / batches as f64;
+        self.iters = iters * batches;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for API compatibility; the shim auto-calibrates instead.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) {}
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut b = Bencher::default();
+        f(&mut b);
+        self.report(&full, &b);
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        self.report(&full, &b);
+    }
+
+    /// Ends the group (no-op; accepted for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, full: &str, b: &Bencher) {
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:>10.2} MiB/s",
+                    n as f64 / (b.min_ns * 1e-9) / (1 << 20) as f64
+                )
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.2} Melem/s", n as f64 / (b.min_ns * 1e-9) / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{full:<48} min {:>12}  mean {:>12}  ({} iters){rate}",
+            fmt_ns(b.min_ns),
+            fmt_ns(b.mean_ns),
+            b.iters
+        );
+    }
+}
+
+/// Top-level bench context; parses the CLI filter like upstream.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench` invokes the harness with libtest-style flags plus
+        // an optional substring filter; keep the first non-flag argument.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        if !self.matches(&id.id) {
+            return;
+        }
+        let mut b = Bencher::default();
+        f(&mut b);
+        let group = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+            throughput: None,
+        };
+        group.report(&id.id, &b);
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_id.contains(f))
+    }
+}
+
+/// Declares a bench group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

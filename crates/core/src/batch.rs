@@ -41,27 +41,46 @@ pub fn search_all(
         return Ok(aligners.iter().map(|a| a.search(reference)).collect());
     }
 
+    let telemetry = fabp_telemetry::Registry::global();
+    let chunk = aligners.len().div_ceil(threads);
+    // Worker imbalance: with ceil-division chunking the last worker may
+    // run short — export the spread so batch tuning is observable.
+    let last_chunk = aligners.len() - chunk * ((aligners.len() - 1) / chunk);
+    telemetry
+        .gauge(
+            "fabp_batch_queue_imbalance",
+            "Largest minus smallest per-worker query count in the last batch",
+        )
+        .set((chunk - last_chunk) as i64);
+
     let mut outcomes: Vec<Option<SearchOutcome>> = Vec::new();
     outcomes.resize_with(aligners.len(), || None);
-    let chunk = aligners.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = outcomes.as_mut_slice();
         let mut offset = 0usize;
+        let mut worker = 0usize;
         while !rest.is_empty() {
             let take = chunk.min(rest.len());
             let (head, tail) = rest.split_at_mut(take);
             rest = tail;
             let aligners = &aligners;
             let start = offset;
-            scope.spawn(move |_| {
+            let depth = telemetry.gauge_with(
+                "fabp_batch_worker_queue_depth",
+                "Queries still pending per batch worker",
+                fabp_telemetry::labels(&[("worker", &worker.to_string())]),
+            );
+            depth.set(take as i64);
+            scope.spawn(move || {
                 for (i, slot) in head.iter_mut().enumerate() {
                     *slot = Some(aligners[start + i].search(reference));
+                    depth.dec();
                 }
             });
             offset += take;
+            worker += 1;
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     Ok(outcomes
         .into_iter()

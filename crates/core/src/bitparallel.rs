@@ -124,6 +124,22 @@ impl BitParallelEngine {
             return Vec::new();
         }
         let positions = reference.len() - qlen + 1;
+        let telemetry = fabp_telemetry::Registry::global();
+        let engine = fabp_telemetry::labels(&[("engine", "bitparallel")]);
+        telemetry
+            .counter_with(
+                "fabp_queries_processed_total",
+                "Query scans started, by engine",
+                engine.clone(),
+            )
+            .inc();
+        telemetry
+            .counter_with(
+                "fabp_residues_scanned_total",
+                "Alignment positions evaluated, by engine",
+                engine.clone(),
+            )
+            .add(positions as u64);
         let words = reference.len().div_ceil(64) + 2; // padding for shifts
 
         // Pass 1: comparator output columns, one bitvector per distinct
@@ -135,7 +151,7 @@ impl BitParallelEngine {
             let word = p / 64;
             let bit = p % 64;
             for (t, &table) in self.tables.iter().enumerate() {
-                columns[t][word] |= u64::from((table >> ctx) & 1) << bit;
+                columns[t][word] |= ((table >> ctx) & 1) << bit;
             }
         }
 
@@ -174,6 +190,9 @@ impl BitParallelEngine {
             }
             block_base += 64;
         }
+        telemetry
+            .counter_with("fabp_hits_total", "Hits emitted, by engine", engine)
+            .add(hits.len() as u64);
         hits
     }
 }

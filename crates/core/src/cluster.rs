@@ -62,6 +62,27 @@ impl FpgaCluster {
         let engines = (0..nodes)
             .map(|_| FabpEngine::new(query.clone(), config.clone()))
             .collect::<Result<Vec<_>, _>>()?;
+        let telemetry = fabp_telemetry::Registry::global();
+        telemetry
+            .gauge("fabp_cluster_nodes", "Boards in the modelled cluster")
+            .set(nodes as i64);
+        let max = shard_bases.iter().copied().max().unwrap_or(0);
+        let min = shard_bases.iter().copied().min().unwrap_or(0);
+        telemetry
+            .gauge(
+                "fabp_cluster_shard_imbalance_bases",
+                "Largest minus smallest shard, bases",
+            )
+            .set((max - min) as i64);
+        for (node, &bases) in shard_bases.iter().enumerate() {
+            telemetry
+                .gauge_with(
+                    "fabp_cluster_shard_bases",
+                    "Resident shard size per node, bases",
+                    fabp_telemetry::labels(&[("node", &node.to_string())]),
+                )
+                .set(bases as i64);
+        }
         Ok(FpgaCluster {
             engines,
             shard_bases,

@@ -72,12 +72,50 @@ pub fn end_to_end(
 ) -> EndToEnd {
     let query_bytes = (query_elements * 6).div_ceil(8) as f64;
     let result_bytes = (hits * 8) as f64;
-    EndToEnd {
+    let breakdown = EndToEnd {
         encode_seconds: query_elements as f64 / config.encode_rate,
         query_transfer_seconds: config.pcie_latency + query_bytes / config.pcie_bandwidth,
         kernel_seconds,
         readback_seconds: config.pcie_latency + result_bytes / config.pcie_bandwidth,
+    };
+    record_end_to_end(fabp_telemetry::Registry::global(), &breakdown);
+    breakdown
+}
+
+/// Publishes one end-to-end breakdown to `registry`: per-stage
+/// `fabp_host_stage_seconds{stage=…}` float counters plus a modelled
+/// span tree `end_to_end → encode → query_transfer → kernel → readback`
+/// whose child durations sum exactly to the parent.
+pub fn record_end_to_end(registry: &fabp_telemetry::Registry, breakdown: &EndToEnd) {
+    if !registry.is_enabled() {
+        return;
     }
+    let stages = [
+        ("encode", breakdown.encode_seconds),
+        ("query_transfer", breakdown.query_transfer_seconds),
+        ("kernel", breakdown.kernel_seconds),
+        ("readback", breakdown.readback_seconds),
+    ];
+    for (stage, seconds) in stages {
+        registry
+            .float_counter_with(
+                "fabp_host_stage_seconds",
+                "Modelled host pipeline seconds, by stage",
+                fabp_telemetry::labels(&[("stage", stage)]),
+            )
+            .add(seconds);
+    }
+    registry
+        .float_counter(
+            "fabp_host_end_to_end_seconds",
+            "Modelled end-to-end seconds (paper's measured window)",
+        )
+        .add(breakdown.total());
+    registry
+        .counter("fabp_host_end_to_end_runs_total", "End-to-end model runs")
+        .inc();
+    let spans: Vec<(&str, f64)> = stages.iter().map(|&(s, t)| (s, t * 1e6)).collect();
+    registry.record_span_tree("end_to_end", &spans);
 }
 
 /// Models a batch of `queries` searches against one resident database:

@@ -12,20 +12,44 @@ use crate::hits::Hit;
 use fabp_bio::alphabet::Nucleotide;
 use fabp_encoding::encoder::EncodedQuery;
 use fabp_encoding::fused::FusedScorer;
+use fabp_telemetry::{labels, Counter, Registry};
 
 /// The fast software engine for one encoded query.
 #[derive(Debug, Clone)]
 pub struct SoftwareEngine {
     fused: FusedScorer,
     query_len: usize,
+    /// Telemetry handles, registered once at construction so the scan
+    /// loops pay only an atomic add per chunk.
+    queries_ctr: Counter,
+    residues_ctr: Counter,
+    hits_ctr: Counter,
 }
 
 impl SoftwareEngine {
-    /// Builds the engine from an encoded query.
+    /// Builds the engine from an encoded query (telemetry goes to the
+    /// global registry).
     pub fn new(query: &EncodedQuery) -> SoftwareEngine {
+        SoftwareEngine::with_registry(query, Registry::global())
+    }
+
+    /// Builds the engine, publishing telemetry to `registry`.
+    pub fn with_registry(query: &EncodedQuery, registry: &Registry) -> SoftwareEngine {
+        let engine = labels(&[("engine", "software")]);
         SoftwareEngine {
             fused: FusedScorer::build(&query.decode()),
             query_len: query.len(),
+            queries_ctr: registry.counter_with(
+                "fabp_queries_processed_total",
+                "Query scans started, by engine",
+                engine.clone(),
+            ),
+            residues_ctr: registry.counter_with(
+                "fabp_residues_scanned_total",
+                "Alignment positions evaluated, by engine",
+                engine.clone(),
+            ),
+            hits_ctr: registry.counter_with("fabp_hits_total", "Hits emitted, by engine", engine),
         }
     }
 
@@ -37,6 +61,7 @@ impl SoftwareEngine {
     /// Scans `reference` serially, reporting hits with
     /// `score >= threshold`.
     pub fn search(&self, reference: &[Nucleotide], threshold: u32) -> Vec<Hit> {
+        self.queries_ctr.inc();
         self.search_range(reference, threshold, 0, usize::MAX)
     }
 
@@ -61,6 +86,8 @@ impl SoftwareEngine {
                 hits.push(Hit { position, score });
             }
         }
+        self.residues_ctr.add(limit.saturating_sub(start) as u64);
+        self.hits_ctr.add(hits.len() as u64);
         hits
     }
 
@@ -77,12 +104,13 @@ impl SoftwareEngine {
         }
         let positions = reference.len() - self.query_len + 1;
         let threads = threads.max(1).min(positions);
+        self.queries_ctr.inc();
         if threads == 1 {
-            return self.search(reference, threshold);
+            return self.search_range(reference, threshold, 0, usize::MAX);
         }
         let chunk = positions.div_ceil(threads);
         let mut hits: Vec<Hit> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let start = t * chunk;
@@ -90,15 +118,13 @@ impl SoftwareEngine {
                 if start >= end {
                     break;
                 }
-                handles.push(
-                    scope.spawn(move |_| self.search_range(reference, threshold, start, end)),
-                );
+                handles
+                    .push(scope.spawn(move || self.search_range(reference, threshold, start, end)));
             }
             for handle in handles {
                 hits.extend(handle.join().expect("search worker panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
         hits.sort_by_key(|h| h.position);
         hits
     }

@@ -74,6 +74,16 @@ impl StreamingAligner {
     pub fn feed(&mut self, chunk: &[Nucleotide]) -> Vec<Hit> {
         let qlen = self.engine.query_len();
         self.consumed += chunk.len();
+        let telemetry = fabp_telemetry::Registry::global();
+        telemetry
+            .counter("fabp_stream_chunks_total", "Reference chunks streamed")
+            .inc();
+        telemetry
+            .counter(
+                "fabp_stream_elements_total",
+                "Reference elements consumed by streaming scans",
+            )
+            .add(chunk.len() as u64);
 
         // Working buffer: carry + chunk.
         let mut buffer = Vec::with_capacity(self.carry.len() + chunk.len());

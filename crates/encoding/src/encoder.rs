@@ -243,6 +243,9 @@ impl QuerySet {
 }
 
 #[cfg(test)]
+// Binary literal groups mirror the 6-bit instruction's field
+// boundaries (type | match | spare | config), not byte nibbles.
+#[allow(clippy::unusual_byte_groupings)]
 mod tests {
     use super::*;
     use fabp_bio::backtranslate::BackTranslatedQuery;

@@ -96,7 +96,7 @@ impl ConfigSelect {
     /// zero.
     #[inline]
     pub fn select(self, q3: bool, prev1: Option<Nucleotide>, prev2: Option<Nucleotide>) -> bool {
-        let bit = |n: Option<Nucleotide>, b: u8| n.map_or(false, |n| (n.code2() >> b) & 1 == 1);
+        let bit = |n: Option<Nucleotide>, b: u8| n.is_some_and(|n| (n.code2() >> b) & 1 == 1);
         match self {
             ConfigSelect::QueryBit => q3,
             ConfigSelect::RefPrev2Lsb => bit(prev2, 0),
@@ -294,6 +294,9 @@ pub fn compare_function(q0: bool, q1: bool, q2: bool, x: bool, reference: Nucleo
 }
 
 #[cfg(test)]
+// Binary literal groups mirror the 6-bit instruction's field
+// boundaries (type | match | spare | config), not byte nibbles.
+#[allow(clippy::unusual_byte_groupings)]
 mod tests {
     use super::*;
     use fabp_bio::alphabet::AminoAcid;

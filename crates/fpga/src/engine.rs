@@ -155,8 +155,21 @@ impl FabpEngine {
     }
 
     /// Runs the kernel over a packed reference, producing hits and cycle
-    /// statistics.
+    /// statistics. Counters are published to the global telemetry
+    /// registry; use [`FabpEngine::run_with_registry`] to direct them
+    /// elsewhere.
     pub fn run(&self, reference: &PackedSeq) -> EngineRun {
+        self.run_with_registry(reference, fabp_telemetry::Registry::global())
+    }
+
+    /// Runs the kernel, publishing telemetry to an explicit `registry`
+    /// (e.g. a scoped [`fabp_telemetry::Registry::new`] for isolated
+    /// benchmarking).
+    pub fn run_with_registry(
+        &self,
+        reference: &PackedSeq,
+        registry: &fabp_telemetry::Registry,
+    ) -> EngineRun {
         let query_len = self.query.len();
         let beats = axi_beats(reference);
         let channels = self.plan.channels.max(1) as u64;
@@ -166,15 +179,20 @@ impl FabpEngine {
         let mut hits = Vec::new();
         let mut stats = EngineStats::default();
 
-        // Per-channel compute-ready times (C parallel instance arrays).
+        // Per-channel compute-ready times (C parallel instance arrays),
+        // each fed by its own AXI read channel streaming its own address
+        // range — stall cycles are attributed to the channel that
+        // caused them.
         let mut channel_ready = vec![0u64; channels as usize];
-        let mut axi = AxiChannel::new(self.config.axi);
+        let mut axi: Vec<AxiChannel> = (0..channels as usize)
+            .map(|_| AxiChannel::new(self.config.axi))
+            .collect();
         let mut next_position = 0usize; // next unscored alignment start
 
         for (beat_idx, beat) in beats.iter().enumerate() {
             let ch = beat_idx % channels as usize;
             // The channel's own beat sequence index drives availability.
-            let t_data = axi.fetch_beat(channel_ready[ch]);
+            let t_data = axi[ch].fetch_beat(channel_ready[ch]);
 
             // Bit-exact scoring of every alignment instance this beat
             // completes.
@@ -210,17 +228,19 @@ impl FabpEngine {
         }
 
         let end = channel_ready.iter().copied().max().unwrap_or(0) + self.config.pipeline_depth;
-        let axi_stats = axi.stats();
+        let per_channel: Vec<_> = axi.iter().map(|ch| ch.stats()).collect();
         stats.cycles = end;
-        stats.beats = axi_stats.beats;
-        stats.bytes_read = axi_stats.bytes;
-        stats.stall_cycles = axi_stats.stall_cycles;
+        stats.beats = per_channel.iter().map(|s| s.beats).sum();
+        stats.bytes_read = per_channel.iter().map(|s| s.bytes).sum();
+        stats.stall_cycles = per_channel.iter().map(|s| s.stall_cycles).sum();
         stats.kernel_seconds = end as f64 / self.config.device.clock_hz;
         stats.achieved_bandwidth = if end > 0 {
-            axi_stats.bytes as f64 / stats.kernel_seconds
+            stats.bytes_read as f64 / stats.kernel_seconds
         } else {
             0.0
         };
+
+        crate::telemetry::record_engine_run(registry, &stats, &per_channel, hits.len());
 
         EngineRun { hits, stats }
     }
@@ -368,7 +388,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(11);
             let reference = random_rna(32 * 1024, &mut rng);
             let run = engine.run(&PackedSeq::from_rna(&reference));
-            let modeled = engine.model_kernel_seconds((reference.len() as u64).div_ceil(4) * 1);
+            let modeled = engine.model_kernel_seconds((reference.len() as u64).div_ceil(4));
             // bytes = len/4 (2 bits per base -> 4 bases per byte).
             let simulated = run.stats.kernel_seconds;
             let ratio = modeled / simulated;

@@ -173,7 +173,7 @@ fn build_popcount(n: &mut Netlist, bits: &[NodeId]) -> Vec<NodeId> {
             .chain(stage2[2].iter().copied())
             .collect();
         let t = add_vectors(n, &p1s, &p2s);
-        sums.push(add_vectors(n, &stage2[0].to_vec(), &t));
+        sums.push(add_vectors(n, stage2[0].as_ref(), &t));
     }
     while sums.len() > 1 {
         let mut next = Vec::new();

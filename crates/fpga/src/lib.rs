@@ -41,6 +41,7 @@ pub mod power_model;
 pub mod primitives;
 pub mod resources;
 pub mod sta;
+pub mod telemetry;
 pub mod vcd;
 pub mod verilog;
 

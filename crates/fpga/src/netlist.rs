@@ -90,6 +90,7 @@ impl ResourceCount {
     }
 
     /// Component-wise sum.
+    #[allow(clippy::should_implement_trait)] // established call sites; value semantics
     pub fn add(self, other: ResourceCount) -> ResourceCount {
         ResourceCount {
             luts: self.luts + other.luts,

@@ -169,7 +169,7 @@ fn build_handcrafted_pipelined(n: &mut Netlist, inputs: &[NodeId]) -> (Vec<NodeI
             .chain(stage2[2].iter().copied())
             .collect();
         let t = add_vectors(n, &p1_shifted, &p2_shifted);
-        let total = add_vectors(n, &stage2[0].to_vec(), &t);
+        let total = add_vectors(n, stage2[0].as_ref(), &t);
         block_sums.push(total.into_iter().map(|b| n.reg(b)).collect());
     }
 

@@ -208,7 +208,7 @@ fn build_pop36(n: &mut Netlist, bits: &[NodeId; 36]) -> Vec<NodeId> {
         .chain(stage2[2].iter().copied())
         .collect();
     let t = add_vectors(n, &p1_shifted, &p2_shifted);
-    add_vectors(n, &stage2[0].to_vec(), &t)
+    add_vectors(n, stage2[0].as_ref(), &t)
 }
 
 /// Naive behavioural-HDL structure: binary adder tree from single bits.

@@ -276,7 +276,7 @@ pub fn crossover_query_len(device: &FpgaDevice, params: &ArchParams) -> usize {
     let mut lo = 1usize;
     let mut hi = 4096usize;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         let fits = device.fits(design_cost(mid, 1, 1, params), params.headroom);
         if fits {
             lo = mid;

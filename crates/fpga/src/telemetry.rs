@@ -1,0 +1,171 @@
+//! Telemetry flush points for the cycle-level engine.
+//!
+//! The engine simulation accumulates its own [`EngineStats`] per run;
+//! this module publishes those counters to the global
+//! [`fabp_telemetry::Registry`] so that CLI runs, benches and tests can
+//! export them as Prometheus text / JSON / Chrome traces. Recording
+//! happens **once per kernel run** (never inside the beat loop), so the
+//! simulation's hot path is untouched.
+//!
+//! Metric catalogue (see `docs/OBSERVABILITY.md`):
+//!
+//! | name | type | unit |
+//! |------|------|------|
+//! | `fabp_engine_runs_total` | counter | kernel runs |
+//! | `fabp_engine_beats_total` | counter | 512-bit AXI beats |
+//! | `fabp_engine_cycles_total` | counter | device cycles |
+//! | `fabp_engine_stall_cycles_total` | counter | cycles stalled on AXI |
+//! | `fabp_engine_wb_stall_cycles_total` | counter | cycles stalled on WB |
+//! | `fabp_engine_busy_cycles_total` | counter | compute cycles |
+//! | `fabp_engine_instances_total` | counter | alignment instances |
+//! | `fabp_hits_total{engine="cycle"}` | counter | reported hits |
+//! | `fabp_engine_occupancy_percent` | histogram | busy/total per run |
+//! | `fabp_axi_beats_total{channel}` | counter | beats per channel |
+//! | `fabp_axi_bytes_read_total{channel}` | counter | bytes per channel |
+//! | `fabp_axi_stall_cycles_total{channel}` | counter | stalls per channel |
+
+use crate::axi::AxiStats;
+use crate::engine::EngineStats;
+use fabp_telemetry::{labels, Registry};
+
+/// Publishes one kernel run's statistics to `registry`.
+///
+/// `per_channel` carries each AXI channel's own stats (index = channel
+/// id); `hits` is the number of reported positions.
+pub fn record_engine_run(
+    registry: &Registry,
+    stats: &EngineStats,
+    per_channel: &[AxiStats],
+    hits: usize,
+) {
+    if !registry.is_enabled() {
+        return;
+    }
+    registry
+        .counter("fabp_engine_runs_total", "Cycle-level kernel runs")
+        .inc();
+    registry
+        .counter("fabp_engine_beats_total", "512-bit AXI beats consumed")
+        .add(stats.beats);
+    registry
+        .counter("fabp_engine_cycles_total", "Device cycles simulated")
+        .add(stats.cycles);
+    registry
+        .counter(
+            "fabp_engine_stall_cycles_total",
+            "Cycles stalled waiting on AXI data",
+        )
+        .add(stats.stall_cycles);
+    registry
+        .counter(
+            "fabp_engine_wb_stall_cycles_total",
+            "Cycles stalled draining the write-back buffer",
+        )
+        .add(stats.wb_stall_cycles);
+    registry
+        .counter("fabp_engine_busy_cycles_total", "Compute (segment) cycles")
+        .add(stats.busy_cycles);
+    registry
+        .counter(
+            "fabp_engine_instances_total",
+            "Alignment instances evaluated",
+        )
+        .add(stats.instances_evaluated);
+    registry
+        .counter_with(
+            "fabp_hits_total",
+            "Hits emitted, by engine",
+            labels(&[("engine", "cycle")]),
+        )
+        .add(hits as u64);
+    // Pipeline occupancy: fraction of kernel cycles the instance arrays
+    // were computing, in percent, one observation per run.
+    if let Some(occupancy) = (stats.busy_cycles.min(stats.cycles) * 100).checked_div(stats.cycles) {
+        registry
+            .histogram(
+                "fabp_engine_occupancy_percent",
+                "Per-run pipeline occupancy (busy cycles / total cycles, %)",
+            )
+            .observe(occupancy);
+    }
+    for (ch, axi) in per_channel.iter().enumerate() {
+        let ch = ch.to_string();
+        registry
+            .counter_with(
+                "fabp_axi_beats_total",
+                "AXI beats delivered, by memory channel",
+                labels(&[("channel", &ch)]),
+            )
+            .add(axi.beats);
+        registry
+            .counter_with(
+                "fabp_axi_bytes_read_total",
+                "Bytes read from DRAM, by memory channel",
+                labels(&[("channel", &ch)]),
+            )
+            .add(axi.bytes);
+        registry
+            .counter_with(
+                "fabp_axi_stall_cycles_total",
+                "Consumer stall cycles attributed to this memory channel",
+                labels(&[("channel", &ch)]),
+            )
+            .add(axi.stall_cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_is_noop_on_disabled_registry() {
+        let r = Registry::disabled();
+        record_engine_run(&r, &EngineStats::default(), &[AxiStats::default()], 5);
+        assert!(r.snapshot().metrics.is_empty());
+    }
+
+    #[test]
+    fn record_publishes_per_channel_series() {
+        let r = Registry::new();
+        let stats = EngineStats {
+            cycles: 100,
+            beats: 10,
+            bytes_read: 640,
+            stall_cycles: 7,
+            wb_stall_cycles: 1,
+            busy_cycles: 80,
+            instances_evaluated: 2560,
+            kernel_seconds: 1e-6,
+            achieved_bandwidth: 6.4e8,
+        };
+        let ch0 = AxiStats {
+            beats: 6,
+            bytes: 384,
+            stall_cycles: 4,
+        };
+        let ch1 = AxiStats {
+            beats: 4,
+            bytes: 256,
+            stall_cycles: 3,
+        };
+        record_engine_run(&r, &stats, &[ch0, ch1], 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_total("fabp_axi_bytes_read_total"), 640);
+        assert_eq!(snap.counter_total("fabp_axi_stall_cycles_total"), 7);
+        assert!(snap
+            .find("fabp_axi_beats_total", &[("channel", "1")])
+            .is_some());
+        assert_eq!(snap.counter_total("fabp_hits_total"), 3);
+        assert_eq!(snap.counter_total("fabp_engine_cycles_total"), 100);
+        // Occupancy 80% lands in the log2 bucket for 80.
+        let occ = snap.find("fabp_engine_occupancy_percent", &[]).unwrap();
+        match &occ.value {
+            fabp_telemetry::MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 1);
+                assert_eq!(h.sum, 80);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

@@ -36,6 +36,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the calibration table's ordering
     fn power_ordering_is_sane() {
         assert!(FPGA_W < CPU_SINGLE_THREAD_W);
         assert!(CPU_SINGLE_THREAD_W < CPU_TWELVE_THREAD_W);

@@ -1,0 +1,54 @@
+//! Lock-free metrics and span tracing for the FabP reproduction.
+//!
+//! The paper's evaluation (§IV) reports throughput, stall fractions and
+//! end-to-end stage timings; this crate is the plumbing that lets every
+//! layer of the reproduction — host model, cycle-level engine, AXI
+//! channels, software baselines — publish those numbers through one
+//! uniform, zero-external-dependency API.
+//!
+//! # Design
+//!
+//! * **Handles are cheap and detachable.** A [`Counter`], [`Gauge`],
+//!   [`FloatCounter`] or [`Histogram`] is an `Option<Arc<…>>`; a handle
+//!   from [`Registry::disabled()`] holds `None`, so `inc()` on it is a
+//!   single predictable branch (sub-nanosecond — see the
+//!   `telemetry_overhead` bench).
+//! * **One global registry, plus scoped ones.** Library code records
+//!   against [`Registry::global()`] by default; tests and benches build
+//!   private [`Registry::new()`] instances, or pass
+//!   [`Registry::disabled()`] to measure the no-op path.
+//! * **Spans are RAII.** [`Span::enter`] pushes onto a thread-local
+//!   stack and records a wall-time interval into a bounded ring buffer
+//!   on drop. Modelled (non-wall-clock) pipelines use
+//!   [`Registry::record_span_tree`] to lay synthetic parent/child spans
+//!   whose durations sum exactly.
+//! * **Export is snapshot-based.** [`Registry::snapshot`] captures a
+//!   consistent view; [`Snapshot::to_prometheus`],
+//!   [`Snapshot::to_json`] and [`Snapshot::to_chrome_trace`] render it.
+//!
+//! ```
+//! use fabp_telemetry::Registry;
+//!
+//! let registry = Registry::new();
+//! let hits = registry.counter("fabp_hits_total", "Hits emitted");
+//! hits.add(3);
+//! let text = registry.snapshot().to_prometheus();
+//! assert!(text.contains("fabp_hits_total 3"));
+//! ```
+
+mod metrics;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use metrics::{Counter, FloatCounter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use registry::{labels, Labels, Registry};
+pub use snapshot::{
+    HistogramSnapshot, MetricKind, MetricSnapshot, MetricValue, Snapshot, SpanSnapshot,
+};
+pub use span::Span;
+
+/// Convenience: the global registry (enabled by default).
+pub fn global() -> &'static Registry {
+    Registry::global()
+}

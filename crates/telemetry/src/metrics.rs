@@ -1,0 +1,324 @@
+//! Metric handle types: lock-free atomics behind `Option<Arc<…>>`.
+//!
+//! A handle obtained from a disabled registry holds `None`; every
+//! recording method then reduces to one branch on a local `Option`,
+//! keeping the disabled path well under the 5 ns budget.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets: bucket 0 holds the value `0`, bucket
+/// `i` (1 ≤ i ≤ 64) holds values whose bit length is `i`, i.e. the
+/// range `[2^(i−1), 2^i − 1]`. Bucket 64 therefore ends at `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Monotonically increasing `u64` counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    pub(crate) cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A counter not connected to any registry; all operations are
+    /// no-ops. Equivalent to a handle from `Registry::disabled()`.
+    pub fn disabled() -> Counter {
+        Counter { cell: None }
+    }
+
+    pub(crate) fn live(cell: Arc<AtomicU64>) -> Counter {
+        Counter { cell: Some(cell) }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// True when the handle is connected to a registry.
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+}
+
+/// Signed gauge: a value that can go up and down (queue depths,
+/// imbalance, occupancy).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    pub(crate) cell: Option<Arc<AtomicI64>>,
+}
+
+impl Gauge {
+    /// Disconnected gauge; all operations are no-ops.
+    pub fn disabled() -> Gauge {
+        Gauge { cell: None }
+    }
+
+    pub(crate) fn live(cell: Arc<AtomicI64>) -> Gauge {
+        Gauge { cell: Some(cell) }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.cell {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts 1.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (monotone max).
+    #[inline]
+    pub fn max(&self, v: i64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> i64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Monotonically increasing `f64` counter (seconds of modelled time,
+/// fractional bytes…). Stored as the bit pattern in an `AtomicU64`,
+/// updated with a CAS loop.
+#[derive(Debug, Clone, Default)]
+pub struct FloatCounter {
+    pub(crate) cell: Option<Arc<AtomicU64>>,
+}
+
+impl FloatCounter {
+    /// Disconnected float counter; all operations are no-ops.
+    pub fn disabled() -> FloatCounter {
+        FloatCounter { cell: None }
+    }
+
+    pub(crate) fn live(cell: Arc<AtomicU64>) -> FloatCounter {
+        FloatCounter { cell: Some(cell) }
+    }
+
+    /// Adds `v` (negative or NaN values are ignored: the counter is
+    /// monotone by contract).
+    #[inline]
+    pub fn add(&self, v: f64) {
+        // Rejects negatives, zero, and NaN in one comparison.
+        if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return;
+        }
+        if let Some(cell) = &self.cell {
+            let mut current = cell.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(current) + v).to_bits();
+                match cell.compare_exchange_weak(
+                    current,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(observed) => current = observed,
+                }
+            }
+        }
+    }
+
+    /// Current value (0.0 when disabled).
+    pub fn get(&self) -> f64 {
+        self.cell
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
+/// Shared histogram storage: 65 log2 buckets + sum + count.
+#[derive(Debug)]
+pub(crate) struct HistogramCell {
+    pub(crate) buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    pub(crate) sum: AtomicU64,
+    pub(crate) count: AtomicU64,
+}
+
+impl HistogramCell {
+    pub(crate) fn new() -> HistogramCell {
+        HistogramCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the log2 bucket holding `v`.
+///
+/// `0 → 0`; otherwise the bit length of `v` (`1 → 1`, `2..=3 → 2`,
+/// `4..=7 → 3`, …, `u64::MAX → 64`).
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Upper bound (inclusive) of bucket `i`, as used for Prometheus `le`
+/// labels. Bucket 0 → 0; bucket i → `2^i − 1`; bucket 64 → `u64::MAX`.
+pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Log2-bucketed histogram of `u64` observations.
+///
+/// 65 buckets cover the full `u64` range exactly: bucket 0 is the
+/// singleton `{0}`, bucket `i` covers `[2^(i−1), 2^i − 1]`.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    pub(crate) cell: Option<Arc<HistogramCell>>,
+}
+
+impl Histogram {
+    /// Disconnected histogram; all operations are no-ops.
+    pub fn disabled() -> Histogram {
+        Histogram { cell: None }
+    }
+
+    pub(crate) fn live(cell: Arc<HistogramCell>) -> Histogram {
+        Histogram { cell: Some(cell) }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if let Some(cell) = &self.cell {
+            cell.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            cell.sum.fetch_add(v, Ordering::Relaxed);
+            cell.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of observations (0 when disabled).
+    pub fn count(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of observations (wrapping; 0 when disabled).
+    pub fn sum(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |c| c.sum.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(u64::MAX / 2), 63);
+        // Upper bounds partition the range.
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(63), (1u64 << 63) - 1);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        for i in 1..=64usize {
+            let lo = if i == 1 {
+                1
+            } else {
+                bucket_upper_bound(i - 1) + 1
+            };
+            assert_eq!(bucket_index(lo), i, "lower edge of bucket {i}");
+            assert_eq!(
+                bucket_index(bucket_upper_bound(i)),
+                i,
+                "upper edge of bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let c = Counter::disabled();
+        c.inc();
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        assert!(!c.is_enabled());
+        let g = Gauge::disabled();
+        g.set(5);
+        g.add(-3);
+        assert_eq!(g.get(), 0);
+        let f = FloatCounter::disabled();
+        f.add(1.5);
+        assert_eq!(f.get(), 0.0);
+        let h = Histogram::disabled();
+        h.observe(42);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn float_counter_accumulates() {
+        let f = FloatCounter::live(Arc::new(AtomicU64::new(0)));
+        f.add(0.25);
+        f.add(0.5);
+        f.add(-1.0); // ignored
+        f.add(f64::NAN); // ignored
+        assert!((f.get() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_max_is_monotone() {
+        let g = Gauge::live(Arc::new(AtomicI64::new(0)));
+        g.max(7);
+        g.max(3);
+        assert_eq!(g.get(), 7);
+        g.max(11);
+        assert_eq!(g.get(), 11);
+    }
+}

@@ -1,0 +1,485 @@
+//! The metric registry: named, labelled metric registration with
+//! deduplication, plus the span ring buffer.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::{Counter, FloatCounter, Gauge, Histogram, HistogramCell};
+use crate::snapshot::{MetricValue, Snapshot, SpanSnapshot};
+use crate::span::{RawSpan, Span};
+
+/// Maximum number of retained spans; older spans are dropped (and
+/// counted) once the ring is full.
+pub(crate) const SPAN_RING_CAPACITY: usize = 65_536;
+
+/// Metric labels: ordered `key=value` pairs (ordering makes series
+/// identity and export deterministic).
+pub type Labels = Vec<(String, String)>;
+
+/// A series key: metric name + ordered labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct SeriesKey {
+    pub(crate) name: String,
+    pub(crate) labels: Labels,
+}
+
+#[derive(Debug)]
+pub(crate) enum MetricCell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    FloatCounter(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCell>),
+}
+
+#[derive(Debug)]
+pub(crate) struct SeriesEntry {
+    pub(crate) help: String,
+    pub(crate) cell: MetricCell,
+}
+
+#[derive(Debug)]
+pub(crate) struct SpanRing {
+    pub(crate) spans: VecDeque<RawSpan>,
+    pub(crate) dropped: u64,
+    pub(crate) next_id: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct RegistryInner {
+    pub(crate) series: Mutex<BTreeMap<SeriesKey, SeriesEntry>>,
+    pub(crate) spans: Mutex<SpanRing>,
+    pub(crate) epoch: Instant,
+    /// Synthetic thread-id allocator for modelled span trees.
+    pub(crate) next_tid: AtomicU64,
+}
+
+/// A metric + span registry.
+///
+/// Cloning a `Registry` is cheap (an `Arc` bump); clones share state.
+/// [`Registry::disabled()`] returns a registry whose handles are all
+/// no-ops.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    pub(crate) inner: Option<Arc<RegistryInner>>,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+impl Registry {
+    /// A fresh, enabled registry.
+    pub fn new() -> Registry {
+        Registry {
+            inner: Some(Arc::new(RegistryInner {
+                series: Mutex::new(BTreeMap::new()),
+                spans: Mutex::new(SpanRing {
+                    spans: VecDeque::new(),
+                    dropped: 0,
+                    next_id: 1,
+                }),
+                epoch: Instant::now(),
+                next_tid: AtomicU64::new(1_000),
+            })),
+        }
+    }
+
+    /// A registry that records nothing: every handle it hands out is a
+    /// no-op, and `snapshot()` is empty. Recording through a disabled
+    /// registry costs one branch per operation.
+    pub fn disabled() -> Registry {
+        Registry { inner: None }
+    }
+
+    /// The process-wide registry (enabled; created on first use).
+    pub fn global() -> &'static Registry {
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// True when this registry records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    // --- registration ---------------------------------------------------
+
+    /// Registers (or re-fetches) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, Vec::new())
+    }
+
+    /// Registers (or re-fetches) a labelled counter. Handles for the
+    /// same `(name, labels)` share one cell.
+    pub fn counter_with(&self, name: &str, help: &str, labels: Labels) -> Counter {
+        match &self.inner {
+            None => Counter::disabled(),
+            Some(inner) => {
+                let cell = inner.series_cell(name, help, labels, || {
+                    MetricCell::Counter(Arc::new(AtomicU64::new(0)))
+                });
+                match cell {
+                    MetricCell::Counter(c) => Counter::live(c),
+                    _ => Counter::disabled(),
+                }
+            }
+        }
+    }
+
+    /// Registers (or re-fetches) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, Vec::new())
+    }
+
+    /// Registers (or re-fetches) a labelled gauge.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: Labels) -> Gauge {
+        match &self.inner {
+            None => Gauge::disabled(),
+            Some(inner) => {
+                let cell = inner.series_cell(name, help, labels, || {
+                    MetricCell::Gauge(Arc::new(AtomicI64::new(0)))
+                });
+                match cell {
+                    MetricCell::Gauge(c) => Gauge::live(c),
+                    _ => Gauge::disabled(),
+                }
+            }
+        }
+    }
+
+    /// Registers (or re-fetches) an unlabelled float counter.
+    pub fn float_counter(&self, name: &str, help: &str) -> FloatCounter {
+        self.float_counter_with(name, help, Vec::new())
+    }
+
+    /// Registers (or re-fetches) a labelled float counter.
+    pub fn float_counter_with(&self, name: &str, help: &str, labels: Labels) -> FloatCounter {
+        match &self.inner {
+            None => FloatCounter::disabled(),
+            Some(inner) => {
+                let cell = inner.series_cell(name, help, labels, || {
+                    MetricCell::FloatCounter(Arc::new(AtomicU64::new(0)))
+                });
+                match cell {
+                    MetricCell::FloatCounter(c) => FloatCounter::live(c),
+                    _ => FloatCounter::disabled(),
+                }
+            }
+        }
+    }
+
+    /// Registers (or re-fetches) an unlabelled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, Vec::new())
+    }
+
+    /// Registers (or re-fetches) a labelled histogram.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: Labels) -> Histogram {
+        match &self.inner {
+            None => Histogram::disabled(),
+            Some(inner) => {
+                let cell = inner.series_cell(name, help, labels, || {
+                    MetricCell::Histogram(Arc::new(HistogramCell::new()))
+                });
+                match cell {
+                    MetricCell::Histogram(c) => Histogram::live(c),
+                    _ => Histogram::disabled(),
+                }
+            }
+        }
+    }
+
+    // --- spans ----------------------------------------------------------
+
+    /// Opens a wall-clock span on the current thread. The span records
+    /// itself into this registry's ring buffer when dropped; nested
+    /// `enter` calls on the same thread become children.
+    pub fn span(&self, name: &'static str) -> Span {
+        Span::enter_on(self, name)
+    }
+
+    /// Records a modelled (non-wall-clock) span tree: one parent
+    /// covering `[start_us, start_us + stages.len() durations]` with one
+    /// child per `(name, duration_us)` stage laid end to end, so the
+    /// children sum exactly to the parent. All spans share a fresh
+    /// synthetic thread id, keeping trees from separate calls disjoint
+    /// in trace viewers.
+    ///
+    /// Returns the synthetic tid used (0 when disabled).
+    pub fn record_span_tree(&self, parent: &str, stages: &[(&str, f64)]) -> u64 {
+        let start_us = match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_nanos() as f64 / 1_000.0,
+            None => 0.0,
+        };
+        self.record_span_tree_at(parent, start_us, stages)
+    }
+
+    /// [`Registry::record_span_tree`] with an explicit start timestamp
+    /// (microseconds since the registry epoch). Fully deterministic —
+    /// this is what the exporter golden tests use.
+    pub fn record_span_tree_at(&self, parent: &str, start_us: f64, stages: &[(&str, f64)]) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let tid = inner.next_tid.fetch_add(1, Ordering::Relaxed);
+        let total_us: f64 = stages.iter().map(|(_, d)| d.max(0.0)).sum();
+        let mut ring = inner.spans.lock().expect("span ring poisoned");
+        let parent_id = ring.next_id;
+        ring.next_id += 1;
+        push_span(
+            &mut ring,
+            RawSpan {
+                id: parent_id,
+                parent: 0,
+                name: parent.to_string(),
+                tid,
+                start_us,
+                dur_us: total_us,
+                depth: 0,
+            },
+        );
+        let mut cursor = start_us;
+        for &(name, dur) in stages {
+            let dur = dur.max(0.0);
+            let id = ring.next_id;
+            ring.next_id += 1;
+            push_span(
+                &mut ring,
+                RawSpan {
+                    id,
+                    parent: parent_id,
+                    name: name.to_string(),
+                    tid,
+                    start_us: cursor,
+                    dur_us: dur,
+                    depth: 1,
+                },
+            );
+            cursor += dur;
+        }
+        tid
+    }
+
+    /// Microseconds since this registry was created (0 when disabled).
+    pub fn now_us(&self) -> f64 {
+        self.inner
+            .as_ref()
+            .map_or(0.0, |i| i.epoch.elapsed().as_nanos() as f64 / 1_000.0)
+    }
+
+    // --- export ---------------------------------------------------------
+
+    /// Captures a consistent snapshot of all series and retained spans.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        let series = inner.series.lock().expect("series map poisoned");
+        let mut metrics = Vec::with_capacity(series.len());
+        for (key, entry) in series.iter() {
+            metrics.push(crate::snapshot::MetricSnapshot {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                help: entry.help.clone(),
+                value: MetricValue::capture(&entry.cell),
+            });
+        }
+        drop(series);
+        let ring = inner.spans.lock().expect("span ring poisoned");
+        let spans = ring
+            .spans
+            .iter()
+            .map(|s| SpanSnapshot {
+                id: s.id,
+                parent: s.parent,
+                name: s.name.clone(),
+                tid: s.tid,
+                start_us: s.start_us,
+                dur_us: s.dur_us,
+                depth: s.depth,
+            })
+            .collect();
+        Snapshot {
+            metrics,
+            spans,
+            dropped_spans: ring.dropped,
+        }
+    }
+
+    /// Clears all metric values and spans (registrations survive; the
+    /// same handles keep working). Useful between benchmark phases.
+    pub fn reset(&self) {
+        let Some(inner) = &self.inner else { return };
+        let series = inner.series.lock().expect("series map poisoned");
+        for entry in series.values() {
+            match &entry.cell {
+                MetricCell::Counter(c) | MetricCell::FloatCounter(c) => {
+                    c.store(0, Ordering::Relaxed)
+                }
+                MetricCell::Gauge(c) => c.store(0, Ordering::Relaxed),
+                MetricCell::Histogram(h) => {
+                    for b in &h.buckets {
+                        b.store(0, Ordering::Relaxed);
+                    }
+                    h.sum.store(0, Ordering::Relaxed);
+                    h.count.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+        drop(series);
+        let mut ring = inner.spans.lock().expect("span ring poisoned");
+        ring.spans.clear();
+        ring.dropped = 0;
+    }
+}
+
+impl RegistryInner {
+    fn series_cell(
+        &self,
+        name: &str,
+        help: &str,
+        labels: Labels,
+        make: impl FnOnce() -> MetricCell,
+    ) -> MetricCell {
+        let mut series = self.series.lock().expect("series map poisoned");
+        let key = SeriesKey {
+            name: name.to_string(),
+            labels,
+        };
+        let entry = series.entry(key).or_insert_with(|| SeriesEntry {
+            help: help.to_string(),
+            cell: make(),
+        });
+        match &entry.cell {
+            MetricCell::Counter(c) => MetricCell::Counter(Arc::clone(c)),
+            MetricCell::Gauge(c) => MetricCell::Gauge(Arc::clone(c)),
+            MetricCell::FloatCounter(c) => MetricCell::FloatCounter(Arc::clone(c)),
+            MetricCell::Histogram(c) => MetricCell::Histogram(Arc::clone(c)),
+        }
+    }
+
+    pub(crate) fn push_raw_span(&self, span: RawSpan) {
+        let mut ring = self.spans.lock().expect("span ring poisoned");
+        push_span(&mut ring, span);
+    }
+
+    pub(crate) fn alloc_span_id(&self) -> u64 {
+        let mut ring = self.spans.lock().expect("span ring poisoned");
+        let id = ring.next_id;
+        ring.next_id += 1;
+        id
+    }
+}
+
+fn push_span(ring: &mut SpanRing, span: RawSpan) {
+    if ring.spans.len() >= SPAN_RING_CAPACITY {
+        ring.spans.pop_front();
+        ring.dropped += 1;
+    }
+    ring.spans.push_back(span);
+}
+
+/// Builds a label list from `(key, value)` string pairs.
+pub fn labels(pairs: &[(&str, &str)]) -> Labels {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_series_shares_cell() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "x");
+        let b = r.counter("x_total", "x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+        assert_eq!(b.get(), 5);
+    }
+
+    #[test]
+    fn labelled_series_are_distinct() {
+        let r = Registry::new();
+        let a = r.counter_with("y_total", "y", labels(&[("ch", "0")]));
+        let b = r.counter_with("y_total", "y", labels(&[("ch", "1")]));
+        a.inc();
+        assert_eq!(a.get(), 1);
+        assert_eq!(b.get(), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.metrics.len(), 2);
+    }
+
+    #[test]
+    fn disabled_registry_yields_inert_handles() {
+        let r = Registry::disabled();
+        assert!(!r.is_enabled());
+        let c = r.counter("z_total", "z");
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        assert!(r.snapshot().metrics.is_empty());
+        assert_eq!(r.record_span_tree("p", &[("a", 1.0)]), 0);
+    }
+
+    #[test]
+    fn concurrent_counter_increments() {
+        let r = Registry::new();
+        let c = r.counter("conc_total", "concurrency test");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn span_tree_children_sum_to_parent() {
+        let r = Registry::new();
+        let tid = r.record_span_tree("e2e", &[("a", 10.0), ("b", 20.0), ("c", 30.0)]);
+        assert!(tid >= 1_000);
+        let snap = r.snapshot();
+        assert_eq!(snap.spans.len(), 4);
+        let parent = &snap.spans[0];
+        assert_eq!(parent.name, "e2e");
+        assert_eq!(parent.dur_us, 60.0);
+        let child_sum: f64 = snap.spans[1..].iter().map(|s| s.dur_us).sum();
+        assert_eq!(child_sum, parent.dur_us);
+        // Children tile the parent interval.
+        assert_eq!(snap.spans[1].start_us, parent.start_us);
+        assert_eq!(
+            snap.spans[3].start_us + snap.spans[3].dur_us,
+            parent.start_us + parent.dur_us
+        );
+    }
+
+    #[test]
+    fn reset_clears_values_not_registrations() {
+        let r = Registry::new();
+        let c = r.counter("r_total", "r");
+        c.add(9);
+        r.record_span_tree("p", &[("s", 1.0)]);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert!(r.snapshot().spans.is_empty());
+        c.inc();
+        assert_eq!(c.get(), 1); // handle still live
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let r = Registry::new();
+        for i in 0..(SPAN_RING_CAPACITY + 10) {
+            r.record_span_tree("p", &[("s", i as f64)]);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.spans.len(), SPAN_RING_CAPACITY);
+        assert!(snap.dropped_spans >= 20);
+    }
+}

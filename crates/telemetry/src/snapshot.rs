@@ -1,0 +1,503 @@
+//! Snapshot capture and the three exporters: Prometheus text
+//! exposition, stable JSON, and Chrome trace-event JSON.
+
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+use crate::metrics::{bucket_upper_bound, HISTOGRAM_BUCKETS};
+use crate::registry::{Labels, MetricCell};
+
+/// Kind tag for an exported metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone integer counter.
+    Counter,
+    /// Signed gauge.
+    Gauge,
+    /// Monotone float counter (exported as a counter).
+    FloatCounter,
+    /// Log2-bucketed histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    fn prometheus_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter | MetricKind::FloatCounter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+
+    fn json_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::FloatCounter => "float_counter",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Captured histogram state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (65 log2 buckets).
+    pub buckets: Vec<u64>,
+    /// Sum of observed values (wrapping).
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// Captured value of one metric series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Float counter value.
+    FloatCounter(f64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    pub(crate) fn capture(cell: &MetricCell) -> MetricValue {
+        match cell {
+            MetricCell::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+            MetricCell::Gauge(c) => MetricValue::Gauge(c.load(Ordering::Relaxed)),
+            MetricCell::FloatCounter(c) => {
+                MetricValue::FloatCounter(f64::from_bits(c.load(Ordering::Relaxed)))
+            }
+            MetricCell::Histogram(h) => MetricValue::Histogram(HistogramSnapshot {
+                buckets: h
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect(),
+                sum: h.sum.load(Ordering::Relaxed),
+                count: h.count.load(Ordering::Relaxed),
+            }),
+        }
+    }
+
+    /// The kind tag for this value.
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            MetricValue::Counter(_) => MetricKind::Counter,
+            MetricValue::Gauge(_) => MetricKind::Gauge,
+            MetricValue::FloatCounter(_) => MetricKind::FloatCounter,
+            MetricValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// One exported metric series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Metric name (`fabp_*` by convention).
+    pub name: String,
+    /// Ordered label pairs.
+    pub labels: Labels,
+    /// Help text.
+    pub help: String,
+    /// Captured value.
+    pub value: MetricValue,
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshot {
+    /// Unique id within the registry.
+    pub id: u64,
+    /// Parent span id (0 for roots).
+    pub parent: u64,
+    /// Span name.
+    pub name: String,
+    /// Thread id (synthetic ≥ 1000 for modelled trees).
+    pub tid: u64,
+    /// Start, microseconds since registry creation.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Nesting depth (0 = root).
+    pub depth: u32,
+}
+
+/// A consistent capture of a registry's metrics and spans.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// All registered series, sorted by (name, labels).
+    pub metrics: Vec<MetricSnapshot>,
+    /// Retained spans, oldest first.
+    pub spans: Vec<SpanSnapshot>,
+    /// Spans evicted from the ring buffer.
+    pub dropped_spans: u64,
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl Snapshot {
+    /// Renders the snapshot in Prometheus text exposition format
+    /// (version 0.0.4). Histograms become cumulative
+    /// `_bucket{le=…}` series plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for m in &self.metrics {
+            if last_name != Some(m.name.as_str()) {
+                let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+                let _ = writeln!(
+                    out,
+                    "# TYPE {} {}",
+                    m.name,
+                    m.value.kind().prometheus_type()
+                );
+                last_name = Some(m.name.as_str());
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {}", m.name, label_block(&m.labels, None), v);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {}", m.name, label_block(&m.labels, None), v);
+                }
+                MetricValue::FloatCounter(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        m.name,
+                        label_block(&m.labels, None),
+                        fmt_f64(*v)
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (i, &b) in h.buckets.iter().enumerate().take(HISTOGRAM_BUCKETS) {
+                        cumulative += b;
+                        // Skip interior empty buckets to keep output
+                        // compact, but always emit the first, any
+                        // occupied, and the +Inf bucket.
+                        if b == 0 && i != 0 && i != HISTOGRAM_BUCKETS - 1 {
+                            continue;
+                        }
+                        let le = if i >= 64 {
+                            "+Inf".to_string()
+                        } else {
+                            bucket_upper_bound(i).to_string()
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            m.name,
+                            label_block(&m.labels, Some(("le", &le))),
+                            cumulative
+                        );
+                    }
+                    if h.buckets.get(64).copied().unwrap_or(0) == 0 {
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            m.name,
+                            label_block(&m.labels, Some(("le", "+Inf"))),
+                            h.count
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        m.name,
+                        label_block(&m.labels, None),
+                        h.sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        m.name,
+                        label_block(&m.labels, None),
+                        h.count
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as stable JSON: metrics sorted by
+    /// (name, labels), spans in recording order. The layout is part of
+    /// the crate's public contract (golden-tested).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"metrics\": [");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(out, "\"name\": \"{}\", ", escape(&m.name));
+            let _ = write!(out, "\"kind\": \"{}\", ", m.value.kind().json_name());
+            out.push_str("\"labels\": {");
+            for (j, (k, v)) in m.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\": \"{}\"", escape(k), escape(v));
+            }
+            out.push_str("}, ");
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "\"value\": {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "\"value\": {v}");
+                }
+                MetricValue::FloatCounter(v) => {
+                    let _ = write!(out, "\"value\": {}", fmt_f64(*v));
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "\"count\": {}, \"sum\": {}, \"buckets\": [",
+                        h.count, h.sum
+                    );
+                    let mut first = true;
+                    for (i, &b) in h.buckets.iter().enumerate() {
+                        if b == 0 {
+                            continue;
+                        }
+                        if !first {
+                            out.push_str(", ");
+                        }
+                        first = false;
+                        let le = if i >= 64 {
+                            "\"+Inf\"".to_string()
+                        } else {
+                            format!("\"{}\"", bucket_upper_bound(i))
+                        };
+                        let _ = write!(out, "{{\"le\": {le}, \"count\": {b}}}");
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"id\": {}, \"parent\": {}, \"name\": \"{}\", \"tid\": {}, \"start_us\": {}, \"dur_us\": {}, \"depth\": {}}}",
+                s.id,
+                s.parent,
+                escape(&s.name),
+                s.tid,
+                fmt_f64(s.start_us),
+                fmt_f64(s.dur_us),
+                s.depth
+            );
+        }
+        let _ = write!(
+            out,
+            "\n  ],\n  \"dropped_spans\": {}\n}}\n",
+            self.dropped_spans
+        );
+        out
+    }
+
+    /// Renders retained spans as a Chrome trace-event file
+    /// (`chrome://tracing` / Perfetto "JSON Array Format" wrapped in an
+    /// object). Each span is a complete (`"ph": "X"`) event; metrics
+    /// are attached as process metadata.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\": [\n");
+        let mut first = true;
+        for s in &self.spans {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "  {{\"name\": \"{}\", \"cat\": \"fabp\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {}, \"args\": {{\"id\": {}, \"parent\": {}, \"depth\": {}}}}}",
+                escape(&s.name),
+                fmt_f64(s.start_us),
+                fmt_f64(s.dur_us),
+                s.tid,
+                s.id,
+                s.parent,
+                s.depth
+            );
+        }
+        if !first {
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "], \"displayTimeUnit\": \"ms\", \"otherData\": {{\"dropped_spans\": \"{}\", \"metric_series\": \"{}\"}}}}",
+            self.dropped_spans,
+            self.metrics.len()
+        );
+        out
+    }
+
+    /// Finds a metric series by name and exact labels.
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSnapshot> {
+        self.metrics.iter().find(|m| {
+            m.name == name
+                && m.labels.len() == labels.len()
+                && m.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        })
+    }
+
+    /// Sum of all counter series with `name` (any labels).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|m| m.name == name)
+            .map(|m| match &m.value {
+                MetricValue::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::labels;
+    use crate::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("fabp_hits_total", "Hits emitted").add(42);
+        r.counter_with(
+            "fabp_axi_bytes_read_total",
+            "Bytes fetched per channel",
+            labels(&[("channel", "0")]),
+        )
+        .add(4096);
+        r.gauge("fabp_queue_depth", "Worker queue depth").set(-2);
+        r.float_counter("fabp_host_stage_seconds", "Modelled stage seconds")
+            .add(0.5);
+        let h = r.histogram("fabp_occupancy", "Pipeline occupancy");
+        h.observe(0);
+        h.observe(1);
+        h.observe(5);
+        h.observe(u64::MAX);
+        r
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = sample_registry().snapshot().to_prometheus();
+        assert!(text.contains("# HELP fabp_hits_total Hits emitted"));
+        assert!(text.contains("# TYPE fabp_hits_total counter"));
+        assert!(text.contains("fabp_hits_total 42"));
+        assert!(text.contains("fabp_axi_bytes_read_total{channel=\"0\"} 4096"));
+        assert!(text.contains("# TYPE fabp_queue_depth gauge"));
+        assert!(text.contains("fabp_queue_depth -2"));
+        assert!(text.contains("fabp_host_stage_seconds 0.5"));
+        assert!(text.contains("# TYPE fabp_occupancy histogram"));
+        assert!(text.contains("fabp_occupancy_bucket{le=\"0\"} 1"));
+        assert!(text.contains("fabp_occupancy_bucket{le=\"1\"} 2"));
+        assert!(text.contains("fabp_occupancy_bucket{le=\"7\"} 3"));
+        assert!(text.contains("fabp_occupancy_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("fabp_occupancy_count 4"));
+        // Cumulative buckets never decrease.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("fabp_occupancy_bucket"))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "cumulative violated: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_parsable_shape() {
+        let a = sample_registry().snapshot().to_json();
+        let b = sample_registry().snapshot().to_json();
+        assert_eq!(a, b, "JSON export must be deterministic");
+        assert!(a.contains("\"name\": \"fabp_hits_total\""));
+        assert!(a.contains("\"kind\": \"histogram\""));
+        assert!(a.contains("\"le\": \"+Inf\", \"count\": 1"));
+        assert!(a.contains("\"dropped_spans\": 0"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        assert_eq!(a.matches('[').count(), a.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let r = Registry::new();
+        r.record_span_tree("end_to_end", &[("encode", 5.0), ("kernel", 10.0)]);
+        let trace = r.snapshot().to_chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\": ["));
+        assert!(trace.contains("\"ph\": \"X\""));
+        assert!(trace.contains("\"name\": \"end_to_end\""));
+        assert!(trace.contains("\"name\": \"kernel\""));
+        assert!(trace.contains("\"displayTimeUnit\": \"ms\""));
+        assert_eq!(trace.matches("\"ph\": \"X\"").count(), 3);
+        assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+    }
+
+    #[test]
+    fn find_and_counter_total() {
+        let r = Registry::new();
+        r.counter_with("t_total", "t", labels(&[("ch", "0")]))
+            .add(2);
+        r.counter_with("t_total", "t", labels(&[("ch", "1")]))
+            .add(3);
+        let snap = r.snapshot();
+        assert!(snap.find("t_total", &[("ch", "0")]).is_some());
+        assert!(snap.find("t_total", &[("ch", "9")]).is_none());
+        assert_eq!(snap.counter_total("t_total"), 5);
+    }
+}

@@ -1,0 +1,207 @@
+//! RAII wall-clock spans with thread-local nesting.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::registry::{Registry, RegistryInner};
+
+/// A recorded span interval (internal representation).
+#[derive(Debug, Clone)]
+pub(crate) struct RawSpan {
+    pub(crate) id: u64,
+    /// Parent span id, or 0 for roots.
+    pub(crate) parent: u64,
+    pub(crate) name: String,
+    /// Thread id: hashed OS thread id for wall-clock spans, synthetic
+    /// (≥ 1000) for modelled span trees.
+    pub(crate) tid: u64,
+    pub(crate) start_us: f64,
+    pub(crate) dur_us: f64,
+    /// Nesting depth at record time (0 = root).
+    pub(crate) depth: u32,
+}
+
+thread_local! {
+    /// Stack of (span id, registry ptr) currently open on this thread.
+    static SPAN_STACK: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn os_tid() -> u64 {
+    // ThreadId has no stable integer accessor; hash its Debug view.
+    use std::hash::{Hash, Hasher};
+    struct Fnv(u64);
+    impl Hasher for Fnv {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    std::thread::current().id().hash(&mut h);
+    // Keep wall-clock tids below the synthetic range (>= 1000).
+    h.finish() % 1_000
+}
+
+/// An open wall-clock span. Created by [`Registry::span`] or
+/// [`Span::enter`] (which targets the global registry); records itself
+/// into the registry's ring buffer on drop.
+///
+/// Spans opened while another span is open **on the same thread**
+/// become its children; drop order must be LIFO (guaranteed by scoping).
+#[derive(Debug)]
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+#[derive(Debug)]
+struct SpanState {
+    inner: Arc<RegistryInner>,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    tid: u64,
+    depth: u32,
+    start_us: f64,
+    started: Instant,
+}
+
+impl Span {
+    /// Opens a span on the global registry.
+    pub fn enter(name: &'static str) -> Span {
+        Span::enter_on(Registry::global(), name)
+    }
+
+    /// Opens a span on `registry` (no-op span when disabled).
+    pub fn enter_on(registry: &Registry, name: &'static str) -> Span {
+        let Some(inner) = &registry.inner else {
+            return Span { state: None };
+        };
+        let inner = Arc::clone(inner);
+        let id = inner.alloc_span_id();
+        let registry_key = Arc::as_ptr(&inner) as usize;
+        let (parent, depth) = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack
+                .iter()
+                .rev()
+                .find(|(_, reg)| *reg == registry_key)
+                .map_or(0, |&(id, _)| id);
+            let depth = stack.iter().filter(|(_, reg)| *reg == registry_key).count() as u32;
+            stack.push((id, registry_key));
+            (parent, depth)
+        });
+        let start_us = inner.epoch.elapsed().as_nanos() as f64 / 1_000.0;
+        Span {
+            state: Some(SpanState {
+                inner,
+                id,
+                parent,
+                name,
+                tid: os_tid(),
+                depth,
+                start_us,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// True when the span records somewhere.
+    pub fn is_enabled(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Elapsed seconds since the span opened (0.0 when disabled).
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.state
+            .as_ref()
+            .map_or(0.0, |s| s.started.elapsed().as_secs_f64())
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(state) = self.state.take() else {
+            return;
+        };
+        let dur_us = state.started.elapsed().as_nanos() as f64 / 1_000.0;
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&(id, _)| id == state.id) {
+                stack.remove(pos);
+            }
+        });
+        state.inner.push_raw_span(RawSpan {
+            id: state.id,
+            parent: state.parent,
+            name: state.name.to_string(),
+            tid: state.tid,
+            start_us: state.start_us,
+            dur_us,
+            depth: state.depth,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_records_parent_child() {
+        let r = Registry::new();
+        {
+            let _outer = r.span("outer");
+            {
+                let _inner = r.span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            {
+                let _inner2 = r.span("inner2");
+            }
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.spans.len(), 3);
+        // Children drop (and record) before the parent.
+        let inner = snap.spans.iter().find(|s| s.name == "inner").unwrap();
+        let inner2 = snap.spans.iter().find(|s| s.name == "inner2").unwrap();
+        let outer = snap.spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(inner2.parent, outer.id);
+        assert_eq!(outer.parent, 0);
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert!(inner.start_us >= outer.start_us);
+        assert!(inner.dur_us <= outer.dur_us);
+        // Recording order: inner before inner2 before outer.
+        let order: Vec<&str> = snap.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(order, vec!["inner", "inner2", "outer"]);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let r = Registry::disabled();
+        let s = r.span("nothing");
+        assert!(!s.is_enabled());
+        assert_eq!(s.elapsed_seconds(), 0.0);
+        drop(s);
+        assert!(r.snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn spans_on_distinct_registries_do_not_nest() {
+        let a = Registry::new();
+        let b = Registry::new();
+        let _pa = a.span("a_root");
+        let sb = b.span("b_root");
+        drop(sb);
+        let snap = b.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].parent, 0, "b_root must be a root in b");
+    }
+}

@@ -11,14 +11,19 @@
 //!   --engine <software|bitparallel|cycle>   execution engine (default software)
 //!   --threads <n>        software engine workers (default 4)
 //!   --top <k>            print at most k regions per query (default 10)
-//!   --stats              print cycle statistics (cycle engine)
+//!   --stats              print telemetry counters after the run
+//!   --metrics-out <path> write Prometheus text exposition to <path>
+//!   --trace-out <path>   write a Chrome trace-event JSON to <path>
+//!   --quiet              suppress informational stderr output
 //!   --disasm             print each query's instruction listing
 //! ```
 
 use fabp::bio::fasta::{read_proteins, read_records};
 use fabp::bio::seq::RnaSeq;
 use fabp::core::aligner::{Engine, FabpAligner, Threshold};
+use fabp::core::host::HostConfig;
 use fabp::fpga::engine::EngineConfig;
+use fabp_telemetry::{MetricValue, Registry};
 use std::fs::File;
 use std::process::ExitCode;
 
@@ -31,15 +36,37 @@ struct Args {
     top: usize,
     stats: bool,
     disasm: bool,
+    quiet: bool,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: fabp-search --query <queries.faa> --reference <db.fna> \
-         [--threshold 0.9] [--engine software|cycle] [--threads 4] \
-         [--top 10] [--stats]"
+         [--threshold 0.9] [--engine software|bitparallel|cycle] [--threads 4] \
+         [--top 10] [--stats] [--metrics-out m.prom] [--trace-out t.json] \
+         [--quiet] [--disasm]"
     );
     std::process::exit(2);
+}
+
+/// Fetches a flag's value, naming the flag in the error when it is
+/// missing.
+fn value_for(flag: &str, it: &mut impl Iterator<Item = String>) -> String {
+    it.next().unwrap_or_else(|| {
+        eprintln!("missing value for {flag}");
+        usage()
+    })
+}
+
+/// Parses a flag's value, naming the flag and the bad value on failure.
+fn parse_for<T: std::str::FromStr>(flag: &str, it: &mut impl Iterator<Item = String>) -> T {
+    let raw = value_for(flag, it);
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value {raw:?} for {flag}");
+        usage()
+    })
 }
 
 fn parse_args() -> Args {
@@ -52,33 +79,24 @@ fn parse_args() -> Args {
         top: 10,
         stats: false,
         disasm: false,
+        quiet: false,
+        metrics_out: None,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--query" => args.query_path = it.next().unwrap_or_else(|| usage()),
-            "--reference" => args.reference_path = it.next().unwrap_or_else(|| usage()),
-            "--threshold" => {
-                args.threshold = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
-            "--engine" => args.engine = it.next().unwrap_or_else(|| usage()),
-            "--threads" => {
-                args.threads = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
-            "--top" => {
-                args.top = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
+            "--query" => args.query_path = value_for("--query", &mut it),
+            "--reference" => args.reference_path = value_for("--reference", &mut it),
+            "--threshold" => args.threshold = parse_for("--threshold", &mut it),
+            "--engine" => args.engine = value_for("--engine", &mut it),
+            "--threads" => args.threads = parse_for("--threads", &mut it),
+            "--top" => args.top = parse_for("--top", &mut it),
             "--stats" => args.stats = true,
             "--disasm" => args.disasm = true,
+            "--quiet" => args.quiet = true,
+            "--metrics-out" => args.metrics_out = Some(value_for("--metrics-out", &mut it)),
+            "--trace-out" => args.trace_out = Some(value_for("--trace-out", &mut it)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -92,8 +110,35 @@ fn parse_args() -> Args {
     args
 }
 
+/// Prints the telemetry-backed `--stats` report to stderr.
+fn print_stats_report(registry: &Registry) {
+    let snap = registry.snapshot();
+    eprintln!("# telemetry:");
+    for m in &snap.metrics {
+        let labels = if m.labels.is_empty() {
+            String::new()
+        } else {
+            let pairs: Vec<String> = m.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{{{}}}", pairs.join(","))
+        };
+        match &m.value {
+            MetricValue::Counter(v) => eprintln!("#   {}{} = {}", m.name, labels, v),
+            MetricValue::Gauge(v) => eprintln!("#   {}{} = {}", m.name, labels, v),
+            MetricValue::FloatCounter(v) => {
+                eprintln!("#   {}{} = {:.6}", m.name, labels, v)
+            }
+            MetricValue::Histogram(h) => eprintln!(
+                "#   {}{} = {} observations, sum {}",
+                m.name, labels, h.count, h.sum
+            ),
+        }
+    }
+    eprintln!("#   spans recorded = {}", snap.spans.len());
+}
+
 fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let args = parse_args();
+    let telemetry = Registry::global();
 
     let queries = read_proteins(File::open(&args.query_path)?)?;
     if queries.is_empty() {
@@ -107,19 +152,25 @@ fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         return Err("reference file contains no records".into());
     }
 
-    eprintln!(
-        "{} quer{} vs {} reference record(s), threshold {:.0}%, engine {}",
-        queries.len(),
-        if queries.len() == 1 { "y" } else { "ies" },
-        reference_records.len(),
-        args.threshold * 100.0,
-        args.engine
-    );
+    if !args.quiet {
+        eprintln!(
+            "{} quer{} vs {} reference record(s), threshold {:.0}%, engine {}",
+            queries.len(),
+            if queries.len() == 1 { "y" } else { "ies" },
+            reference_records.len(),
+            args.threshold * 100.0,
+            args.engine
+        );
+    }
 
     println!("# query\treference\tregion_start\tregion_end\tbest_pos\tscore\tmax_score\thits");
     for (query_id, protein) in &queries {
-        let encoded = fabp::encoding::encoder::EncodedQuery::from_protein(protein);
-        if args.disasm {
+        let _query_span = telemetry.span("query");
+        let encoded = {
+            let _encode_span = telemetry.span("encode_query");
+            fabp::encoding::encoder::EncodedQuery::from_protein(protein)
+        };
+        if args.disasm && !args.quiet {
             eprintln!("# disassembly of {query_id}:");
             for line in encoded.disassemble().lines() {
                 eprintln!("#   {line}");
@@ -145,17 +196,31 @@ fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
 
         for record in &reference_records {
             let reference: RnaSeq = record.sequence.parse()?;
-            let outcome = match &bitparallel {
-                Some(engine) => fabp::core::aligner::SearchOutcome {
-                    hits: engine.search(reference.as_slice(), threshold_abs),
-                    threshold: threshold_abs,
-                    query_len: encoded.len(),
-                    stats: None,
-                },
-                None => aligner.search(&reference),
+            let outcome = {
+                let _search_span = telemetry.span("search");
+                match &bitparallel {
+                    Some(engine) => fabp::core::aligner::SearchOutcome {
+                        hits: engine.search(reference.as_slice(), threshold_abs),
+                        threshold: threshold_abs,
+                        query_len: encoded.len(),
+                        stats: None,
+                    },
+                    None => aligner.search(&reference),
+                }
             };
+            // Cycle engine: assemble the modelled host pipeline so the
+            // encode → transfer → kernel → readback breakdown lands in
+            // the span ring and the per-stage counters.
+            if let Some(stats) = &outcome.stats {
+                let _ = fabp::core::host::end_to_end(
+                    &HostConfig::default(),
+                    encoded.len(),
+                    outcome.hits.len(),
+                    stats.kernel_seconds,
+                );
+            }
             let mut regions = outcome.regions();
-            regions.sort_by(|a, b| b.best.score.cmp(&a.best.score));
+            regions.sort_by_key(|r| std::cmp::Reverse(r.best.score));
             for region in regions.iter().take(args.top) {
                 println!(
                     "{query_id}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
@@ -168,7 +233,7 @@ fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
                     region.hit_count
                 );
             }
-            if args.stats {
+            if args.stats && !args.quiet {
                 if let Some(stats) = outcome.stats {
                     eprintln!(
                         "# {query_id} vs {}: {} cycles, {:.2} GB/s, {:.3} ms kernel",
@@ -179,6 +244,23 @@ fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
                     );
                 }
             }
+        }
+    }
+
+    if args.stats {
+        print_stats_report(telemetry);
+    }
+    let snapshot = telemetry.snapshot();
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, snapshot.to_prometheus())?;
+        if !args.quiet {
+            eprintln!("# metrics written to {path}");
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, snapshot.to_chrome_trace())?;
+        if !args.quiet {
+            eprintln!("# trace written to {path}");
         }
     }
     Ok(())

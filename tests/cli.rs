@@ -113,3 +113,129 @@ fn cli_usage_on_no_args() {
     assert_eq!(output.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&output.stderr).contains("usage:"));
 }
+
+#[test]
+fn cli_metrics_and_trace_outputs_are_parseable() {
+    let query = temp_file("q4.faa", ">q\nMFSRMFSR\n");
+    let reference = temp_file(
+        "db4.fna",
+        ">r\nGGGGATGTTCTCAAGAATGTTCTCAAGAGGGGACGTACGTACGTACGTACGT\n",
+    );
+    let metrics = temp_file("m.prom", "");
+    let trace = temp_file("t.json", "");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_fabp_search"))
+        .args([
+            "--query",
+            query.to_str().unwrap(),
+            "--reference",
+            reference.to_str().unwrap(),
+            "--engine",
+            "cycle",
+            "--threshold",
+            "0.5",
+            "--quiet",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // --quiet suppresses all informational stderr.
+    assert!(
+        output.stderr.is_empty(),
+        "quiet run wrote stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // Prometheus exposition: >= 10 distinct metric names, including the
+    // headline engine/host series, and every sample line parses.
+    let prom = fs::read_to_string(&metrics).unwrap();
+    let mut names = std::collections::BTreeSet::new();
+    for line in prom.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            names.insert(rest.split(' ').next().unwrap().to_string());
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let value = line.rsplit(' ').next().unwrap();
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample line: {line}"
+        );
+    }
+    assert!(
+        names.len() >= 10,
+        "expected >= 10 distinct metrics, got {}: {names:?}",
+        names.len()
+    );
+    for required in [
+        "fabp_axi_stall_cycles_total",
+        "fabp_engine_beats_total",
+        "fabp_hits_total",
+        "fabp_host_stage_seconds",
+    ] {
+        assert!(names.contains(required), "missing {required} in {names:?}");
+    }
+
+    // Chrome trace: structurally valid JSON with the modelled host
+    // pipeline stages present as complete events.
+    let trace_text = fs::read_to_string(&trace).unwrap();
+    assert!(trace_text.starts_with("{\"traceEvents\": ["));
+    assert_eq!(
+        trace_text.matches('{').count(),
+        trace_text.matches('}').count()
+    );
+    for stage in [
+        "end_to_end",
+        "encode",
+        "query_transfer",
+        "kernel",
+        "readback",
+    ] {
+        assert!(
+            trace_text.contains(&format!("\"name\": \"{stage}\"")),
+            "trace missing stage {stage}"
+        );
+    }
+
+    fs::remove_file(query).ok();
+    fs::remove_file(reference).ok();
+    fs::remove_file(metrics).ok();
+    fs::remove_file(trace).ok();
+}
+
+#[test]
+fn cli_names_flag_on_missing_or_bad_value() {
+    // Missing value: the error names the flag left dangling.
+    let output = Command::new(env!("CARGO_BIN_EXE_fabp_search"))
+        .args(["--query", "q.faa", "--reference", "db.fna", "--threshold"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("missing value for --threshold"),
+        "stderr: {stderr}"
+    );
+
+    // Unparseable value: the error names both the flag and the value.
+    let output = Command::new(env!("CARGO_BIN_EXE_fabp_search"))
+        .args(["--query", "q.faa", "--reference", "db.fna", "--top", "many"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("invalid value \"many\" for --top"),
+        "stderr: {stderr}"
+    );
+}

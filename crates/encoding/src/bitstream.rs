@@ -35,6 +35,15 @@ impl PackedQuery {
         packed
     }
 
+    /// Reassembles a packed stream from raw transport words — what the
+    /// host does with a DMA buffer received from the wire, and the
+    /// corruption-injection surface for `fabp-lint`'s packed-stream
+    /// rules. **No validation is performed**: word counts, trailing
+    /// bits and instruction validity are exactly what the lint audits.
+    pub fn from_raw_parts(words: Vec<u64>, len: usize) -> PackedQuery {
+        PackedQuery { words, len }
+    }
+
     fn write(&mut self, index: usize, bits: u8) {
         let bit_pos = index * Self::BITS_PER_INSTRUCTION;
         let word = bit_pos / 64;

@@ -1,3 +1,7 @@
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 //! # fabp-encoding — FabP's FPGA-friendly query/reference encoding
 //!
 //! Implements paper §III-B: the 6-bit query [`instruction`] format

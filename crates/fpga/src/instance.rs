@@ -2,24 +2,31 @@
 //! reference window to thresholded hit, built entirely from LUT6/carry
 //! primitives.
 //!
-//! One instance scores one alignment position: `L_q` two-LUT comparators
-//! (query instruction bits baked into the truth-table inputs as constant
-//! drivers), the hand-crafted Pop-Counter reducing the `L_q` match bits,
-//! and a threshold comparator on the score. The cycle engine evaluates
-//! this datapath through fused tables for speed; this module builds the
-//! *actual netlist* so it can be resource-counted, Verilog-emitted,
-//! fault-simulated and verified gate-by-gate against the golden model.
+//! One instance scores one alignment position: `L_q` two-LUT comparators,
+//! the hand-crafted Pop-Counter reducing the `L_q` match bits, and a
+//! threshold comparator on the score. The query instruction bits are
+//! netlist *inputs* — on the device they live in distributed memory and
+//! are loaded at run time (§III-C), not synthesized into the fabric — so
+//! every comparator cone stays dynamic exactly like the real hardware.
+//! (An earlier revision baked them in as constant drivers, which
+//! constant-folds half of each comparator away and lit up `fabp-lint`'s
+//! `lut-foldable` rule.) The cycle engine evaluates this datapath through
+//! fused tables for speed; this module builds the *actual netlist* so it
+//! can be resource-counted, Verilog-emitted, fault-simulated and verified
+//! gate-by-gate against the golden model.
 
 use crate::comparator::{compare_lut, mux_lut};
 use crate::netlist::{Netlist, NodeId, ResourceCount};
 use crate::popcount::{add_vectors, pop6_group};
 use fabp_bio::alphabet::Nucleotide;
 use fabp_encoding::encoder::EncodedQuery;
+use fabp_encoding::instruction::Instruction;
 
 /// A built alignment instance.
 #[derive(Debug, Clone)]
 pub struct AlignmentInstance {
     netlist: Netlist,
+    instructions: Vec<Instruction>,
     query_len: usize,
     score_bits: Vec<NodeId>,
     hit: NodeId,
@@ -29,8 +36,11 @@ pub struct AlignmentInstance {
 impl AlignmentInstance {
     /// Builds the instance for an encoded query and a score threshold.
     ///
-    /// The netlist's inputs are the reference window: 2 bits per element
-    /// (`L_q` elements), MSB first per element.
+    /// The netlist's inputs are the reference window — 2 bits per element
+    /// (`L_q` elements), MSB first per element — followed by the query
+    /// instruction bits, 6 per element in `Q[0..6]` order (the
+    /// distributed-memory word the device loads at run time).
+    /// [`AlignmentInstance::eval`] drives both groups automatically.
     ///
     /// # Panics
     ///
@@ -48,16 +58,16 @@ impl AlignmentInstance {
                 [msb, lsb]
             })
             .collect();
+        // Query instruction inputs: element i = Q[0..6].
+        let q_bits: Vec<Vec<NodeId>> = (0..len).map(|_| n.inputs(6)).collect();
         let zero = n.constant(false);
 
-        // Per-element comparator: constants for the instruction bits, the
-        // mux LUT fed by earlier reference elements, the compare LUT.
+        // Per-element comparator: the mux LUT fed by earlier reference
+        // elements and the instruction's config bits, then the compare
+        // LUT — two LUTs per element, exactly the paper's Fig. 5 cell.
         let mut match_bits = Vec::with_capacity(len);
-        for (i, instr) in query.instructions().iter().enumerate() {
-            let bits = instr.bits();
-            let q: Vec<NodeId> = (0..6)
-                .map(|k| n.constant((bits >> (5 - k)) & 1 == 1))
-                .collect();
+        for i in 0..len {
+            let q = &q_bits[i];
             let prev1_msb = if i >= 1 { ref_bits[i - 1][0] } else { zero };
             let prev2 = if i >= 2 {
                 ref_bits[i - 2]
@@ -89,6 +99,7 @@ impl AlignmentInstance {
 
         AlignmentInstance {
             netlist: n,
+            instructions: query.instructions().to_vec(),
             query_len: len,
             score_bits,
             hit,
@@ -124,13 +135,19 @@ impl AlignmentInstance {
     /// Panics if `window.len() < self.query_len()`.
     pub fn eval(&mut self, window: &[Nucleotide]) -> (u32, bool) {
         assert!(window.len() >= self.query_len, "window too short");
-        let inputs: Vec<bool> = window[..self.query_len]
-            .iter()
-            .flat_map(|n| {
-                let code = n.code2();
-                [code & 0b10 != 0, code & 0b01 != 0]
-            })
-            .collect();
+        let mut inputs: Vec<bool> = Vec::with_capacity(self.query_len * 8);
+        // Reference window bits, then the query's distributed-memory word.
+        for n in &window[..self.query_len] {
+            let code = n.code2();
+            inputs.push(code & 0b10 != 0);
+            inputs.push(code & 0b01 != 0);
+        }
+        for instr in &self.instructions {
+            let bits = instr.bits();
+            for k in 0..6 {
+                inputs.push((bits >> (5 - k)) & 1 == 1);
+            }
+        }
         self.netlist.eval(&inputs);
         let score = self
             .score_bits
@@ -192,18 +209,20 @@ fn build_popcount(n: &mut Netlist, bits: &[NodeId]) -> Vec<NodeId> {
 /// Builds `value >= constant` over little-endian bits using the carry
 /// chain: compute `value - constant` and take the final (no-borrow) carry.
 fn build_ge_const(n: &mut Netlist, bits: &[NodeId], constant: u32) -> NodeId {
-    // value >= c  <=>  value + (!c) + 1 carries out of the top bit.
+    // If the constant has bits beyond the score width, value < constant
+    // unconditionally — decided *before* building the chain, so no dead
+    // carry cone is left behind (fabp-lint's `dead-node` rule found the
+    // original build-then-discard version).
     let width = bits.len();
+    if u64::from(constant) >> width.min(63) != 0 {
+        return n.constant(false);
+    }
+    // value >= c  <=>  value + (!c) + 1 carries out of the top bit.
     let one = n.constant(true);
     let mut carry = one; // +1 of the two's complement
     for (i, &b) in bits.iter().enumerate() {
         let not_c_bit = n.constant((constant >> i) & 1 == 0);
         carry = n.carry(b, not_c_bit, carry);
-    }
-    // If the constant has bits beyond the score width, value < constant
-    // whenever any of them is 1.
-    if (constant >> width) != 0 {
-        return n.constant(false);
     }
     carry
 }
@@ -239,11 +258,14 @@ mod tests {
 
     #[test]
     fn resource_count_matches_component_sums() {
+        use crate::popcount::{popcounter_cost, PopStyle};
         let instance = instance_for("MFSRW", 10); // 15 elements
         let r = instance.resources();
-        // 15 comparators × 2 LUTs + one Pop36 (~35 LUTs); threshold rides
-        // the carry chain (0 LUTs).
-        assert_eq!(r.luts, 15 * 2 + 35, "LUT budget: {}", r.luts);
+        // 15 comparators × 2 LUTs + the hand-crafted Pop-Counter at the
+        // same width (padding cones constant-folded identically);
+        // threshold rides the carry chain (0 LUTs).
+        let pop = popcounter_cost(15, PopStyle::HandCrafted).luts;
+        assert_eq!(r.luts, 15 * 2 + pop, "LUT budget: {}", r.luts);
         assert_eq!(r.ffs, 0, "combinational instance");
     }
 
@@ -291,7 +313,8 @@ mod tests {
         let query = EncodedQuery::from_protein(&protein);
         let mut instance = AlignmentInstance::build(&query, 60);
         let r = instance.resources();
-        assert!(r.luts > 90 * 2 + 2 * 35, "three Pop36 blocks expected");
+        let pop = crate::popcount::popcounter_cost(90, crate::popcount::PopStyle::HandCrafted).luts;
+        assert_eq!(r.luts, 90 * 2 + pop, "three Pop36 blocks expected");
         // Still bit-exact.
         let reference = random_rna(120, &mut rng);
         let golden = query.score_window(reference.as_slice()) as u32;

@@ -1,3 +1,7 @@
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 //! # fabp-fpga — gate-level and cycle-level model of the FabP accelerator
 //!
 //! The paper's accelerator is Verilog on a Kintex-7; this crate is its

@@ -19,9 +19,19 @@ use std::fmt;
 pub struct NodeId(u32);
 
 impl NodeId {
+    /// Sentinel id of an unconnected (dangling) pin — used for registers
+    /// created with [`Netlist::reg_dangling`] before [`Netlist::connect_reg`],
+    /// and by the lint defect-injection helpers to model a cut wire.
+    pub const DANGLING: NodeId = NodeId(u32::MAX);
+
     /// Dense index of this node.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// `true` when this id is the [`NodeId::DANGLING`] sentinel.
+    pub fn is_dangling(self) -> bool {
+        self == NodeId::DANGLING
     }
 }
 
@@ -193,12 +203,68 @@ impl Netlist {
 
     /// Adds a LUT computing a function of up to six nodes; unused inputs
     /// are tied to constant 0.
+    ///
+    /// Like a synthesizer, this folds the LUT into a constant driver when
+    /// its output cannot vary given the constant pins (see
+    /// [`Netlist::lut_folded`]).
     pub fn lut_fn<F: FnMut(u8) -> bool>(&mut self, inputs: &[NodeId], f: F) -> NodeId {
         assert!(inputs.len() <= 6, "a LUT6 has at most 6 inputs");
         let zero = self.constant(false);
         let mut pins = [zero; 6];
         pins[..inputs.len()].copy_from_slice(inputs);
-        self.lut(Lut6::from_fn(f), pins)
+        self.lut_folded(Lut6::from_fn(f), pins)
+    }
+
+    /// Adds a LUT like [`Netlist::lut`], but constant-folds it away when
+    /// the truth table, restricted to the current values of any
+    /// constant-driven pins, no longer depends on the live pins — exactly
+    /// what synthesis does to a cone whose inputs are partly tied off.
+    ///
+    /// Returns the LUT node, or a constant node when the cone folds.
+    pub fn lut_folded(&mut self, lut: Lut6, pins: [NodeId; 6]) -> NodeId {
+        for pin in pins {
+            assert!(
+                pin.index() < self.nodes.len(),
+                "LUT input {pin:?} does not exist"
+            );
+        }
+        match self.projected_lut_value(lut, pins) {
+            Some(v) => self.constant(v),
+            None => self.lut(lut, pins),
+        }
+    }
+
+    /// The constant value a LUT would always produce given the constant
+    /// pins among `pins`, or `None` if the output still depends on a live
+    /// pin. Addresses are enumerated only over the free (non-constant)
+    /// pins.
+    fn projected_lut_value(&self, lut: Lut6, pins: [NodeId; 6]) -> Option<bool> {
+        let mut fixed_mask = 0u8;
+        let mut fixed_bits = 0u8;
+        let mut free = Vec::new();
+        for (bit, pin) in pins.iter().enumerate() {
+            match self.const_value(*pin) {
+                Some(v) => {
+                    fixed_mask |= 1 << bit;
+                    fixed_bits |= (v as u8) << bit;
+                }
+                None => free.push(bit),
+            }
+        }
+        let mut value = None;
+        for combo in 0u8..(1 << free.len()) {
+            let mut addr = fixed_bits & fixed_mask;
+            for (k, &bit) in free.iter().enumerate() {
+                addr |= ((combo >> k) & 1) << bit;
+            }
+            let out = lut.eval_addr(addr);
+            match value {
+                None => value = Some(out),
+                Some(v) if v != out => return None,
+                Some(_) => {}
+            }
+        }
+        value
     }
 
     /// Adds a carry-chain element computing `majority(a, b, cin)` — the
@@ -218,7 +284,7 @@ impl Netlist {
     /// [`Netlist::connect_reg`]), returning its node id.
     pub fn reg_dangling(&mut self) -> NodeId {
         let id = self.push(Node::Reg {
-            d: NodeId(u32::MAX),
+            d: NodeId::DANGLING,
         });
         self.reg_lookup.insert(id.0, self.regs.len());
         self.regs.push((id, FlipFlop::new()));
@@ -270,6 +336,98 @@ impl Netlist {
         (0..self.nodes.len()).map(|i| NodeId(i as u32))
     }
 
+    /// Number of nodes in the netlist.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Public view of a node's kind, or `None` when `id` does not exist
+    /// (including the [`NodeId::DANGLING`] sentinel). The panic-free
+    /// sibling of [`Netlist::node_kind`] used by static analysis, which
+    /// must survive structurally corrupt netlists.
+    pub fn try_node_kind(&self, id: NodeId) -> Option<NodeKind> {
+        if id.index() < self.nodes.len() {
+            Some(self.node_kind(id))
+        } else {
+            None
+        }
+    }
+
+    /// The driver pins of a node, in pin order: six pins for a LUT,
+    /// `[a, b, cin]` for a carry element, `[d]` for a register (the
+    /// [`NodeId::DANGLING`] sentinel is reported as-is), and empty for
+    /// inputs and constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not exist.
+    pub fn fanin(&self, id: NodeId) -> Vec<NodeId> {
+        match &self.nodes[id.index()] {
+            Node::Input | Node::Const(_) => Vec::new(),
+            Node::Lut(_, pins) => pins.to_vec(),
+            Node::Carry { a, b, cin } => vec![*a, *b, *cin],
+            Node::Reg { d } => vec![*d],
+        }
+    }
+
+    /// Fan-out of every node: `fanouts[i]` counts the pins (LUT inputs,
+    /// carry operands, register D pins) driven by node `i`. Pins that
+    /// reference nonexistent nodes are ignored — the floating-pin lint
+    /// reports those separately.
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for id in self.node_ids() {
+            for pin in self.fanin(id) {
+                if let Some(c) = counts.get_mut(pin.index()) {
+                    *c += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Rewires one input pin of a LUT node — **defect-injection surface**
+    /// for the lint test corpus and fault studies. `src` is *not*
+    /// validated: pointing a pin at a later node (or the LUT itself)
+    /// creates a combinational loop, and [`NodeId::DANGLING`] models a
+    /// cut wire; `fabp-lint` must flag both. Netlists mutated this way
+    /// may panic in [`Netlist::eval`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a LUT or `pin >= 6`.
+    pub fn rewire_lut_pin(&mut self, node: NodeId, pin: usize, src: NodeId) {
+        assert!(pin < 6, "a LUT6 has pins 0..6, got {pin}");
+        match &mut self.nodes[node.index()] {
+            Node::Lut(_, pins) => pins[pin] = src,
+            other => panic!("{node:?} is not a LUT: {other:?}"),
+        }
+    }
+
+    /// Replaces a LUT node's truth table — **defect-injection surface**
+    /// (e.g. blanking a LUT to a constant-0 table, the SEU model the
+    /// lint's constant-LUT rule must catch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a LUT.
+    pub fn set_lut_table(&mut self, node: NodeId, table: Lut6) {
+        match &mut self.nodes[node.index()] {
+            Node::Lut(lut, _) => *lut = table,
+            other => panic!("{node:?} is not a LUT: {other:?}"),
+        }
+    }
+
+    /// Disconnects a register's D input back to the dangling sentinel —
+    /// **defect-injection surface** for the dangling-register lint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is not a register node.
+    pub fn disconnect_reg(&mut self, reg: NodeId) {
+        self.connect_reg(reg, NodeId::DANGLING);
+    }
+
     /// Public view of a node's kind (for emitters and inspectors).
     ///
     /// # Panics
@@ -310,6 +468,13 @@ impl Netlist {
     /// Number of registers in the netlist.
     pub fn register_count(&self) -> usize {
         self.regs.len()
+    }
+
+    /// Node ids holding flip-flop state, in state-table order. Each entry
+    /// must be a register node and each register node must appear exactly
+    /// once — the invariant behind the lint's multi-driver rule.
+    pub fn register_state_nodes(&self) -> Vec<NodeId> {
+        self.regs.iter().map(|(id, _)| *id).collect()
     }
 
     /// The value of a constant node, or `None` for any other node kind.
@@ -433,7 +598,7 @@ impl Netlist {
             .iter()
             .map(|(id, _)| match &self.nodes[id.index()] {
                 Node::Reg { d } => {
-                    assert!(d.0 != u32::MAX, "register {id:?} has a dangling D input");
+                    assert!(!d.is_dangling(), "register {id:?} has a dangling D input");
                     self.values[d.index()]
                 }
                 _ => unreachable!("reg list points at a non-register"),

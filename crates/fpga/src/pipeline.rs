@@ -104,11 +104,23 @@ impl PipelinedPopCounter {
     }
 }
 
+/// Registers one bit of a pipeline stage. Constant bits pass through
+/// unregistered: a constant is stable at every cycle, so a flip-flop
+/// behind it is dead silicon (and a `reg-const-driver` lint finding) —
+/// synthesis sweeps such registers away.
+fn reg_or_const(n: &mut Netlist, bit: NodeId) -> NodeId {
+    if n.const_value(bit).is_some() {
+        bit
+    } else {
+        n.reg(bit)
+    }
+}
+
 /// Registers every bit of every value — one balanced pipeline stage.
 fn register_stage(n: &mut Netlist, values: Vec<Vec<NodeId>>) -> Vec<Vec<NodeId>> {
     values
         .into_iter()
-        .map(|bits| bits.into_iter().map(|b| n.reg(b)).collect())
+        .map(|bits| bits.into_iter().map(|b| reg_or_const(n, b)).collect())
         .collect()
 }
 
@@ -147,7 +159,7 @@ fn build_handcrafted_pipelined(n: &mut Netlist, inputs: &[NodeId]) -> (Vec<NodeI
                 let mut pins = [zero; 6];
                 pins.copy_from_slice(c);
                 let g = pop6_group(n, &pins);
-                g.map(|b| n.reg(b))
+                g.map(|b| reg_or_const(n, b))
             })
             .collect();
 
@@ -156,7 +168,7 @@ fn build_handcrafted_pipelined(n: &mut Netlist, inputs: &[NodeId]) -> (Vec<NodeI
             .map(|j| {
                 let pins: [NodeId; 6] = std::array::from_fn(|g| stage1[g][j]);
                 let g = pop6_group(n, &pins);
-                g.map(|b| n.reg(b))
+                g.map(|b| reg_or_const(n, b))
             })
             .collect();
 
@@ -170,7 +182,7 @@ fn build_handcrafted_pipelined(n: &mut Netlist, inputs: &[NodeId]) -> (Vec<NodeI
             .collect();
         let t = add_vectors(n, &p1_shifted, &p2_shifted);
         let total = add_vectors(n, stage2[0].as_ref(), &t);
-        block_sums.push(total.into_iter().map(|b| n.reg(b)).collect());
+        block_sums.push(total.into_iter().map(|b| reg_or_const(n, b)).collect());
     }
 
     let (out, tree_latency) = reduce_pipelined(n, block_sums);

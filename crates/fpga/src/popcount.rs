@@ -79,9 +79,15 @@ pub fn add_vectors(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
 
 /// Builds one shared-input group of Fig. 4's first stage: three LUT6s over
 /// the same six inputs, producing the 3-bit popcount of those inputs.
+///
+/// Groups whose output bits cannot vary — e.g. the all-constant padding
+/// groups of a Pop36 tail block, or the weight-4 bit of a group with at
+/// most three live inputs — are constant-folded instead of burning a
+/// LUT, matching what synthesis does to tied-off cones (lint rule
+/// `lut-foldable` polices the residue).
 pub fn pop6_group(n: &mut Netlist, inputs: &[NodeId; 6]) -> [NodeId; 3] {
     [0u8, 1, 2].map(|bit| {
-        n.lut(
+        n.lut_folded(
             Lut6::from_fn(move |addr| (addr.count_ones() >> bit) & 1 == 1),
             *inputs,
         )

@@ -48,6 +48,11 @@ pub struct TimingReport {
     pub fmax_hz: f64,
     /// Logic levels (LUTs) on the critical path.
     pub levels: usize,
+    /// Deepest LUT level count over *all* timing endpoints (register `D`
+    /// pins and named outputs) — the figure `fabp-lint`'s independent
+    /// depth analysis must reproduce exactly. Can exceed [`Self::levels`]
+    /// when the nanosecond-critical path runs through carry chains.
+    pub max_levels: usize,
     /// The node at the end of the critical path.
     pub endpoint: Option<NodeId>,
 }
@@ -105,9 +110,14 @@ pub fn analyze(netlist: &Netlist, delays: &DelayModel) -> TimingReport {
     let mut critical = 0.0f64;
     let mut endpoint = None;
     let mut end_levels = 0usize;
+    let mut max_levels = 0usize;
     for &id in &ids {
         if let NodeKind::Reg { d } = netlist.node_kind(id) {
+            if d.index() >= arrival.len() {
+                continue; // dangling D input; fabp-lint flags it
+            }
             let t = arrival[d.index()] + delays.setup_ns;
+            max_levels = max_levels.max(levels[d.index()]);
             if t > critical {
                 critical = t;
                 endpoint = Some(id);
@@ -117,6 +127,7 @@ pub fn analyze(netlist: &Netlist, delays: &DelayModel) -> TimingReport {
     }
     for (_, id) in netlist.named_outputs() {
         let t = arrival[id.index()];
+        max_levels = max_levels.max(levels[id.index()]);
         if t > critical {
             critical = t;
             endpoint = Some(id);
@@ -132,6 +143,7 @@ pub fn analyze(netlist: &Netlist, delays: &DelayModel) -> TimingReport {
             f64::INFINITY
         },
         levels: end_levels,
+        max_levels,
         endpoint,
     }
 }

@@ -1,0 +1,113 @@
+//! # fabp-lint — hardware DRC for the software model
+//!
+//! Static analysis over the two artifact families this repository
+//! deploys: gate-level [`fabp_fpga::netlist::Netlist`]s and the 6-bit
+//! FabP instruction streams of `fabp-encoding`. The design rules mirror
+//! what an FPGA toolchain's DRC/synthesis warnings would catch on the
+//! real Kintex-7 bitstream — combinational loops, floating nets,
+//! never-connected registers, constant cones a synthesizer would sweep,
+//! dead logic, pathological fan-out — plus stream-side validation of
+//! the instruction format and packed DRAM images.
+//!
+//! Findings carry stable rule ids (`FABP-N001`..`N013`,
+//! `FABP-S001`..`S005`; see `docs/LINTING.md`), a severity, and the
+//! offending node, and render as human text or machine JSON. The
+//! `fabp_lint` binary runs every shipped module generator through
+//! [`check_all`] and gates CI with `--all-modules --deny warn`.
+//!
+//! ```
+//! use fabp_fpga::netlist::Netlist;
+//!
+//! let mut n = Netlist::new();
+//! let a = n.input();
+//! let inv = n.lut_fn(&[a], |addr| addr & 1 == 0);
+//! n.mark_output("y", inv);
+//! let report = fabp_lint::check(&n);
+//! assert!(report.findings.is_empty(), "{}", report.render_text());
+//! assert_eq!(report.stats.logic_depth, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod modules;
+pub mod netlist_rules;
+pub mod report;
+pub mod stream_rules;
+
+pub use modules::{find_module, shipped_modules, shipped_streams, ShippedModule};
+pub use netlist_rules::check_netlist;
+pub use report::{
+    record_reports, render_json_reports, Finding, ModuleStats, Report, RuleId, Severity,
+};
+pub use stream_rules::{check_instruction_set, check_packed};
+
+use fabp_fpga::netlist::Netlist;
+
+/// Tunable knobs of the netlist analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Fan-out above which `high-fanout` (FABP-N012) warns. The default
+    /// is generous: on 7-series fabric a net fanning out past ~64 loads
+    /// needs replication to close 200 MHz.
+    pub fanout_warn_limit: usize,
+    /// Cross-check the linter's logic-depth traversal against
+    /// [`fabp_fpga::sta::analyze`] (FABP-N013). Skipped automatically
+    /// when Error-level structural defects are present.
+    pub sta_cross_check: bool,
+}
+
+impl Default for LintConfig {
+    fn default() -> LintConfig {
+        LintConfig {
+            fanout_warn_limit: 64,
+            sta_cross_check: true,
+        }
+    }
+}
+
+/// Lints a netlist under the default configuration.
+pub fn check(netlist: &Netlist) -> Report {
+    check_netlist("netlist", netlist, &LintConfig::default())
+}
+
+/// Lints a named netlist under `config`.
+pub fn check_module(name: &str, netlist: &Netlist, config: &LintConfig) -> Report {
+    check_netlist(name, netlist, config)
+}
+
+/// Lints everything the repository ships: every module generator of
+/// [`shipped_modules`], the instruction-format audit, and every packed
+/// stream of [`shipped_streams`]. This is the corpus behind the
+/// `fabp_lint --all-modules` CI gate.
+pub fn check_all(config: &LintConfig) -> Vec<Report> {
+    let mut reports: Vec<Report> = shipped_modules()
+        .iter()
+        .map(|m| check_netlist(m.name, &m.build(), config))
+        .collect();
+    reports.push(check_instruction_set());
+    for (name, packed) in shipped_streams() {
+        reports.push(check_packed(&name, &packed));
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_all_covers_modules_and_streams() {
+        let reports = check_all(&LintConfig::default());
+        // modules + instruction-set + packed streams
+        assert_eq!(
+            reports.len(),
+            shipped_modules().len() + 1 + shipped_streams().len()
+        );
+        let names: Vec<&str> = reports.iter().map(|r| r.module.as_str()).collect();
+        assert!(names.contains(&"instruction-set"));
+        assert!(names.contains(&"pop750-pipelined"));
+        assert!(names.contains(&"packed-mfsrw"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Registry of every shipped module generator — the corpus
+//! `fabp_lint --all-modules` (and the CI gate) runs over.
+//!
+//! Each entry rebuilds a netlist the repository actually deploys: the
+//! two-LUT comparator cell, flat and pipelined Pop-Counters in both
+//! styles and at the paper's deployment widths (36/150/750, §III-D),
+//! and full alignment instances including Type III dependent-function
+//! queries. The packed-stream corpus mirrors the same queries at the
+//! DRAM wire format.
+
+use fabp_bio::seq::ProteinSeq;
+use fabp_encoding::bitstream::PackedQuery;
+use fabp_encoding::encoder::EncodedQuery;
+use fabp_fpga::comparator::build_comparator_netlist;
+use fabp_fpga::instance::AlignmentInstance;
+use fabp_fpga::netlist::Netlist;
+use fabp_fpga::pipeline::PipelinedPopCounter;
+use fabp_fpga::popcount::{PopCounter, PopStyle};
+
+/// One shipped netlist generator, identified by a stable name.
+#[derive(Clone, Copy)]
+pub struct ShippedModule {
+    /// Stable module name (CLI `--module` argument, report header).
+    pub name: &'static str,
+    /// Rebuilds the module's netlist.
+    builder: fn() -> Netlist,
+}
+
+impl ShippedModule {
+    /// Rebuilds the netlist.
+    pub fn build(&self) -> Netlist {
+        (self.builder)()
+    }
+}
+
+impl std::fmt::Debug for ShippedModule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShippedModule")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// Parses a protein the registry itself ships; the sequences are
+/// compile-time constants, so failure is a registry bug.
+fn protein(aa: &str) -> ProteinSeq {
+    aa.parse()
+        .unwrap_or_else(|e| panic!("registry protein {aa:?} must parse: {e}"))
+}
+
+fn alignment_netlist(aa: &str, threshold: u32) -> Netlist {
+    let query = EncodedQuery::from_protein(&protein(aa));
+    AlignmentInstance::build(&query, threshold)
+        .netlist()
+        .clone()
+}
+
+/// Every shipped module generator, in deterministic order.
+pub fn shipped_modules() -> Vec<ShippedModule> {
+    vec![
+        ShippedModule {
+            name: "comparator-cell",
+            builder: || build_comparator_netlist().0,
+        },
+        ShippedModule {
+            name: "pop36-handcrafted",
+            builder: || {
+                PopCounter::build(36, PopStyle::HandCrafted)
+                    .netlist()
+                    .clone()
+            },
+        },
+        ShippedModule {
+            name: "pop150-handcrafted",
+            builder: || {
+                PopCounter::build(150, PopStyle::HandCrafted)
+                    .netlist()
+                    .clone()
+            },
+        },
+        ShippedModule {
+            name: "pop150-tree",
+            builder: || {
+                PopCounter::build(150, PopStyle::TreeAdder)
+                    .netlist()
+                    .clone()
+            },
+        },
+        ShippedModule {
+            name: "pop750-handcrafted",
+            builder: || {
+                PopCounter::build(750, PopStyle::HandCrafted)
+                    .netlist()
+                    .clone()
+            },
+        },
+        ShippedModule {
+            name: "pop750-pipelined",
+            builder: || {
+                PipelinedPopCounter::build(750, PopStyle::HandCrafted)
+                    .netlist()
+                    .clone()
+            },
+        },
+        ShippedModule {
+            name: "pop72-pipelined-tree",
+            builder: || {
+                PipelinedPopCounter::build(72, PopStyle::TreeAdder)
+                    .netlist()
+                    .clone()
+            },
+        },
+        ShippedModule {
+            // 5 aa = 15 elements; R (Arg) exercises a Type III
+            // dependent-function comparator.
+            name: "align-mfsrw-t10",
+            builder: || alignment_netlist("MFSRW", 10),
+        },
+        ShippedModule {
+            // 15 aa = 45 elements -> two Pop36 blocks; L (Leu) and R
+            // (Arg) both use Type III taps.
+            name: "align-15aa-t30",
+            builder: || alignment_netlist("MAGICLYWHVRKNDE", 30),
+        },
+    ]
+}
+
+/// Looks a module up by name.
+pub fn find_module(name: &str) -> Option<ShippedModule> {
+    shipped_modules().into_iter().find(|m| m.name == name)
+}
+
+/// The packed instruction streams shipped alongside the netlists.
+pub fn shipped_streams() -> Vec<(String, PackedQuery)> {
+    ["M", "MFSRW", "MAGICLYWHVRKNDE"]
+        .into_iter()
+        .map(|aa| {
+            let query = EncodedQuery::from_protein(&protein(aa));
+            (
+                format!("packed-{}", aa.to_lowercase()),
+                PackedQuery::from_query(&query),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_names_are_unique() {
+        let mut names: Vec<&str> = shipped_modules().iter().map(|m| m.name).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn every_module_builds() {
+        for module in shipped_modules() {
+            let netlist = module.build();
+            assert!(netlist.node_count() > 0, "{} is empty", module.name);
+        }
+    }
+
+    #[test]
+    fn find_module_round_trips() {
+        assert!(find_module("pop36-handcrafted").is_some());
+        assert!(find_module("no-such-module").is_none());
+    }
+
+    #[test]
+    fn streams_are_non_empty() {
+        let streams = shipped_streams();
+        assert_eq!(streams.len(), 3);
+        for (name, packed) in streams {
+            assert!(!packed.is_empty(), "{name}");
+        }
+    }
+}

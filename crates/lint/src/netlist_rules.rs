@@ -1,0 +1,763 @@
+//! Netlist rules: the hardware-DRC half of `fabp-lint`.
+//!
+//! [`check_netlist`] runs every structural analysis over a
+//! [`Netlist`] and returns one [`Report`]:
+//!
+//! * **connectivity** — floating pins (`FABP-N002`), dangling register
+//!   inputs (`FABP-N003`), register bookkeeping double-drives
+//!   (`FABP-N004`);
+//! * **combinational loops** — Tarjan SCC over the LUT/carry graph with
+//!   registers as cut points (`FABP-N001`);
+//! * **LUT content** — identically-constant truth tables (`FABP-N005`),
+//!   cones that fold once constant pins are projected (`FABP-N006`),
+//!   live pins with no influence (`FABP-N007`);
+//! * **liveness** — logic outside every output cone (`FABP-N008`..`N010`),
+//!   registers fed by constants (`FABP-N011`);
+//! * **structure reports** — fan-out above a limit (`FABP-N012`) and an
+//!   independent logic-depth traversal cross-checked against
+//!   [`fabp_fpga::sta::analyze`] (`FABP-N013`).
+//!
+//! The pass must survive *structurally corrupt* netlists (that is its
+//! job), so it only uses the panic-free introspection API
+//! ([`Netlist::try_node_kind`], forward-only pin walks) and runs the STA
+//! cross-check only when no Error-level defect was found — `sta::analyze`
+//! itself assumes a well-formed netlist.
+
+use crate::report::{Finding, ModuleStats, Report, RuleId, Severity};
+use crate::LintConfig;
+use fabp_fpga::netlist::{Netlist, NodeId, NodeKind};
+use fabp_fpga::primitives::Lut6;
+use fabp_fpga::sta::{self, DelayModel};
+
+/// Runs every netlist rule over `netlist` and returns the report for
+/// `module`.
+pub fn check_netlist(module: &str, netlist: &Netlist, config: &LintConfig) -> Report {
+    let mut report = Report::new(module);
+    collect_stats(netlist, &mut report.stats);
+    check_connectivity(netlist, &mut report.findings);
+    check_register_table(netlist, &mut report.findings);
+    check_comb_loops(netlist, &mut report.findings);
+    check_lut_contents(netlist, &mut report.findings);
+    check_liveness(netlist, &mut report.findings);
+    check_fanout(netlist, config, &mut report);
+    report.stats.logic_depth = logic_depth(netlist);
+    if config.sta_cross_check && report.max_severity() < Some(Severity::Error) {
+        // `sta::analyze` assumes a structurally sound netlist; skip the
+        // cross-check when an Error already proves it is not.
+        let timing = sta::analyze(netlist, &DelayModel::default());
+        report.stats.sta_levels = Some(timing.max_levels);
+        if timing.max_levels != report.stats.logic_depth {
+            report.findings.push(Finding::new(
+                RuleId::StaMismatch,
+                None,
+                format!(
+                    "lint logic depth {} disagrees with sta::analyze max level count {}",
+                    report.stats.logic_depth, timing.max_levels
+                ),
+            ));
+        }
+    }
+    report
+}
+
+/// Fills the structural counters of [`ModuleStats`].
+fn collect_stats(netlist: &Netlist, stats: &mut ModuleStats) {
+    stats.nodes = netlist.node_count();
+    for id in netlist.node_ids() {
+        match netlist.node_kind(id) {
+            NodeKind::Lut(..) => stats.luts += 1,
+            NodeKind::Reg { .. } => stats.ffs += 1,
+            NodeKind::Carry { .. } => stats.carries += 1,
+            NodeKind::Input | NodeKind::Const(_) => {}
+        }
+    }
+}
+
+/// `true` when `pin` names an existing node of `netlist`.
+fn pin_exists(netlist: &Netlist, pin: NodeId) -> bool {
+    pin.index() < netlist.node_count()
+}
+
+/// Floating pins and dangling registers: every pin must reference an
+/// existing node; a register's D pin left at [`NodeId::DANGLING`] is the
+/// dedicated `reg-dangling` defect, any other out-of-range reference is a
+/// cut wire.
+fn check_connectivity(netlist: &Netlist, findings: &mut Vec<Finding>) {
+    for id in netlist.node_ids() {
+        match netlist.node_kind(id) {
+            NodeKind::Input | NodeKind::Const(_) => {}
+            NodeKind::Reg { d } => {
+                if d.is_dangling() {
+                    findings.push(Finding::new(
+                        RuleId::RegDangling,
+                        Some(id.index()),
+                        "register created with reg_dangling() was never connect_reg()'d",
+                    ));
+                } else if !pin_exists(netlist, d) {
+                    findings.push(Finding::new(
+                        RuleId::FloatingPin,
+                        Some(id.index()),
+                        format!("register D pin references nonexistent node n{}", d.index()),
+                    ));
+                }
+            }
+            NodeKind::Lut(_, pins) => {
+                for (k, pin) in pins.iter().enumerate() {
+                    if !pin_exists(netlist, *pin) {
+                        findings.push(Finding::new(
+                            RuleId::FloatingPin,
+                            Some(id.index()),
+                            format!("LUT pin I{k} references nonexistent node (cut wire)"),
+                        ));
+                    }
+                }
+            }
+            NodeKind::Carry { a, b, cin } => {
+                for (name, pin) in [("a", a), ("b", b), ("cin", cin)] {
+                    if !pin_exists(netlist, pin) {
+                        findings.push(Finding::new(
+                            RuleId::FloatingPin,
+                            Some(id.index()),
+                            format!("carry pin {name} references nonexistent node (cut wire)"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for (name, id) in netlist.named_outputs() {
+        if !pin_exists(netlist, id) {
+            findings.push(Finding::new(
+                RuleId::FloatingPin,
+                None,
+                format!(
+                    "output {name:?} references nonexistent node n{}",
+                    id.index()
+                ),
+            ));
+        }
+    }
+}
+
+/// Every net has exactly one driver by construction in this IR, so the
+/// classic multi-driver DRC reduces to the flip-flop bookkeeping
+/// invariant: the register state table must list every register node
+/// exactly once and nothing else. A duplicated entry would clock one
+/// net from two state slots — a double drive.
+fn check_register_table(netlist: &Netlist, findings: &mut Vec<Finding>) {
+    let table = netlist.register_state_nodes();
+    let mut seen = vec![false; netlist.node_count()];
+    for id in &table {
+        if !pin_exists(netlist, *id) {
+            findings.push(Finding::new(
+                RuleId::MultiDriver,
+                None,
+                format!("register state table entry n{} does not exist", id.index()),
+            ));
+            continue;
+        }
+        if !matches!(netlist.node_kind(*id), NodeKind::Reg { .. }) {
+            findings.push(Finding::new(
+                RuleId::MultiDriver,
+                Some(id.index()),
+                "register state table entry is not a register node",
+            ));
+            continue;
+        }
+        if seen[id.index()] {
+            findings.push(Finding::new(
+                RuleId::MultiDriver,
+                Some(id.index()),
+                "register node is driven by two state table slots",
+            ));
+        }
+        seen[id.index()] = true;
+    }
+    for id in netlist.node_ids() {
+        if matches!(netlist.node_kind(id), NodeKind::Reg { .. }) && !seen[id.index()] {
+            findings.push(Finding::new(
+                RuleId::MultiDriver,
+                Some(id.index()),
+                "register node has no state table entry (undriven Q)",
+            ));
+        }
+    }
+}
+
+/// Combinational loop detection: iterative Tarjan SCC over the graph
+/// whose vertices are LUT/carry nodes and whose edges follow pins —
+/// registers, inputs and constants are cut points and never appear.
+/// Any SCC of size > 1, or a node feeding its own pin, is a loop.
+fn check_comb_loops(netlist: &Netlist, findings: &mut Vec<Finding>) {
+    let n = netlist.node_count();
+    // Adjacency: comb edges u -> v for each combinational pin u of v.
+    let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut is_comb = vec![false; n];
+    for id in netlist.node_ids() {
+        let comb = matches!(
+            netlist.node_kind(id),
+            NodeKind::Lut(..) | NodeKind::Carry { .. }
+        );
+        is_comb[id.index()] = comb;
+        if !comb {
+            continue;
+        }
+        for pin in netlist.fanin(id) {
+            if pin_exists(netlist, pin)
+                && matches!(
+                    netlist.try_node_kind(pin),
+                    Some(NodeKind::Lut(..) | NodeKind::Carry { .. })
+                )
+            {
+                succ[pin.index()].push(id.index() as u32);
+            }
+        }
+    }
+
+    // Iterative Tarjan. Netlists reach thousands of nodes; recursion
+    // would not survive a pathological chain.
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    // Explicit DFS frames: (node, next successor position).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for start in 0..n {
+        if !is_comb[start] || index[start] != UNVISITED {
+            continue;
+        }
+        frames.push((start as u32, 0));
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start as u32);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let v_us = v as usize;
+            if *pos < succ[v_us].len() {
+                let w = succ[v_us][*pos] as usize;
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w as u32);
+                    on_stack[w] = true;
+                    frames.push((w as u32, 0));
+                } else if on_stack[w] {
+                    lowlink[v_us] = lowlink[v_us].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    let p = parent as usize;
+                    lowlink[p] = lowlink[p].min(lowlink[v_us]);
+                }
+                if lowlink[v_us] == index[v_us] {
+                    // Root of an SCC: pop it off the Tarjan stack.
+                    let mut component = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w as usize] = false;
+                        component.push(w as usize);
+                        if w as usize == v_us {
+                            break;
+                        }
+                    }
+                    let self_loop = component.len() == 1 && succ[v_us].contains(&(v_us as u32));
+                    if component.len() > 1 || self_loop {
+                        component.sort_unstable();
+                        let list = component
+                            .iter()
+                            .map(|i| format!("n{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        findings.push(Finding::new(
+                            RuleId::CombLoop,
+                            Some(component[0]),
+                            format!(
+                                "combinational cycle through {} node(s): {list}",
+                                component.len()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// LUT content rules, reimplemented independently of
+/// `Netlist::lut_folded` so the linter cross-checks the builder rather
+/// than trusting it: identically-constant truth tables, cones that fold
+/// under constant-pin projection, and live pins with no influence.
+fn check_lut_contents(netlist: &Netlist, findings: &mut Vec<Finding>) {
+    for id in netlist.node_ids() {
+        let NodeKind::Lut(lut, pins) = netlist.node_kind(id) else {
+            continue;
+        };
+        if pins.iter().any(|p| !pin_exists(netlist, *p)) {
+            continue; // already a floating-pin Error; content is moot
+        }
+        if lut.init() == 0 || lut.init() == u64::MAX {
+            findings.push(Finding::new(
+                RuleId::LutConst,
+                Some(id.index()),
+                format!(
+                    "LUT truth table is identically {} (INIT {:#018x})",
+                    u8::from(lut.init() != 0),
+                    lut.init()
+                ),
+            ));
+            continue;
+        }
+        // Project constant pins: fixed address bits and free positions.
+        let mut fixed_bits = 0u8;
+        let mut free: Vec<usize> = Vec::new();
+        for (bit, pin) in pins.iter().enumerate() {
+            match netlist.try_node_kind(*pin) {
+                Some(NodeKind::Const(v)) => fixed_bits |= (u8::from(v)) << bit,
+                _ => free.push(bit),
+            }
+        }
+        if let Some(v) = projected_constant(lut, fixed_bits, &free) {
+            findings.push(Finding::new(
+                RuleId::LutFoldable,
+                Some(id.index()),
+                format!(
+                    "LUT output is constant {} once its {} constant pin(s) are projected",
+                    u8::from(v),
+                    6 - free.len()
+                ),
+            ));
+            continue;
+        }
+        for (k, &bit) in free.iter().enumerate() {
+            if !pin_influences(lut, fixed_bits, &free, k) {
+                findings.push(Finding::new(
+                    RuleId::LutIgnoredInput,
+                    Some(id.index()),
+                    format!("live pin I{bit} cannot influence the LUT output"),
+                ));
+            }
+        }
+    }
+}
+
+/// The constant the LUT produces over all free-pin assignments, if any.
+fn projected_constant(lut: Lut6, fixed_bits: u8, free: &[usize]) -> Option<bool> {
+    let mut value = None;
+    for combo in 0u8..(1u8 << free.len()) {
+        let out = lut.eval_addr(address(fixed_bits, free, combo));
+        match value {
+            None => value = Some(out),
+            Some(v) if v != out => return None,
+            Some(_) => {}
+        }
+    }
+    value
+}
+
+/// Does free pin `k` ever change the output, over all assignments of the
+/// other free pins?
+fn pin_influences(lut: Lut6, fixed_bits: u8, free: &[usize], k: usize) -> bool {
+    let others: Vec<usize> = free
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != k)
+        .map(|(_, &b)| b)
+        .collect();
+    let pin_bit = free[k];
+    for combo in 0u8..(1u8 << others.len()) {
+        let base = address(fixed_bits, &others, combo);
+        if lut.eval_addr(base) != lut.eval_addr(base | (1 << pin_bit)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Assembles a 6-bit LUT address from fixed bits plus a free-pin combo.
+fn address(fixed_bits: u8, free: &[usize], combo: u8) -> u8 {
+    let mut addr = fixed_bits;
+    for (i, &bit) in free.iter().enumerate() {
+        addr |= ((combo >> i) & 1) << bit;
+    }
+    addr
+}
+
+/// Liveness: walk the fan-in cones of every named output (crossing
+/// registers through their D pins) and report what is never reached —
+/// dead logic, unused inputs, unloaded constants — plus registers whose
+/// D input is a constant (`reg-const-driver`).
+fn check_liveness(netlist: &Netlist, findings: &mut Vec<Finding>) {
+    // Register-const drivers are reported independently of liveness.
+    for id in netlist.node_ids() {
+        if let NodeKind::Reg { d } = netlist.node_kind(id) {
+            if matches!(netlist.try_node_kind(d), Some(NodeKind::Const(_))) {
+                findings.push(Finding::new(
+                    RuleId::RegConstDriver,
+                    Some(id.index()),
+                    "register D input is a constant; the flip-flop is dead silicon",
+                ));
+            }
+        }
+    }
+
+    let outputs = netlist.named_outputs();
+    if outputs.is_empty() {
+        // Nothing is observable; dead-logic reporting would flag the
+        // whole netlist, which is noise for scratch netlists under
+        // construction.
+        return;
+    }
+    let mut reachable = vec![false; netlist.node_count()];
+    let mut work: Vec<NodeId> = outputs
+        .iter()
+        .map(|(_, id)| *id)
+        .filter(|id| pin_exists(netlist, *id))
+        .collect();
+    for id in &work {
+        reachable[id.index()] = true;
+    }
+    while let Some(id) = work.pop() {
+        for pin in netlist.fanin(id) {
+            if pin_exists(netlist, pin) && !reachable[pin.index()] {
+                reachable[pin.index()] = true;
+                work.push(pin);
+            }
+        }
+    }
+    for id in netlist.node_ids() {
+        if reachable[id.index()] {
+            continue;
+        }
+        match netlist.node_kind(id) {
+            NodeKind::Lut(..) | NodeKind::Carry { .. } | NodeKind::Reg { .. } => {
+                findings.push(Finding::new(
+                    RuleId::DeadNode,
+                    Some(id.index()),
+                    "node is outside every named output's fan-in cone",
+                ));
+            }
+            NodeKind::Input => {
+                findings.push(Finding::new(
+                    RuleId::InputUnused,
+                    Some(id.index()),
+                    "input drives nothing reachable from a named output",
+                ));
+            }
+            NodeKind::Const(_) => {
+                findings.push(Finding::new(
+                    RuleId::DeadConst,
+                    Some(id.index()),
+                    "constant driver has no reachable loads",
+                ));
+            }
+        }
+    }
+}
+
+/// Fan-out report: records the maximum fan-out of any non-constant net
+/// and flags nets above the configured warning limit. Constants are
+/// exempt — a tied-off rail legitimately fans out everywhere and costs
+/// no routing.
+fn check_fanout(netlist: &Netlist, config: &LintConfig, report: &mut Report) {
+    let counts = netlist.fanout_counts();
+    for id in netlist.node_ids() {
+        if matches!(netlist.node_kind(id), NodeKind::Const(_)) {
+            continue;
+        }
+        let fanout = counts[id.index()];
+        report.stats.max_fanout = report.stats.max_fanout.max(fanout);
+        if fanout > config.fanout_warn_limit {
+            report.findings.push(Finding::new(
+                RuleId::HighFanout,
+                Some(id.index()),
+                format!(
+                    "net fans out to {fanout} pins (limit {})",
+                    config.fanout_warn_limit
+                ),
+            ));
+        }
+    }
+}
+
+/// Independent logic-depth traversal: LUT levels from any startpoint
+/// (input, constant or register Q) to any endpoint (register D pin or
+/// named output). Carries propagate the level without adding one, and
+/// registers restart at level 0 — exactly the level accounting of
+/// `sta::analyze`, recomputed here from scratch so the two can be
+/// compared. Only forward pin references are followed, so the traversal
+/// terminates even on netlists with injected loops.
+fn logic_depth(netlist: &Netlist) -> usize {
+    let n = netlist.node_count();
+    let mut level = vec![0usize; n];
+    for id in netlist.node_ids() {
+        let idx = id.index();
+        // Level of a pin, counting only structurally sound forward refs.
+        let pin_level = |pin: NodeId| -> usize {
+            if pin.index() < idx {
+                level[pin.index()]
+            } else {
+                0
+            }
+        };
+        level[idx] = match netlist.node_kind(id) {
+            NodeKind::Input | NodeKind::Const(_) | NodeKind::Reg { .. } => 0,
+            NodeKind::Lut(_, pins) => pins.iter().map(|p| pin_level(*p)).max().unwrap_or(0) + 1,
+            NodeKind::Carry { a, b, cin } => {
+                [a, b, cin].into_iter().map(pin_level).max().unwrap_or(0)
+            }
+        };
+    }
+    let mut depth = 0usize;
+    for id in netlist.node_ids() {
+        if let NodeKind::Reg { d } = netlist.node_kind(id) {
+            if pin_exists(netlist, d) {
+                depth = depth.max(level[d.index()]);
+            }
+        }
+    }
+    for (_, id) in netlist.named_outputs() {
+        if pin_exists(netlist, id) {
+            depth = depth.max(level[id.index()]);
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_fpga::primitives::Lut6;
+
+    fn cfg() -> LintConfig {
+        LintConfig::default()
+    }
+
+    /// A small clean netlist: two inputs, XOR, register, output.
+    fn clean_netlist() -> Netlist {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let x = n.lut_fn(&[a, b], |addr| (addr & 1) ^ ((addr >> 1) & 1) == 1);
+        let r = n.reg(x);
+        n.mark_output("q", r);
+        n
+    }
+
+    #[test]
+    fn clean_netlist_is_clean() {
+        let report = check_netlist("clean", &clean_netlist(), &cfg());
+        assert!(report.findings.is_empty(), "{}", report.render_text());
+        assert_eq!(report.stats.logic_depth, 1);
+        assert_eq!(report.stats.sta_levels, Some(1));
+        assert_eq!(report.stats.luts, 1);
+        assert_eq!(report.stats.ffs, 1);
+    }
+
+    #[test]
+    fn self_loop_is_a_comb_loop() {
+        let mut n = clean_netlist();
+        // Find the LUT and wire a pin back to itself.
+        let lut = n
+            .node_ids()
+            .find(|&id| matches!(n.node_kind(id), NodeKind::Lut(..)))
+            .unwrap();
+        n.rewire_lut_pin(lut, 0, lut);
+        let report = check_netlist("loop", &n, &cfg());
+        let loops = report.findings_for(RuleId::CombLoop);
+        assert_eq!(loops.len(), 1, "{}", report.render_text());
+        assert_eq!(loops[0].node, Some(lut.index()));
+    }
+
+    #[test]
+    fn two_node_cycle_is_one_scc_finding() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let l1 = n.lut_fn(&[a], |addr| addr & 1 == 1);
+        let l2 = n.lut_fn(&[l1], |addr| addr & 1 == 1);
+        n.mark_output("o", l2);
+        // Close the cycle l1 <-> l2.
+        n.rewire_lut_pin(l1, 0, l2);
+        let report = check_netlist("cycle2", &n, &cfg());
+        let loops = report.findings_for(RuleId::CombLoop);
+        assert_eq!(loops.len(), 1, "{}", report.render_text());
+        assert!(
+            loops[0].message.contains("2 node(s)"),
+            "{}",
+            loops[0].message
+        );
+    }
+
+    #[test]
+    fn register_breaks_the_cycle() {
+        // q = reg(lut(q)) is sequential feedback, not a comb loop.
+        let mut n = Netlist::new();
+        let q = n.reg_dangling();
+        let d = n.lut_fn(&[q], |addr| addr & 1 == 0);
+        n.connect_reg(q, d);
+        n.mark_output("q", q);
+        let report = check_netlist("tff", &n, &cfg());
+        assert!(report.findings_for(RuleId::CombLoop).is_empty());
+        assert!(report.findings_for(RuleId::RegDangling).is_empty());
+    }
+
+    #[test]
+    fn dangling_register_is_flagged() {
+        let mut n = clean_netlist();
+        let r = n
+            .node_ids()
+            .find(|&id| matches!(n.node_kind(id), NodeKind::Reg { .. }))
+            .unwrap();
+        n.disconnect_reg(r);
+        let report = check_netlist("dangling", &n, &cfg());
+        let found = report.findings_for(RuleId::RegDangling);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].node, Some(r.index()));
+    }
+
+    #[test]
+    fn cut_wire_is_a_floating_pin() {
+        let mut n = clean_netlist();
+        let lut = n
+            .node_ids()
+            .find(|&id| matches!(n.node_kind(id), NodeKind::Lut(..)))
+            .unwrap();
+        n.rewire_lut_pin(lut, 1, NodeId::DANGLING);
+        let report = check_netlist("cut", &n, &cfg());
+        assert_eq!(report.findings_for(RuleId::FloatingPin).len(), 1);
+    }
+
+    #[test]
+    fn blank_lut_is_constant() {
+        let mut n = clean_netlist();
+        let lut = n
+            .node_ids()
+            .find(|&id| matches!(n.node_kind(id), NodeKind::Lut(..)))
+            .unwrap();
+        n.set_lut_table(lut, Lut6::from_init(0));
+        let report = check_netlist("blank", &n, &cfg());
+        assert_eq!(report.findings_for(RuleId::LutConst).len(), 1);
+    }
+
+    #[test]
+    fn projected_constant_cone_is_foldable() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let one = n.constant(true);
+        // OR(a, 1) is constant 1 but not an identically-constant table.
+        let zero = n.constant(false);
+        let or = n.lut(
+            Lut6::from_fn(|addr| addr & 0b11 != 0),
+            [a, one, zero, zero, zero, zero],
+        );
+        n.mark_output("o", or);
+        let report = check_netlist("fold", &n, &cfg());
+        assert_eq!(report.findings_for(RuleId::LutFoldable).len(), 1);
+        // The input feeding a foldable cone still "influences" nothing,
+        // but we only report the stronger foldable finding.
+        assert!(report.findings_for(RuleId::LutIgnoredInput).is_empty());
+    }
+
+    #[test]
+    fn ignored_live_pin_is_flagged() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let zero = n.constant(false);
+        // Output depends on a only; b is wired but ignored.
+        let lut = n.lut(
+            Lut6::from_fn(|addr| addr & 1 == 1),
+            [a, b, zero, zero, zero, zero],
+        );
+        n.mark_output("o", lut);
+        let report = check_netlist("ignored", &n, &cfg());
+        let found = report.findings_for(RuleId::LutIgnoredInput);
+        assert_eq!(found.len(), 1, "{}", report.render_text());
+        assert!(found[0].message.contains("I1"));
+    }
+
+    #[test]
+    fn dead_logic_and_unused_inputs_warn() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input(); // never used
+        let live = n.lut_fn(&[a], |addr| addr & 1 == 1);
+        let _dead = n.lut_fn(&[a], |addr| addr & 1 == 0);
+        n.mark_output("o", live);
+        let _ = b;
+        let report = check_netlist("dead", &n, &cfg());
+        assert_eq!(report.findings_for(RuleId::DeadNode).len(), 1);
+        assert_eq!(report.findings_for(RuleId::InputUnused).len(), 1);
+        // lut_fn ties unused pins to a fresh constant each call; the dead
+        // LUT's tie-off constant is dead too.
+        assert!(!report.findings_for(RuleId::DeadConst).is_empty());
+    }
+
+    #[test]
+    fn reg_const_driver_is_info() {
+        let mut n = Netlist::new();
+        let one = n.constant(true);
+        let r = n.reg(one);
+        n.mark_output("q", r);
+        let report = check_netlist("regconst", &n, &cfg());
+        assert_eq!(report.findings_for(RuleId::RegConstDriver).len(), 1);
+        assert_eq!(report.max_severity(), Some(Severity::Info));
+    }
+
+    #[test]
+    fn high_fanout_respects_config() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let mut last = a;
+        for i in 0..5 {
+            last = n.lut_fn(&[a, last], |addr| addr.count_ones() % 2 == 1);
+            n.mark_output(format!("o{i}"), last);
+        }
+        let tight = LintConfig {
+            fanout_warn_limit: 3,
+            ..LintConfig::default()
+        };
+        let report = check_netlist("fanout", &n, &tight);
+        assert_eq!(report.findings_for(RuleId::HighFanout).len(), 1);
+        assert!(report.stats.max_fanout > 3);
+        let loose = check_netlist("fanout", &n, &cfg());
+        assert!(loose.findings_for(RuleId::HighFanout).is_empty());
+    }
+
+    #[test]
+    fn depth_matches_sta_on_carry_chains() {
+        let mut n = Netlist::new();
+        let a = n.inputs(8);
+        let b = n.inputs(8);
+        let sum = fabp_fpga::popcount::add_vectors(&mut n, &a, &b);
+        for (i, &s) in sum.iter().enumerate() {
+            n.mark_output(format!("s{i}"), s);
+        }
+        let report = check_netlist("adder", &n, &cfg());
+        assert!(
+            report.findings_for(RuleId::StaMismatch).is_empty(),
+            "{}",
+            report.render_text()
+        );
+        assert_eq!(report.stats.sta_levels, Some(report.stats.logic_depth));
+    }
+
+    #[test]
+    fn sta_cross_check_skipped_on_corrupt_netlists() {
+        let mut n = clean_netlist();
+        let lut = n
+            .node_ids()
+            .find(|&id| matches!(n.node_kind(id), NodeKind::Lut(..)))
+            .unwrap();
+        n.rewire_lut_pin(lut, 0, NodeId::DANGLING);
+        let report = check_netlist("corrupt", &n, &cfg());
+        assert!(report.stats.sta_levels.is_none());
+        assert!(!report.findings_for(RuleId::FloatingPin).is_empty());
+    }
+}

@@ -1,0 +1,506 @@
+//! Diagnostics model: rule ids, severities, findings, per-module reports,
+//! and the human/machine renderers.
+//!
+//! Every finding carries a stable rule id (`FABP-Nxxx` for netlist rules,
+//! `FABP-Sxxx` for instruction-stream rules), a severity, the module it
+//! was found in and — where meaningful — the offending node id, so CI can
+//! gate on severity and tooling can consume the JSON form without parsing
+//! prose. The JSON schema is documented in `docs/LINTING.md` and covered
+//! by unit tests.
+
+use std::fmt;
+
+/// How bad a finding is. Ordered: `Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Observation only; never fails a gate by default.
+    Info,
+    /// Suspicious structure a synthesizer would warn about.
+    Warn,
+    /// Structural defect: the netlist or stream is wrong.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in text and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses a severity label (`info` / `warn` / `error`).
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warn" | "warning" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Stable identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// `FABP-N001`: combinational cycle through LUT/carry logic.
+    CombLoop,
+    /// `FABP-N002`: a pin references a nonexistent node (cut wire).
+    FloatingPin,
+    /// `FABP-N003`: `reg_dangling()` register never `connect_reg`'d.
+    RegDangling,
+    /// `FABP-N004`: register state bookkeeping names a net twice / wrongly.
+    MultiDriver,
+    /// `FABP-N005`: LUT truth table is identically constant.
+    LutConst,
+    /// `FABP-N006`: LUT output constant once constant pins are projected.
+    LutFoldable,
+    /// `FABP-N007`: live pin that cannot influence the LUT output.
+    LutIgnoredInput,
+    /// `FABP-N008`: LUT/carry/register outside every output's fan-in cone.
+    DeadNode,
+    /// `FABP-N009`: input pin driving nothing reachable.
+    InputUnused,
+    /// `FABP-N010`: constant driver with no loads.
+    DeadConst,
+    /// `FABP-N011`: register whose D input is a constant.
+    RegConstDriver,
+    /// `FABP-N012`: net fan-out above the configured limit.
+    HighFanout,
+    /// `FABP-N013`: lint logic depth disagrees with `sta::analyze`.
+    StaMismatch,
+    /// `FABP-S001`: instruction encode/decode round-trip violation.
+    InstrRoundTrip,
+    /// `FABP-S002`: `ConfigSelect` table malformed.
+    ConfigTable,
+    /// `FABP-S003`: packed stream word count inconsistent with length.
+    PackedBounds,
+    /// `FABP-S004`: nonzero bits after the end of a packed stream.
+    PackedTrailing,
+    /// `FABP-S005`: packed stream holds an undecodable instruction.
+    PackedDecode,
+}
+
+impl RuleId {
+    /// All rules, in code order (documentation and coverage tests).
+    pub const ALL: [RuleId; 18] = [
+        RuleId::CombLoop,
+        RuleId::FloatingPin,
+        RuleId::RegDangling,
+        RuleId::MultiDriver,
+        RuleId::LutConst,
+        RuleId::LutFoldable,
+        RuleId::LutIgnoredInput,
+        RuleId::DeadNode,
+        RuleId::InputUnused,
+        RuleId::DeadConst,
+        RuleId::RegConstDriver,
+        RuleId::HighFanout,
+        RuleId::StaMismatch,
+        RuleId::InstrRoundTrip,
+        RuleId::ConfigTable,
+        RuleId::PackedBounds,
+        RuleId::PackedTrailing,
+        RuleId::PackedDecode,
+    ];
+
+    /// The stable machine-readable code (`FABP-N001` style).
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::CombLoop => "FABP-N001",
+            RuleId::FloatingPin => "FABP-N002",
+            RuleId::RegDangling => "FABP-N003",
+            RuleId::MultiDriver => "FABP-N004",
+            RuleId::LutConst => "FABP-N005",
+            RuleId::LutFoldable => "FABP-N006",
+            RuleId::LutIgnoredInput => "FABP-N007",
+            RuleId::DeadNode => "FABP-N008",
+            RuleId::InputUnused => "FABP-N009",
+            RuleId::DeadConst => "FABP-N010",
+            RuleId::RegConstDriver => "FABP-N011",
+            RuleId::HighFanout => "FABP-N012",
+            RuleId::StaMismatch => "FABP-N013",
+            RuleId::InstrRoundTrip => "FABP-S001",
+            RuleId::ConfigTable => "FABP-S002",
+            RuleId::PackedBounds => "FABP-S003",
+            RuleId::PackedTrailing => "FABP-S004",
+            RuleId::PackedDecode => "FABP-S005",
+        }
+    }
+
+    /// Short human name (`comb-loop` style).
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::CombLoop => "comb-loop",
+            RuleId::FloatingPin => "floating-pin",
+            RuleId::RegDangling => "reg-dangling",
+            RuleId::MultiDriver => "multi-driver",
+            RuleId::LutConst => "lut-const",
+            RuleId::LutFoldable => "lut-foldable",
+            RuleId::LutIgnoredInput => "lut-ignored-input",
+            RuleId::DeadNode => "dead-node",
+            RuleId::InputUnused => "input-unused",
+            RuleId::DeadConst => "dead-const",
+            RuleId::RegConstDriver => "reg-const-driver",
+            RuleId::HighFanout => "high-fanout",
+            RuleId::StaMismatch => "sta-depth-mismatch",
+            RuleId::InstrRoundTrip => "instr-round-trip",
+            RuleId::ConfigTable => "config-table",
+            RuleId::PackedBounds => "packed-bounds",
+            RuleId::PackedTrailing => "packed-trailing-bits",
+            RuleId::PackedDecode => "packed-decode",
+        }
+    }
+
+    /// Default severity (the policy table of `docs/LINTING.md`).
+    pub fn default_severity(self) -> Severity {
+        match self {
+            RuleId::CombLoop
+            | RuleId::FloatingPin
+            | RuleId::RegDangling
+            | RuleId::MultiDriver
+            | RuleId::LutConst
+            | RuleId::StaMismatch
+            | RuleId::InstrRoundTrip
+            | RuleId::ConfigTable
+            | RuleId::PackedBounds
+            | RuleId::PackedDecode => Severity::Error,
+            RuleId::LutFoldable
+            | RuleId::LutIgnoredInput
+            | RuleId::DeadNode
+            | RuleId::InputUnused
+            | RuleId::HighFanout
+            | RuleId::PackedTrailing => Severity::Warn,
+            RuleId::DeadConst | RuleId::RegConstDriver => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.code(), self.name())
+    }
+}
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Severity (normally [`RuleId::default_severity`]).
+    pub severity: Severity,
+    /// The offending node id, when the finding is about one node.
+    pub node: Option<usize>,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding at the rule's default severity.
+    pub fn new(rule: RuleId, node: Option<usize>, message: impl Into<String>) -> Finding {
+        Finding {
+            rule,
+            severity: rule.default_severity(),
+            node,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}",
+            self.severity,
+            self.rule.code(),
+            self.rule.name()
+        )?;
+        if let Some(node) = self.node {
+            write!(f, " @n{node}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Structural statistics of the analysed artifact (the fanout/logic-depth
+/// report the issue asks for).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModuleStats {
+    /// Total node count (netlist modules) or element count (streams).
+    pub nodes: usize,
+    /// LUT6 primitives.
+    pub luts: usize,
+    /// Flip-flops.
+    pub ffs: usize,
+    /// Carry-chain elements.
+    pub carries: usize,
+    /// Deepest LUT level from any startpoint to any endpoint, computed by
+    /// the linter's own traversal (cross-checked against `sta::analyze`).
+    pub logic_depth: usize,
+    /// Highest fan-out of any non-constant net.
+    pub max_fanout: usize,
+    /// `sta::analyze` max level count, when the cross-check ran.
+    pub sta_levels: Option<usize>,
+}
+
+/// The result of linting one module or stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Module (or stream) name.
+    pub module: String,
+    /// Structural statistics.
+    pub stats: ModuleStats,
+    /// All findings, in discovery order.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Creates an empty report for `module`.
+    pub fn new(module: impl Into<String>) -> Report {
+        Report {
+            module: module.into(),
+            stats: ModuleStats::default(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// The worst severity present, if any finding exists.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// `true` when no finding is at or above `deny`.
+    pub fn passes(&self, deny: Severity) -> bool {
+        self.findings.iter().all(|f| f.severity < deny)
+    }
+
+    /// Findings produced by `rule`.
+    pub fn findings_for(&self, rule: RuleId) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.rule == rule).collect()
+    }
+
+    /// Human-readable rendering (one block per module).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let verdict = match self.max_severity() {
+            None => "clean".to_string(),
+            Some(s) => format!(
+                "{} error(s), {} warning(s), {} info(s); worst {s}",
+                self.count(Severity::Error),
+                self.count(Severity::Warn),
+                self.count(Severity::Info),
+            ),
+        };
+        let _ = write!(
+            out,
+            "== {}: {} nodes, {} LUTs, {} FFs, {} carries, depth {}, max fanout {}",
+            self.module,
+            self.stats.nodes,
+            self.stats.luts,
+            self.stats.ffs,
+            self.stats.carries,
+            self.stats.logic_depth,
+            self.stats.max_fanout,
+        );
+        if let Some(levels) = self.stats.sta_levels {
+            let _ = write!(out, ", sta levels {levels}");
+        }
+        let _ = writeln!(out, " — {verdict}");
+        for finding in &self.findings {
+            let _ = writeln!(out, "  {finding}");
+        }
+        out
+    }
+
+    /// JSON object for this report (schema in `docs/LINTING.md`).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"module\":{},\"stats\":{{\"nodes\":{},\"luts\":{},\"ffs\":{},\"carries\":{},\"logic_depth\":{},\"max_fanout\":{},\"sta_levels\":{}}},\"findings\":[",
+            json_string(&self.module),
+            self.stats.nodes,
+            self.stats.luts,
+            self.stats.ffs,
+            self.stats.carries,
+            self.stats.logic_depth,
+            self.stats.max_fanout,
+            match self.stats.sta_levels {
+                Some(l) => l.to_string(),
+                None => "null".to_string(),
+            },
+        );
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":{},\"name\":{},\"severity\":{},\"node\":{},\"message\":{}}}",
+                json_string(f.rule.code()),
+                json_string(f.rule.name()),
+                json_string(f.severity.label()),
+                match f.node {
+                    Some(n) => n.to_string(),
+                    None => "null".to_string(),
+                },
+                json_string(&f.message),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Renders a full multi-module lint run as one JSON document.
+pub fn render_json_reports(reports: &[Report]) -> String {
+    use std::fmt::Write as _;
+    let errors: usize = reports.iter().map(|r| r.count(Severity::Error)).sum();
+    let warnings: usize = reports.iter().map(|r| r.count(Severity::Warn)).sum();
+    let infos: usize = reports.iter().map(|r| r.count(Severity::Info)).sum();
+    let mut out = String::from("{\"fabp_lint\":{\"schema\":1},\"modules\":[");
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&report.to_json());
+    }
+    let _ = write!(
+        out,
+        "],\"summary\":{{\"modules\":{},\"errors\":{errors},\"warnings\":{warnings},\"infos\":{infos},\"clean\":{}}}}}",
+        reports.len(),
+        errors == 0 && warnings == 0,
+    );
+    out
+}
+
+/// Publishes finding counters to a telemetry registry
+/// (`fabp_lint_findings_total{severity,rule}`, `fabp_lint_modules_total`).
+pub fn record_reports(registry: &fabp_telemetry::Registry, reports: &[Report]) {
+    if !registry.is_enabled() {
+        return;
+    }
+    registry
+        .counter("fabp_lint_modules_total", "Modules analysed by fabp-lint")
+        .add(reports.len() as u64);
+    for report in reports {
+        for finding in &report.findings {
+            registry
+                .counter_with(
+                    "fabp_lint_findings_total",
+                    "Lint findings by severity and rule",
+                    fabp_telemetry::labels(&[
+                        ("severity", finding.severity.label()),
+                        ("rule", finding.rule.name()),
+                    ]),
+                )
+                .inc();
+        }
+    }
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::parse("warn"), Some(Severity::Warn));
+        assert_eq!(Severity::parse("bogus"), None);
+    }
+
+    #[test]
+    fn rule_codes_are_unique_and_stable() {
+        let mut codes: Vec<&str> = RuleId::ALL.iter().map(|r| r.code()).collect();
+        codes.sort_unstable();
+        let before = codes.len();
+        codes.dedup();
+        assert_eq!(codes.len(), before, "duplicate rule codes");
+        assert_eq!(RuleId::CombLoop.code(), "FABP-N001");
+        assert_eq!(RuleId::PackedDecode.code(), "FABP-S005");
+    }
+
+    #[test]
+    fn report_passes_respects_threshold() {
+        let mut r = Report::new("m");
+        r.findings
+            .push(Finding::new(RuleId::DeadConst, Some(3), "x"));
+        assert!(r.passes(Severity::Warn));
+        r.findings
+            .push(Finding::new(RuleId::LutFoldable, Some(4), "y"));
+        assert!(!r.passes(Severity::Warn));
+        assert!(r.passes(Severity::Error));
+        assert_eq!(r.max_severity(), Some(Severity::Warn));
+    }
+
+    #[test]
+    fn json_escapes_and_parses_shape() {
+        let mut r = Report::new("weird \"name\"\n");
+        r.findings
+            .push(Finding::new(RuleId::CombLoop, None, "a\tb"));
+        let json = render_json_reports(&[r]);
+        assert!(json.contains("\\\"name\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"errors\":1"));
+        assert!(json.contains("\"clean\":false"));
+        // Balanced braces/brackets (cheap structural sanity).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn text_rendering_mentions_rule_and_node() {
+        let mut r = Report::new("m");
+        r.findings
+            .push(Finding::new(RuleId::RegDangling, Some(7), "dangling"));
+        let text = r.render_text();
+        assert!(text.contains("error[FABP-N003] reg-dangling @n7"), "{text}");
+    }
+}

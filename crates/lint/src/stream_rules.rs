@@ -1,0 +1,332 @@
+//! Instruction-stream rules: the bitstream-validation half of
+//! `fabp-lint`.
+//!
+//! Hardware DRC does not stop at the netlist: a FabP deployment also
+//! ships a 6-bit instruction *stream* (§III-B) and its densely packed
+//! DRAM image. [`check_instruction_set`] audits the instruction format
+//! itself — every decodable pattern must re-encode to the same bits,
+//! every encoder-producible element must survive the round trip, and the
+//! `ConfigSelect` mux table must be a self-consistent bijection with the
+//! taps the comparator hardware actually wires (`FABP-S001`/`S002`).
+//! [`check_packed`] audits one packed stream: word-count bounds,
+//! zeroed trailing bits, and per-instruction decodability
+//! (`FABP-S003`..`S005`).
+
+use crate::report::{Finding, Report, RuleId};
+use fabp_bio::alphabet::Nucleotide;
+use fabp_bio::backtranslate::{DependentFn, MatchCondition, PatternElement};
+use fabp_encoding::bitstream::PackedQuery;
+use fabp_encoding::instruction::{ConfigSelect, Instruction};
+
+/// Every pattern element the encoder can produce (4 exact nucleotides,
+/// 4 match conditions, 4 dependent functions — 12 in total).
+pub fn encodable_elements() -> Vec<PatternElement> {
+    let mut v = Vec::with_capacity(12);
+    v.extend(Nucleotide::ALL.into_iter().map(PatternElement::Exact));
+    v.extend(
+        MatchCondition::ALL
+            .into_iter()
+            .map(PatternElement::Conditional),
+    );
+    v.extend(DependentFn::ALL.into_iter().map(PatternElement::Dependent));
+    v
+}
+
+/// Audits the 6-bit instruction format and the `ConfigSelect` table.
+///
+/// The report's `stats.nodes` counts the 64 bit patterns examined.
+pub fn check_instruction_set() -> Report {
+    let mut report = Report::new("instruction-set");
+    report.stats.nodes = 64;
+
+    // Decode/encode closure: any pattern the decoder accepts must
+    // re-encode to exactly the same bits, otherwise two different DRAM
+    // images would program the same comparator.
+    for bits in 0u8..64 {
+        let instr = Instruction::from_bits(bits);
+        if let Ok(element) = instr.decode() {
+            let back = Instruction::encode(element);
+            if back != instr {
+                report.findings.push(Finding::new(
+                    RuleId::InstrRoundTrip,
+                    Some(bits as usize),
+                    format!("pattern {instr} decodes to {element} but re-encodes as {back}"),
+                ));
+            }
+        }
+    }
+
+    // Encoder coverage: all 12 producible elements must round-trip.
+    for element in encodable_elements() {
+        let instr = Instruction::encode(element);
+        match instr.decode() {
+            Ok(decoded) if decoded == element => {}
+            Ok(decoded) => report.findings.push(Finding::new(
+                RuleId::InstrRoundTrip,
+                Some(instr.bits() as usize),
+                format!("{element} encodes to {instr} which decodes to {decoded}"),
+            )),
+            Err(e) => report.findings.push(Finding::new(
+                RuleId::InstrRoundTrip,
+                Some(instr.bits() as usize),
+                format!("{element} encodes to an undecodable pattern: {e}"),
+            )),
+        }
+    }
+
+    check_config_table(&mut report);
+    report
+}
+
+/// The `ConfigSelect` table: 2-bit codes must be a bijection, every
+/// dependent function must map to the mux tap its hardware source
+/// requires, and the mux semantics must read the documented bit.
+fn check_config_table(report: &mut Report) {
+    // Code bijection.
+    let mut seen = [false; 4];
+    for cs in ConfigSelect::ALL {
+        let code = cs.code2();
+        if code > 0b11 {
+            report.findings.push(Finding::new(
+                RuleId::ConfigTable,
+                Some(code as usize),
+                format!("{cs:?} has a code outside 2 bits: {code:#04b}"),
+            ));
+            continue;
+        }
+        if seen[code as usize] {
+            report.findings.push(Finding::new(
+                RuleId::ConfigTable,
+                Some(code as usize),
+                format!("config code {code:#04b} is claimed by two selects"),
+            ));
+        }
+        seen[code as usize] = true;
+        if ConfigSelect::from_code2(code) != cs {
+            report.findings.push(Finding::new(
+                RuleId::ConfigTable,
+                Some(code as usize),
+                format!("from_code2(code2({cs:?})) is not the identity"),
+            ));
+        }
+    }
+
+    // Function-to-tap mapping: the select chosen for each dependent
+    // function must read exactly the (distance, bit) its source tap
+    // names — Stop taps Ref^{i-1}[1], Leu Ref^{i-2}[1], Arg Ref^{i-2}[0].
+    for func in DependentFn::ALL {
+        let cs = ConfigSelect::for_function(func);
+        let expected = match func.source_tap() {
+            None => ConfigSelect::QueryBit,
+            Some((1, 1)) => ConfigSelect::RefPrev1Msb,
+            Some((2, 0)) => ConfigSelect::RefPrev2Lsb,
+            Some((2, 1)) => ConfigSelect::RefPrev2Msb,
+            Some(other) => {
+                report.findings.push(Finding::new(
+                    RuleId::ConfigTable,
+                    None,
+                    format!("{func:?} taps {other:?}: no comparator mux input exists for it"),
+                ));
+                continue;
+            }
+        };
+        if cs != expected {
+            report.findings.push(Finding::new(
+                RuleId::ConfigTable,
+                Some(cs.code2() as usize),
+                format!("{func:?} selects {cs:?} but its source tap requires {expected:?}"),
+            ));
+        }
+    }
+
+    // Mux semantics: each select must return the documented bit for
+    // every context combination, and read 0 when the context is absent
+    // (hardware shift registers reset to zero).
+    let contexts: Vec<Option<Nucleotide>> = std::iter::once(None)
+        .chain(Nucleotide::ALL.into_iter().map(Some))
+        .collect();
+    for &prev1 in &contexts {
+        for &prev2 in &contexts {
+            for q3 in [false, true] {
+                let bit =
+                    |n: Option<Nucleotide>, b: u8| n.is_some_and(|n| (n.code2() >> b) & 1 == 1);
+                let cases = [
+                    (ConfigSelect::QueryBit, q3),
+                    (ConfigSelect::RefPrev1Msb, bit(prev1, 1)),
+                    (ConfigSelect::RefPrev2Lsb, bit(prev2, 0)),
+                    (ConfigSelect::RefPrev2Msb, bit(prev2, 1)),
+                ];
+                for (cs, expected) in cases {
+                    if cs.select(q3, prev1, prev2) != expected {
+                        report.findings.push(Finding::new(
+                            RuleId::ConfigTable,
+                            Some(cs.code2() as usize),
+                            format!(
+                                "{cs:?}.select(q3={q3}, prev1={prev1:?}, prev2={prev2:?}) \
+                                 returned the wrong bit"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Audits one packed instruction stream under the name `stream`.
+///
+/// The report's `stats.nodes` counts the packed instructions; findings
+/// carry the instruction index as their node id.
+pub fn check_packed(stream: &str, packed: &PackedQuery) -> Report {
+    let mut report = Report::new(stream);
+    report.stats.nodes = packed.len();
+
+    // Word-count bound: exactly ceil(len * 6 / 64) words, no more, no
+    // fewer — an over-allocated image wastes DRAM bandwidth, an
+    // under-allocated one reads out of bounds on the device.
+    let used_bits = packed.len() * PackedQuery::BITS_PER_INSTRUCTION;
+    let expected_words = used_bits.div_ceil(64);
+    if packed.words().len() != expected_words {
+        report.findings.push(Finding::new(
+            RuleId::PackedBounds,
+            None,
+            format!(
+                "{} instructions need {expected_words} word(s) but the stream holds {}",
+                packed.len(),
+                packed.words().len()
+            ),
+        ));
+        return report; // bit-level checks would index out of bounds
+    }
+
+    // Trailing bits: everything beyond the last instruction must be
+    // zero, or the device's tail-masking assumptions are violated.
+    let mut trailing_set = false;
+    for (w, &word) in packed.words().iter().enumerate() {
+        let word_base = w * 64;
+        let live = used_bits.saturating_sub(word_base).min(64);
+        let mask = if live >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << live) - 1
+        };
+        if word & !mask != 0 {
+            trailing_set = true;
+        }
+    }
+    if trailing_set {
+        report.findings.push(Finding::new(
+            RuleId::PackedTrailing,
+            None,
+            format!("bits beyond instruction {} are not zero", packed.len()),
+        ));
+    }
+
+    // Per-instruction decode, then the whole-stream round trip.
+    let mut decodable = true;
+    for i in 0..packed.len() {
+        let instr = Instruction::from_bits(packed.bits_at(i));
+        if let Err(e) = instr.decode() {
+            decodable = false;
+            report.findings.push(Finding::new(
+                RuleId::PackedDecode,
+                Some(i),
+                format!("packed instruction does not decode: {e}"),
+            ));
+        }
+    }
+    if decodable {
+        match packed.unpack() {
+            Ok(query) => {
+                if &PackedQuery::from_query(&query) != packed {
+                    report.findings.push(Finding::new(
+                        RuleId::PackedDecode,
+                        None,
+                        "unpack → repack does not reproduce the stream bit-for-bit",
+                    ));
+                }
+            }
+            Err(e) => report.findings.push(Finding::new(
+                RuleId::PackedDecode,
+                None,
+                format!("stream-level unpack failed: {e}"),
+            )),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_bio::seq::ProteinSeq;
+    use fabp_encoding::encoder::EncodedQuery;
+
+    fn packed_for(protein: &str) -> PackedQuery {
+        let protein: ProteinSeq = protein.parse().unwrap();
+        PackedQuery::from_query(&EncodedQuery::from_protein(&protein))
+    }
+
+    #[test]
+    fn instruction_set_is_clean() {
+        let report = check_instruction_set();
+        assert!(report.findings.is_empty(), "{}", report.render_text());
+        assert_eq!(report.stats.nodes, 64);
+    }
+
+    #[test]
+    fn twelve_elements_are_encodable() {
+        assert_eq!(encodable_elements().len(), 12);
+    }
+
+    #[test]
+    fn well_formed_streams_are_clean() {
+        for protein in ["M", "MF", "MFSRW", "MAGICLYWHVRKNDE"] {
+            let packed = packed_for(protein);
+            let report = check_packed(protein, &packed);
+            assert!(
+                report.findings.is_empty(),
+                "{protein}: {}",
+                report.render_text()
+            );
+            assert_eq!(report.stats.nodes, packed.len());
+        }
+    }
+
+    #[test]
+    fn corrupt_instruction_is_a_decode_error() {
+        // Setting a Type I instruction's config bits makes it invalid.
+        let query = EncodedQuery::from_protein(&"M".parse::<ProteinSeq>().unwrap());
+        let packed = PackedQuery::from_query(&query);
+        let mut words = packed.words().to_vec();
+        words[0] |= 0b01;
+        let corrupted = PackedQuery::from_raw_parts(words, packed.len());
+        let report = check_packed("corrupt", &corrupted);
+        let found = report.findings_for(RuleId::PackedDecode);
+        assert!(!found.is_empty(), "{}", report.render_text());
+        assert_eq!(found[0].node, Some(0));
+    }
+
+    #[test]
+    fn trailing_bits_are_flagged() {
+        let query = EncodedQuery::from_protein(&"MF".parse::<ProteinSeq>().unwrap());
+        let packed = PackedQuery::from_query(&query);
+        // 6 instructions × 6 bits = 36 used bits; set bit 40.
+        let mut words = packed.words().to_vec();
+        words[0] |= 1u64 << 40;
+        let corrupted = PackedQuery::from_raw_parts(words, packed.len());
+        let report = check_packed("trailing", &corrupted);
+        assert_eq!(report.findings_for(RuleId::PackedTrailing).len(), 1);
+    }
+
+    #[test]
+    fn word_count_mismatch_is_bounds_error() {
+        let query = EncodedQuery::from_protein(&"MF".parse::<ProteinSeq>().unwrap());
+        let packed = PackedQuery::from_query(&query);
+        let mut words = packed.words().to_vec();
+        words.push(0); // over-allocated image
+        let corrupted = PackedQuery::from_raw_parts(words, packed.len());
+        let report = check_packed("bounds", &corrupted);
+        assert_eq!(report.findings_for(RuleId::PackedBounds).len(), 1);
+    }
+}

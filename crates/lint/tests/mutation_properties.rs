@@ -1,0 +1,135 @@
+//! Property-based mutation testing: whatever structural mutilation we
+//! apply to a clean netlist — cutting a wire, looping an edge back,
+//! blanking a LUT, disconnecting a register — the linter must produce
+//! at least one Error-level finding. This is the linter's own test
+//! oracle: a mutation the DRC misses is a hole in the rule set.
+
+use fabp_fpga::netlist::{Netlist, NodeId, NodeKind};
+use fabp_fpga::pipeline::PipelinedPopCounter;
+use fabp_fpga::popcount::{PopCounter, PopStyle};
+use fabp_fpga::primitives::Lut6;
+use fabp_lint::{check_netlist, LintConfig, Severity};
+use proptest::prelude::*;
+
+/// The mutation corpus donor: wide enough to have carries, LUT trees
+/// and (for the pipelined variant) registers.
+fn donor(pipelined: bool) -> Netlist {
+    if pipelined {
+        PipelinedPopCounter::build(50, PopStyle::HandCrafted)
+            .netlist()
+            .clone()
+    } else {
+        PopCounter::build(50, PopStyle::HandCrafted)
+            .netlist()
+            .clone()
+    }
+}
+
+fn luts(n: &Netlist) -> Vec<NodeId> {
+    n.node_ids()
+        .filter(|&id| matches!(n.node_kind(id), NodeKind::Lut(..)))
+        .collect()
+}
+
+fn regs(n: &Netlist) -> Vec<NodeId> {
+    n.node_ids()
+        .filter(|&id| matches!(n.node_kind(id), NodeKind::Reg { .. }))
+        .collect()
+}
+
+fn has_error(n: &Netlist) -> bool {
+    let report = check_netlist("mutated", n, &LintConfig::default());
+    report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Error)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cutting any LUT pin (rewiring it to the dangling sentinel) is
+    /// always an Error.
+    #[test]
+    fn cut_wire_always_errors(
+        pipelined in any::<bool>(),
+        lut_pick in 0usize..1000,
+        pin in 0usize..6,
+    ) {
+        let mut n = donor(pipelined);
+        let luts = luts(&n);
+        let lut = luts[lut_pick % luts.len()];
+        n.rewire_lut_pin(lut, pin, NodeId::DANGLING);
+        prop_assert!(has_error(&n));
+    }
+
+    /// Rewiring any LUT pin onto the LUT itself is always an Error
+    /// (a one-node combinational cycle).
+    #[test]
+    fn self_loop_always_errors(
+        pipelined in any::<bool>(),
+        lut_pick in 0usize..1000,
+        pin in 0usize..6,
+    ) {
+        let mut n = donor(pipelined);
+        let luts = luts(&n);
+        let lut = luts[lut_pick % luts.len()];
+        n.rewire_lut_pin(lut, pin, lut);
+        prop_assert!(has_error(&n));
+    }
+
+    /// Rewiring a LUT pin *forward* to any strictly later LUT closes a
+    /// backward edge in the topological order. The result is an Error
+    /// whenever the rewire creates a cycle; when it merely re-routes
+    /// (the later node does not feed back), the netlist must still
+    /// never silently pass with a broken STA cross-check.
+    #[test]
+    fn forward_rewire_never_panics_and_loops_error(
+        pipelined in any::<bool>(),
+        lut_pick in 0usize..1000,
+        target_pick in 0usize..1000,
+        pin in 0usize..6,
+    ) {
+        let mut n = donor(pipelined);
+        let luts = luts(&n);
+        let lut = luts[lut_pick % luts.len()];
+        // Pick a target at or after the mutated LUT in creation order.
+        let later: Vec<NodeId> = luts.iter().copied().filter(|&l| l >= lut).collect();
+        let target = later[target_pick % later.len()];
+        n.rewire_lut_pin(lut, pin, target);
+        // The linter must terminate and classify; self/forward loops
+        // are Errors, pure re-routes may be clean or warn.
+        let report = check_netlist("rewired", &n, &LintConfig::default());
+        if target == lut {
+            prop_assert!(report.findings.iter().any(|f| f.severity == Severity::Error));
+        }
+        // Regardless of outcome the traversal terminated (no hang, no
+        // panic) — reaching this line is the property.
+        prop_assert!(report.stats.nodes > 0);
+    }
+
+    /// Blanking any LUT's truth table (all-0 or all-1 INIT) is always
+    /// an Error.
+    #[test]
+    fn blank_lut_always_errors(
+        pipelined in any::<bool>(),
+        lut_pick in 0usize..1000,
+        ones in any::<bool>(),
+    ) {
+        let mut n = donor(pipelined);
+        let luts = luts(&n);
+        let lut = luts[lut_pick % luts.len()];
+        n.set_lut_table(lut, Lut6::from_init(if ones { u64::MAX } else { 0 }));
+        prop_assert!(has_error(&n));
+    }
+
+    /// Disconnecting any register is always an Error.
+    #[test]
+    fn disconnect_reg_always_errors(reg_pick in 0usize..1000) {
+        let mut n = donor(true);
+        let regs = regs(&n);
+        let reg = regs[reg_pick % regs.len()];
+        n.disconnect_reg(reg);
+        prop_assert!(has_error(&n));
+    }
+}

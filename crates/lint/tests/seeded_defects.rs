@@ -1,0 +1,134 @@
+//! Seeded-defect acceptance tests (the issue's hard criterion): inject
+//! one known defect into a known-clean shipped module and demand that
+//! the linter reports **exactly** the expected rule-id Error — in the
+//! findings, the text rendering, and the machine JSON.
+
+use fabp_fpga::netlist::{Netlist, NodeId, NodeKind};
+use fabp_fpga::primitives::Lut6;
+use fabp_lint::{check_netlist, render_json_reports, LintConfig, Report, RuleId, Severity};
+
+/// A clean donor module for defect injection: the 36-bit hand-crafted
+/// Pop-Counter (LUTs, carries, constants — every node kind but FFs).
+fn donor() -> Netlist {
+    fabp_fpga::popcount::PopCounter::build(36, fabp_fpga::popcount::PopStyle::HandCrafted)
+        .netlist()
+        .clone()
+}
+
+/// A clean donor with registers: the pipelined 72-bit counter.
+fn donor_with_regs() -> Netlist {
+    fabp_fpga::pipeline::PipelinedPopCounter::build(72, fabp_fpga::popcount::PopStyle::HandCrafted)
+        .netlist()
+        .clone()
+}
+
+fn first_lut(n: &Netlist) -> NodeId {
+    n.node_ids()
+        .find(|&id| matches!(n.node_kind(id), NodeKind::Lut(..)))
+        .expect("donor has LUTs")
+}
+
+fn first_reg(n: &Netlist) -> NodeId {
+    n.node_ids()
+        .find(|&id| matches!(n.node_kind(id), NodeKind::Reg { .. }))
+        .expect("donor has registers")
+}
+
+/// Asserts the defect report carries exactly one Error, with the
+/// expected rule, and that both renderers agree.
+fn assert_single_error(report: &Report, rule: RuleId, node: NodeId) {
+    let errors: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .collect();
+    assert_eq!(
+        errors.len(),
+        1,
+        "expected exactly one Error:\n{}",
+        report.render_text()
+    );
+    assert_eq!(errors[0].rule, rule);
+    assert_eq!(errors[0].node, Some(node.index()));
+
+    // Text rendering names the rule id and node.
+    let text = report.render_text();
+    let tag = format!("error[{}] {} @n{}", rule.code(), rule.name(), node.index());
+    assert!(text.contains(&tag), "missing {tag:?} in:\n{text}");
+
+    // JSON rendering carries the same rule id at error severity.
+    let json = render_json_reports(std::slice::from_ref(report));
+    let expect = format!(
+        "{{\"rule\":\"{}\",\"name\":\"{}\",\"severity\":\"error\",\"node\":{}",
+        rule.code(),
+        rule.name(),
+        node.index()
+    );
+    assert!(json.contains(&expect), "missing {expect} in:\n{json}");
+    assert!(json.contains("\"clean\":false"));
+}
+
+#[test]
+fn donors_start_clean() {
+    let cfg = LintConfig::default();
+    for (name, n) in [("pop36", donor()), ("pipe72", donor_with_regs())] {
+        let report = check_netlist(name, &n, &cfg);
+        assert!(
+            report.passes(Severity::Warn),
+            "{name} is not warn-clean:\n{}",
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn seeded_comb_loop_reports_fabp_n001() {
+    let mut n = donor();
+    let lut = first_lut(&n);
+    // Wire the LUT's first pin back to its own output: a one-node
+    // combinational cycle.
+    n.rewire_lut_pin(lut, 0, lut);
+    let report = check_netlist("seeded-loop", &n, &LintConfig::default());
+    assert_single_error(&report, RuleId::CombLoop, lut);
+    // The cross-check must not have run on a corrupt netlist.
+    assert!(report.stats.sta_levels.is_none());
+}
+
+#[test]
+fn seeded_dangling_register_reports_fabp_n003() {
+    let mut n = donor_with_regs();
+    let reg = first_reg(&n);
+    n.disconnect_reg(reg);
+    let report = check_netlist("seeded-dangling", &n, &LintConfig::default());
+    assert_single_error(&report, RuleId::RegDangling, reg);
+}
+
+#[test]
+fn seeded_constant_lut_reports_fabp_n005() {
+    let mut n = donor();
+    let lut = first_lut(&n);
+    // Blank the truth table — the SEU that zeroes a LUT's config cells.
+    n.set_lut_table(lut, Lut6::from_init(0));
+    let report = check_netlist("seeded-const", &n, &LintConfig::default());
+    assert_single_error(&report, RuleId::LutConst, lut);
+}
+
+#[test]
+fn seeded_cut_wire_reports_fabp_n002() {
+    let mut n = donor();
+    let lut = first_lut(&n);
+    n.rewire_lut_pin(lut, 2, NodeId::DANGLING);
+    let report = check_netlist("seeded-cut", &n, &LintConfig::default());
+    assert_single_error(&report, RuleId::FloatingPin, lut);
+}
+
+#[test]
+fn seeded_defects_fail_the_default_gate() {
+    let mut n = donor();
+    let lut = first_lut(&n);
+    n.rewire_lut_pin(lut, 0, lut);
+    let report = check_netlist("gate", &n, &LintConfig::default());
+    assert!(!report.passes(Severity::Error));
+    assert!(!report.passes(Severity::Warn));
+    assert_eq!(report.max_severity(), Some(Severity::Error));
+}

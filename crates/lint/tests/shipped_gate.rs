@@ -1,0 +1,114 @@
+//! The CI gate, as a test: every shipped module and stream must be
+//! warn-clean, and the linter's independent logic-depth traversal must
+//! agree with `sta::analyze` on every shipped module (the issue's
+//! acceptance criterion).
+
+use fabp_fpga::sta::{self, DelayModel};
+use fabp_lint::{
+    check_all, record_reports, render_json_reports, shipped_modules, LintConfig, RuleId, Severity,
+};
+
+#[test]
+fn all_shipped_artifacts_pass_deny_warn() {
+    for report in check_all(&LintConfig::default()) {
+        assert!(
+            report.passes(Severity::Warn),
+            "{} fails --deny warn:\n{}",
+            report.module,
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn lint_depth_agrees_with_sta_on_every_shipped_module() {
+    let config = LintConfig::default();
+    for module in shipped_modules() {
+        let netlist = module.build();
+        let report = fabp_lint::check_module(module.name, &netlist, &config);
+        // The cross-check ran (clean netlist) and found no mismatch.
+        assert!(
+            report.findings_for(RuleId::StaMismatch).is_empty(),
+            "{}:\n{}",
+            module.name,
+            report.render_text()
+        );
+        let sta_levels = report
+            .stats
+            .sta_levels
+            .unwrap_or_else(|| panic!("{}: cross-check did not run", module.name));
+        assert_eq!(
+            report.stats.logic_depth, sta_levels,
+            "{}: lint depth vs sta levels",
+            module.name
+        );
+        // And against a *fresh* STA run, independent of the report.
+        let timing = sta::analyze(&netlist, &DelayModel::default());
+        assert_eq!(
+            timing.max_levels, report.stats.logic_depth,
+            "{}",
+            module.name
+        );
+    }
+}
+
+#[test]
+fn full_run_json_summary_is_clean() {
+    let reports = check_all(&LintConfig::default());
+    let json = render_json_reports(&reports);
+    assert!(json.contains("\"fabp_lint\":{\"schema\":1}"));
+    assert!(json.contains("\"errors\":0"));
+    assert!(json.contains("\"warnings\":0"));
+    assert!(json.contains("\"clean\":true"));
+    // Every shipped module appears by name.
+    for module in shipped_modules() {
+        assert!(
+            json.contains(&format!("\"module\":\"{}\"", module.name)),
+            "{} missing from JSON",
+            module.name
+        );
+    }
+}
+
+#[test]
+fn telemetry_counters_count_findings() {
+    let registry = fabp_telemetry::Registry::new();
+    let reports = check_all(&LintConfig::default());
+    record_reports(&registry, &reports);
+    let snapshot = registry.snapshot();
+    let prom = snapshot.to_prometheus();
+    assert!(
+        prom.contains("fabp_lint_modules_total"),
+        "missing module counter:\n{prom}"
+    );
+    let total_findings: usize = reports.iter().map(|r| r.findings.len()).sum();
+    if total_findings > 0 {
+        assert!(prom.contains("fabp_lint_findings_total"), "{prom}");
+    }
+}
+
+#[test]
+fn shipped_modules_have_sane_stats() {
+    // Spot checks pinning the paper's structural claims through the
+    // lint stats: the comparator is 2 LUTs / 2 levels; the pipelined
+    // 750-bit Pop-Counter never exceeds 2 LUT levels between registers.
+    let config = LintConfig::default();
+    let by_name = |name: &str| {
+        let module = fabp_lint::find_module(name).expect(name);
+        fabp_lint::check_module(name, &module.build(), &config)
+    };
+    let cmp = by_name("comparator-cell");
+    assert_eq!(cmp.stats.luts, 2);
+    assert_eq!(cmp.stats.logic_depth, 2);
+
+    let pipe = by_name("pop750-pipelined");
+    assert!(pipe.stats.ffs > 0);
+    assert!(
+        pipe.stats.logic_depth <= 2,
+        "pipelined depth {}",
+        pipe.stats.logic_depth
+    );
+
+    let flat = by_name("pop750-handcrafted");
+    assert!(flat.stats.logic_depth > pipe.stats.logic_depth);
+}

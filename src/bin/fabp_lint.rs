@@ -1,0 +1,195 @@
+//! `fabp_lint` — netlist & instruction-stream static analysis CLI.
+//!
+//! Runs the `fabp-lint` rule set over the shipped module generators and
+//! packed-stream corpus, prints per-module reports, and exits non-zero
+//! when any finding reaches the `--deny` threshold. This is the CI
+//! gate: `fabp_lint --all-modules --deny warn` must exit 0 on every
+//! commit.
+//!
+//! ```text
+//! fabp_lint --all-modules --deny warn --json /tmp/lint-report.json
+//! fabp_lint --module pop750-pipelined --module comparator-cell
+//! fabp_lint --list-modules
+//! ```
+
+use fabp_lint::{
+    check_instruction_set, check_netlist, check_packed, find_module, record_reports,
+    render_json_reports, shipped_modules, shipped_streams, LintConfig, Report, Severity,
+};
+use fabp_telemetry::Registry;
+use std::process::ExitCode;
+
+struct Options {
+    all_modules: bool,
+    modules: Vec<String>,
+    list_modules: bool,
+    deny: Severity,
+    json: Option<String>,
+    metrics_out: Option<String>,
+    quiet: bool,
+    fanout_limit: Option<usize>,
+}
+
+const USAGE: &str = "\
+fabp_lint — hardware DRC over the FabP software model
+
+USAGE:
+    fabp_lint [OPTIONS]
+
+OPTIONS:
+    --all-modules          Lint every shipped module generator and packed
+                           stream (default when no --module is given)
+    --module NAME          Lint one shipped module (repeatable)
+    --list-modules         Print the shipped module and stream names
+    --deny LEVEL           Exit non-zero when any finding is at or above
+                           LEVEL: info | warn | error  [default: error]
+    --fanout-limit N       Override the high-fanout warning threshold
+    --json PATH            Write the machine-readable report to PATH
+                           ('-' for stdout)
+    --metrics-out PATH     Write Prometheus-format lint counters to PATH
+    --quiet                Suppress per-module text output
+    -h, --help             Show this help
+";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        all_modules: false,
+        modules: Vec::new(),
+        list_modules: false,
+        deny: Severity::Error,
+        json: None,
+        metrics_out: None,
+        quiet: false,
+        fanout_limit: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--all-modules" => opts.all_modules = true,
+            "--module" => opts.modules.push(value_for("--module")?),
+            "--list-modules" => opts.list_modules = true,
+            "--deny" => {
+                let level = value_for("--deny")?;
+                opts.deny = Severity::parse(&level)
+                    .ok_or_else(|| format!("unknown --deny level {level:?}"))?;
+            }
+            "--fanout-limit" => {
+                let n = value_for("--fanout-limit")?;
+                opts.fanout_limit =
+                    Some(n.parse().map_err(|_| format!("bad --fanout-limit {n:?}"))?);
+            }
+            "--json" => opts.json = Some(value_for("--json")?),
+            "--metrics-out" => opts.metrics_out = Some(value_for("--metrics-out")?),
+            "--quiet" => opts.quiet = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<ExitCode, String> {
+    if opts.list_modules {
+        for module in shipped_modules() {
+            println!("{}", module.name);
+        }
+        for (name, _) in shipped_streams() {
+            println!("{name}");
+        }
+        println!("instruction-set");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut config = LintConfig::default();
+    if let Some(limit) = opts.fanout_limit {
+        config.fanout_warn_limit = limit;
+    }
+
+    let reports: Vec<Report> = if !opts.modules.is_empty() {
+        let mut reports = Vec::new();
+        for name in &opts.modules {
+            if name == "instruction-set" {
+                reports.push(check_instruction_set());
+                continue;
+            }
+            if let Some((_, packed)) = shipped_streams().into_iter().find(|(n, _)| n == name) {
+                reports.push(check_packed(name, &packed));
+                continue;
+            }
+            let module = find_module(name)
+                .ok_or_else(|| format!("no shipped module {name:?} (try --list-modules)"))?;
+            reports.push(check_netlist(module.name, &module.build(), &config));
+        }
+        reports
+    } else {
+        // --all-modules, also the default action.
+        fabp_lint::check_all(&config)
+    };
+
+    // Telemetry counters (also exported with --metrics-out).
+    let registry = Registry::new();
+    record_reports(&registry, &reports);
+
+    if !opts.quiet {
+        for report in &reports {
+            print!("{}", report.render_text());
+        }
+    }
+    let errors: usize = reports.iter().map(|r| r.count(Severity::Error)).sum();
+    let warnings: usize = reports.iter().map(|r| r.count(Severity::Warn)).sum();
+    let infos: usize = reports.iter().map(|r| r.count(Severity::Info)).sum();
+    if !opts.quiet {
+        println!(
+            "fabp_lint: {} module(s), {errors} error(s), {warnings} warning(s), {infos} info(s)",
+            reports.len()
+        );
+    }
+
+    if let Some(path) = &opts.json {
+        let json = render_json_reports(&reports);
+        if path == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        }
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, registry.snapshot().to_prometheus())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    }
+
+    let denied = reports.iter().any(|r| !r.passes(opts.deny));
+    Ok(if denied {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("fabp_lint: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("fabp_lint: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -91,6 +91,15 @@ impl From<PlanError> for BuildError {
     }
 }
 
+impl From<BuildError> for fabp_resilience::FabpError {
+    fn from(e: BuildError) -> fabp_resilience::FabpError {
+        match e {
+            BuildError::EmptyQuery => fabp_resilience::FabpError::EmptyQuery,
+            BuildError::Plan(p) => fabp_resilience::FabpError::Plan(p.to_string()),
+        }
+    }
+}
+
 /// Result of one search.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {

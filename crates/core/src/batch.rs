@@ -6,8 +6,9 @@
 //! multi-millisecond scan); in software we additionally parallelise across
 //! queries.
 
-use crate::aligner::{BuildError, Engine, FabpAligner, SearchOutcome, Threshold};
+use crate::aligner::{Engine, FabpAligner, SearchOutcome, Threshold};
 use fabp_bio::seq::{ProteinSeq, RnaSeq};
+use fabp_resilience::{FabpError, FabpResult};
 
 /// Searches every query against the reference, returning one outcome per
 /// query (input order preserved).
@@ -17,13 +18,14 @@ use fabp_bio::seq::{ProteinSeq, RnaSeq};
 ///
 /// # Errors
 ///
-/// Returns the first [`BuildError`] encountered (e.g. an empty query).
+/// Returns the first build failure encountered, mapped into the workspace
+/// [`FabpError`] taxonomy (e.g. [`FabpError::EmptyQuery`]).
 pub fn search_all(
     queries: &[ProteinSeq],
     reference: &RnaSeq,
     threshold: Threshold,
     threads: usize,
-) -> Result<Vec<SearchOutcome>, BuildError> {
+) -> FabpResult<Vec<SearchOutcome>> {
     // Build all aligners up front so errors surface before work starts.
     let aligners = queries
         .iter()
@@ -33,8 +35,9 @@ pub fn search_all(
                 .threshold(threshold)
                 .engine(Engine::Software { threads: 1 })
                 .build()
+                .map_err(FabpError::from)
         })
-        .collect::<Result<Vec<_>, _>>()?;
+        .collect::<FabpResult<Vec<_>>>()?;
 
     let threads = threads.max(1).min(aligners.len().max(1));
     if threads <= 1 {
@@ -82,10 +85,15 @@ pub fn search_all(
         }
     });
 
-    Ok(outcomes
+    outcomes
         .into_iter()
-        .map(|o| o.expect("every slot filled by a worker"))
-        .collect())
+        .enumerate()
+        .map(|(i, o)| {
+            o.ok_or_else(|| {
+                FabpError::Internal(format!("batch worker left outcome slot {i} unfilled"))
+            })
+        })
+        .collect()
 }
 
 /// Summary of a batch run: how many queries produced at least one hit.

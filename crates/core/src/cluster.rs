@@ -11,19 +11,39 @@ use crate::hits::Hit;
 use fabp_bio::seq::{PackedSeq, RnaSeq};
 use fabp_encoding::encoder::EncodedQuery;
 use fabp_fpga::engine::{EngineConfig, FabpEngine};
-use fabp_fpga::resources::PlanError;
+use fabp_resilience::telemetry as rtel;
+use fabp_resilience::{
+    FabpError, FabpResult, FaultSchedule, ResilienceLevel, ResilienceReport, ResilientRunner,
+};
+
+/// Splits `total_bases` into `nodes` contiguous shards, sizes differing by
+/// at most one base.
+///
+/// # Errors
+///
+/// Returns [`FabpError::InvalidShardPlan`] if `nodes == 0`.
+pub fn try_shard_database(total_bases: u64, nodes: usize) -> FabpResult<Vec<u64>> {
+    if nodes == 0 {
+        return Err(FabpError::InvalidShardPlan(
+            "a cluster needs at least one node".into(),
+        ));
+    }
+    let base = total_bases / nodes as u64;
+    let extra = (total_bases % nodes as u64) as usize;
+    Ok((0..nodes).map(|i| base + u64::from(i < extra)).collect())
+}
 
 /// Splits `total_bases` into `nodes` contiguous shards, sizes differing by
 /// at most one base.
 ///
 /// # Panics
 ///
-/// Panics if `nodes == 0`.
+/// Panics if `nodes == 0`; use [`try_shard_database`] for a typed error.
 pub fn shard_database(total_bases: u64, nodes: usize) -> Vec<u64> {
-    assert!(nodes > 0, "a cluster needs at least one node");
-    let base = total_bases / nodes as u64;
-    let extra = (total_bases % nodes as u64) as usize;
-    (0..nodes).map(|i| base + u64::from(i < extra)).collect()
+    match try_shard_database(total_bases, nodes) {
+        Ok(shards) => shards,
+        Err(e) => panic!("a cluster needs at least one node: {e}"),
+    }
 }
 
 /// A modelled FPGA cluster with one engine per node.
@@ -51,14 +71,19 @@ impl FpgaCluster {
     ///
     /// # Errors
     ///
-    /// Propagates planning failure (query too large for the device).
+    /// [`FabpError::InvalidShardPlan`] for a zero-node cluster,
+    /// [`FabpError::EmptyQuery`] for an empty query, and
+    /// [`FabpError::Plan`] when the query cannot fit the device.
     pub fn homogeneous(
         query: &EncodedQuery,
         config: &EngineConfig,
         nodes: usize,
         total_bases: u64,
-    ) -> Result<FpgaCluster, PlanError> {
-        let shard_bases = shard_database(total_bases, nodes);
+    ) -> FabpResult<FpgaCluster> {
+        if query.is_empty() {
+            return Err(FabpError::EmptyQuery);
+        }
+        let shard_bases = try_shard_database(total_bases, nodes)?;
         let engines = (0..nodes)
             .map(|_| FabpEngine::new(query.clone(), config.clone()))
             .collect::<Result<Vec<_>, _>>()?;
@@ -118,9 +143,13 @@ impl FpgaCluster {
     /// merging hits into global coordinates. `shards` must align with the
     /// cluster's shard sizes and carry `query_len - 1` bases of overlap
     /// handled by the caller via [`shard_with_overlap`].
-    pub fn search(&self, shards: &[RnaSeq], shard_offsets: &[usize]) -> Vec<Hit> {
-        assert_eq!(shards.len(), self.engines.len(), "shard count mismatch");
-        assert_eq!(shards.len(), shard_offsets.len());
+    ///
+    /// # Errors
+    ///
+    /// [`FabpError::InvalidShardPlan`] when the shard or offset counts do
+    /// not match the cluster's node count.
+    pub fn search(&self, shards: &[RnaSeq], shard_offsets: &[usize]) -> FabpResult<Vec<Hit>> {
+        self.check_shards(shards, shard_offsets)?;
         let mut hits = Vec::new();
         for ((engine, shard), &offset) in self.engines.iter().zip(shards).zip(shard_offsets) {
             let run = engine.run(&PackedSeq::from_rna(shard));
@@ -131,30 +160,314 @@ impl FpgaCluster {
         }
         hits.sort_by_key(|h| h.position);
         hits.dedup();
-        hits
+        Ok(hits)
     }
+
+    fn check_shards(&self, shards: &[RnaSeq], shard_offsets: &[usize]) -> FabpResult<()> {
+        if shards.len() != self.engines.len() {
+            return Err(FabpError::InvalidShardPlan(format!(
+                "shard count {} does not match node count {}",
+                shards.len(),
+                self.engines.len()
+            )));
+        }
+        if shards.len() != shard_offsets.len() {
+            return Err(FabpError::InvalidShardPlan(format!(
+                "offset count {} does not match shard count {}",
+                shard_offsets.len(),
+                shards.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Executes one query under a fault schedule with the configured
+    /// resilience level, surviving node deaths by re-dispatching the
+    /// dead node's shard to a survivor.
+    ///
+    /// Engine-level faults (beat flips, config upsets, stalls, query
+    /// flips) from `schedule` are applied to **every** node's shard run;
+    /// [`fabp_resilience::FaultKind::NodeKill`] events mark whole nodes
+    /// dead. Under [`ResilienceLevel::Recover`] each orphaned shard is
+    /// re-run on a surviving node (round-robin) and the merged hits are
+    /// bit-identical to the fault-free search; the outcome reports the
+    /// recomputed [`ClusterTiming`] and throughput penalty. Under
+    /// `Detect` a node death fails fast with [`FabpError::NodeDown`];
+    /// under `Off` the dead node's hits are silently missing.
+    ///
+    /// # Errors
+    ///
+    /// [`FabpError::InvalidShardPlan`] on shard/offset count mismatch,
+    /// [`FabpError::NodeDown`] when detection is on without recovery or
+    /// when every node died, and any engine-level error propagated from
+    /// [`ResilientRunner::run`].
+    pub fn search_resilient(
+        &self,
+        shards: &[RnaSeq],
+        shard_offsets: &[usize],
+        level: ResilienceLevel,
+        schedule: &FaultSchedule,
+        registry: &fabp_telemetry::Registry,
+    ) -> FabpResult<ClusterSearchOutcome> {
+        self.check_shards(shards, shard_offsets)?;
+        let nodes = self.engines.len();
+
+        // Which nodes die this run.
+        let mut dead: Vec<usize> = schedule
+            .node_kills()
+            .map(|(node, _)| node)
+            .filter(|&n| n < nodes)
+            .collect();
+        dead.sort_unstable();
+        dead.dedup();
+        let survivors: Vec<usize> = (0..nodes).filter(|n| !dead.contains(n)).collect();
+        if !dead.is_empty() && survivors.is_empty() {
+            return Err(FabpError::NodeDown { node: dead[0] });
+        }
+
+        let mut report = ResilienceReport::default();
+        let mut hits = Vec::new();
+        // Orphan shards re-dispatched to survivors, round-robin:
+        // (orphan shard index, survivor node index).
+        let mut redispatch: Vec<(usize, usize)> = Vec::new();
+        let mut next_survivor = 0usize;
+
+        for node in 0..nodes {
+            if dead.contains(&node) {
+                rtel::count_node_killed(registry);
+                rtel::count_injected(registry, "node_kill");
+                report.injected += 1;
+                match level {
+                    ResilienceLevel::Off => continue, // results silently lost
+                    ResilienceLevel::Detect => {
+                        // `report` is dropped on the error path, so only the
+                        // registry records the detection.
+                        rtel::count_detected(registry, "node_kill");
+                        return Err(FabpError::NodeDown { node });
+                    }
+                    ResilienceLevel::Recover => {
+                        report.detected += 1;
+                        rtel::count_detected(registry, "node_kill");
+                        let survivor = survivors[next_survivor % survivors.len()];
+                        next_survivor += 1;
+                        redispatch.push((node, survivor));
+                        rtel::count_shard_redispatched(registry);
+                        continue;
+                    }
+                }
+            }
+            let node_hits = self.run_shard(
+                node,
+                &shards[node],
+                shard_offsets[node],
+                level,
+                schedule,
+                registry,
+                &mut report,
+            )?;
+            hits.extend(node_hits);
+        }
+
+        // Re-dispatch orphaned shards to their assigned survivors.
+        for &(orphan, survivor) in &redispatch {
+            let node_hits = self.run_shard(
+                survivor,
+                &shards[orphan],
+                shard_offsets[orphan],
+                level,
+                schedule,
+                registry,
+                &mut report,
+            )?;
+            hits.extend(node_hits);
+            report.recovered += 1;
+            rtel::count_recovered(registry, "node_kill");
+        }
+
+        hits.sort_by_key(|h| h.position);
+        hits.dedup();
+
+        let degraded = if !dead.is_empty() && level.recovers() {
+            let nominal = self.timing();
+            let degraded = self.degraded_timing(&redispatch)?;
+            let penalty = 1.0
+                - if nominal.queries_per_second > 0.0 {
+                    degraded.queries_per_second / nominal.queries_per_second
+                } else {
+                    1.0
+                };
+            rtel::record_degraded_throughput(
+                registry,
+                ((1.0 - penalty).clamp(0.0, 1.0) * 1000.0).round() as i64,
+            );
+            Some(DegradedTiming {
+                nominal,
+                degraded,
+                throughput_penalty: penalty,
+            })
+        } else {
+            None
+        };
+
+        Ok(ClusterSearchOutcome {
+            hits,
+            report,
+            dead_nodes: dead,
+            degraded,
+        })
+    }
+
+    /// Runs one shard on one node's engine under the schedule's
+    /// engine-level faults, translating hits into global coordinates.
+    #[allow(clippy::too_many_arguments)]
+    fn run_shard(
+        &self,
+        node: usize,
+        shard: &RnaSeq,
+        offset: usize,
+        level: ResilienceLevel,
+        schedule: &FaultSchedule,
+        registry: &fabp_telemetry::Registry,
+        report: &mut ResilienceReport,
+    ) -> FabpResult<Vec<Hit>> {
+        let engine = self
+            .engines
+            .get(node)
+            .ok_or_else(|| FabpError::Internal(format!("node {node} has no engine")))?;
+        let engine_schedule = FaultSchedule::from_events(
+            schedule
+                .events()
+                .iter()
+                .filter(|e| !matches!(e, fabp_resilience::FaultKind::NodeKill { .. }))
+                .copied()
+                .collect(),
+        );
+        let runner = ResilientRunner::new(engine, level, engine_schedule);
+        let out = runner.run(&PackedSeq::from_rna(shard), registry)?;
+        report.absorb(&out.report);
+        Ok(out
+            .run
+            .hits
+            .into_iter()
+            .map(|h| Hit {
+                position: h.position + offset,
+                score: h.score,
+            })
+            .collect())
+    }
+
+    /// Recomputes cluster timing with the re-dispatch assignments: each
+    /// survivor serves its own shard plus any orphan shards assigned to
+    /// it (serially), so the slowest loaded survivor sets the latency.
+    ///
+    /// # Errors
+    ///
+    /// [`FabpError::Internal`] if an assignment references a missing
+    /// node (cannot happen for assignments produced by
+    /// [`FpgaCluster::search_resilient`]).
+    pub fn degraded_timing(&self, redispatch: &[(usize, usize)]) -> FabpResult<ClusterTiming> {
+        let power_model = fabp_fpga::power_model::PowerModel::default();
+        let dead: Vec<usize> = redispatch.iter().map(|&(orphan, _)| orphan).collect();
+        let mut latency: f64 = 0.0;
+        let mut joules = 0.0;
+        for (node, (engine, &bases)) in self.engines.iter().zip(&self.shard_bases).enumerate() {
+            if dead.contains(&node) {
+                continue;
+            }
+            let extra: u64 = redispatch
+                .iter()
+                .filter(|&&(_, survivor)| survivor == node)
+                .map(|&(orphan, _)| self.shard_bases.get(orphan).copied().unwrap_or(0))
+                .sum();
+            let t = engine.model_kernel_seconds((bases + extra).div_ceil(4));
+            latency = latency.max(t);
+            let watts = power_model
+                .power(engine.plan().resources, engine.config().device.clock_hz)
+                .total();
+            joules += watts * t;
+        }
+        Ok(ClusterTiming {
+            latency_seconds: latency,
+            queries_per_second: if latency > 0.0 { 1.0 / latency } else { 0.0 },
+            joules_per_query: joules,
+        })
+    }
+}
+
+/// Outcome of a resilient cluster search.
+#[derive(Debug, Clone)]
+pub struct ClusterSearchOutcome {
+    /// Merged hits in global coordinates (bit-identical to the
+    /// fault-free search under [`ResilienceLevel::Recover`]).
+    pub hits: Vec<Hit>,
+    /// Aggregated inject/detect/recover statistics across all nodes.
+    pub report: ResilienceReport,
+    /// Nodes that died during the search.
+    pub dead_nodes: Vec<usize>,
+    /// Degradation summary when nodes died and the search recovered.
+    pub degraded: Option<DegradedTiming>,
+}
+
+/// Nominal vs. post-failure cluster timing.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradedTiming {
+    /// Timing with every node alive.
+    pub nominal: ClusterTiming,
+    /// Timing with survivors carrying the re-dispatched shards.
+    pub degraded: ClusterTiming,
+    /// Fractional throughput loss: `1 − degraded_qps / nominal_qps`.
+    pub throughput_penalty: f64,
 }
 
 /// Splits a concrete reference into `nodes` shards with `overlap` bases of
 /// trailing context copied onto each shard (so windows straddling shard
-/// boundaries are evaluated by exactly one... at least one node). Returns
-/// `(shards, global offsets)`.
+/// boundaries are evaluated by at least one node; duplicates are removed
+/// by [`FpgaCluster::search`]'s merge). Returns `(shards, global offsets)`.
+///
+/// Degenerate inputs are well-defined: with more nodes than bases some
+/// shards are zero-sized (they still receive overlap context, which the
+/// merge deduplicates), and an overlap larger than a shard simply extends
+/// the shard to the end of the reference.
+///
+/// # Errors
+///
+/// Returns [`FabpError::InvalidShardPlan`] if `nodes == 0`.
+pub fn try_shard_with_overlap(
+    reference: &RnaSeq,
+    nodes: usize,
+    overlap: usize,
+) -> FabpResult<(Vec<RnaSeq>, Vec<usize>)> {
+    let sizes = try_shard_database(reference.len() as u64, nodes)?;
+    let mut shards = Vec::with_capacity(nodes);
+    let mut offsets = Vec::with_capacity(nodes);
+    let mut start = 0usize;
+    for size in sizes {
+        let end = (start + size as usize)
+            .saturating_add(overlap)
+            .min(reference.len());
+        shards.push(reference.as_slice()[start..end].iter().copied().collect());
+        offsets.push(start);
+        start += size as usize;
+    }
+    Ok((shards, offsets))
+}
+
+/// Splits a concrete reference into `nodes` shards with `overlap` bases of
+/// trailing context copied onto each shard. See [`try_shard_with_overlap`]
+/// for the typed-error variant and the degenerate-input semantics.
+///
+/// # Panics
+///
+/// Panics if `nodes == 0`.
 pub fn shard_with_overlap(
     reference: &RnaSeq,
     nodes: usize,
     overlap: usize,
 ) -> (Vec<RnaSeq>, Vec<usize>) {
-    let sizes = shard_database(reference.len() as u64, nodes);
-    let mut shards = Vec::with_capacity(nodes);
-    let mut offsets = Vec::with_capacity(nodes);
-    let mut start = 0usize;
-    for size in sizes {
-        let end = ((start + size as usize) + overlap).min(reference.len());
-        shards.push(reference.as_slice()[start..end].iter().copied().collect());
-        offsets.push(start);
-        start += size as usize;
+    match try_shard_with_overlap(reference, nodes, overlap) {
+        Ok(v) => v,
+        Err(e) => panic!("a cluster needs at least one node: {e}"),
     }
-    (shards, offsets)
 }
 
 #[cfg(test)]
@@ -216,7 +529,7 @@ mod tests {
         )
         .unwrap();
         let (shards, offsets) = shard_with_overlap(&reference, 4, qlen - 1);
-        let hits = cluster.search(&shards, &offsets);
+        let hits = cluster.search(&shards, &offsets).unwrap();
         assert!(hits.iter().any(|h| h.position == 300), "{hits:?}");
         assert!(
             hits.iter().any(|h| h.position == 985),
@@ -233,5 +546,264 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_panics() {
         let _ = shard_database(100, 0);
+    }
+
+    #[test]
+    fn zero_nodes_is_a_typed_error() {
+        assert!(matches!(
+            try_shard_database(100, 0),
+            Err(FabpError::InvalidShardPlan(_))
+        ));
+        let reference: RnaSeq = "ACGU".parse().unwrap();
+        assert!(try_shard_with_overlap(&reference, 0, 3).is_err());
+    }
+
+    // ---- shard edge cases (satellite): nodes > bases, zero-length
+    // shards, overlap ≥ shard size ----
+
+    #[test]
+    fn more_nodes_than_bases_yields_zero_length_shards() {
+        let shards = shard_database(3, 8);
+        assert_eq!(shards.len(), 8);
+        assert_eq!(shards.iter().sum::<u64>(), 3);
+        assert_eq!(shards.iter().filter(|&&s| s == 0).count(), 5);
+        // The non-empty shards come first (round-robin remainder).
+        assert_eq!(&shards[..3], &[1, 1, 1]);
+
+        // Zero bases entirely.
+        let empty = shard_database(0, 4);
+        assert_eq!(empty, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn overlap_larger_than_shard_clamps_to_reference_end() {
+        let reference: RnaSeq = "ACGUACGUACGU".parse().unwrap(); // 12 bases
+                                                                 // 6 shards of 2 bases, overlap 5 > shard size.
+        let (shards, offsets) = shard_with_overlap(&reference, 6, 5);
+        assert_eq!(shards.len(), 6);
+        assert_eq!(offsets, vec![0, 2, 4, 6, 8, 10]);
+        for (shard, &offset) in shards.iter().zip(&offsets) {
+            // Every shard stays in bounds and reproduces the reference.
+            assert!(offset + shard.len() <= reference.len());
+            assert_eq!(
+                shard.as_slice(),
+                &reference.as_slice()[offset..offset + shard.len()]
+            );
+        }
+        // The final shard cannot read past the end.
+        assert_eq!(shards[5].len(), 2);
+    }
+
+    #[test]
+    fn degenerate_sharding_still_matches_single_engine() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let protein = random_protein(6, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        let qlen = query.len();
+        let coding = coding_rna_for_paper_patterns(&protein, &mut rng);
+
+        // A reference barely longer than the query, more nodes than
+        // sensible, overlap far larger than the shard size.
+        let mut bases = random_rna(40, &mut rng).into_inner();
+        bases.splice(7..7 + coding.len(), coding.iter().copied());
+        let reference = RnaSeq::from(bases);
+
+        let config = EngineConfig::kintex7(qlen as u32);
+        let single = FabpEngine::new(query.clone(), config.clone()).unwrap();
+        let expected = single.run(&PackedSeq::from_rna(&reference)).hits;
+        assert!(!expected.is_empty(), "fixture must plant a hit");
+
+        for (nodes, overlap) in [(16, qlen - 1), (8, 40), (40, qlen - 1), (3, 0)] {
+            let cluster =
+                FpgaCluster::homogeneous(&query, &config, nodes, reference.len() as u64).unwrap();
+            let (shards, offsets) = shard_with_overlap(&reference, nodes, overlap);
+            let hits = cluster.search(&shards, &offsets).unwrap();
+            if overlap >= qlen - 1 {
+                assert_eq!(hits, expected, "nodes={nodes} overlap={overlap}");
+            } else {
+                // Too little overlap may *miss* boundary hits but must
+                // never invent or duplicate them.
+                for h in &hits {
+                    assert!(expected.contains(h), "nodes={nodes} overlap={overlap}");
+                }
+                let mut sorted = hits.clone();
+                sorted.dedup();
+                assert_eq!(sorted, hits, "no duplicates");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_mismatch_is_a_typed_error() {
+        let protein = random_protein(5, &mut StdRng::seed_from_u64(3));
+        let query = EncodedQuery::from_protein(&protein);
+        let cluster = FpgaCluster::homogeneous(&query, &EngineConfig::kintex7(5), 2, 100).unwrap();
+        let reference: RnaSeq = "ACGUACGUACGU".parse().unwrap();
+        let (shards, offsets) = shard_with_overlap(&reference, 3, 0);
+        assert!(matches!(
+            cluster.search(&shards, &offsets),
+            Err(FabpError::InvalidShardPlan(_))
+        ));
+        assert!(matches!(
+            cluster.search(&shards[..2], &offsets),
+            Err(FabpError::InvalidShardPlan(_))
+        ));
+    }
+
+    #[test]
+    fn empty_query_cluster_is_a_typed_error() {
+        let query = EncodedQuery::from_exact_rna(&RnaSeq::new());
+        assert!(matches!(
+            FpgaCluster::homogeneous(&query, &EngineConfig::kintex7(0), 2, 100),
+            Err(FabpError::EmptyQuery)
+        ));
+    }
+
+    // ---- node-kill recovery (tentpole acceptance) ----
+
+    #[test]
+    fn node_kill_recovers_on_survivors_with_degraded_timing() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let protein = random_protein(10, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        let qlen = query.len();
+        let coding = coding_rna_for_paper_patterns(&protein, &mut rng);
+
+        let mut bases = random_rna(2_000, &mut rng).into_inner();
+        bases.splice(985..985 + coding.len(), coding.iter().copied());
+        bases.splice(300..300 + coding.len(), coding.iter().copied());
+        let reference = RnaSeq::from(bases);
+
+        let cluster = FpgaCluster::homogeneous(
+            &query,
+            &EngineConfig::kintex7(qlen as u32),
+            4,
+            reference.len() as u64,
+        )
+        .unwrap();
+        let (shards, offsets) = shard_with_overlap(&reference, 4, qlen - 1);
+        let baseline = cluster.search(&shards, &offsets).unwrap();
+        assert!(!baseline.is_empty());
+
+        // Kill the node holding the mid-shard hit (node 0 covers 0..500).
+        let schedule = FaultSchedule::parse("kill@0:1").unwrap();
+        let registry = fabp_telemetry::Registry::new();
+        let outcome = cluster
+            .search_resilient(
+                &shards,
+                &offsets,
+                ResilienceLevel::Recover,
+                &schedule,
+                &registry,
+            )
+            .unwrap();
+        assert_eq!(
+            outcome.hits, baseline,
+            "survivors must reproduce the full hit set bit-identically"
+        );
+        assert_eq!(outcome.dead_nodes, vec![0]);
+        let degraded = outcome.degraded.expect("degradation must be reported");
+        assert!(
+            degraded.degraded.latency_seconds > degraded.nominal.latency_seconds,
+            "a survivor carries double load"
+        );
+        assert!(
+            degraded.throughput_penalty > 0.0 && degraded.throughput_penalty < 1.0,
+            "penalty {:.3}",
+            degraded.throughput_penalty
+        );
+        // Telemetry observed the death and the re-dispatch.
+        let prom = registry.snapshot().to_prometheus();
+        assert!(prom.contains("fabp_cluster_nodes_killed_total 1"), "{prom}");
+        assert!(
+            prom.contains("fabp_cluster_shards_redispatched_total 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("fabp_cluster_degraded_throughput_permille"),
+            "{prom}"
+        );
+
+        // Detect level fails fast; Off level silently loses the shard.
+        assert!(matches!(
+            cluster.search_resilient(
+                &shards,
+                &offsets,
+                ResilienceLevel::Detect,
+                &schedule,
+                &registry
+            ),
+            Err(FabpError::NodeDown { node: 0 })
+        ));
+        let off = cluster
+            .search_resilient(
+                &shards,
+                &offsets,
+                ResilienceLevel::Off,
+                &schedule,
+                &registry,
+            )
+            .unwrap();
+        assert!(
+            !off.hits.iter().any(|h| h.position == 300),
+            "off level must lose node 0's hit"
+        );
+    }
+
+    #[test]
+    fn killing_every_node_is_fatal() {
+        let protein = random_protein(5, &mut StdRng::seed_from_u64(8));
+        let query = EncodedQuery::from_protein(&protein);
+        let cluster = FpgaCluster::homogeneous(&query, &EngineConfig::kintex7(5), 2, 200).unwrap();
+        let reference = random_rna(200, &mut StdRng::seed_from_u64(8));
+        let (shards, offsets) = shard_with_overlap(&reference, 2, 0);
+        let schedule = FaultSchedule::parse("kill@0:1,kill@1:1").unwrap();
+        assert!(matches!(
+            cluster.search_resilient(
+                &shards,
+                &offsets,
+                ResilienceLevel::Recover,
+                &schedule,
+                &fabp_telemetry::Registry::disabled()
+            ),
+            Err(FabpError::NodeDown { .. })
+        ));
+    }
+
+    #[test]
+    fn node_kill_with_engine_faults_still_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let protein = random_protein(8, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        let qlen = query.len();
+        let coding = coding_rna_for_paper_patterns(&protein, &mut rng);
+        let mut bases = random_rna(1_500, &mut rng).into_inner();
+        bases.splice(700..700 + coding.len(), coding.iter().copied());
+        let reference = RnaSeq::from(bases);
+
+        let cluster = FpgaCluster::homogeneous(
+            &query,
+            &EngineConfig::kintex7(qlen as u32),
+            3,
+            reference.len() as u64,
+        )
+        .unwrap();
+        let (shards, offsets) = shard_with_overlap(&reference, 3, qlen - 1);
+        let baseline = cluster.search(&shards, &offsets).unwrap();
+
+        // Node death *plus* engine-level faults on every node.
+        let schedule =
+            FaultSchedule::parse("kill@1:3,beatflip@0:2:9,config@1:cmp:11,stall@0:900").unwrap();
+        let outcome = cluster
+            .search_resilient(
+                &shards,
+                &offsets,
+                ResilienceLevel::Recover,
+                &schedule,
+                &fabp_telemetry::Registry::disabled(),
+            )
+            .unwrap();
+        assert_eq!(outcome.hits, baseline);
+        assert!(outcome.report.recovered > 0);
     }
 }

@@ -31,6 +31,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod aligner;
 pub mod batch;
 pub mod bitparallel;
@@ -45,3 +49,8 @@ pub use bitparallel::BitParallelEngine;
 pub use hits::{best_hit, merge_overlapping, top_k, Hit, HitRegion};
 pub use software::SoftwareEngine;
 pub use streaming::StreamingAligner;
+
+// The typed error taxonomy lives in `fabp-resilience` (below this crate
+// in the dependency graph) and is re-exported here so callers of the
+// core API need only one import.
+pub use fabp_resilience::{FabpError, FabpResult};

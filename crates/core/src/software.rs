@@ -122,7 +122,13 @@ impl SoftwareEngine {
                     .push(scope.spawn(move || self.search_range(reference, threshold, start, end)));
             }
             for handle in handles {
-                hits.extend(handle.join().expect("search worker panicked"));
+                // Forward a worker panic instead of masking it behind a
+                // generic `expect` message: the original payload (and thus
+                // the real assertion text) reaches the caller.
+                match handle.join() {
+                    Ok(chunk_hits) => hits.extend(chunk_hits),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
         hits.sort_by_key(|h| h.position);

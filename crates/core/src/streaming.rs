@@ -10,6 +10,7 @@ use crate::hits::Hit;
 use crate::software::SoftwareEngine;
 use fabp_bio::alphabet::Nucleotide;
 use fabp_encoding::encoder::EncodedQuery;
+use fabp_resilience::{FabpError, FabpResult};
 
 /// A stateful scanner that accepts reference chunks of any size and
 /// reports hits with global coordinates.
@@ -52,16 +53,32 @@ impl StreamingAligner {
     ///
     /// # Panics
     ///
-    /// Panics if the query is empty.
+    /// Panics if the query is empty; use [`StreamingAligner::try_new`]
+    /// for a fallible constructor.
     pub fn new(query: &EncodedQuery, threshold: u32) -> StreamingAligner {
-        assert!(!query.is_empty(), "query must be non-empty");
-        StreamingAligner {
+        match StreamingAligner::try_new(query, threshold) {
+            Ok(scanner) => scanner,
+            Err(_) => panic!("query must be non-empty"),
+        }
+    }
+
+    /// Fallible constructor: returns [`FabpError::EmptyQuery`] instead of
+    /// panicking when the query has no elements.
+    ///
+    /// # Errors
+    ///
+    /// [`FabpError::EmptyQuery`] when `query` is empty.
+    pub fn try_new(query: &EncodedQuery, threshold: u32) -> FabpResult<StreamingAligner> {
+        if query.is_empty() {
+            return Err(FabpError::EmptyQuery);
+        }
+        Ok(StreamingAligner {
             engine: SoftwareEngine::new(query),
             threshold,
             carry: Vec::new(),
             carry_position: 0,
             consumed: 0,
-        }
+        })
     }
 
     /// Total reference elements consumed so far.

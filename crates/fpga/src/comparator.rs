@@ -93,6 +93,14 @@ impl ComparatorCell {
         }
     }
 
+    /// Builds a cell from explicit truth tables — the configuration-upset
+    /// injection surface: a single-event upset flips one bit of a LUT's
+    /// INIT string, and this constructor lets a fault harness install the
+    /// corrupted tables ([`crate::engine::EngineSession::set_cell`]).
+    pub fn from_luts(mux: Lut6, cmp: Lut6) -> ComparatorCell {
+        ComparatorCell { mux, cmp }
+    }
+
     /// The multiplexer LUT.
     pub fn mux(self) -> Lut6 {
         self.mux

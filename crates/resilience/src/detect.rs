@@ -1,0 +1,298 @@
+//! Detection layer: CRC checkers, configuration scrubbing, watchdog.
+//!
+//! Three independent detectors cover the fault model:
+//!
+//! * **CRC framing** (see [`crate::crc`]) catches transient data
+//!   corruption on the AXI reference stream and the packed query
+//!   bitstream. The checker is pipelined, so it adds no data-path
+//!   cycles.
+//! * **[`ConfigScrubber`]** catches SEUs in configuration memory: every
+//!   `interval_beats` beats the scrubber reads the live comparator
+//!   truth tables back and compares them against the golden netlist.
+//!   Readback steals `readback_cycles` from the data path, and an upset
+//!   is only *observed* at the next scrub point — the detection latency
+//!   is therefore up to one full interval, and is modelled in cycles.
+//! * **[`Watchdog`]** catches stalls: if the engine's consumed-element
+//!   counter fails to advance within `deadline_cycles`, the stream is
+//!   declared hung and the burst is re-issued.
+
+use crate::error::{FabpError, StreamKind};
+use fabp_encoding::packing::AxiBeat;
+use fabp_fpga::comparator::ComparatorCell;
+use fabp_fpga::engine::EngineSession;
+
+use crate::crc::beat_crc;
+
+/// Verifies one framed beat against its golden CRC.
+///
+/// Returns the typed CRC-mismatch error on failure so callers can feed
+/// it straight into the retry policy.
+pub fn check_beat(beat: &AxiBeat, golden_crc: u32, frame: u64) -> Result<(), FabpError> {
+    let actual = beat_crc(beat);
+    if actual == golden_crc {
+        Ok(())
+    } else {
+        Err(FabpError::CrcMismatch {
+            stream: StreamKind::AxiReference,
+            frame,
+            expected: golden_crc,
+            actual,
+        })
+    }
+}
+
+/// Periodic configuration-memory scrubbing against the golden netlist.
+///
+/// Mirrors the Xilinx SEM-style readback scrubber: every
+/// `interval_beats` data beats the frame readback engine pauses the
+/// stream for `readback_cycles`, reads the live LUT truth tables and
+/// compares them with the golden configuration. The **detection
+/// latency** of an upset is the cycle distance from the corrupting
+/// event to the scrub that observes it — bounded by one interval.
+#[derive(Debug, Clone)]
+pub struct ConfigScrubber {
+    golden: ComparatorCell,
+    interval_beats: u64,
+    readback_cycles: u64,
+    scrubs: u64,
+}
+
+/// What one scrub pass observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrubOutcome {
+    /// Live configuration matches the golden netlist.
+    Clean,
+    /// The live truth tables differed; `corrupted_words` 64-bit INIT
+    /// words were wrong. When scrubbing with repair, the configuration
+    /// has been rewritten from the golden copy.
+    Upset {
+        /// Number of corrupted 64-bit truth-table words (1 or 2).
+        corrupted_words: u32,
+    },
+}
+
+impl ConfigScrubber {
+    /// Default scrub interval in beats.
+    ///
+    /// The pipelined engine retires ~one beat per cycle, so the
+    /// asymptotic scrub cost is `readback_cycles / interval_beats`:
+    /// 32 / 4096 ≈ 0.8 %, comfortably inside the < 2 % detection-
+    /// overhead budget the CLI and BENCH output advertise, while
+    /// bounding upset-detection latency to ~one interval of cycles.
+    pub const DEFAULT_INTERVAL_BEATS: u64 = 4096;
+    /// Default modelled readback pause per scrub, in cycles.
+    pub const DEFAULT_READBACK_CYCLES: u64 = 32;
+
+    /// Creates a scrubber holding the golden configuration.
+    pub fn new(
+        golden: ComparatorCell,
+        interval_beats: u64,
+        readback_cycles: u64,
+    ) -> ConfigScrubber {
+        ConfigScrubber {
+            golden,
+            interval_beats: interval_beats.max(1),
+            readback_cycles,
+            scrubs: 0,
+        }
+    }
+
+    /// A scrubber with the default interval and readback cost.
+    pub fn with_defaults(golden: ComparatorCell) -> ConfigScrubber {
+        ConfigScrubber::new(
+            golden,
+            ConfigScrubber::DEFAULT_INTERVAL_BEATS,
+            ConfigScrubber::DEFAULT_READBACK_CYCLES,
+        )
+    }
+
+    /// Whether a scrub is due before consuming `beat_index`.
+    pub fn due(&self, beat_index: u64) -> bool {
+        beat_index > 0 && beat_index.is_multiple_of(self.interval_beats)
+    }
+
+    /// The modelled readback pause per scrub pass.
+    pub fn readback_cycles(&self) -> u64 {
+        self.readback_cycles
+    }
+
+    /// The scrub interval in beats.
+    pub fn interval_beats(&self) -> u64 {
+        self.interval_beats
+    }
+
+    /// Number of scrub passes performed so far.
+    pub fn scrubs_performed(&self) -> u64 {
+        self.scrubs
+    }
+
+    /// Counts 64-bit truth-table words in `live` differing from golden.
+    pub fn corrupted_words(&self, live: ComparatorCell) -> u32 {
+        let mut n = 0;
+        if live.mux().init() != self.golden.mux().init() {
+            n += 1;
+        }
+        if live.cmp().init() != self.golden.cmp().init() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs one scrub pass against a live engine session: pauses the
+    /// stream for the readback window, compares, and — when `repair` is
+    /// set — rewrites the golden configuration over the live one.
+    pub fn scrub(&mut self, session: &mut EngineSession<'_>, repair: bool) -> ScrubOutcome {
+        self.scrubs += 1;
+        session.inject_idle(self.readback_cycles);
+        let corrupted = self.corrupted_words(session.cell());
+        if corrupted == 0 {
+            ScrubOutcome::Clean
+        } else {
+            if repair {
+                session.set_cell(self.golden);
+            }
+            ScrubOutcome::Upset {
+                corrupted_words: corrupted,
+            }
+        }
+    }
+}
+
+/// Flags engines whose consumed-element counter stops advancing.
+///
+/// The watchdog samples `(cycle, consumed)` pairs; if `consumed` fails
+/// to advance while the cycle counter moves more than
+/// `deadline_cycles`, the stream is declared stalled.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    deadline_cycles: u64,
+    last_consumed: u64,
+    last_advance_cycle: u64,
+    armed: bool,
+}
+
+/// The watchdog's verdict after one observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogVerdict {
+    /// The stream is advancing.
+    Alive,
+    /// No progress for longer than the deadline.
+    Stalled {
+        /// Cycles since the last observed advance.
+        stalled_cycles: u64,
+    },
+}
+
+impl Watchdog {
+    /// Default deadline: generous multiple of the worst-case modelled
+    /// inter-burst gap, so modelled AXI latency never trips it.
+    pub const DEFAULT_DEADLINE_CYCLES: u64 = 256;
+
+    /// Creates a watchdog with the given no-progress deadline.
+    pub fn new(deadline_cycles: u64) -> Watchdog {
+        Watchdog {
+            deadline_cycles: deadline_cycles.max(1),
+            last_consumed: 0,
+            last_advance_cycle: 0,
+            armed: false,
+        }
+    }
+
+    /// The configured no-progress deadline.
+    pub fn deadline_cycles(&self) -> u64 {
+        self.deadline_cycles
+    }
+
+    /// Feeds one `(cycle, consumed)` sample.
+    pub fn observe(&mut self, cycle: u64, consumed: u64) -> WatchdogVerdict {
+        if !self.armed || consumed > self.last_consumed {
+            self.last_consumed = consumed;
+            self.last_advance_cycle = cycle;
+            self.armed = true;
+            return WatchdogVerdict::Alive;
+        }
+        let stalled = cycle.saturating_sub(self.last_advance_cycle);
+        if stalled > self.deadline_cycles {
+            WatchdogVerdict::Stalled {
+                stalled_cycles: stalled,
+            }
+        } else {
+            WatchdogVerdict::Alive
+        }
+    }
+
+    /// Resets the progress baseline (after a recovered stall).
+    pub fn rearm(&mut self, cycle: u64, consumed: u64) {
+        self.last_consumed = consumed;
+        self.last_advance_cycle = cycle;
+        self.armed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crc::beat_crc;
+
+    #[test]
+    fn check_beat_flags_flips() {
+        let beat = AxiBeat {
+            words: [7; 8],
+            valid: 256,
+        };
+        let golden = beat_crc(&beat);
+        assert!(check_beat(&beat, golden, 0).is_ok());
+        let mut bad = beat;
+        bad.words[3] ^= 1 << 12;
+        let err = check_beat(&bad, golden, 9).unwrap_err();
+        match err {
+            FabpError::CrcMismatch { frame, stream, .. } => {
+                assert_eq!(frame, 9);
+                assert_eq!(stream, StreamKind::AxiReference);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_trips_only_past_deadline() {
+        let mut wd = Watchdog::new(100);
+        assert_eq!(wd.observe(0, 0), WatchdogVerdict::Alive);
+        assert_eq!(wd.observe(50, 0), WatchdogVerdict::Alive);
+        // Progress resets the clock.
+        assert_eq!(wd.observe(90, 256), WatchdogVerdict::Alive);
+        assert_eq!(wd.observe(190, 256), WatchdogVerdict::Alive);
+        match wd.observe(191, 256) {
+            WatchdogVerdict::Stalled { stalled_cycles } => assert_eq!(stalled_cycles, 101),
+            WatchdogVerdict::Alive => panic!("expected stall"),
+        }
+        wd.rearm(191, 256);
+        assert_eq!(wd.observe(200, 256), WatchdogVerdict::Alive);
+    }
+
+    #[test]
+    fn scrub_due_at_interval_boundaries() {
+        let sc = ConfigScrubber::new(ComparatorCell::new(), 64, 16);
+        assert!(!sc.due(0));
+        assert!(!sc.due(63));
+        assert!(sc.due(64));
+        assert!(!sc.due(65));
+        assert!(sc.due(128));
+    }
+
+    #[test]
+    fn corrupted_words_counts_luts() {
+        use fabp_fpga::comparator::{compare_lut, mux_lut};
+        use fabp_fpga::primitives::Lut6;
+        let sc = ConfigScrubber::with_defaults(ComparatorCell::new());
+        assert_eq!(sc.corrupted_words(ComparatorCell::new()), 0);
+        let upset_mux =
+            ComparatorCell::from_luts(Lut6::from_init(mux_lut().init() ^ 1), compare_lut());
+        assert_eq!(sc.corrupted_words(upset_mux), 1);
+        let upset_both = ComparatorCell::from_luts(
+            Lut6::from_init(mux_lut().init() ^ 2),
+            Lut6::from_init(compare_lut().init() ^ 4),
+        );
+        assert_eq!(sc.corrupted_words(upset_both), 2);
+    }
+}

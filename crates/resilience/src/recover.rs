@@ -1,0 +1,261 @@
+//! Recovery policies: resilience levels and retry with backoff.
+
+use crate::error::{FabpError, FabpResult};
+use std::fmt;
+use std::str::FromStr;
+
+/// How much of the inject → detect → recover loop is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResilienceLevel {
+    /// No detection, no recovery: faults corrupt silently (baseline for
+    /// quantifying detection overhead and fault impact).
+    Off,
+    /// Detect and report (CRC checks, scrubbing readback, watchdog) but
+    /// do not repair: the run fails fast with a typed error.
+    Detect,
+    /// Detect and recover: retry transient errors with backoff,
+    /// scrub-and-replay config upsets, re-dispatch shards from dead
+    /// nodes.
+    #[default]
+    Recover,
+}
+
+impl ResilienceLevel {
+    /// Whether any detector is active.
+    pub fn detects(self) -> bool {
+        !matches!(self, ResilienceLevel::Off)
+    }
+
+    /// Whether recovery actions are taken on detection.
+    pub fn recovers(self) -> bool {
+        matches!(self, ResilienceLevel::Recover)
+    }
+
+    /// Stable label for telemetry and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResilienceLevel::Off => "off",
+            ResilienceLevel::Detect => "detect",
+            ResilienceLevel::Recover => "recover",
+        }
+    }
+}
+
+impl fmt::Display for ResilienceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for ResilienceLevel {
+    type Err = FabpError;
+
+    fn from_str(s: &str) -> Result<ResilienceLevel, FabpError> {
+        match s {
+            "off" => Ok(ResilienceLevel::Off),
+            "detect" => Ok(ResilienceLevel::Detect),
+            "recover" => Ok(ResilienceLevel::Recover),
+            other => Err(FabpError::InvalidSpec(format!(
+                "unknown resilience level `{other}` (want off|detect|recover)"
+            ))),
+        }
+    }
+}
+
+/// Retry-with-exponential-backoff policy for transient errors.
+///
+/// Delays are modelled in *cycles* (the simulation's native unit): the
+/// first retry waits `base_delay_cycles`, each further retry doubles
+/// the wait up to `max_delay_cycles`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum total attempts (including the first). Minimum 1.
+    pub max_attempts: u32,
+    /// Backoff delay before the first retry, in cycles.
+    pub base_delay_cycles: u64,
+    /// Upper bound for any single backoff delay, in cycles.
+    pub max_delay_cycles: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_cycles: 16,
+            max_delay_cycles: 4096,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delay before retry number `retry` (1-based): the
+    /// exponential schedule `base · 2^(retry-1)` capped at the maximum.
+    pub fn delay_for(&self, retry: u32) -> u64 {
+        if retry == 0 {
+            return 0;
+        }
+        let shift = (retry - 1).min(63);
+        self.base_delay_cycles
+            .saturating_mul(1u64 << shift)
+            .min(self.max_delay_cycles)
+    }
+
+    /// Total backoff cycles paid if all `max_attempts` attempts run.
+    pub fn worst_case_delay_cycles(&self) -> u64 {
+        (1..self.max_attempts).map(|r| self.delay_for(r)).sum()
+    }
+}
+
+/// Runs `op` under `policy`, retrying transient errors.
+///
+/// `op` receives the 0-based attempt number and, on a transient failure
+/// ([`FabpError::is_transient`]), is re-invoked after the modelled
+/// backoff; `on_retry` is called with `(attempt, delay_cycles, &error)`
+/// before each re-invocation so callers can charge the delay to the
+/// simulation clock and emit telemetry. Permanent errors propagate
+/// immediately; exhausting the budget yields
+/// [`FabpError::RetriesExhausted`].
+pub fn retry_with_backoff<T>(
+    policy: &RetryPolicy,
+    mut op: impl FnMut(u32) -> FabpResult<T>,
+    mut on_retry: impl FnMut(u32, u64, &FabpError),
+) -> FabpResult<T> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last = None;
+    for attempt in 0..attempts {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt + 1 < attempts => {
+                let delay = policy.delay_for(attempt + 1);
+                on_retry(attempt, delay, &e);
+                last = Some(e);
+            }
+            Err(e) if e.is_transient() => {
+                return Err(FabpError::RetriesExhausted {
+                    attempts,
+                    last: Box::new(e),
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    // Unreachable in practice: the loop always returns. Keep a typed
+    // fallback rather than a panic for `deny(unwrap_used)` parity.
+    Err(FabpError::RetriesExhausted {
+        attempts,
+        last: Box::new(last.unwrap_or(FabpError::EmptyQuery)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::StreamKind;
+
+    fn transient() -> FabpError {
+        FabpError::StreamStall {
+            beat: 1,
+            stalled_cycles: 700,
+        }
+    }
+
+    #[test]
+    fn level_parsing_round_trips() {
+        for level in [
+            ResilienceLevel::Off,
+            ResilienceLevel::Detect,
+            ResilienceLevel::Recover,
+        ] {
+            assert_eq!(level.label().parse::<ResilienceLevel>().unwrap(), level);
+        }
+        assert!("verbose".parse::<ResilienceLevel>().is_err());
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_delay_cycles: 10,
+            max_delay_cycles: 100,
+        };
+        assert_eq!(p.delay_for(1), 10);
+        assert_eq!(p.delay_for(2), 20);
+        assert_eq!(p.delay_for(3), 40);
+        assert_eq!(p.delay_for(4), 80);
+        assert_eq!(p.delay_for(5), 100); // capped
+        assert_eq!(p.worst_case_delay_cycles(), 10 + 20 + 40 + 80 + 100);
+    }
+
+    #[test]
+    fn retry_succeeds_after_transients() {
+        let mut delays = Vec::new();
+        let result = retry_with_backoff(
+            &RetryPolicy::default(),
+            |attempt| {
+                if attempt < 2 {
+                    Err(transient())
+                } else {
+                    Ok(attempt)
+                }
+            },
+            |_, delay, _| delays.push(delay),
+        );
+        assert_eq!(result.unwrap(), 2);
+        assert_eq!(delays, vec![16, 32]);
+    }
+
+    #[test]
+    fn retry_exhausts_on_persistent_transient() {
+        let err = retry_with_backoff(
+            &RetryPolicy {
+                max_attempts: 3,
+                ..RetryPolicy::default()
+            },
+            |_| -> FabpResult<()> { Err(transient()) },
+            |_, _, _| {},
+        )
+        .unwrap_err();
+        match err {
+            FabpError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(last.is_transient());
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn permanent_errors_do_not_retry() {
+        let mut calls = 0;
+        let err = retry_with_backoff(
+            &RetryPolicy::default(),
+            |_| -> FabpResult<()> {
+                calls += 1;
+                Err(FabpError::CrcMismatch {
+                    stream: StreamKind::PackedQuery,
+                    frame: 0,
+                    expected: 1,
+                    actual: 2,
+                })
+            },
+            |_, _, _| {},
+        )
+        .unwrap_err();
+        // CRC mismatches ARE transient; use a truly permanent error.
+        assert!(matches!(err, FabpError::RetriesExhausted { .. }));
+        assert_eq!(calls, 4);
+
+        let mut calls2 = 0;
+        let err2 = retry_with_backoff(
+            &RetryPolicy::default(),
+            |_| -> FabpResult<()> {
+                calls2 += 1;
+                Err(FabpError::EmptyQuery)
+            },
+            |_, _, _| {},
+        )
+        .unwrap_err();
+        assert_eq!(err2, FabpError::EmptyQuery);
+        assert_eq!(calls2, 1);
+    }
+}

@@ -1,0 +1,357 @@
+//! The chaos suite: seeded end-to-end fault-injection tests.
+//!
+//! Every test that draws a random schedule prints its seed in the
+//! assertion message; re-run with
+//! `FABP_CHAOS_SEED=<seed> cargo test -p fabp-resilience --test chaos`
+//! (or `RANDOM_SEED=...`, honoured for CI's run-id smoke run) to replay
+//! an exact failing schedule.
+
+use fabp_bio::generate::{coding_rna_for_paper_patterns, random_protein, random_rna};
+use fabp_bio::seq::{PackedSeq, RnaSeq};
+use fabp_encoding::encoder::EncodedQuery;
+use fabp_fpga::engine::{EngineConfig, FabpEngine, Hit};
+use fabp_resilience::inject::FaultMix;
+use fabp_resilience::{
+    FabpError, FaultKind, FaultSchedule, ResilienceLevel, ResilientRunner, RetryPolicy,
+};
+use fabp_telemetry::Registry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The fixed seed matrix run on every CI invocation; the env seed (if
+/// any) is appended so `RANDOM_SEED=$GITHUB_RUN_ID` smokes new ground.
+const SEED_MATRIX: [u64; 6] = [0x1, 0xBEEF, 0xC0FFEE, 0xDEAD_BEEF, 0xFAB9_0001, 42];
+
+fn env_seed() -> Option<u64> {
+    for var in ["FABP_CHAOS_SEED", "RANDOM_SEED"] {
+        if let Ok(v) = std::env::var(var) {
+            let v = v.trim().to_string();
+            if v.is_empty() {
+                continue;
+            }
+            if let Some(hex) = v.strip_prefix("0x") {
+                if let Ok(seed) = u64::from_str_radix(hex, 16) {
+                    return Some(seed);
+                }
+            }
+            if let Ok(seed) = v.parse::<u64>() {
+                return Some(seed);
+            }
+            // Non-numeric seeds are hashed (FNV-1a) so any string works.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in v.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            return Some(h);
+        }
+    }
+    None
+}
+
+fn all_seeds() -> Vec<u64> {
+    let mut seeds = SEED_MATRIX.to_vec();
+    if let Some(s) = env_seed() {
+        seeds.push(s);
+    }
+    seeds
+}
+
+/// A fixture: planted-hit query + reference, engine, fault-free hits.
+struct Fixture {
+    engine: FabpEngine,
+    reference: PackedSeq,
+    baseline: Vec<Hit>,
+    baseline_cycles: u64,
+}
+
+fn fixture(seed: u64, reference_len: usize) -> Fixture {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF1C7_0000);
+    let protein = random_protein(18, &mut rng);
+    let coding = coding_rna_for_paper_patterns(&protein, &mut rng);
+    let mut bases: Vec<_> = random_rna(reference_len, &mut rng).as_slice().to_vec();
+    let at = reference_len / 3;
+    bases.splice(at..at + coding.len(), coding.iter().copied());
+    let reference = PackedSeq::from_rna(&RnaSeq::from(bases));
+    let query = EncodedQuery::from_protein(&protein);
+    let threshold = (query.len() as u32).saturating_sub(4);
+    let engine = FabpEngine::new(query, EngineConfig::kintex7(threshold)).expect("fixture plans");
+    let run = engine.run(&reference);
+    Fixture {
+        baseline: run.hits.clone(),
+        baseline_cycles: run.stats.cycles,
+        engine,
+        reference,
+    }
+}
+
+/// THE tentpole property: under every seeded schedule of detectable
+/// faults, the recovered hits are bit-identical to the fault-free run.
+#[test]
+fn recovered_hits_bit_identical_under_seed_matrix() {
+    for seed in all_seeds() {
+        let fx = fixture(seed, 4000);
+        let schedule = FaultSchedule::parse(&format!("seed:{seed:#x}")).expect("seed spec");
+        let runner = ResilientRunner::new(&fx.engine, ResilienceLevel::Recover, schedule)
+            .with_scrub(8, 32)
+            .with_watchdog(256);
+        let registry = Registry::new();
+        let resolved = runner.resolved_schedule(&fx.reference);
+        let out = runner.run(&fx.reference, &registry).unwrap_or_else(|e| {
+            panic!("seed {seed:#x} (schedule `{resolved}`): recovery failed: {e}")
+        });
+        assert_eq!(
+            out.run.hits, fx.baseline,
+            "seed {seed:#x} (schedule `{resolved}`): hits diverged from fault-free run — \
+             reproduce with FABP_CHAOS_SEED={seed:#x}"
+        );
+        assert_eq!(
+            out.report.injected,
+            resolved.events().len() as u64,
+            "seed {seed:#x}: every scheduled fault must be injected"
+        );
+        assert!(
+            out.report.detected >= out.report.recovered && out.report.recovered > 0,
+            "seed {seed:#x}: expected recoveries, report: {:?}",
+            out.report
+        );
+        // Recovery costs cycles: the run is never faster than baseline.
+        assert!(
+            out.run.stats.cycles >= fx.baseline_cycles,
+            "seed {seed:#x}: recovery cannot be free"
+        );
+    }
+}
+
+/// Heavier mixes (more upsets and flips per run) still recover exactly.
+#[test]
+fn recovered_hits_bit_identical_under_heavy_mix() {
+    for seed in all_seeds() {
+        let fx = fixture(seed.wrapping_mul(31), 3000);
+        let beats = 12; // ~3000/256
+        let mix = FaultMix {
+            beat_flips: 5,
+            query_flips: 2,
+            config_upsets: 3,
+            stalls: 3,
+        };
+        let schedule = FaultSchedule::seeded(seed, beats, 8, mix);
+        let runner = ResilientRunner::new(&fx.engine, ResilienceLevel::Recover, schedule.clone())
+            .with_scrub(4, 16);
+        let registry = Registry::disabled();
+        let out = runner
+            .run(&fx.reference, &registry)
+            .unwrap_or_else(|e| panic!("seed {seed:#x} (schedule `{schedule}`): {e}"));
+        assert_eq!(
+            out.run.hits, fx.baseline,
+            "seed {seed:#x} (schedule `{schedule}`) — reproduce with FABP_CHAOS_SEED={seed:#x}"
+        );
+    }
+}
+
+/// Detect-only runs fail fast with the matching typed error.
+#[test]
+fn detect_level_fails_fast_with_typed_errors() {
+    let fx = fixture(7, 2000);
+    type ErrPredicate = fn(&FabpError) -> bool;
+    let cases: Vec<(&str, ErrPredicate)> = vec![
+        ("beatflip@2:3:17", |e| {
+            matches!(e, FabpError::CrcMismatch { .. })
+        }),
+        ("queryflip@0:5", |e| {
+            matches!(
+                e,
+                FabpError::CrcMismatch {
+                    stream: fabp_resilience::StreamKind::PackedQuery,
+                    ..
+                }
+            )
+        }),
+        ("config@1:mux:9", |e| {
+            matches!(e, FabpError::ConfigUpset { .. })
+        }),
+        ("stall@3:2000", |e| {
+            matches!(e, FabpError::StreamStall { .. })
+        }),
+    ];
+    for (spec, matches_kind) in cases {
+        let schedule = FaultSchedule::parse(spec).expect("spec parses");
+        let runner = ResilientRunner::new(&fx.engine, ResilienceLevel::Detect, schedule)
+            .with_scrub(4, 16)
+            .with_watchdog(256);
+        let err = runner
+            .run(&fx.reference, &Registry::disabled())
+            .expect_err("detect level must fail fast");
+        assert!(matches_kind(&err), "`{spec}` produced wrong error: {err}");
+    }
+}
+
+/// Off-level runs let faults corrupt silently: a compare-LUT upset that
+/// breaks matching must lose the planted hit.
+#[test]
+fn off_level_faults_corrupt_silently() {
+    let fx = fixture(11, 2000);
+    assert!(
+        !fx.baseline.is_empty(),
+        "fixture must plant a detectable hit"
+    );
+    // Stuck the compare LUT hard: flip many table bits via repeated
+    // upsets at beat 0 (each flips one INIT bit).
+    let mut schedule = FaultSchedule::new();
+    for bit in 0..32 {
+        schedule.push(FaultKind::ConfigUpset {
+            beat: 0,
+            lut: fabp_resilience::ConfigLut::Compare,
+            bit,
+        });
+    }
+    let runner = ResilientRunner::new(&fx.engine, ResilienceLevel::Off, schedule);
+    let out = runner
+        .run(&fx.reference, &Registry::disabled())
+        .expect("off level runs to completion");
+    assert_ne!(
+        out.run.hits, fx.baseline,
+        "a half-destroyed compare LUT must corrupt the hit list"
+    );
+    assert_eq!(out.report.detected, 0, "off level must not detect");
+}
+
+/// The same corruption is repaired under Recover — directly showing the
+/// detect layer is what buys back correctness.
+#[test]
+fn recover_repairs_what_off_corrupts() {
+    let fx = fixture(11, 2000);
+    let mut schedule = FaultSchedule::new();
+    for bit in 0..32 {
+        schedule.push(FaultKind::ConfigUpset {
+            beat: 0,
+            lut: fabp_resilience::ConfigLut::Compare,
+            bit,
+        });
+    }
+    let runner =
+        ResilientRunner::new(&fx.engine, ResilienceLevel::Recover, schedule).with_scrub(2, 16);
+    let out = runner
+        .run(&fx.reference, &Registry::disabled())
+        .expect("recover level succeeds");
+    assert_eq!(out.run.hits, fx.baseline);
+    assert!(out.report.scrub_upsets >= 1);
+    assert!(out.report.replayed_beats >= 1);
+    assert!(out.report.max_detection_latency_cycles > 0);
+}
+
+/// Detection overhead on a fault-free run stays under 2% of cycles —
+/// the CLI's advertised budget. The reference is long enough (> 4096
+/// beats) that the default periodic configuration scrub actually fires,
+/// so the budget is measured with real readback pauses charged, not on
+/// a run too short to scrub.
+#[test]
+fn fault_free_detection_overhead_under_two_percent() {
+    let fx = fixture(99, 1_200_000);
+    assert!(
+        fx.baseline_cycles > 4096,
+        "fixture must span at least one default scrub interval"
+    );
+    for level in [ResilienceLevel::Detect, ResilienceLevel::Recover] {
+        let runner = ResilientRunner::new(&fx.engine, level, FaultSchedule::new());
+        let out = runner
+            .run(&fx.reference, &Registry::disabled())
+            .expect("fault-free run succeeds");
+        assert_eq!(out.run.hits, fx.baseline, "{level}: no faults, same hits");
+        let overhead = out.run.stats.cycles.saturating_sub(fx.baseline_cycles);
+        let pct = overhead as f64 / fx.baseline_cycles as f64 * 100.0;
+        assert!(
+            pct < 2.0,
+            "{level}: detection overhead {pct:.3}% (cycles {} vs {})",
+            out.run.stats.cycles,
+            fx.baseline_cycles
+        );
+        assert_eq!(out.report.injected, 0);
+        assert_eq!(out.report.detected, 0);
+        assert!(
+            out.report.scrubs > 0,
+            "{level}: periodic scrub must fire on a {}-cycle run",
+            out.run.stats.cycles
+        );
+    }
+}
+
+/// Stall recovery caps the damage: a huge stall costs ~deadline +
+/// backoff instead of the full stall.
+#[test]
+fn stall_recovery_caps_latency() {
+    let fx = fixture(5, 2000);
+    let stall = 100_000u64;
+    let schedule = FaultSchedule::parse(&format!("stall@1:{stall}")).expect("spec");
+    let policy = RetryPolicy::default();
+    // Unprotected run pays the full stall.
+    let off = ResilientRunner::new(&fx.engine, ResilienceLevel::Off, schedule.clone())
+        .run(&fx.reference, &Registry::disabled())
+        .expect("off run");
+    // Recovered run pays deadline + backoff.
+    let rec = ResilientRunner::new(&fx.engine, ResilienceLevel::Recover, schedule)
+        .with_watchdog(256)
+        .with_retry(policy)
+        .run(&fx.reference, &Registry::disabled())
+        .expect("recover run");
+    assert_eq!(rec.run.hits, fx.baseline);
+    assert_eq!(rec.report.stalls_detected, 1);
+    assert!(
+        rec.run.stats.cycles + stall / 2 < off.run.stats.cycles,
+        "recovery must shed most of the stall: {} vs {}",
+        rec.run.stats.cycles,
+        off.run.stats.cycles
+    );
+}
+
+/// All resilience events flow into telemetry: counters and histograms
+/// appear in the Prometheus export with the documented names.
+#[test]
+fn resilience_events_reach_prometheus_export() {
+    let fx = fixture(3, 3000);
+    let schedule = FaultSchedule::parse("beatflip@1:2:3,config@2:cmp:7,stall@4:2000,queryflip@0:1")
+        .expect("spec");
+    let registry = Registry::new();
+    let runner = ResilientRunner::new(&fx.engine, ResilienceLevel::Recover, schedule)
+        .with_scrub(4, 16)
+        .with_watchdog(256);
+    let out = runner.run(&fx.reference, &registry).expect("recovers");
+    assert_eq!(out.run.hits, fx.baseline);
+    let prom = registry.snapshot().to_prometheus();
+    for needle in [
+        "# TYPE fabp_resilience_faults_injected_total counter",
+        "fabp_resilience_faults_injected_total{kind=\"axi_beat_flip\"} 1",
+        "fabp_resilience_faults_injected_total{kind=\"config_upset\"} 1",
+        "fabp_resilience_faults_injected_total{kind=\"stream_stall\"} 1",
+        "fabp_resilience_faults_injected_total{kind=\"query_word_flip\"} 1",
+        "fabp_resilience_faults_detected_total{kind=\"axi_beat_flip\"} 1",
+        "fabp_resilience_faults_recovered_total{kind=\"config_upset\"} 1",
+        "fabp_resilience_retries_total",
+        "# TYPE fabp_resilience_retry_delay_cycles histogram",
+        "fabp_resilience_retry_delay_cycles_count",
+        "# TYPE fabp_resilience_detection_latency_cycles histogram",
+        "fabp_resilience_scrubs_total{outcome=\"upset\"} 1",
+        "fabp_resilience_replayed_beats_total",
+        "fabp_resilience_watchdog_stalls_total 1",
+        "# TYPE fabp_resilience_recovery_overhead_cycles histogram",
+    ] {
+        assert!(
+            prom.contains(needle),
+            "Prometheus export missing `{needle}`:\n{prom}"
+        );
+    }
+}
+
+/// A resilient run with an empty schedule is bit- and cycle-identical
+/// to `FabpEngine::run` when detection is off.
+#[test]
+fn off_level_fault_free_is_identical_to_plain_run() {
+    let fx = fixture(21, 3000);
+    let runner = ResilientRunner::new(&fx.engine, ResilienceLevel::Off, FaultSchedule::new());
+    let out = runner
+        .run(&fx.reference, &Registry::disabled())
+        .expect("runs");
+    assert_eq!(out.run.hits, fx.baseline);
+    assert_eq!(out.run.stats.cycles, fx.baseline_cycles);
+    assert_eq!(out.report, Default::default());
+}

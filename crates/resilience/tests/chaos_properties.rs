@@ -1,0 +1,64 @@
+//! Property tests: randomized schedules (beyond the fixed seed matrix)
+//! always recover bit-identically.
+//!
+//! The proptest shim is deterministic per test name; failures print the
+//! generated seed/mix, which maps straight onto
+//! `FaultSchedule::seeded(seed, beats, words, mix)`.
+
+use fabp_bio::generate::{coding_rna_for_paper_patterns, random_protein, random_rna};
+use fabp_bio::seq::{PackedSeq, RnaSeq};
+use fabp_encoding::encoder::EncodedQuery;
+use fabp_fpga::engine::{EngineConfig, FabpEngine};
+use fabp_resilience::inject::FaultMix;
+use fabp_resilience::{FaultSchedule, ResilienceLevel, ResilientRunner};
+use fabp_telemetry::Registry;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_fixture(seed: u64) -> (FabpEngine, PackedSeq, Vec<fabp_fpga::engine::Hit>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let protein = random_protein(16, &mut rng);
+    let coding = coding_rna_for_paper_patterns(&protein, &mut rng);
+    let mut bases: Vec<_> = random_rna(2600, &mut rng).as_slice().to_vec();
+    bases.splice(900..900 + coding.len(), coding.iter().copied());
+    let reference = PackedSeq::from_rna(&RnaSeq::from(bases));
+    let query = EncodedQuery::from_protein(&protein);
+    let threshold = (query.len() as u32).saturating_sub(3);
+    let engine = FabpEngine::new(query, EngineConfig::kintex7(threshold)).expect("plan fits");
+    let baseline = engine.run(&reference).hits;
+    (engine, reference, baseline)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary seeds and fault mixes, recovery is bit-exact.
+    #[test]
+    fn any_seeded_detectable_schedule_recovers_bit_identically(
+        seed in any::<u64>(),
+        beat_flips in 0u32..4,
+        config_upsets in 0u32..3,
+        stalls in 0u32..3,
+        query_flips in 0u32..2,
+        scrub_interval in 2u64..12,
+    ) {
+        let (engine, reference, baseline) = build_fixture(seed ^ 0x5EED);
+        let mix = FaultMix { beat_flips, query_flips, config_upsets, stalls };
+        let schedule = FaultSchedule::seeded(seed, 11, 6, mix);
+        let runner = ResilientRunner::new(&engine, ResilienceLevel::Recover, schedule.clone())
+            .with_scrub(scrub_interval, 16)
+            .with_watchdog(256);
+        let out = runner
+            .run(&reference, &Registry::disabled())
+            .unwrap_or_else(|e| panic!("schedule `{schedule}` (seed {seed:#x}): {e}"));
+        prop_assert_eq!(
+            out.run.hits,
+            baseline,
+            "schedule `{}` diverged (seed {:#x})",
+            schedule,
+            seed
+        );
+        prop_assert_eq!(out.report.injected, schedule.events().len() as u64);
+    }
+}

@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reference.len() as u64,
     )?;
     let (shards, offsets) = shard_with_overlap(&reference, 4, qlen - 1);
-    let hits = cluster.search(&shards, &offsets);
+    let hits = cluster.search(&shards, &offsets)?;
     println!(
         "  hits: {:?}",
         hits.iter().map(|h| h.position).collect::<Vec<_>>()

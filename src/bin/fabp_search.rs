@@ -16,13 +16,25 @@
 //!   --trace-out <path>   write a Chrome trace-event JSON to <path>
 //!   --quiet              suppress informational stderr output
 //!   --disasm             print each query's instruction listing
+//!   --resilience <off|detect|recover>   fault handling level (cycle engine)
+//!   --inject-faults <spec>              seeded fault schedule, e.g.
+//!                        `seed:0xBEEF` or `beatflip@3:1:7,stall@40:2000`
 //! ```
+//!
+//! `--resilience` and `--inject-faults` drive the cycle-accurate engine
+//! through the `fabp-resilience` harness: faults from the spec are
+//! injected on the modelled AXI/config/query paths, and the detection/
+//! recovery machinery (CRC framing, configuration scrubbing, stream
+//! watchdog, retry with backoff) runs at the requested level. A per-run
+//! overhead line reports the throughput cost of detection against the
+//! unprotected cycle count.
 
 use fabp::bio::fasta::{read_proteins, read_records};
-use fabp::bio::seq::RnaSeq;
-use fabp::core::aligner::{Engine, FabpAligner, Threshold};
+use fabp::bio::seq::{PackedSeq, RnaSeq};
+use fabp::core::aligner::{Engine, FabpAligner, SearchOutcome, Threshold};
 use fabp::core::host::HostConfig;
-use fabp::fpga::engine::EngineConfig;
+use fabp::fpga::engine::{EngineConfig, FabpEngine};
+use fabp::resilience::{FaultSchedule, ResilienceLevel, ResilientRunner};
 use fabp_telemetry::{MetricValue, Registry};
 use std::fs::File;
 use std::process::ExitCode;
@@ -39,6 +51,8 @@ struct Args {
     quiet: bool,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    resilience: ResilienceLevel,
+    inject_faults: Option<String>,
 }
 
 fn usage() -> ! {
@@ -46,7 +60,8 @@ fn usage() -> ! {
         "usage: fabp-search --query <queries.faa> --reference <db.fna> \
          [--threshold 0.9] [--engine software|bitparallel|cycle] [--threads 4] \
          [--top 10] [--stats] [--metrics-out m.prom] [--trace-out t.json] \
-         [--quiet] [--disasm]"
+         [--quiet] [--disasm] [--resilience off|detect|recover] \
+         [--inject-faults <spec>]"
     );
     std::process::exit(2);
 }
@@ -82,6 +97,8 @@ fn parse_args() -> Args {
         quiet: false,
         metrics_out: None,
         trace_out: None,
+        resilience: ResilienceLevel::Off,
+        inject_faults: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -97,6 +114,8 @@ fn parse_args() -> Args {
             "--quiet" => args.quiet = true,
             "--metrics-out" => args.metrics_out = Some(value_for("--metrics-out", &mut it)),
             "--trace-out" => args.trace_out = Some(value_for("--trace-out", &mut it)),
+            "--resilience" => args.resilience = parse_for("--resilience", &mut it),
+            "--inject-faults" => args.inject_faults = Some(value_for("--inject-faults", &mut it)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -152,6 +171,18 @@ fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         return Err("reference file contains no records".into());
     }
 
+    // Fault injection / resilience only makes sense on the modelled
+    // hardware path: the software engines have no AXI stream, LUT
+    // configuration or DMA to corrupt.
+    let resilience_active = args.resilience != ResilienceLevel::Off || args.inject_faults.is_some();
+    if resilience_active && args.engine != "cycle" {
+        return Err("--resilience/--inject-faults require --engine cycle".into());
+    }
+    let fault_schedule = match &args.inject_faults {
+        Some(spec) => FaultSchedule::parse(spec)?,
+        None => FaultSchedule::new(),
+    };
+
     if !args.quiet {
         eprintln!(
             "{} quer{} vs {} reference record(s), threshold {:.0}%, engine {}",
@@ -181,6 +212,16 @@ fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             "bitparallel" => Some(fabp::core::bitparallel::BitParallelEngine::new(&encoded)?),
             _ => None,
         };
+        // Resilience harness: wraps the cycle-accurate engine so faults
+        // can be injected and detection/recovery overhead measured.
+        let resilient_engine = if resilience_active {
+            Some(FabpEngine::new(
+                encoded.clone(),
+                EngineConfig::kintex7(threshold_abs),
+            )?)
+        } else {
+            None
+        };
         let engine = match args.engine.as_str() {
             "software" | "bitparallel" => Engine::Software {
                 threads: args.threads,
@@ -198,14 +239,49 @@ fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             let reference: RnaSeq = record.sequence.parse()?;
             let outcome = {
                 let _search_span = telemetry.span("search");
-                match &bitparallel {
-                    Some(engine) => fabp::core::aligner::SearchOutcome {
+                match (&bitparallel, &resilient_engine) {
+                    (Some(engine), _) => SearchOutcome {
                         hits: engine.search(reference.as_slice(), threshold_abs),
                         threshold: threshold_abs,
                         query_len: encoded.len(),
                         stats: None,
                     },
-                    None => aligner.search(&reference),
+                    (None, Some(engine)) => {
+                        let packed = PackedSeq::from_rna(&reference);
+                        let runner =
+                            ResilientRunner::new(engine, args.resilience, fault_schedule.clone());
+                        let resilient = runner.run(&packed, telemetry)?;
+                        if !args.quiet {
+                            let r = &resilient.report;
+                            let cycles = resilient.run.stats.cycles;
+                            let pct = if cycles > 0 {
+                                100.0 * r.overhead_cycles as f64 / cycles as f64
+                            } else {
+                                0.0
+                            };
+                            eprintln!(
+                                "# resilience[{}] {query_id} vs {}: injected={} detected={} \
+                                 recovered={} retries={} scrubs={} replayed_beats={} \
+                                 overhead={} cycles ({pct:.3}% of {cycles})",
+                                args.resilience,
+                                record.id,
+                                r.injected,
+                                r.detected,
+                                r.recovered,
+                                r.retries,
+                                r.scrubs,
+                                r.replayed_beats,
+                                r.overhead_cycles,
+                            );
+                        }
+                        SearchOutcome {
+                            hits: resilient.run.hits,
+                            threshold: threshold_abs,
+                            query_len: encoded.len(),
+                            stats: Some(resilient.run.stats),
+                        }
+                    }
+                    (None, None) => aligner.search(&reference),
                 }
             };
             // Cycle engine: assemble the modelled host pipeline so the

@@ -15,9 +15,14 @@
 //!   the GPU-style brute-force comparator (paper §IV).
 //! * [`platforms`] — performance/energy models used to regenerate Fig. 6
 //!   and Table I.
+//! * [`resilience`] — fault injection, detection (CRC framing, config
+//!   scrubbing, stream watchdog) and recovery (retry, replay, shard
+//!   re-dispatch) for the modelled stack, plus the [`resilience::FabpError`]
+//!   taxonomy used across the workspace.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` for the system
-//! inventory and experiment index.
+//! See `README.md` for a quickstart, `DESIGN.md` for the system
+//! inventory and experiment index, and `docs/RESILIENCE.md` for the
+//! fault-handling architecture.
 
 pub use fabp_baselines as baselines;
 pub use fabp_bio as bio;
@@ -25,5 +30,6 @@ pub use fabp_core as core;
 pub use fabp_encoding as encoding;
 pub use fabp_fpga as fpga;
 pub use fabp_platforms as platforms;
+pub use fabp_resilience as resilience;
 
 pub use fabp_bio::prelude;

@@ -5,16 +5,27 @@
 //! lives in flip-flops; reloading it is microseconds against a
 //! multi-millisecond scan); in software we additionally parallelise across
 //! queries.
+//!
+//! Scheduling is **work-stealing** (an atomic claim index over the shared
+//! query queue) rather than static ceil-division chunking: a worker that
+//! draws cheap queries immediately steals the next unclaimed one, so one
+//! expensive query can no longer serialise the tail of the batch. The
+//! queue-depth and imbalance gauges are kept honest under stealing: depth
+//! now reports *unclaimed* work, and imbalance is measured from the
+//! per-worker claim counts the run actually produced.
 
 use crate::aligner::{Engine, FabpAligner, SearchOutcome, Threshold};
 use fabp_bio::seq::{ProteinSeq, RnaSeq};
 use fabp_resilience::{FabpError, FabpResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Searches every query against the reference, returning one outcome per
 /// query (input order preserved).
 ///
 /// `threads` parallelises across queries (each query's scan is serial, so
-/// total CPU use stays bounded).
+/// total CPU use stays bounded). Workers claim queries from a shared
+/// atomic index — no query is lost or duplicated regardless of per-query
+/// cost skew or `threads > queries`.
 ///
 /// # Errors
 ///
@@ -44,47 +55,86 @@ pub fn search_all(
         return Ok(aligners.iter().map(|a| a.search(reference)).collect());
     }
 
+    // Telemetry handles are resolved once per batch, before any worker
+    // spawns — the hot claim loop pays only atomic ops, never a registry
+    // lookup.
     let telemetry = fabp_telemetry::Registry::global();
-    let chunk = aligners.len().div_ceil(threads);
-    // Worker imbalance: with ceil-division chunking the last worker may
-    // run short — export the spread so batch tuning is observable.
-    let last_chunk = aligners.len() - chunk * ((aligners.len() - 1) / chunk);
-    telemetry
-        .gauge(
-            "fabp_batch_queue_imbalance",
-            "Largest minus smallest per-worker query count in the last batch",
-        )
-        .set((chunk - last_chunk) as i64);
-
-    let mut outcomes: Vec<Option<SearchOutcome>> = Vec::new();
-    outcomes.resize_with(aligners.len(), || None);
-    std::thread::scope(|scope| {
-        let mut rest = outcomes.as_mut_slice();
-        let mut offset = 0usize;
-        let mut worker = 0usize;
-        while !rest.is_empty() {
-            let take = chunk.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let aligners = &aligners;
-            let start = offset;
-            let depth = telemetry.gauge_with(
+    let pending_gauge = telemetry.gauge(
+        "fabp_batch_queue_depth",
+        "Queries not yet claimed from the shared work-stealing queue",
+    );
+    let imbalance_gauge = telemetry.gauge(
+        "fabp_batch_queue_imbalance",
+        "Largest minus smallest per-worker query count in the last batch",
+    );
+    let worker_depth_gauges: Vec<_> = (0..threads)
+        .map(|w| {
+            telemetry.gauge_with(
                 "fabp_batch_worker_queue_depth",
-                "Queries still pending per batch worker",
-                fabp_telemetry::labels(&[("worker", &worker.to_string())]),
-            );
-            depth.set(take as i64);
-            scope.spawn(move || {
-                for (i, slot) in head.iter_mut().enumerate() {
-                    *slot = Some(aligners[start + i].search(reference));
-                    depth.dec();
-                }
-            });
-            offset += take;
-            worker += 1;
+                "Queries claimed but not yet finished per batch worker",
+                fabp_telemetry::labels(&[("worker", &w.to_string())]),
+            )
+        })
+        .collect();
+    let steals_ctr = telemetry.counter(
+        "fabp_batch_queries_claimed_total",
+        "Queries claimed from the shared batch queue",
+    );
+
+    let next = AtomicUsize::new(0);
+    pending_gauge.set(aligners.len() as i64);
+
+    let mut per_worker: Vec<Vec<(usize, SearchOutcome)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let next = &next;
+                let aligners = &aligners;
+                let depth = &worker_depth_gauges[w];
+                let pending = &pending_gauge;
+                let steals = &steals_ctr;
+                scope.spawn(move || {
+                    let mut claimed: Vec<(usize, SearchOutcome)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= aligners.len() {
+                            break;
+                        }
+                        pending.dec();
+                        steals.inc();
+                        depth.set(1);
+                        claimed.push((i, aligners[i].search(reference)));
+                        depth.set(0);
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(claimed) => per_worker.push(claimed),
+                // Forward a worker panic instead of masking it behind a
+                // generic `expect` message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
 
+    // Imbalance as actually realised by stealing (typically 0 or 1 when
+    // costs are uniform; larger only when one query dominated a worker).
+    let max_claims = per_worker.iter().map(Vec::len).max().unwrap_or(0);
+    let min_claims = per_worker.iter().map(Vec::len).min().unwrap_or(0);
+    imbalance_gauge.set((max_claims - min_claims) as i64);
+
+    let mut outcomes: Vec<Option<SearchOutcome>> = Vec::new();
+    outcomes.resize_with(aligners.len(), || None);
+    for (i, outcome) in per_worker.into_iter().flatten() {
+        if outcomes[i].replace(outcome).is_some() {
+            return Err(FabpError::Internal(format!(
+                "batch workers produced outcome slot {i} twice"
+            )));
+        }
+    }
     outcomes
         .into_iter()
         .enumerate()
@@ -119,7 +169,7 @@ pub fn summarize(outcomes: &[SearchOutcome]) -> BatchSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fabp_bio::generate::{PlantedDatabase, PlantedDatabaseConfig};
+    use fabp_bio::generate::{random_protein, PlantedDatabase, PlantedDatabaseConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -168,6 +218,69 @@ mod tests {
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.hits, b.hits);
         }
+    }
+
+    #[test]
+    fn more_threads_than_queries_loses_nothing() {
+        // threads > queries: the overshooting workers must claim nothing
+        // and every query must appear exactly once, in input order.
+        let mut rng = StdRng::seed_from_u64(73);
+        let db = PlantedDatabase::generate(
+            &PlantedDatabaseConfig {
+                reference_len: 8_000,
+                num_queries: 3,
+                query_len: 15,
+                ..PlantedDatabaseConfig::default()
+            },
+            &mut rng,
+        );
+        let serial = search_all(&db.queries, &db.reference, Threshold::Fraction(0.8), 1).unwrap();
+        let wide = search_all(&db.queries, &db.reference, Threshold::Fraction(0.8), 16).unwrap();
+        assert_eq!(wide.len(), db.queries.len());
+        for (a, b) in serial.iter().zip(&wide) {
+            assert_eq!(a.hits, b.hits);
+        }
+    }
+
+    #[test]
+    fn adversarial_cost_skew_is_exact() {
+        // One query is ~20× more expensive than the rest (long query over
+        // the same reference); under static chunking the worker that drew
+        // it would also own a chunk of cheap queries. Work-stealing must
+        // still return every outcome, input-ordered, identical to serial.
+        let mut rng = StdRng::seed_from_u64(74);
+        let mut queries = vec![random_protein(120, &mut rng)];
+        for _ in 0..11 {
+            queries.push(random_protein(6, &mut rng));
+        }
+        let reference = fabp_bio::generate::random_rna(40_000, &mut rng);
+        let serial = search_all(&queries, &reference, Threshold::Fraction(0.6), 1).unwrap();
+        let parallel = search_all(&queries, &reference, Threshold::Fraction(0.6), 4).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(a.hits, b.hits, "query {i}");
+        }
+    }
+
+    #[test]
+    fn queue_gauges_are_exported_under_stealing() {
+        let mut rng = StdRng::seed_from_u64(75);
+        let db = PlantedDatabase::generate(
+            &PlantedDatabaseConfig {
+                reference_len: 6_000,
+                num_queries: 6,
+                query_len: 12,
+                ..PlantedDatabaseConfig::default()
+            },
+            &mut rng,
+        );
+        search_all(&db.queries, &db.reference, Threshold::Fraction(0.9), 3).unwrap();
+        let snapshot = fabp_telemetry::Registry::global().snapshot();
+        let text = snapshot.to_prometheus();
+        assert!(text.contains("fabp_batch_queue_imbalance"));
+        assert!(text.contains("fabp_batch_worker_queue_depth"));
+        assert!(text.contains("fabp_batch_queue_depth"));
+        assert!(text.contains("fabp_batch_queries_claimed_total"));
     }
 
     #[test]

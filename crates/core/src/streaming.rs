@@ -5,12 +5,20 @@
 //! it with the next incoming reference sequence" (§III-C) — at the API
 //! level, so gigabase FASTA files can be searched without materialising
 //! them in memory.
+//!
+//! The working buffer is owned by the scanner and reused across
+//! [`StreamingAligner::feed`] calls: the carried `L_q − 1` overlap stays
+//! in place at the front of the buffer (slid down with a `copy_within`
+//! after each chunk) and only the incoming chunk is appended, so a
+//! steady-state feed performs **zero allocations** and never re-copies or
+//! re-encodes the overlap from scratch.
 
 use crate::hits::Hit;
 use crate::software::SoftwareEngine;
 use fabp_bio::alphabet::Nucleotide;
 use fabp_encoding::encoder::EncodedQuery;
 use fabp_resilience::{FabpError, FabpResult};
+use fabp_telemetry::Counter;
 
 /// A stateful scanner that accepts reference chunks of any size and
 /// reports hits with global coordinates.
@@ -40,12 +48,17 @@ use fabp_resilience::{FabpError, FabpResult};
 pub struct StreamingAligner {
     engine: SoftwareEngine,
     threshold: u32,
-    /// Carried tail: the last `L_q − 1` elements seen.
-    carry: Vec<Nucleotide>,
-    /// Global position of `carry[0]`.
+    /// Reusable working buffer. Between `feed` calls it holds exactly the
+    /// carried tail: the last `L_q − 1` elements seen.
+    buffer: Vec<Nucleotide>,
+    /// Global position of `buffer[0]`.
     carry_position: usize,
     /// Total elements consumed.
     consumed: usize,
+    /// Telemetry handles, registered once at construction — the feed hot
+    /// path pays one atomic add per chunk, not a registry lookup.
+    chunks_ctr: Counter,
+    elements_ctr: Counter,
 }
 
 impl StreamingAligner {
@@ -72,12 +85,18 @@ impl StreamingAligner {
         if query.is_empty() {
             return Err(FabpError::EmptyQuery);
         }
+        let telemetry = fabp_telemetry::Registry::global();
         Ok(StreamingAligner {
             engine: SoftwareEngine::new(query),
             threshold,
-            carry: Vec::new(),
+            buffer: Vec::new(),
             carry_position: 0,
             consumed: 0,
+            chunks_ctr: telemetry.counter("fabp_stream_chunks_total", "Reference chunks streamed"),
+            elements_ctr: telemetry.counter(
+                "fabp_stream_elements_total",
+                "Reference elements consumed by streaming scans",
+            ),
         })
     }
 
@@ -88,28 +107,24 @@ impl StreamingAligner {
 
     /// Feeds the next chunk, returning all hits whose windows are now
     /// complete (positions are global).
+    ///
+    /// Steady-state cost: one append of `chunk` into the reused working
+    /// buffer, one scan, one in-place slide of the `L_q − 1` carry tail —
+    /// no allocation once the buffer has grown to the largest
+    /// `carry + chunk` seen.
     pub fn feed(&mut self, chunk: &[Nucleotide]) -> Vec<Hit> {
         let qlen = self.engine.query_len();
         self.consumed += chunk.len();
-        let telemetry = fabp_telemetry::Registry::global();
-        telemetry
-            .counter("fabp_stream_chunks_total", "Reference chunks streamed")
-            .inc();
-        telemetry
-            .counter(
-                "fabp_stream_elements_total",
-                "Reference elements consumed by streaming scans",
-            )
-            .add(chunk.len() as u64);
+        self.chunks_ctr.inc();
+        self.elements_ctr.add(chunk.len() as u64);
 
-        // Working buffer: carry + chunk.
-        let mut buffer = Vec::with_capacity(self.carry.len() + chunk.len());
-        buffer.extend_from_slice(&self.carry);
-        buffer.extend_from_slice(chunk);
+        // The carry tail is already in place at the front of the buffer;
+        // append only the new chunk.
+        self.buffer.extend_from_slice(chunk);
 
-        let hits: Vec<Hit> = if buffer.len() >= qlen {
+        let hits: Vec<Hit> = if self.buffer.len() >= qlen {
             self.engine
-                .search(&buffer, self.threshold)
+                .search(&self.buffer, self.threshold)
                 .into_iter()
                 .map(|h| Hit {
                     position: h.position + self.carry_position,
@@ -120,11 +135,13 @@ impl StreamingAligner {
             Vec::new()
         };
 
-        // Keep the trailing qlen-1 elements for the next chunk.
-        let keep = (qlen - 1).min(buffer.len());
-        let drop = buffer.len() - keep;
+        // Slide the trailing qlen-1 elements to the front for the next
+        // chunk (in place — the allocation is retained).
+        let keep = (qlen - 1).min(self.buffer.len());
+        let drop = self.buffer.len() - keep;
         self.carry_position += drop;
-        self.carry = buffer.split_off(drop);
+        self.buffer.copy_within(drop.., 0);
+        self.buffer.truncate(keep);
 
         hits
     }
@@ -134,7 +151,7 @@ impl StreamingAligner {
     /// resets the state and returns nothing; provided for API symmetry
     /// with chunked decoders.
     pub fn finish(&mut self) -> Vec<Hit> {
-        self.carry.clear();
+        self.buffer.clear();
         Vec::new()
     }
 }
@@ -203,6 +220,27 @@ mod tests {
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].position, 0);
         assert_eq!(hits[1].position, 6);
+    }
+
+    #[test]
+    fn buffer_is_reused_across_feeds() {
+        // After the first uniform-size feed, subsequent feeds must not
+        // grow the buffer's capacity (zero steady-state allocation).
+        let mut rng = StdRng::seed_from_u64(0x519);
+        let protein = random_protein(8, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        let reference = random_rna(8_192, &mut rng);
+        let mut scanner = StreamingAligner::new(&query, 10);
+        let mut caps = Vec::new();
+        for chunk in reference.as_slice().chunks(512) {
+            scanner.feed(chunk);
+            caps.push(scanner.buffer.capacity());
+        }
+        let steady = caps[1];
+        assert!(
+            caps[1..].iter().all(|&c| c == steady),
+            "buffer capacity kept growing: {caps:?}"
+        );
     }
 
     #[test]

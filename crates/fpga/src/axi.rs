@@ -113,6 +113,44 @@ impl AxiChannel {
         available.max(consumer_ready_cycle)
     }
 
+    /// Fast-forward: fetches `n` sequential beats that all lie within a
+    /// **single burst** (no inter-burst gap between them), for a consumer
+    /// that becomes ready at `consumer_ready_cycle` and needs
+    /// `cycles_per_beat >= 1` cycles per beat. Returns the consumer's
+    /// ready cycle after the last beat.
+    ///
+    /// Bit-identical to `n` successive
+    /// [`AxiChannel::fetch_beat`]/advance steps: within a burst,
+    /// availability advances one cycle per beat while the consumer
+    /// advances `cycles_per_beat >= 1`, so at most the *first* beat can
+    /// stall — the whole stall-free remainder is advanced in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the `n` beats do not cross a burst boundary and
+    /// that `cycles_per_beat >= 1`.
+    pub fn fetch_burst(&mut self, consumer_ready_cycle: u64, n: u64, cycles_per_beat: u64) -> u64 {
+        debug_assert!(n > 0, "fetch_burst needs at least one beat");
+        debug_assert!(cycles_per_beat >= 1, "consumer must take >= 1 cycle/beat");
+        debug_assert!(
+            self.config.beats_per_burst == u64::MAX
+                || (self.next_beat % self.config.beats_per_burst) + n
+                    <= self.config.beats_per_burst,
+            "fetch_burst range crosses a burst boundary"
+        );
+        let first_available = self.config.beat_available_cycle(self.next_beat);
+        self.next_beat += n;
+        self.stats.beats += n;
+        self.stats.bytes += 64 * n;
+        let start = if first_available > consumer_ready_cycle {
+            self.stats.stall_cycles += first_available - consumer_ready_cycle;
+            first_available
+        } else {
+            consumer_ready_cycle
+        };
+        start + n * cycles_per_beat
+    }
+
     /// Statistics accumulated so far.
     pub fn stats(&self) -> AxiStats {
         self.stats
@@ -192,6 +230,46 @@ mod tests {
             "stalls {}",
             stats.stall_cycles
         );
+    }
+
+    #[test]
+    fn fetch_burst_matches_per_beat_loop() {
+        let cfg = AxiConfig {
+            read_latency: 7,
+            beats_per_burst: 5,
+            inter_burst_gap: 3,
+        };
+        for cycles_per_beat in [1u64, 2, 4] {
+            for initial_ready in [0u64, 3, 7, 50] {
+                let mut slow = AxiChannel::new(cfg);
+                let mut fast = AxiChannel::new(cfg);
+                let mut ready_slow = initial_ready;
+                let mut ready_fast = initial_ready;
+                // Whole bursts of 5, then a 3-beat partial burst.
+                for n in [5u64, 5, 3] {
+                    for _ in 0..n {
+                        let t = slow.fetch_beat(ready_slow);
+                        ready_slow = t + cycles_per_beat;
+                    }
+                    ready_fast = fast.fetch_burst(ready_fast, n, cycles_per_beat);
+                    assert_eq!(ready_slow, ready_fast, "cpb {cycles_per_beat}");
+                    assert_eq!(slow.stats(), fast.stats(), "cpb {cycles_per_beat}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_burst_on_ideal_channel() {
+        let mut slow = AxiChannel::new(AxiConfig::ideal());
+        let mut fast = AxiChannel::new(AxiConfig::ideal());
+        let mut ready_slow = 0u64;
+        for _ in 0..100 {
+            ready_slow = slow.fetch_beat(ready_slow) + 2;
+        }
+        let ready_fast = fast.fetch_burst(0, 100, 2);
+        assert_eq!(ready_slow, ready_fast);
+        assert_eq!(slow.stats(), fast.stats());
     }
 
     #[test]

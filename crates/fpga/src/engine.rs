@@ -19,6 +19,7 @@ use crate::primitives::DspThreshold;
 use crate::resources::{plan, ArchParams, FabpPlan, PlanError};
 use fabp_bio::seq::PackedSeq;
 use fabp_encoding::encoder::EncodedQuery;
+use fabp_encoding::fused::FusedScorer;
 use fabp_encoding::packing::{axi_beats, AxiBeat, ReferenceStream};
 use std::fmt;
 
@@ -73,6 +74,14 @@ impl fmt::Display for Hit {
     }
 }
 
+/// The per-kernel cycle accounting report — alias of [`EngineStats`],
+/// named for the fast-forward/per-cycle equivalence contract: the
+/// event-driven fast-forward path ([`EngineSession::push_beats_fast`])
+/// must produce a `CycleReport` whose `cycles`, `stall_cycles`,
+/// `wb_stall_cycles` and `busy_cycles` fields are **bit-identical** to
+/// the per-beat model's.
+pub type CycleReport = EngineStats;
+
 /// Cycle/bandwidth statistics of one kernel execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EngineStats {
@@ -113,6 +122,10 @@ pub struct FabpEngine {
     config: EngineConfig,
     cell: ComparatorCell,
     dsp: DspThreshold,
+    /// Fused per-element truth tables — functionally identical to the
+    /// golden `cell` (same LUT contents, property-tested), used by the
+    /// fast-forward datapath while the live configuration is pristine.
+    fused: FusedScorer,
 }
 
 impl FabpEngine {
@@ -130,12 +143,14 @@ impl FabpEngine {
         assert!(!query.is_empty(), "query must be non-empty");
         let plan = plan(&config.device, query.len(), config.channels, &config.arch)?;
         let dsp = DspThreshold::new(config.threshold.min((1 << DspThreshold::SCORE_WIDTH) - 1));
+        let fused = FusedScorer::build(&query.decode());
         Ok(FabpEngine {
             query,
             plan,
             config,
             cell: ComparatorCell::new(),
             dsp,
+            fused,
         })
     }
 
@@ -177,7 +192,28 @@ impl FabpEngine {
     /// of [`FabpEngine::run`]). This is the injection surface the
     /// resilience layer uses: corrupted or re-ordered beats can be fed
     /// directly, without re-packing a [`PackedSeq`].
+    ///
+    /// Uses the event-driven fast-forward path
+    /// ([`EngineSession::push_beats_fast`]): hits and [`CycleReport`]
+    /// fields are bit-identical to [`FabpEngine::run_beats_exact`]
+    /// (enforced by the equivalence test matrix), but stall-free bursts
+    /// are advanced in O(1) and the datapath is scored by the fused
+    /// comparator tables instead of per-element LUT evaluation.
     pub fn run_beats(&self, beats: &[AxiBeat], registry: &fabp_telemetry::Registry) -> EngineRun {
+        let mut session = self.session();
+        session.push_beats_fast(beats);
+        session.finish_with_registry(registry)
+    }
+
+    /// Runs the kernel strictly beat-by-beat through the exact per-cycle
+    /// model ([`EngineSession::push_beat`]) — the reference
+    /// implementation the fast-forward path is verified against, and the
+    /// path fault-injection campaigns exercise.
+    pub fn run_beats_exact(
+        &self,
+        beats: &[AxiBeat],
+        registry: &fabp_telemetry::Registry,
+    ) -> EngineRun {
         let mut session = self.session();
         for beat in beats {
             session.push_beat(beat);
@@ -361,6 +397,122 @@ impl<'e> EngineSession<'e> {
             delivered_cycle: t_data,
             hits: beat_hits,
         }
+    }
+
+    /// Delivers a whole beat stream through the event-driven
+    /// **fast-forward** path.
+    ///
+    /// Semantics are bit-identical to calling [`EngineSession::push_beat`]
+    /// once per beat (same hits, same [`CycleReport`] fields — enforced by
+    /// the `fast_forward_equivalence` test matrix), but two per-beat costs
+    /// are amortised:
+    ///
+    /// * **Datapath**: alignment instances are scored through the fused
+    ///   per-element truth tables ([`FusedScorer`]) with a
+    ///   mismatch-budget early exit, instead of per-element evaluation of
+    ///   the two-LUT comparator netlist. This is only valid while the
+    ///   live configuration equals the engine's golden cell; if a
+    ///   configuration upset is present ([`EngineSession::set_cell`]),
+    ///   the whole stream takes the exact per-beat slow path so the
+    ///   corrupted netlist is faithfully modelled.
+    /// * **Cycle accounting**: stall-free beats are batched per channel
+    ///   and advanced over whole AXI bursts in O(1)
+    ///   ([`AxiChannel::fetch_burst`]). Only two events can interrupt a
+    ///   batch — a burst boundary (the next beat may stall on the
+    ///   inter-burst gap) and WB back-pressure (`extra_wb > 0` changes
+    ///   the consumer's pace) — and both fall back to the exact
+    ///   single-beat update.
+    pub fn push_beats_fast(&mut self, beats: &[AxiBeat]) {
+        debug_assert!(!self.finished, "session already finished");
+        if self.cell != self.engine.cell {
+            // A live SEU is present: the fused scorer models the *golden*
+            // datapath, so it cannot reproduce the corrupted netlist's
+            // outputs. Take the exact per-beat path for the whole stream.
+            for beat in beats {
+                self.push_beat(beat);
+            }
+            return;
+        }
+        let query_len = self.engine.query.len();
+        let segments = self.engine.plan.segments.max(1) as u64;
+        let channels = self.channel_ready.len();
+        let bpb = self.engine.config.axi.beats_per_burst;
+        let wb_rate = self.engine.config.wb_rate_per_cycle.max(1) as u64;
+        let threshold = self.engine.dsp.threshold();
+        // Stall-free beats deferred per channel, waiting to be advanced
+        // in one `fetch_burst` call.
+        let mut pending = vec![0u64; channels];
+        for beat in beats {
+            let ch = (self.beat_index % channels as u64) as usize;
+            self.beat_index += 1;
+
+            // Fused-table scoring — bit-identical to the golden
+            // comparator netlist (property-tested in `fabp-encoding` and
+            // revalidated by the equivalence matrix).
+            let mut beat_hits = 0u64;
+            {
+                let window = self.stream.push_beat(beat);
+                if window.elements.len() >= query_len {
+                    for offset in 0..=window.elements.len() - query_len {
+                        let position = window.start_position + offset;
+                        if position < self.next_position {
+                            continue;
+                        }
+                        self.stats.instances_evaluated += 1;
+                        if let Some(score) = self
+                            .engine
+                            .fused
+                            .score_window_thresholded(&window.elements[offset..], threshold)
+                        {
+                            self.hits.push(Hit { position, score });
+                            beat_hits += 1;
+                        }
+                    }
+                    self.next_position =
+                        window.start_position + window.elements.len() - query_len + 1;
+                }
+            }
+            self.consumed += beat.valid as u64;
+
+            let wb_cycles = beat_hits.div_ceil(wb_rate);
+            let extra_wb = wb_cycles.saturating_sub(segments);
+
+            // This beat's index within the channel's own sequence: beats
+            // already fetched plus beats deferred ahead of it.
+            let local = self.axi[ch].stats().beats + pending[ch];
+            let new_burst = bpb != u64::MAX && local.is_multiple_of(bpb);
+            if pending[ch] > 0 && (new_burst || extra_wb > 0) {
+                // Event boundary: advance the deferred stall-free beats
+                // in O(1) before handling this one exactly.
+                self.flush_pending(ch, pending[ch], segments);
+                pending[ch] = 0;
+            }
+            if extra_wb > 0 {
+                // WB back-pressure alters the consumer's pace for this
+                // beat: exact single-beat update, as in `push_beat`.
+                let t_data = self.axi[ch].fetch_beat(self.channel_ready[ch]);
+                self.channel_ready[ch] = t_data + segments + extra_wb;
+                self.stats.busy_cycles += segments;
+                self.stats.wb_stall_cycles += extra_wb;
+            } else {
+                pending[ch] += 1;
+            }
+        }
+        for (ch, &deferred) in pending.iter().enumerate() {
+            if deferred > 0 {
+                self.flush_pending(ch, deferred, segments);
+            }
+        }
+    }
+
+    /// Advances `n` deferred stall-free beats on channel `ch` in O(1) —
+    /// the closed form of `n` successive `fetch_beat` + `+= segments`
+    /// steps (bit-identical by [`AxiChannel::fetch_burst`]'s contract:
+    /// within a burst at `segments >= 1` cycles/beat, only the first beat
+    /// can stall).
+    fn flush_pending(&mut self, ch: usize, n: u64, segments: u64) {
+        self.channel_ready[ch] = self.axi[ch].fetch_burst(self.channel_ready[ch], n, segments);
+        self.stats.busy_cycles += segments * n;
     }
 
     /// Total reference elements consumed so far — the progress signal a

@@ -355,3 +355,67 @@ fn off_level_fault_free_is_identical_to_plain_run() {
     assert_eq!(out.run.stats.cycles, fx.baseline_cycles);
     assert_eq!(out.report, Default::default());
 }
+
+/// Fault injection must force the engine's exact per-beat datapath, never
+/// the fused fast-forward tables (which model the *golden* netlist).
+///
+/// Three-way pin:
+/// 1. fault-free fast-forward (`run_beats`) == exact per-beat
+///    (`run_beats_exact`), bit- and cycle-identical;
+/// 2. an Off-level `ConfigUpset` campaign produces hits that *differ*
+///    from the golden baseline — i.e. the corrupted netlist was really
+///    evaluated, not shortcut through the pristine fused tables;
+/// 3. the same upset injected directly into a session makes
+///    `push_beats_fast` reproduce the corrupted per-beat hits exactly.
+#[test]
+fn config_upsets_force_the_exact_datapath() {
+    let fx = fixture(33, 2500);
+    let beats = fabp_encoding::packing::axi_beats(&fx.reference);
+
+    // (1) Fast-forward and per-beat agree while the configuration is
+    // pristine.
+    let fast = fx.engine.run_beats(&beats, &Registry::disabled());
+    let exact = fx.engine.run_beats_exact(&beats, &Registry::disabled());
+    assert_eq!(fast.hits, exact.hits);
+    assert_eq!(fast.stats, exact.stats);
+    assert_eq!(fast.hits, fx.baseline);
+
+    // (2) An uncorrected upset campaign corrupts results relative to the
+    // golden fast-forward baseline.
+    let mut schedule = FaultSchedule::new();
+    for bit in 0..32 {
+        schedule.push(FaultKind::ConfigUpset {
+            beat: 0,
+            lut: fabp_resilience::ConfigLut::Compare,
+            bit,
+        });
+    }
+    let runner = ResilientRunner::new(&fx.engine, ResilienceLevel::Off, schedule);
+    let corrupted = runner
+        .run(&fx.reference, &Registry::disabled())
+        .expect("off level runs to completion");
+    assert_ne!(
+        corrupted.run.hits, fast.hits,
+        "upset campaign must visibly diverge from the golden fast path"
+    );
+
+    // (3) With the live cell upset, push_beats_fast must take the slow
+    // path and match a hand-rolled per-beat loop on the same upset.
+    let golden = fx.engine.session().cell();
+    let upset = fabp_fpga::comparator::ComparatorCell::from_luts(
+        golden.mux(),
+        fabp_fpga::primitives::Lut6::from_init(golden.cmp().init() ^ 0xFFFF_FFFF),
+    );
+    let mut fast_session = fx.engine.session();
+    fast_session.set_cell(upset);
+    fast_session.push_beats_fast(&beats);
+    let fast_corrupted = fast_session.finish_with_registry(&Registry::disabled());
+    let mut exact_session = fx.engine.session();
+    exact_session.set_cell(upset);
+    for beat in &beats {
+        exact_session.push_beat(beat);
+    }
+    let exact_corrupted = exact_session.finish_with_registry(&Registry::disabled());
+    assert_eq!(fast_corrupted.hits, exact_corrupted.hits);
+    assert_eq!(fast_corrupted.stats, exact_corrupted.stats);
+}

@@ -1,0 +1,482 @@
+//! `bench_serve` — closed-loop load generator for the serving layer.
+//!
+//! Drives `fabp_serve::FabpServer` with a pinned synthetic multi-tenant
+//! workload and emits `BENCH_serve.json` with two entry classes:
+//!
+//! * **time** entries (wall-clock: sustained queries/second as
+//!   `ns_per_query`, p50/p99 latency) — machine-dependent, gated in CI
+//!   with a loose tolerance;
+//! * **rate** entries (shed rate under a deadline burst, backpressure
+//!   reject rate under an admission flood, query/reference cache hit
+//!   rates) — **deterministic by construction** (manual clock, fixed
+//!   submission order), gated exactly.
+//!
+//! Before any timing, the harness cross-checks the transparency
+//! invariant on the measured workload: every served hit list must be
+//! bit-identical to a sequential single-query `FabpAligner` run.
+//!
+//! ```text
+//! cargo run --release -p fabp-bench --bin bench_serve -- \
+//!     [--quick] [--out BENCH_serve.json] \
+//!     [--baseline BENCH_serve.json --check [--tolerance 0.50]]
+//! ```
+
+use fabp_bio::generate::{coding_rna_for_paper_patterns, random_protein, random_rna};
+use fabp_bio::seq::{ProteinSeq, RnaSeq};
+use fabp_core::aligner::{Engine, FabpAligner, Threshold};
+use fabp_serve::{BatchPolicy, FabpError, FabpServer, Response, ServeBackend, ServeConfig};
+use fabp_telemetry::Registry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 0xFAB9_0005;
+
+/// One measured (or derived) benchmark result.
+struct Entry {
+    id: String,
+    /// `"time"` (ns, lower is better) or `"rate"` (fraction/ratio,
+    /// higher is better; deterministic entries are equal across runs).
+    kind: &'static str,
+    value: f64,
+    note: String,
+}
+
+impl Entry {
+    fn time(id: &str, nanos: f64, note: String) -> Entry {
+        Entry {
+            id: id.to_string(),
+            kind: "time",
+            value: nanos,
+            note,
+        }
+    }
+
+    fn rate(id: &str, value: f64, note: String) -> Entry {
+        Entry {
+            id: id.to_string(),
+            kind: "rate",
+            value,
+            note,
+        }
+    }
+}
+
+/// Pinned workload shape.
+struct Shape {
+    tag: &'static str,
+    /// Distinct proteins in the query stream.
+    unique_queries: usize,
+    /// Times the stream is replayed (repeats exercise the caches).
+    repeats: usize,
+    /// Resident reference size, bases.
+    reference_bases: usize,
+    query_aa: usize,
+    tenants: usize,
+    threads: usize,
+}
+
+const QUICK: Shape = Shape {
+    tag: "quick",
+    unique_queries: 16,
+    repeats: 4,
+    reference_bases: 100_000,
+    query_aa: 12,
+    tenants: 3,
+    threads: 4,
+};
+
+const FULL: Shape = Shape {
+    tag: "full",
+    unique_queries: 64,
+    repeats: 4,
+    reference_bases: 1_000_000,
+    query_aa: 16,
+    tenants: 4,
+    threads: 4,
+};
+
+/// Synthetic planted workload: every query hits the reference.
+fn workload(shape: &Shape) -> (RnaSeq, Vec<ProteinSeq>) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let queries: Vec<ProteinSeq> = (0..shape.unique_queries)
+        .map(|_| random_protein(shape.query_aa, &mut rng))
+        .collect();
+    let mut bases = random_rna(shape.reference_bases, &mut rng).into_inner();
+    let stride = shape.reference_bases / shape.unique_queries;
+    for (i, protein) in queries.iter().enumerate() {
+        let coding = coding_rna_for_paper_patterns(protein, &mut rng);
+        let at = i * stride;
+        if at + coding.len() <= bases.len() {
+            bases.splice(at..at + coding.len(), coding.iter().copied());
+        }
+    }
+    (RnaSeq::from(bases), queries)
+}
+
+fn config(shape: &Shape) -> ServeConfig {
+    ServeConfig {
+        threshold: Threshold::Fraction(0.9),
+        queue_capacity: 4 * shape.unique_queries * shape.repeats,
+        policy: BatchPolicy {
+            max_batch: 32,
+            slo_us: 100_000,
+            ..BatchPolicy::default()
+        },
+        backend: ServeBackend::Software {
+            threads: shape.threads,
+        },
+        query_cache: 2 * shape.unique_queries,
+        reference_cache: 4,
+        default_deadline_us: None,
+        max_query_aa: 128,
+    }
+}
+
+/// Sustained closed-loop throughput + latency over the repeated stream.
+fn sustained(shape: &Shape, entries: &mut Vec<Entry>) {
+    let (reference, queries) = workload(shape);
+    let registry = Registry::disabled();
+    let mut server =
+        FabpServer::new(reference.clone(), config(shape), &registry).expect("server builds");
+
+    let started = std::time::Instant::now();
+    let mut responses: Vec<Response> = Vec::new();
+    for _ in 0..shape.repeats {
+        for (i, protein) in queries.iter().enumerate() {
+            let tenant = format!("tenant-{}", i % shape.tenants);
+            loop {
+                match server.submit(&tenant, protein) {
+                    Ok(_) => break,
+                    Err(FabpError::Overloaded { .. }) => responses.extend(server.pump()),
+                    Err(e) => panic!("pinned workload rejected: {e}"),
+                }
+            }
+        }
+    }
+    responses.extend(server.run_to_completion());
+    let wall = started.elapsed();
+
+    // Transparency gate: a perf number for a wrong answer is worse than
+    // no number. Every response must match the sequential oracle.
+    let total = shape.unique_queries * shape.repeats;
+    assert_eq!(responses.len(), total, "{}: lost responses", shape.tag);
+    let mut oracle: Vec<Vec<fabp_core::hits::Hit>> = Vec::new();
+    for protein in &queries {
+        let aligner = FabpAligner::builder()
+            .protein_query(protein)
+            .threshold(Threshold::Fraction(0.9))
+            .engine(Engine::Software { threads: 1 })
+            .build()
+            .expect("pinned query builds");
+        oracle.push(aligner.search(&reference).hits);
+    }
+    for response in &responses {
+        let expected = &oracle[(response.id as usize) % shape.unique_queries];
+        let hits = response
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{}: request {} failed: {e}", shape.tag, response.id));
+        assert_eq!(hits, expected, "{}: batching changed hits", shape.tag);
+        assert!(!hits.is_empty(), "{}: planted query must hit", shape.tag);
+    }
+
+    let mut latencies: Vec<u64> = responses.iter().map(|r| r.latency_us).collect();
+    latencies.sort_unstable();
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p).round() as usize];
+    let stats = server.stats();
+    let tag = shape.tag;
+    entries.push(Entry::time(
+        &format!("serve_ns_per_query_{tag}"),
+        wall.as_nanos() as f64 / total as f64,
+        format!(
+            "{total} queries ({} unique × {}) closed-loop, {:.0} q/s",
+            shape.unique_queries,
+            shape.repeats,
+            total as f64 / wall.as_secs_f64().max(1e-9)
+        ),
+    ));
+    entries.push(Entry::time(
+        &format!("serve_p50_latency_{tag}"),
+        pct(0.50) as f64 * 1e3,
+        "median submit-to-response latency".to_string(),
+    ));
+    entries.push(Entry::time(
+        &format!("serve_p99_latency_{tag}"),
+        pct(0.99) as f64 * 1e3,
+        "tail submit-to-response latency".to_string(),
+    ));
+    // Deterministic: each unique query misses once, then hits R-1 times
+    // regardless of batch boundaries.
+    entries.push(Entry::rate(
+        &format!("serve_query_cache_hit_rate_{tag}"),
+        stats.query_cache.hit_rate(),
+        format!(
+            "expected exactly {:.3} = (repeats-1)/repeats",
+            (shape.repeats - 1) as f64 / shape.repeats as f64
+        ),
+    ));
+    let expected_rate = (shape.repeats - 1) as f64 / shape.repeats as f64;
+    assert!(
+        (stats.query_cache.hit_rate() - expected_rate).abs() < 1e-9,
+        "{tag}: cache hit rate {} != {expected_rate}",
+        stats.query_cache.hit_rate()
+    );
+}
+
+/// Deterministic deadline burst on a manual clock: half the stream
+/// expires while queued, half survives → shed rate exactly 0.5.
+fn shed_burst(shape: &Shape, entries: &mut Vec<Entry>) {
+    let (reference, queries) = workload(shape);
+    let registry = Registry::disabled();
+    let mut server =
+        FabpServer::with_manual_clock(reference, config(shape), &registry).expect("server builds");
+    let n = queries.len();
+    for protein in &queries {
+        server
+            .submit_with_deadline("doomed", protein, Some(500))
+            .expect("capacity fits the burst");
+    }
+    server.advance_clock_us(10_000); // every deadline expires while queued
+    for protein in &queries {
+        server
+            .submit_with_deadline("live", protein, None)
+            .expect("capacity fits the burst");
+    }
+    let responses = server.run_to_completion();
+    assert_eq!(responses.len(), 2 * n);
+    let shed = responses
+        .iter()
+        .filter(|r| matches!(r.result, Err(FabpError::DeadlineExceeded { .. })))
+        .count();
+    let served = responses.iter().filter(|r| r.result.is_ok()).count();
+    assert_eq!((shed, served), (n, n), "{}: shed split", shape.tag);
+    entries.push(Entry::rate(
+        &format!("serve_shed_rate_{}", shape.tag),
+        shed as f64 / (2 * n) as f64,
+        "deterministic deadline burst: half the stream expires queued".to_string(),
+    ));
+}
+
+/// Deterministic admission flood: capacity C, open-loop submit C + C/2
+/// without pumping → exactly C/2 typed Overloaded rejections.
+fn backpressure_flood(shape: &Shape, entries: &mut Vec<Entry>) {
+    let (reference, queries) = workload(shape);
+    let registry = Registry::disabled();
+    let capacity = queries.len();
+    let flood = capacity + capacity / 2;
+    let mut cfg = config(shape);
+    cfg.queue_capacity = capacity;
+    let mut server = FabpServer::new(reference, cfg, &registry).expect("server builds");
+    let mut rejected = 0usize;
+    for i in 0..flood {
+        match server.submit("flood", &queries[i % queries.len()]) {
+            Ok(_) => {}
+            Err(FabpError::Overloaded { .. }) => rejected += 1,
+            Err(e) => panic!("unexpected rejection: {e}"),
+        }
+    }
+    assert_eq!(rejected, flood - capacity, "{}: reject count", shape.tag);
+    let responses = server.run_to_completion();
+    assert_eq!(responses.len(), capacity);
+    entries.push(Entry::rate(
+        &format!("serve_reject_rate_{}", shape.tag),
+        rejected as f64 / flood as f64,
+        "deterministic open-loop flood at 1.5× queue capacity".to_string(),
+    ));
+}
+
+fn emit_json(mode: &str, entries: &[Entry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"fabp-bench-serve/1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let field = match e.kind {
+            "time" => format!("\"ns_per_op\": {:.1}", e.value),
+            _ => format!("\"rate\": {:.6}", e.value),
+        };
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"kind\": \"{}\", {field}, \"note\": \"{}\"}}{comma}\n",
+            e.id, e.kind, e.note
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..]
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .map(|e| e + start)
+        .unwrap_or(line.len());
+    line[start..end].parse().ok()
+}
+
+fn parse_entries(text: &str) -> Vec<(String, String, f64)> {
+    text.lines()
+        .filter_map(|line| {
+            let id = field_str(line, "id")?;
+            let kind = field_str(line, "kind")?;
+            let value = match kind {
+                "time" => field_num(line, "ns_per_op")?,
+                "rate" => field_num(line, "rate")?,
+                _ => return None,
+            };
+            Some((id.to_string(), kind.to_string(), value))
+        })
+        .collect()
+}
+
+/// `time` entries may not regress beyond `tolerance`; `rate` entries may
+/// not drop below `baseline × (1 − rate_slack)` where the slack is tight
+/// (rates are deterministic).
+fn check_against_baseline(entries: &[Entry], baseline_text: &str, tolerance: f64) -> usize {
+    const RATE_SLACK: f64 = 1e-6;
+    let baseline = parse_entries(baseline_text);
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for e in entries {
+        let Some((_, _, base)) = baseline
+            .iter()
+            .find(|(id, kind, _)| *id == e.id && *kind == e.kind)
+        else {
+            eprintln!("bench_serve: note: `{}` not in baseline (new entry)", e.id);
+            continue;
+        };
+        compared += 1;
+        match e.kind {
+            "time" => {
+                let limit = base * (1.0 + tolerance);
+                if e.value > limit {
+                    regressions += 1;
+                    eprintln!(
+                        "bench_serve: REGRESSION `{}`: {:.0} ns vs baseline {:.0} ns \
+                         (+{:.1} %, limit +{:.0} %)",
+                        e.id,
+                        e.value,
+                        base,
+                        (e.value / base - 1.0) * 100.0,
+                        tolerance * 100.0
+                    );
+                } else {
+                    eprintln!(
+                        "bench_serve: ok `{}`: {:.0} ns (baseline {:.0}, {:+.1} %)",
+                        e.id,
+                        e.value,
+                        base,
+                        (e.value / base - 1.0) * 100.0
+                    );
+                }
+            }
+            _ => {
+                let limit = base * (1.0 - RATE_SLACK);
+                if e.value < limit {
+                    regressions += 1;
+                    eprintln!(
+                        "bench_serve: REGRESSION `{}`: rate {:.6} vs baseline {:.6}",
+                        e.id, e.value, base
+                    );
+                } else {
+                    eprintln!(
+                        "bench_serve: ok `{}`: rate {:.6} (baseline {:.6})",
+                        e.id, e.value, base
+                    );
+                }
+            }
+        }
+    }
+    assert!(compared > 0, "baseline shares no entry ids with this run");
+    regressions
+}
+
+fn main() {
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut quick = false;
+    let mut check = false;
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance = 0.50f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = it.next().expect("missing value for --out"),
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--baseline" => baseline_path = Some(it.next().expect("missing value for --baseline")),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .expect("missing value for --tolerance")
+                    .parse()
+                    .expect("--tolerance takes a fraction, e.g. 0.50")
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_serve [--quick] [--out BENCH_serve.json] \
+                     [--baseline FILE --check [--tolerance 0.50]]"
+                );
+                std::process::exit(2);
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut entries = Vec::new();
+    sustained(&QUICK, &mut entries);
+    shed_burst(&QUICK, &mut entries);
+    backpressure_flood(&QUICK, &mut entries);
+    let mode = if quick {
+        "quick"
+    } else {
+        sustained(&FULL, &mut entries);
+        shed_burst(&FULL, &mut entries);
+        backpressure_flood(&FULL, &mut entries);
+        "full"
+    };
+
+    for e in &entries {
+        match e.kind {
+            "time" => eprintln!(
+                "bench_serve: {:<34} {:>14.0} ns   ({})",
+                e.id, e.value, e.note
+            ),
+            _ => eprintln!(
+                "bench_serve: {:<34} {:>14.6}      ({})",
+                e.id, e.value, e.note
+            ),
+        }
+    }
+
+    let json = emit_json(mode, &entries);
+    std::fs::write(&out_path, &json).expect("write benchmark snapshot");
+    eprintln!("bench_serve: snapshot written to {out_path}");
+
+    if check {
+        let path = baseline_path.expect("--check requires --baseline FILE");
+        let baseline_text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let regressions = check_against_baseline(&entries, &baseline_text, tolerance);
+        if regressions > 0 {
+            eprintln!("bench_serve: {regressions} regression(s) beyond tolerance");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_serve: no regressions (time ±{:.0} %, rates exact)",
+            tolerance * 100.0
+        );
+    }
+}

@@ -49,10 +49,32 @@ pub fn search_all(
                 .map_err(FabpError::from)
         })
         .collect::<FabpResult<Vec<_>>>()?;
+    search_all_prebuilt(&aligners, reference, threads)
+}
 
+/// [`search_all`] over aligners the caller already built (and possibly
+/// cached) — the serving layer's dispatch path, where the encode and
+/// table-build cost of a repeated query is paid once and reused across
+/// micro-batches. Outcomes are returned in `aligners` order.
+///
+/// `A` is anything that borrows a [`FabpAligner`], so `&[FabpAligner]`
+/// and `&[Arc<FabpAligner>]` both work.
+///
+/// # Errors
+///
+/// [`FabpError::Internal`] only on a scheduler invariant violation (a
+/// result slot filled twice or left unfilled).
+pub fn search_all_prebuilt<A: std::borrow::Borrow<FabpAligner> + Sync>(
+    aligners: &[A],
+    reference: &RnaSeq,
+    threads: usize,
+) -> FabpResult<Vec<SearchOutcome>> {
     let threads = threads.max(1).min(aligners.len().max(1));
     if threads <= 1 {
-        return Ok(aligners.iter().map(|a| a.search(reference)).collect());
+        return Ok(aligners
+            .iter()
+            .map(|a| a.borrow().search(reference))
+            .collect());
     }
 
     // Telemetry handles are resolved once per batch, before any worker
@@ -103,7 +125,7 @@ pub fn search_all(
                         pending.dec();
                         steals.inc();
                         depth.set(1);
-                        claimed.push((i, aligners[i].search(reference)));
+                        claimed.push((i, aligners[i].borrow().search(reference)));
                         depth.set(0);
                     }
                     claimed

@@ -7,7 +7,7 @@
 //! each query, and merge hits — the query-throughput configuration a
 //! sequencing centre would run.
 
-use crate::hits::Hit;
+use crate::hits::{merge_overlapping_unsorted, merge_shard_hits, Hit, HitRegion};
 use fabp_bio::seq::{PackedSeq, RnaSeq};
 use fabp_encoding::encoder::EncodedQuery;
 use fabp_fpga::engine::{EngineConfig, FabpEngine};
@@ -149,18 +149,53 @@ impl FpgaCluster {
     /// [`FabpError::InvalidShardPlan`] when the shard or offset counts do
     /// not match the cluster's node count.
     pub fn search(&self, shards: &[RnaSeq], shard_offsets: &[usize]) -> FabpResult<Vec<Hit>> {
-        self.check_shards(shards, shard_offsets)?;
-        let mut hits = Vec::new();
-        for ((engine, shard), &offset) in self.engines.iter().zip(shards).zip(shard_offsets) {
-            let run = engine.run(&PackedSeq::from_rna(shard));
-            hits.extend(run.hits.into_iter().map(|h| Hit {
-                position: h.position + offset,
-                score: h.score,
-            }));
+        let packed: Vec<PackedSeq> = shards.iter().map(PackedSeq::from_rna).collect();
+        self.search_packed(&packed, shard_offsets)
+    }
+
+    /// [`FpgaCluster::search`] over pre-packed shards — the engine's
+    /// native input. Serving layers that keep packed shards resident
+    /// (e.g. `fabp-serve`'s reference cache) use this entry point to
+    /// skip the per-query repack of the whole database.
+    ///
+    /// # Errors
+    ///
+    /// [`FabpError::InvalidShardPlan`] when the shard or offset counts do
+    /// not match the cluster's node count.
+    pub fn search_packed(
+        &self,
+        shards: &[PackedSeq],
+        shard_offsets: &[usize],
+    ) -> FabpResult<Vec<Hit>> {
+        if shards.len() != self.engines.len() || shards.len() != shard_offsets.len() {
+            return Err(FabpError::InvalidShardPlan(format!(
+                "{} shard(s) / {} offset(s) for a {}-node cluster",
+                shards.len(),
+                shard_offsets.len(),
+                self.engines.len()
+            )));
         }
-        hits.sort_by_key(|h| h.position);
-        hits.dedup();
-        Ok(hits)
+        let per_shard = self
+            .engines
+            .iter()
+            .zip(shards)
+            .zip(shard_offsets)
+            .map(|((engine, shard), &offset)| {
+                engine
+                    .run(shard)
+                    .hits
+                    .into_iter()
+                    .map(|h| Hit {
+                        position: h.position + offset,
+                        score: h.score,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>();
+        // Cross-shard duplicates (windows in shard i's overlap tail and
+        // shard i+1's head) are removed by the shared merge helper — the
+        // same one every shard-composing caller must use.
+        Ok(merge_shard_hits(per_shard))
     }
 
     fn check_shards(&self, shards: &[RnaSeq], shard_offsets: &[usize]) -> FabpResult<()> {
@@ -284,8 +319,10 @@ impl FpgaCluster {
             rtel::count_recovered(registry, "node_kill");
         }
 
-        hits.sort_by_key(|h| h.position);
-        hits.dedup();
+        // The re-dispatch loop above appends orphan-shard hits *after*
+        // higher-offset survivors, so `hits` is legally out of order
+        // here; the shared helper sorts before deduplicating.
+        let hits = merge_shard_hits([hits]);
 
         let degraded = if !dead.is_empty() && level.recovers() {
             let nominal = self.timing();
@@ -408,6 +445,15 @@ pub struct ClusterSearchOutcome {
     pub degraded: Option<DegradedTiming>,
 }
 
+impl ClusterSearchOutcome {
+    /// Merges the outcome's hits into [`HitRegion`]s via the
+    /// sort-before-merge path, which never panics on hit lists assembled
+    /// from out-of-order shard completions.
+    pub fn regions(&self, query_len: usize) -> Vec<HitRegion> {
+        merge_overlapping_unsorted(&self.hits, query_len)
+    }
+}
+
 /// Nominal vs. post-failure cluster timing.
 #[derive(Debug, Clone, Copy)]
 pub struct DegradedTiming {
@@ -473,6 +519,7 @@ pub fn shard_with_overlap(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hits::merge_overlapping;
     use fabp_bio::generate::{coding_rna_for_paper_patterns, random_protein, random_rna};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -659,6 +706,90 @@ mod tests {
         ));
     }
 
+    // ---- cross-shard duplicate regression (ISSUE 5 satellite) ----
+
+    #[test]
+    fn composed_shard_searches_do_not_duplicate_boundary_hits() {
+        // A caller composing `try_shard_with_overlap` with per-shard
+        // engine runs (exactly what `batch::search_all`-style serving
+        // layers do) must get the single-engine hit list. Pre-fix, the
+        // dedup lived only inside `FpgaCluster::search`, so this
+        // composition double-reported the boundary homology: naive
+        // concatenation contains it once from shard 1's overlap tail and
+        // once from shard 2's head.
+        //
+        // Shards carry 64 bases of overlap — the serving-layer shape,
+        // where overlap is sized for the *longest* supported query, so a
+        // shorter query's boundary windows are evaluated by two nodes.
+        let mut rng = StdRng::seed_from_u64(21);
+        let protein = random_protein(10, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        let qlen = query.len(); // 30 ≤ overlap
+        let overlap = 64usize;
+        let coding = coding_rna_for_paper_patterns(&protein, &mut rng);
+
+        // 4 shards of 500 bases; plant a homology just past the shard
+        // boundary at 1000 — its window [1005, 1035) lies inside both
+        // shard 1's overlap tail ([500, 1064)) and shard 2 ([1000, …)).
+        let mut bases = random_rna(2_000, &mut rng).into_inner();
+        bases.splice(1_005..1_005 + coding.len(), coding.iter().copied());
+        let reference = RnaSeq::from(bases);
+
+        let single = FabpEngine::new(query.clone(), EngineConfig::kintex7(qlen as u32)).unwrap();
+        let expected: Vec<Hit> = single.run(&PackedSeq::from_rna(&reference)).hits;
+        assert!(
+            expected.iter().any(|h| h.position == 1_005),
+            "fixture must plant a boundary hit: {expected:?}"
+        );
+
+        // Per-shard runs, hits translated to global coordinates — the
+        // composition a multi-query serving layer performs.
+        let (shards, offsets) = shard_with_overlap(&reference, 4, overlap);
+        let per_shard: Vec<Vec<Hit>> = shards
+            .iter()
+            .zip(&offsets)
+            .map(|(shard, &offset)| {
+                let engine =
+                    FabpEngine::new(query.clone(), EngineConfig::kintex7(qlen as u32)).unwrap();
+                engine
+                    .run(&PackedSeq::from_rna(shard))
+                    .hits
+                    .into_iter()
+                    .map(|h| Hit {
+                        position: h.position + offset,
+                        score: h.score,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Pre-fix behaviour (concatenate + sort, no shared dedup):
+        // the boundary hit appears twice.
+        let mut naive: Vec<Hit> = per_shard.iter().flatten().copied().collect();
+        naive.sort_by_key(|h| h.position);
+        assert!(
+            naive.len() > expected.len()
+                && naive.iter().filter(|h| h.position == 1_005).count() >= 2,
+            "fixture must exhibit the duplicate the helper exists to remove: {naive:?}"
+        );
+
+        // Post-fix: the shared helper restores the single-engine list.
+        let merged = crate::hits::merge_shard_hits(per_shard);
+        assert_eq!(merged, expected, "shared shard merge must deduplicate");
+
+        // And the cluster path agrees with the helper (same code now).
+        let cluster = FpgaCluster::homogeneous(
+            &query,
+            &EngineConfig::kintex7(qlen as u32),
+            4,
+            reference.len() as u64,
+        )
+        .unwrap();
+        assert_eq!(cluster.search(&shards, &offsets).unwrap(), expected);
+        let packed: Vec<PackedSeq> = shards.iter().map(PackedSeq::from_rna).collect();
+        assert_eq!(cluster.search_packed(&packed, &offsets).unwrap(), expected);
+    }
+
     // ---- node-kill recovery (tentpole acceptance) ----
 
     #[test]
@@ -748,6 +879,81 @@ mod tests {
             !off.hits.iter().any(|h| h.position == 300),
             "off level must lose node 0's hit"
         );
+    }
+
+    #[test]
+    fn node_kill_then_region_merge_does_not_panic() {
+        // Chaos regression (ISSUE 5 satellite): the re-dispatch path
+        // legally completes shards out of offset order — the dead node's
+        // shard runs on a survivor *after* higher-offset shards. Merging
+        // that intermediate list with the strict `merge_overlapping`
+        // panics; the cluster/serve paths must sort before merging.
+        let mut rng = StdRng::seed_from_u64(31);
+        let protein = random_protein(10, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        let qlen = query.len();
+        let coding = coding_rna_for_paper_patterns(&protein, &mut rng);
+        let mut bases = random_rna(1_600, &mut rng).into_inner();
+        // One homology on the to-be-killed node 0, one on node 3.
+        bases.splice(100..100 + coding.len(), coding.iter().copied());
+        bases.splice(1_300..1_300 + coding.len(), coding.iter().copied());
+        let reference = RnaSeq::from(bases);
+
+        let cluster = FpgaCluster::homogeneous(
+            &query,
+            &EngineConfig::kintex7(qlen as u32),
+            4,
+            reference.len() as u64,
+        )
+        .unwrap();
+        let (shards, offsets) = shard_with_overlap(&reference, 4, qlen - 1);
+        let baseline = cluster.search(&shards, &offsets).unwrap();
+
+        // Reproduce the redispatch completion order: survivors 1..3
+        // first, then node 0's orphan shard re-run on survivor 1.
+        let mut completion_order: Vec<Hit> = Vec::new();
+        for node in [1usize, 2, 3, 0] {
+            // Node 0 is dead; its shard re-runs on survivor 1.
+            let engine = &cluster.engines[if node == 0 { 1 } else { node }];
+            let run = engine.run(&PackedSeq::from_rna(&shards[node]));
+            completion_order.extend(run.hits.into_iter().map(|h| Hit {
+                position: h.position + offsets[node],
+                score: h.score,
+            }));
+        }
+        assert!(
+            completion_order
+                .windows(2)
+                .any(|w| w[1].position < w[0].position),
+            "fixture must produce an out-of-order list: {completion_order:?}"
+        );
+        let strict = std::panic::catch_unwind(|| merge_overlapping(&completion_order, qlen));
+        assert!(
+            strict.is_err(),
+            "strict merge must panic on redispatch order"
+        );
+        // Sort-before-merge handles it and matches the fault-free regions.
+        let regions = merge_overlapping_unsorted(&completion_order, qlen);
+        assert_eq!(regions, merge_overlapping(&baseline, qlen));
+
+        // The full resilient path: kill node 0, recover, merge regions
+        // through the outcome's sort-before-merge accessor.
+        let schedule = FaultSchedule::parse("kill@0:1").unwrap();
+        let outcome = cluster
+            .search_resilient(
+                &shards,
+                &offsets,
+                ResilienceLevel::Recover,
+                &schedule,
+                &fabp_telemetry::Registry::disabled(),
+            )
+            .unwrap();
+        assert_eq!(outcome.hits, baseline);
+        assert_eq!(outcome.regions(qlen), merge_overlapping(&baseline, qlen));
+        assert!(outcome
+            .regions(qlen)
+            .iter()
+            .any(|r| r.best.position == 100 || r.start <= 100));
     }
 
     #[test]

@@ -70,6 +70,54 @@ pub fn merge_overlapping(hits: &[Hit], query_len: usize) -> Vec<HitRegion> {
     regions
 }
 
+/// Merges per-shard hit lists (already translated into **global**
+/// coordinates) into one position-sorted, duplicate-free list.
+///
+/// This is the one shared merge step for every shard-composing path —
+/// [`crate::cluster::FpgaCluster::search`], the resilient re-dispatch
+/// path, and any caller composing
+/// [`crate::cluster::try_shard_with_overlap`] with per-shard engines
+/// (e.g. `fabp-serve`'s sharded backend). Shards built with
+/// `query_len - 1` bases of trailing overlap evaluate every window
+/// straddling a boundary on **two** nodes; both report the same
+/// `(position, score)` pair, and naive concatenation double-counts it.
+/// Sorting then deduplicating exact duplicates restores the
+/// single-engine hit list.
+///
+/// Input order is irrelevant (lists are sorted here), so the helper is
+/// also safe for the resilient path, where re-dispatched orphan shards
+/// complete *after* higher-offset survivors.
+pub fn merge_shard_hits(per_shard: impl IntoIterator<Item = Vec<Hit>>) -> Vec<Hit> {
+    let mut hits: Vec<Hit> = per_shard.into_iter().flatten().collect();
+    dedup_sorted_hits(&mut hits);
+    hits
+}
+
+/// Sorts `hits` by `(position, score)` and removes exact duplicates
+/// in place — the flat-list form of [`merge_shard_hits`].
+pub fn dedup_sorted_hits(hits: &mut Vec<Hit>) {
+    hits.sort_unstable_by_key(|h| (h.position, h.score));
+    hits.dedup();
+}
+
+/// Like [`merge_overlapping`], but tolerates unsorted input by sorting
+/// a copy first (sort-before-merge).
+///
+/// Use this on hit lists whose ordering is not guaranteed — e.g. the
+/// intermediate lists of [`crate::cluster::FpgaCluster::search_resilient`]
+/// while dead-node shards are being re-dispatched to survivors, which
+/// legally completes shards out of offset order. [`merge_overlapping`]
+/// panics on such input; this variant never does.
+///
+/// # Panics
+///
+/// Panics if `query_len == 0` (an empty query has no windows).
+pub fn merge_overlapping_unsorted(hits: &[Hit], query_len: usize) -> Vec<HitRegion> {
+    let mut sorted = hits.to_vec();
+    dedup_sorted_hits(&mut sorted);
+    merge_overlapping(&sorted, query_len)
+}
+
 /// The `k` best hits by score (ties: lower position first).
 pub fn top_k(hits: &[Hit], k: usize) -> Vec<Hit> {
     let mut sorted: Vec<Hit> = hits.to_vec();
@@ -139,5 +187,44 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn merge_rejects_zero_query_len() {
         let _ = merge_overlapping(&[hit(0, 1)], 0);
+    }
+
+    #[test]
+    fn shard_merge_drops_cross_shard_duplicates() {
+        // Shard i's overlap tail and shard i+1's head both report the
+        // boundary-straddling window at position 98.
+        let shard0 = vec![hit(10, 5), hit(98, 9)];
+        let shard1 = vec![hit(98, 9), hit(120, 7)];
+        let merged = merge_shard_hits([shard0, shard1]);
+        assert_eq!(merged, vec![hit(10, 5), hit(98, 9), hit(120, 7)]);
+    }
+
+    #[test]
+    fn shard_merge_sorts_out_of_order_lists() {
+        // Re-dispatch order: the orphaned low-offset shard finishes last.
+        let survivor = vec![hit(500, 4), hit(800, 6)];
+        let orphan = vec![hit(100, 3)];
+        let merged = merge_shard_hits([survivor, orphan]);
+        assert_eq!(merged, vec![hit(100, 3), hit(500, 4), hit(800, 6)]);
+    }
+
+    #[test]
+    fn shard_merge_keeps_distinct_scores_at_one_position() {
+        // Same position, different scores (multi-pass artefact): both are
+        // distinct hits and must survive the exact-duplicate dedup.
+        let merged = merge_shard_hits([vec![hit(42, 8)], vec![hit(42, 9)]]);
+        assert_eq!(merged, vec![hit(42, 8), hit(42, 9)]);
+    }
+
+    #[test]
+    fn unsorted_merge_matches_sorted_merge() {
+        let unsorted = [hit(400, 55), hit(100, 50), hit(102, 52), hit(101, 58)];
+        let regions = merge_overlapping_unsorted(&unsorted, 60);
+        let mut sorted = unsorted.to_vec();
+        sorted.sort_by_key(|h| h.position);
+        assert_eq!(regions, merge_overlapping(&sorted, 60));
+        // The strict variant panics on the same input.
+        let panicked = std::panic::catch_unwind(|| merge_overlapping(&unsorted, 60));
+        assert!(panicked.is_err(), "strict merge must reject unsorted hits");
     }
 }

@@ -46,7 +46,10 @@ pub mod streaming;
 
 pub use aligner::{BuildError, Engine, FabpAligner, SearchOutcome, Threshold};
 pub use bitparallel::BitParallelEngine;
-pub use hits::{best_hit, merge_overlapping, top_k, Hit, HitRegion};
+pub use hits::{
+    best_hit, dedup_sorted_hits, merge_overlapping, merge_overlapping_unsorted, merge_shard_hits,
+    top_k, Hit, HitRegion,
+};
 pub use software::SoftwareEngine;
 pub use streaming::StreamingAligner;
 

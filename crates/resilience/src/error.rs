@@ -89,6 +89,20 @@ pub enum FabpError {
     /// A cluster/shard plan is invalid (zero nodes, empty shard list,
     /// mismatched offsets, …).
     InvalidShardPlan(String),
+    /// The serving layer's admission queue is full — backpressure; the
+    /// client should retry after a backoff.
+    Overloaded {
+        /// Requests currently queued.
+        queue_depth: usize,
+        /// Configured admission-queue capacity.
+        capacity: usize,
+    },
+    /// A request's deadline expired before (or while) it was served and
+    /// the serving layer shed it.
+    DeadlineExceeded {
+        /// Microseconds past the deadline when the request was shed.
+        late_us: u64,
+    },
     /// A user-supplied fault-schedule or CLI spec failed to parse.
     InvalidSpec(String),
     /// An invariant the code relies on was violated — the typed
@@ -102,7 +116,9 @@ impl FabpError {
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            FabpError::CrcMismatch { .. } | FabpError::StreamStall { .. }
+            FabpError::CrcMismatch { .. }
+                | FabpError::StreamStall { .. }
+                | FabpError::Overloaded { .. }
         )
     }
 
@@ -118,6 +134,8 @@ impl FabpError {
             FabpError::Decode(_) => "decode",
             FabpError::RetriesExhausted { .. } => "retries_exhausted",
             FabpError::InvalidShardPlan(_) => "invalid_shard_plan",
+            FabpError::Overloaded { .. } => "overloaded",
+            FabpError::DeadlineExceeded { .. } => "deadline_exceeded",
             FabpError::InvalidSpec(_) => "invalid_spec",
             FabpError::Internal(_) => "internal",
         }
@@ -158,6 +176,16 @@ impl fmt::Display for FabpError {
                 write!(f, "gave up after {attempts} attempt(s): {last}")
             }
             FabpError::InvalidShardPlan(msg) => write!(f, "invalid shard plan: {msg}"),
+            FabpError::Overloaded {
+                queue_depth,
+                capacity,
+            } => write!(
+                f,
+                "admission queue full ({queue_depth}/{capacity} requests); retry after backoff"
+            ),
+            FabpError::DeadlineExceeded { late_us } => {
+                write!(f, "request deadline exceeded by {late_us} µs; shed")
+            }
             FabpError::InvalidSpec(msg) => write!(f, "invalid fault spec: {msg}"),
             FabpError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
@@ -204,6 +232,27 @@ mod tests {
         .is_transient());
         assert!(!FabpError::NodeDown { node: 2 }.is_transient());
         assert!(!FabpError::EmptyQuery.is_transient());
+        // Backpressure is transient (retry after backoff); a blown
+        // deadline is not (the result is no longer wanted).
+        assert!(FabpError::Overloaded {
+            queue_depth: 64,
+            capacity: 64
+        }
+        .is_transient());
+        assert!(!FabpError::DeadlineExceeded { late_us: 10 }.is_transient());
+    }
+
+    #[test]
+    fn serve_errors_display_and_label() {
+        let over = FabpError::Overloaded {
+            queue_depth: 64,
+            capacity: 64,
+        };
+        assert!(over.to_string().contains("64/64"));
+        assert_eq!(over.kind_label(), "overloaded");
+        let late = FabpError::DeadlineExceeded { late_us: 1234 };
+        assert!(late.to_string().contains("1234"));
+        assert_eq!(late.kind_label(), "deadline_exceeded");
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! # fabp-serve — the production query-serving layer
+//!
+//! The paper's headline claim is throughput over *many* queries against
+//! one resident database (§IV-A's 10 000-query evaluation); the natural
+//! deployment is a long-running service in front of the scan engines —
+//! the accelerator-as-a-service shape of ASAP and of Nguyen & Lavenier's
+//! fine-grained protein-search parallelization. This crate turns the
+//! one-shot `fabp-core` engines into that service:
+//!
+//! * [`queue::AdmissionQueue`] — a bounded admission queue with
+//!   backpressure ([`fabp_resilience::FabpError::Overloaded`] typed
+//!   rejections) and per-tenant round-robin fair scheduling, so one
+//!   heavy tenant cannot starve the rest.
+//! * [`batcher::AdaptiveBatcher`] — adaptive micro-batching: queued
+//!   queries are coalesced into `fabp_core::batch` /
+//!   `fabp_core::cluster::FpgaCluster` dispatches whose size adapts to
+//!   queue depth and a configurable latency SLO via an EWMA of observed
+//!   per-query cost.
+//! * [`cache::LruCache`] — content-hash-keyed LRU caches for built
+//!   aligners (encoded queries) and packed reference shards, with
+//!   hit/miss/eviction telemetry.
+//! * [`server::FabpServer`] — the serving loop: admission → shed
+//!   expired deadlines → micro-batch → dispatch → per-request
+//!   responses, wired into `fabp-resilience` recovery (cluster backend)
+//!   and `fabp-telemetry` metrics/spans throughout.
+//!
+//! **Transparency invariant:** batching is provably invisible — the
+//! hits served for a request are bit-identical to a sequential
+//! single-query [`fabp_core::FabpAligner`] run, whatever the
+//! interleaving of tenants, batch sizes, or cache state
+//! (pinned by the crate's proptest).
+//!
+//! ```
+//! use fabp_bio::seq::{ProteinSeq, RnaSeq};
+//! use fabp_serve::server::{FabpServer, ServeConfig};
+//!
+//! let reference: RnaSeq = "GGAUGUUUGGAUGUUUGG".parse()?;
+//! let registry = fabp_telemetry::Registry::new();
+//! let mut server = FabpServer::new(reference, ServeConfig::default(), &registry)?;
+//! let protein: ProteinSeq = "MF".parse()?;
+//! let ticket = server.submit("tenant-a", &protein)?;
+//! let responses = server.run_to_completion();
+//! let served = responses.iter().find(|r| r.id == ticket).expect("served");
+//! assert!(served.result.is_ok());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod batcher;
+pub mod cache;
+pub mod queue;
+pub mod server;
+
+pub use batcher::{AdaptiveBatcher, BatchPolicy};
+pub use cache::{content_hash, LruCache};
+pub use queue::{AdmissionQueue, Request};
+pub use server::{FabpServer, Response, ServeBackend, ServeConfig, ServerStats};
+
+// One import for callers that match on rejection reasons.
+pub use fabp_resilience::{FabpError, FabpResult};

@@ -1,0 +1,834 @@
+//! The serving loop: admission → shed → micro-batch → dispatch → respond.
+//!
+//! [`FabpServer`] owns one resident reference database and serves a
+//! multi-tenant query stream against it:
+//!
+//! ```text
+//! submit() ──► AdmissionQueue (bounded, per-tenant round-robin)
+//!                 │ pump()
+//!                 ▼
+//!           shed expired deadlines ──► Err(DeadlineExceeded) responses
+//!                 │
+//!                 ▼
+//!           AdaptiveBatcher picks the batch size (EWMA vs. SLO)
+//!                 │
+//!                 ▼
+//!           backend dispatch ──► Software: cached aligners +
+//!                 │               work-stealing batch::search_all_prebuilt
+//!                 │              Cluster: cached per-query FpgaCluster +
+//!                 │               cached packed shards, optional fault
+//!                 ▼               schedule through search_resilient
+//!           per-request Response { result, latency, … }
+//! ```
+//!
+//! **Transparency invariant.** Whatever batch sizes, tenant
+//! interleavings or cache states occur, the hits in a successful
+//! [`Response`] are bit-identical to a sequential single-query
+//! [`FabpAligner`] run with the same threshold — batching is an
+//! execution-schedule optimisation, never a semantic one. The crate's
+//! proptest pins this.
+//!
+//! Time is injectable: production servers run on a wall clock, tests use
+//! [`FabpServer::with_manual_clock`] plus [`FabpServer::advance_clock_us`]
+//! so deadline-shedding behaviour is deterministic.
+
+use crate::batcher::{AdaptiveBatcher, BatchPolicy};
+use crate::cache::{content_hash, CacheStats, LruCache};
+use crate::queue::{AdmissionQueue, Request};
+use fabp_bio::seq::{PackedSeq, ProteinSeq, RnaSeq};
+use fabp_core::aligner::{Engine, FabpAligner, Threshold};
+use fabp_core::batch::search_all_prebuilt;
+use fabp_core::cluster::{try_shard_with_overlap, FpgaCluster};
+use fabp_core::hits::Hit;
+use fabp_encoding::encoder::EncodedQuery;
+use fabp_fpga::engine::EngineConfig;
+use fabp_resilience::{FabpError, FabpResult, FaultSchedule, ResilienceLevel};
+use fabp_telemetry::{Counter, Histogram, Registry};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which engine pool executes dispatched batches.
+#[derive(Debug, Clone)]
+pub enum ServeBackend {
+    /// The fast functional engine, parallelised across the batch with
+    /// `threads` work-stealing workers.
+    Software {
+        /// Worker threads for [`search_all_prebuilt`] (1 = serial).
+        threads: usize,
+    },
+    /// A modelled FPGA cluster: one [`FpgaCluster`] per distinct query
+    /// (the query lives in flip-flops, so clusters are cached per query
+    /// content hash), packed shards resident in the reference cache.
+    Cluster {
+        /// Boards in the cluster.
+        nodes: usize,
+        /// Fault handling for dispatches (kills re-dispatch shards under
+        /// [`ResilienceLevel::Recover`]).
+        resilience: ResilienceLevel,
+        /// Optional fault-schedule spec (see
+        /// [`FaultSchedule::parse`], e.g. `"kill@1:50"`) applied to
+        /// every dispatch — chaos-testing hook, `None` in production.
+        fault_spec: Option<String>,
+    },
+}
+
+impl Default for ServeBackend {
+    fn default() -> ServeBackend {
+        ServeBackend::Software { threads: 1 }
+    }
+}
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Alignment threshold applied to every query.
+    pub threshold: Threshold,
+    /// Admission-queue capacity (requests queued before
+    /// [`FabpError::Overloaded`] rejections start).
+    pub queue_capacity: usize,
+    /// Adaptive micro-batching policy.
+    pub policy: BatchPolicy,
+    /// Execution backend.
+    pub backend: ServeBackend,
+    /// Entries in the built-aligner / built-cluster caches (per-query
+    /// artefacts keyed by protein content hash).
+    pub query_cache: usize,
+    /// Entries in the packed-reference cache.
+    pub reference_cache: usize,
+    /// Deadline attached to [`FabpServer::submit`] requests, as a
+    /// relative budget in microseconds (`None`: requests never expire).
+    pub default_deadline_us: Option<u64>,
+    /// Longest query accepted, amino acids. The cluster backend sizes
+    /// its shard overlap from this (`3 · max_query_aa` bases), so longer
+    /// queries are rejected at submit instead of silently losing
+    /// cross-shard hits.
+    pub max_query_aa: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            threshold: Threshold::Fraction(1.0),
+            queue_capacity: 1_024,
+            policy: BatchPolicy::default(),
+            backend: ServeBackend::default(),
+            query_cache: 256,
+            reference_cache: 8,
+            default_deadline_us: None,
+            max_query_aa: 128,
+        }
+    }
+}
+
+/// The server's answer to one request (successful, failed, or shed).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Ticket returned by [`FabpServer::submit`].
+    pub id: u64,
+    /// Tenant the request belonged to.
+    pub tenant: String,
+    /// Merged hits in global reference coordinates, or the typed error
+    /// that ended the request ([`FabpError::DeadlineExceeded`] for shed
+    /// requests, build/dispatch errors otherwise).
+    pub result: FabpResult<Vec<Hit>>,
+    /// Queue + service time on the server clock, microseconds.
+    pub latency_us: u64,
+    /// Size of the dispatch batch this request rode in (0 when shed
+    /// before dispatch).
+    pub batch_size: usize,
+    /// Whether the per-query artefact (aligner or cluster) was already
+    /// resident in the cache.
+    pub cached_query: bool,
+}
+
+/// Aggregate counters since server construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests accepted by [`FabpServer::submit`].
+    pub submitted: u64,
+    /// Requests rejected with [`FabpError::Overloaded`] or a submit-time
+    /// validation error.
+    pub rejected: u64,
+    /// Responses delivered with `Ok` hits.
+    pub served_ok: u64,
+    /// Responses delivered with a dispatch/build error.
+    pub served_err: u64,
+    /// Requests shed for an expired deadline.
+    pub shed: u64,
+    /// Dispatch batches executed.
+    pub batches: u64,
+    /// Largest batch dispatched.
+    pub peak_batch: usize,
+    /// Built-aligner / built-cluster cache counters.
+    pub query_cache: CacheStats,
+    /// Packed-reference cache counters.
+    pub reference_cache: CacheStats,
+}
+
+/// Injectable time source: wall for production, manual for tests.
+#[derive(Debug)]
+enum Clock {
+    Wall(Instant),
+    Manual(u64),
+}
+
+impl Clock {
+    fn now_us(&self) -> u64 {
+        match self {
+            Clock::Wall(epoch) => epoch.elapsed().as_micros() as u64,
+            Clock::Manual(t) => *t,
+        }
+    }
+}
+
+/// A long-running query-serving instance over one resident reference.
+#[derive(Debug)]
+pub struct FabpServer {
+    reference: RnaSeq,
+    config: ServeConfig,
+    registry: Registry,
+    clock: Clock,
+    next_id: u64,
+    queue: AdmissionQueue,
+    batcher: AdaptiveBatcher,
+    /// Built aligners (software backend), keyed by protein hash.
+    aligner_cache: LruCache<Arc<FabpAligner>>,
+    /// Built clusters (cluster backend), keyed by protein hash.
+    cluster_cache: LruCache<Arc<FpgaCluster>>,
+    /// Packed shard sets, keyed by reference hash.
+    packed_cache: LruCache<Arc<Vec<PackedSeq>>>,
+    /// Overlapped shards for the cluster backend (empty for software).
+    shards: Vec<RnaSeq>,
+    shard_offsets: Vec<usize>,
+    reference_key: u64,
+    stats: ServerStats,
+    latency_hist: Histogram,
+    batch_hist: Histogram,
+    served_ctr: Counter,
+    failed_ctr: Counter,
+}
+
+impl FabpServer {
+    /// Builds a wall-clock server over `reference`.
+    ///
+    /// # Errors
+    ///
+    /// [`FabpError::InvalidShardPlan`] for a zero-node cluster backend.
+    pub fn new(
+        reference: RnaSeq,
+        config: ServeConfig,
+        registry: &Registry,
+    ) -> FabpResult<FabpServer> {
+        FabpServer::build(reference, config, registry, Clock::Wall(Instant::now()))
+    }
+
+    /// [`FabpServer::new`] with a manually advanced clock starting at 0 —
+    /// deadline behaviour becomes deterministic for tests.
+    ///
+    /// # Errors
+    ///
+    /// As [`FabpServer::new`].
+    pub fn with_manual_clock(
+        reference: RnaSeq,
+        config: ServeConfig,
+        registry: &Registry,
+    ) -> FabpResult<FabpServer> {
+        FabpServer::build(reference, config, registry, Clock::Manual(0))
+    }
+
+    fn build(
+        reference: RnaSeq,
+        config: ServeConfig,
+        registry: &Registry,
+        clock: Clock,
+    ) -> FabpResult<FabpServer> {
+        let (shards, shard_offsets) = match config.backend {
+            ServeBackend::Cluster { nodes, .. } => {
+                // Overlap sized for the longest admissible query's window
+                // (3 bases per residue); the shared merge helper removes
+                // the cross-shard duplicates the generous overlap creates.
+                try_shard_with_overlap(&reference, nodes, 3 * config.max_query_aa)?
+            }
+            ServeBackend::Software { .. } => (Vec::new(), Vec::new()),
+        };
+        let reference_key = content_hash(reference.iter().map(|&b| b as u8));
+        Ok(FabpServer {
+            queue: AdmissionQueue::new(config.queue_capacity, registry),
+            batcher: AdaptiveBatcher::new(config.policy, registry),
+            aligner_cache: LruCache::new("query", config.query_cache, registry),
+            cluster_cache: LruCache::new("cluster", config.query_cache, registry),
+            packed_cache: LruCache::new("reference", config.reference_cache, registry),
+            latency_hist: registry.histogram(
+                "fabp_serve_latency_us",
+                "Per-request submit-to-response latency, microseconds",
+            ),
+            batch_hist: registry.histogram(
+                "fabp_serve_batch_size",
+                "Queries per dispatched micro-batch",
+            ),
+            served_ctr: registry.counter(
+                "fabp_serve_served_total",
+                "Responses delivered with Ok hits",
+            ),
+            failed_ctr: registry.counter(
+                "fabp_serve_failed_total",
+                "Responses delivered with an error (shed or dispatch failure)",
+            ),
+            reference,
+            config,
+            registry: registry.clone(),
+            clock,
+            next_id: 0,
+            shards,
+            shard_offsets,
+            reference_key,
+            stats: ServerStats::default(),
+        })
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Requests queued and not yet dispatched.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Aggregate counters (cache stats are read live from the caches).
+    pub fn stats(&self) -> ServerStats {
+        let query_cache = match self.config.backend {
+            ServeBackend::Software { .. } => self.aligner_cache.stats(),
+            ServeBackend::Cluster { .. } => self.cluster_cache.stats(),
+        };
+        ServerStats {
+            query_cache,
+            reference_cache: self.packed_cache.stats(),
+            ..self.stats
+        }
+    }
+
+    /// Server-clock time, microseconds since construction.
+    pub fn now_us(&self) -> u64 {
+        self.clock.now_us()
+    }
+
+    /// Advances a manual clock by `delta_us` (no-op on a wall clock).
+    pub fn advance_clock_us(&mut self, delta_us: u64) {
+        if let Clock::Manual(t) = &mut self.clock {
+            *t += delta_us;
+        }
+    }
+
+    /// Submits a query under the configured default deadline budget.
+    /// Returns the ticket to match against [`Response::id`].
+    ///
+    /// # Errors
+    ///
+    /// [`FabpError::EmptyQuery`] for an empty protein,
+    /// [`FabpError::InvalidShardPlan`] for a query longer than
+    /// [`ServeConfig::max_query_aa`] on the cluster backend, and
+    /// [`FabpError::Overloaded`] when the admission queue is full.
+    pub fn submit(&mut self, tenant: &str, protein: &ProteinSeq) -> FabpResult<u64> {
+        let deadline = self
+            .config
+            .default_deadline_us
+            .map(|budget| self.clock.now_us().saturating_add(budget));
+        self.submit_with_deadline(tenant, protein, deadline)
+    }
+
+    /// [`FabpServer::submit`] with an explicit absolute deadline on the
+    /// server clock (`None`: never expires).
+    ///
+    /// # Errors
+    ///
+    /// As [`FabpServer::submit`].
+    pub fn submit_with_deadline(
+        &mut self,
+        tenant: &str,
+        protein: &ProteinSeq,
+        deadline_us: Option<u64>,
+    ) -> FabpResult<u64> {
+        if protein.is_empty() {
+            self.stats.rejected += 1;
+            return Err(FabpError::EmptyQuery);
+        }
+        if matches!(self.config.backend, ServeBackend::Cluster { .. })
+            && protein.len() > self.config.max_query_aa
+        {
+            self.stats.rejected += 1;
+            return Err(FabpError::InvalidShardPlan(format!(
+                "query of {} aa exceeds max_query_aa {} the shard overlap was sized for",
+                protein.len(),
+                self.config.max_query_aa
+            )));
+        }
+        let id = self.next_id;
+        let request = Request {
+            id,
+            tenant: tenant.to_string(),
+            protein: protein.clone(),
+            deadline_us,
+            submitted_us: self.clock.now_us(),
+        };
+        match self.queue.try_admit(request) {
+            Ok(()) => {
+                self.next_id += 1;
+                self.stats.submitted += 1;
+                Ok(id)
+            }
+            Err(e) => {
+                self.stats.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Runs one scheduling round: sheds expired requests, dispatches one
+    /// adaptively sized micro-batch, and returns every response produced
+    /// (shed + served). Returns an empty vector when the queue is idle.
+    pub fn pump(&mut self) -> Vec<Response> {
+        let now = self.clock.now_us();
+        let dequeue_start = Instant::now();
+        let target = self.batcher.target_batch(self.queue.depth());
+        let (batch, shed) = self.queue.take_batch(target, now);
+        let dequeue_us = dequeue_start.elapsed().as_secs_f64() * 1e6;
+
+        let mut responses = Vec::with_capacity(batch.len() + shed.len());
+        for (request, error) in shed {
+            self.stats.shed += 1;
+            self.failed_ctr.inc();
+            let latency_us = now.saturating_sub(request.submitted_us);
+            self.latency_hist.observe(latency_us);
+            responses.push(Response {
+                id: request.id,
+                tenant: request.tenant,
+                result: Err(error),
+                latency_us,
+                batch_size: 0,
+                cached_query: false,
+            });
+        }
+        if batch.is_empty() {
+            return responses;
+        }
+
+        let exec_start = Instant::now();
+        let batch_size = batch.len();
+        let executed = match self.config.backend.clone() {
+            ServeBackend::Software { threads } => self.dispatch_software(batch, threads),
+            ServeBackend::Cluster {
+                nodes,
+                resilience,
+                fault_spec,
+            } => self.dispatch_cluster(batch, nodes, resilience, fault_spec.as_deref()),
+        };
+        let exec_us = exec_start.elapsed().as_secs_f64() * 1e6;
+        self.batcher.observe(batch_size, exec_us);
+        self.batch_hist.observe(batch_size as u64);
+        self.stats.batches += 1;
+        self.stats.peak_batch = self.stats.peak_batch.max(batch_size);
+        self.registry.record_span_tree(
+            "fabp_serve_batch",
+            &[("dequeue", dequeue_us), ("execute", exec_us)],
+        );
+
+        let done = self.clock.now_us();
+        for (request, cached_query, result) in executed {
+            match &result {
+                Ok(_) => {
+                    self.stats.served_ok += 1;
+                    self.served_ctr.inc();
+                }
+                Err(_) => {
+                    self.stats.served_err += 1;
+                    self.failed_ctr.inc();
+                }
+            }
+            let latency_us = done.saturating_sub(request.submitted_us);
+            self.latency_hist.observe(latency_us);
+            responses.push(Response {
+                id: request.id,
+                tenant: request.tenant,
+                result,
+                latency_us,
+                batch_size,
+                cached_query,
+            });
+        }
+        responses
+    }
+
+    /// Pumps until the queue drains, returning every response produced.
+    pub fn run_to_completion(&mut self) -> Vec<Response> {
+        let mut responses = Vec::new();
+        while !self.queue.is_empty() {
+            responses.extend(self.pump());
+        }
+        responses
+    }
+
+    /// Software dispatch: cached aligners + one work-stealing batch run.
+    fn dispatch_software(
+        &mut self,
+        batch: Vec<Request>,
+        threads: usize,
+    ) -> Vec<(Request, bool, FabpResult<Vec<Hit>>)> {
+        let threshold = self.config.threshold;
+        // Resolve every request to a cached/built aligner (or a build
+        // error) first, so one bad query cannot fail its batch-mates.
+        let mut prepared: Vec<(Request, bool, FabpResult<Arc<FabpAligner>>)> = Vec::new();
+        for request in batch {
+            let key = content_hash(request.protein.iter().map(|&aa| aa as u8));
+            let cached = self.aligner_cache.contains(key);
+            let built = self.aligner_cache.try_get_or_insert_with(key, || {
+                FabpAligner::builder()
+                    .protein_query(&request.protein)
+                    .threshold(threshold)
+                    .engine(Engine::Software { threads: 1 })
+                    .build()
+                    .map(Arc::new)
+                    .map_err(FabpError::from)
+            });
+            prepared.push((request, cached, built));
+        }
+        let runnable: Vec<Arc<FabpAligner>> = prepared
+            .iter()
+            .filter_map(|(_, _, built)| built.as_ref().ok().cloned())
+            .collect();
+        let outcomes = match search_all_prebuilt(&runnable, &self.reference, threads) {
+            Ok(outcomes) => outcomes,
+            Err(e) => {
+                // A scheduler invariant failure poisons the whole batch.
+                return prepared
+                    .into_iter()
+                    .map(|(request, cached, _)| (request, cached, Err(e.clone())))
+                    .collect();
+            }
+        };
+        let mut outcomes = outcomes.into_iter();
+        prepared
+            .into_iter()
+            .map(|(request, cached, built)| {
+                let result = match built {
+                    Ok(_) => match outcomes.next() {
+                        Some(outcome) => Ok(outcome.hits),
+                        None => Err(FabpError::Internal(
+                            "batch dispatch returned fewer outcomes than aligners".to_string(),
+                        )),
+                    },
+                    Err(e) => Err(e),
+                };
+                (request, cached, result)
+            })
+            .collect()
+    }
+
+    /// Cluster dispatch: per-query cached clusters over cached packed
+    /// shards; queries run back-to-back as on hardware (the query lives
+    /// in flip-flops — reloading it is microseconds against a
+    /// multi-millisecond scan).
+    fn dispatch_cluster(
+        &mut self,
+        batch: Vec<Request>,
+        nodes: usize,
+        resilience: ResilienceLevel,
+        fault_spec: Option<&str>,
+    ) -> Vec<(Request, bool, FabpResult<Vec<Hit>>)> {
+        let threshold = self.config.threshold;
+        let total_bases = self.reference.len() as u64;
+        batch
+            .into_iter()
+            .map(|request| {
+                let key = content_hash(request.protein.iter().map(|&aa| aa as u8));
+                let cached = self.cluster_cache.contains(key);
+                let result = self.cluster_cache.try_get_or_insert_with(key, || {
+                    let query = EncodedQuery::from_protein(&request.protein);
+                    let config = EngineConfig::kintex7(threshold.resolve(query.len()));
+                    FpgaCluster::homogeneous(&query, &config, nodes, total_bases).map(Arc::new)
+                });
+                let result = result.and_then(|cluster| match fault_spec {
+                    Some(spec) => {
+                        let schedule = FaultSchedule::parse(spec)?;
+                        cluster
+                            .search_resilient(
+                                &self.shards,
+                                &self.shard_offsets,
+                                resilience,
+                                &schedule,
+                                &self.registry,
+                            )
+                            .map(|outcome| outcome.hits)
+                    }
+                    None => {
+                        let packed = self
+                            .packed_cache
+                            .get_or_insert_with(self.reference_key, || {
+                                Arc::new(self.shards.iter().map(PackedSeq::from_rna).collect())
+                            });
+                        cluster.search_packed(&packed, &self.shard_offsets)
+                    }
+                });
+                (request, cached, result)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_bio::generate::{coding_rna_for_paper_patterns, random_protein, random_rna};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A reference with `proteins`' coding RNA planted at known spots.
+    fn planted_reference(proteins: &[ProteinSeq], rng: &mut StdRng) -> RnaSeq {
+        let mut bases = random_rna(4_000, rng).into_inner();
+        for (i, protein) in proteins.iter().enumerate() {
+            let coding = coding_rna_for_paper_patterns(protein, rng);
+            let at = 200 + i * 700;
+            bases.splice(at..at + coding.len(), coding.iter().copied());
+        }
+        RnaSeq::from(bases)
+    }
+
+    fn sequential_hits(protein: &ProteinSeq, reference: &RnaSeq, threshold: Threshold) -> Vec<Hit> {
+        FabpAligner::builder()
+            .protein_query(protein)
+            .threshold(threshold)
+            .engine(Engine::Software { threads: 1 })
+            .build()
+            .unwrap()
+            .search(reference)
+            .hits
+    }
+
+    #[test]
+    fn served_hits_match_sequential_single_query_runs() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let proteins: Vec<ProteinSeq> = (0..5).map(|_| random_protein(8, &mut rng)).collect();
+        let reference = planted_reference(&proteins, &mut rng);
+        let registry = Registry::new();
+        let config = ServeConfig {
+            backend: ServeBackend::Software { threads: 4 },
+            ..ServeConfig::default()
+        };
+        let mut server = FabpServer::new(reference.clone(), config, &registry).unwrap();
+        let mut tickets = Vec::new();
+        for (i, protein) in proteins.iter().enumerate() {
+            let tenant = format!("tenant-{}", i % 2);
+            tickets.push((server.submit(&tenant, protein).unwrap(), protein));
+        }
+        let responses = server.run_to_completion();
+        assert_eq!(responses.len(), proteins.len());
+        for (ticket, protein) in tickets {
+            let response = responses.iter().find(|r| r.id == ticket).unwrap();
+            let hits = response.result.as_ref().unwrap();
+            let expected = sequential_hits(protein, &reference, Threshold::Fraction(1.0));
+            assert_eq!(hits, &expected, "ticket {ticket}");
+            assert!(!expected.is_empty(), "planted query must hit");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.served_ok, 5);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_aligner_cache() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let protein = random_protein(6, &mut rng);
+        let reference = planted_reference(std::slice::from_ref(&protein), &mut rng);
+        let registry = Registry::new();
+        let mut server = FabpServer::new(reference, ServeConfig::default(), &registry).unwrap();
+        for _ in 0..3 {
+            server.submit("a", &protein).unwrap();
+        }
+        let responses = server.run_to_completion();
+        assert_eq!(responses.len(), 3);
+        // The first build populates the cache; later requests reuse it
+        // (whether in the same batch or a later one).
+        assert!(responses.iter().filter(|r| r.cached_query).count() >= 2);
+        let stats = server.stats();
+        assert!(stats.query_cache.hits >= 2, "{:?}", stats.query_cache);
+        assert_eq!(stats.query_cache.misses, 1, "{:?}", stats.query_cache);
+    }
+
+    #[test]
+    fn overload_rejects_with_typed_backpressure() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let protein = random_protein(5, &mut rng);
+        let reference = random_rna(1_000, &mut rng);
+        let registry = Registry::new();
+        let config = ServeConfig {
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        };
+        let mut server = FabpServer::new(reference, config, &registry).unwrap();
+        server.submit("a", &protein).unwrap();
+        server.submit("a", &protein).unwrap();
+        match server.submit("a", &protein) {
+            Err(FabpError::Overloaded {
+                queue_depth,
+                capacity,
+            }) => assert_eq!((queue_depth, capacity), (2, 2)),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(server.stats().rejected, 1);
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_with_latency_accounting() {
+        let mut rng = StdRng::seed_from_u64(94);
+        let protein = random_protein(5, &mut rng);
+        let reference = random_rna(1_000, &mut rng);
+        let registry = Registry::new();
+        let config = ServeConfig {
+            default_deadline_us: Some(500),
+            ..ServeConfig::default()
+        };
+        let mut server = FabpServer::with_manual_clock(reference, config, &registry).unwrap();
+        let doomed = server.submit("a", &protein).unwrap();
+        server.advance_clock_us(2_000); // sail past the 500 us budget
+        let live = server.submit("a", &protein).unwrap();
+        let responses = server.run_to_completion();
+        let shed = responses.iter().find(|r| r.id == doomed).unwrap();
+        match &shed.result {
+            Err(FabpError::DeadlineExceeded { late_us }) => assert_eq!(*late_us, 1_500),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(shed.latency_us, 2_000);
+        assert_eq!(shed.batch_size, 0);
+        let served = responses.iter().find(|r| r.id == live).unwrap();
+        assert!(served.result.is_ok());
+        let stats = server.stats();
+        assert_eq!((stats.shed, stats.served_ok), (1, 1));
+    }
+
+    #[test]
+    fn empty_query_is_rejected_at_submit() {
+        let mut rng = StdRng::seed_from_u64(95);
+        let reference = random_rna(500, &mut rng);
+        let registry = Registry::disabled();
+        let mut server = FabpServer::new(reference, ServeConfig::default(), &registry).unwrap();
+        assert!(matches!(
+            server.submit("a", &ProteinSeq::new()),
+            Err(FabpError::EmptyQuery)
+        ));
+    }
+
+    #[test]
+    fn cluster_backend_matches_software_and_caches_packed_shards() {
+        let mut rng = StdRng::seed_from_u64(96);
+        let proteins: Vec<ProteinSeq> = (0..3).map(|_| random_protein(7, &mut rng)).collect();
+        let reference = planted_reference(&proteins, &mut rng);
+        let registry = Registry::new();
+        let config = ServeConfig {
+            backend: ServeBackend::Cluster {
+                nodes: 3,
+                resilience: ResilienceLevel::Off,
+                fault_spec: None,
+            },
+            max_query_aa: 16,
+            ..ServeConfig::default()
+        };
+        let mut server = FabpServer::new(reference.clone(), config, &registry).unwrap();
+        let mut tickets = Vec::new();
+        for protein in &proteins {
+            tickets.push((server.submit("a", protein).unwrap(), protein));
+        }
+        // Resubmit the first protein: exercises the cluster cache.
+        let repeat = server.submit("b", &proteins[0]).unwrap();
+        let responses = server.run_to_completion();
+        for (ticket, protein) in tickets {
+            let response = responses.iter().find(|r| r.id == ticket).unwrap();
+            let expected = sequential_hits(protein, &reference, Threshold::Fraction(1.0));
+            assert_eq!(response.result.as_ref().unwrap(), &expected);
+        }
+        let repeated = responses.iter().find(|r| r.id == repeat).unwrap();
+        assert!(repeated.result.is_ok());
+        let stats = server.stats();
+        assert!(stats.query_cache.hits >= 1, "{:?}", stats.query_cache);
+        // Packed shards were built once and re-used by every dispatch.
+        assert_eq!(
+            stats.reference_cache.misses, 1,
+            "{:?}",
+            stats.reference_cache
+        );
+        assert!(
+            stats.reference_cache.hits >= 3,
+            "{:?}",
+            stats.reference_cache
+        );
+    }
+
+    #[test]
+    fn cluster_backend_rejects_overlong_queries() {
+        let mut rng = StdRng::seed_from_u64(97);
+        let reference = random_rna(2_000, &mut rng);
+        let registry = Registry::disabled();
+        let config = ServeConfig {
+            backend: ServeBackend::Cluster {
+                nodes: 2,
+                resilience: ResilienceLevel::Off,
+                fault_spec: None,
+            },
+            max_query_aa: 4,
+            ..ServeConfig::default()
+        };
+        let mut server = FabpServer::new(reference, config, &registry).unwrap();
+        let long = random_protein(10, &mut rng);
+        assert!(matches!(
+            server.submit("a", &long),
+            Err(FabpError::InvalidShardPlan(_))
+        ));
+    }
+
+    #[test]
+    fn resilient_cluster_survives_node_kill_with_identical_hits() {
+        let mut rng = StdRng::seed_from_u64(98);
+        let protein = random_protein(8, &mut rng);
+        let reference = planted_reference(std::slice::from_ref(&protein), &mut rng);
+        let registry = Registry::new();
+        let make = |fault_spec: Option<String>| ServeConfig {
+            backend: ServeBackend::Cluster {
+                nodes: 3,
+                resilience: ResilienceLevel::Recover,
+                fault_spec,
+            },
+            max_query_aa: 16,
+            ..ServeConfig::default()
+        };
+        let mut healthy = FabpServer::new(reference.clone(), make(None), &registry).unwrap();
+        healthy.submit("a", &protein).unwrap();
+        let clean = healthy.run_to_completion().remove(0).result.unwrap();
+
+        let mut chaos =
+            FabpServer::new(reference, make(Some("kill@1:50".to_string())), &registry).unwrap();
+        chaos.submit("a", &protein).unwrap();
+        let survived = chaos.run_to_completion().remove(0).result.unwrap();
+        assert_eq!(survived, clean, "recovery must be hit-transparent");
+        assert!(!clean.is_empty(), "planted query must hit");
+    }
+
+    #[test]
+    fn telemetry_and_spans_are_recorded() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let protein = random_protein(5, &mut rng);
+        let reference = random_rna(1_500, &mut rng);
+        let registry = Registry::new();
+        let mut server = FabpServer::new(reference, ServeConfig::default(), &registry).unwrap();
+        server.submit("a", &protein).unwrap();
+        server.run_to_completion();
+        let text = registry.snapshot().to_prometheus();
+        assert!(text.contains("fabp_serve_served_total 1"), "{text}");
+        assert!(text.contains("fabp_serve_batch_size"), "{text}");
+        assert!(text.contains("fabp_serve_latency_us"), "{text}");
+        let spans = registry.snapshot();
+        assert!(
+            spans.spans.iter().any(|s| s.name == "fabp_serve_batch"),
+            "expected a fabp_serve_batch span"
+        );
+    }
+}

@@ -1,0 +1,409 @@
+//! `fabp-serve` — drive the production query-serving layer from the
+//! command line.
+//!
+//! Feeds a protein query stream (FASTA or synthetic) through
+//! [`fabp_serve::FabpServer`]: bounded admission with per-tenant
+//! round-robin fairness, adaptive micro-batching, content-hash caches
+//! and deadline shedding, over the software batch engine or the
+//! modelled FPGA cluster.
+//!
+//! ```text
+//! fabp-serve --reference db.fna --queries q.faa [options]
+//! fabp-serve --synthetic-bases 200000 --synthetic-queries 64 [options]
+//!
+//! Options:
+//!   --queries <faa>          protein queries (FASTA)
+//!   --reference <fna>        reference database (FASTA, first record)
+//!   --synthetic-bases <n>    generate a random reference of n bases
+//!   --synthetic-queries <n>  generate n random queries (planted in the
+//!                            synthetic reference so they hit)
+//!   --query-len <aa>         synthetic query length (default 12)
+//!   --seed <u64>             synthetic workload seed (default 1)
+//!   --tenants <n>            spread queries across n tenants (default 2)
+//!   --repeat <n>             submit the stream n times (default 1;
+//!                            repeats exercise the query cache)
+//!   --backend <software|cluster>  execution backend (default software)
+//!   --threads <n>            software batch workers (default 4)
+//!   --nodes <n>              cluster nodes (default 4)
+//!   --threshold <0..1>       match fraction (default 0.9)
+//!   --queue-capacity <n>     admission-queue bound (default 1024)
+//!   --max-batch <n>          micro-batch cap (default 64)
+//!   --slo-us <n>             batch latency SLO, µs (default 50000)
+//!   --deadline-us <n>        per-request deadline budget, µs
+//!   --query-cache <n>        built-aligner/cluster cache entries (default 256)
+//!   --max-query-aa <n>       longest admissible query (default 128)
+//!   --resilience <off|detect|recover>  cluster fault handling
+//!   --inject-faults <spec>   cluster fault schedule, e.g. kill@1:50
+//!   --stats                  print telemetry counters to stderr
+//!   --metrics-out <path>     write Prometheus text exposition
+//!   --trace-out <path>       write Chrome trace-event JSON
+//!   --quiet                  suppress informational stderr output
+//! ```
+
+use fabp::bio::fasta::{read_proteins, read_records};
+use fabp::bio::generate::{coding_rna_for_paper_patterns, random_protein, random_rna};
+use fabp::bio::seq::{ProteinSeq, RnaSeq};
+use fabp::core::aligner::Threshold;
+use fabp::resilience::ResilienceLevel;
+use fabp::serve::{BatchPolicy, FabpServer, Response, ServeBackend, ServeConfig};
+use fabp_telemetry::Registry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs::File;
+use std::process::ExitCode;
+
+struct Args {
+    query_path: Option<String>,
+    reference_path: Option<String>,
+    synthetic_bases: usize,
+    synthetic_queries: usize,
+    query_len: usize,
+    seed: u64,
+    tenants: usize,
+    repeat: usize,
+    backend: String,
+    threads: usize,
+    nodes: usize,
+    threshold: f64,
+    queue_capacity: usize,
+    max_batch: usize,
+    slo_us: u64,
+    deadline_us: Option<u64>,
+    query_cache: usize,
+    max_query_aa: usize,
+    resilience: ResilienceLevel,
+    inject_faults: Option<String>,
+    stats: bool,
+    quiet: bool,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fabp-serve (--queries <q.faa> --reference <db.fna> | \
+         --synthetic-bases <n> --synthetic-queries <n>) [--query-len 12] \
+         [--seed 1] [--tenants 2] [--repeat 1] [--backend software|cluster] \
+         [--threads 4] [--nodes 4] [--threshold 0.9] [--queue-capacity 1024] \
+         [--max-batch 64] [--slo-us 50000] [--deadline-us <n>] \
+         [--query-cache 256] [--max-query-aa 128] \
+         [--resilience off|detect|recover] [--inject-faults <spec>] \
+         [--stats] [--metrics-out m.prom] [--trace-out t.json] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn value_for(flag: &str, it: &mut impl Iterator<Item = String>) -> String {
+    it.next().unwrap_or_else(|| {
+        eprintln!("missing value for {flag}");
+        usage()
+    })
+}
+
+fn parse_for<T: std::str::FromStr>(flag: &str, it: &mut impl Iterator<Item = String>) -> T {
+    let raw = value_for(flag, it);
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value {raw:?} for {flag}");
+        usage()
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        query_path: None,
+        reference_path: None,
+        synthetic_bases: 0,
+        synthetic_queries: 0,
+        query_len: 12,
+        seed: 1,
+        tenants: 2,
+        repeat: 1,
+        backend: "software".to_string(),
+        threads: 4,
+        nodes: 4,
+        threshold: 0.9,
+        queue_capacity: 1_024,
+        max_batch: 64,
+        slo_us: 50_000,
+        deadline_us: None,
+        query_cache: 256,
+        max_query_aa: 128,
+        resilience: ResilienceLevel::Off,
+        inject_faults: None,
+        stats: false,
+        quiet: false,
+        metrics_out: None,
+        trace_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--queries" => args.query_path = Some(value_for("--queries", &mut it)),
+            "--reference" => args.reference_path = Some(value_for("--reference", &mut it)),
+            "--synthetic-bases" => args.synthetic_bases = parse_for("--synthetic-bases", &mut it),
+            "--synthetic-queries" => {
+                args.synthetic_queries = parse_for("--synthetic-queries", &mut it)
+            }
+            "--query-len" => args.query_len = parse_for("--query-len", &mut it),
+            "--seed" => args.seed = parse_for("--seed", &mut it),
+            "--tenants" => args.tenants = parse_for("--tenants", &mut it),
+            "--repeat" => args.repeat = parse_for("--repeat", &mut it),
+            "--backend" => args.backend = value_for("--backend", &mut it),
+            "--threads" => args.threads = parse_for("--threads", &mut it),
+            "--nodes" => args.nodes = parse_for("--nodes", &mut it),
+            "--threshold" => args.threshold = parse_for("--threshold", &mut it),
+            "--queue-capacity" => args.queue_capacity = parse_for("--queue-capacity", &mut it),
+            "--max-batch" => args.max_batch = parse_for("--max-batch", &mut it),
+            "--slo-us" => args.slo_us = parse_for("--slo-us", &mut it),
+            "--deadline-us" => args.deadline_us = Some(parse_for("--deadline-us", &mut it)),
+            "--query-cache" => args.query_cache = parse_for("--query-cache", &mut it),
+            "--max-query-aa" => args.max_query_aa = parse_for("--max-query-aa", &mut it),
+            "--resilience" => args.resilience = parse_for("--resilience", &mut it),
+            "--inject-faults" => args.inject_faults = Some(value_for("--inject-faults", &mut it)),
+            "--stats" => args.stats = true,
+            "--quiet" => args.quiet = true,
+            "--metrics-out" => args.metrics_out = Some(value_for("--metrics-out", &mut it)),
+            "--trace-out" => args.trace_out = Some(value_for("--trace-out", &mut it)),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    let file_mode = args.query_path.is_some() && args.reference_path.is_some();
+    let synth_mode = args.synthetic_bases > 0 && args.synthetic_queries > 0;
+    if !(file_mode || synth_mode) {
+        usage();
+    }
+    args
+}
+
+/// A reference sequence plus named queries — the serving workload.
+type Workload = (RnaSeq, Vec<(String, ProteinSeq)>);
+
+/// Builds the workload: either from FASTA files or a synthetic
+/// planted-homology database (every query is guaranteed to hit).
+fn load_workload(args: &Args) -> Result<Workload, Box<dyn std::error::Error + Send + Sync>> {
+    if let (Some(qp), Some(rp)) = (&args.query_path, &args.reference_path) {
+        let queries = read_proteins(File::open(qp)?)?;
+        if queries.is_empty() {
+            return Err("query file contains no records".into());
+        }
+        let records = read_records(File::open(rp)?)?;
+        let first = records
+            .first()
+            .ok_or("reference file contains no records")?;
+        let reference: RnaSeq = first.sequence.parse()?;
+        return Ok((reference, queries));
+    }
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let queries: Vec<(String, ProteinSeq)> = (0..args.synthetic_queries)
+        .map(|i| {
+            (
+                format!("synthetic-{i}"),
+                random_protein(args.query_len, &mut rng),
+            )
+        })
+        .collect();
+    let mut bases = random_rna(args.synthetic_bases, &mut rng).into_inner();
+    // Plant each query's coding RNA at an evenly spaced position so every
+    // request returns at least one hit region.
+    let stride = (args.synthetic_bases / queries.len().max(1)).max(1);
+    for (i, (_, protein)) in queries.iter().enumerate() {
+        let coding = coding_rna_for_paper_patterns(protein, &mut rng);
+        let at = (i * stride) % args.synthetic_bases.saturating_sub(coding.len()).max(1);
+        if at + coding.len() <= bases.len() {
+            bases.splice(at..at + coding.len(), coding.iter().copied());
+        }
+    }
+    Ok((RnaSeq::from(bases), queries))
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+fn error_label(response: &Response) -> &'static str {
+    match &response.result {
+        Ok(_) => "ok",
+        Err(e) => e.kind_label(),
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let args = parse_args();
+    let registry = Registry::global();
+    let (reference, queries) = load_workload(&args)?;
+
+    let backend = match args.backend.as_str() {
+        "software" => ServeBackend::Software {
+            threads: args.threads,
+        },
+        "cluster" => ServeBackend::Cluster {
+            nodes: args.nodes,
+            resilience: args.resilience,
+            fault_spec: args.inject_faults.clone(),
+        },
+        other => return Err(format!("unknown backend {other:?}").into()),
+    };
+    let config = ServeConfig {
+        threshold: Threshold::Fraction(args.threshold),
+        queue_capacity: args.queue_capacity,
+        policy: BatchPolicy {
+            max_batch: args.max_batch,
+            slo_us: args.slo_us,
+            ..BatchPolicy::default()
+        },
+        backend,
+        query_cache: args.query_cache,
+        reference_cache: 8,
+        default_deadline_us: args.deadline_us,
+        max_query_aa: args.max_query_aa,
+    };
+    if !args.quiet {
+        eprintln!(
+            "serving {} quer{} × {} repeat(s) over {} tenant(s), {} bases resident, backend {}",
+            queries.len(),
+            if queries.len() == 1 { "y" } else { "ies" },
+            args.repeat,
+            args.tenants,
+            reference.len(),
+            args.backend,
+        );
+    }
+    let mut server = FabpServer::new(reference, config, registry)?;
+
+    // Closed-loop driver: submit the stream; on backpressure, pump the
+    // server to drain a batch and retry the same request.
+    let started = std::time::Instant::now();
+    let mut responses: Vec<Response> = Vec::new();
+    let mut names: Vec<(u64, String)> = Vec::new();
+    let mut hard_rejects = 0u64;
+    for round in 0..args.repeat {
+        for (i, (query_id, protein)) in queries.iter().enumerate() {
+            let tenant = format!("tenant-{}", i % args.tenants.max(1));
+            loop {
+                match server.submit(&tenant, protein) {
+                    Ok(ticket) => {
+                        names.push((ticket, format!("{query_id}#r{round}")));
+                        break;
+                    }
+                    Err(fabp::serve::FabpError::Overloaded { .. }) => {
+                        responses.extend(server.pump());
+                    }
+                    Err(e) => {
+                        eprintln!("# rejected {query_id}: {e}");
+                        hard_rejects += 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    responses.extend(server.run_to_completion());
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    println!(
+        "# ticket\tquery\ttenant\tstatus\thits\tbest_pos\tbest_score\tlatency_us\tbatch\tcached"
+    );
+    responses.sort_by_key(|r| r.id);
+    for response in &responses {
+        let name = names
+            .iter()
+            .find(|(t, _)| *t == response.id)
+            .map(|(_, n)| n.as_str())
+            .unwrap_or("?");
+        let (hits, best_pos, best_score) = match &response.result {
+            Ok(hits) => {
+                let best = hits.iter().max_by_key(|h| h.score);
+                (
+                    hits.len() as i64,
+                    best.map(|h| h.position as i64).unwrap_or(-1),
+                    best.map(|h| i64::from(h.score)).unwrap_or(-1),
+                )
+            }
+            Err(_) => (-1, -1, -1),
+        };
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            response.id,
+            name,
+            response.tenant,
+            error_label(response),
+            hits,
+            best_pos,
+            best_score,
+            response.latency_us,
+            response.batch_size,
+            response.cached_query,
+        );
+    }
+
+    let stats = server.stats();
+    let mut latencies: Vec<u64> = responses
+        .iter()
+        .filter(|r| r.result.is_ok())
+        .map(|r| r.latency_us)
+        .collect();
+    latencies.sort_unstable();
+    let qps = if wall_seconds > 0.0 {
+        stats.served_ok as f64 / wall_seconds
+    } else {
+        0.0
+    };
+    eprintln!(
+        "# served_ok={} served_err={} shed={} rejected={} (hard {}) batches={} peak_batch={}",
+        stats.served_ok,
+        stats.served_err,
+        stats.shed,
+        stats.rejected,
+        hard_rejects,
+        stats.batches,
+        stats.peak_batch,
+    );
+    eprintln!(
+        "# qps={qps:.1} p50_us={} p99_us={} query_cache_hit_rate={:.3} reference_cache_hit_rate={:.3}",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+        stats.query_cache.hit_rate(),
+        stats.reference_cache.hit_rate(),
+    );
+
+    if args.stats {
+        let snap = registry.snapshot();
+        eprintln!(
+            "# telemetry: {} series, {} spans",
+            snap.metrics.len(),
+            snap.spans.len()
+        );
+    }
+    let snapshot = registry.snapshot();
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, snapshot.to_prometheus())?;
+        if !args.quiet {
+            eprintln!("# metrics written to {path}");
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, snapshot.to_chrome_trace())?;
+        if !args.quiet {
+            eprintln!("# trace written to {path}");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fabp-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

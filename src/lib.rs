@@ -19,6 +19,10 @@
 //!   scrubbing, stream watchdog) and recovery (retry, replay, shard
 //!   re-dispatch) for the modelled stack, plus the [`resilience::FabpError`]
 //!   taxonomy used across the workspace.
+//! * [`serve`] — the production query-serving layer: bounded admission
+//!   with per-tenant fairness, adaptive micro-batching, content-hash
+//!   caches and deadline shedding over the core engines (see
+//!   `docs/SERVING.md`).
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system
 //! inventory and experiment index, and `docs/RESILIENCE.md` for the
@@ -31,5 +35,6 @@ pub use fabp_encoding as encoding;
 pub use fabp_fpga as fpga;
 pub use fabp_platforms as platforms;
 pub use fabp_resilience as resilience;
+pub use fabp_serve as serve;
 
 pub use fabp_bio::prelude;

@@ -285,6 +285,39 @@ fn backpressure_flood(shape: &Shape, entries: &mut Vec<Entry>) {
     ));
 }
 
+/// Tracing overhead as the serving layer sees it: the disabled-context
+/// record every instrumented call site pays when no trace is attached
+/// to the request. The hard ≤ 2 ns budget is gated in bench_telemetry;
+/// the serve snapshot carries the number so both benches stay in parity.
+fn trace_overhead(entries: &mut Vec<Entry>) {
+    use fabp_telemetry::{TraceContext, TraceEvent};
+    const OPS: u64 = 4_000_000;
+    let registry = Registry::new();
+    let flight = registry.flight_recorder();
+    let off = TraceContext::none();
+    let started = std::time::Instant::now();
+    for i in 0..OPS {
+        std::hint::black_box(&flight).record(TraceEvent::new(off, "bench", i as f64, 1.0));
+    }
+    let disabled = started.elapsed().as_nanos() as f64 / OPS as f64;
+    let ctx = TraceContext::mint(SEED, 1);
+    let started = std::time::Instant::now();
+    for i in 0..OPS {
+        std::hint::black_box(&flight).record(TraceEvent::new(ctx, "bench", i as f64, 1.0));
+    }
+    let enabled = started.elapsed().as_nanos() as f64 / OPS as f64;
+    entries.push(Entry::time(
+        "serve_trace_disabled_ns_per_record",
+        disabled,
+        "flight-recorder record under a disabled context (budget <= 2 ns/op)".to_string(),
+    ));
+    entries.push(Entry::time(
+        "serve_trace_enabled_ns_per_record",
+        enabled,
+        "flight-recorder record with a live trace attached".to_string(),
+    ));
+}
+
 fn emit_json(mode: &str, entries: &[Entry]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -447,6 +480,7 @@ fn main() {
         backpressure_flood(&FULL, &mut entries);
         "full"
     };
+    trace_overhead(&mut entries);
 
     for e in &entries {
         match e.kind {

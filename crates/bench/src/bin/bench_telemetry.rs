@@ -8,9 +8,19 @@
 //! Future PRs diff `BENCH_telemetry.json` to spot perf (or counter
 //! accounting) regressions.
 //!
+//! The snapshot also carries the tracing hot-path costs: the disabled
+//! path (a live recorder handed a disabled context — what every traced
+//! call site pays when tracing is off) is held to a hard ≤ 2 ns/op
+//! budget in optimized builds.
+//!
 //! ```text
-//! cargo run -p fabp-bench --bin bench_telemetry [--out BENCH_telemetry.json]
+//! cargo run --release -p fabp-bench --bin bench_telemetry -- \
+//!     [--out BENCH_telemetry.json] \
+//!     [--baseline BENCH_telemetry.json --check [--tolerance 0.10]]
 //! ```
+//!
+//! `--check` gates deterministic counters exactly against the baseline
+//! and ns/op measurements at `baseline × (1 + tolerance)`.
 
 use fabp_bio::generate::{PlantedDatabase, PlantedDatabaseConfig};
 use fabp_bio::seq::PackedSeq;
@@ -19,7 +29,7 @@ use fabp_core::software::SoftwareEngine;
 use fabp_encoding::encoder::EncodedQuery;
 use fabp_fpga::engine::{EngineConfig, FabpEngine};
 use fabp_resilience::{FaultSchedule, ResilienceLevel, ResilientRunner};
-use fabp_telemetry::Registry;
+use fabp_telemetry::{Registry, TraceContext, TraceEvent, FLIGHT_RECORDER_CAPACITY};
 use std::time::Instant;
 
 /// Fixed workload: deterministic planted database so the counter totals
@@ -41,14 +51,150 @@ fn counter(registry: &Registry, name: &str) -> u64 {
     registry.snapshot().counter_total(name)
 }
 
+/// Per-op cost of the flight-recorder hot path, disabled and enabled.
+/// The disabled path is the budget that matters: every traced call site
+/// pays it unconditionally when tracing is off.
+fn trace_overhead_ns() -> (f64, f64) {
+    const OPS: u64 = 4_000_000;
+    let registry = Registry::new();
+    let flight = registry.flight_recorder();
+    let off = TraceContext::none();
+    let started = Instant::now();
+    for i in 0..OPS {
+        std::hint::black_box(&flight).record(TraceEvent::new(off, "bench", i as f64, 1.0));
+    }
+    let disabled_ns = started.elapsed().as_nanos() as f64 / OPS as f64;
+    let ctx = TraceContext::mint(SEED, 1);
+    let started = Instant::now();
+    for i in 0..OPS {
+        std::hint::black_box(&flight).record(TraceEvent::new(ctx, "bench", i as f64, 1.0));
+    }
+    let enabled_ns = started.elapsed().as_nanos() as f64 / OPS as f64;
+    (disabled_ns, enabled_ns)
+}
+
+/// Numeric `"key": value` pairs of a snapshot, in document order.
+fn numeric_fields(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some((key, value)) = line.split_once("\": ") else {
+            continue;
+        };
+        let key = key.trim_start_matches('"');
+        let value = value.trim_end_matches(',');
+        if let Ok(v) = value.parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Counters derived from the pinned workload are deterministic: they
+/// must match the baseline exactly. Timing fields are machine-dependent
+/// and gated at `baseline × (1 + tolerance)` (ns/op, lower is better).
+const EXACT_FIELDS: &[&str] = &[
+    "hits",
+    "cycles_total",
+    "beats_total",
+    "stall_cycles_total",
+    "wb_stall_cycles_total",
+    "busy_cycles_total",
+    "axi_bytes_read_total",
+    "axi_stall_cycles_total",
+    "protected_cycles",
+    "detection_overhead_cycles",
+];
+/// Timing fields with an absolute floor on the regression limit:
+/// sub-ns measurements jitter across runners, so the gate is
+/// `max(baseline × (1 + tolerance), floor)` — the floor is the hard
+/// product budget (2 ns disabled, 10× that for the enabled seqlock
+/// write), below which noise never fails a build.
+const TIMING_FIELDS: &[(&str, f64)] = &[
+    ("disabled_ns_per_op", TRACE_BUDGET_NS),
+    ("enabled_ns_per_op", 10.0 * TRACE_BUDGET_NS),
+];
+
+/// Hard budget for the disabled tracing path, nanoseconds per record.
+const TRACE_BUDGET_NS: f64 = 2.0;
+
+fn check_against_baseline(current: &str, baseline: &str, tolerance: f64) -> usize {
+    let cur = numeric_fields(current);
+    let base = numeric_fields(baseline);
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    // Duplicate keys ("hits" appears per engine) are matched by ordinal.
+    let nth = |fields: &[(String, f64)], key: &str, n: usize| -> Option<f64> {
+        fields
+            .iter()
+            .filter(|(k, _)| k == key)
+            .nth(n)
+            .map(|(_, v)| *v)
+    };
+    for key in EXACT_FIELDS {
+        for n in 0.. {
+            let Some(c) = nth(&cur, key, n) else { break };
+            let Some(b) = nth(&base, key, n) else {
+                eprintln!("bench_telemetry: note: `{key}`[{n}] not in baseline (new field)");
+                break;
+            };
+            compared += 1;
+            if c != b {
+                regressions += 1;
+                eprintln!("bench_telemetry: REGRESSION `{key}`[{n}]: {c} vs baseline {b} (exact)");
+            }
+        }
+    }
+    for (key, floor) in TIMING_FIELDS {
+        let Some(c) = nth(&cur, key, 0) else { continue };
+        let Some(b) = nth(&base, key, 0) else {
+            eprintln!("bench_telemetry: note: `{key}` not in baseline (new field)");
+            continue;
+        };
+        compared += 1;
+        let limit = (b * (1.0 + tolerance)).max(*floor);
+        if c > limit {
+            regressions += 1;
+            eprintln!(
+                "bench_telemetry: REGRESSION `{key}`: {c:.3} ns/op vs baseline {b:.3} \
+                 (+{:.1} %, limit +{:.0} %)",
+                (c / b - 1.0) * 100.0,
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!(
+                "bench_telemetry: ok `{key}`: {c:.3} ns/op (baseline {b:.3}, {:+.1} %)",
+                (c / b - 1.0) * 100.0
+            );
+        }
+    }
+    assert!(compared > 0, "baseline shares no fields with this run");
+    regressions
+}
+
 fn main() {
     let mut out_path = "BENCH_telemetry.json".to_string();
+    let mut check = false;
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance = 0.10f64;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out_path = it.next().expect("missing value for --out"),
+            "--check" => check = true,
+            "--baseline" => baseline_path = Some(it.next().expect("missing value for --baseline")),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .expect("missing value for --tolerance")
+                    .parse()
+                    .expect("--tolerance takes a fraction, e.g. 0.10")
+            }
             "--help" | "-h" => {
-                eprintln!("usage: bench_telemetry [--out BENCH_telemetry.json]");
+                eprintln!(
+                    "usage: bench_telemetry [--out BENCH_telemetry.json] \
+                     [--baseline FILE --check [--tolerance 0.10]]"
+                );
                 std::process::exit(2);
             }
             other => {
@@ -179,8 +325,21 @@ fn main() {
         0.0
     };
 
+    // --- Tracing hot-path overhead, disabled and enabled. -----------------
+    let (trace_disabled_ns, trace_enabled_ns) = trace_overhead_ns();
+    // The ≤ 2 ns budget is a statement about the optimized hot path;
+    // debug builds pay bounds checks and unoptimized atomics, so the
+    // hard gate applies to release builds only.
+    if !cfg!(debug_assertions) {
+        assert!(
+            trace_disabled_ns <= TRACE_BUDGET_NS,
+            "disabled-trace path costs {trace_disabled_ns:.3} ns/op, \
+             over the {TRACE_BUDGET_NS} ns budget"
+        );
+    }
+
     let json = format!(
-        "{{\n  \"schema\": \"fabp-bench-telemetry/1\",\n  \"workload\": {{\n    \"seed\": {SEED},\n    \"reference_len\": {REFERENCE_LEN},\n    \"num_queries\": {NUM_QUERIES},\n    \"query_len\": {QUERY_LEN}\n  }},\n  \"cycle_engine\": {{\n    \"hits\": {cycle_hits},\n    \"cycles_total\": {cycles},\n    \"beats_total\": {beats},\n    \"stall_cycles_total\": {stall},\n    \"wb_stall_cycles_total\": {wb_stall},\n    \"busy_cycles_total\": {busy},\n    \"axi_bytes_read_total\": {bytes_read},\n    \"axi_stall_cycles_total\": {axi_stall},\n    \"stall_fraction\": {},\n    \"wb_stall_fraction\": {},\n    \"busy_fraction\": {},\n    \"modelled_kernel_seconds\": {},\n    \"modelled_bases_per_second\": {},\n    \"modelled_bandwidth_bytes_per_second\": {},\n    \"sim_wall_seconds\": {}\n  }},\n  \"resilience\": {{\n    \"protected_cycles\": {resilience_protected_cycles},\n    \"detection_overhead_cycles\": {resilience_overhead_cycles},\n    \"detection_overhead_fraction\": {},\n    \"target_fraction\": 0.02\n  }},\n  \"software_engine\": {{\n    \"hits\": {software_hits},\n    \"wall_seconds\": {},\n    \"bases_per_second\": {}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"fabp-bench-telemetry/1\",\n  \"workload\": {{\n    \"seed\": {SEED},\n    \"reference_len\": {REFERENCE_LEN},\n    \"num_queries\": {NUM_QUERIES},\n    \"query_len\": {QUERY_LEN}\n  }},\n  \"cycle_engine\": {{\n    \"hits\": {cycle_hits},\n    \"cycles_total\": {cycles},\n    \"beats_total\": {beats},\n    \"stall_cycles_total\": {stall},\n    \"wb_stall_cycles_total\": {wb_stall},\n    \"busy_cycles_total\": {busy},\n    \"axi_bytes_read_total\": {bytes_read},\n    \"axi_stall_cycles_total\": {axi_stall},\n    \"stall_fraction\": {},\n    \"wb_stall_fraction\": {},\n    \"busy_fraction\": {},\n    \"modelled_kernel_seconds\": {},\n    \"modelled_bases_per_second\": {},\n    \"modelled_bandwidth_bytes_per_second\": {},\n    \"sim_wall_seconds\": {}\n  }},\n  \"resilience\": {{\n    \"protected_cycles\": {resilience_protected_cycles},\n    \"detection_overhead_cycles\": {resilience_overhead_cycles},\n    \"detection_overhead_fraction\": {},\n    \"target_fraction\": 0.02\n  }},\n  \"trace\": {{\n    \"disabled_ns_per_op\": {},\n    \"enabled_ns_per_op\": {},\n    \"budget_ns_per_op\": {},\n    \"flight_recorder_capacity\": {FLIGHT_RECORDER_CAPACITY}\n  }},\n  \"software_engine\": {{\n    \"hits\": {software_hits},\n    \"wall_seconds\": {},\n    \"bases_per_second\": {}\n  }}\n}}\n",
         fmt_f64(stall_fraction),
         fmt_f64(wb_stall_fraction),
         fmt_f64(busy_fraction),
@@ -189,6 +348,9 @@ fn main() {
         fmt_f64(modelled_bandwidth),
         fmt_f64(cycle_wall_seconds),
         fmt_f64(resilience_overhead_fraction),
+        fmt_f64(trace_disabled_ns),
+        fmt_f64(trace_enabled_ns),
+        fmt_f64(TRACE_BUDGET_NS),
         fmt_f64(software_wall_seconds),
         fmt_f64(software_bases_per_second),
     );
@@ -196,7 +358,23 @@ fn main() {
     eprintln!(
         "bench_telemetry: {cycle_hits} cycle hits / {software_hits} software hits; \
          stall fraction {stall_fraction:.4}; resilience overhead {:.3}% (target < 2%); \
-         snapshot written to {out_path}",
+         trace record {trace_disabled_ns:.3} ns/op disabled / {trace_enabled_ns:.3} ns/op \
+         enabled (budget {TRACE_BUDGET_NS} ns); snapshot written to {out_path}",
         resilience_overhead_fraction * 100.0
     );
+
+    if check {
+        let path = baseline_path.expect("--check requires --baseline FILE");
+        let baseline_text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let regressions = check_against_baseline(&json, &baseline_text, tolerance);
+        if regressions > 0 {
+            eprintln!("bench_telemetry: {regressions} regression(s) beyond tolerance");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_telemetry: no regressions (counters exact, timings ±{:.0} % with budget floor)",
+            tolerance * 100.0
+        );
+    }
 }

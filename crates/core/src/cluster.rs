@@ -15,6 +15,14 @@ use fabp_resilience::telemetry as rtel;
 use fabp_resilience::{
     FabpError, FabpResult, FaultSchedule, ResilienceLevel, ResilienceReport, ResilientRunner,
 };
+use fabp_telemetry::{
+    FlightRecorder, TraceContext, TraceEvent, FLAG_ERROR, FLAG_RECOVERED, FLAG_RETRY,
+};
+
+/// Display-track base for per-shard scatter spans in Chrome-trace dumps:
+/// node `n`'s span renders on track `SHARD_TRACK_BASE + n`, so parallel
+/// shards do not stack on the request track (track 0).
+pub const SHARD_TRACK_BASE: u32 = 10;
 
 /// Splits `total_bases` into `nodes` contiguous shards, sizes differing by
 /// at most one base.
@@ -167,6 +175,35 @@ impl FpgaCluster {
         shards: &[PackedSeq],
         shard_offsets: &[usize],
     ) -> FabpResult<Vec<Hit>> {
+        self.search_packed_traced(
+            shards,
+            shard_offsets,
+            fabp_telemetry::Registry::global(),
+            &FlightRecorder::disabled(),
+            TraceContext::none(),
+            0.0,
+        )
+    }
+
+    /// [`FpgaCluster::search_packed`] with request-scoped tracing: the
+    /// scatter records one `shard` child span of `trace` per node (on
+    /// display track `SHARD_TRACK_BASE + node`, duration from the
+    /// modelled kernel time so traces stay deterministic) with an
+    /// `fpga_kernel` work span beneath each. A disabled context or
+    /// recorder reduces every record to one branch.
+    ///
+    /// # Errors
+    ///
+    /// As [`FpgaCluster::search_packed`].
+    pub fn search_packed_traced(
+        &self,
+        shards: &[PackedSeq],
+        shard_offsets: &[usize],
+        registry: &fabp_telemetry::Registry,
+        flight: &FlightRecorder,
+        trace: TraceContext,
+        start_us: f64,
+    ) -> FabpResult<Vec<Hit>> {
         if shards.len() != self.engines.len() || shards.len() != shard_offsets.len() {
             return Err(FabpError::InvalidShardPlan(format!(
                 "{} shard(s) / {} offset(s) for a {}-node cluster",
@@ -175,27 +212,43 @@ impl FpgaCluster {
                 self.engines.len()
             )));
         }
-        let per_shard = self
-            .engines
-            .iter()
-            .zip(shards)
-            .zip(shard_offsets)
-            .map(|((engine, shard), &offset)| {
-                engine
-                    .run(shard)
-                    .hits
-                    .into_iter()
-                    .map(|h| Hit {
-                        position: h.position + offset,
-                        score: h.score,
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .collect::<Vec<_>>();
+        let mut per_shard = Vec::with_capacity(shards.len());
+        for (node, (shard, &offset)) in shards.iter().zip(shard_offsets).enumerate() {
+            let shard_ctx = trace.child(node as u64);
+            flight.record(
+                TraceEvent::new(
+                    shard_ctx,
+                    "shard",
+                    start_us,
+                    self.shard_dur_us(node, shard.len() as u64),
+                )
+                .with_arg(node as u64)
+                .with_track(SHARD_TRACK_BASE + node as u32),
+            );
+            let hits = self.engines[node]
+                .run_traced(shard, registry, flight, shard_ctx.child(0), start_us)
+                .hits
+                .into_iter()
+                .map(|h| Hit {
+                    position: h.position + offset,
+                    score: h.score,
+                })
+                .collect::<Vec<_>>();
+            per_shard.push(hits);
+        }
         // Cross-shard duplicates (windows in shard i's overlap tail and
         // shard i+1's head) are removed by the shared merge helper — the
         // same one every shard-composing caller must use.
         Ok(merge_shard_hits(per_shard))
+    }
+
+    /// Modelled kernel time for `bases` nucleotides on `node`'s engine,
+    /// microseconds — the deterministic duration stamped onto shard
+    /// scatter spans.
+    fn shard_dur_us(&self, node: usize, bases: u64) -> f64 {
+        self.engines
+            .get(node)
+            .map_or(0.0, |e| e.model_kernel_seconds(bases.div_ceil(4)) * 1e6)
     }
 
     fn check_shards(&self, shards: &[RnaSeq], shard_offsets: &[usize]) -> FabpResult<()> {
@@ -244,6 +297,46 @@ impl FpgaCluster {
         schedule: &FaultSchedule,
         registry: &fabp_telemetry::Registry,
     ) -> FabpResult<ClusterSearchOutcome> {
+        self.search_resilient_traced(
+            shards,
+            shard_offsets,
+            level,
+            schedule,
+            registry,
+            &FlightRecorder::disabled(),
+            TraceContext::none(),
+            0.0,
+        )
+    }
+
+    /// [`FpgaCluster::search_resilient`] with request-scoped tracing.
+    ///
+    /// Per node the scatter records a `shard` child span of `trace`
+    /// (track `SHARD_TRACK_BASE + node`). A dead node's span carries
+    /// [`fabp_telemetry::FLAG_ERROR`]; under
+    /// [`ResilienceLevel::Recover`] its re-dispatch is recorded as a
+    /// `resilience_retry` child of that shard span (flags
+    /// [`fabp_telemetry::FLAG_RETRY`] |
+    /// [`fabp_telemetry::FLAG_RECOVERED`], argument = the survivor
+    /// node), and engine-level CRC/stall/config retries nest beneath
+    /// whichever span drove the run. All spans share `trace`'s id, so a
+    /// flight-recorder dump reconstructs the full scatter/retry tree.
+    ///
+    /// # Errors
+    ///
+    /// As [`FpgaCluster::search_resilient`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_resilient_traced(
+        &self,
+        shards: &[RnaSeq],
+        shard_offsets: &[usize],
+        level: ResilienceLevel,
+        schedule: &FaultSchedule,
+        registry: &fabp_telemetry::Registry,
+        flight: &FlightRecorder,
+        trace: TraceContext,
+        start_us: f64,
+    ) -> FabpResult<ClusterSearchOutcome> {
         self.check_shards(shards, shard_offsets)?;
         let nodes = self.engines.len();
 
@@ -291,6 +384,17 @@ impl FpgaCluster {
                     }
                 }
             }
+            let shard_ctx = trace.child(node as u64);
+            flight.record(
+                TraceEvent::new(
+                    shard_ctx,
+                    "shard",
+                    start_us,
+                    self.shard_dur_us(node, shards[node].len() as u64),
+                )
+                .with_arg(node as u64)
+                .with_track(SHARD_TRACK_BASE + node as u32),
+            );
             let node_hits = self.run_shard(
                 node,
                 &shards[node],
@@ -299,12 +403,37 @@ impl FpgaCluster {
                 schedule,
                 registry,
                 &mut report,
+                flight,
+                shard_ctx,
+                start_us,
             )?;
             hits.extend(node_hits);
         }
 
         // Re-dispatch orphaned shards to their assigned survivors.
         for &(orphan, survivor) in &redispatch {
+            // The dead node's scatter span, marked failed; its retry on
+            // the survivor hangs beneath it so the dump shows the
+            // re-dispatch as a child of the span that could not run.
+            let orphan_ctx = trace.child(orphan as u64);
+            flight.record(
+                TraceEvent::new(orphan_ctx, "shard", start_us, 1.0)
+                    .with_arg(orphan as u64)
+                    .with_track(SHARD_TRACK_BASE + orphan as u32)
+                    .with_flags(FLAG_ERROR),
+            );
+            let retry_ctx = orphan_ctx.child(0x8E + survivor as u64);
+            flight.record(
+                TraceEvent::new(
+                    retry_ctx,
+                    "resilience_retry",
+                    start_us,
+                    self.shard_dur_us(survivor, shards[orphan].len() as u64),
+                )
+                .with_arg(survivor as u64)
+                .with_track(SHARD_TRACK_BASE + survivor as u32)
+                .with_flags(FLAG_RETRY | FLAG_RECOVERED),
+            );
             let node_hits = self.run_shard(
                 survivor,
                 &shards[orphan],
@@ -313,6 +442,9 @@ impl FpgaCluster {
                 schedule,
                 registry,
                 &mut report,
+                flight,
+                retry_ctx,
+                start_us,
             )?;
             hits.extend(node_hits);
             report.recovered += 1;
@@ -366,6 +498,9 @@ impl FpgaCluster {
         schedule: &FaultSchedule,
         registry: &fabp_telemetry::Registry,
         report: &mut ResilienceReport,
+        flight: &FlightRecorder,
+        ctx: TraceContext,
+        start_us: f64,
     ) -> FabpResult<Vec<Hit>> {
         let engine = self
             .engines
@@ -379,7 +514,11 @@ impl FpgaCluster {
                 .copied()
                 .collect(),
         );
-        let runner = ResilientRunner::new(engine, level, engine_schedule);
+        let runner = ResilientRunner::new(engine, level, engine_schedule).with_trace(
+            flight.clone(),
+            ctx,
+            start_us,
+        );
         let out = runner.run(&PackedSeq::from_rna(shard), registry)?;
         report.absorb(&out.report);
         Ok(out

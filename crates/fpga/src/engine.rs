@@ -188,6 +188,29 @@ impl FabpEngine {
         self.run_beats(&axi_beats(reference), registry)
     }
 
+    /// [`FabpEngine::run_with_registry`] with request-scoped tracing: on
+    /// completion one `fpga_kernel` work span is recorded into `flight`
+    /// under `trace`, with the modelled kernel time as its duration (so
+    /// span durations stay deterministic under an injectable clock) and
+    /// the consumed-base count as its argument. A disabled context or
+    /// recorder costs one branch.
+    pub fn run_traced(
+        &self,
+        reference: &PackedSeq,
+        registry: &fabp_telemetry::Registry,
+        flight: &fabp_telemetry::FlightRecorder,
+        trace: fabp_telemetry::TraceContext,
+        start_us: f64,
+    ) -> EngineRun {
+        let run = self.run_with_registry(reference, registry);
+        let dur_us = self.model_kernel_seconds(reference.len().div_ceil(4) as u64) * 1e6;
+        flight.record(
+            fabp_telemetry::TraceEvent::new(trace, "fpga_kernel", start_us, dur_us)
+                .with_arg(reference.len() as u64),
+        );
+        run
+    }
+
     /// Runs the kernel over an explicit beat stream (the decomposed form
     /// of [`FabpEngine::run`]). This is the injection surface the
     /// resilience layer uses: corrupted or re-ordered beats can be fed

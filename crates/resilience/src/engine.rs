@@ -36,7 +36,7 @@ use fabp_encoding::packing::axi_beats;
 use fabp_fpga::comparator::ComparatorCell;
 use fabp_fpga::engine::{EngineRun, FabpEngine};
 use fabp_fpga::primitives::Lut6;
-use fabp_telemetry::Registry;
+use fabp_telemetry::{FlightRecorder, Registry, TraceContext, TraceEvent, FLAG_RETRY};
 
 /// Aggregate fault/detect/recover statistics for one resilient run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -110,6 +110,13 @@ pub struct ResilientRunner<'e> {
     scrub_interval_beats: u64,
     scrub_readback_cycles: u64,
     watchdog_deadline_cycles: u64,
+    /// Flight recorder retry spans are written to (disabled by default).
+    flight: FlightRecorder,
+    /// Parent span for retry events (the owning shard/engine span).
+    trace: TraceContext,
+    /// Start timestamp stamped onto retry spans, microseconds on the
+    /// caller's clock.
+    trace_start_us: f64,
 }
 
 impl<'e> ResilientRunner<'e> {
@@ -127,7 +134,40 @@ impl<'e> ResilientRunner<'e> {
             scrub_interval_beats: ConfigScrubber::DEFAULT_INTERVAL_BEATS,
             scrub_readback_cycles: ConfigScrubber::DEFAULT_READBACK_CYCLES,
             watchdog_deadline_cycles: Watchdog::DEFAULT_DEADLINE_CYCLES,
+            flight: FlightRecorder::disabled(),
+            trace: TraceContext::none(),
+            trace_start_us: 0.0,
         }
+    }
+
+    /// Attaches a trace identity: every recovery retry this runner
+    /// performs is recorded as a `resilience_retry` child span of
+    /// `trace` in `flight`. Disabled contexts/recorders cost one branch.
+    pub fn with_trace(
+        mut self,
+        flight: FlightRecorder,
+        trace: TraceContext,
+        start_us: f64,
+    ) -> ResilientRunner<'e> {
+        self.flight = flight;
+        self.trace = trace;
+        self.trace_start_us = start_us;
+        self
+    }
+
+    /// Records one retry as a child span of the runner's trace context.
+    /// `slot` disambiguates sibling retries (beat index or retry site).
+    fn trace_retry(&self, slot: u64, name: &'static str, delay_cycles: u64) {
+        self.flight.record(
+            TraceEvent::new(
+                self.trace.child(0x5E7 + slot),
+                name,
+                self.trace_start_us,
+                (delay_cycles as f64).max(1.0),
+            )
+            .with_arg(slot)
+            .with_flags(FLAG_RETRY),
+        );
     }
 
     /// Overrides the retry policy.
@@ -292,6 +332,7 @@ impl<'e> ResilientRunner<'e> {
                     report.retries += 1;
                     report.overhead_cycles += delay;
                     rtel::record_retry(registry, delay);
+                    self.trace_retry(i64b, "resilience_retry", delay);
                     check_beat(beat, golden_crcs[i], i64b)?;
                     delivered_beat = *beat;
                     extra_delay += delay;
@@ -318,6 +359,7 @@ impl<'e> ResilientRunner<'e> {
                 let recovered_delay = watchdog.deadline_cycles() + delay;
                 report.retries += 1;
                 rtel::record_retry(registry, delay);
+                self.trace_retry(i64b, "resilience_retry", delay);
                 if recovered_delay < extra_delay {
                     report.overhead_cycles += recovered_delay;
                     extra_delay = recovered_delay;
@@ -430,6 +472,7 @@ impl<'e> ResilientRunner<'e> {
         report.retries += 1;
         report.overhead_cycles += delay;
         rtel::record_retry(registry, delay);
+        self.trace_retry(0, "resilience_retry", delay);
         rtel::count_recovered(registry, "query_word_flip");
         report.recovered += 1;
         Ok(None)

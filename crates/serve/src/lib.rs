@@ -57,7 +57,9 @@ pub mod server;
 pub use batcher::{AdaptiveBatcher, BatchPolicy};
 pub use cache::{content_hash, LruCache};
 pub use queue::{AdmissionQueue, Request};
-pub use server::{FabpServer, Response, ServeBackend, ServeConfig, ServerStats};
+pub use server::{
+    AnomalyDump, FabpServer, Response, ServeBackend, ServeConfig, ServerStats, MAX_ANOMALY_DUMPS,
+};
 
 // One import for callers that match on rejection reasons.
 pub use fabp_resilience::{FabpError, FabpResult};

@@ -20,7 +20,7 @@
 
 use fabp_bio::seq::ProteinSeq;
 use fabp_resilience::FabpError;
-use fabp_telemetry::{Counter, Gauge, Registry};
+use fabp_telemetry::{Counter, Gauge, Registry, TraceContext};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -39,6 +39,10 @@ pub struct Request {
     pub deadline_us: Option<u64>,
     /// Server-clock admission timestamp, microseconds.
     pub submitted_us: u64,
+    /// Trace identity minted at submit; every span this request
+    /// produces (queue wait, batch, shards, retries) shares its
+    /// `trace_id`.
+    pub trace: TraceContext,
 }
 
 /// A bounded multi-tenant admission queue with round-robin fairness.
@@ -199,6 +203,7 @@ mod tests {
             protein: "MF".parse().unwrap(),
             deadline_us,
             submitted_us: 0,
+            trace: TraceContext::none(),
         }
     }
 

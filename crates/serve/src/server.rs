@@ -43,9 +43,18 @@ use fabp_core::hits::Hit;
 use fabp_encoding::encoder::EncodedQuery;
 use fabp_fpga::engine::EngineConfig;
 use fabp_resilience::{FabpError, FabpResult, FaultSchedule, ResilienceLevel};
-use fabp_telemetry::{Counter, Histogram, Registry};
+use fabp_telemetry::{
+    chrome_trace_for_events, Counter, FlightRecorder, Histogram, Registry, SloMonitor, SloPolicy,
+    SloReport, TraceContext, TraceEvent, FLAG_CACHE_HIT, FLAG_CACHE_MISS, FLAG_ERROR,
+    FLAG_RECOVERED, FLAG_SHED,
+};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Dump-on-anomaly budget: at most this many span-tree dumps are
+/// retained per server instance, so a pathological workload cannot turn
+/// the anomaly log into an unbounded allocation.
+pub const MAX_ANOMALY_DUMPS: usize = 8;
 
 /// Which engine pool executes dispatched batches.
 #[derive(Debug, Clone)]
@@ -141,6 +150,25 @@ pub struct Response {
     pub cached_query: bool,
 }
 
+/// One captured anomaly: a request that exceeded the latency objective,
+/// missed its deadline, failed dispatch, or needed fault recovery. The
+/// request's whole span tree is exported as a ready-to-write Chrome
+/// trace so the slow/failed request can be inspected span by span.
+#[derive(Debug, Clone)]
+pub struct AnomalyDump {
+    /// Ticket of the anomalous request.
+    pub id: u64,
+    /// Tenant the request belonged to.
+    pub tenant: String,
+    /// Trace id shared by every span in `chrome_trace`.
+    pub trace_id: u64,
+    /// Why the dump was taken: `"deadline_exceeded"`,
+    /// `"dispatch_error"`, `"fault_recovery"`, or `"slo_exceeded"`.
+    pub reason: &'static str,
+    /// Chrome trace-event JSON for the request's span tree.
+    pub chrome_trace: String,
+}
+
 /// Aggregate counters since server construction.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
@@ -206,6 +234,13 @@ pub struct FabpServer {
     batch_hist: Histogram,
     served_ctr: Counter,
     failed_ctr: Counter,
+    /// Registry's flight recorder; every request's spans land here.
+    flight: FlightRecorder,
+    /// Seed for deterministic per-request trace-id minting.
+    trace_seed: u64,
+    slo: SloMonitor,
+    anomaly_dumps: Vec<AnomalyDump>,
+    anomaly_ctr: Counter,
 }
 
 impl FabpServer {
@@ -252,7 +287,23 @@ impl FabpServer {
             ServeBackend::Software { .. } => (Vec::new(), Vec::new()),
         };
         let reference_key = content_hash(reference.iter().map(|&b| b as u8));
+        // The latency objective the batcher already steers for doubles
+        // as the SLO the burn-rate monitor holds the server to.
+        let slo = SloMonitor::new(
+            SloPolicy::with_latency_objective(config.policy.slo_us),
+            registry,
+        );
         Ok(FabpServer {
+            flight: registry.flight_recorder(),
+            // Deterministic given the reference: the same server setup
+            // mints the same trace ids for the same ticket numbers.
+            trace_seed: 0xFAB6_0006 ^ reference_key,
+            slo,
+            anomaly_dumps: Vec::new(),
+            anomaly_ctr: registry.counter(
+                "fabp_serve_anomaly_dumps_total",
+                "Span-tree dumps captured for anomalous requests",
+            ),
             queue: AdmissionQueue::new(config.queue_capacity, registry),
             batcher: AdaptiveBatcher::new(config.policy, registry),
             aligner_cache: LruCache::new("query", config.query_cache, registry),
@@ -371,6 +422,7 @@ impl FabpServer {
             protein: protein.clone(),
             deadline_us,
             submitted_us: self.clock.now_us(),
+            trace: TraceContext::mint(self.trace_seed, id),
         };
         match self.queue.try_admit(request) {
             Ok(()) => {
@@ -400,7 +452,34 @@ impl FabpServer {
             self.stats.shed += 1;
             self.failed_ctr.inc();
             let latency_us = now.saturating_sub(request.submitted_us);
-            self.latency_hist.observe(latency_us);
+            self.latency_hist
+                .observe_traced(latency_us, request.trace.trace_id);
+            self.flight.record(
+                TraceEvent::new(
+                    request.trace.child(0),
+                    "queue_wait",
+                    request.submitted_us as f64,
+                    latency_us as f64,
+                )
+                .with_flags(FLAG_SHED),
+            );
+            self.flight.record(
+                TraceEvent::new(
+                    request.trace,
+                    "request",
+                    request.submitted_us as f64,
+                    latency_us as f64,
+                )
+                .with_arg(request.id)
+                .with_flags(FLAG_SHED | FLAG_ERROR),
+            );
+            self.slo.observe(&request.tenant, now, latency_us, false);
+            self.capture_anomaly(
+                &request.tenant,
+                request.id,
+                request.trace.trace_id,
+                "deadline_exceeded",
+            );
             responses.push(Response {
                 id: request.id,
                 tenant: request.tenant,
@@ -412,6 +491,21 @@ impl FabpServer {
         }
         if batch.is_empty() {
             return responses;
+        }
+
+        // Queue-wait spans close at dispatch time; the batch id links
+        // every request coalesced into this dispatch.
+        let batch_id = self.stats.batches;
+        for request in &batch {
+            self.flight.record(
+                TraceEvent::new(
+                    request.trace.child(0),
+                    "queue_wait",
+                    request.submitted_us as f64,
+                    now.saturating_sub(request.submitted_us) as f64,
+                )
+                .with_arg(batch_id),
+            );
         }
 
         let exec_start = Instant::now();
@@ -435,7 +529,8 @@ impl FabpServer {
         );
 
         let done = self.clock.now_us();
-        for (request, cached_query, result) in executed {
+        let slo_us = self.config.policy.slo_us;
+        for (request, cached_query, recovered, result) in executed {
             match &result {
                 Ok(_) => {
                     self.stats.served_ok += 1;
@@ -447,7 +542,43 @@ impl FabpServer {
                 }
             }
             let latency_us = done.saturating_sub(request.submitted_us);
-            self.latency_hist.observe(latency_us);
+            self.latency_hist
+                .observe_traced(latency_us, request.trace.trace_id);
+            self.flight.record(
+                TraceEvent::new(request.trace.child(1), "batch", now as f64, exec_us)
+                    .with_arg(batch_id),
+            );
+            let mut flags = 0;
+            if result.is_err() {
+                flags |= FLAG_ERROR;
+            }
+            if recovered {
+                flags |= FLAG_RECOVERED;
+            }
+            self.flight.record(
+                TraceEvent::new(
+                    request.trace,
+                    "request",
+                    request.submitted_us as f64,
+                    latency_us as f64,
+                )
+                .with_arg(request.id)
+                .with_flags(flags),
+            );
+            self.slo
+                .observe(&request.tenant, done, latency_us, result.is_ok());
+            let anomaly = if result.is_err() {
+                Some("dispatch_error")
+            } else if recovered {
+                Some("fault_recovery")
+            } else if latency_us > slo_us {
+                Some("slo_exceeded")
+            } else {
+                None
+            };
+            if let Some(reason) = anomaly {
+                self.capture_anomaly(&request.tenant, request.id, request.trace.trace_id, reason);
+            }
             responses.push(Response {
                 id: request.id,
                 tenant: request.tenant,
@@ -458,6 +589,43 @@ impl FabpServer {
             });
         }
         responses
+    }
+
+    /// Captures one anomalous request's span tree as a Chrome trace,
+    /// up to the [`MAX_ANOMALY_DUMPS`] budget. A request whose events
+    /// already rotated out of the flight recorder yields no dump.
+    fn capture_anomaly(&mut self, tenant: &str, id: u64, trace_id: u64, reason: &'static str) {
+        if self.anomaly_dumps.len() >= MAX_ANOMALY_DUMPS {
+            return;
+        }
+        let events = self.flight.events_for(trace_id);
+        if events.is_empty() {
+            return;
+        }
+        self.anomaly_ctr.inc();
+        self.anomaly_dumps.push(AnomalyDump {
+            id,
+            tenant: tenant.to_string(),
+            trace_id,
+            reason,
+            chrome_trace: chrome_trace_for_events(&events),
+        });
+    }
+
+    /// Span-tree dumps captured for anomalous requests, oldest first.
+    pub fn anomaly_dumps(&self) -> &[AnomalyDump] {
+        &self.anomaly_dumps
+    }
+
+    /// The flight recorder every request's spans are recorded into.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Burn-rate report against the configured SLO, as of the server
+    /// clock now. Also refreshes the exported SLO gauges.
+    pub fn slo_report(&self) -> SloReport {
+        self.slo.report(self.clock.now_us())
     }
 
     /// Pumps until the queue drains, returning every response produced.
@@ -474,14 +642,29 @@ impl FabpServer {
         &mut self,
         batch: Vec<Request>,
         threads: usize,
-    ) -> Vec<(Request, bool, FabpResult<Vec<Hit>>)> {
+    ) -> Vec<(Request, bool, bool, FabpResult<Vec<Hit>>)> {
         let threshold = self.config.threshold;
+        let start_us = self.clock.now_us() as f64;
+        let flight = self.flight.clone();
         // Resolve every request to a cached/built aligner (or a build
         // error) first, so one bad query cannot fail its batch-mates.
         let mut prepared: Vec<(Request, bool, FabpResult<Arc<FabpAligner>>)> = Vec::new();
         for request in batch {
             let key = content_hash(request.protein.iter().map(|&aa| aa as u8));
             let cached = self.aligner_cache.contains(key);
+            flight.record(
+                TraceEvent::new(
+                    request.trace.child(1).child(100),
+                    "query_cache",
+                    start_us,
+                    1.0,
+                )
+                .with_flags(if cached {
+                    FLAG_CACHE_HIT
+                } else {
+                    FLAG_CACHE_MISS
+                }),
+            );
             let built = self.aligner_cache.try_get_or_insert_with(key, || {
                 FabpAligner::builder()
                     .protein_query(&request.protein)
@@ -497,30 +680,43 @@ impl FabpServer {
             .iter()
             .filter_map(|(_, _, built)| built.as_ref().ok().cloned())
             .collect();
+        let align_start = Instant::now();
         let outcomes = match search_all_prebuilt(&runnable, &self.reference, threads) {
             Ok(outcomes) => outcomes,
             Err(e) => {
                 // A scheduler invariant failure poisons the whole batch.
                 return prepared
                     .into_iter()
-                    .map(|(request, cached, _)| (request, cached, Err(e.clone())))
+                    .map(|(request, cached, _)| (request, cached, false, Err(e.clone())))
                     .collect();
             }
         };
+        let align_us = align_start.elapsed().as_secs_f64() * 1e6;
         let mut outcomes = outcomes.into_iter();
         prepared
             .into_iter()
             .map(|(request, cached, built)| {
                 let result = match built {
                     Ok(_) => match outcomes.next() {
-                        Some(outcome) => Ok(outcome.hits),
+                        Some(outcome) => {
+                            flight.record(
+                                TraceEvent::new(
+                                    request.trace.child(1).child(200),
+                                    "align",
+                                    start_us,
+                                    align_us,
+                                )
+                                .with_track(1),
+                            );
+                            Ok(outcome.hits)
+                        }
                         None => Err(FabpError::Internal(
                             "batch dispatch returned fewer outcomes than aligners".to_string(),
                         )),
                     },
                     Err(e) => Err(e),
                 };
-                (request, cached, result)
+                (request, cached, false, result)
             })
             .collect()
     }
@@ -535,31 +731,52 @@ impl FabpServer {
         nodes: usize,
         resilience: ResilienceLevel,
         fault_spec: Option<&str>,
-    ) -> Vec<(Request, bool, FabpResult<Vec<Hit>>)> {
+    ) -> Vec<(Request, bool, bool, FabpResult<Vec<Hit>>)> {
         let threshold = self.config.threshold;
         let total_bases = self.reference.len() as u64;
+        let start_us = self.clock.now_us() as f64;
+        let flight = self.flight.clone();
         batch
             .into_iter()
             .map(|request| {
                 let key = content_hash(request.protein.iter().map(|&aa| aa as u8));
                 let cached = self.cluster_cache.contains(key);
+                // Scatter spans hang off the batch span, so the dump
+                // reads submit → queue → batch → per-shard work.
+                let batch_ctx = request.trace.child(1);
+                flight.record(
+                    TraceEvent::new(batch_ctx.child(100), "query_cache", start_us, 1.0).with_flags(
+                        if cached {
+                            FLAG_CACHE_HIT
+                        } else {
+                            FLAG_CACHE_MISS
+                        },
+                    ),
+                );
                 let result = self.cluster_cache.try_get_or_insert_with(key, || {
                     let query = EncodedQuery::from_protein(&request.protein);
                     let config = EngineConfig::kintex7(threshold.resolve(query.len()));
                     FpgaCluster::homogeneous(&query, &config, nodes, total_bases).map(Arc::new)
                 });
+                let mut recovered = false;
                 let result = result.and_then(|cluster| match fault_spec {
                     Some(spec) => {
                         let schedule = FaultSchedule::parse(spec)?;
                         cluster
-                            .search_resilient(
+                            .search_resilient_traced(
                                 &self.shards,
                                 &self.shard_offsets,
                                 resilience,
                                 &schedule,
                                 &self.registry,
+                                &flight,
+                                batch_ctx,
+                                start_us,
                             )
-                            .map(|outcome| outcome.hits)
+                            .map(|outcome| {
+                                recovered = outcome.report.recovered > 0;
+                                outcome.hits
+                            })
                     }
                     None => {
                         let packed = self
@@ -567,10 +784,17 @@ impl FabpServer {
                             .get_or_insert_with(self.reference_key, || {
                                 Arc::new(self.shards.iter().map(PackedSeq::from_rna).collect())
                             });
-                        cluster.search_packed(&packed, &self.shard_offsets)
+                        cluster.search_packed_traced(
+                            &packed,
+                            &self.shard_offsets,
+                            &self.registry,
+                            &flight,
+                            batch_ctx,
+                            start_us,
+                        )
                     }
                 });
-                (request, cached, result)
+                (request, cached, recovered, result)
             })
             .collect()
     }
@@ -810,6 +1034,150 @@ mod tests {
         let survived = chaos.run_to_completion().remove(0).result.unwrap();
         assert_eq!(survived, clean, "recovery must be hit-transparent");
         assert!(!clean.is_empty(), "planted query must hit");
+    }
+
+    #[test]
+    fn fault_recovery_span_tree_shares_one_trace() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let protein = random_protein(8, &mut rng);
+        let reference = planted_reference(std::slice::from_ref(&protein), &mut rng);
+        let registry = Registry::new();
+        let config = ServeConfig {
+            backend: ServeBackend::Cluster {
+                nodes: 3,
+                resilience: ResilienceLevel::Recover,
+                fault_spec: Some("kill@1:50".to_string()),
+            },
+            max_query_aa: 16,
+            ..ServeConfig::default()
+        };
+        let mut server = FabpServer::new(reference.clone(), config, &registry).unwrap();
+        server.submit("a", &protein).unwrap();
+        let hits = server.run_to_completion().remove(0).result.unwrap();
+        assert_eq!(
+            hits,
+            sequential_hits(&protein, &reference, Threshold::Fraction(1.0)),
+            "recovery stays hit-transparent under tracing"
+        );
+
+        let events = server.flight_recorder().events();
+        let root = events
+            .iter()
+            .find(|e| e.name == "request")
+            .expect("root request span");
+        assert_ne!(root.trace_id, 0);
+        assert_eq!(root.parent_span_id, 0);
+        let trace: Vec<_> = events
+            .iter()
+            .filter(|e| e.trace_id == root.trace_id)
+            .collect();
+        let queue = trace
+            .iter()
+            .find(|e| e.name == "queue_wait")
+            .expect("queue-wait span");
+        assert_eq!(queue.parent_span_id, root.span_id);
+        let batch = trace
+            .iter()
+            .find(|e| e.name == "batch")
+            .expect("batch span");
+        assert_eq!(batch.parent_span_id, root.span_id);
+        let shards: Vec<_> = trace.iter().filter(|e| e.name == "shard").collect();
+        assert_eq!(shards.len(), 3, "one scatter span per node, dead included");
+        assert!(shards.iter().all(|s| s.parent_span_id == batch.span_id));
+        let retry = trace
+            .iter()
+            .find(|e| e.name == "resilience_retry")
+            .expect("re-dispatch retry span");
+        assert!(
+            shards.iter().any(|s| s.span_id == retry.parent_span_id),
+            "retry hangs under the dead node's scatter span"
+        );
+        assert_ne!(retry.flags & fabp_telemetry::FLAG_RETRY, 0);
+        assert_ne!(retry.flags & FLAG_RECOVERED, 0);
+        assert_ne!(root.flags & FLAG_RECOVERED, 0);
+
+        let dumps = server.anomaly_dumps();
+        let dump = dumps
+            .iter()
+            .find(|d| d.reason == "fault_recovery")
+            .expect("recovery triggers a dump");
+        assert_eq!(dump.trace_id, root.trace_id);
+        assert!(dump.chrome_trace.contains("resilience_retry"));
+        assert!(dump.chrome_trace.contains("queue_wait"));
+    }
+
+    #[test]
+    fn shed_requests_burn_the_slo_budget_and_dump() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let protein = random_protein(5, &mut rng);
+        let reference = random_rna(1_000, &mut rng);
+        let registry = Registry::new();
+        let config = ServeConfig {
+            default_deadline_us: Some(500),
+            ..ServeConfig::default()
+        };
+        let mut server = FabpServer::with_manual_clock(reference, config, &registry).unwrap();
+        server.submit("a", &protein).unwrap();
+        server.advance_clock_us(2_000);
+        server.run_to_completion();
+
+        let report = server.slo_report();
+        let tenant = report.tenants.iter().find(|t| t.tenant == "a").unwrap();
+        assert!(
+            tenant.availability_alert,
+            "100% errors must trip the availability burn alert: {report:?}"
+        );
+        assert!(report.alerting());
+        assert!(report.render_text().contains("AVAILABILITY"));
+        let text = registry.snapshot().to_prometheus();
+        assert!(text.contains("fabp_slo_burn_rate_milli"), "{text}");
+        assert!(text.contains("fabp_serve_anomaly_dumps_total 1"), "{text}");
+
+        let dumps = server.anomaly_dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].reason, "deadline_exceeded");
+        assert!(dumps[0].chrome_trace.contains("queue_wait"));
+        // The shed request's spans carry the shed flag.
+        let events = server.flight_recorder().events_for(dumps[0].trace_id);
+        assert!(events.iter().all(|e| e.flags & FLAG_SHED != 0));
+    }
+
+    #[test]
+    fn latency_exemplars_link_histograms_to_traces() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let protein = random_protein(5, &mut rng);
+        let reference = random_rna(1_500, &mut rng);
+        let registry = Registry::new();
+        let mut server = FabpServer::new(reference, ServeConfig::default(), &registry).unwrap();
+        server.submit("a", &protein).unwrap();
+        server.run_to_completion();
+        let events = server.flight_recorder().events();
+        let root = events.iter().find(|e| e.name == "request").unwrap();
+        let text = registry.snapshot().to_prometheus();
+        assert!(
+            text.contains(&format!("trace_id=\"{:016x}\"", root.trace_id)),
+            "latency bucket exemplar must carry the request's trace id:\n{text}"
+        );
+    }
+
+    #[test]
+    fn anomaly_dump_budget_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(103);
+        let protein = random_protein(5, &mut rng);
+        let reference = random_rna(800, &mut rng);
+        let registry = Registry::new();
+        let config = ServeConfig {
+            default_deadline_us: Some(1),
+            ..ServeConfig::default()
+        };
+        let mut server = FabpServer::with_manual_clock(reference, config, &registry).unwrap();
+        for _ in 0..(MAX_ANOMALY_DUMPS + 4) {
+            server.submit("a", &protein).unwrap();
+        }
+        server.advance_clock_us(10_000); // expire everything queued
+        server.run_to_completion();
+        assert_eq!(server.anomaly_dumps().len(), MAX_ANOMALY_DUMPS);
+        assert_eq!(server.stats().shed as usize, MAX_ANOMALY_DUMPS + 4);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! ```
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use fabp_telemetry::Registry;
+use fabp_telemetry::{Registry, TraceContext, TraceEvent};
 
 const OPS: u64 = 1_000;
 
@@ -95,5 +95,51 @@ fn bench_spans(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_counters, bench_histograms, bench_spans);
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    group.throughput(Throughput::Elements(OPS));
+
+    // Disabled-tracing hot path: a live recorder asked to record under
+    // a disabled context. This is the cost every traced call site pays
+    // when tracing is off — budget ≤ 2 ns/op, gated by bench_telemetry.
+    let live = Registry::new();
+    let flight = live.flight_recorder();
+    let off = TraceContext::none();
+    group.bench_function("disabled_record", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                black_box(&flight).record(TraceEvent::new(off, "bench", i as f64, 1.0));
+            }
+        })
+    });
+
+    // Fully enabled: claim a slot, seqlock write, name byte-pack.
+    let ctx = TraceContext::mint(0xBE_BC, 1);
+    group.bench_function("enabled_record", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                black_box(&flight).record(TraceEvent::new(ctx, "bench", i as f64, 1.0));
+            }
+        })
+    });
+
+    // Traced histogram observation vs the plain one.
+    let hist = live.histogram("bench_traced_hist", "exemplar path");
+    group.bench_function("observe_traced", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                black_box(&hist).observe_traced(i, ctx.trace_id);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_counters,
+    bench_histograms,
+    bench_spans,
+    bench_trace
+);
 criterion_main!(benches);

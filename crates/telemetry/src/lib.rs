@@ -38,15 +38,23 @@
 
 mod metrics;
 mod registry;
+mod slo;
 mod snapshot;
 mod span;
+mod trace;
 
 pub use metrics::{Counter, FloatCounter, Gauge, Histogram, HISTOGRAM_BUCKETS};
-pub use registry::{labels, Labels, Registry};
+pub use registry::{labels, Labels, Registry, LABELS_DROPPED_METRIC, MAX_SERIES_PER_METRIC};
+pub use slo::{BurnRate, SloMonitor, SloPolicy, SloReport, TenantSlo};
 pub use snapshot::{
-    HistogramSnapshot, MetricKind, MetricSnapshot, MetricValue, Snapshot, SpanSnapshot,
+    Exemplar, HistogramSnapshot, MetricKind, MetricSnapshot, MetricValue, Snapshot, SpanSnapshot,
 };
 pub use span::Span;
+pub use trace::{
+    chrome_trace_for_events, splitmix64, FlightEvent, FlightRecorder, TraceContext, TraceEvent,
+    FLAG_CACHE_HIT, FLAG_CACHE_MISS, FLAG_ERROR, FLAG_RECOVERED, FLAG_RETRY, FLAG_SHED,
+    FLIGHT_RECORDER_CAPACITY, TRACE_NAME_MAX,
+};
 
 /// Convenience: the global registry (enabled by default).
 pub fn global() -> &'static Registry {

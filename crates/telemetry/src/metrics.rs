@@ -164,12 +164,20 @@ impl FloatCounter {
     }
 }
 
-/// Shared histogram storage: 65 log2 buckets + sum + count.
+/// Shared histogram storage: 65 log2 buckets + sum + count, plus one
+/// exemplar slot per bucket (most recent traced observation).
 #[derive(Debug)]
 pub(crate) struct HistogramCell {
     pub(crate) buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     pub(crate) sum: AtomicU64,
     pub(crate) count: AtomicU64,
+    /// Trace id of the latest traced observation per bucket (0 = none).
+    pub(crate) exemplar_trace: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Observed value of that exemplar. Paired with `exemplar_trace`
+    /// by two relaxed stores: a concurrent overwrite can mix the pair,
+    /// which is acceptable for exemplars (both halves are always *some*
+    /// recent traced observation of the same bucket).
+    pub(crate) exemplar_value: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
 impl HistogramCell {
@@ -178,6 +186,8 @@ impl HistogramCell {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
+            exemplar_trace: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_value: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -229,6 +239,24 @@ impl Histogram {
             cell.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
             cell.sum.fetch_add(v, Ordering::Relaxed);
             cell.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one observation and, when `trace_id != 0`, attaches it
+    /// as the bucket's exemplar so exports can link the latency bucket
+    /// back to a recent trace. With `trace_id == 0` this is exactly
+    /// [`Histogram::observe`].
+    #[inline]
+    pub fn observe_traced(&self, v: u64, trace_id: u64) {
+        if let Some(cell) = &self.cell {
+            let bucket = bucket_index(v);
+            cell.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+            cell.sum.fetch_add(v, Ordering::Relaxed);
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            if trace_id != 0 {
+                cell.exemplar_value[bucket].store(v, Ordering::Relaxed);
+                cell.exemplar_trace[bucket].store(trace_id, Ordering::Relaxed);
+            }
         }
     }
 

@@ -9,10 +9,21 @@ use std::time::Instant;
 use crate::metrics::{Counter, FloatCounter, Gauge, Histogram, HistogramCell};
 use crate::snapshot::{MetricValue, Snapshot, SpanSnapshot};
 use crate::span::{RawSpan, Span};
+use crate::trace::{FlightInner, FlightRecorder, FLIGHT_RECORDER_CAPACITY};
 
 /// Maximum number of retained spans; older spans are dropped (and
 /// counted) once the ring is full.
 pub(crate) const SPAN_RING_CAPACITY: usize = 65_536;
+
+/// Maximum distinct label sets per metric name. Registration past the
+/// cap lands on an `other` overflow series (all label values rewritten
+/// to `other`) and bumps `telemetry_labels_dropped_total`, so an
+/// unbounded label source (e.g. per-tenant labels in `fabp-serve`)
+/// cannot grow the registry without limit.
+pub const MAX_SERIES_PER_METRIC: usize = 32;
+
+/// Counter bumped each time a label set is rewritten to `other`.
+pub const LABELS_DROPPED_METRIC: &str = "telemetry_labels_dropped_total";
 
 /// Metric labels: ordered `key=value` pairs (ordering makes series
 /// identity and export deterministic).
@@ -53,6 +64,8 @@ pub(crate) struct RegistryInner {
     pub(crate) epoch: Instant,
     /// Synthetic thread-id allocator for modelled span trees.
     pub(crate) next_tid: AtomicU64,
+    /// Lock-free flight recorder for request-scoped trace events.
+    pub(crate) flight: Arc<FlightInner>,
 }
 
 /// A metric + span registry.
@@ -80,6 +93,7 @@ impl Registry {
                 }),
                 epoch: Instant::now(),
                 next_tid: AtomicU64::new(1_000),
+                flight: Arc::new(FlightInner::new(FLIGHT_RECORDER_CAPACITY)),
             })),
         }
     }
@@ -185,6 +199,18 @@ impl Registry {
                     _ => Histogram::disabled(),
                 }
             }
+        }
+    }
+
+    // --- tracing --------------------------------------------------------
+
+    /// Handle to this registry's flight recorder (disabled handle when
+    /// the registry is disabled). Cloning the handle is an `Arc` bump;
+    /// recording through it is lock-free and zero-alloc.
+    pub fn flight_recorder(&self) -> FlightRecorder {
+        match &self.inner {
+            None => FlightRecorder::disabled(),
+            Some(inner) => FlightRecorder::live(Arc::clone(&inner.flight)),
         }
     }
 
@@ -320,6 +346,9 @@ impl Registry {
                     }
                     h.sum.store(0, Ordering::Relaxed);
                     h.count.store(0, Ordering::Relaxed);
+                    for e in h.exemplar_trace.iter().chain(&h.exemplar_value) {
+                        e.store(0, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -339,10 +368,38 @@ impl RegistryInner {
         make: impl FnOnce() -> MetricCell,
     ) -> MetricCell {
         let mut series = self.series.lock().expect("series map poisoned");
-        let key = SeriesKey {
+        let mut key = SeriesKey {
             name: name.to_string(),
             labels,
         };
+        // Cardinality guard: a new labelled series past the per-name cap
+        // is rewritten onto the `other` overflow series and counted.
+        if !key.labels.is_empty() && !series.contains_key(&key) {
+            let floor = SeriesKey {
+                name: name.to_string(),
+                labels: Vec::new(),
+            };
+            let existing = series
+                .range(floor..)
+                .take_while(|(k, _)| k.name == name)
+                .count();
+            if existing >= MAX_SERIES_PER_METRIC {
+                for (_, value) in &mut key.labels {
+                    *value = "other".to_string();
+                }
+                let dropped_key = SeriesKey {
+                    name: LABELS_DROPPED_METRIC.to_string(),
+                    labels: Vec::new(),
+                };
+                let dropped = series.entry(dropped_key).or_insert_with(|| SeriesEntry {
+                    help: "Label sets rewritten to the `other` overflow series".to_string(),
+                    cell: MetricCell::Counter(Arc::new(AtomicU64::new(0))),
+                });
+                if let MetricCell::Counter(c) = &dropped.cell {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         let entry = series.entry(key).or_insert_with(|| SeriesEntry {
             help: help.to_string(),
             cell: make(),
@@ -474,6 +531,54 @@ mod tests {
         assert!(r.snapshot().spans.is_empty());
         c.inc();
         assert_eq!(c.get(), 1); // handle still live
+    }
+
+    #[test]
+    fn label_cardinality_is_capped_with_other_overflow() {
+        let r = Registry::new();
+        // Register far more per-tenant series than the cap allows.
+        for i in 0..(MAX_SERIES_PER_METRIC + 20) {
+            r.counter_with(
+                "fabp_serve_requests_total",
+                "per-tenant requests",
+                labels(&[("tenant", &format!("tenant-{i:03}"))]),
+            )
+            .inc();
+        }
+        let snap = r.snapshot();
+        let series: Vec<_> = snap
+            .metrics
+            .iter()
+            .filter(|m| m.name == "fabp_serve_requests_total")
+            .collect();
+        // Cap distinct series + the single `other` overflow series.
+        assert_eq!(series.len(), MAX_SERIES_PER_METRIC + 1);
+        let other = snap
+            .find("fabp_serve_requests_total", &[("tenant", "other")])
+            .expect("overflow series exists");
+        // All 20 overflowing registrations accumulated on `other`.
+        assert_eq!(other.value, MetricValue::Counter(20));
+        assert_eq!(snap.counter_total(LABELS_DROPPED_METRIC), 20);
+        // Existing series keep working and don't re-trip the guard.
+        r.counter_with(
+            "fabp_serve_requests_total",
+            "per-tenant requests",
+            labels(&[("tenant", "tenant-000")]),
+        )
+        .inc();
+        assert_eq!(r.snapshot().counter_total(LABELS_DROPPED_METRIC), 20);
+    }
+
+    #[test]
+    fn unlabelled_series_bypass_the_cardinality_guard() {
+        let r = Registry::new();
+        for i in 0..(MAX_SERIES_PER_METRIC + 5) {
+            r.counter(&format!("fabp_unique_metric_{i}_total"), "distinct names")
+                .inc();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_total(LABELS_DROPPED_METRIC), 0);
+        assert_eq!(snap.metrics.len(), MAX_SERIES_PER_METRIC + 5);
     }
 
     #[test]

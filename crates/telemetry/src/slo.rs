@@ -1,0 +1,491 @@
+//! Per-tenant SLO tracking with multi-window burn-rate alerting.
+//!
+//! Two objectives per tenant — **availability** (fraction of requests
+//! answered without error) and **latency** (fraction answered under the
+//! latency objective) — evaluated over a fast and a slow sliding
+//! window, Google-SRE style: an alert fires only when *both* windows
+//! burn error budget faster than their thresholds, which keeps alerts
+//! prompt on real incidents but quiet on short blips.
+//!
+//! Time is injected (`now_us`), so the monitor is fully deterministic
+//! under the serving layer's manual clock. Windows are time-bucketed
+//! rings: `observe` is O(1), `report` scans a fixed 60 buckets.
+
+use std::collections::BTreeMap;
+
+use crate::registry::{labels, Registry};
+
+/// Buckets per slow window. The fast window reuses the same ring, so
+/// it must divide evenly: with 60 buckets and the default 1 h slow
+/// window each bucket spans 1 min, and the 5 min fast window covers 5.
+const SLO_BUCKETS: usize = 60;
+
+/// Distinct tenants tracked; later tenants aggregate under `other`
+/// (mirroring the registry's label-cardinality guard).
+const MAX_SLO_TENANTS: usize = 32;
+
+/// Objectives and alerting thresholds for one serving surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    /// Availability objective: fraction of requests answered OK
+    /// (default 0.999 — an error budget of 0.1%).
+    pub availability_objective: f64,
+    /// Latency objective in microseconds per request.
+    pub latency_objective_us: u64,
+    /// Fraction of requests that must finish under
+    /// `latency_objective_us` (default 0.99).
+    pub latency_attainment_objective: f64,
+    /// Fast burn-rate window, microseconds (default 5 min).
+    pub fast_window_us: u64,
+    /// Slow burn-rate window, microseconds (default 1 h).
+    pub slow_window_us: u64,
+    /// Fast-window burn rate that (with the slow window) trips the
+    /// alert (default 14.4: burns 2% of a 30-day budget in 1 h).
+    pub fast_burn_alert: f64,
+    /// Slow-window burn rate that (with the fast window) trips the
+    /// alert (default 6.0).
+    pub slow_burn_alert: f64,
+}
+
+impl Default for SloPolicy {
+    fn default() -> SloPolicy {
+        SloPolicy {
+            availability_objective: 0.999,
+            latency_objective_us: 50_000,
+            latency_attainment_objective: 0.99,
+            fast_window_us: 5 * 60 * 1_000_000,
+            slow_window_us: 60 * 60 * 1_000_000,
+            fast_burn_alert: 14.4,
+            slow_burn_alert: 6.0,
+        }
+    }
+}
+
+impl SloPolicy {
+    /// The default policy with the latency objective taken from a
+    /// serving-layer SLO (e.g. `BatchPolicy::slo_us`).
+    pub fn with_latency_objective(latency_objective_us: u64) -> SloPolicy {
+        SloPolicy {
+            latency_objective_us: latency_objective_us.max(1),
+            ..SloPolicy::default()
+        }
+    }
+}
+
+/// One tenant's time-bucketed counts. `stamp[i]` records which bucket
+/// generation slot `i` currently holds; stale slots are zeroed on first
+/// touch, so the ring needs no background sweeper.
+#[derive(Debug, Clone)]
+struct TenantWindow {
+    stamp: [u64; SLO_BUCKETS],
+    total: [u64; SLO_BUCKETS],
+    errors: [u64; SLO_BUCKETS],
+    latency_misses: [u64; SLO_BUCKETS],
+}
+
+impl TenantWindow {
+    fn new() -> TenantWindow {
+        TenantWindow {
+            stamp: [u64::MAX; SLO_BUCKETS],
+            total: [0; SLO_BUCKETS],
+            errors: [0; SLO_BUCKETS],
+            latency_misses: [0; SLO_BUCKETS],
+        }
+    }
+
+    /// Sums (total, errors, latency_misses) over the last `buckets`
+    /// generations ending at `gen_now`.
+    fn sum_window(&self, gen_now: u64, buckets: u64) -> (u64, u64, u64) {
+        let mut acc = (0u64, 0u64, 0u64);
+        for offset in 0..buckets.min(SLO_BUCKETS as u64) {
+            let Some(gen) = gen_now.checked_sub(offset) else {
+                break;
+            };
+            let i = (gen % SLO_BUCKETS as u64) as usize;
+            if self.stamp[i] == gen {
+                acc.0 += self.total[i];
+                acc.1 += self.errors[i];
+                acc.2 += self.latency_misses[i];
+            }
+        }
+        acc
+    }
+}
+
+/// Burn-rate evaluation of one objective over one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnRate {
+    /// Requests in the window.
+    pub total: u64,
+    /// Budget-consuming (bad) requests in the window.
+    pub bad: u64,
+    /// `bad_fraction / allowed_bad_fraction`; 0.0 on an empty window.
+    pub rate: f64,
+}
+
+/// Per-tenant SLO state as of one `report` call.
+#[derive(Debug, Clone)]
+pub struct TenantSlo {
+    /// Tenant label (possibly `other` past the cardinality cap).
+    pub tenant: String,
+    /// Availability burn over the fast window.
+    pub availability_fast: BurnRate,
+    /// Availability burn over the slow window.
+    pub availability_slow: BurnRate,
+    /// Latency burn over the fast window.
+    pub latency_fast: BurnRate,
+    /// Latency burn over the slow window.
+    pub latency_slow: BurnRate,
+    /// True when the availability objective is multi-window alerting.
+    pub availability_alert: bool,
+    /// True when the latency objective is multi-window alerting.
+    pub latency_alert: bool,
+}
+
+impl TenantSlo {
+    /// True when either objective alerts.
+    pub fn alerting(&self) -> bool {
+        self.availability_alert || self.latency_alert
+    }
+}
+
+/// A full SLO evaluation: the policy plus one row per tenant.
+#[derive(Debug, Clone)]
+pub struct SloReport {
+    /// Policy the evaluation used.
+    pub policy: SloPolicy,
+    /// Per-tenant rows, tenant-sorted.
+    pub tenants: Vec<TenantSlo>,
+}
+
+impl SloReport {
+    /// True when any tenant alerts.
+    pub fn alerting(&self) -> bool {
+        self.tenants.iter().any(TenantSlo::alerting)
+    }
+
+    /// Renders the human-readable `fabp_serve --slo` report.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# SLO report: availability ≥ {:.3}%, latency p{:.0} ≤ {} µs",
+            self.policy.availability_objective * 100.0,
+            self.policy.latency_attainment_objective * 100.0,
+            self.policy.latency_objective_us
+        );
+        let _ = writeln!(
+            out,
+            "# windows: fast {} s (alert > {:.1}×), slow {} s (alert > {:.1}×)",
+            self.policy.fast_window_us / 1_000_000,
+            self.policy.fast_burn_alert,
+            self.policy.slow_window_us / 1_000_000,
+            self.policy.slow_burn_alert
+        );
+        let _ = writeln!(
+            out,
+            "# tenant\trequests\terrors\tavail_burn_fast\tavail_burn_slow\tlat_burn_fast\tlat_burn_slow\talert"
+        );
+        for t in &self.tenants {
+            let alert = match (t.availability_alert, t.latency_alert) {
+                (true, true) => "AVAILABILITY+LATENCY",
+                (true, false) => "AVAILABILITY",
+                (false, true) => "LATENCY",
+                (false, false) => "ok",
+            };
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{}",
+                t.tenant,
+                t.availability_slow.total,
+                t.availability_slow.bad,
+                t.availability_fast.rate,
+                t.availability_slow.rate,
+                t.latency_fast.rate,
+                t.latency_slow.rate,
+                alert
+            );
+        }
+        out
+    }
+}
+
+/// Tracks per-tenant SLO compliance and publishes burn-rate gauges.
+#[derive(Debug)]
+pub struct SloMonitor {
+    policy: SloPolicy,
+    bucket_us: u64,
+    tenants: BTreeMap<String, TenantWindow>,
+    registry: Registry,
+}
+
+impl SloMonitor {
+    /// A monitor publishing gauges into `registry` (which may be
+    /// disabled; the monitor itself still evaluates).
+    pub fn new(policy: SloPolicy, registry: &Registry) -> SloMonitor {
+        SloMonitor {
+            policy,
+            bucket_us: (policy.slow_window_us / SLO_BUCKETS as u64).max(1),
+            tenants: BTreeMap::new(),
+            registry: registry.clone(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &SloPolicy {
+        &self.policy
+    }
+
+    /// Records one finished request. `ok` is false for errors (shed,
+    /// faults, rejections surfaced to the caller).
+    pub fn observe(&mut self, tenant: &str, now_us: u64, latency_us: u64, ok: bool) {
+        let gen = now_us / self.bucket_us;
+        let tenant_key =
+            if self.tenants.contains_key(tenant) || self.tenants.len() < MAX_SLO_TENANTS {
+                tenant
+            } else {
+                "other"
+            };
+        let window = self
+            .tenants
+            .entry(tenant_key.to_string())
+            .or_insert_with(TenantWindow::new);
+        let i = (gen % SLO_BUCKETS as u64) as usize;
+        if window.stamp[i] != gen {
+            window.stamp[i] = gen;
+            window.total[i] = 0;
+            window.errors[i] = 0;
+            window.latency_misses[i] = 0;
+        }
+        window.total[i] += 1;
+        if !ok {
+            window.errors[i] += 1;
+        }
+        if latency_us > self.policy.latency_objective_us {
+            window.latency_misses[i] += 1;
+        }
+    }
+
+    fn burn(&self, window: &TenantWindow, gen_now: u64, window_us: u64, latency: bool) -> BurnRate {
+        let buckets = window_us.div_ceil(self.bucket_us).max(1);
+        let (total, errors, misses) = window.sum_window(gen_now, buckets);
+        let bad = if latency { misses } else { errors };
+        let allowed = if latency {
+            1.0 - self.policy.latency_attainment_objective
+        } else {
+            1.0 - self.policy.availability_objective
+        };
+        let rate = if total == 0 || allowed <= 0.0 {
+            0.0
+        } else {
+            (bad as f64 / total as f64) / allowed
+        };
+        BurnRate { total, bad, rate }
+    }
+
+    /// Evaluates every tenant as of `now_us`, publishes the burn-rate
+    /// and alert gauges, and returns the report.
+    pub fn report(&self, now_us: u64) -> SloReport {
+        let gen_now = now_us / self.bucket_us;
+        let mut rows = Vec::with_capacity(self.tenants.len());
+        for (tenant, window) in &self.tenants {
+            let availability_fast = self.burn(window, gen_now, self.policy.fast_window_us, false);
+            let availability_slow = self.burn(window, gen_now, self.policy.slow_window_us, false);
+            let latency_fast = self.burn(window, gen_now, self.policy.fast_window_us, true);
+            let latency_slow = self.burn(window, gen_now, self.policy.slow_window_us, true);
+            let availability_alert = availability_fast.rate >= self.policy.fast_burn_alert
+                && availability_slow.rate >= self.policy.slow_burn_alert;
+            let latency_alert = latency_fast.rate >= self.policy.fast_burn_alert
+                && latency_slow.rate >= self.policy.slow_burn_alert;
+            let row = TenantSlo {
+                tenant: tenant.clone(),
+                availability_fast,
+                availability_slow,
+                latency_fast,
+                latency_slow,
+                availability_alert,
+                latency_alert,
+            };
+            self.publish(&row);
+            rows.push(row);
+        }
+        SloReport {
+            policy: self.policy,
+            tenants: rows,
+        }
+    }
+
+    /// Publishes one tenant row as gauges: burn rates in milli-units
+    /// (`14.4× → 14400`) so integer gauges carry them losslessly
+    /// enough for dashboards, plus a 0/1 alert gauge per objective.
+    fn publish(&self, row: &TenantSlo) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        let burns = [
+            ("availability", "fast", row.availability_fast.rate),
+            ("availability", "slow", row.availability_slow.rate),
+            ("latency", "fast", row.latency_fast.rate),
+            ("latency", "slow", row.latency_slow.rate),
+        ];
+        for (slo, window, rate) in burns {
+            self.registry
+                .gauge_with(
+                    "fabp_slo_burn_rate_milli",
+                    "SLO burn rate ×1000 per tenant/objective/window",
+                    labels(&[("tenant", &row.tenant), ("slo", slo), ("window", window)]),
+                )
+                .set((rate * 1000.0).round() as i64);
+        }
+        for (slo, alert) in [
+            ("availability", row.availability_alert),
+            ("latency", row.latency_alert),
+        ] {
+            self.registry
+                .gauge_with(
+                    "fabp_slo_alert",
+                    "1 when the multi-window burn-rate alert fires",
+                    labels(&[("tenant", &row.tenant), ("slo", slo)]),
+                )
+                .set(i64::from(alert));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIN_US: u64 = 60 * 1_000_000;
+
+    #[test]
+    fn clean_traffic_never_alerts() {
+        let r = Registry::new();
+        let mut m = SloMonitor::new(SloPolicy::default(), &r);
+        for i in 0..1_000u64 {
+            m.observe("a", i * 1_000, 10_000, true);
+        }
+        let report = m.report(1_000 * 1_000);
+        assert!(!report.alerting());
+        let row = &report.tenants[0];
+        assert_eq!(row.availability_slow.total, 1_000);
+        assert_eq!(row.availability_slow.bad, 0);
+        assert_eq!(row.availability_fast.rate, 0.0);
+    }
+
+    #[test]
+    fn sustained_errors_trip_both_windows() {
+        let r = Registry::new();
+        let mut m = SloMonitor::new(SloPolicy::default(), &r);
+        // 10% errors sustained across the whole slow window: burn rate
+        // 0.1 / 0.001 = 100× on both windows.
+        for minute in 0..60u64 {
+            for i in 0..10u64 {
+                m.observe("a", minute * MIN_US + i, 1_000, i != 0);
+            }
+        }
+        let now = 59 * MIN_US + 100;
+        let report = m.report(now);
+        let row = &report.tenants[0];
+        assert!(row.availability_fast.rate > 50.0, "{row:?}");
+        assert!(row.availability_slow.rate > 50.0, "{row:?}");
+        assert!(row.availability_alert);
+        assert!(report.alerting());
+        // Gauges published.
+        let snap = r.snapshot();
+        let alert = snap
+            .find(
+                "fabp_slo_alert",
+                &[("tenant", "a"), ("slo", "availability")],
+            )
+            .expect("alert gauge");
+        assert_eq!(
+            alert.value,
+            crate::MetricValue::Gauge(1),
+            "alert gauge must be 1"
+        );
+    }
+
+    #[test]
+    fn short_blip_does_not_alert_after_fast_window_clears() {
+        let r = Registry::disabled();
+        let mut m = SloMonitor::new(SloPolicy::default(), &r);
+        // One bad minute at t=0, then 30 clean minutes.
+        for i in 0..100u64 {
+            m.observe("a", i, 1_000, false);
+        }
+        for minute in 1..31u64 {
+            for i in 0..100u64 {
+                m.observe("a", minute * MIN_US + i, 1_000, true);
+            }
+        }
+        let report = m.report(30 * MIN_US + 200);
+        let row = &report.tenants[0];
+        // Slow window still burns (errors within the hour), but the
+        // fast window has cleared — no alert.
+        assert!(row.availability_slow.rate > 1.0);
+        assert_eq!(row.availability_fast.rate, 0.0);
+        assert!(!row.availability_alert);
+    }
+
+    #[test]
+    fn latency_objective_is_tracked_separately() {
+        let r = Registry::disabled();
+        let mut m = SloMonitor::new(SloPolicy::with_latency_objective(1_000), &r);
+        // All requests succeed, but half are slow, sustained.
+        for minute in 0..60u64 {
+            for i in 0..10u64 {
+                let latency = if i % 2 == 0 { 10_000 } else { 100 };
+                m.observe("a", minute * MIN_US + i, latency, true);
+            }
+        }
+        let report = m.report(59 * MIN_US + 100);
+        let row = &report.tenants[0];
+        assert!(!row.availability_alert);
+        assert!(row.latency_alert, "{row:?}");
+        assert!(row.latency_slow.rate > 10.0);
+    }
+
+    #[test]
+    fn tenant_overflow_collapses_to_other() {
+        let r = Registry::disabled();
+        let mut m = SloMonitor::new(SloPolicy::default(), &r);
+        for i in 0..(MAX_SLO_TENANTS + 8) {
+            m.observe(&format!("tenant-{i}"), 0, 1_000, true);
+        }
+        let report = m.report(0);
+        assert_eq!(report.tenants.len(), MAX_SLO_TENANTS + 1);
+        let other = report
+            .tenants
+            .iter()
+            .find(|t| t.tenant == "other")
+            .expect("overflow tenant");
+        assert_eq!(other.availability_slow.total, 8);
+    }
+
+    #[test]
+    fn stale_buckets_age_out() {
+        let r = Registry::disabled();
+        let mut m = SloMonitor::new(SloPolicy::default(), &r);
+        m.observe("a", 0, 1_000, false);
+        // Two hours later the error is outside even the slow window.
+        let later = 2 * 60 * MIN_US;
+        m.observe("a", later, 1_000, true);
+        let report = m.report(later);
+        let row = &report.tenants[0];
+        assert_eq!(row.availability_slow.total, 1);
+        assert_eq!(row.availability_slow.bad, 0);
+    }
+
+    #[test]
+    fn report_text_is_tabular() {
+        let r = Registry::disabled();
+        let mut m = SloMonitor::new(SloPolicy::default(), &r);
+        m.observe("a", 0, 1_000, true);
+        let text = m.report(0).render_text();
+        assert!(text.contains("# SLO report"));
+        assert!(text.contains("a\t1\t0\t"));
+        assert!(text.contains("ok"));
+    }
+}

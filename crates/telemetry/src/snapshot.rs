@@ -39,6 +39,17 @@ impl MetricKind {
     }
 }
 
+/// One captured exemplar: a recent traced observation in a bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Bucket index the exemplar belongs to.
+    pub bucket: usize,
+    /// Trace id of the observation (non-zero).
+    pub trace_id: u64,
+    /// The observed value.
+    pub value: u64,
+}
+
 /// Captured histogram state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
@@ -48,6 +59,9 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Number of observations.
     pub count: u64,
+    /// Exemplars for buckets that have one (empty without tracing, so
+    /// untraced exports are byte-identical to their pre-exemplar form).
+    pub exemplars: Vec<Exemplar>,
 }
 
 /// Captured value of one metric series.
@@ -79,6 +93,19 @@ impl MetricValue {
                     .collect(),
                 sum: h.sum.load(Ordering::Relaxed),
                 count: h.count.load(Ordering::Relaxed),
+                exemplars: h
+                    .exemplar_trace
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(bucket, t)| {
+                        let trace_id = t.load(Ordering::Relaxed);
+                        (trace_id != 0).then(|| Exemplar {
+                            bucket,
+                            trace_id,
+                            value: h.exemplar_value[bucket].load(Ordering::Relaxed),
+                        })
+                    })
+                    .collect(),
             }),
         }
     }
@@ -227,23 +254,34 @@ impl Snapshot {
                         } else {
                             bucket_upper_bound(i).to_string()
                         };
+                        // OpenMetrics-style exemplar, appended only when
+                        // a traced observation landed in this bucket —
+                        // untraced output stays byte-identical.
+                        let exemplar = h
+                            .exemplars
+                            .iter()
+                            .find(|e| e.bucket == i)
+                            .map(|e| {
+                                format!(
+                                    " # {{trace_id=\"{:016x}\"}} {}",
+                                    e.trace_id,
+                                    fmt_f64(e.value as f64)
+                                )
+                            })
+                            .unwrap_or_default();
                         let _ = writeln!(
                             out,
-                            "{}_bucket{} {}",
+                            "{}_bucket{} {}{}",
                             m.name,
                             label_block(&m.labels, Some(("le", &le))),
-                            cumulative
+                            cumulative,
+                            exemplar
                         );
                     }
-                    if h.buckets.get(64).copied().unwrap_or(0) == 0 {
-                        let _ = writeln!(
-                            out,
-                            "{}_bucket{} {}",
-                            m.name,
-                            label_block(&m.labels, Some(("le", "+Inf"))),
-                            h.count
-                        );
-                    }
+                    // The loop above always emits bucket 64 (the skip
+                    // guard exempts the last index), so `+Inf` is
+                    // present exactly once even with no observation
+                    // there — no synthesised duplicate line.
                     let _ = writeln!(
                         out,
                         "{}_sum{} {}",
@@ -314,7 +352,18 @@ impl Snapshot {
                         } else {
                             format!("\"{}\"", bucket_upper_bound(i))
                         };
-                        let _ = write!(out, "{{\"le\": {le}, \"count\": {b}}}");
+                        let exemplar = h
+                            .exemplars
+                            .iter()
+                            .find(|e| e.bucket == i)
+                            .map(|e| {
+                                format!(
+                                    ", \"exemplar\": {{\"trace_id\": \"{:016x}\", \"value\": {}}}",
+                                    e.trace_id, e.value
+                                )
+                            })
+                            .unwrap_or_default();
+                        let _ = write!(out, "{{\"le\": {le}, \"count\": {b}{exemplar}}}");
                     }
                     out.push(']');
                 }

@@ -1,0 +1,297 @@
+//! Prometheus exposition conformance lint.
+//!
+//! The golden test pins exact bytes for one fixture; this test checks
+//! the *format rules* over a fully-populated registry — every metric
+//! kind, labelled and unlabelled series, values that need escaping,
+//! histograms with exemplars — so a future exporter change cannot emit
+//! text a scraper would reject:
+//!
+//! * every series line is preceded by `# HELP` and `# TYPE` lines for
+//!   its metric family, in that order, exactly once per family;
+//! * metric names and label names match the Prometheus grammar;
+//! * label values are escaped (no raw `"`, `\`, or newline survives);
+//! * histogram `le` bucket bounds are strictly increasing, cumulative
+//!   counts are monotone, and the last bucket is `+Inf` with the
+//!   family's `_count` value;
+//! * exemplars use the OpenMetrics ` # {label="…"} value` syntax and
+//!   appear only on `_bucket` lines.
+
+use fabp_telemetry::{labels, Registry, TraceContext};
+use std::collections::BTreeMap;
+
+/// A registry exercising every exporter feature at once.
+fn populated_registry() -> Registry {
+    let r = Registry::new();
+    r.counter("fabp_requests_total", "Requests").add(7);
+    r.counter_with(
+        "fabp_requests_by_tenant_total",
+        "Requests per tenant",
+        labels(&[("tenant", "alpha"), ("zone", "eu-1")]),
+    )
+    .add(3);
+    // Label values that need escaping: quotes, backslashes, newlines,
+    // tabs, control characters.
+    r.counter_with(
+        "fabp_requests_by_tenant_total",
+        "Requests per tenant",
+        labels(&[("tenant", "we\"ird\\ten\nant\t\u{1}"), ("zone", "eu-2")]),
+    )
+    .add(1);
+    r.gauge("fabp_queue_depth", "Queue depth").set(-4);
+    r.gauge_with("fabp_shard_bases", "Shard size", labels(&[("node", "0")]))
+        .set(1_000);
+    r.float_counter("fabp_stage_seconds", "Stage seconds")
+        .add(0.125);
+    // Histogram with traced observations → exemplars.
+    let h = r.histogram_with("fabp_latency_us", "Latency", labels(&[("tenant", "alpha")]));
+    let ctx = TraceContext::mint(0xC0FFEE, 1);
+    h.observe_traced(0, ctx.trace_id);
+    h.observe_traced(3, ctx.trace_id);
+    h.observe_traced(900, TraceContext::mint(0xC0FFEE, 2).trace_id);
+    h.observe(u64::MAX);
+    // Histogram with no +Inf observation (exporter must synthesise it).
+    let h2 = r.histogram("fabp_batch_size", "Batch sizes");
+    h2.observe(4);
+    h2.observe(17);
+    r
+}
+
+fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let first = match chars.next() {
+        Some(c) => c,
+        None => return false,
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let first = match chars.next() {
+        Some(c) => c,
+        None => return false,
+    };
+    (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Splits a series line into (name, label-block, value, exemplar).
+fn parse_series_line(line: &str) -> (String, Option<String>, String, Option<String>) {
+    let (series, exemplar) = match line.find(" # ") {
+        Some(pos) => (&line[..pos], Some(line[pos + 3..].to_string())),
+        None => (line, None),
+    };
+    let (head, value) = series
+        .rsplit_once(' ')
+        .unwrap_or_else(|| panic!("no value on line: {line}"));
+    match head.find('{') {
+        Some(open) => {
+            assert!(head.ends_with('}'), "unterminated label block: {line}");
+            (
+                head[..open].to_string(),
+                Some(head[open + 1..head.len() - 1].to_string()),
+                value.to_string(),
+                exemplar,
+            )
+        }
+        None => (head.to_string(), None, value.to_string(), exemplar),
+    }
+}
+
+/// Splits a label block on top-level commas (quotes respected) into
+/// `name="escaped-value"` pairs.
+fn parse_labels(block: &str) -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    let mut rest = block;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .unwrap_or_else(|| panic!("bad label: {rest}"));
+        let name = &rest[..eq];
+        assert!(rest[eq + 1..].starts_with('"'), "unquoted value: {rest}");
+        let mut end = eq + 2;
+        let bytes = rest.as_bytes();
+        while end < rest.len() {
+            match bytes[end] {
+                b'\\' => end += 2,
+                b'"' => break,
+                _ => end += 1,
+            }
+        }
+        assert!(end < rest.len(), "unterminated label value: {rest}");
+        pairs.push((name.to_string(), rest[eq + 2..end].to_string()));
+        rest = rest[end + 1..]
+            .strip_prefix(',')
+            .unwrap_or(&rest[end + 1..]);
+    }
+    pairs
+}
+
+#[test]
+fn exposition_conforms() {
+    let text = populated_registry().snapshot().to_prometheus();
+
+    // Families seen and their declared order of HELP/TYPE.
+    let mut declared: BTreeMap<String, String> = BTreeMap::new(); // family → type
+    let mut help_seen: Vec<String> = Vec::new();
+    let mut pending_help: Option<String> = None;
+    // Histogram bookkeeping per (family, non-le labels).
+    let mut hist_buckets: BTreeMap<(String, String), Vec<(f64, u64)>> = BTreeMap::new();
+    let mut hist_counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+
+    for line in text.lines() {
+        assert!(!line.is_empty(), "blank lines are not emitted");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (family, _help) = rest.split_once(' ').expect("HELP has text");
+            assert!(is_valid_metric_name(family), "bad family name {family}");
+            assert!(
+                !help_seen.contains(&family.to_string()),
+                "HELP repeated for {family}"
+            );
+            help_seen.push(family.to_string());
+            pending_help = Some(family.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (family, kind) = rest.split_once(' ').expect("TYPE has kind");
+            assert!(
+                ["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind),
+                "bad TYPE {kind}"
+            );
+            assert_eq!(
+                pending_help.as_deref(),
+                Some(family),
+                "TYPE must directly follow its HELP"
+            );
+            pending_help = None;
+            declared.insert(family.to_string(), kind.to_string());
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment line: {line}");
+
+        let (name, label_block, value, exemplar) = parse_series_line(line);
+        assert!(is_valid_metric_name(&name), "bad metric name {name}");
+        // Series must belong to a declared family (histogram suffixes
+        // map back to the family name).
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| {
+                name.strip_suffix(s)
+                    .filter(|f| declared.get(*f).is_some_and(|k| k == "histogram"))
+            })
+            .unwrap_or(&name)
+            .to_string();
+        assert!(
+            declared.contains_key(&family),
+            "series {name} has no HELP/TYPE"
+        );
+
+        let mut le: Option<f64> = None;
+        let mut other_labels = String::new();
+        if let Some(block) = &label_block {
+            for (lname, lvalue) in parse_labels(block) {
+                assert!(is_valid_label_name(&lname), "bad label name {lname}");
+                assert!(
+                    !lvalue.contains('\n') && !lvalue.contains('\r'),
+                    "raw newline in label value: {lvalue:?}"
+                );
+                // Any quote or backslash inside the parsed (still
+                // escaped) value must itself be escaped.
+                let mut chars = lvalue.chars();
+                while let Some(c) = chars.next() {
+                    assert_ne!(c, '"', "unescaped quote in {lvalue:?}");
+                    if c == '\\' {
+                        let next = chars.next().expect("dangling backslash");
+                        assert!(
+                            ['\\', '"', 'n', 't', 'r', 'u'].contains(&next),
+                            "bad escape \\{next} in {lvalue:?}"
+                        );
+                    }
+                }
+                if lname == "le" && name.ends_with("_bucket") {
+                    le = Some(if lvalue == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        lvalue.parse().unwrap_or_else(|_| panic!("bad le {lvalue}"))
+                    });
+                } else {
+                    other_labels.push_str(&lname);
+                    other_labels.push('=');
+                    other_labels.push_str(&lvalue);
+                    other_labels.push(';');
+                }
+            }
+        }
+
+        if name.ends_with("_bucket") && declared.get(&family).is_some_and(|k| k == "histogram") {
+            let le = le.expect("_bucket line must carry le");
+            let count: u64 = value.parse().expect("bucket count is integer");
+            hist_buckets
+                .entry((family.clone(), other_labels.clone()))
+                .or_default()
+                .push((le, count));
+        } else {
+            assert!(le.is_none(), "le label outside _bucket line: {line}");
+            assert!(exemplar.is_none(), "exemplar outside _bucket line: {line}");
+            let parsed: Result<f64, _> = value.parse();
+            assert!(parsed.is_ok(), "unparsable value {value} on {line}");
+        }
+        if name.ends_with("_count") && declared.get(&family).is_some_and(|k| k == "histogram") {
+            hist_counts.insert(
+                (family.clone(), other_labels.clone()),
+                value.parse().expect("count is integer"),
+            );
+        }
+
+        if let Some(ex) = exemplar {
+            // OpenMetrics syntax: {label="value"} observed_value
+            let rest = ex.strip_prefix('{').expect("exemplar starts with {");
+            let close = rest.find('}').expect("exemplar labels close");
+            let ex_labels = parse_labels(&rest[..close]);
+            assert_eq!(ex_labels.len(), 1, "one exemplar label");
+            assert_eq!(ex_labels[0].0, "trace_id");
+            assert_eq!(ex_labels[0].1.len(), 16, "trace id is 16 hex chars");
+            assert!(ex_labels[0].1.chars().all(|c| c.is_ascii_hexdigit()));
+            let ex_value = rest[close + 1..].trim();
+            let parsed: Result<f64, _> = ex_value.parse();
+            assert!(parsed.is_ok(), "bad exemplar value {ex_value}");
+        }
+    }
+
+    assert!(pending_help.is_none(), "HELP without TYPE at end of export");
+
+    // Histogram structure: le strictly increasing, cumulative counts
+    // monotone, last bucket +Inf matching _count.
+    assert!(!hist_buckets.is_empty(), "fixture registers histograms");
+    for (key, buckets) in &hist_buckets {
+        let mut last_le = f64::NEG_INFINITY;
+        let mut last_count = 0u64;
+        for &(le, count) in buckets {
+            assert!(le > last_le, "le not increasing in {key:?}");
+            assert!(count >= last_count, "cumulative count fell in {key:?}");
+            last_le = le;
+            last_count = count;
+        }
+        assert!(last_le.is_infinite(), "last bucket of {key:?} must be +Inf");
+        let total = hist_counts.get(key).expect("histogram emits _count");
+        assert_eq!(last_count, *total, "+Inf bucket must equal _count");
+    }
+
+    // The traced fixture must actually produce exemplar syntax.
+    assert!(
+        text.contains(" # {trace_id=\""),
+        "exemplars missing from traced histogram:\n{text}"
+    );
+}
+
+#[test]
+fn exemplars_land_in_json_export_only_when_present() {
+    let r = populated_registry();
+    let json = r.snapshot().to_json();
+    assert!(json.contains("\"exemplar\": {\"trace_id\": \""));
+    // Untraced registries emit no exemplar keys at all.
+    let plain = Registry::new();
+    plain.histogram("fabp_h", "h").observe(3);
+    assert!(!plain.snapshot().to_json().contains("exemplar"));
+}

@@ -14,6 +14,9 @@
 //!   --stats              print telemetry counters after the run
 //!   --metrics-out <path> write Prometheus text exposition to <path>
 //!   --trace-out <path>   write a Chrome trace-event JSON to <path>
+//!   --flight-out <path>  write the flight recorder's request-scoped
+//!                        spans (per-query trace ids; retry spans on the
+//!                        cycle engine) as Chrome trace-event JSON
 //!   --quiet              suppress informational stderr output
 //!   --disasm             print each query's instruction listing
 //!   --resilience <off|detect|recover>   fault handling level (cycle engine)
@@ -35,7 +38,7 @@ use fabp::core::aligner::{Engine, FabpAligner, SearchOutcome, Threshold};
 use fabp::core::host::HostConfig;
 use fabp::fpga::engine::{EngineConfig, FabpEngine};
 use fabp::resilience::{FaultSchedule, ResilienceLevel, ResilientRunner};
-use fabp_telemetry::{MetricValue, Registry};
+use fabp_telemetry::{chrome_trace_for_events, MetricValue, Registry, TraceContext, TraceEvent};
 use std::fs::File;
 use std::process::ExitCode;
 
@@ -51,6 +54,7 @@ struct Args {
     quiet: bool,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    flight_out: Option<String>,
     resilience: ResilienceLevel,
     inject_faults: Option<String>,
 }
@@ -60,8 +64,8 @@ fn usage() -> ! {
         "usage: fabp-search --query <queries.faa> --reference <db.fna> \
          [--threshold 0.9] [--engine software|bitparallel|cycle] [--threads 4] \
          [--top 10] [--stats] [--metrics-out m.prom] [--trace-out t.json] \
-         [--quiet] [--disasm] [--resilience off|detect|recover] \
-         [--inject-faults <spec>]"
+         [--flight-out f.json] [--quiet] [--disasm] \
+         [--resilience off|detect|recover] [--inject-faults <spec>]"
     );
     std::process::exit(2);
 }
@@ -97,6 +101,7 @@ fn parse_args() -> Args {
         quiet: false,
         metrics_out: None,
         trace_out: None,
+        flight_out: None,
         resilience: ResilienceLevel::Off,
         inject_faults: None,
     };
@@ -114,6 +119,7 @@ fn parse_args() -> Args {
             "--quiet" => args.quiet = true,
             "--metrics-out" => args.metrics_out = Some(value_for("--metrics-out", &mut it)),
             "--trace-out" => args.trace_out = Some(value_for("--trace-out", &mut it)),
+            "--flight-out" => args.flight_out = Some(value_for("--flight-out", &mut it)),
             "--resilience" => args.resilience = parse_for("--resilience", &mut it),
             "--inject-faults" => args.inject_faults = Some(value_for("--inject-faults", &mut it)),
             "--help" | "-h" => usage(),
@@ -158,6 +164,11 @@ fn print_stats_report(registry: &Registry) {
 fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let args = parse_args();
     let telemetry = Registry::global();
+    let flight = telemetry.flight_recorder();
+    // One trace id per (query, reference) search; spans share a
+    // deterministic synthetic timeline so dumps replay identically.
+    let mut flight_ordinal = 0u64;
+    let mut flight_start_us = 0.0f64;
 
     let queries = read_proteins(File::open(&args.query_path)?)?;
     if queries.is_empty() {
@@ -248,9 +259,19 @@ fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
                     },
                     (None, Some(engine)) => {
                         let packed = PackedSeq::from_rna(&reference);
+                        let trace = TraceContext::mint(0xFAB6_5EA7, flight_ordinal);
+                        let start_us = flight_start_us;
                         let runner =
-                            ResilientRunner::new(engine, args.resilience, fault_schedule.clone());
+                            ResilientRunner::new(engine, args.resilience, fault_schedule.clone())
+                                .with_trace(flight.clone(), trace, start_us);
                         let resilient = runner.run(&packed, telemetry)?;
+                        let dur_us = (resilient.run.stats.kernel_seconds * 1e6).max(1.0);
+                        flight.record(
+                            TraceEvent::new(trace, "search", start_us, dur_us)
+                                .with_arg(flight_ordinal),
+                        );
+                        flight_ordinal += 1;
+                        flight_start_us += dur_us + 1.0;
                         if !args.quiet {
                             let r = &resilient.report;
                             let cycles = resilient.run.stats.cycles;
@@ -337,6 +358,17 @@ fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         std::fs::write(path, snapshot.to_chrome_trace())?;
         if !args.quiet {
             eprintln!("# trace written to {path}");
+        }
+    }
+    if let Some(path) = &args.flight_out {
+        let events = flight.events();
+        std::fs::write(path, chrome_trace_for_events(&events))?;
+        if !args.quiet {
+            eprintln!(
+                "# flight recorder written to {path} ({} spans retained, {} dropped)",
+                events.len(),
+                flight.dropped()
+            );
         }
     }
     Ok(())

@@ -35,8 +35,13 @@
 //!   --resilience <off|detect|recover>  cluster fault handling
 //!   --inject-faults <spec>   cluster fault schedule, e.g. kill@1:50
 //!   --stats                  print telemetry counters to stderr
+//!   --slo                    print the SLO burn-rate report to stderr
 //!   --metrics-out <path>     write Prometheus text exposition
-//!   --trace-out <path>       write Chrome trace-event JSON
+//!   --trace-out <path>       write Chrome trace-event JSON (span tree)
+//!   --flight-out <path>      write the flight recorder's retained
+//!                            request spans as Chrome trace-event JSON
+//!   --anomaly-out <path>     write the first captured anomaly dump
+//!                            (SLO/deadline/fault-recovery span tree)
 //!   --quiet                  suppress informational stderr output
 //! ```
 
@@ -74,9 +79,12 @@ struct Args {
     resilience: ResilienceLevel,
     inject_faults: Option<String>,
     stats: bool,
+    slo: bool,
     quiet: bool,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    flight_out: Option<String>,
+    anomaly_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -88,7 +96,8 @@ fn usage() -> ! {
          [--max-batch 64] [--slo-us 50000] [--deadline-us <n>] \
          [--query-cache 256] [--max-query-aa 128] \
          [--resilience off|detect|recover] [--inject-faults <spec>] \
-         [--stats] [--metrics-out m.prom] [--trace-out t.json] [--quiet]"
+         [--stats] [--slo] [--metrics-out m.prom] [--trace-out t.json] \
+         [--flight-out f.json] [--anomaly-out a.json] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -131,9 +140,12 @@ fn parse_args() -> Args {
         resilience: ResilienceLevel::Off,
         inject_faults: None,
         stats: false,
+        slo: false,
         quiet: false,
         metrics_out: None,
         trace_out: None,
+        flight_out: None,
+        anomaly_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -161,9 +173,12 @@ fn parse_args() -> Args {
             "--resilience" => args.resilience = parse_for("--resilience", &mut it),
             "--inject-faults" => args.inject_faults = Some(value_for("--inject-faults", &mut it)),
             "--stats" => args.stats = true,
+            "--slo" => args.slo = true,
             "--quiet" => args.quiet = true,
             "--metrics-out" => args.metrics_out = Some(value_for("--metrics-out", &mut it)),
             "--trace-out" => args.trace_out = Some(value_for("--trace-out", &mut it)),
+            "--flight-out" => args.flight_out = Some(value_for("--flight-out", &mut it)),
+            "--anomaly-out" => args.anomaly_out = Some(value_for("--anomaly-out", &mut it)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -382,6 +397,12 @@ fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             snap.spans.len()
         );
     }
+    // Evaluate the SLO monitor before snapshotting so the burn-rate
+    // and alert gauges (published by `report()`) land in the scrape.
+    let slo_report = server.slo_report();
+    if args.slo {
+        eprint!("{}", slo_report.render_text());
+    }
     let snapshot = registry.snapshot();
     if let Some(path) = &args.metrics_out {
         std::fs::write(path, snapshot.to_prometheus())?;
@@ -393,6 +414,35 @@ fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         std::fs::write(path, snapshot.to_chrome_trace())?;
         if !args.quiet {
             eprintln!("# trace written to {path}");
+        }
+    }
+    if let Some(path) = &args.flight_out {
+        let events = server.flight_recorder().events();
+        std::fs::write(path, fabp_telemetry::chrome_trace_for_events(&events))?;
+        if !args.quiet {
+            eprintln!(
+                "# flight recorder ({} retained spans, {} dropped) written to {path}",
+                events.len(),
+                server.flight_recorder().dropped()
+            );
+        }
+    }
+    if let Some(path) = &args.anomaly_out {
+        match server.anomaly_dumps().first() {
+            Some(dump) => {
+                std::fs::write(path, &dump.chrome_trace)?;
+                if !args.quiet {
+                    eprintln!(
+                        "# anomaly dump ({}, ticket {}, trace {:016x}) written to {path}",
+                        dump.reason, dump.id, dump.trace_id
+                    );
+                }
+            }
+            None => {
+                if !args.quiet {
+                    eprintln!("# no anomalies captured; {path} not written");
+                }
+            }
         }
     }
     Ok(())

@@ -96,6 +96,12 @@ impl AlignmentInstance {
         for (i, &b) in score_bits.iter().enumerate() {
             n.mark_output(format!("score{i}"), b);
         }
+        // Per-element match bits as named outputs: each comparator cone
+        // has an 11-input support, small enough for `fabp-verify` to
+        // exhaustively prove against `Instruction::matches`.
+        for (i, &m) in match_bits.iter().enumerate() {
+            n.mark_output(format!("match{i}"), m);
+        }
 
         AlignmentInstance {
             netlist: n,

@@ -75,6 +75,29 @@ pub enum NodeKind {
     },
 }
 
+/// Description of one seeded defect, returned by the defect-injection
+/// helpers ([`Netlist::rewire_lut_pin`], [`Netlist::set_lut_table`],
+/// [`Netlist::disconnect_reg`], [`Netlist::override_node_const`]) so
+/// adversarial tests can assert that downstream analyses — DRC findings
+/// and `fabp-verify` equivalence counterexamples — localise to the
+/// injected cone rather than merely firing somewhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectionSite {
+    /// The mutated node.
+    pub node: NodeId,
+    /// Machine-readable mutation kind: `rewire-lut-pin`,
+    /// `set-lut-table`, `disconnect-reg` or `override-const`.
+    pub kind: &'static str,
+    /// Human description of the change (old vs. new state).
+    pub detail: String,
+}
+
+impl fmt::Display for InjectionSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@n{}: {}", self.kind, self.node.index(), self.detail)
+    }
+}
+
 /// Resource count of a netlist (or an analytical module estimate).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResourceCount {
@@ -314,13 +337,15 @@ impl Netlist {
 
     /// Replaces a node with a constant driver — the mechanism behind
     /// stuck-at fault injection (`fault` module). Registers lose their
-    /// state entry (a stuck output ignores the clock).
+    /// state entry (a stuck output ignores the clock). Returns the
+    /// [`InjectionSite`].
     ///
     /// # Panics
     ///
     /// Panics if `node` does not exist.
-    pub fn override_node_const(&mut self, node: NodeId, value: bool) {
+    pub fn override_node_const(&mut self, node: NodeId, value: bool) -> InjectionSite {
         assert!(node.index() < self.nodes.len(), "no node {node:?}");
+        let was = format!("{:?}", self.nodes[node.index()]);
         self.nodes[node.index()] = Node::Const(value);
         self.regs.retain(|(id, _)| *id != node);
         self.reg_lookup = self
@@ -329,6 +354,11 @@ impl Netlist {
             .enumerate()
             .map(|(slot, (id, _))| (id.0, slot))
             .collect();
+        InjectionSite {
+            node,
+            kind: "override-const",
+            detail: format!("stuck-at-{} (was {was})", value as u8),
+        }
     }
 
     /// Iterator over all node ids in creation (topological) order.
@@ -391,41 +421,79 @@ impl Netlist {
     /// validated: pointing a pin at a later node (or the LUT itself)
     /// creates a combinational loop, and [`NodeId::DANGLING`] models a
     /// cut wire; `fabp-lint` must flag both. Netlists mutated this way
-    /// may panic in [`Netlist::eval`].
+    /// may panic in [`Netlist::eval`]. Returns the [`InjectionSite`]
+    /// describing the mutation.
     ///
     /// # Panics
     ///
     /// Panics if `node` is not a LUT or `pin >= 6`.
-    pub fn rewire_lut_pin(&mut self, node: NodeId, pin: usize, src: NodeId) {
+    pub fn rewire_lut_pin(&mut self, node: NodeId, pin: usize, src: NodeId) -> InjectionSite {
         assert!(pin < 6, "a LUT6 has pins 0..6, got {pin}");
         match &mut self.nodes[node.index()] {
-            Node::Lut(_, pins) => pins[pin] = src,
+            Node::Lut(_, pins) => {
+                let old = pins[pin];
+                pins[pin] = src;
+                InjectionSite {
+                    node,
+                    kind: "rewire-lut-pin",
+                    detail: format!(
+                        "pin {pin} rewired from n{} to n{}",
+                        old.index(),
+                        src.index()
+                    ),
+                }
+            }
             other => panic!("{node:?} is not a LUT: {other:?}"),
         }
     }
 
     /// Replaces a LUT node's truth table — **defect-injection surface**
     /// (e.g. blanking a LUT to a constant-0 table, the SEU model the
-    /// lint's constant-LUT rule must catch).
+    /// lint's constant-LUT rule must catch; or single-bit flips, the
+    /// functional SEU model `fabp-verify` must catch). Returns the
+    /// [`InjectionSite`], with the old/new INIT and flipped-bit mask.
     ///
     /// # Panics
     ///
     /// Panics if `node` is not a LUT.
-    pub fn set_lut_table(&mut self, node: NodeId, table: Lut6) {
+    pub fn set_lut_table(&mut self, node: NodeId, table: Lut6) -> InjectionSite {
         match &mut self.nodes[node.index()] {
-            Node::Lut(lut, _) => *lut = table,
+            Node::Lut(lut, _) => {
+                let old = *lut;
+                *lut = table;
+                InjectionSite {
+                    node,
+                    kind: "set-lut-table",
+                    detail: format!(
+                        "INIT {:#018x} -> {:#018x} (flipped bits {:#018x})",
+                        old.init(),
+                        table.init(),
+                        old.init() ^ table.init()
+                    ),
+                }
+            }
             other => panic!("{node:?} is not a LUT: {other:?}"),
         }
     }
 
     /// Disconnects a register's D input back to the dangling sentinel —
     /// **defect-injection surface** for the dangling-register lint.
+    /// Returns the [`InjectionSite`].
     ///
     /// # Panics
     ///
     /// Panics if `reg` is not a register node.
-    pub fn disconnect_reg(&mut self, reg: NodeId) {
+    pub fn disconnect_reg(&mut self, reg: NodeId) -> InjectionSite {
+        let old = match &self.nodes[reg.index()] {
+            Node::Reg { d } => *d,
+            other => panic!("{reg:?} is not a register: {other:?}"),
+        };
         self.connect_reg(reg, NodeId::DANGLING);
+        InjectionSite {
+            node: reg,
+            kind: "disconnect-reg",
+            detail: format!("D input cut (was n{})", old.index()),
+        }
     }
 
     /// Public view of a node's kind (for emitters and inspectors).
@@ -721,6 +789,37 @@ mod tests {
         let _q = n.reg_dangling();
         n.eval(&[]);
         n.clock();
+    }
+
+    #[test]
+    fn injection_helpers_describe_their_site() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let lut = n.lut_fn(&[a, b], |addr| addr != 0);
+        let reg = n.reg(lut);
+
+        let site = n.rewire_lut_pin(lut, 0, b);
+        assert_eq!(site.node, lut);
+        assert_eq!(site.kind, "rewire-lut-pin");
+        assert!(site.detail.contains(&format!("n{}", b.index())));
+
+        let old_init = match n.node_kind(lut) {
+            NodeKind::Lut(l, _) => l.init(),
+            _ => unreachable!(),
+        };
+        let site = n.set_lut_table(lut, Lut6::from_init(old_init ^ 1));
+        assert_eq!(site.kind, "set-lut-table");
+        assert!(site.detail.contains("flipped bits 0x0000000000000001"));
+
+        let site = n.disconnect_reg(reg);
+        assert_eq!(site.node, reg);
+        assert_eq!(site.kind, "disconnect-reg");
+        assert!(site.detail.contains(&format!("n{}", lut.index())));
+
+        let site = n.override_node_const(lut, true);
+        assert_eq!(site.kind, "override-const");
+        assert!(site.to_string().starts_with("override-const@n"));
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! `fabp_lint` binary runs every shipped module generator through
 //! [`check_all`] and gates CI with `--all-modules --deny warn`.
 //!
+//! The diagnostics model is shared with `fabp-verify`, which adds the
+//! functional-equivalence rule family (`FABP-V001`..`V008`; see
+//! `docs/VERIFICATION.md`) on top of this crate's [`RuleId`] registry.
+//!
 //! ```
 //! use fabp_fpga::netlist::Netlist;
 //!
@@ -39,7 +43,8 @@ pub mod stream_rules;
 pub use modules::{find_module, shipped_modules, shipped_streams, ShippedModule};
 pub use netlist_rules::check_netlist;
 pub use report::{
-    record_reports, render_json_reports, Finding, ModuleStats, Report, RuleId, Severity,
+    record_reports, record_reports_as, render_json_reports, render_json_reports_as, Finding,
+    ModuleStats, Report, RuleId, Severity,
 };
 pub use stream_rules::{check_instruction_set, check_packed};
 

@@ -87,11 +87,36 @@ pub enum RuleId {
     PackedTrailing,
     /// `FABP-S005`: packed stream holds an undecodable instruction.
     PackedDecode,
+    /// `FABP-V001`: symbolic simulation found an input vector on which
+    /// the netlist output disagrees with the golden software oracle.
+    EquivCounterexample,
+    /// `FABP-V002`: exhaustive input-cone enumeration found a
+    /// disagreement with the golden oracle inside one output cone.
+    ConeCounterexample,
+    /// `FABP-V003`: part of the netlist could not be exhaustively
+    /// proven (cone wider than the bound, or structure too broken to
+    /// simulate) — coverage gap, not a defect.
+    EquivUnverified,
+    /// `FABP-V004`: a register never reaches a defined (non-X) value
+    /// within the analysis window from power-on.
+    XResetStuck,
+    /// `FABP-V005`: an X (unknown power-on state) reaches a named
+    /// output at the end of the analysis window.
+    XReachesOutput,
+    /// `FABP-V006`: a config write is shadowed by a later write to the
+    /// same LUT bank with no intervening read.
+    ConfigShadowedWrite,
+    /// `FABP-V007`: the instruction stream reads a LUT bank no write
+    /// ever initialised.
+    ConfigReadUnwritten,
+    /// `FABP-V008`: a config live range exceeds the scrub interval
+    /// without a covering scrub pass.
+    ConfigScrubGap,
 }
 
 impl RuleId {
     /// All rules, in code order (documentation and coverage tests).
-    pub const ALL: [RuleId; 18] = [
+    pub const ALL: [RuleId; 26] = [
         RuleId::CombLoop,
         RuleId::FloatingPin,
         RuleId::RegDangling,
@@ -110,6 +135,14 @@ impl RuleId {
         RuleId::PackedBounds,
         RuleId::PackedTrailing,
         RuleId::PackedDecode,
+        RuleId::EquivCounterexample,
+        RuleId::ConeCounterexample,
+        RuleId::EquivUnverified,
+        RuleId::XResetStuck,
+        RuleId::XReachesOutput,
+        RuleId::ConfigShadowedWrite,
+        RuleId::ConfigReadUnwritten,
+        RuleId::ConfigScrubGap,
     ];
 
     /// The stable machine-readable code (`FABP-N001` style).
@@ -133,6 +166,14 @@ impl RuleId {
             RuleId::PackedBounds => "FABP-S003",
             RuleId::PackedTrailing => "FABP-S004",
             RuleId::PackedDecode => "FABP-S005",
+            RuleId::EquivCounterexample => "FABP-V001",
+            RuleId::ConeCounterexample => "FABP-V002",
+            RuleId::EquivUnverified => "FABP-V003",
+            RuleId::XResetStuck => "FABP-V004",
+            RuleId::XReachesOutput => "FABP-V005",
+            RuleId::ConfigShadowedWrite => "FABP-V006",
+            RuleId::ConfigReadUnwritten => "FABP-V007",
+            RuleId::ConfigScrubGap => "FABP-V008",
         }
     }
 
@@ -157,6 +198,14 @@ impl RuleId {
             RuleId::PackedBounds => "packed-bounds",
             RuleId::PackedTrailing => "packed-trailing-bits",
             RuleId::PackedDecode => "packed-decode",
+            RuleId::EquivCounterexample => "equiv-counterexample",
+            RuleId::ConeCounterexample => "cone-counterexample",
+            RuleId::EquivUnverified => "equiv-unverified",
+            RuleId::XResetStuck => "xprop-reset-stuck",
+            RuleId::XReachesOutput => "xprop-x-output",
+            RuleId::ConfigShadowedWrite => "config-shadowed-write",
+            RuleId::ConfigReadUnwritten => "config-read-unwritten",
+            RuleId::ConfigScrubGap => "config-scrub-gap",
         }
     }
 
@@ -172,14 +221,21 @@ impl RuleId {
             | RuleId::InstrRoundTrip
             | RuleId::ConfigTable
             | RuleId::PackedBounds
-            | RuleId::PackedDecode => Severity::Error,
+            | RuleId::PackedDecode
+            | RuleId::EquivCounterexample
+            | RuleId::ConeCounterexample
+            | RuleId::XResetStuck
+            | RuleId::XReachesOutput
+            | RuleId::ConfigReadUnwritten => Severity::Error,
             RuleId::LutFoldable
             | RuleId::LutIgnoredInput
             | RuleId::DeadNode
             | RuleId::InputUnused
             | RuleId::HighFanout
-            | RuleId::PackedTrailing => Severity::Warn,
-            RuleId::DeadConst | RuleId::RegConstDriver => Severity::Info,
+            | RuleId::PackedTrailing
+            | RuleId::ConfigShadowedWrite
+            | RuleId::ConfigScrubGap => Severity::Warn,
+            RuleId::DeadConst | RuleId::RegConstDriver | RuleId::EquivUnverified => Severity::Info,
         }
     }
 }
@@ -373,11 +429,18 @@ impl Report {
 
 /// Renders a full multi-module lint run as one JSON document.
 pub fn render_json_reports(reports: &[Report]) -> String {
+    render_json_reports_as("fabp_lint", reports)
+}
+
+/// Renders a multi-module run as one JSON document whose top-level key
+/// names the producing tool (`fabp_lint`, `fabp_verify`, ...). The rest
+/// of the schema is shared; see `docs/LINTING.md`.
+pub fn render_json_reports_as(tool: &str, reports: &[Report]) -> String {
     use std::fmt::Write as _;
     let errors: usize = reports.iter().map(|r| r.count(Severity::Error)).sum();
     let warnings: usize = reports.iter().map(|r| r.count(Severity::Warn)).sum();
     let infos: usize = reports.iter().map(|r| r.count(Severity::Info)).sum();
-    let mut out = String::from("{\"fabp_lint\":{\"schema\":1},\"modules\":[");
+    let mut out = format!("{{{}:{{\"schema\":1}},\"modules\":[", json_string(tool));
     for (i, report) in reports.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -396,18 +459,28 @@ pub fn render_json_reports(reports: &[Report]) -> String {
 /// Publishes finding counters to a telemetry registry
 /// (`fabp_lint_findings_total{severity,rule}`, `fabp_lint_modules_total`).
 pub fn record_reports(registry: &fabp_telemetry::Registry, reports: &[Report]) {
+    record_reports_as("fabp_lint", registry, reports)
+}
+
+/// [`record_reports`] with a caller-chosen metric prefix, so sibling
+/// tools (`fabp_verify`) emit `<tool>_findings_total` counters through
+/// the same code path.
+pub fn record_reports_as(tool: &str, registry: &fabp_telemetry::Registry, reports: &[Report]) {
     if !registry.is_enabled() {
         return;
     }
     registry
-        .counter("fabp_lint_modules_total", "Modules analysed by fabp-lint")
+        .counter(
+            &format!("{tool}_modules_total"),
+            "Modules analysed by the static-analysis gate",
+        )
         .add(reports.len() as u64);
     for report in reports {
         for finding in &report.findings {
             registry
                 .counter_with(
-                    "fabp_lint_findings_total",
-                    "Lint findings by severity and rule",
+                    &format!("{tool}_findings_total"),
+                    "Findings by severity and rule",
                     fabp_telemetry::labels(&[
                         ("severity", finding.severity.label()),
                         ("rule", finding.rule.name()),
@@ -461,6 +534,23 @@ mod tests {
         assert_eq!(codes.len(), before, "duplicate rule codes");
         assert_eq!(RuleId::CombLoop.code(), "FABP-N001");
         assert_eq!(RuleId::PackedDecode.code(), "FABP-S005");
+        assert_eq!(RuleId::EquivCounterexample.code(), "FABP-V001");
+        assert_eq!(RuleId::ConfigScrubGap.code(), "FABP-V008");
+    }
+
+    #[test]
+    fn json_tool_key_is_parameterised() {
+        let r = Report::new("m");
+        let json = render_json_reports_as("fabp_verify", &[r]);
+        assert!(
+            json.starts_with("{\"fabp_verify\":{\"schema\":1}"),
+            "{json}"
+        );
+        let default = render_json_reports(&[Report::new("m")]);
+        assert!(
+            default.starts_with("{\"fabp_lint\":{\"schema\":1}"),
+            "{default}"
+        );
     }
 
     #[test]

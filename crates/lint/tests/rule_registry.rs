@@ -1,0 +1,341 @@
+//! Registry integrity for the shared FABP rule namespace.
+//!
+//! Three invariants, checked mechanically so a new rule cannot land
+//! half-wired: (1) every `RuleId` has a unique code and name, (2) every
+//! code is documented in `docs/LINTING.md` or `docs/VERIFICATION.md`,
+//! and (3) every rule is *emitted* — by a real checker trigger where
+//! one exists in this crate, or by direct `Finding` construction for
+//! the rules whose real triggers live elsewhere (the FABP-V family is
+//! produced by live engine runs in `fabp-verify`'s `rule_coverage`
+//! tests; FABP-N004/N013 and FABP-S001/S002 fire only on internally
+//! inconsistent builds that a correct implementation cannot produce).
+
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+
+use fabp_bio::seq::ProteinSeq;
+use fabp_encoding::bitstream::PackedQuery;
+use fabp_encoding::encoder::EncodedQuery;
+use fabp_fpga::netlist::{Netlist, NodeId};
+use fabp_fpga::primitives::Lut6;
+use fabp_lint::{check_netlist, check_packed, Finding, LintConfig, Report, RuleId, Severity};
+
+#[test]
+fn rule_codes_and_names_are_unique_and_well_formed() {
+    let mut codes = HashSet::new();
+    let mut names = HashSet::new();
+    for rule in RuleId::ALL {
+        let code = rule.code();
+        let name = rule.name();
+        assert!(codes.insert(code), "duplicate rule code {code}");
+        assert!(names.insert(name), "duplicate rule name {name}");
+        assert!(
+            code.starts_with("FABP-N") || code.starts_with("FABP-S") || code.starts_with("FABP-V"),
+            "unexpected code family: {code}"
+        );
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+            "rule name not kebab-case: {name}"
+        );
+        // Display is the stable `CODE[name]` grep target used in logs.
+        assert_eq!(rule.to_string(), format!("{code}[{name}]"));
+    }
+    assert_eq!(codes.len(), RuleId::ALL.len());
+}
+
+#[test]
+fn every_rule_code_is_documented() {
+    let docs_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../docs");
+    let linting = std::fs::read_to_string(docs_dir.join("LINTING.md")).expect("docs/LINTING.md");
+    let verification =
+        std::fs::read_to_string(docs_dir.join("VERIFICATION.md")).expect("docs/VERIFICATION.md");
+    for rule in RuleId::ALL {
+        let code = rule.code();
+        assert!(
+            linting.contains(code) || verification.contains(code),
+            "{code} ({}) is documented in neither docs/LINTING.md nor docs/VERIFICATION.md",
+            rule.name()
+        );
+    }
+}
+
+/// A finding's rendered line must carry its code so `grep FABP-` over
+/// CI logs finds every diagnostic.
+#[test]
+fn rendered_findings_carry_their_codes() {
+    for rule in RuleId::ALL {
+        let mut report = Report::new("registry");
+        report
+            .findings
+            .push(Finding::new(rule, Some(0), "registry smoke finding"));
+        let text = report.render_text();
+        assert!(text.contains(rule.code()), "{text}");
+        assert!(text.contains(rule.name()), "{text}");
+        let json = report.to_json();
+        assert!(json.contains(rule.code()), "{json}");
+    }
+}
+
+/// Runs every real in-crate trigger and returns the set of rules that
+/// fired, keyed by rule.
+fn emitted_by_real_triggers() -> HashMap<RuleId, usize> {
+    let cfg = LintConfig::default();
+    let mut reports: Vec<Report> = Vec::new();
+
+    // FABP-N001: a LUT pin wired back to itself.
+    {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let l = n.lut_fn(&[a], |addr| addr & 1 == 1);
+        n.mark_output("o", l);
+        n.rewire_lut_pin(l, 0, l);
+        reports.push(check_netlist("n001", &n, &cfg));
+    }
+    // FABP-N002: a live pin cut to a nonexistent node.
+    {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let l = n.lut_fn(&[a, b], |addr| addr & 0b11 == 0b11);
+        n.mark_output("o", l);
+        n.rewire_lut_pin(l, 1, NodeId::DANGLING);
+        reports.push(check_netlist("n002", &n, &cfg));
+    }
+    // FABP-N003: a state register never connected to a D input.
+    {
+        let mut n = Netlist::new();
+        let q = n.reg_dangling();
+        n.mark_output("q", q);
+        reports.push(check_netlist("n003", &n, &cfg));
+    }
+    // FABP-N005: an identically-zero truth table (config-cell wipe).
+    {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let l = n.lut_fn(&[a], |addr| addr & 1 == 1);
+        n.mark_output("o", l);
+        n.set_lut_table(l, Lut6::from_init(0));
+        reports.push(check_netlist("n005", &n, &cfg));
+    }
+    // FABP-N006: OR(a, 1) — constant after projecting const pins.
+    {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let one = n.constant(true);
+        let zero = n.constant(false);
+        let or = n.lut(
+            Lut6::from_fn(|addr| addr & 0b11 != 0),
+            [a, one, zero, zero, zero, zero],
+        );
+        n.mark_output("o", or);
+        reports.push(check_netlist("n006", &n, &cfg));
+    }
+    // FABP-N007: a wired live pin the table ignores.
+    {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let zero = n.constant(false);
+        let l = n.lut(
+            Lut6::from_fn(|addr| addr & 1 == 1),
+            [a, b, zero, zero, zero, zero],
+        );
+        n.mark_output("o", l);
+        reports.push(check_netlist("n007", &n, &cfg));
+    }
+    // FABP-N008 + N009 + N010: dead LUT (whose tie-off constant dies
+    // with it) and an input outside every output cone.
+    {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let _unused = n.input();
+        let live = n.lut_fn(&[a], |addr| addr & 1 == 1);
+        let _dead = n.lut_fn(&[a], |addr| addr & 1 == 0);
+        n.mark_output("o", live);
+        reports.push(check_netlist("n008-n010", &n, &cfg));
+    }
+    // FABP-N011: register fed by a constant.
+    {
+        let mut n = Netlist::new();
+        let one = n.constant(true);
+        let r = n.reg(one);
+        n.mark_output("q", r);
+        reports.push(check_netlist("n011", &n, &cfg));
+    }
+    // FABP-N012: fan-out beyond a deliberately tight limit.
+    {
+        let mut n = Netlist::new();
+        let a = n.input();
+        for i in 0..4 {
+            let l = n.lut_fn(&[a], move |addr| (addr & 1 == 1) ^ (i % 2 == 0));
+            n.mark_output(format!("o{i}"), l);
+        }
+        let tight = LintConfig {
+            fanout_warn_limit: 2,
+            ..LintConfig::default()
+        };
+        reports.push(check_netlist("n012", &n, &tight));
+    }
+    // FABP-S005: a Type I instruction with config bits set decodes to
+    // nothing valid.
+    {
+        let query = EncodedQuery::from_protein(&"M".parse::<ProteinSeq>().expect("protein"));
+        let packed = PackedQuery::from_query(&query);
+        let mut words = packed.words().to_vec();
+        words[0] |= 0b01;
+        reports.push(check_packed(
+            "s005",
+            &PackedQuery::from_raw_parts(words, packed.len()),
+        ));
+    }
+    // FABP-S004: stray bits after the last packed element.
+    {
+        let query = EncodedQuery::from_protein(&"MF".parse::<ProteinSeq>().expect("protein"));
+        let packed = PackedQuery::from_query(&query);
+        let mut words = packed.words().to_vec();
+        words[0] |= 1u64 << 40;
+        reports.push(check_packed(
+            "s004",
+            &PackedQuery::from_raw_parts(words, packed.len()),
+        ));
+    }
+    // FABP-S003: word count inconsistent with the element length.
+    {
+        let query = EncodedQuery::from_protein(&"MF".parse::<ProteinSeq>().expect("protein"));
+        let packed = PackedQuery::from_query(&query);
+        let mut words = packed.words().to_vec();
+        words.push(0);
+        reports.push(check_packed(
+            "s003",
+            &PackedQuery::from_raw_parts(words, packed.len()),
+        ));
+    }
+
+    let mut emitted = HashMap::new();
+    for report in &reports {
+        for finding in &report.findings {
+            *emitted.entry(finding.rule).or_insert(0) += 1;
+        }
+    }
+    emitted
+}
+
+/// Rules whose real triggers cannot be produced from this crate's
+/// public API against a correct implementation. Each entry records
+/// where the live emission (or the impossibility argument) lives.
+fn externally_emitted() -> HashMap<RuleId, &'static str> {
+    HashMap::from([
+        (
+            RuleId::MultiDriver,
+            "requires corrupted register bookkeeping; netlist API prevents it",
+        ),
+        (
+            RuleId::StaMismatch,
+            "requires the depth DP and sta::analyze to disagree; both are correct",
+        ),
+        (
+            RuleId::InstrRoundTrip,
+            "requires a broken encoder; checked clean by check_instruction_set",
+        ),
+        (
+            RuleId::ConfigTable,
+            "requires a non-bijective code table; checked clean by check_instruction_set",
+        ),
+        (
+            RuleId::EquivCounterexample,
+            "live emission: fabp-verify tests/rule_coverage.rs::v001",
+        ),
+        (
+            RuleId::ConeCounterexample,
+            "live emission: fabp-verify tests/rule_coverage.rs::v002",
+        ),
+        (
+            RuleId::EquivUnverified,
+            "live emission: fabp-verify tests/rule_coverage.rs::v003",
+        ),
+        (
+            RuleId::XResetStuck,
+            "live emission: fabp-verify tests/rule_coverage.rs::v004_v005",
+        ),
+        (
+            RuleId::XReachesOutput,
+            "live emission: fabp-verify tests/rule_coverage.rs::v004_v005",
+        ),
+        (
+            RuleId::ConfigShadowedWrite,
+            "live emission: fabp-verify tests/rule_coverage.rs::v006_v007_v008",
+        ),
+        (
+            RuleId::ConfigReadUnwritten,
+            "live emission: fabp-verify tests/rule_coverage.rs::v006_v007_v008",
+        ),
+        (
+            RuleId::ConfigScrubGap,
+            "live emission: fabp-verify tests/rule_coverage.rs::v006_v007_v008",
+        ),
+    ])
+}
+
+#[test]
+fn every_rule_is_emitted_or_accounted_for() {
+    let emitted = emitted_by_real_triggers();
+    let external = externally_emitted();
+    for rule in RuleId::ALL {
+        let fired = emitted.contains_key(&rule);
+        let accounted = external.contains_key(&rule);
+        assert!(
+            fired || accounted,
+            "{} is neither emitted by a trigger here nor registered as externally emitted",
+            rule
+        );
+        assert!(
+            !(fired && accounted),
+            "{} fired locally but is registered as external-only; move it to the trigger list",
+            rule
+        );
+    }
+    assert!(
+        emitted.len() >= 13,
+        "expected at least 13 locally-triggered rules, got {}",
+        emitted.len()
+    );
+}
+
+#[test]
+fn triggered_findings_use_their_default_severity() {
+    // Rebuild one representative trigger per severity tier and check
+    // the emitted severity matches the registry's default table.
+    let cfg = LintConfig::default();
+
+    let mut n = Netlist::new();
+    let q = n.reg_dangling();
+    n.mark_output("q", q);
+    let report = check_netlist("err", &n, &cfg);
+    let f = report.findings_for(RuleId::RegDangling);
+    assert_eq!(f[0].severity, RuleId::RegDangling.default_severity());
+    assert_eq!(f[0].severity, Severity::Error);
+
+    let mut n = Netlist::new();
+    let a = n.input();
+    let b = n.input();
+    let zero = n.constant(false);
+    let l = n.lut(
+        Lut6::from_fn(|addr| addr & 1 == 1),
+        [a, b, zero, zero, zero, zero],
+    );
+    n.mark_output("o", l);
+    let report = check_netlist("warn", &n, &cfg);
+    let f = report.findings_for(RuleId::LutIgnoredInput);
+    assert_eq!(f[0].severity, RuleId::LutIgnoredInput.default_severity());
+    assert_eq!(f[0].severity, Severity::Warn);
+
+    let mut n = Netlist::new();
+    let one = n.constant(true);
+    let r = n.reg(one);
+    n.mark_output("q", r);
+    let report = check_netlist("info", &n, &cfg);
+    let f = report.findings_for(RuleId::RegConstDriver);
+    assert_eq!(f[0].severity, RuleId::RegConstDriver.default_severity());
+    assert_eq!(f[0].severity, Severity::Info);
+}

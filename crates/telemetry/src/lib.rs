@@ -36,6 +36,10 @@
 //! assert!(text.contains("fabp_hits_total 3"));
 //! ```
 
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 mod metrics;
 mod registry;
 mod slo;

@@ -1,0 +1,326 @@
+//! 64-lane bit-parallel ("bit-sliced") netlist simulation.
+//!
+//! [`WordSim`] evaluates a [`Netlist`] on 64 independent input
+//! assignments at once: every node carries a `u64` word whose bit `L`
+//! is the node's boolean value in lane `L`. A LUT6 is evaluated by
+//! minterm expansion of its `INIT` table (each set table bit contributes
+//! the AND of its pin words / complements), a carry element is the
+//! bitwise majority, and registers hold one stored word of state. This
+//! is the same trick the paper's host-side scoring uses for the scan
+//! datapath, applied here to the gate-level model so the equivalence
+//! engine in [`crate::symbolic`] can check 64 test patterns per pass.
+
+use fabp_fpga::netlist::{Netlist, NodeId, NodeKind};
+use std::collections::{HashMap, HashSet};
+
+/// Lane-counter words: bit `L` of `COUNTER[j]` is `(L >> j) & 1`, so
+/// driving six inputs with `COUNTER[0..6]` makes the 64 lanes enumerate
+/// all 64 assignments of those inputs in one evaluation.
+pub const COUNTER: [u64; 6] = counter_words();
+
+const fn counter_words() -> [u64; 6] {
+    let mut words = [0u64; 6];
+    let mut j = 0;
+    while j < 6 {
+        let mut lane = 0;
+        while lane < 64 {
+            if (lane >> j) & 1 == 1 {
+                words[j] |= 1u64 << lane;
+            }
+            lane += 1;
+        }
+        j += 1;
+    }
+    words
+}
+
+/// Evaluates one LUT6 truth table over six pin words. Iterates only the
+/// set bits of the smaller phase of the table (direct or complemented),
+/// so sparse and dense tables are equally cheap.
+pub fn lut_word(table: u64, pins: &[u64; 6]) -> u64 {
+    if table == 0 {
+        return 0;
+    }
+    if table == u64::MAX {
+        return u64::MAX;
+    }
+    let (minterms, invert) = if table.count_ones() <= 32 {
+        (table, false)
+    } else {
+        (!table, true)
+    };
+    let mut out = 0u64;
+    let mut rest = minterms;
+    while rest != 0 {
+        let addr = rest.trailing_zeros();
+        rest &= rest - 1;
+        let mut term = u64::MAX;
+        for (bit, &word) in pins.iter().enumerate() {
+            term &= if (addr >> bit) & 1 == 1 { word } else { !word };
+            if term == 0 {
+                break;
+            }
+        }
+        out |= term;
+        if out == u64::MAX {
+            break;
+        }
+    }
+    if invert {
+        !out
+    } else {
+        out
+    }
+}
+
+/// A 64-lane word-level simulator over a structural netlist.
+///
+/// Registers power on at 0 (the post-reset state, matching
+/// [`Netlist::eval`] semantics); [`WordSim::settle`] re-evaluates with
+/// held inputs across clock edges so pipelined modules reach their
+/// steady-state outputs.
+pub struct WordSim<'a> {
+    netlist: &'a Netlist,
+    values: Vec<u64>,
+    reg_state: HashMap<usize, u64>,
+}
+
+impl<'a> WordSim<'a> {
+    /// Creates a simulator with all registers reset to 0 in every lane.
+    pub fn new(netlist: &'a Netlist) -> WordSim<'a> {
+        let reg_state = netlist
+            .register_state_nodes()
+            .iter()
+            .map(|id| (id.index(), 0u64))
+            .collect();
+        WordSim {
+            netlist,
+            values: vec![0; netlist.node_count()],
+            reg_state,
+        }
+    }
+
+    /// Resets every register to 0 in every lane.
+    pub fn reset(&mut self) {
+        for state in self.reg_state.values_mut() {
+            *state = 0;
+        }
+    }
+
+    /// Evaluates all combinational values for one input-word vector
+    /// (creation order, one `u64` of 64 lanes per input).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an input-count mismatch, a dangling pin, or a
+    /// combinational cycle — callers gate on the structural lint first.
+    pub fn eval(&mut self, inputs: &[u64]) {
+        let mut next_input = 0usize;
+        for id in self.netlist.node_ids() {
+            let at = id.index();
+            let value = match self.netlist.node_kind(id) {
+                NodeKind::Input => {
+                    let word = inputs[next_input];
+                    next_input += 1;
+                    word
+                }
+                NodeKind::Const(v) => {
+                    if v {
+                        u64::MAX
+                    } else {
+                        0
+                    }
+                }
+                NodeKind::Lut(lut, pins) => {
+                    let mut words = [0u64; 6];
+                    for (slot, pin) in pins.iter().enumerate() {
+                        words[slot] = self.read_pin(*pin, at);
+                    }
+                    lut_word(lut.init(), &words)
+                }
+                NodeKind::Carry { a, b, cin } => {
+                    let (wa, wb, wc) = (
+                        self.read_pin(a, at),
+                        self.read_pin(b, at),
+                        self.read_pin(cin, at),
+                    );
+                    (wa & wb) | (wc & (wa ^ wb))
+                }
+                NodeKind::Reg { .. } => self.reg_state[&at],
+            };
+            self.values[at] = value;
+        }
+        assert_eq!(
+            next_input,
+            inputs.len(),
+            "input word count does not match the netlist's input nodes"
+        );
+    }
+
+    fn read_pin(&self, pin: NodeId, at: usize) -> u64 {
+        if let Some(&state) = self.reg_state.get(&pin.index()) {
+            return state;
+        }
+        assert!(
+            pin.index() < at,
+            "combinational pin n{} read before evaluation (loop or dangling)",
+            pin.index()
+        );
+        self.values[pin.index()]
+    }
+
+    /// Clock edge: every register latches its D word.
+    pub fn clock(&mut self) {
+        let updates: Vec<(usize, u64)> = self
+            .netlist
+            .register_state_nodes()
+            .iter()
+            .map(|id| {
+                let d = match self.netlist.node_kind(*id) {
+                    NodeKind::Reg { d } => d,
+                    _ => unreachable!("register_state_nodes returned a non-register"),
+                };
+                (id.index(), self.values[d.index()])
+            })
+            .collect();
+        for (index, word) in updates {
+            self.reg_state.insert(index, word);
+        }
+    }
+
+    /// Holds `inputs` across `latency` clock edges and re-evaluates, so
+    /// a pipelined module's outputs settle — the same contract as
+    /// `PipelinedPopCounter::count_blocking`.
+    pub fn settle(&mut self, inputs: &[u64], latency: usize) {
+        self.eval(inputs);
+        for _ in 0..latency {
+            self.clock();
+            self.eval(inputs);
+        }
+    }
+
+    /// The 64-lane word currently on `id`.
+    pub fn value(&self, id: NodeId) -> u64 {
+        self.values[id.index()]
+    }
+}
+
+/// Primary-input support of `node`: every `Input` node reachable
+/// backwards through LUT pins, carry pins and register D inputs,
+/// in netlist creation order.
+pub fn input_support(netlist: &Netlist, node: NodeId) -> Vec<NodeId> {
+    let cone = fanin_cone(netlist, node);
+    netlist
+        .input_nodes()
+        .into_iter()
+        .filter(|id| cone.contains(&id.index()))
+        .collect()
+}
+
+/// Transitive fan-in cone of `node` (including the node itself), as a
+/// set of node indices. Dangling pins are skipped.
+pub fn fanin_cone(netlist: &Netlist, node: NodeId) -> HashSet<usize> {
+    let mut seen = HashSet::new();
+    let mut stack = vec![node];
+    while let Some(id) = stack.pop() {
+        if id.is_dangling() || !seen.insert(id.index()) {
+            continue;
+        }
+        let pins: Vec<NodeId> = match netlist.try_node_kind(id) {
+            Some(NodeKind::Lut(_, pins)) => pins.to_vec(),
+            Some(NodeKind::Carry { a, b, cin }) => vec![a, b, cin],
+            Some(NodeKind::Reg { d }) => vec![d],
+            _ => Vec::new(),
+        };
+        stack.extend(pins);
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_fpga::netlist::Netlist;
+
+    #[test]
+    fn counter_words_enumerate_all_addresses() {
+        for lane in 0..64u32 {
+            let mut addr = 0u32;
+            for (j, word) in COUNTER.iter().enumerate() {
+                addr |= (((word >> lane) & 1) as u32) << j;
+            }
+            assert_eq!(addr, lane);
+        }
+    }
+
+    #[test]
+    fn lut_word_matches_scalar_eval() {
+        let tables = [0u64, u64::MAX, 0x8000_0000_0000_0001, 0x6996_9669_9669_6996];
+        for &table in &tables {
+            let pins = [
+                COUNTER[0], COUNTER[1], COUNTER[2], COUNTER[3], COUNTER[4], COUNTER[5],
+            ];
+            let word = lut_word(table, &pins);
+            for lane in 0..64u64 {
+                assert_eq!((word >> lane) & 1 == 1, (table >> lane) & 1 == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn word_sim_agrees_with_scalar_netlist_eval() {
+        // XOR of three inputs through two LUTs plus a carry.
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let c = n.input();
+        let x = n.lut_fn(&[a, b], |addr| (addr & 1 == 1) ^ (addr >> 1 & 1 == 1));
+        let y = n.lut_fn(&[x, c], |addr| (addr & 1 == 1) ^ (addr >> 1 & 1 == 1));
+        let m = n.carry(a, b, c);
+        n.mark_output("y", y);
+        n.mark_output("maj", m);
+
+        let (word_y, word_m) = {
+            let mut sim = WordSim::new(&n);
+            sim.eval(&[COUNTER[0], COUNTER[1], COUNTER[2]]);
+            (sim.value(y), sim.value(m))
+        };
+        for lane in 0..8u64 {
+            let bits = [lane & 1 == 1, lane >> 1 & 1 == 1, lane >> 2 & 1 == 1];
+            n.eval(&bits);
+            assert_eq!((word_y >> lane) & 1 == 1, n.output_value("y"));
+            assert_eq!((word_m >> lane) & 1 == 1, n.output_value("maj"));
+        }
+    }
+
+    #[test]
+    fn word_sim_settles_registered_pipelines() {
+        // Two-deep register chain: out = reg(reg(a)).
+        let mut n = Netlist::new();
+        let a = n.input();
+        let r1 = n.reg(a);
+        let r2 = n.reg(r1);
+        n.mark_output("q", r2);
+
+        let mut sim = WordSim::new(&n);
+        sim.settle(&[u64::MAX], 2);
+        assert_eq!(sim.value(r2), u64::MAX);
+        sim.reset();
+        sim.eval(&[u64::MAX]);
+        assert_eq!(sim.value(r2), 0);
+    }
+
+    #[test]
+    fn support_and_cone_track_register_d_pins() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let _unused = n.input();
+        let x = n.lut_fn(&[a, b], |addr| addr & 1 == 1 && addr >> 1 & 1 == 1);
+        let r = n.reg(x);
+        n.mark_output("q", r);
+        let support = input_support(&n, r);
+        assert_eq!(support, vec![a, b]);
+        assert!(fanin_cone(&n, r).contains(&x.index()));
+    }
+}

@@ -1,0 +1,427 @@
+//! Instruction-stream dataflow analysis: abstract interpretation over
+//! configuration programs.
+//!
+//! A [`ConfigProgram`] is the beat-timed sequence of operations the host
+//! performs against the device's distributed query memory: LUT-bank
+//! writes (one 6-bit instruction word per bank), scan reads over a bank
+//! range, and configuration scrubs. One linear pass over the timeline
+//! tracks per-bank define/use state and proves three stream-level
+//! properties the netlist checks cannot see:
+//!
+//! * no config write is shadowed by a later write before any read
+//!   observes it ([`RuleId::ConfigShadowedWrite`], Warn — the first
+//!   write was dead host work, usually a queue reorder bug);
+//! * no scan reads a bank that was never written — an uninitialised
+//!   LUT bank scores garbage silently ([`RuleId::ConfigReadUnwritten`],
+//!   Error; out-of-shape bank indices report under the same rule);
+//! * no live range (first write to last read) outruns the
+//!   `fabp-resilience` scrub interval without an intervening scrub
+//!   ([`RuleId::ConfigScrubGap`], Warn — an SEU in that window would
+//!   go uncorrected for longer than the deployment's MTTR budget).
+
+use fabp_encoding::bitstream::PackedQuery;
+use fabp_lint::{Finding, ModuleStats, Report, RuleId};
+use fabp_resilience::ConfigScrubber;
+
+/// Shape of the configuration address space being programmed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceShape {
+    /// Number of addressable 6-bit LUT banks (one per query element;
+    /// 750 at the paper's deployment width).
+    pub banks: usize,
+    /// Beats between scrubs before a live range is considered exposed.
+    pub scrub_interval_beats: u64,
+}
+
+impl Default for DeviceShape {
+    fn default() -> DeviceShape {
+        DeviceShape {
+            banks: 750,
+            scrub_interval_beats: ConfigScrubber::DEFAULT_INTERVAL_BEATS,
+        }
+    }
+}
+
+/// One configuration operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigOp {
+    /// Write a 6-bit instruction word into a LUT bank.
+    Write {
+        /// Target bank index.
+        bank: usize,
+        /// The 6-bit instruction word (low six bits used).
+        bits: u8,
+    },
+    /// A scan pass reading banks `first..=last`.
+    Read {
+        /// First bank read (inclusive).
+        first: usize,
+        /// Last bank read (inclusive).
+        last: usize,
+    },
+    /// A full configuration scrub (readback + repair).
+    Scrub,
+}
+
+/// A configuration operation stamped with its AXI beat time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedOp {
+    /// Beat at which the operation lands.
+    pub beat: u64,
+    /// The operation.
+    pub op: ConfigOp,
+}
+
+/// A named, beat-timed configuration program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigProgram {
+    /// Report name (`config-` + stream name for the shipped corpus).
+    pub name: String,
+    /// Operations in program order.
+    pub ops: Vec<TimedOp>,
+}
+
+impl ConfigProgram {
+    /// The canonical deployment schedule for a packed query: write every
+    /// instruction word, then scan continuously for `scan_beats`, with a
+    /// scrub at every interval boundary. This is the program the shipped
+    /// streams are checked under.
+    pub fn load_scan_scrub(
+        name: impl Into<String>,
+        packed: &PackedQuery,
+        shape: &DeviceShape,
+        scan_beats: u64,
+    ) -> ConfigProgram {
+        let mut ops = Vec::new();
+        let len = packed.len();
+        for bank in 0..len {
+            ops.push(TimedOp {
+                beat: bank as u64,
+                op: ConfigOp::Write {
+                    bank,
+                    bits: packed.bits_at(bank),
+                },
+            });
+        }
+        let load_done = len as u64;
+        let last = len.saturating_sub(1);
+        let mut beat = load_done;
+        let end = load_done + scan_beats;
+        // Scrub at every interval boundary covering the scan window.
+        let mut next_scrub = 0u64;
+        while next_scrub <= end {
+            if next_scrub >= load_done {
+                ops.push(TimedOp {
+                    beat: next_scrub,
+                    op: ConfigOp::Scrub,
+                });
+            }
+            next_scrub += shape.scrub_interval_beats;
+        }
+        // Reads at the start and end of the scan window.
+        ops.push(TimedOp {
+            beat,
+            op: ConfigOp::Read { first: 0, last },
+        });
+        beat = end;
+        ops.push(TimedOp {
+            beat,
+            op: ConfigOp::Read { first: 0, last },
+        });
+        ops.sort_by_key(|t| t.beat);
+        ConfigProgram {
+            name: name.into(),
+            ops,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct BankState {
+    read_since_write: bool,
+    write_beat: u64,
+}
+
+/// Checks one configuration program against a device shape. The report's
+/// `stats.nodes` is the operation count; all other stats are zero (no
+/// netlist behind a stream report, same convention as `fabp_lint`'s
+/// stream rules).
+pub fn check_config_program(program: &ConfigProgram, shape: &DeviceShape) -> Report {
+    let mut report = Report::new(program.name.clone());
+    report.stats = ModuleStats {
+        nodes: program.ops.len(),
+        ..ModuleStats::default()
+    };
+    let mut banks: Vec<Option<BankState>> = vec![None; shape.banks];
+    let mut first_write: Option<u64> = None;
+    let mut last_read: Option<u64> = None;
+    let mut scrubs: Vec<u64> = Vec::new();
+    let mut sorted = true;
+    let mut prev_beat = 0u64;
+
+    for timed in &program.ops {
+        if timed.beat < prev_beat {
+            sorted = false;
+        }
+        prev_beat = timed.beat;
+        match timed.op {
+            ConfigOp::Write { bank, bits } => {
+                if bank >= shape.banks {
+                    report.findings.push(Finding::new(
+                        RuleId::ConfigReadUnwritten,
+                        None,
+                        format!(
+                            "beat {}: write of {:#04x} targets bank {bank}, outside the \
+                             device shape ({} banks)",
+                            timed.beat, bits, shape.banks
+                        ),
+                    ));
+                    continue;
+                }
+                if let Some(state) = banks[bank] {
+                    if !state.read_since_write {
+                        report.findings.push(Finding::new(
+                            RuleId::ConfigShadowedWrite,
+                            None,
+                            format!(
+                                "beat {}: write to bank {bank} shadows the beat-{} write \
+                                 before any scan read observed it",
+                                timed.beat, state.write_beat
+                            ),
+                        ));
+                    }
+                }
+                banks[bank] = Some(BankState {
+                    read_since_write: false,
+                    write_beat: timed.beat,
+                });
+                first_write.get_or_insert(timed.beat);
+            }
+            ConfigOp::Read { first, last } => {
+                let clamped_last = last.min(shape.banks.saturating_sub(1));
+                if last >= shape.banks {
+                    report.findings.push(Finding::new(
+                        RuleId::ConfigReadUnwritten,
+                        None,
+                        format!(
+                            "beat {}: scan read {first}..={last} runs past the device \
+                             shape ({} banks)",
+                            timed.beat, shape.banks
+                        ),
+                    ));
+                }
+                let mut unwritten: Vec<usize> = Vec::new();
+                for (bank, slot) in banks.iter_mut().enumerate() {
+                    if bank < first || bank > clamped_last {
+                        continue;
+                    }
+                    match slot.as_mut() {
+                        Some(state) => state.read_since_write = true,
+                        None => unwritten.push(bank),
+                    }
+                }
+                if !unwritten.is_empty() {
+                    let shown: Vec<String> =
+                        unwritten.iter().take(6).map(|b| b.to_string()).collect();
+                    let more = unwritten.len().saturating_sub(6);
+                    let suffix = if more > 0 {
+                        format!(" (+{more} more)")
+                    } else {
+                        String::new()
+                    };
+                    report.findings.push(Finding::new(
+                        RuleId::ConfigReadUnwritten,
+                        None,
+                        format!(
+                            "beat {}: scan reads {} never-written bank(s): {}{suffix}",
+                            timed.beat,
+                            unwritten.len(),
+                            shown.join(", ")
+                        ),
+                    ));
+                }
+                last_read = Some(timed.beat.max(last_read.unwrap_or(0)));
+            }
+            ConfigOp::Scrub => scrubs.push(timed.beat),
+        }
+    }
+
+    debug_assert!(sorted, "config program ops must be beat-sorted");
+
+    // Live-range vs scrub-interval check: between consecutive coverage
+    // points (live-range start, each scrub, live-range end) the
+    // configuration must not sit unscrubbed longer than the interval.
+    if let (Some(start), Some(end)) = (first_write, last_read) {
+        let mut points = vec![start];
+        points.extend(scrubs.iter().copied().filter(|&s| s >= start && s <= end));
+        points.push(end);
+        points.sort_unstable();
+        for pair in points.windows(2) {
+            let gap = pair[1] - pair[0];
+            if gap > shape.scrub_interval_beats {
+                report.findings.push(Finding::new(
+                    RuleId::ConfigScrubGap,
+                    None,
+                    format!(
+                        "configuration live range is exposed for {gap} beats \
+                         (beats {}..{}) with no scrub; the resilience interval is {}",
+                        pair[0], pair[1], shape.scrub_interval_beats
+                    ),
+                ));
+            }
+        }
+    }
+
+    report
+}
+
+/// The shipped stream corpus as canonical configuration programs — the
+/// dataflow half of `fabp_verify --all-modules`.
+pub fn shipped_config_programs() -> Vec<(ConfigProgram, DeviceShape)> {
+    let shape = DeviceShape::default();
+    fabp_lint::shipped_streams()
+        .into_iter()
+        .map(|(name, packed)| {
+            let program = ConfigProgram::load_scan_scrub(
+                format!("config-{name}"),
+                &packed,
+                &shape,
+                2 * shape.scrub_interval_beats,
+            );
+            (program, shape.clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_shape() -> DeviceShape {
+        DeviceShape {
+            banks: 4,
+            scrub_interval_beats: 100,
+        }
+    }
+
+    fn write(beat: u64, bank: usize) -> TimedOp {
+        TimedOp {
+            beat,
+            op: ConfigOp::Write { bank, bits: 0b10 },
+        }
+    }
+
+    fn read(beat: u64, first: usize, last: usize) -> TimedOp {
+        TimedOp {
+            beat,
+            op: ConfigOp::Read { first, last },
+        }
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let program = ConfigProgram {
+            name: "clean".into(),
+            ops: vec![write(0, 0), write(1, 1), read(2, 0, 1)],
+        };
+        let report = check_config_program(&program, &tiny_shape());
+        assert!(report.findings.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn shadowed_write_warns() {
+        let program = ConfigProgram {
+            name: "shadow".into(),
+            ops: vec![write(0, 2), write(1, 2), read(2, 2, 2)],
+        };
+        let report = check_config_program(&program, &tiny_shape());
+        let hits = report.findings_for(RuleId::ConfigShadowedWrite);
+        assert_eq!(hits.len(), 1);
+        // Rewritten after a read is fine.
+        let program = ConfigProgram {
+            name: "rewrite".into(),
+            ops: vec![write(0, 2), read(1, 2, 2), write(2, 2), read(3, 2, 2)],
+        };
+        let report = check_config_program(&program, &tiny_shape());
+        assert!(report.findings_for(RuleId::ConfigShadowedWrite).is_empty());
+    }
+
+    #[test]
+    fn unwritten_and_out_of_shape_reads_error() {
+        let program = ConfigProgram {
+            name: "uninit".into(),
+            ops: vec![write(0, 0), read(1, 0, 3), read(2, 0, 9)],
+        };
+        let report = check_config_program(&program, &tiny_shape());
+        let hits = report.findings_for(RuleId::ConfigReadUnwritten);
+        assert!(hits.len() >= 2, "{}", report.render_text());
+        assert_eq!(report.max_severity(), Some(fabp_lint::Severity::Error));
+    }
+
+    #[test]
+    fn scrub_gap_warns_and_scrubs_silence_it() {
+        let exposed = ConfigProgram {
+            name: "exposed".into(),
+            ops: vec![write(0, 0), read(500, 0, 0)],
+        };
+        let report = check_config_program(&exposed, &tiny_shape());
+        assert_eq!(report.findings_for(RuleId::ConfigScrubGap).len(), 1);
+
+        let scrubbed = ConfigProgram {
+            name: "scrubbed".into(),
+            ops: vec![
+                write(0, 0),
+                TimedOp {
+                    beat: 90,
+                    op: ConfigOp::Scrub,
+                },
+                TimedOp {
+                    beat: 180,
+                    op: ConfigOp::Scrub,
+                },
+                TimedOp {
+                    beat: 270,
+                    op: ConfigOp::Scrub,
+                },
+                TimedOp {
+                    beat: 360,
+                    op: ConfigOp::Scrub,
+                },
+                TimedOp {
+                    beat: 450,
+                    op: ConfigOp::Scrub,
+                },
+                read(500, 0, 0),
+            ],
+        };
+        let report = check_config_program(&scrubbed, &tiny_shape());
+        assert!(report.findings_for(RuleId::ConfigScrubGap).is_empty());
+    }
+
+    #[test]
+    fn shipped_programs_are_clean() {
+        for (program, shape) in shipped_config_programs() {
+            let report = check_config_program(&program, &shape);
+            assert!(
+                report.findings.is_empty(),
+                "{}: {}",
+                program.name,
+                report.render_text()
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_schedule_covers_the_scan_window() {
+        let (name, packed) = fabp_lint::shipped_streams().remove(1); // MFSRW
+        let shape = DeviceShape::default();
+        let program = ConfigProgram::load_scan_scrub(name.clone(), &packed, &shape, 8192);
+        let scrubs = program
+            .ops
+            .iter()
+            .filter(|t| t.op == ConfigOp::Scrub)
+            .count();
+        assert!(scrubs >= 2, "{scrubs}");
+        assert_eq!(program.name, name);
+    }
+}

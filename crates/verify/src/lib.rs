@@ -1,0 +1,186 @@
+//! # fabp-verify — static equivalence proofs for the shipped hardware
+//!
+//! Where `fabp-lint` is the DRC — structural rules a synthesis toolchain
+//! would flag — this crate answers the question the DRC cannot: *does
+//! the shipped netlist compute the right function?* Three engines run
+//! over every module of [`fabp_lint::shipped_modules`] and every shipped
+//! instruction stream:
+//!
+//! * **Symbolic equivalence** ([`symbolic`]): 64 test patterns per
+//!   bit-parallel evaluation ([`bitsim::WordSim`]), plus exhaustive
+//!   input-cone enumeration for every output whose primary-input support
+//!   fits the cone bound. Checked against the golden software semantics
+//!   ([`modules::Oracle`] — `Instruction::matches`, `count_ones`), with
+//!   concrete counterexample input vectors on disagreement
+//!   (`FABP-V001`/`V002`, with `V003` marking pattern-only coverage).
+//! * **X-propagation / reset analysis** ([`xprop`]): 3-valued abstract
+//!   simulation from power-on proving every register flushes its unknown
+//!   state within a bounded number of clocks and no X reaches an output
+//!   (`FABP-V004`/`V005`).
+//! * **Instruction-stream dataflow** ([`dataflow`]): abstract
+//!   interpretation over beat-timed configuration programs — shadowed
+//!   writes, reads of never-written LUT banks, live ranges outrunning
+//!   the `fabp-resilience` scrub interval (`FABP-V006`..`V008`).
+//!
+//! Findings flow through the shared `fabp-lint` diagnostics model
+//! ([`fabp_lint::RuleId`], [`fabp_lint::Report`]), so the `fabp_verify`
+//! binary renders the same text/JSON and gates CI with
+//! `--all-modules --deny warn` exactly like `fabp_lint`. See
+//! `docs/VERIFICATION.md` for the engines' soundness caveats.
+//!
+//! ```
+//! let report = fabp_verify::verify_module(
+//!     &fabp_verify::find_target("comparator-cell").expect("shipped"),
+//!     &fabp_verify::VerifyConfig::default(),
+//! );
+//! assert!(report.findings.is_empty(), "{}", report.render_text());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod bitsim;
+pub mod dataflow;
+pub mod modules;
+pub mod symbolic;
+pub mod xprop;
+
+pub use bitsim::{fanin_cone, input_support, WordSim};
+pub use dataflow::{
+    check_config_program, shipped_config_programs, ConfigOp, ConfigProgram, DeviceShape, TimedOp,
+};
+pub use modules::{find_target, verify_targets, GoldenValues, Oracle, VerifyTarget};
+pub use symbolic::check_equivalence;
+pub use xprop::check_xprop;
+
+use fabp_fpga::netlist::Netlist;
+use fabp_lint::{Finding, LintConfig, Report, RuleId, Severity};
+
+/// Tunable bounds of the verification engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyConfig {
+    /// Maximum primary-input support width for exhaustive cone
+    /// enumeration. The default (12) covers every comparator cone (11
+    /// inputs) at ≤ 64 bit-parallel evaluations per output.
+    pub cone_bound: usize,
+    /// Seeded random pattern rounds appended to the deterministic
+    /// schedule for outputs wider than the cone bound.
+    pub random_rounds: usize,
+    /// Clock edges the X-propagation engine allows for power-on state to
+    /// flush. Must be at least the deepest shipped pipeline (8).
+    pub xprop_cycles: usize,
+    /// Cap on reported equivalence counterexamples per module.
+    pub max_counterexamples: usize,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> VerifyConfig {
+        VerifyConfig {
+            cone_bound: 12,
+            random_rounds: 16,
+            xprop_cycles: 16,
+            max_counterexamples: 4,
+        }
+    }
+}
+
+/// Verifies one netlist against its golden oracle: structural gate,
+/// then the symbolic-equivalence and X-propagation engines.
+///
+/// The structural lint runs first because both engines assume an
+/// acyclic, fully-connected netlist; on Error-level structural findings
+/// the functional engines are skipped and a single `FABP-V003` (Info)
+/// records that equivalence is unverified. Structural findings
+/// themselves stay in `fabp_lint`'s report — this report carries only
+/// the `FABP-V*` family.
+pub fn verify_netlist(
+    name: &str,
+    netlist: &Netlist,
+    oracle: &Oracle,
+    config: &VerifyConfig,
+) -> Report {
+    let lint = fabp_lint::check_netlist(name, netlist, &LintConfig::default());
+    let mut report = Report::new(name);
+    report.stats = lint.stats.clone();
+    if lint.max_severity() == Some(Severity::Error) {
+        report.findings.push(Finding::new(
+            RuleId::EquivUnverified,
+            None,
+            format!(
+                "functional verification skipped: {} structural error(s) present \
+                 (run fabp_lint for the FABP-N findings)",
+                lint.count(Severity::Error)
+            ),
+        ));
+        return report;
+    }
+    report
+        .findings
+        .extend(symbolic::check_equivalence(name, netlist, oracle, config));
+    report
+        .findings
+        .extend(xprop::check_xprop(netlist, config.xprop_cycles));
+    report
+}
+
+/// Verifies one shipped target (rebuilds its netlist, then
+/// [`verify_netlist`]).
+pub fn verify_module(target: &VerifyTarget, config: &VerifyConfig) -> Report {
+    verify_netlist(
+        target.name,
+        &target.module().build(),
+        &target.oracle,
+        config,
+    )
+}
+
+/// Verifies everything the repository ships: every netlist of
+/// [`verify_targets`] and every canonical configuration program of
+/// [`shipped_config_programs`]. This is the corpus behind the
+/// `fabp_verify --all-modules` CI gate.
+pub fn verify_all(config: &VerifyConfig) -> Vec<Report> {
+    let mut reports: Vec<Report> = verify_targets()
+        .iter()
+        .map(|t| verify_module(t, config))
+        .collect();
+    for (program, shape) in shipped_config_programs() {
+        reports.push(check_config_program(&program, &shape));
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparator_cell_is_proven_equivalent() {
+        let target = find_target("comparator-cell").unwrap();
+        let report = verify_module(&target, &VerifyConfig::default());
+        assert!(report.findings.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn structural_errors_gate_the_functional_engines() {
+        // A combinational loop would panic the word simulator; the
+        // structural gate must catch it first.
+        let target = find_target("comparator-cell").unwrap();
+        let mut netlist = target.module().build();
+        let luts: Vec<_> = netlist
+            .node_ids()
+            .filter(|&id| {
+                matches!(
+                    netlist.node_kind(id),
+                    fabp_fpga::netlist::NodeKind::Lut(_, _)
+                )
+            })
+            .collect();
+        netlist.rewire_lut_pin(luts[0], 0, luts[0]);
+        let report = verify_netlist("looped", &netlist, &target.oracle, &VerifyConfig::default());
+        let skipped = report.findings_for(RuleId::EquivUnverified);
+        assert_eq!(skipped.len(), 1, "{}", report.render_text());
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.passes(Severity::Warn), "V003 is informational");
+    }
+}

@@ -1,0 +1,365 @@
+//! Golden software semantics for every shipped netlist.
+//!
+//! A [`VerifyTarget`] pairs a `fabp-lint` shipped-module name with the
+//! [`Oracle`] that states what the hardware *should* compute, as a total
+//! function from primary-input bits (netlist creation order) to each
+//! named output. The oracles are the scalar reference paths the rest of
+//! the repository already trusts — [`Instruction::matches`] for
+//! comparator cones, plain `count_ones` for the Pop-Counters — so the
+//! equivalence engine in [`crate::symbolic`] checks the gate-level model
+//! against the same semantics the cycle engine and encoder tests use.
+
+use fabp_bio::alphabet::Nucleotide;
+use fabp_encoding::encoder::EncodedQuery;
+use fabp_encoding::instruction::Instruction;
+use fabp_lint::{find_module, ShippedModule};
+
+/// Golden semantics of one shipped module, total over all input bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Oracle {
+    /// The two-LUT comparator cell: inputs `Q[0..6]`, `Ref^i` (MSB,
+    /// LSB), `Ref^{i-1}[1]`, `Ref^{i-2}` (MSB, LSB); output `match` is
+    /// [`Instruction::matches`].
+    Comparator,
+    /// A Pop-Counter: `width` input bits, outputs `sum{i}` are the bits
+    /// of the population count, settled after `latency` clock edges.
+    Popcount {
+        /// Input width in bits.
+        width: usize,
+        /// Pipeline latency in clock edges (0 for the flat counters).
+        latency: usize,
+    },
+    /// A full alignment instance: per-element reference bits then
+    /// per-element instruction bits; outputs `match{i}`, `score{i}`,
+    /// `hit`.
+    Align {
+        /// Query length in elements (3 per amino acid).
+        elements: usize,
+        /// Hit threshold on the score.
+        threshold: u32,
+    },
+}
+
+/// The golden output values for one full input assignment.
+///
+/// Computed once per assignment, then queried per output name, so a
+/// 53-output alignment instance does not recompute 45 comparators per
+/// output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoldenValues {
+    /// Comparator result.
+    Comparator {
+        /// The `match` output.
+        matched: bool,
+    },
+    /// Pop-Counter result.
+    Popcount {
+        /// Population count of the inputs.
+        count: u64,
+    },
+    /// Alignment-instance result.
+    Align {
+        /// Per-element match bits.
+        matches: Vec<bool>,
+        /// The thresholded score.
+        score: u64,
+        /// `score >= threshold`.
+        hit: bool,
+    },
+}
+
+impl GoldenValues {
+    /// The golden value of the named output, or `None` for an output
+    /// name the oracle does not model.
+    pub fn output(&self, name: &str) -> Option<bool> {
+        match self {
+            GoldenValues::Comparator { matched } => (name == "match").then_some(*matched),
+            GoldenValues::Popcount { count } => {
+                let i: u32 = name.strip_prefix("sum")?.parse().ok()?;
+                Some(i < 64 && (count >> i) & 1 == 1)
+            }
+            GoldenValues::Align {
+                matches,
+                score,
+                hit,
+            } => {
+                if name == "hit" {
+                    return Some(*hit);
+                }
+                if let Some(i) = name.strip_prefix("score") {
+                    let i: u32 = i.parse().ok()?;
+                    return Some(i < 64 && (score >> i) & 1 == 1);
+                }
+                let i: usize = name.strip_prefix("match")?.parse().ok()?;
+                matches.get(i).copied()
+            }
+        }
+    }
+}
+
+fn bit(inputs: &[bool], at: usize) -> u8 {
+    u8::from(inputs[at])
+}
+
+impl Oracle {
+    /// Clock edges to hold inputs before outputs are valid.
+    pub fn latency(&self) -> usize {
+        match self {
+            Oracle::Popcount { latency, .. } => *latency,
+            _ => 0,
+        }
+    }
+
+    /// Number of primary inputs the oracle models.
+    pub fn input_count(&self) -> usize {
+        match self {
+            Oracle::Comparator => 11,
+            Oracle::Popcount { width, .. } => *width,
+            Oracle::Align { elements, .. } => elements * 8,
+        }
+    }
+
+    /// Evaluates the golden semantics on one full input assignment in
+    /// netlist creation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.input_count()`.
+    pub fn eval(&self, inputs: &[bool]) -> GoldenValues {
+        assert_eq!(inputs.len(), self.input_count(), "oracle input width");
+        match *self {
+            Oracle::Comparator => {
+                // Creation order: Q[0..6], ref (MSB, LSB), prev1 MSB,
+                // prev2 (MSB, LSB) — see `build_comparator_netlist`.
+                let bits = (0..6).fold(0u8, |acc, k| acc | bit(inputs, k) << (5 - k));
+                let reference = Nucleotide::from_code2(bit(inputs, 6) << 1 | bit(inputs, 7));
+                let prev1 = Nucleotide::from_code2(bit(inputs, 8) << 1);
+                let prev2 = Nucleotide::from_code2(bit(inputs, 9) << 1 | bit(inputs, 10));
+                let matched =
+                    Instruction::from_bits(bits).matches(reference, Some(prev1), Some(prev2));
+                GoldenValues::Comparator { matched }
+            }
+            Oracle::Popcount { .. } => GoldenValues::Popcount {
+                count: inputs.iter().filter(|&&b| b).count() as u64,
+            },
+            Oracle::Align {
+                elements,
+                threshold,
+            } => {
+                // Creation order: per-element (ref MSB, ref LSB) for all
+                // elements, then per-element Q[0..6].
+                let reference: Vec<Nucleotide> = (0..elements)
+                    .map(|i| {
+                        Nucleotide::from_code2(bit(inputs, 2 * i) << 1 | bit(inputs, 2 * i + 1))
+                    })
+                    .collect();
+                let q_base = 2 * elements;
+                let matches: Vec<bool> = (0..elements)
+                    .map(|i| {
+                        let bits = (0..6).fold(0u8, |acc, k| {
+                            acc | bit(inputs, q_base + 6 * i + k) << (5 - k)
+                        });
+                        let prev1 = i.checked_sub(1).map(|j| reference[j]);
+                        let prev2 = i.checked_sub(2).map(|j| reference[j]);
+                        Instruction::from_bits(bits).matches(reference[i], prev1, prev2)
+                    })
+                    .collect();
+                let score = matches.iter().filter(|&&m| m).count() as u64;
+                GoldenValues::Align {
+                    hit: score >= u64::from(threshold),
+                    score,
+                    matches,
+                }
+            }
+        }
+    }
+}
+
+/// One shipped module paired with its golden oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyTarget {
+    /// The `fabp-lint` shipped-module name.
+    pub name: &'static str,
+    /// Golden semantics of the module.
+    pub oracle: Oracle,
+}
+
+impl VerifyTarget {
+    /// Rebuilds the shipped netlist this target verifies. Resolved
+    /// through [`fabp_lint::find_module`], so the verified netlist *is*
+    /// the deployed one — a registry drift panics here, and a unit test
+    /// pins the two registries together.
+    pub fn module(&self) -> ShippedModule {
+        find_module(self.name)
+            .unwrap_or_else(|| panic!("verify target {:?} is not a shipped module", self.name))
+    }
+}
+
+/// Every shipped module with its oracle, in `shipped_modules` order.
+///
+/// Pipeline latencies are pinned as constants (and cross-checked against
+/// `PipelinedPopCounter::latency` by a unit test) so building the
+/// registry stays free.
+pub fn verify_targets() -> Vec<VerifyTarget> {
+    let pop = |width, latency| Oracle::Popcount { width, latency };
+    vec![
+        VerifyTarget {
+            name: "comparator-cell",
+            oracle: Oracle::Comparator,
+        },
+        VerifyTarget {
+            name: "pop36-handcrafted",
+            oracle: pop(36, 0),
+        },
+        VerifyTarget {
+            name: "pop150-handcrafted",
+            oracle: pop(150, 0),
+        },
+        VerifyTarget {
+            name: "pop150-tree",
+            oracle: pop(150, 0),
+        },
+        VerifyTarget {
+            name: "pop750-handcrafted",
+            oracle: pop(750, 0),
+        },
+        VerifyTarget {
+            name: "pop750-pipelined",
+            oracle: pop(750, 8),
+        },
+        VerifyTarget {
+            name: "pop72-pipelined-tree",
+            oracle: pop(72, 7),
+        },
+        VerifyTarget {
+            name: "align-mfsrw-t10",
+            oracle: Oracle::Align {
+                elements: 15,
+                threshold: 10,
+            },
+        },
+        VerifyTarget {
+            name: "align-15aa-t30",
+            oracle: Oracle::Align {
+                elements: 45,
+                threshold: 30,
+            },
+        },
+    ]
+}
+
+/// Looks a verify target up by shipped-module name.
+pub fn find_target(name: &str) -> Option<VerifyTarget> {
+    verify_targets().into_iter().find(|t| t.name == name)
+}
+
+/// Encodes the query behind an alignment target (test convenience).
+pub fn encoded_query(aa: &str) -> EncodedQuery {
+    let protein = aa
+        .parse()
+        .unwrap_or_else(|e| panic!("protein {aa:?} must parse: {e}"));
+    EncodedQuery::from_protein(&protein)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_fpga::pipeline::PipelinedPopCounter;
+    use fabp_fpga::popcount::PopStyle;
+
+    #[test]
+    fn every_target_is_a_shipped_module_and_vice_versa() {
+        let targets = verify_targets();
+        let shipped = fabp_lint::shipped_modules();
+        assert_eq!(targets.len(), shipped.len(), "registries drifted");
+        for (t, m) in targets.iter().zip(&shipped) {
+            assert_eq!(t.name, m.name, "registry order drifted");
+        }
+    }
+
+    #[test]
+    fn oracle_input_counts_match_the_netlists() {
+        for target in verify_targets() {
+            let netlist = target.module().build();
+            assert_eq!(
+                netlist.input_nodes().len(),
+                target.oracle.input_count(),
+                "{}",
+                target.name
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_latencies_match_the_pipeline_builders() {
+        assert_eq!(
+            PipelinedPopCounter::build(750, PopStyle::HandCrafted).latency(),
+            8
+        );
+        assert_eq!(
+            PipelinedPopCounter::build(72, PopStyle::TreeAdder).latency(),
+            7
+        );
+        for target in verify_targets() {
+            if target.oracle.latency() == 0 {
+                let netlist = target.module().build();
+                assert_eq!(netlist.resources().ffs, 0, "{} should be flat", target.name);
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_oracle_agrees_with_the_cell() {
+        use fabp_fpga::comparator::ComparatorCell;
+        let cell = ComparatorCell::new();
+        let oracle = Oracle::Comparator;
+        for assignment in 0..(1u32 << 11) {
+            let inputs: Vec<bool> = (0..11).map(|k| (assignment >> k) & 1 == 1).collect();
+            let bits = (0..6).fold(0u8, |acc, k| acc | bit(&inputs, k) << (5 - k));
+            let expected = cell.matches(
+                Instruction::from_bits(bits),
+                Nucleotide::from_code2(bit(&inputs, 6) << 1 | bit(&inputs, 7)),
+                Some(Nucleotide::from_code2(bit(&inputs, 8) << 1)),
+                Some(Nucleotide::from_code2(
+                    bit(&inputs, 9) << 1 | bit(&inputs, 10),
+                )),
+            );
+            assert_eq!(oracle.eval(&inputs).output("match"), Some(expected));
+        }
+    }
+
+    #[test]
+    fn align_oracle_matches_instance_eval() {
+        use fabp_fpga::instance::AlignmentInstance;
+        let query = encoded_query("MFSRW");
+        let mut instance = AlignmentInstance::build(&query, 10);
+        let oracle = Oracle::Align {
+            elements: 15,
+            threshold: 10,
+        };
+        let window: Vec<Nucleotide> = "AUGUUUUCACGAUGGUAA"
+            .parse::<fabp_bio::seq::RnaSeq>()
+            .expect("rna")
+            .into_inner();
+        let (score, hit) = instance.eval(&window);
+        // Rebuild the same input vector the instance drives.
+        let mut inputs = Vec::new();
+        for n in &window[..15] {
+            inputs.push(n.code2() & 0b10 != 0);
+            inputs.push(n.code2() & 0b01 != 0);
+        }
+        for instr in query.instructions() {
+            for k in 0..6 {
+                inputs.push((instr.bits() >> (5 - k)) & 1 == 1);
+            }
+        }
+        let golden = oracle.eval(&inputs);
+        assert_eq!(golden.output("hit"), Some(hit));
+        for i in 0..8 {
+            assert_eq!(
+                golden.output(&format!("score{i}")),
+                Some((score >> i) & 1 == 1)
+            );
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Symbolic bit-parallel equivalence checking against the golden
+//! semantics.
+//!
+//! Two regimes per named output, chosen by the width of its primary-input
+//! support cone:
+//!
+//! * **Exhaustive** (support ≤ `cone_bound`): the first six support
+//!   inputs are driven with the lane-counter words so each 64-lane
+//!   evaluation covers 64 assignments; the remaining support inputs are
+//!   enumerated across evaluations. Every reachable input combination of
+//!   the cone is checked — a disagreement is a *proof* of inequivalence
+//!   ([`RuleId::ConeCounterexample`]) and agreement is a proof of
+//!   equivalence over that cone.
+//! * **Pattern-based** (support wider than the bound): a structured
+//!   schedule — all-zeros, all-ones, walking ones/zeros, aligned 6-input
+//!   counter sweeps, and seeded random words — runs 64 patterns per
+//!   evaluation. The counter sweeps are deterministic, not
+//!   probabilistic: for the shipped Pop-Counters they enumerate every
+//!   first-stage `pop6` input combination, and a flipped first-stage
+//!   table bit shifts the order-weighted sum by ±2^j, which is always
+//!   visible on the `sum{j}` outputs. Disagreements report
+//!   [`RuleId::EquivCounterexample`]; outputs that stay clean are
+//!   summarised as [`RuleId::EquivUnverified`] (Info) because patterns
+//!   alone are not a proof.
+
+use crate::bitsim::{input_support, WordSim, COUNTER};
+use crate::modules::Oracle;
+use crate::VerifyConfig;
+use fabp_fpga::netlist::{Netlist, NodeId};
+use fabp_lint::{Finding, RuleId};
+
+/// Deterministic SplitMix64 stream for the random pattern rounds.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Renders one concrete counterexample input vector. Short vectors are
+/// printed as a full creation-order bitstring; wide ones list only the
+/// inputs that are 1.
+fn render_inputs(inputs: &[bool]) -> String {
+    if inputs.len() <= 96 {
+        let bits: String = inputs.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        format!("inputs (creation order) {bits}")
+    } else {
+        let ones: Vec<String> = inputs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(i, _)| format!("in{i}"))
+            .collect();
+        format!("inputs set to 1: {{{}}}, all others 0", ones.join(", "))
+    }
+}
+
+/// Extracts lane `lane` of the input words as a scalar assignment.
+fn lane_inputs(words: &[u64], lane: u32) -> Vec<bool> {
+    words.iter().map(|w| (w >> lane) & 1 == 1).collect()
+}
+
+struct Counterexample {
+    output: String,
+    node: NodeId,
+    actual: bool,
+    expected: bool,
+    inputs: Vec<bool>,
+}
+
+impl Counterexample {
+    fn finding(&self, rule: RuleId, proved: bool) -> Finding {
+        let regime = if proved {
+            "exhaustive cone enumeration"
+        } else {
+            "pattern simulation"
+        };
+        Finding::new(
+            rule,
+            Some(self.node.index()),
+            format!(
+                "output \"{}\" disagrees with the golden oracle under {}: netlist={} golden={} for {}",
+                self.output,
+                regime,
+                u8::from(self.actual),
+                u8::from(self.expected),
+                render_inputs(&self.inputs)
+            ),
+        )
+    }
+}
+
+/// Checks every named output of `netlist` against `oracle`.
+///
+/// The caller must have gated on the structural lint first: this routine
+/// assumes an acyclic netlist with no dangling pins.
+pub fn check_equivalence(
+    name: &str,
+    netlist: &Netlist,
+    oracle: &Oracle,
+    config: &VerifyConfig,
+) -> Vec<Finding> {
+    let outputs = netlist.named_outputs();
+    let n_in = netlist.input_nodes().len();
+    let latency = oracle.latency();
+    let mut sim = WordSim::new(netlist);
+    let mut findings = Vec::new();
+    let mut counterexamples = 0usize;
+
+    // Partition outputs by support width.
+    let mut provable: Vec<(String, NodeId, Vec<usize>)> = Vec::new();
+    let mut unproven: Vec<(String, NodeId)> = Vec::new();
+    let input_index: std::collections::HashMap<usize, usize> = netlist
+        .input_nodes()
+        .iter()
+        .enumerate()
+        .map(|(ordinal, id)| (id.index(), ordinal))
+        .collect();
+    for (out_name, node) in outputs {
+        let support: Vec<usize> = input_support(netlist, node)
+            .iter()
+            .map(|id| input_index[&id.index()])
+            .collect();
+        if support.len() <= config.cone_bound {
+            provable.push((out_name, node, support));
+        } else {
+            unproven.push((out_name, node));
+        }
+    }
+
+    // Exhaustive regime: prove each narrow cone outright.
+    for (out_name, node, support) in &provable {
+        if counterexamples >= config.max_counterexamples {
+            break;
+        }
+        let lo = support.len().min(6);
+        let hi_bits = support.len().saturating_sub(6);
+        let mut broken = false;
+        for hi in 0..(1u64 << hi_bits) {
+            let mut words = vec![0u64; n_in];
+            for (j, &ordinal) in support.iter().take(lo).enumerate() {
+                words[ordinal] = COUNTER[j];
+            }
+            for (t, &ordinal) in support.iter().skip(6).enumerate() {
+                words[ordinal] = if (hi >> t) & 1 == 1 { u64::MAX } else { 0 };
+            }
+            sim.reset();
+            sim.settle(&words, latency);
+            let actual_word = sim.value(*node);
+            for lane in 0..64u32 {
+                let inputs = lane_inputs(&words, lane);
+                let expected = oracle
+                    .eval(&inputs)
+                    .output(out_name)
+                    .unwrap_or_else(|| panic!("{name}: oracle does not model output {out_name:?}"));
+                let actual = (actual_word >> lane) & 1 == 1;
+                if actual != expected {
+                    findings.push(
+                        Counterexample {
+                            output: out_name.clone(),
+                            node: *node,
+                            actual,
+                            expected,
+                            inputs,
+                        }
+                        .finding(RuleId::ConeCounterexample, true),
+                    );
+                    counterexamples += 1;
+                    broken = true;
+                    break;
+                }
+            }
+            if broken {
+                break;
+            }
+        }
+    }
+
+    // Pattern regime for the wide cones.
+    if !unproven.is_empty() && counterexamples < config.max_counterexamples {
+        let mut bad: std::collections::HashSet<String> = std::collections::HashSet::new();
+        'patterns: for words in pattern_schedule(name, n_in, config.random_rounds) {
+            sim.reset();
+            sim.settle(&words, latency);
+            for lane in 0..64u32 {
+                let inputs = lane_inputs(&words, lane);
+                let golden = oracle.eval(&inputs);
+                for (out_name, node) in &unproven {
+                    if bad.contains(out_name) {
+                        continue;
+                    }
+                    let actual = (sim.value(*node) >> lane) & 1 == 1;
+                    let expected = golden.output(out_name).unwrap_or_else(|| {
+                        panic!("{name}: oracle does not model output {out_name:?}")
+                    });
+                    if actual != expected {
+                        findings.push(
+                            Counterexample {
+                                output: out_name.clone(),
+                                node: *node,
+                                actual,
+                                expected,
+                                inputs: inputs.clone(),
+                            }
+                            .finding(RuleId::EquivCounterexample, false),
+                        );
+                        bad.insert(out_name.clone());
+                        counterexamples += 1;
+                        if counterexamples >= config.max_counterexamples {
+                            break 'patterns;
+                        }
+                    }
+                }
+            }
+        }
+        // Clean wide cones are covered, not proven — say so at Info.
+        let clean: Vec<&str> = unproven
+            .iter()
+            .filter(|(n, _)| !bad.contains(n))
+            .map(|(n, _)| n.as_str())
+            .collect();
+        if !clean.is_empty() {
+            let shown = clean[..clean.len().min(6)].join(", ");
+            let more = clean.len().saturating_sub(6);
+            let suffix = if more > 0 {
+                format!(" (+{more} more)")
+            } else {
+                String::new()
+            };
+            findings.push(Finding::new(
+                RuleId::EquivUnverified,
+                None,
+                format!(
+                    "{} of {} outputs have input cones wider than the exhaustive bound ({}); \
+                     covered by the pattern schedule only, not proven: {shown}{suffix}",
+                    clean.len(),
+                    clean.len() + provable.len() + bad.len(),
+                    config.cone_bound
+                ),
+            ));
+        }
+    }
+
+    findings
+}
+
+/// The deterministic pattern schedule: each item is one 64-lane input
+/// word vector.
+fn pattern_schedule(name: &str, n_in: usize, random_rounds: usize) -> Vec<Vec<u64>> {
+    let mut schedule = Vec::new();
+    schedule.push(vec![0u64; n_in]);
+    schedule.push(vec![u64::MAX; n_in]);
+    // Walking ones / walking zeros: 64 inputs per vector, each high (low)
+    // in exactly one distinct lane.
+    for base in (0..n_in).step_by(64) {
+        let mut ones = vec![0u64; n_in];
+        let mut zeros = vec![u64::MAX; n_in];
+        for lane in 0..64usize.min(n_in - base) {
+            ones[base + lane] = 1u64 << lane;
+            zeros[base + lane] = !(1u64 << lane);
+        }
+        schedule.push(ones);
+        schedule.push(zeros);
+    }
+    // Aligned 6-input counter sweeps: lane L drives the chunk's inputs
+    // with the bits of L, enumerating all 64 combinations per chunk —
+    // exactly the input space of each first-stage pop6 group.
+    for chunk in (0..n_in).step_by(6) {
+        let mut words = vec![0u64; n_in];
+        let width = 6.min(n_in - chunk);
+        words[chunk..chunk + width].copy_from_slice(&COUNTER[..width]);
+        schedule.push(words);
+    }
+    // Seeded random rounds, deterministic per module name.
+    let mut rng = SplitMix64(fnv1a(name) ^ 0xD6E8_FEB8_6659_FD93);
+    for _ in 0..random_rounds {
+        schedule.push((0..n_in).map(|_| rng.next()).collect());
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_covers_chunks() {
+        let a = pattern_schedule("pop36-handcrafted", 36, 4);
+        let b = pattern_schedule("pop36-handcrafted", 36, 4);
+        assert_eq!(a, b);
+        // zeros + ones + 1 walking pair + 6 sweeps + 4 random
+        assert_eq!(a.len(), 2 + 2 + 6 + 4);
+        let sweep = &a[4];
+        assert_eq!(sweep[0], COUNTER[0]);
+        assert_eq!(sweep[5], COUNTER[5]);
+    }
+
+    #[test]
+    fn render_inputs_switches_to_sparse_form() {
+        let short = render_inputs(&[true, false, true]);
+        assert!(short.contains("101"));
+        let mut wide = vec![false; 200];
+        wide[7] = true;
+        let sparse = render_inputs(&wide);
+        assert!(sparse.contains("in7"));
+        assert!(!sparse.contains("in8"));
+    }
+}

@@ -1,0 +1,241 @@
+//! X-propagation / reset analysis: 3-valued abstract simulation from
+//! power-on.
+//!
+//! Unlike [`crate::bitsim::WordSim`], which models the post-reset state,
+//! this engine starts every register at **X** (unknown power-on
+//! contents) and abstractly simulates with all primary inputs held at
+//! **D** (defined-but-arbitrary). It proves two reset-domain properties
+//! the synthesis DRC cannot see:
+//!
+//! * every register reaches a defined value within a bounded number of
+//!   clock edges ([`RuleId::XResetStuck`] otherwise) — a register that
+//!   never flushes its power-on X (e.g. an enable-feedback loop with no
+//!   reset path) silently corrupts scores on the real device until a
+//!   full reconfiguration;
+//! * no X can reach a named output after that window
+//!   ([`RuleId::XReachesOutput`]).
+
+use fabp_fpga::netlist::{Netlist, NodeKind};
+use fabp_lint::{Finding, RuleId};
+use std::collections::HashMap;
+
+/// The 4-valued abstract domain: constants, defined-unknown, unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AValue {
+    /// Constant 0 regardless of inputs.
+    C0,
+    /// Constant 1 regardless of inputs.
+    C1,
+    /// Defined: some function of the (defined) primary inputs.
+    D,
+    /// Unknown: may still depend on power-on register contents.
+    X,
+}
+
+/// Abstract LUT evaluation: enumerate every assignment of the D and X
+/// pins (constants stay fixed). The output is X only if, for some fixed
+/// assignment of the D pins, the X pins can still change it; it is D if
+/// the D pins matter but the X pins never do; and a constant when
+/// nothing matters. At most 2^6 = 64 concrete evaluations.
+fn abstract_eval(pins: &[AValue], eval: &dyn Fn(u8) -> bool) -> AValue {
+    let d_pins: Vec<usize> = (0..pins.len()).filter(|&i| pins[i] == AValue::D).collect();
+    let x_pins: Vec<usize> = (0..pins.len()).filter(|&i| pins[i] == AValue::X).collect();
+    let mut base = 0u8;
+    for (i, pin) in pins.iter().enumerate() {
+        if *pin == AValue::C1 {
+            base |= 1 << i;
+        }
+    }
+    let mut any_x_varies = false;
+    let mut first: Option<bool> = None;
+    let mut d_varies = false;
+    for d_assign in 0..(1u16 << d_pins.len()) {
+        let mut addr = base;
+        for (t, &pin) in d_pins.iter().enumerate() {
+            if (d_assign >> t) & 1 == 1 {
+                addr |= 1 << pin;
+            }
+        }
+        let mut x_first: Option<bool> = None;
+        for x_assign in 0..(1u16 << x_pins.len()) {
+            let mut full = addr;
+            for (t, &pin) in x_pins.iter().enumerate() {
+                if (x_assign >> t) & 1 == 1 {
+                    full |= 1 << pin;
+                }
+            }
+            let out = eval(full);
+            match x_first {
+                None => x_first = Some(out),
+                Some(prev) if prev != out => any_x_varies = true,
+                _ => {}
+            }
+            match first {
+                None => first = Some(out),
+                Some(prev) if prev != out => d_varies = true,
+                _ => {}
+            }
+        }
+    }
+    if any_x_varies {
+        AValue::X
+    } else if d_varies {
+        AValue::D
+    } else if first == Some(true) {
+        AValue::C1
+    } else {
+        AValue::C0
+    }
+}
+
+/// Runs the power-on analysis: `cycles` clock edges with defined inputs.
+/// Returns V004 findings for registers that never leave X and V005
+/// findings for outputs still X at the end of the window.
+pub fn check_xprop(netlist: &Netlist, cycles: usize) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut reg_state: HashMap<usize, AValue> = netlist
+        .register_state_nodes()
+        .iter()
+        .map(|id| (id.index(), AValue::X))
+        .collect();
+    let mut values = vec![AValue::X; netlist.node_count()];
+
+    let eval_pass = |values: &mut Vec<AValue>, reg_state: &HashMap<usize, AValue>| {
+        for id in netlist.node_ids() {
+            let at = id.index();
+            values[at] = match netlist.node_kind(id) {
+                NodeKind::Input => AValue::D,
+                NodeKind::Const(v) => {
+                    if v {
+                        AValue::C1
+                    } else {
+                        AValue::C0
+                    }
+                }
+                NodeKind::Lut(lut, pins) => {
+                    let pv: Vec<AValue> = pins.iter().map(|p| values[p.index()]).collect();
+                    abstract_eval(&pv, &|addr| lut.eval_addr(addr))
+                }
+                NodeKind::Carry { a, b, cin } => {
+                    let pv = [values[a.index()], values[b.index()], values[cin.index()]];
+                    abstract_eval(&pv, &|addr| {
+                        let (a, b, c) = (addr & 1 != 0, addr & 2 != 0, addr & 4 != 0);
+                        (a && b) || (c && (a != b))
+                    })
+                }
+                NodeKind::Reg { .. } => reg_state[&at],
+            };
+        }
+    };
+
+    // Cycle 0 evaluation, then `cycles` clock edges. The abstraction is
+    // monotone (X is never created, only flushed), so one forward sweep
+    // per edge is a sound fixpoint iteration.
+    eval_pass(&mut values, &reg_state);
+    for _ in 0..cycles {
+        let updates: Vec<(usize, AValue)> = netlist
+            .register_state_nodes()
+            .iter()
+            .map(|id| {
+                let d = match netlist.node_kind(*id) {
+                    NodeKind::Reg { d } => d,
+                    _ => unreachable!("register_state_nodes returned a non-register"),
+                };
+                (id.index(), values[d.index()])
+            })
+            .collect();
+        for (index, value) in updates {
+            reg_state.insert(index, value);
+        }
+        eval_pass(&mut values, &reg_state);
+    }
+
+    for id in netlist.register_state_nodes() {
+        if reg_state[&id.index()] == AValue::X {
+            findings.push(Finding::new(
+                RuleId::XResetStuck,
+                Some(id.index()),
+                format!(
+                    "register n{} still holds its power-on X after {cycles} clock edges; \
+                     no input-driven path flushes it",
+                    id.index()
+                ),
+            ));
+        }
+    }
+    for (name, node) in netlist.named_outputs() {
+        if values[node.index()] == AValue::X {
+            findings.push(Finding::new(
+                RuleId::XReachesOutput,
+                Some(node.index()),
+                format!(
+                    "output \"{name}\" can still observe power-on X after {cycles} clock edges"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_fpga::netlist::Netlist;
+
+    #[test]
+    fn feedforward_pipeline_flushes_x() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let r1 = n.reg(a);
+        let r2 = n.reg(r1);
+        n.mark_output("q", r2);
+        assert!(check_xprop(&n, 4).is_empty());
+        // One cycle is not enough for a depth-2 pipeline.
+        let shallow = check_xprop(&n, 1);
+        assert!(shallow.iter().any(|f| f.rule == RuleId::XResetStuck));
+    }
+
+    #[test]
+    fn unresettable_feedback_register_is_flagged() {
+        // T-flip-flop with no reset: q' = q XOR enable. The power-on X
+        // never leaves.
+        let mut n = Netlist::new();
+        let enable = n.input();
+        let r = n.reg_dangling();
+        let t = n.lut_fn(&[r, enable], |addr| (addr & 1 != 0) ^ (addr & 2 != 0));
+        n.connect_reg(r, t);
+        n.mark_output("q", r);
+        let findings = check_xprop(&n, 16);
+        assert!(findings.iter().any(|f| f.rule == RuleId::XResetStuck));
+        assert!(findings.iter().any(|f| f.rule == RuleId::XReachesOutput));
+    }
+
+    #[test]
+    fn masked_x_does_not_propagate() {
+        // AND with constant 0 masks the X register entirely.
+        let mut n = Netlist::new();
+        let r = n.reg_dangling();
+        let t = n.lut_fn(&[r], |addr| addr & 1 != 0);
+        n.connect_reg(r, t); // feedback: stays X forever
+        let zero = n.constant(false);
+        let masked = n.lut_fn(&[r, zero], |addr| (addr & 1 != 0) && (addr & 2 != 0));
+        n.mark_output("y", masked);
+        let findings = check_xprop(&n, 4);
+        assert!(findings.iter().any(|f| f.rule == RuleId::XResetStuck));
+        assert!(
+            !findings.iter().any(|f| f.rule == RuleId::XReachesOutput),
+            "constant masking must block X"
+        );
+    }
+
+    #[test]
+    fn abstract_eval_classifies_all_four_values() {
+        let and2 = |addr: u8| (addr & 1 != 0) && (addr & 2 != 0);
+        use AValue::*;
+        assert_eq!(abstract_eval(&[C1, C1], &and2), C1);
+        assert_eq!(abstract_eval(&[C0, X], &and2), C0);
+        assert_eq!(abstract_eval(&[D, C1], &and2), D);
+        assert_eq!(abstract_eval(&[D, X], &and2), X);
+        assert_eq!(abstract_eval(&[C1, X], &and2), X);
+    }
+}

@@ -1,0 +1,173 @@
+//! Emission coverage for the FABP-V rule family: every `RuleId::*`
+//! verification rule is produced by at least one real engine run here
+//! (the structural FABP-N/S rules have the same guarantee in
+//! `fabp-lint`'s `rule_registry` test), and the shared report plumbing
+//! renders verify findings under the `fabp_verify` tool key.
+
+use fabp_fpga::netlist::{Netlist, NodeKind};
+use fabp_fpga::primitives::Lut6;
+use fabp_lint::{render_json_reports_as, RuleId, Severity};
+use fabp_verify::{
+    check_config_program, check_xprop, find_target, verify_all, verify_netlist, ConfigOp,
+    ConfigProgram, DeviceShape, TimedOp, VerifyConfig,
+};
+
+fn flip_lut_bit(netlist: &mut Netlist, lut_ordinal: usize, addr: u8) {
+    let luts: Vec<_> = netlist
+        .node_ids()
+        .filter_map(|id| match netlist.node_kind(id) {
+            NodeKind::Lut(lut, _) => Some((id, lut)),
+            _ => None,
+        })
+        .collect();
+    let (node, lut) = luts[lut_ordinal % luts.len()];
+    netlist.set_lut_table(node, Lut6::from_init(lut.init() ^ (1u64 << addr)));
+}
+
+#[test]
+fn v001_pattern_counterexample_fires() {
+    let target = find_target("pop36-handcrafted").expect("shipped");
+    let mut netlist = target.module().build();
+    flip_lut_bit(&mut netlist, 0, 63); // all-ones address of a pop6 LUT
+    let report = verify_netlist(
+        "pop36-handcrafted",
+        &netlist,
+        &target.oracle,
+        &VerifyConfig::default(),
+    );
+    let hits = report.findings_for(RuleId::EquivCounterexample);
+    assert!(!hits.is_empty(), "{}", report.render_text());
+    assert!(hits.iter().all(|f| f.severity == Severity::Error));
+}
+
+#[test]
+fn v002_cone_counterexample_fires() {
+    let target = find_target("comparator-cell").expect("shipped");
+    let mut netlist = target.module().build();
+    flip_lut_bit(&mut netlist, 1, 0); // compare LUT, address 0
+    let report = verify_netlist(
+        "comparator-cell",
+        &netlist,
+        &target.oracle,
+        &VerifyConfig::default(),
+    );
+    let hits = report.findings_for(RuleId::ConeCounterexample);
+    assert!(!hits.is_empty(), "{}", report.render_text());
+    assert_eq!(hits[0].severity, Severity::Error);
+}
+
+#[test]
+fn v003_unverified_info_fires_on_wide_cones() {
+    let target = find_target("pop36-handcrafted").expect("shipped");
+    let report = verify_netlist(
+        "pop36-handcrafted",
+        &target.module().build(),
+        &target.oracle,
+        &VerifyConfig::default(),
+    );
+    let hits = report.findings_for(RuleId::EquivUnverified);
+    assert_eq!(hits.len(), 1, "{}", report.render_text());
+    assert_eq!(hits[0].severity, Severity::Info);
+    assert!(report.passes(Severity::Warn), "V003 must not gate CI");
+}
+
+#[test]
+fn v004_v005_fire_on_unresettable_state() {
+    // Enable-feedback toggle register with no reset path: the power-on
+    // X never flushes and reaches the output.
+    let mut n = Netlist::new();
+    let enable = n.input();
+    let r = n.reg_dangling();
+    let t = n.lut_fn(&[r, enable], |addr| (addr & 1 != 0) ^ (addr & 2 != 0));
+    n.connect_reg(r, t);
+    n.mark_output("q", r);
+    let findings = check_xprop(&n, 32);
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == RuleId::XResetStuck && f.severity == Severity::Error));
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == RuleId::XReachesOutput && f.severity == Severity::Error));
+}
+
+#[test]
+fn v006_v007_v008_fire_on_bad_config_programs() {
+    let shape = DeviceShape {
+        banks: 8,
+        scrub_interval_beats: 64,
+    };
+    let program = ConfigProgram {
+        name: "bad".into(),
+        ops: vec![
+            TimedOp {
+                beat: 0,
+                op: ConfigOp::Write {
+                    bank: 0,
+                    bits: 0b01,
+                },
+            },
+            // Shadowed before any read: V006.
+            TimedOp {
+                beat: 1,
+                op: ConfigOp::Write {
+                    bank: 0,
+                    bits: 0b10,
+                },
+            },
+            // Reads bank 1 which was never written: V007.
+            TimedOp {
+                beat: 2,
+                op: ConfigOp::Read { first: 0, last: 1 },
+            },
+            // 200-beat unscrubbed live range against a 64-beat interval: V008.
+            TimedOp {
+                beat: 200,
+                op: ConfigOp::Read { first: 0, last: 0 },
+            },
+        ],
+    };
+    let report = check_config_program(&program, &shape);
+    let shadowed = report.findings_for(RuleId::ConfigShadowedWrite);
+    let unwritten = report.findings_for(RuleId::ConfigReadUnwritten);
+    let gap = report.findings_for(RuleId::ConfigScrubGap);
+    assert_eq!(shadowed.len(), 1, "{}", report.render_text());
+    assert_eq!(shadowed[0].severity, Severity::Warn);
+    assert!(!unwritten.is_empty());
+    assert_eq!(unwritten[0].severity, Severity::Error);
+    assert!(!gap.is_empty());
+    assert_eq!(gap[0].severity, Severity::Warn);
+}
+
+#[test]
+fn full_corpus_passes_the_ci_gate_and_renders_as_fabp_verify() {
+    let reports = verify_all(&VerifyConfig::default());
+    // 9 netlist targets + 3 config programs.
+    assert_eq!(reports.len(), 12);
+    assert!(
+        reports.iter().all(|r| r.passes(Severity::Warn)),
+        "shipped corpus must pass --deny warn:\n{}",
+        reports.iter().map(|r| r.render_text()).collect::<String>()
+    );
+    let json = render_json_reports_as("fabp_verify", &reports);
+    assert!(
+        json.starts_with("{\"fabp_verify\":{\"schema\":1}"),
+        "{json}"
+    );
+    assert!(json.contains("\"module\":\"align-15aa-t30\""));
+    assert!(json.contains("\"module\":\"config-packed-mfsrw\""));
+}
+
+#[test]
+fn verify_telemetry_counts_under_its_own_tool_name() {
+    let registry = fabp_telemetry::Registry::new();
+    let target = find_target("comparator-cell").expect("shipped");
+    let report = verify_netlist(
+        "comparator-cell",
+        &target.module().build(),
+        &target.oracle,
+        &VerifyConfig::default(),
+    );
+    fabp_lint::record_reports_as("fabp_verify", &registry, &[report]);
+    let snapshot = registry.snapshot().to_prometheus();
+    assert!(snapshot.contains("fabp_verify_modules_total"), "{snapshot}");
+}

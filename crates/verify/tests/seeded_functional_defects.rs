@@ -1,0 +1,194 @@
+//! Seeded functional defects: the adversarial bed for the equivalence
+//! engine.
+//!
+//! Each test injects a *functional* defect — a single LUT truth-table
+//! bit flip through the PR-2 defect-injection API — that leaves the
+//! netlist structurally perfect: the DRC (`fabp-lint`) must stay free
+//! of Error findings, while `fabp-verify` must produce an equivalence
+//! counterexample with a concrete input vector that localises to the
+//! injected cone (the reported output's fan-in contains the mutated
+//! node). This is exactly the gap the verify layer exists to close.
+
+use fabp_fpga::netlist::{Netlist, NodeId, NodeKind};
+use fabp_fpga::primitives::Lut6;
+use fabp_lint::{check_netlist, LintConfig, RuleId, Severity};
+use fabp_verify::{fanin_cone, find_target, verify_netlist, VerifyConfig};
+
+/// LUTs whose pins are all primary inputs or constants — the first
+/// logic stage, where every reachable truth-table bit is exercised by
+/// the engines' deterministic schedules.
+fn first_stage_luts(n: &Netlist) -> Vec<(NodeId, Lut6, [NodeId; 6])> {
+    n.node_ids()
+        .filter_map(|id| match n.node_kind(id) {
+            NodeKind::Lut(lut, pins) => Some((id, lut, pins)),
+            _ => None,
+        })
+        .filter(|(_, _, pins)| {
+            pins.iter()
+                .all(|&p| matches!(n.node_kind(p), NodeKind::Input | NodeKind::Const(_)))
+        })
+        .collect()
+}
+
+/// Truth-table addresses reachable given the constant pins: every
+/// address bit tied to a constant pin must equal that constant.
+fn reachable_addrs(n: &Netlist, pins: &[NodeId; 6]) -> Vec<u8> {
+    (0..64u8)
+        .filter(|addr| {
+            pins.iter()
+                .enumerate()
+                .all(|(bit, &p)| match n.node_kind(p) {
+                    NodeKind::Const(v) => ((addr >> bit) & 1 == 1) == v,
+                    _ => true,
+                })
+        })
+        .collect()
+}
+
+/// Flips one reachable truth-table bit of a first-stage LUT, returning
+/// the injection site.
+fn flip_first_stage_bit(
+    n: &mut Netlist,
+    lut_pick: usize,
+    addr_pick: usize,
+) -> fabp_fpga::netlist::InjectionSite {
+    let luts = first_stage_luts(n);
+    assert!(!luts.is_empty(), "module has no first-stage LUTs");
+    let (node, lut, pins) = luts[lut_pick % luts.len()];
+    let addrs = reachable_addrs(n, &pins);
+    let addr = addrs[addr_pick % addrs.len()];
+    n.set_lut_table(node, Lut6::from_init(lut.init() ^ (1u64 << addr)))
+}
+
+/// Asserts the full contract: DRC error-free, verify reports an
+/// Error-level counterexample under `rule` whose reported output cone
+/// contains the injected node, and the message carries a concrete
+/// input vector.
+fn assert_defect_found(
+    name: &str,
+    netlist: &Netlist,
+    site: &fabp_fpga::netlist::InjectionSite,
+    rule: RuleId,
+) {
+    let target = find_target(name).expect("shipped target");
+    let drc = check_netlist(name, netlist, &LintConfig::default());
+    assert!(
+        !drc.findings.iter().any(|f| f.severity == Severity::Error),
+        "functional defect must be invisible to the DRC ({site}):\n{}",
+        drc.render_text()
+    );
+
+    let report = verify_netlist(name, netlist, &target.oracle, &VerifyConfig::default());
+    let hits = report.findings_for(rule);
+    assert!(
+        !hits.is_empty(),
+        "verify missed seeded defect {site}:\n{}",
+        report.render_text()
+    );
+    for finding in &hits {
+        assert_eq!(finding.severity, Severity::Error);
+        assert!(
+            finding.message.contains("inputs"),
+            "counterexample must carry a concrete input vector: {}",
+            finding.message
+        );
+        let output_node = finding.node.expect("counterexample anchors to its output");
+        let cone = fanin_cone(netlist, node_id_at(netlist, output_node));
+        assert!(
+            cone.contains(&site.node.index()),
+            "counterexample on a cone that does not contain the injected node {site}"
+        );
+    }
+}
+
+fn node_id_at(n: &Netlist, index: usize) -> NodeId {
+    n.node_ids()
+        .find(|id| id.index() == index)
+        .expect("finding anchors to a real node")
+}
+
+#[test]
+fn comparator_mux_flip_yields_cone_counterexample() {
+    let target = find_target("comparator-cell").expect("shipped");
+    for addr_pick in [0usize, 13, 27, 45, 63] {
+        let mut netlist = target.module().build();
+        // LUT 0 is the input multiplexer (all pins are primary inputs).
+        let site = flip_first_stage_bit(&mut netlist, 0, addr_pick);
+        assert_eq!(site.kind, "set-lut-table");
+        assert_defect_found(
+            "comparator-cell",
+            &netlist,
+            &site,
+            RuleId::ConeCounterexample,
+        );
+    }
+}
+
+#[test]
+fn pop36_first_stage_flip_yields_pattern_counterexample() {
+    for (lut_pick, addr_pick) in [(0usize, 5usize), (7, 21), (11, 63), (16, 40)] {
+        let target = find_target("pop36-handcrafted").expect("shipped");
+        let mut netlist = target.module().build();
+        let site = flip_first_stage_bit(&mut netlist, lut_pick, addr_pick);
+        assert_defect_found(
+            "pop36-handcrafted",
+            &netlist,
+            &site,
+            RuleId::EquivCounterexample,
+        );
+    }
+}
+
+#[test]
+fn align_mux_flip_localises_to_its_element() {
+    let target = find_target("align-mfsrw-t10").expect("shipped");
+    for (lut_pick, addr_pick) in [(2usize, 9usize), (6, 33), (12, 50)] {
+        let mut netlist = target.module().build();
+        let site = flip_first_stage_bit(&mut netlist, lut_pick, addr_pick);
+        assert_defect_found(
+            "align-mfsrw-t10",
+            &netlist,
+            &site,
+            RuleId::ConeCounterexample,
+        );
+        // Localisation is per element: exactly the match outputs whose
+        // cone contains the mutated mux can report; at least one must.
+        let report = verify_netlist(
+            "align-mfsrw-t10",
+            &netlist,
+            &target.oracle,
+            &VerifyConfig::default(),
+        );
+        for finding in report.findings_for(RuleId::ConeCounterexample) {
+            assert!(finding.message.contains("match"), "{}", finding.message);
+        }
+    }
+}
+
+#[test]
+fn pipelined_popcount_flip_is_caught_through_the_registers() {
+    let target = find_target("pop72-pipelined-tree").expect("shipped");
+    let mut netlist = target.module().build();
+    // First-stage LUTs of the tree adder sit directly on the inputs;
+    // flip the all-zeros address of the first one (changes count for
+    // the all-zero pattern, which the schedule always drives).
+    let site = flip_first_stage_bit(&mut netlist, 0, 0);
+    assert_defect_found(
+        "pop72-pipelined-tree",
+        &netlist,
+        &site,
+        RuleId::EquivCounterexample,
+    );
+}
+
+#[test]
+fn injection_sites_describe_the_mutation() {
+    let target = find_target("pop36-handcrafted").expect("shipped");
+    let mut netlist = target.module().build();
+    let site = flip_first_stage_bit(&mut netlist, 3, 17);
+    assert_eq!(site.kind, "set-lut-table");
+    assert!(site.detail.contains("INIT"), "{}", site.detail);
+    assert!(site
+        .to_string()
+        .contains(&format!("n{}", site.node.index())));
+}

@@ -1,0 +1,221 @@
+//! `fabp_verify` — static equivalence & dataflow verification CLI.
+//!
+//! Runs the `fabp-verify` engines — symbolic bit-parallel equivalence
+//! against the golden software semantics, X-propagation/reset analysis,
+//! and configuration-stream dataflow — over the shipped module corpus,
+//! prints per-module reports, and exits non-zero when any finding
+//! reaches the `--deny` threshold. This is the CI verify gate:
+//! `fabp_verify --all-modules --deny warn` must exit 0 on every commit.
+//!
+//! ```text
+//! fabp_verify --all-modules --deny warn --json /tmp/verify-report.json
+//! fabp_verify --module comparator-cell --module align-mfsrw-t10
+//! fabp_verify --list-modules
+//! ```
+
+use fabp_lint::{record_reports_as, render_json_reports_as, Report, Severity};
+use fabp_telemetry::Registry;
+use fabp_verify::{
+    check_config_program, find_target, shipped_config_programs, verify_all, verify_module,
+    verify_targets, VerifyConfig,
+};
+use std::process::ExitCode;
+
+struct Options {
+    all_modules: bool,
+    modules: Vec<String>,
+    list_modules: bool,
+    deny: Severity,
+    json: Option<String>,
+    metrics_out: Option<String>,
+    quiet: bool,
+    cone_bound: Option<usize>,
+    random_rounds: Option<usize>,
+    xprop_cycles: Option<usize>,
+}
+
+const USAGE: &str = "\
+fabp_verify — equivalence & dataflow verification of the FabP hardware model
+
+USAGE:
+    fabp_verify [OPTIONS]
+
+OPTIONS:
+    --all-modules          Verify every shipped netlist against its golden
+                           oracle and every canonical configuration program
+                           (default when no --module is given)
+    --module NAME          Verify one shipped module or config program
+                           (repeatable)
+    --list-modules         Print the verifiable module and program names
+    --deny LEVEL           Exit non-zero when any finding is at or above
+                           LEVEL: info | warn | error  [default: error]
+    --cone-bound N         Exhaustive-enumeration support bound [default: 12]
+    --random-rounds N      Random pattern rounds for wide cones [default: 16]
+    --xprop-cycles N       Power-on settle window in clock edges [default: 16]
+    --json PATH            Write the machine-readable report to PATH
+                           ('-' for stdout)
+    --metrics-out PATH     Write Prometheus-format verify counters to PATH
+    --quiet                Suppress per-module text output
+    -h, --help             Show this help
+";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        all_modules: false,
+        modules: Vec::new(),
+        list_modules: false,
+        deny: Severity::Error,
+        json: None,
+        metrics_out: None,
+        quiet: false,
+        cone_bound: None,
+        random_rounds: None,
+        xprop_cycles: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        let parse_usize = |flag: &str, value: String| {
+            value
+                .parse::<usize>()
+                .map_err(|_| format!("bad {flag} {value:?}"))
+        };
+        match arg.as_str() {
+            "--all-modules" => opts.all_modules = true,
+            "--module" => opts.modules.push(value_for("--module")?),
+            "--list-modules" => opts.list_modules = true,
+            "--deny" => {
+                let level = value_for("--deny")?;
+                opts.deny = Severity::parse(&level)
+                    .ok_or_else(|| format!("unknown --deny level {level:?}"))?;
+            }
+            "--cone-bound" => {
+                opts.cone_bound = Some(parse_usize("--cone-bound", value_for("--cone-bound")?)?)
+            }
+            "--random-rounds" => {
+                opts.random_rounds = Some(parse_usize(
+                    "--random-rounds",
+                    value_for("--random-rounds")?,
+                )?)
+            }
+            "--xprop-cycles" => {
+                opts.xprop_cycles =
+                    Some(parse_usize("--xprop-cycles", value_for("--xprop-cycles")?)?)
+            }
+            "--json" => opts.json = Some(value_for("--json")?),
+            "--metrics-out" => opts.metrics_out = Some(value_for("--metrics-out")?),
+            "--quiet" => opts.quiet = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<ExitCode, String> {
+    if opts.list_modules {
+        for target in verify_targets() {
+            println!("{}", target.name);
+        }
+        for (program, _) in shipped_config_programs() {
+            println!("{}", program.name);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut config = VerifyConfig::default();
+    if let Some(bound) = opts.cone_bound {
+        config.cone_bound = bound;
+    }
+    if let Some(rounds) = opts.random_rounds {
+        config.random_rounds = rounds;
+    }
+    if let Some(cycles) = opts.xprop_cycles {
+        config.xprop_cycles = cycles;
+    }
+
+    let reports: Vec<Report> = if !opts.modules.is_empty() {
+        let mut reports = Vec::new();
+        for name in &opts.modules {
+            if let Some(target) = find_target(name) {
+                reports.push(verify_module(&target, &config));
+                continue;
+            }
+            let program = shipped_config_programs()
+                .into_iter()
+                .find(|(p, _)| &p.name == name)
+                .ok_or_else(|| format!("no verifiable module {name:?} (try --list-modules)"))?;
+            reports.push(check_config_program(&program.0, &program.1));
+        }
+        reports
+    } else {
+        // --all-modules, also the default action.
+        verify_all(&config)
+    };
+
+    // Telemetry counters (also exported with --metrics-out).
+    let registry = Registry::new();
+    record_reports_as("fabp_verify", &registry, &reports);
+
+    if !opts.quiet {
+        for report in &reports {
+            print!("{}", report.render_text());
+        }
+    }
+    let errors: usize = reports.iter().map(|r| r.count(Severity::Error)).sum();
+    let warnings: usize = reports.iter().map(|r| r.count(Severity::Warn)).sum();
+    let infos: usize = reports.iter().map(|r| r.count(Severity::Info)).sum();
+    if !opts.quiet {
+        println!(
+            "fabp_verify: {} module(s), {errors} error(s), {warnings} warning(s), {infos} info(s)",
+            reports.len()
+        );
+    }
+
+    if let Some(path) = &opts.json {
+        let json = render_json_reports_as("fabp_verify", &reports);
+        if path == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        }
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, registry.snapshot().to_prometheus())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    }
+
+    let denied = reports.iter().any(|r| !r.passes(opts.deny));
+    Ok(if denied {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("fabp_verify: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("fabp_verify: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -23,6 +23,10 @@
 //!   with per-tenant fairness, adaptive micro-batching, content-hash
 //!   caches and deadline shedding over the core engines (see
 //!   `docs/SERVING.md`).
+//! * [`verify`] — static verification of the generated hardware: symbolic
+//!   bit-parallel equivalence against the golden semantics, X-propagation
+//!   reset proofs, and configuration-stream dataflow analysis on top of
+//!   `fabp-lint`'s diagnostics model (see `docs/VERIFICATION.md`).
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system
 //! inventory and experiment index, and `docs/RESILIENCE.md` for the
@@ -36,5 +40,6 @@ pub use fabp_fpga as fpga;
 pub use fabp_platforms as platforms;
 pub use fabp_resilience as resilience;
 pub use fabp_serve as serve;
+pub use fabp_verify as verify;
 
 pub use fabp_bio::prelude;

@@ -285,6 +285,124 @@ fn backpressure_flood(shape: &Shape, entries: &mut Vec<Entry>) {
     ));
 }
 
+/// Modelled fleet scaling sweep: 1 → 16 nodes at R = min(2, nodes),
+/// healthy and with one node killed. Throughput comes from the analytic
+/// kernel model over the live routing table, so every entry is
+/// deterministic and gated exactly like the other rates.
+fn fleet_sweep(entries: &mut Vec<Entry>) {
+    use fabp_core::fleet::FpgaFleet;
+    use fabp_encoding::encoder::EncodedQuery;
+    use fabp_fpga::engine::EngineConfig;
+    use fabp_resilience::health::FailureDetector;
+
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xF1EE7);
+    let protein = random_protein(12, &mut rng);
+    let query = EncodedQuery::from_protein(&protein);
+    let config = EngineConfig::kintex7(query.len() as u32);
+    const TOTAL_BASES: u64 = 1_000_000;
+    let mut qps_single = 0.0;
+    for nodes in [1usize, 2, 4, 8, 16] {
+        let replication = 2.min(nodes);
+        let fleet = FpgaFleet::homogeneous(&query, &config, nodes, replication, TOTAL_BASES)
+            .expect("fleet builds");
+        let qps = fleet.timing().queries_per_second;
+        if nodes == 1 {
+            qps_single = qps;
+        }
+        entries.push(Entry::rate(
+            &format!("fleet_model_qps_{nodes}node"),
+            qps,
+            format!(
+                "modelled fleet throughput, R={replication}, healthy \
+                 ({:.2}x vs 1 node)",
+                qps / qps_single.max(f64::MIN_POSITIVE)
+            ),
+        ));
+        if nodes > 1 {
+            let registry = Registry::disabled();
+            let mut detector = FailureDetector::with_defaults(nodes, &registry);
+            detector.record_kill(0);
+            let degraded = fleet
+                .fleet_timing(&detector)
+                .expect("replicas cover the dead node")
+                .queries_per_second;
+            assert!(
+                degraded <= qps,
+                "a dead node cannot speed the fleet up: {degraded} vs {qps}"
+            );
+            entries.push(Entry::rate(
+                &format!("fleet_model_qps_{nodes}node_killed"),
+                degraded,
+                "one node killed: a survivor absorbs the orphan shard via its replica".to_string(),
+            ));
+        }
+    }
+}
+
+/// Chaos availability: rolling single-node kills (4 nodes, R = 2) under
+/// a live served stream on the manual clock. Bit-identity against the
+/// sequential oracle is a hard gate; the measured availability is
+/// committed as a deterministic rate entry (replication means no
+/// request may fail, so anything below 1.0 is a regression).
+fn fleet_chaos_availability(shape: &Shape, entries: &mut Vec<Entry>) {
+    const NODES: usize = 4;
+    let (reference, queries) = workload(shape);
+    let registry = Registry::disabled();
+    let mut cfg = config(shape);
+    cfg.backend = ServeBackend::Fleet {
+        nodes: NODES,
+        replication: 2,
+        fault_spec: None,
+    };
+    let mut server = FabpServer::with_manual_clock(reference.clone(), cfg, &registry)
+        .expect("fleet server builds");
+
+    let mut oracle: Vec<Vec<fabp_core::hits::Hit>> = Vec::new();
+    for protein in &queries {
+        let aligner = FabpAligner::builder()
+            .protein_query(protein)
+            .threshold(Threshold::Fraction(0.9))
+            .engine(Engine::Software { threads: 1 })
+            .build()
+            .expect("pinned query builds");
+        oracle.push(aligner.search(&reference).hits);
+    }
+
+    let mut total = 0usize;
+    let mut ok = 0usize;
+    for victim in 0..NODES {
+        server.kill_node(victim);
+        for (i, protein) in queries.iter().enumerate() {
+            let tenant = format!("tenant-{}", i % shape.tenants);
+            server.submit(&tenant, protein).expect("queue has room");
+        }
+        server.advance_clock_us(1_000);
+        for response in server.run_to_completion() {
+            total += 1;
+            if let Ok(hits) = &response.result {
+                ok += 1;
+                let expected = &oracle[(response.id as usize) % queries.len()];
+                assert_eq!(
+                    hits, expected,
+                    "chaos changed hits for request {}",
+                    response.id
+                );
+            }
+        }
+        server.revive_node(victim);
+    }
+    let availability = ok as f64 / total.max(1) as f64;
+    assert!(
+        (availability - 1.0).abs() < 1e-12,
+        "R=2 rolling kills must not fail a request: {ok}/{total}"
+    );
+    entries.push(Entry::rate(
+        &format!("fleet_availability_rolling_kills_{}", shape.tag),
+        availability,
+        format!("{total} requests served across {NODES} rolling single-node kills, R=2"),
+    ));
+}
+
 /// Tracing overhead as the serving layer sees it: the disabled-context
 /// record every instrumented call site pays when no trace is attached
 /// to the request. The hard ≤ 2 ns budget is gated in bench_telemetry;
@@ -472,6 +590,7 @@ fn main() {
     sustained(&QUICK, &mut entries);
     shed_burst(&QUICK, &mut entries);
     backpressure_flood(&QUICK, &mut entries);
+    fleet_chaos_availability(&QUICK, &mut entries);
     let mode = if quick {
         "quick"
     } else {
@@ -480,6 +599,7 @@ fn main() {
         backpressure_flood(&FULL, &mut entries);
         "full"
     };
+    fleet_sweep(&mut entries);
     trace_overhead(&mut entries);
 
     for e in &entries {

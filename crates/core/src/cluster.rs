@@ -536,14 +536,42 @@ impl FpgaCluster {
     /// survivor serves its own shard plus any orphan shards assigned to
     /// it (serially), so the slowest loaded survivor sets the latency.
     ///
+    /// A self-redispatch pair `(n, n)` means the shard stayed home —
+    /// node `n` is treated as alive serving its own shard, not as a dead
+    /// node (external recovery controllers legally emit such pairs when
+    /// a node rejoins between detection and re-dispatch; dropping the
+    /// node used to erase its load from the model entirely, reporting a
+    /// one-node cluster as infinitely fast).
+    ///
     /// # Errors
     ///
-    /// [`FabpError::Internal`] if an assignment references a missing
-    /// node (cannot happen for assignments produced by
-    /// [`FpgaCluster::search_resilient`]).
+    /// [`FabpError::Internal`] if an assignment references a node the
+    /// cluster does not have, or re-dispatches a shard onto a node the
+    /// same list declares dead (cannot happen for assignments produced
+    /// by [`FpgaCluster::search_resilient`]).
     pub fn degraded_timing(&self, redispatch: &[(usize, usize)]) -> FabpResult<ClusterTiming> {
         let power_model = fabp_fpga::power_model::PowerModel::default();
-        let dead: Vec<usize> = redispatch.iter().map(|&(orphan, _)| orphan).collect();
+        // `(n, n)` is a no-op re-dispatch, not a death.
+        let dead: Vec<usize> = redispatch
+            .iter()
+            .filter(|&&(orphan, survivor)| orphan != survivor)
+            .map(|&(orphan, _)| orphan)
+            .collect();
+        for &(orphan, survivor) in redispatch {
+            if orphan >= self.engines.len() || survivor >= self.engines.len() {
+                return Err(FabpError::Internal(format!(
+                    "re-dispatch ({orphan} -> {survivor}) references a node outside the \
+                     {}-node cluster",
+                    self.engines.len()
+                )));
+            }
+            if orphan != survivor && dead.contains(&survivor) {
+                return Err(FabpError::Internal(format!(
+                    "shard {orphan} re-dispatched to node {survivor}, which the same \
+                     assignment list declares dead"
+                )));
+            }
+        }
         let mut latency: f64 = 0.0;
         let mut joules = 0.0;
         for (node, (engine, &bases)) in self.engines.iter().zip(&self.shard_bases).enumerate() {
@@ -552,7 +580,7 @@ impl FpgaCluster {
             }
             let extra: u64 = redispatch
                 .iter()
-                .filter(|&&(_, survivor)| survivor == node)
+                .filter(|&&(orphan, survivor)| survivor == node && orphan != node)
                 .map(|&(orphan, _)| self.shard_bases.get(orphan).copied().unwrap_or(0))
                 .sum();
             let t = engine.model_kernel_seconds((bases + extra).div_ceil(4));
@@ -1093,6 +1121,100 @@ mod tests {
             .regions(qlen)
             .iter()
             .any(|r| r.best.position == 100 || r.start <= 100));
+    }
+
+    // ---- degraded_timing self-redispatch (ISSUE 8 satellite) ----
+
+    #[test]
+    fn self_redispatch_keeps_the_node_and_its_load() {
+        let protein = random_protein(8, &mut StdRng::seed_from_u64(17));
+        let query = EncodedQuery::from_protein(&protein);
+        let config = EngineConfig::kintex7(24);
+
+        // One-node cluster, shard re-dispatched to itself: pre-fix the
+        // node was treated as dead and skipped, so the "degraded" timing
+        // reported zero latency / zero qps — an infinitely fast cluster.
+        let single = FpgaCluster::homogeneous(&query, &config, 1, 4_000).unwrap();
+        let nominal = single.timing();
+        let degraded = single.degraded_timing(&[(0, 0)]).unwrap();
+        assert!(degraded.latency_seconds > 0.0, "load must not vanish");
+        assert_eq!(
+            degraded, nominal,
+            "a self-redispatch is a no-op: the shard never moved"
+        );
+
+        // Mixed list on a 4-node cluster: node 1 genuinely dies onto
+        // node 2, node 3 self-redispatches. Only node 1 is dead; node 3
+        // still carries exactly its own shard.
+        let quad = FpgaCluster::homogeneous(&query, &config, 4, 4_000).unwrap();
+        let mixed = quad.degraded_timing(&[(1, 2), (3, 3)]).unwrap();
+        let plain = quad.degraded_timing(&[(1, 2)]).unwrap();
+        assert_eq!(mixed, plain, "the (3, 3) pair must not change the model");
+        assert!(mixed.latency_seconds > quad.timing().latency_seconds);
+    }
+
+    #[test]
+    fn contradictory_or_out_of_range_redispatch_is_a_typed_error() {
+        let protein = random_protein(8, &mut StdRng::seed_from_u64(18));
+        let query = EncodedQuery::from_protein(&protein);
+        let cluster =
+            FpgaCluster::homogeneous(&query, &EngineConfig::kintex7(24), 3, 3_000).unwrap();
+        // Shard 0 re-dispatched onto node 1, which the same list kills.
+        assert!(matches!(
+            cluster.degraded_timing(&[(0, 1), (1, 2)]),
+            Err(FabpError::Internal(_))
+        ));
+        // References to nodes the cluster does not have.
+        assert!(matches!(
+            cluster.degraded_timing(&[(7, 0)]),
+            Err(FabpError::Internal(_))
+        ));
+        assert!(matches!(
+            cluster.degraded_timing(&[(0, 7)]),
+            Err(FabpError::Internal(_))
+        ));
+    }
+
+    // ---- pathological shard plans (ISSUE 8 satellite) ----
+
+    #[test]
+    fn overlap_with_more_nodes_than_bases_stays_in_bounds_and_complete() {
+        let reference: RnaSeq = "ACGUA".parse().unwrap(); // 5 bases
+        for (nodes, overlap) in [(8, 3), (8, 5), (8, 64), (5, 5), (12, 0)] {
+            let (shards, offsets) = try_shard_with_overlap(&reference, nodes, overlap).unwrap();
+            assert_eq!(shards.len(), nodes, "nodes={nodes} overlap={overlap}");
+            assert_eq!(offsets.len(), nodes);
+            // Offsets are non-decreasing, in bounds, and the shard at
+            // each offset reproduces the reference slice exactly.
+            for (shard, &offset) in shards.iter().zip(&offsets) {
+                assert!(offset <= reference.len());
+                assert!(offset + shard.len() <= reference.len());
+                assert_eq!(
+                    shard.as_slice(),
+                    &reference.as_slice()[offset..offset + shard.len()]
+                );
+            }
+            assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+            // Every base is covered by at least one shard: the union of
+            // [offset, offset + len) ranges is [0, reference.len()).
+            let mut covered = vec![false; reference.len()];
+            for (shard, &offset) in shards.iter().zip(&offsets) {
+                for c in covered.iter_mut().skip(offset).take(shard.len()) {
+                    *c = true;
+                }
+            }
+            assert!(
+                covered.iter().all(|&c| c),
+                "nodes={nodes} overlap={overlap}: coverage gap"
+            );
+            // Zero-size shards appear exactly when nodes > bases.
+            let zero_body = shards
+                .iter()
+                .zip(try_shard_database(reference.len() as u64, nodes).unwrap())
+                .filter(|&(_, body)| body == 0)
+                .count();
+            assert_eq!(zero_body, nodes.saturating_sub(reference.len()));
+        }
     }
 
     #[test]

@@ -1,0 +1,916 @@
+//! Federated multi-FPGA fleet: replication, health-driven routing and
+//! hedged scatter/gather.
+//!
+//! [`crate::cluster::FpgaCluster`] models a single-host shard list whose
+//! only failure answer is one-shot dead-node redispatch: a kill observed
+//! mid-search costs a full shard rescan, and a second failure on the
+//! same shard loses coverage entirely because every shard exists exactly
+//! once. This module promotes the scale-out model to a *fleet*:
+//!
+//! * **Replication with anti-affinity.** [`place_replicas`] assigns each
+//!   shard `s` to `R` distinct nodes `(s + r) % nodes`, so no node holds
+//!   two replicas of one shard and any single failure leaves `R − 1`
+//!   live copies.
+//! * **Health-driven routing.** Every dispatch consults a
+//!   [`FailureDetector`] (phi-accrual suspicion over per-node EWMA
+//!   latency plus fault events — see `fabp_resilience::health`): drained
+//!   nodes stop receiving primary reads *before* a request has to fail
+//!   over, and recovered nodes rejoin through probation probes. This is
+//!   steady-state load balancing, not post-mortem redispatch.
+//! * **Hedged reads** (the tail-at-scale pattern): when the primary's
+//!   modelled completion exceeds the detector's p95-derived budget for
+//!   that node, a duplicate read is issued to the next placed replica.
+//!   First response wins; the loser is cancelled unless it finishes
+//!   inside the cancel-propagation window, in which case both responses
+//!   deliver and [`merge_shard_hits`] removes the exact duplicates —
+//!   replica overlap stays bit-identical to the single-node oracle.
+//! * **Live degraded timing.** [`FpgaFleet::fleet_timing`] recomputes
+//!   [`ClusterTiming`] from the *current* routing table, so SLO
+//!   burn-rate gauges track the degraded fleet as nodes drain and
+//!   rejoin, rather than a post-hoc redispatch summary.
+//!
+//! The serving integration (graceful drain, brownout shedding, chaos
+//! under live traffic) lives in `fabp-serve`.
+
+use crate::cluster::{try_shard_database, ClusterTiming, SHARD_TRACK_BASE};
+use crate::hits::{merge_shard_hits, Hit};
+use fabp_bio::seq::PackedSeq;
+use fabp_encoding::encoder::EncodedQuery;
+use fabp_fpga::engine::{EngineConfig, FabpEngine};
+use fabp_resilience::health::FailureDetector;
+use fabp_resilience::telemetry as rtel;
+use fabp_resilience::{FabpError, FabpResult};
+use fabp_telemetry::{
+    FlightRecorder, Registry, TraceContext, TraceEvent, FLAG_CANCELLED, FLAG_ERROR, FLAG_HEDGE,
+};
+
+/// Modelled time for a cancellation to propagate to a losing read,
+/// microseconds. A loser that would finish within this window of the
+/// winner cannot be cancelled in time — both responses deliver and the
+/// gather deduplicates them.
+pub const CANCEL_PROPAGATION_US: f64 = 50.0;
+
+/// Places `R` replicas of each of `shards` shards across `nodes` nodes
+/// with anti-affinity: replica `r` of shard `s` lives on node
+/// `(s + r) % nodes`, so one shard's replicas always land on distinct
+/// nodes and consecutive shards' primaries are spread evenly.
+///
+/// # Errors
+///
+/// [`FabpError::InvalidShardPlan`] when `replication == 0` (a shard with
+/// no home) or `replication > nodes` (anti-affinity is unsatisfiable —
+/// some node would hold two copies of one shard).
+pub fn place_replicas(
+    shards: usize,
+    nodes: usize,
+    replication: usize,
+) -> FabpResult<Vec<Vec<usize>>> {
+    if nodes == 0 {
+        return Err(FabpError::InvalidShardPlan(
+            "a fleet needs at least one node".into(),
+        ));
+    }
+    if replication == 0 {
+        return Err(FabpError::InvalidShardPlan(
+            "every shard needs at least one replica".into(),
+        ));
+    }
+    if replication > nodes {
+        return Err(FabpError::InvalidShardPlan(format!(
+            "replication {replication} over {nodes} node(s) violates anti-affinity"
+        )));
+    }
+    Ok((0..shards)
+        .map(|s| (0..replication).map(|r| (s + r) % nodes).collect())
+        .collect())
+}
+
+/// How one shard was routed by a hedged scatter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardDispatch {
+    /// Shard index.
+    pub shard: usize,
+    /// Node that received the primary read.
+    pub primary: usize,
+    /// Node that received the hedged duplicate, if one was issued.
+    pub hedge: Option<usize>,
+    /// Node whose response won the race (equals `primary` when no hedge
+    /// was issued).
+    pub winner: usize,
+    /// Node whose read was cancelled after losing the race. `None` when
+    /// no hedge ran, or when the loser finished inside the
+    /// cancel-propagation window and delivered anyway.
+    pub cancelled: Option<usize>,
+    /// True when no placed replica was routable and the shard was
+    /// served off-placement by an arbitrary routable node.
+    pub failover: bool,
+}
+
+/// Outcome of one hedged fleet search.
+#[derive(Debug, Clone)]
+pub struct FleetSearchOutcome {
+    /// Merged hits in global coordinates — bit-identical to a
+    /// single-node scan of the whole reference.
+    pub hits: Vec<Hit>,
+    /// Per-shard routing decisions, in shard order.
+    pub dispatches: Vec<ShardDispatch>,
+    /// Live fleet timing over the current routing table (degraded when
+    /// nodes are drained).
+    pub timing: ClusterTiming,
+    /// Hedged duplicates issued.
+    pub hedges: u32,
+    /// Hedges that beat their primary.
+    pub hedge_wins: u32,
+    /// Reads cancelled after losing the race.
+    pub cancels: u32,
+    /// Shards served off-placement because every replica was drained.
+    pub failovers: u32,
+}
+
+/// A replicated fleet: one engine per node, one shard per node slot,
+/// each shard placed on `R` nodes.
+#[derive(Debug)]
+pub struct FpgaFleet {
+    engines: Vec<FabpEngine>,
+    shard_bases: Vec<u64>,
+    placement: Vec<Vec<usize>>,
+    /// Per-node latency multiplier (test hook modelling stragglers);
+    /// 1.0 = nominal.
+    straggle: Vec<f64>,
+    replication: usize,
+}
+
+impl FpgaFleet {
+    /// Builds a homogeneous fleet: `nodes` boards with `config`, the
+    /// database of `total_bases` nucleotides split into `nodes` shards,
+    /// each shard replicated on `replication` nodes with anti-affinity.
+    ///
+    /// # Errors
+    ///
+    /// [`FabpError::InvalidShardPlan`] for a zero-node fleet or an
+    /// unsatisfiable replication factor, [`FabpError::EmptyQuery`] for
+    /// an empty query, and [`FabpError::Plan`] when the query cannot fit
+    /// the device.
+    pub fn homogeneous(
+        query: &EncodedQuery,
+        config: &EngineConfig,
+        nodes: usize,
+        replication: usize,
+        total_bases: u64,
+    ) -> FabpResult<FpgaFleet> {
+        if query.is_empty() {
+            return Err(FabpError::EmptyQuery);
+        }
+        let shard_bases = try_shard_database(total_bases, nodes)?;
+        let placement = place_replicas(nodes, nodes, replication)?;
+        let engines = (0..nodes)
+            .map(|_| FabpEngine::new(query.clone(), config.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let telemetry = Registry::global();
+        telemetry
+            .gauge("fabp_fleet_nodes", "Nodes in the modelled fleet")
+            .set(nodes as i64);
+        telemetry
+            .gauge("fabp_fleet_replication", "Replicas per shard")
+            .set(replication as i64);
+        Ok(FpgaFleet {
+            engines,
+            shard_bases,
+            placement,
+            straggle: vec![1.0; nodes],
+            replication,
+        })
+    }
+
+    /// Number of nodes (== number of shards).
+    pub fn nodes(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Replicas per shard.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The placement map: `placement()[s]` lists the nodes holding
+    /// shard `s`, primary first.
+    pub fn placement(&self) -> &[Vec<usize>] {
+        &self.placement
+    }
+
+    /// Models `node` as a straggler: its reads take `factor`× the
+    /// nominal modelled kernel time. Test/chaos hook.
+    pub fn set_straggle(&mut self, node: usize, factor: f64) {
+        if let Some(s) = self.straggle.get_mut(node) {
+            *s = factor.max(0.0);
+        }
+    }
+
+    /// Modelled completion time of `bases` nucleotides on `node`,
+    /// microseconds, including its straggle factor.
+    pub fn read_latency_us(&self, node: usize, bases: u64) -> f64 {
+        let nominal = self
+            .engines
+            .get(node)
+            .map_or(0.0, |e| e.model_kernel_seconds(bases.div_ceil(4)) * 1e6);
+        nominal * self.straggle.get(node).copied().unwrap_or(1.0)
+    }
+
+    /// Nominal timing with every node healthy, each serving exactly its
+    /// own shard (replicas idle as hedge capacity).
+    pub fn timing(&self) -> ClusterTiming {
+        self.timing_for_assignment(&(0..self.nodes()).map(|s| (s, s)).collect::<Vec<_>>())
+    }
+
+    /// Live fleet timing over the detector's current routing table:
+    /// each shard is served by its first routable replica (or any
+    /// routable node as a last resort), survivors' serial loads set the
+    /// latency. This is the number SLO burn-rate gauges should track
+    /// while the fleet is degraded — recomputed on every call, not
+    /// captured at failure time.
+    ///
+    /// # Errors
+    ///
+    /// [`FabpError::NodeDown`] when no node is routable.
+    pub fn fleet_timing(&self, detector: &FailureDetector) -> FabpResult<ClusterTiming> {
+        let assignment = (0..self.nodes())
+            .map(|s| Ok((s, self.route_shard(s, detector)?.0)))
+            .collect::<FabpResult<Vec<_>>>()?;
+        Ok(self.timing_for_assignment(&assignment))
+    }
+
+    /// Timing when each `(shard, node)` pair in `assignment` runs
+    /// serially on its node.
+    fn timing_for_assignment(&self, assignment: &[(usize, usize)]) -> ClusterTiming {
+        let power_model = fabp_fpga::power_model::PowerModel::default();
+        let mut load = vec![0u64; self.nodes()];
+        for &(shard, node) in assignment {
+            if let (Some(l), Some(&bases)) = (load.get_mut(node), self.shard_bases.get(shard)) {
+                *l += bases;
+            }
+        }
+        let mut latency: f64 = 0.0;
+        let mut joules = 0.0;
+        for (node, (engine, &bases)) in self.engines.iter().zip(&load).enumerate() {
+            if bases == 0 {
+                continue;
+            }
+            let t = engine.model_kernel_seconds(bases.div_ceil(4))
+                * self.straggle.get(node).copied().unwrap_or(1.0);
+            latency = latency.max(t);
+            let watts = power_model
+                .power(engine.plan().resources, engine.config().device.clock_hz)
+                .total();
+            joules += watts * t;
+        }
+        ClusterTiming {
+            latency_seconds: latency,
+            queries_per_second: if latency > 0.0 { 1.0 / latency } else { 0.0 },
+            joules_per_query: joules,
+        }
+    }
+
+    /// Routes `shard` through the detector: the first routable placed
+    /// replica serves as primary; if every replica is drained, the
+    /// shard fails over to a routable node chosen round-robin by shard
+    /// index; if *no* node is routable, a probe-accepting (probation)
+    /// node serves as a last resort — a successful probe read is
+    /// exactly what earns its rejoin streak, so a fleet that is all in
+    /// probation heals through traffic instead of flatlining. Returns
+    /// `(primary, failover)`.
+    fn route_shard(&self, shard: usize, detector: &FailureDetector) -> FabpResult<(usize, bool)> {
+        let replicas = &self.placement[shard];
+        if let Some(&primary) = replicas.iter().find(|&&n| detector.is_routable(n)) {
+            return Ok((primary, false));
+        }
+        let table = detector.routing_table();
+        if let Some(&node) = table.get(shard % table.len().max(1)) {
+            return Ok((node, true));
+        }
+        if let Some(&node) = replicas.iter().find(|&&n| detector.accepts_probes(n)) {
+            return Ok((node, true));
+        }
+        let probers: Vec<usize> = (0..self.nodes())
+            .filter(|&n| detector.accepts_probes(n))
+            .collect();
+        match probers.get(shard % probers.len().max(1)) {
+            Some(&node) => Ok((node, true)),
+            None => Err(FabpError::NodeDown {
+                node: replicas.first().copied().unwrap_or(0),
+            }),
+        }
+    }
+
+    /// The hedge target for `shard` given its `primary`: the next
+    /// placed replica (in placement order) that accepts probe traffic —
+    /// probation nodes qualify, which is exactly how they earn their
+    /// rejoin streak without taking primary reads.
+    fn hedge_target(
+        &self,
+        shard: usize,
+        primary: usize,
+        detector: &FailureDetector,
+    ) -> Option<usize> {
+        self.placement[shard]
+            .iter()
+            .copied()
+            .find(|&n| n != primary && detector.accepts_probes(n))
+    }
+
+    /// Hedged scatter/gather over pre-packed shards.
+    ///
+    /// Per shard: the primary read goes to the first routable placed
+    /// replica (consulting `detector`'s live routing table); when the
+    /// primary's modelled completion exceeds the detector's p95-derived
+    /// budget for that node, a hedged duplicate is issued to the next
+    /// replica. First response wins. The loser is cancelled — unless it
+    /// finishes within [`CANCEL_PROPAGATION_US`] of the winner, in
+    /// which case both responses deliver and the gather's
+    /// [`merge_shard_hits`] removes the exact duplicates. Every
+    /// completion feeds the detector's EWMA statistics, so routing and
+    /// hedge budgets evolve with the traffic (steady-state, not
+    /// post-mortem).
+    ///
+    /// Trace spans: each shard records a `shard` span on track
+    /// `SHARD_TRACK_BASE + primary`; a hedged duplicate records a
+    /// `hedge` child span ([`FLAG_HEDGE`], track of the hedge node), and
+    /// a cancelled read carries [`FLAG_CANCELLED`]. A failed-over shard
+    /// span carries [`FLAG_ERROR`] since its placement was unroutable.
+    ///
+    /// # Errors
+    ///
+    /// [`FabpError::InvalidShardPlan`] on shard/offset count mismatch,
+    /// [`FabpError::NodeDown`] when no node is routable for some shard.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_packed_hedged(
+        &self,
+        shards: &[PackedSeq],
+        shard_offsets: &[usize],
+        detector: &mut FailureDetector,
+        now_us: u64,
+        registry: &Registry,
+        flight: &FlightRecorder,
+        trace: TraceContext,
+        start_us: f64,
+    ) -> FabpResult<FleetSearchOutcome> {
+        if shards.len() != self.nodes() || shards.len() != shard_offsets.len() {
+            return Err(FabpError::InvalidShardPlan(format!(
+                "{} shard(s) / {} offset(s) for a {}-node fleet",
+                shards.len(),
+                shard_offsets.len(),
+                self.nodes()
+            )));
+        }
+        let mut per_shard: Vec<Vec<Hit>> = Vec::with_capacity(shards.len());
+        let mut dispatches = Vec::with_capacity(shards.len());
+        let (mut hedges, mut hedge_wins, mut cancels, mut failovers) = (0u32, 0u32, 0u32, 0u32);
+
+        for (shard_idx, (shard, &offset)) in shards.iter().zip(shard_offsets).enumerate() {
+            let (primary, failover) = self.route_shard(shard_idx, detector)?;
+            if failover {
+                failovers += 1;
+                rtel::count_failover(registry);
+            }
+            let bases = shard.len() as u64;
+            let primary_latency = self.read_latency_us(primary, bases);
+
+            // Hedge when the primary's modelled completion blows the
+            // p95 budget learned for that node. A cold detector (no
+            // samples yet) has budget 0 treated as "no budget": never
+            // hedge blind.
+            let budget = detector.p95_latency_us(primary);
+            let hedge = if budget > 0.0 && primary_latency > budget {
+                self.hedge_target(shard_idx, primary, detector)
+            } else {
+                None
+            };
+
+            let shard_ctx = trace.child(shard_idx as u64);
+            let dispatch = match hedge {
+                None => {
+                    self.record_shard_span(
+                        flight,
+                        shard_ctx,
+                        shard_idx,
+                        primary,
+                        primary_latency,
+                        start_us,
+                        if failover { FLAG_ERROR } else { 0 },
+                    );
+                    ShardDispatch {
+                        shard: shard_idx,
+                        primary,
+                        hedge: None,
+                        winner: primary,
+                        cancelled: None,
+                        failover,
+                    }
+                }
+                Some(hedge_node) => {
+                    hedges += 1;
+                    rtel::count_hedge_issued(registry);
+                    let hedge_latency = self.read_latency_us(hedge_node, bases);
+                    let (winner, winner_latency, loser, loser_latency) =
+                        if hedge_latency < primary_latency {
+                            hedge_wins += 1;
+                            rtel::count_hedge_won(registry);
+                            (hedge_node, hedge_latency, primary, primary_latency)
+                        } else {
+                            (primary, primary_latency, hedge_node, hedge_latency)
+                        };
+                    // First response wins; the loser is cancelled if the
+                    // cancel reaches it before it finishes anyway.
+                    let cancelled = if loser_latency - winner_latency > CANCEL_PROPAGATION_US {
+                        cancels += 1;
+                        rtel::count_hedge_cancelled(registry);
+                        Some(loser)
+                    } else {
+                        None
+                    };
+                    let primary_flags = (if failover { FLAG_ERROR } else { 0 })
+                        | (if cancelled == Some(primary) {
+                            FLAG_CANCELLED
+                        } else {
+                            0
+                        });
+                    self.record_shard_span(
+                        flight,
+                        shard_ctx,
+                        shard_idx,
+                        primary,
+                        primary_latency,
+                        start_us,
+                        primary_flags,
+                    );
+                    let hedge_flags = FLAG_HEDGE
+                        | (if cancelled == Some(hedge_node) {
+                            FLAG_CANCELLED
+                        } else {
+                            0
+                        });
+                    flight.record(
+                        TraceEvent::new(
+                            shard_ctx.child(0x4E + hedge_node as u64),
+                            "hedge",
+                            start_us,
+                            hedge_latency,
+                        )
+                        .with_arg(hedge_node as u64)
+                        .with_track(SHARD_TRACK_BASE + hedge_node as u32)
+                        .with_flags(hedge_flags),
+                    );
+                    ShardDispatch {
+                        shard: shard_idx,
+                        primary,
+                        hedge: Some(hedge_node),
+                        winner,
+                        cancelled,
+                        failover,
+                    }
+                }
+            };
+
+            // Run every read that delivers a response; exact duplicates
+            // from an uncancelled loser are removed by the merge below.
+            let mut delivering = vec![dispatch.winner];
+            if let Some(hedge_node) = dispatch.hedge {
+                let loser = if dispatch.winner == hedge_node {
+                    dispatch.primary
+                } else {
+                    hedge_node
+                };
+                if dispatch.cancelled.is_none() {
+                    delivering.push(loser);
+                }
+            }
+            for &node in &delivering {
+                let latency = self.read_latency_us(node, bases);
+                let engine = self
+                    .engines
+                    .get(node)
+                    .ok_or_else(|| FabpError::Internal(format!("node {node} has no engine")))?;
+                let hits = engine
+                    .run_traced(
+                        shard,
+                        registry,
+                        flight,
+                        shard_ctx.child(0x10 + node as u64),
+                        start_us,
+                    )
+                    .hits
+                    .into_iter()
+                    .map(|h| Hit {
+                        position: h.position + offset,
+                        score: h.score,
+                    })
+                    .collect::<Vec<_>>();
+                per_shard.push(hits);
+                detector.record_success(node, latency, now_us.saturating_add(latency as u64));
+            }
+            dispatches.push(dispatch);
+        }
+
+        // Replica duplicates (uncancelled losers) and ordinary
+        // cross-shard overlap duplicates both flow through the shared
+        // merge — the transparency invariant every shard-composing
+        // caller relies on.
+        let hits = merge_shard_hits(per_shard);
+
+        let timing = self.fleet_timing(detector)?;
+        let nominal = self.timing();
+        if detector.routable_count() < self.nodes() && nominal.queries_per_second > 0.0 {
+            let permille =
+                (timing.queries_per_second / nominal.queries_per_second * 1000.0).round() as i64;
+            rtel::record_degraded_throughput(registry, permille.clamp(0, 1000));
+        }
+
+        Ok(FleetSearchOutcome {
+            hits,
+            dispatches,
+            timing,
+            hedges,
+            hedge_wins,
+            cancels,
+            failovers,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_shard_span(
+        &self,
+        flight: &FlightRecorder,
+        ctx: TraceContext,
+        shard: usize,
+        node: usize,
+        dur_us: f64,
+        start_us: f64,
+        flags: u32,
+    ) {
+        flight.record(
+            TraceEvent::new(ctx, "shard", start_us, dur_us)
+                .with_arg(shard as u64)
+                .with_track(SHARD_TRACK_BASE + node as u32)
+                .with_flags(flags),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::shard_with_overlap;
+    use fabp_bio::generate::{coding_rna_for_paper_patterns, random_protein, random_rna};
+    use fabp_bio::seq::RnaSeq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture(seed: u64, bases: usize, plant: &[usize]) -> (EncodedQuery, RnaSeq) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let protein = random_protein(10, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        let coding = coding_rna_for_paper_patterns(&protein, &mut rng);
+        let mut seq = random_rna(bases, &mut rng).into_inner();
+        for &at in plant {
+            seq.splice(at..at + coding.len(), coding.iter().copied());
+        }
+        (query, RnaSeq::from(seq))
+    }
+
+    fn oracle(query: &EncodedQuery, reference: &RnaSeq) -> Vec<Hit> {
+        let engine =
+            FabpEngine::new(query.clone(), EngineConfig::kintex7(query.len() as u32)).unwrap();
+        engine.run(&PackedSeq::from_rna(reference)).hits
+    }
+
+    fn packed_shards(
+        reference: &RnaSeq,
+        nodes: usize,
+        overlap: usize,
+    ) -> (Vec<PackedSeq>, Vec<usize>) {
+        let (shards, offsets) = shard_with_overlap(reference, nodes, overlap);
+        (shards.iter().map(PackedSeq::from_rna).collect(), offsets)
+    }
+
+    /// Warms the detector so every node has an armed EWMA at
+    /// `latency_us` — the state a steady fleet reaches after a few
+    /// requests.
+    fn warm(detector: &mut FailureDetector, nodes: usize, latency_us: f64) {
+        for t in 1..=4u64 {
+            for n in 0..nodes {
+                detector.record_success(n, latency_us, t * 1_000);
+            }
+        }
+    }
+
+    #[test]
+    fn placement_has_anti_affinity_and_rejects_bad_factors() {
+        let placement = place_replicas(6, 6, 3).unwrap();
+        assert_eq!(placement.len(), 6);
+        for (s, replicas) in placement.iter().enumerate() {
+            assert_eq!(replicas.len(), 3);
+            let mut sorted = replicas.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "shard {s} replicas collide: {replicas:?}");
+            assert_eq!(replicas[0], s, "primary replica is the home node");
+        }
+        // Every node carries the same number of replicas (balance).
+        let mut per_node = vec![0usize; 6];
+        for replicas in &placement {
+            for &n in replicas {
+                per_node[n] += 1;
+            }
+        }
+        assert!(per_node.iter().all(|&c| c == 3), "{per_node:?}");
+
+        assert!(matches!(
+            place_replicas(4, 4, 0),
+            Err(FabpError::InvalidShardPlan(_))
+        ));
+        assert!(matches!(
+            place_replicas(4, 4, 5),
+            Err(FabpError::InvalidShardPlan(_))
+        ));
+        assert!(matches!(
+            place_replicas(4, 0, 1),
+            Err(FabpError::InvalidShardPlan(_))
+        ));
+    }
+
+    #[test]
+    fn unhedged_fleet_matches_the_single_node_oracle() {
+        let (query, reference) = fixture(41, 2_000, &[300, 985]);
+        let qlen = query.len();
+        let fleet = FpgaFleet::homogeneous(
+            &query,
+            &EngineConfig::kintex7(qlen as u32),
+            4,
+            2,
+            reference.len() as u64,
+        )
+        .unwrap();
+        let (shards, offsets) = packed_shards(&reference, 4, qlen - 1);
+        let mut detector = FailureDetector::with_defaults(4, &Registry::disabled());
+        let out = fleet
+            .search_packed_hedged(
+                &shards,
+                &offsets,
+                &mut detector,
+                0,
+                &Registry::disabled(),
+                &FlightRecorder::disabled(),
+                TraceContext::none(),
+                0.0,
+            )
+            .unwrap();
+        assert_eq!(out.hits, oracle(&query, &reference));
+        assert_eq!(out.hedges, 0, "cold detector must not hedge blind");
+        assert_eq!(out.failovers, 0);
+        assert!(out
+            .dispatches
+            .iter()
+            .enumerate()
+            .all(|(s, d)| d.primary == s && d.winner == s && d.hedge.is_none()));
+    }
+
+    #[test]
+    fn straggler_triggers_hedge_and_hits_stay_bit_identical() {
+        let (query, reference) = fixture(42, 2_000, &[300, 985]);
+        let qlen = query.len();
+        let mut fleet = FpgaFleet::homogeneous(
+            &query,
+            &EngineConfig::kintex7(qlen as u32),
+            4,
+            2,
+            reference.len() as u64,
+        )
+        .unwrap();
+        let (shards, offsets) = packed_shards(&reference, 4, qlen - 1);
+        let nominal = fleet.read_latency_us(0, shards[0].len() as u64);
+
+        // Train the detector at the nominal latency, then make node 1 a
+        // heavy straggler: its primary read blows the p95 budget and the
+        // scatter hedges shard 1 to node 2 (placement (1, 2)). The
+        // straggle factor is sized so the loser finishes well outside
+        // the cancel-propagation window of the winner.
+        let straggle = 2.0 * CANCEL_PROPAGATION_US / nominal + 2.0;
+        let mut detector = FailureDetector::with_defaults(4, &Registry::disabled());
+        warm(&mut detector, 4, nominal);
+        fleet.set_straggle(1, straggle);
+
+        let registry = Registry::new();
+        let out = fleet
+            .search_packed_hedged(
+                &shards,
+                &offsets,
+                &mut detector,
+                1_000_000,
+                &registry,
+                &FlightRecorder::disabled(),
+                TraceContext::none(),
+                0.0,
+            )
+            .unwrap();
+        assert_eq!(out.hits, oracle(&query, &reference), "hedging is invisible");
+        assert!(out.hedges >= 1);
+        assert!(out.hedge_wins >= 1, "the healthy replica must win");
+        let d1 = out.dispatches[1];
+        assert_eq!((d1.primary, d1.hedge, d1.winner), (1, Some(2), 2));
+        assert_eq!(d1.cancelled, Some(1), "the straggler read is cancelled");
+        let prom = registry.snapshot().to_prometheus();
+        assert!(prom.contains("fabp_fleet_hedges_total"), "{prom}");
+        assert!(prom.contains("fabp_fleet_hedge_wins_total"), "{prom}");
+        assert!(prom.contains("fabp_fleet_cancels_total"), "{prom}");
+    }
+
+    #[test]
+    fn uncancellable_loser_delivers_duplicates_that_dedup_exactly() {
+        let (query, reference) = fixture(43, 1_600, &[200, 900]);
+        let qlen = query.len();
+        let mut fleet = FpgaFleet::homogeneous(
+            &query,
+            &EngineConfig::kintex7(qlen as u32),
+            4,
+            2,
+            reference.len() as u64,
+        )
+        .unwrap();
+        let (shards, offsets) = packed_shards(&reference, 4, qlen - 1);
+        let nominal = fleet.read_latency_us(0, shards[0].len() as u64);
+
+        // Train the budget low, then slow *every* node slightly: each
+        // primary blows its budget, but primary and hedge finish within
+        // the cancel-propagation window of each other (same straggle),
+        // so both deliver and the gather must dedup the full replica
+        // overlap back to the oracle.
+        let mut detector = FailureDetector::with_defaults(4, &Registry::disabled());
+        warm(&mut detector, 4, nominal * 0.2);
+        for n in 0..4 {
+            fleet.set_straggle(n, 1.0);
+        }
+
+        let out = fleet
+            .search_packed_hedged(
+                &shards,
+                &offsets,
+                &mut detector,
+                1_000_000,
+                &Registry::disabled(),
+                &FlightRecorder::disabled(),
+                TraceContext::none(),
+                0.0,
+            )
+            .unwrap();
+        assert!(out.hedges >= 1, "every shard should hedge: {out:?}");
+        assert_eq!(out.cancels, 0, "equal-speed losers cannot be cancelled");
+        assert!(out
+            .dispatches
+            .iter()
+            .any(|d| d.hedge.is_some() && d.cancelled.is_none()));
+        assert_eq!(
+            out.hits,
+            oracle(&query, &reference),
+            "duplicate replica responses must dedup bit-identically"
+        );
+    }
+
+    #[test]
+    fn drained_replicas_fail_over_and_stay_bit_identical() {
+        let (query, reference) = fixture(44, 2_000, &[120, 1_500]);
+        let qlen = query.len();
+        let fleet = FpgaFleet::homogeneous(
+            &query,
+            &EngineConfig::kintex7(qlen as u32),
+            4,
+            2,
+            reference.len() as u64,
+        )
+        .unwrap();
+        let (shards, offsets) = packed_shards(&reference, 4, qlen - 1);
+
+        // Shard 0 is placed on nodes (0, 1); kill both. The scatter
+        // must fail over to a routable node and still merge the full
+        // hit set.
+        let mut detector = FailureDetector::with_defaults(4, &Registry::disabled());
+        detector.record_kill(0);
+        detector.record_kill(1);
+        let out = fleet
+            .search_packed_hedged(
+                &shards,
+                &offsets,
+                &mut detector,
+                0,
+                &Registry::disabled(),
+                &FlightRecorder::disabled(),
+                TraceContext::none(),
+                0.0,
+            )
+            .unwrap();
+        assert_eq!(out.hits, oracle(&query, &reference));
+        assert!(out.failovers >= 1);
+        assert!(out.dispatches[0].failover);
+        assert!([2, 3].contains(&out.dispatches[0].primary));
+
+        // Timing over two survivors each carrying double load is worse
+        // than nominal.
+        let degraded = fleet.fleet_timing(&detector).unwrap();
+        assert!(degraded.latency_seconds > fleet.timing().latency_seconds);
+        assert!(degraded.queries_per_second < fleet.timing().queries_per_second);
+
+        // A fully dead fleet is fatal.
+        detector.record_kill(2);
+        detector.record_kill(3);
+        assert!(matches!(
+            fleet.search_packed_hedged(
+                &shards,
+                &offsets,
+                &mut detector,
+                0,
+                &Registry::disabled(),
+                &FlightRecorder::disabled(),
+                TraceContext::none(),
+                0.0,
+            ),
+            Err(FabpError::NodeDown { .. })
+        ));
+    }
+
+    #[test]
+    fn hedging_is_deterministic_for_identical_inputs() {
+        let (query, reference) = fixture(45, 1_800, &[400]);
+        let qlen = query.len();
+        let run = || {
+            let mut fleet = FpgaFleet::homogeneous(
+                &query,
+                &EngineConfig::kintex7(qlen as u32),
+                4,
+                2,
+                reference.len() as u64,
+            )
+            .unwrap();
+            let (shards, offsets) = packed_shards(&reference, 4, qlen - 1);
+            let nominal = fleet.read_latency_us(0, shards[0].len() as u64);
+            let mut detector = FailureDetector::with_defaults(4, &Registry::disabled());
+            warm(&mut detector, 4, nominal);
+            fleet.set_straggle(3, 50.0);
+            let out = fleet
+                .search_packed_hedged(
+                    &shards,
+                    &offsets,
+                    &mut detector,
+                    1_000_000,
+                    &Registry::disabled(),
+                    &FlightRecorder::disabled(),
+                    TraceContext::none(),
+                    0.0,
+                )
+                .unwrap();
+            (
+                out.hits,
+                out.dispatches,
+                out.hedges,
+                out.hedge_wins,
+                out.cancels,
+                out.failovers,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn shard_count_mismatch_is_a_typed_error() {
+        let (query, reference) = fixture(46, 800, &[]);
+        let fleet = FpgaFleet::homogeneous(
+            &query,
+            &EngineConfig::kintex7(query.len() as u32),
+            4,
+            2,
+            reference.len() as u64,
+        )
+        .unwrap();
+        let (shards, offsets) = packed_shards(&reference, 3, 0);
+        let mut detector = FailureDetector::with_defaults(4, &Registry::disabled());
+        assert!(matches!(
+            fleet.search_packed_hedged(
+                &shards,
+                &offsets,
+                &mut detector,
+                0,
+                &Registry::disabled(),
+                &FlightRecorder::disabled(),
+                TraceContext::none(),
+                0.0,
+            ),
+            Err(FabpError::InvalidShardPlan(_))
+        ));
+    }
+
+    #[test]
+    fn empty_query_fleet_is_a_typed_error() {
+        let query = EncodedQuery::from_exact_rna(&RnaSeq::new());
+        assert!(matches!(
+            FpgaFleet::homogeneous(&query, &EngineConfig::kintex7(0), 2, 2, 100),
+            Err(FabpError::EmptyQuery)
+        ));
+    }
+}

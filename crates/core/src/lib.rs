@@ -39,6 +39,7 @@ pub mod aligner;
 pub mod batch;
 pub mod bitparallel;
 pub mod cluster;
+pub mod fleet;
 pub mod hits;
 pub mod host;
 pub mod software;
@@ -46,6 +47,7 @@ pub mod streaming;
 
 pub use aligner::{BuildError, Engine, FabpAligner, SearchOutcome, Threshold};
 pub use bitparallel::BitParallelEngine;
+pub use fleet::{place_replicas, FleetSearchOutcome, FpgaFleet, ShardDispatch};
 pub use hits::{
     best_hit, dedup_sorted_hits, merge_overlapping, merge_overlapping_unsorted, merge_shard_hits,
     top_k, Hit, HitRegion,

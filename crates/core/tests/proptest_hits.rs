@@ -1,0 +1,97 @@
+//! Property tests for the shard-merge helper under replication.
+//!
+//! The fleet's hedged scatter/gather legally delivers the *same* shard
+//! from two replicas (an uncancelled hedge loser), so the merged stream
+//! contains every hit of that shard exactly twice. `merge_shard_hits`
+//! is the single dedup point all shard-composing callers share; if
+//! replica duplicates survive it, hedging silently inflates scores
+//! downstream. These properties pin exact-duplicate removal for fully
+//! overlapping (replicated) shards alongside the classic
+//! boundary-overlap case.
+
+use fabp_core::hits::{merge_shard_hits, Hit};
+use proptest::prelude::*;
+
+fn arb_shard_hits(max_hits: usize) -> impl Strategy<Value = Vec<Hit>> {
+    // One integer encodes (position, score): the compat proptest shim
+    // has no tuple strategies.
+    prop::collection::vec(0usize..(10_000 * 64), 0..=max_hits).prop_map(|v| {
+        let mut hits: Vec<Hit> = v
+            .into_iter()
+            .map(|x| Hit {
+                position: x / 64,
+                score: (x % 64) as u32,
+            })
+            .collect();
+        // Engine output is position-sorted and duplicate-free within
+        // one shard; model that honestly.
+        hits.sort_unstable_by_key(|h| (h.position, h.score));
+        hits.dedup();
+        hits
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// **Replica-dedup invariant.** Feeding each shard R times (fully
+    /// overlapping replicas, exact duplicates) merges to precisely the
+    /// single-copy result — replication must be invisible in the hit
+    /// stream.
+    #[test]
+    fn replicated_shards_dedup_to_the_single_copy_merge(
+        shards in prop::collection::vec(arb_shard_hits(12), 1..6),
+        replication in 1usize..4,
+    ) {
+        let single = merge_shard_hits(shards.clone());
+        let replicated: Vec<Vec<Hit>> = shards
+            .iter()
+            .flat_map(|s| std::iter::repeat_n(s.clone(), replication))
+            .collect();
+        let merged = merge_shard_hits(replicated);
+        prop_assert_eq!(
+            merged, single,
+            "R={} replica duplicates must dedup exactly", replication
+        );
+    }
+
+    /// Merging replicated shards never yields two identical hits, and
+    /// every surviving hit came from some input shard.
+    #[test]
+    fn merge_output_is_sorted_unique_and_conservative(
+        shards in prop::collection::vec(arb_shard_hits(12), 1..6),
+    ) {
+        let doubled: Vec<Vec<Hit>> = shards
+            .iter()
+            .chain(shards.iter())
+            .cloned()
+            .collect();
+        let merged = merge_shard_hits(doubled);
+        for w in merged.windows(2) {
+            prop_assert!(
+                (w[0].position, w[0].score) < (w[1].position, w[1].score),
+                "output must be strictly (position, score)-sorted: {:?}", w
+            );
+        }
+        for h in &merged {
+            prop_assert!(shards.iter().flatten().any(|s| s == h));
+        }
+        // Conservation: nothing a single-copy merge keeps is lost.
+        prop_assert_eq!(merged, merge_shard_hits(shards));
+    }
+
+    /// Partial replica overlap (one replica delivered a prefix before
+    /// cancellation took effect mid-stream) still merges to the full
+    /// single-copy result: duplicates vanish, coverage stays.
+    #[test]
+    fn partial_replica_delivery_is_absorbed(
+        shards in prop::collection::vec(arb_shard_hits(12), 1..5),
+        cut in 0usize..12,
+    ) {
+        let mut with_partial = shards.clone();
+        if let Some(first) = shards.first() {
+            with_partial.push(first[..cut.min(first.len())].to_vec());
+        }
+        prop_assert_eq!(merge_shard_hits(with_partial), merge_shard_hits(shards));
+    }
+}

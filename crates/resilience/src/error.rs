@@ -103,6 +103,19 @@ pub enum FabpError {
         /// Microseconds past the deadline when the request was shed.
         late_us: u64,
     },
+    /// The serving instance is draining for shutdown or maintenance and
+    /// no longer admits new work; in-flight requests still complete.
+    /// Clients should route to another instance.
+    Draining,
+    /// The fleet is browned out: surviving capacity is below demand, and
+    /// this request was shed by tenant priority to protect
+    /// higher-priority traffic.
+    Brownout {
+        /// Nodes still accepting primary reads when the request was shed.
+        routable_nodes: usize,
+        /// Total nodes in the fleet.
+        fleet_nodes: usize,
+    },
     /// A user-supplied fault-schedule or CLI spec failed to parse.
     InvalidSpec(String),
     /// An invariant the code relies on was violated — the typed
@@ -119,6 +132,7 @@ impl FabpError {
             FabpError::CrcMismatch { .. }
                 | FabpError::StreamStall { .. }
                 | FabpError::Overloaded { .. }
+                | FabpError::Brownout { .. }
         )
     }
 
@@ -136,6 +150,8 @@ impl FabpError {
             FabpError::InvalidShardPlan(_) => "invalid_shard_plan",
             FabpError::Overloaded { .. } => "overloaded",
             FabpError::DeadlineExceeded { .. } => "deadline_exceeded",
+            FabpError::Draining => "draining",
+            FabpError::Brownout { .. } => "brownout",
             FabpError::InvalidSpec(_) => "invalid_spec",
             FabpError::Internal(_) => "internal",
         }
@@ -186,6 +202,16 @@ impl fmt::Display for FabpError {
             FabpError::DeadlineExceeded { late_us } => {
                 write!(f, "request deadline exceeded by {late_us} µs; shed")
             }
+            FabpError::Draining => {
+                write!(f, "server is draining and no longer admits work; route elsewhere")
+            }
+            FabpError::Brownout {
+                routable_nodes,
+                fleet_nodes,
+            } => write!(
+                f,
+                "fleet browned out ({routable_nodes}/{fleet_nodes} nodes routable); request shed by tenant priority"
+            ),
             FabpError::InvalidSpec(msg) => write!(f, "invalid fault spec: {msg}"),
             FabpError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
@@ -240,6 +266,26 @@ mod tests {
         }
         .is_transient());
         assert!(!FabpError::DeadlineExceeded { late_us: 10 }.is_transient());
+        // A brownout clears when nodes rejoin — retry; a draining
+        // instance never admits again — route elsewhere.
+        assert!(FabpError::Brownout {
+            routable_nodes: 1,
+            fleet_nodes: 4
+        }
+        .is_transient());
+        assert!(!FabpError::Draining.is_transient());
+    }
+
+    #[test]
+    fn fleet_errors_display_and_label() {
+        let brownout = FabpError::Brownout {
+            routable_nodes: 1,
+            fleet_nodes: 4,
+        };
+        assert!(brownout.to_string().contains("1/4"));
+        assert_eq!(brownout.kind_label(), "brownout");
+        assert!(FabpError::Draining.to_string().contains("draining"));
+        assert_eq!(FabpError::Draining.kind_label(), "draining");
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   retry-with-exponential-backoff for transient stream errors,
 //!   scrub-and-replay for configuration upsets, and the
 //!   [`recover::ResilienceLevel`] policy knob.
+//! * [`health`] — a phi-accrual-style [`health::FailureDetector`] that
+//!   turns per-node EWMA latency and fault/watchdog events into a live
+//!   routing table (suspected nodes drained, recovered nodes rejoining
+//!   through probation probes) plus the p95-derived hedge-delay budget
+//!   used by `fabp_core::fleet`'s hedged scatter/gather.
 //! * [`engine`] — [`engine::ResilientRunner`], which drives a
 //!   `fabp_fpga::engine::EngineSession` beat by beat under a schedule
 //!   and produces a run whose hits are bit-identical to the fault-free
@@ -40,6 +45,7 @@ pub mod crc;
 pub mod detect;
 pub mod engine;
 pub mod error;
+pub mod health;
 pub mod inject;
 pub mod recover;
 pub mod telemetry;
@@ -48,5 +54,6 @@ pub use crc::{crc32, Crc32};
 pub use detect::{ConfigScrubber, ScrubOutcome, Watchdog, WatchdogVerdict};
 pub use engine::{ResilienceReport, ResilientRun, ResilientRunner};
 pub use error::{FabpError, FabpResult, StreamKind};
+pub use health::{FailureDetector, HealthPolicy, NodeState};
 pub use inject::{ConfigLut, FaultKind, FaultSchedule};
 pub use recover::{retry_with_backoff, ResilienceLevel, RetryPolicy};

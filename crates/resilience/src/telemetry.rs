@@ -142,3 +142,43 @@ pub fn record_degraded_throughput(registry: &Registry, permille: i64) {
         )
         .set(permille);
 }
+
+/// Counts one hedged duplicate read issued past the delay budget.
+pub fn count_hedge_issued(registry: &Registry) {
+    registry
+        .counter(
+            "fabp_fleet_hedges_total",
+            "Hedged duplicate reads issued by the fleet scatter",
+        )
+        .inc();
+}
+
+/// Counts one hedge that beat its primary to completion.
+pub fn count_hedge_won(registry: &Registry) {
+    registry
+        .counter(
+            "fabp_fleet_hedge_wins_total",
+            "Hedged reads that completed before their primary",
+        )
+        .inc();
+}
+
+/// Counts one read cancelled after losing a hedge race.
+pub fn count_hedge_cancelled(registry: &Registry) {
+    registry
+        .counter(
+            "fabp_fleet_cancels_total",
+            "Reads cancelled after losing a first-response-wins race",
+        )
+        .inc();
+}
+
+/// Counts one shard failed over because no placed replica was routable.
+pub fn count_failover(registry: &Registry) {
+    registry
+        .counter(
+            "fabp_fleet_failovers_total",
+            "Shards routed off their placement because every replica was drained",
+        )
+        .inc();
+}

@@ -23,6 +23,13 @@
 //!   expired deadlines → micro-batch → dispatch → per-request
 //!   responses, wired into `fabp-resilience` recovery (cluster backend)
 //!   and `fabp-telemetry` metrics/spans throughout.
+//! * **Federated fleet backend** ([`server::ServeBackend::Fleet`]) —
+//!   replicated shards with anti-affinity placement, primary reads
+//!   routed through a persistent phi-accrual
+//!   [`fabp_resilience::health::FailureDetector`], hedged tail reads
+//!   deduped by the shared merge, graceful drain
+//!   ([`server::FabpServer::begin_drain`]) and brownout shedding by
+//!   tenant priority when surviving capacity drops below demand.
 //!
 //! **Transparency invariant:** batching is provably invisible — the
 //! hits served for a request are bit-identical to a sequential

@@ -190,6 +190,49 @@ impl AdmissionQueue {
         self.depth_gauge.set(self.depth as i64);
         (runnable, shed)
     }
+
+    /// Brownout shedding: drops queued requests until at most
+    /// `target_depth` remain, taking from the lowest-priority tenants
+    /// first (priority given by `priority`; higher values survive
+    /// longer, ties break by first-seen tenant order). Within one
+    /// tenant, the *newest* requests are shed first — the oldest work,
+    /// closest to completion, keeps its place.
+    ///
+    /// Returns the shed requests so the server can answer each with a
+    /// typed brownout error instead of leaving callers hanging.
+    pub fn shed_lowest_priority(
+        &mut self,
+        target_depth: usize,
+        priority: impl Fn(&str) -> i32,
+    ) -> Vec<Request> {
+        let mut shed = Vec::new();
+        if self.depth <= target_depth {
+            return shed;
+        }
+        // Stable sort: equal priorities keep ring (first-seen) order.
+        let mut order: Vec<String> = self.ring.clone();
+        order.sort_by_key(|tenant| priority(tenant));
+        for tenant in order {
+            let Some(lane) = self.lanes.get_mut(&tenant) else {
+                continue;
+            };
+            while self.depth > target_depth {
+                match lane.pop_back() {
+                    Some(request) => {
+                        self.depth -= 1;
+                        self.shed_ctr.inc();
+                        shed.push(request);
+                    }
+                    None => break,
+                }
+            }
+            if self.depth <= target_depth {
+                break;
+            }
+        }
+        self.depth_gauge.set(self.depth as i64);
+        shed
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +337,44 @@ mod tests {
         let mut q = queue(4);
         let (batch, shed) = q.take_batch(8, 0);
         assert!(batch.is_empty() && shed.is_empty());
+    }
+
+    #[test]
+    fn brownout_sheds_lowest_priority_newest_first() {
+        let mut q = queue(16);
+        for i in 0..4 {
+            q.try_admit(req(i, "gold", None)).unwrap();
+        }
+        for i in 10..14 {
+            q.try_admit(req(i, "bronze", None)).unwrap();
+        }
+        for i in 20..22 {
+            q.try_admit(req(i, "silver", None)).unwrap();
+        }
+        // Priorities: gold 2, silver 1, bronze 0. Shed down to 5.
+        let priority = |t: &str| match t {
+            "gold" => 2,
+            "silver" => 1,
+            _ => 0,
+        };
+        let shed = q.shed_lowest_priority(5, priority);
+        assert_eq!(q.depth(), 5);
+        // All of bronze (newest first), then one silver.
+        let ids: Vec<u64> = shed.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![13, 12, 11, 10, 21]);
+        // Gold survived untouched; the surviving silver is the oldest.
+        let (batch, _) = q.take_batch(16, 0);
+        let mut survivors: Vec<u64> = batch.iter().map(|r| r.id).collect();
+        survivors.sort_unstable();
+        assert_eq!(survivors, vec![0, 1, 2, 3, 20]);
+    }
+
+    #[test]
+    fn brownout_below_target_is_a_no_op() {
+        let mut q = queue(8);
+        q.try_admit(req(1, "a", None)).unwrap();
+        assert!(q.shed_lowest_priority(4, |_| 0).is_empty());
+        assert_eq!(q.depth(), 1);
     }
 
     #[test]

@@ -39,15 +39,18 @@ use fabp_bio::seq::{PackedSeq, ProteinSeq, RnaSeq};
 use fabp_core::aligner::{Engine, FabpAligner, Threshold};
 use fabp_core::batch::search_all_prebuilt;
 use fabp_core::cluster::{try_shard_with_overlap, FpgaCluster};
+use fabp_core::fleet::FpgaFleet;
 use fabp_core::hits::Hit;
 use fabp_encoding::encoder::EncodedQuery;
 use fabp_fpga::engine::EngineConfig;
+use fabp_resilience::health::FailureDetector;
 use fabp_resilience::{FabpError, FabpResult, FaultSchedule, ResilienceLevel};
 use fabp_telemetry::{
-    chrome_trace_for_events, Counter, FlightRecorder, Histogram, Registry, SloMonitor, SloPolicy,
-    SloReport, TraceContext, TraceEvent, FLAG_CACHE_HIT, FLAG_CACHE_MISS, FLAG_ERROR,
+    chrome_trace_for_events, Counter, FlightRecorder, Gauge, Histogram, Registry, SloMonitor,
+    SloPolicy, SloReport, TraceContext, TraceEvent, FLAG_CACHE_HIT, FLAG_CACHE_MISS, FLAG_ERROR,
     FLAG_RECOVERED, FLAG_SHED,
 };
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -77,6 +80,23 @@ pub enum ServeBackend {
         /// Optional fault-schedule spec (see
         /// [`FaultSchedule::parse`], e.g. `"kill@1:50"`) applied to
         /// every dispatch — chaos-testing hook, `None` in production.
+        fault_spec: Option<String>,
+    },
+    /// A federated fleet: every shard replicated on `replication` nodes
+    /// with anti-affinity, primary reads routed through a persistent
+    /// phi-accrual [`FailureDetector`], tail reads hedged to replicas
+    /// ([`FpgaFleet`]). Health state carries across requests, so routing
+    /// is steady-state — drained nodes stop receiving primaries before a
+    /// request has to fail over.
+    Fleet {
+        /// Nodes in the fleet (== shards).
+        nodes: usize,
+        /// Replicas per shard (anti-affinity requires
+        /// `replication <= nodes`).
+        replication: usize,
+        /// Optional fault-schedule spec whose `kill@node:beat` entries
+        /// mark nodes dead in the detector at build time — chaos hook
+        /// mirroring the cluster backend's, `None` in production.
         fault_spec: Option<String>,
     },
 }
@@ -191,6 +211,16 @@ pub struct ServerStats {
     pub query_cache: CacheStats,
     /// Packed-reference cache counters.
     pub reference_cache: CacheStats,
+    /// Hedged duplicate reads issued by the fleet backend.
+    pub hedges: u64,
+    /// Hedges that beat their primary.
+    pub hedge_wins: u64,
+    /// Losing reads cancelled after the hedge race resolved.
+    pub cancels: u64,
+    /// Shards served off-placement because every replica was drained.
+    pub failovers: u64,
+    /// Requests shed by brownout tenant-priority shedding.
+    pub brownout_shed: u64,
 }
 
 /// Injectable time source: wall for production, manual for tests.
@@ -223,6 +253,21 @@ pub struct FabpServer {
     aligner_cache: LruCache<Arc<FabpAligner>>,
     /// Built clusters (cluster backend), keyed by protein hash.
     cluster_cache: LruCache<Arc<FpgaCluster>>,
+    /// Built fleets (fleet backend), keyed by protein hash.
+    fleet_cache: LruCache<Arc<FpgaFleet>>,
+    /// Persistent failure detector for the fleet backend (`None`
+    /// otherwise). Living on the server rather than per dispatch is what
+    /// makes routing steady-state: EWMA latency, suspicion and probation
+    /// streaks carry across requests.
+    detector: Option<FailureDetector>,
+    /// Per-tenant brownout priority (higher survives longer); unlisted
+    /// tenants default to 0.
+    tenant_priority: HashMap<String, i32>,
+    /// Whether the server is draining: queued and in-flight work
+    /// completes, new submits are rejected.
+    draining: bool,
+    /// Exported drain state (1 while draining).
+    drain_gauge: Gauge,
     /// Packed shard sets, keyed by reference hash.
     packed_cache: LruCache<Arc<Vec<PackedSeq>>>,
     /// Overlapped shards for the cluster backend (empty for software).
@@ -278,13 +323,32 @@ impl FabpServer {
         clock: Clock,
     ) -> FabpResult<FabpServer> {
         let (shards, shard_offsets) = match config.backend {
-            ServeBackend::Cluster { nodes, .. } => {
+            ServeBackend::Cluster { nodes, .. } | ServeBackend::Fleet { nodes, .. } => {
                 // Overlap sized for the longest admissible query's window
                 // (3 bases per residue); the shared merge helper removes
                 // the cross-shard duplicates the generous overlap creates.
                 try_shard_with_overlap(&reference, nodes, 3 * config.max_query_aa)?
             }
             ServeBackend::Software { .. } => (Vec::new(), Vec::new()),
+        };
+        let detector = match &config.backend {
+            ServeBackend::Fleet {
+                nodes,
+                replication,
+                fault_spec,
+            } => {
+                // Fail an unsatisfiable replication factor at build, not
+                // on the first dispatch.
+                fabp_core::fleet::place_replicas(*nodes, *nodes, *replication)?;
+                let mut detector = FailureDetector::with_defaults(*nodes, registry);
+                if let Some(spec) = fault_spec {
+                    for (node, _beat) in FaultSchedule::parse(spec)?.node_kills() {
+                        detector.record_kill(node);
+                    }
+                }
+                Some(detector)
+            }
+            _ => None,
         };
         let reference_key = content_hash(reference.iter().map(|&b| b as u8));
         // The latency objective the batcher already steers for doubles
@@ -308,6 +372,14 @@ impl FabpServer {
             batcher: AdaptiveBatcher::new(config.policy, registry),
             aligner_cache: LruCache::new("query", config.query_cache, registry),
             cluster_cache: LruCache::new("cluster", config.query_cache, registry),
+            fleet_cache: LruCache::new("fleet", config.query_cache, registry),
+            detector,
+            tenant_priority: HashMap::new(),
+            draining: false,
+            drain_gauge: registry.gauge(
+                "fabp_serve_draining",
+                "1 while the server is draining (rejecting new submits)",
+            ),
             packed_cache: LruCache::new("reference", config.reference_cache, registry),
             latency_hist: registry.histogram(
                 "fabp_serve_latency_us",
@@ -352,6 +424,7 @@ impl FabpServer {
         let query_cache = match self.config.backend {
             ServeBackend::Software { .. } => self.aligner_cache.stats(),
             ServeBackend::Cluster { .. } => self.cluster_cache.stats(),
+            ServeBackend::Fleet { .. } => self.fleet_cache.stats(),
         };
         ServerStats {
             query_cache,
@@ -372,15 +445,73 @@ impl FabpServer {
         }
     }
 
+    /// Sets `tenant`'s brownout priority (default 0). When surviving
+    /// fleet capacity drops below queued demand, the lowest-priority
+    /// tenants' newest requests are shed first.
+    pub fn set_tenant_priority(&mut self, tenant: &str, priority: i32) {
+        self.tenant_priority.insert(tenant.to_string(), priority);
+    }
+
+    /// Begins a graceful drain: from now on [`FabpServer::submit`]
+    /// rejects with [`FabpError::Draining`], while queued and in-flight
+    /// requests run to completion (keep pumping until
+    /// [`FabpServer::is_drained`]).
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+        self.drain_gauge.set(1);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Whether the drain finished: draining and nothing left queued.
+    pub fn is_drained(&self) -> bool {
+        self.draining && self.queue.is_empty()
+    }
+
+    /// Chaos hook: marks fleet node `node` dead in the failure detector
+    /// (no-op on non-fleet backends). Subsequent dispatches route around
+    /// it and [`FabpServer::pump`] sheds by brownout if demand exceeds
+    /// surviving capacity.
+    pub fn kill_node(&mut self, node: usize) {
+        if let Some(detector) = &mut self.detector {
+            detector.record_kill(node);
+        }
+    }
+
+    /// Chaos hook: revives a killed fleet node into probation; it earns
+    /// back primary routing through probe successes (hedges land on it
+    /// first).
+    pub fn revive_node(&mut self, node: usize) {
+        if let Some(detector) = &mut self.detector {
+            detector.revive(node);
+        }
+    }
+
+    /// Nodes currently accepting primary reads (`None` on non-fleet
+    /// backends).
+    pub fn routable_nodes(&self) -> Option<usize> {
+        self.detector.as_ref().map(|d| d.routable_count())
+    }
+
+    /// Read access to the fleet's failure detector, when the backend
+    /// has one.
+    pub fn failure_detector(&self) -> Option<&FailureDetector> {
+        self.detector.as_ref()
+    }
+
     /// Submits a query under the configured default deadline budget.
     /// Returns the ticket to match against [`Response::id`].
     ///
     /// # Errors
     ///
+    /// [`FabpError::Draining`] once a drain has begun,
     /// [`FabpError::EmptyQuery`] for an empty protein,
     /// [`FabpError::InvalidShardPlan`] for a query longer than
-    /// [`ServeConfig::max_query_aa`] on the cluster backend, and
-    /// [`FabpError::Overloaded`] when the admission queue is full.
+    /// [`ServeConfig::max_query_aa`] on the cluster or fleet backends,
+    /// and [`FabpError::Overloaded`] when the admission queue is full.
     pub fn submit(&mut self, tenant: &str, protein: &ProteinSeq) -> FabpResult<u64> {
         let deadline = self
             .config
@@ -401,12 +532,18 @@ impl FabpServer {
         protein: &ProteinSeq,
         deadline_us: Option<u64>,
     ) -> FabpResult<u64> {
+        if self.draining {
+            self.stats.rejected += 1;
+            return Err(FabpError::Draining);
+        }
         if protein.is_empty() {
             self.stats.rejected += 1;
             return Err(FabpError::EmptyQuery);
         }
-        if matches!(self.config.backend, ServeBackend::Cluster { .. })
-            && protein.len() > self.config.max_query_aa
+        if matches!(
+            self.config.backend,
+            ServeBackend::Cluster { .. } | ServeBackend::Fleet { .. }
+        ) && protein.len() > self.config.max_query_aa
         {
             self.stats.rejected += 1;
             return Err(FabpError::InvalidShardPlan(format!(
@@ -442,12 +579,14 @@ impl FabpServer {
     /// (shed + served). Returns an empty vector when the queue is idle.
     pub fn pump(&mut self) -> Vec<Response> {
         let now = self.clock.now_us();
+        let mut responses = Vec::new();
+        self.shed_for_brownout(now, &mut responses);
         let dequeue_start = Instant::now();
         let target = self.batcher.target_batch(self.queue.depth());
         let (batch, shed) = self.queue.take_batch(target, now);
         let dequeue_us = dequeue_start.elapsed().as_secs_f64() * 1e6;
 
-        let mut responses = Vec::with_capacity(batch.len() + shed.len());
+        responses.reserve(batch.len() + shed.len());
         for (request, error) in shed {
             self.stats.shed += 1;
             self.failed_ctr.inc();
@@ -517,6 +656,9 @@ impl FabpServer {
                 resilience,
                 fault_spec,
             } => self.dispatch_cluster(batch, nodes, resilience, fault_spec.as_deref()),
+            ServeBackend::Fleet {
+                nodes, replication, ..
+            } => self.dispatch_fleet(batch, nodes, replication, now),
         };
         let exec_us = exec_start.elapsed().as_secs_f64() * 1e6;
         self.batcher.observe(batch_size, exec_us);
@@ -589,6 +731,78 @@ impl FabpServer {
             });
         }
         responses
+    }
+
+    /// Brownout: when the fleet is degraded (serving < total nodes,
+    /// where "serving" counts routable plus probation nodes) and queued
+    /// demand exceeds the capacity the survivors can carry
+    /// (`queue_capacity` scaled by the surviving fraction), sheds the
+    /// lowest-tenant-priority requests — newest first, so each tenant's
+    /// oldest work keeps its place — and answers them with
+    /// [`FabpError::Brownout`]. No-op on non-fleet backends and on a
+    /// healthy fleet.
+    fn shed_for_brownout(&mut self, now: u64, responses: &mut Vec<Response>) {
+        let (serving, nodes) = match (&self.detector, &self.config.backend) {
+            (Some(detector), ServeBackend::Fleet { nodes, .. }) => {
+                (detector.serving_count(), *nodes)
+            }
+            _ => return,
+        };
+        if serving >= nodes || nodes == 0 {
+            return;
+        }
+        let allowed = self.config.queue_capacity * serving / nodes;
+        if self.queue.depth() <= allowed {
+            return;
+        }
+        let priorities = self.tenant_priority.clone();
+        let shed = self.queue.shed_lowest_priority(allowed, |tenant| {
+            priorities.get(tenant).copied().unwrap_or(0)
+        });
+        for request in shed {
+            self.stats.brownout_shed += 1;
+            self.failed_ctr.inc();
+            let latency_us = now.saturating_sub(request.submitted_us);
+            self.latency_hist
+                .observe_traced(latency_us, request.trace.trace_id);
+            self.flight.record(
+                TraceEvent::new(
+                    request.trace.child(0),
+                    "queue_wait",
+                    request.submitted_us as f64,
+                    latency_us as f64,
+                )
+                .with_flags(FLAG_SHED),
+            );
+            self.flight.record(
+                TraceEvent::new(
+                    request.trace,
+                    "request",
+                    request.submitted_us as f64,
+                    latency_us as f64,
+                )
+                .with_arg(request.id)
+                .with_flags(FLAG_SHED | FLAG_ERROR),
+            );
+            self.slo.observe(&request.tenant, now, latency_us, false);
+            self.capture_anomaly(
+                &request.tenant,
+                request.id,
+                request.trace.trace_id,
+                "brownout",
+            );
+            responses.push(Response {
+                id: request.id,
+                tenant: request.tenant,
+                result: Err(FabpError::Brownout {
+                    routable_nodes: serving,
+                    fleet_nodes: nodes,
+                }),
+                latency_us,
+                batch_size: 0,
+                cached_query: false,
+            });
+        }
     }
 
     /// Captures one anomalous request's span tree as a Chrome trace,
@@ -797,6 +1011,84 @@ impl FabpServer {
                 (request, cached, recovered, result)
             })
             .collect()
+    }
+
+    /// Fleet dispatch: per-query cached fleets over cached packed
+    /// shards, hedged scatter/gather routed through the server's
+    /// persistent failure detector. Every completion feeds the
+    /// detector's EWMA statistics, so health state (and with it the p95
+    /// hedge budget) evolves across requests.
+    fn dispatch_fleet(
+        &mut self,
+        batch: Vec<Request>,
+        nodes: usize,
+        replication: usize,
+        now_us: u64,
+    ) -> Vec<(Request, bool, bool, FabpResult<Vec<Hit>>)> {
+        let threshold = self.config.threshold;
+        let total_bases = self.reference.len() as u64;
+        let start_us = self.clock.now_us() as f64;
+        let flight = self.flight.clone();
+        // Take the detector out of the server for the duration of the
+        // batch so it can be threaded mutably through every dispatch
+        // alongside the caches, then put it back.
+        let mut detector = match self.detector.take() {
+            Some(detector) => detector,
+            None => FailureDetector::with_defaults(nodes, &self.registry),
+        };
+        let results = batch
+            .into_iter()
+            .map(|request| {
+                let key = content_hash(request.protein.iter().map(|&aa| aa as u8));
+                let cached = self.fleet_cache.contains(key);
+                let batch_ctx = request.trace.child(1);
+                flight.record(
+                    TraceEvent::new(batch_ctx.child(100), "query_cache", start_us, 1.0).with_flags(
+                        if cached {
+                            FLAG_CACHE_HIT
+                        } else {
+                            FLAG_CACHE_MISS
+                        },
+                    ),
+                );
+                let built = self.fleet_cache.try_get_or_insert_with(key, || {
+                    let query = EncodedQuery::from_protein(&request.protein);
+                    let config = EngineConfig::kintex7(threshold.resolve(query.len()));
+                    FpgaFleet::homogeneous(&query, &config, nodes, replication, total_bases)
+                        .map(Arc::new)
+                });
+                let mut recovered = false;
+                let result = built.and_then(|fleet| {
+                    let packed = self
+                        .packed_cache
+                        .get_or_insert_with(self.reference_key, || {
+                            Arc::new(self.shards.iter().map(PackedSeq::from_rna).collect())
+                        });
+                    fleet
+                        .search_packed_hedged(
+                            &packed,
+                            &self.shard_offsets,
+                            &mut detector,
+                            now_us,
+                            &self.registry,
+                            &flight,
+                            batch_ctx,
+                            start_us,
+                        )
+                        .map(|outcome| {
+                            recovered = outcome.failovers > 0;
+                            self.stats.hedges += u64::from(outcome.hedges);
+                            self.stats.hedge_wins += u64::from(outcome.hedge_wins);
+                            self.stats.cancels += u64::from(outcome.cancels);
+                            self.stats.failovers += u64::from(outcome.failovers);
+                            outcome.hits
+                        })
+                });
+                (request, cached, recovered, result)
+            })
+            .collect();
+        self.detector = Some(detector);
+        results
     }
 }
 
@@ -1178,6 +1470,147 @@ mod tests {
         server.run_to_completion();
         assert_eq!(server.anomaly_dumps().len(), MAX_ANOMALY_DUMPS);
         assert_eq!(server.stats().shed as usize, MAX_ANOMALY_DUMPS + 4);
+    }
+
+    #[test]
+    fn fleet_backend_matches_sequential_hits_and_caches_fleets() {
+        let mut rng = StdRng::seed_from_u64(104);
+        let proteins: Vec<ProteinSeq> = (0..3).map(|_| random_protein(7, &mut rng)).collect();
+        let reference = planted_reference(&proteins, &mut rng);
+        let registry = Registry::new();
+        let config = ServeConfig {
+            backend: ServeBackend::Fleet {
+                nodes: 3,
+                replication: 2,
+                fault_spec: None,
+            },
+            max_query_aa: 16,
+            ..ServeConfig::default()
+        };
+        let mut server = FabpServer::new(reference.clone(), config, &registry).unwrap();
+        assert_eq!(server.routable_nodes(), Some(3));
+        let mut tickets = Vec::new();
+        for protein in &proteins {
+            tickets.push((server.submit("a", protein).unwrap(), protein));
+        }
+        let repeat = server.submit("b", &proteins[0]).unwrap();
+        let responses = server.run_to_completion();
+        for (ticket, protein) in tickets {
+            let response = responses.iter().find(|r| r.id == ticket).unwrap();
+            let expected = sequential_hits(protein, &reference, Threshold::Fraction(1.0));
+            assert_eq!(response.result.as_ref().unwrap(), &expected);
+        }
+        assert!(responses
+            .iter()
+            .find(|r| r.id == repeat)
+            .unwrap()
+            .result
+            .is_ok());
+        let stats = server.stats();
+        assert!(stats.query_cache.hits >= 1, "{:?}", stats.query_cache);
+        assert_eq!(stats.failovers, 0, "healthy fleet never fails over");
+    }
+
+    #[test]
+    fn fleet_backend_build_rejects_unsatisfiable_replication() {
+        let mut rng = StdRng::seed_from_u64(105);
+        let reference = random_rna(2_000, &mut rng);
+        let config = ServeConfig {
+            backend: ServeBackend::Fleet {
+                nodes: 2,
+                replication: 3,
+                fault_spec: None,
+            },
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            FabpServer::new(reference, config, &Registry::disabled()),
+            Err(FabpError::InvalidShardPlan(_))
+        ));
+    }
+
+    #[test]
+    fn draining_rejects_new_work_and_completes_in_flight() {
+        let mut rng = StdRng::seed_from_u64(106);
+        let protein = random_protein(5, &mut rng);
+        let reference = planted_reference(std::slice::from_ref(&protein), &mut rng);
+        let registry = Registry::new();
+        let mut server = FabpServer::new(reference, ServeConfig::default(), &registry).unwrap();
+        server.submit("a", &protein).unwrap();
+        server.submit("b", &protein).unwrap();
+        assert!(!server.is_draining());
+        server.begin_drain();
+        assert!(server.is_draining());
+        assert!(!server.is_drained(), "two requests still queued");
+        assert!(matches!(
+            server.submit("a", &protein),
+            Err(FabpError::Draining)
+        ));
+        let responses = server.run_to_completion();
+        assert_eq!(responses.len(), 2);
+        assert!(responses.iter().all(|r| r.result.is_ok()));
+        assert!(server.is_drained());
+        assert_eq!(server.stats().rejected, 1);
+        let text = registry.snapshot().to_prometheus();
+        assert!(text.contains("fabp_serve_draining 1"), "{text}");
+    }
+
+    #[test]
+    fn brownout_sheds_lowest_priority_tenants_with_typed_errors() {
+        let mut rng = StdRng::seed_from_u64(107);
+        let protein = random_protein(6, &mut rng);
+        let reference = planted_reference(std::slice::from_ref(&protein), &mut rng);
+        let registry = Registry::new();
+        let config = ServeConfig {
+            backend: ServeBackend::Fleet {
+                nodes: 4,
+                replication: 2,
+                fault_spec: None,
+            },
+            queue_capacity: 8,
+            max_query_aa: 16,
+            ..ServeConfig::default()
+        };
+        let mut server = FabpServer::with_manual_clock(reference, config, &registry).unwrap();
+        server.set_tenant_priority("gold", 1);
+        server.set_tenant_priority("bronze", 0);
+        let mut gold = Vec::new();
+        for _ in 0..3 {
+            gold.push(server.submit("gold", &protein).unwrap());
+        }
+        for _ in 0..3 {
+            server.submit("bronze", &protein).unwrap();
+        }
+        // Two nodes die: surviving capacity is 8 · 2/4 = 4 requests, but
+        // 6 are queued — the brownout sheds the 2 newest bronze ones.
+        server.kill_node(2);
+        server.kill_node(3);
+        assert_eq!(server.routable_nodes(), Some(2));
+        let responses = server.run_to_completion();
+        let browned: Vec<_> = responses
+            .iter()
+            .filter(|r| matches!(r.result, Err(FabpError::Brownout { .. })))
+            .collect();
+        assert_eq!(browned.len(), 2, "{responses:?}");
+        assert!(browned.iter().all(|r| r.tenant == "bronze"));
+        match &browned[0].result {
+            Err(FabpError::Brownout {
+                routable_nodes,
+                fleet_nodes,
+            }) => assert_eq!((*routable_nodes, *fleet_nodes), (2, 4)),
+            other => panic!("expected Brownout, got {other:?}"),
+        }
+        for id in gold {
+            let response = responses.iter().find(|r| r.id == id).unwrap();
+            assert!(response.result.is_ok(), "gold survives: {response:?}");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.brownout_shed, 2);
+        assert!(stats.failovers > 0, "dead replicas force failover");
+        assert!(server
+            .anomaly_dumps()
+            .iter()
+            .any(|d| d.reason == "brownout"));
     }
 
     #[test]

@@ -56,8 +56,8 @@ pub use snapshot::{
 pub use span::Span;
 pub use trace::{
     chrome_trace_for_events, splitmix64, FlightEvent, FlightRecorder, TraceContext, TraceEvent,
-    FLAG_CACHE_HIT, FLAG_CACHE_MISS, FLAG_ERROR, FLAG_RECOVERED, FLAG_RETRY, FLAG_SHED,
-    FLIGHT_RECORDER_CAPACITY, TRACE_NAME_MAX,
+    FLAG_CACHE_HIT, FLAG_CACHE_MISS, FLAG_CANCELLED, FLAG_ERROR, FLAG_HEDGE, FLAG_RECOVERED,
+    FLAG_RETRY, FLAG_SHED, FLIGHT_RECORDER_CAPACITY, TRACE_NAME_MAX,
 };
 
 /// Convenience: the global registry (enabled by default).

@@ -38,6 +38,10 @@ pub const FLAG_SHED: u32 = 1 << 3;
 pub const FLAG_ERROR: u32 = 1 << 4;
 /// Event flag: fault recovery ran while serving this request.
 pub const FLAG_RECOVERED: u32 = 1 << 5;
+/// Event flag: the span is a hedged duplicate of a primary read.
+pub const FLAG_HEDGE: u32 = 1 << 6;
+/// Event flag: the read lost the hedge race and was cancelled.
+pub const FLAG_CANCELLED: u32 = 1 << 7;
 
 /// SplitMix64: the id-mixing function behind trace/span id minting.
 /// Deterministic, dependency-free, and well distributed — the same

@@ -22,9 +22,11 @@
 //!   --tenants <n>            spread queries across n tenants (default 2)
 //!   --repeat <n>             submit the stream n times (default 1;
 //!                            repeats exercise the query cache)
-//!   --backend <software|cluster>  execution backend (default software)
+//!   --backend <software|cluster|fleet>  execution backend (default software)
 //!   --threads <n>            software batch workers (default 4)
-//!   --nodes <n>              cluster nodes (default 4)
+//!   --nodes <n>              cluster/fleet nodes (default 4)
+//!   --replication <n>        fleet replicas per shard (default 2;
+//!                            anti-affinity requires n <= nodes)
 //!   --threshold <0..1>       match fraction (default 0.9)
 //!   --queue-capacity <n>     admission-queue bound (default 1024)
 //!   --max-batch <n>          micro-batch cap (default 64)
@@ -33,7 +35,9 @@
 //!   --query-cache <n>        built-aligner/cluster cache entries (default 256)
 //!   --max-query-aa <n>       longest admissible query (default 128)
 //!   --resilience <off|detect|recover>  cluster fault handling
-//!   --inject-faults <spec>   cluster fault schedule, e.g. kill@1:50
+//!   --inject-faults <spec>   fault schedule, e.g. kill@1:50 (cluster:
+//!                            injected per dispatch; fleet: kill@ nodes
+//!                            are marked dead in the failure detector)
 //!   --stats                  print telemetry counters to stderr
 //!   --slo                    print the SLO burn-rate report to stderr
 //!   --metrics-out <path>     write Prometheus text exposition
@@ -69,6 +73,7 @@ struct Args {
     backend: String,
     threads: usize,
     nodes: usize,
+    replication: usize,
     threshold: f64,
     queue_capacity: usize,
     max_batch: usize,
@@ -91,8 +96,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: fabp-serve (--queries <q.faa> --reference <db.fna> | \
          --synthetic-bases <n> --synthetic-queries <n>) [--query-len 12] \
-         [--seed 1] [--tenants 2] [--repeat 1] [--backend software|cluster] \
-         [--threads 4] [--nodes 4] [--threshold 0.9] [--queue-capacity 1024] \
+         [--seed 1] [--tenants 2] [--repeat 1] \
+         [--backend software|cluster|fleet] [--threads 4] [--nodes 4] \
+         [--replication 2] [--threshold 0.9] [--queue-capacity 1024] \
          [--max-batch 64] [--slo-us 50000] [--deadline-us <n>] \
          [--query-cache 256] [--max-query-aa 128] \
          [--resilience off|detect|recover] [--inject-faults <spec>] \
@@ -130,6 +136,7 @@ fn parse_args() -> Args {
         backend: "software".to_string(),
         threads: 4,
         nodes: 4,
+        replication: 2,
         threshold: 0.9,
         queue_capacity: 1_024,
         max_batch: 64,
@@ -163,6 +170,7 @@ fn parse_args() -> Args {
             "--backend" => args.backend = value_for("--backend", &mut it),
             "--threads" => args.threads = parse_for("--threads", &mut it),
             "--nodes" => args.nodes = parse_for("--nodes", &mut it),
+            "--replication" => args.replication = parse_for("--replication", &mut it),
             "--threshold" => args.threshold = parse_for("--threshold", &mut it),
             "--queue-capacity" => args.queue_capacity = parse_for("--queue-capacity", &mut it),
             "--max-batch" => args.max_batch = parse_for("--max-batch", &mut it),
@@ -262,6 +270,11 @@ fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         "cluster" => ServeBackend::Cluster {
             nodes: args.nodes,
             resilience: args.resilience,
+            fault_spec: args.inject_faults.clone(),
+        },
+        "fleet" => ServeBackend::Fleet {
+            nodes: args.nodes,
+            replication: args.replication,
             fault_spec: args.inject_faults.clone(),
         },
         other => return Err(format!("unknown backend {other:?}").into()),
@@ -388,6 +401,18 @@ fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         stats.query_cache.hit_rate(),
         stats.reference_cache.hit_rate(),
     );
+    if args.backend == "fleet" {
+        eprintln!(
+            "# fleet: routable={}/{} hedges={} hedge_wins={} cancels={} failovers={} brownout_shed={}",
+            server.routable_nodes().unwrap_or(args.nodes),
+            args.nodes,
+            stats.hedges,
+            stats.hedge_wins,
+            stats.cancels,
+            stats.failovers,
+            stats.brownout_shed,
+        );
+    }
 
     if args.stats {
         let snap = registry.snapshot();

@@ -21,8 +21,10 @@
 //!   taxonomy used across the workspace.
 //! * [`serve`] — the production query-serving layer: bounded admission
 //!   with per-tenant fairness, adaptive micro-batching, content-hash
-//!   caches and deadline shedding over the core engines (see
-//!   `docs/SERVING.md`).
+//!   caches and deadline shedding over the core engines, plus the
+//!   replicated fault-tolerant fleet backend (health-driven routing,
+//!   hedged scatter/gather, drain and brownout — see
+//!   `docs/SERVING.md` and `docs/RESILIENCE.md`).
 //! * [`verify`] — static verification of the generated hardware: symbolic
 //!   bit-parallel equivalence against the golden semantics, X-propagation
 //!   reset proofs, and configuration-stream dataflow analysis on top of
@@ -31,6 +33,9 @@
 //! See `README.md` for a quickstart, `DESIGN.md` for the system
 //! inventory and experiment index, and `docs/RESILIENCE.md` for the
 //! fault-handling architecture.
+
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
 pub use fabp_baselines as baselines;
 pub use fabp_bio as bio;

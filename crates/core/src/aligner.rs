@@ -249,8 +249,10 @@ impl fmt::Debug for Backend {
 }
 
 /// Per-position best-score merge of multi-pass hit lists (both inputs
-/// position-sorted).
-fn merge_hits(mut base: Vec<Hit>, extra: Vec<Hit>) -> Vec<Hit> {
+/// position-sorted). `pub(crate)` so the sliced batch scheduler can
+/// reduce per-pass hit lists exactly the way [`FabpAligner::search`]
+/// does.
+pub(crate) fn merge_hits(mut base: Vec<Hit>, extra: Vec<Hit>) -> Vec<Hit> {
     let mut merged = Vec::with_capacity(base.len().max(extra.len()));
     let mut b = base.drain(..).peekable();
     let mut e = extra.into_iter().peekable();
@@ -347,6 +349,17 @@ impl FabpAligner {
         match &self.backend {
             Backend::Software(engines, _) => engines.len(),
             Backend::Cycle(engines) => engines.len(),
+        }
+    }
+
+    /// The software scan passes, when this aligner runs on the software
+    /// backend — the batch scheduler slices these across workers. `None`
+    /// for the cycle-accurate backend, whose per-run statistics must
+    /// accumulate inside a single whole-reference run.
+    pub(crate) fn software_passes(&self) -> Option<&[SoftwareEngine]> {
+        match &self.backend {
+            Backend::Software(engines, _) => Some(engines),
+            Backend::Cycle(_) => None,
         }
     }
 

@@ -1,31 +1,55 @@
-//! Multi-query batch search.
+//! Multi-query batch search over reference slices.
 //!
 //! The paper evaluates 10 000 queries against one resident database
 //! (§IV-A). On hardware, queries are searched one after another (the query
 //! lives in flip-flops; reloading it is microseconds against a
-//! multi-millisecond scan); in software we additionally parallelise across
-//! queries.
+//! multi-millisecond scan); in software we parallelise — and the unit of
+//! parallelism matters.
 //!
-//! Scheduling is **work-stealing** (an atomic claim index over the shared
-//! query queue) rather than static ceil-division chunking: a worker that
-//! draws cheap queries immediately steals the next unclaimed one, so one
-//! expensive query can no longer serialise the tail of the batch. The
-//! queue-depth and imbalance gauges are kept honest under stealing: depth
-//! now reports *unclaimed* work, and imbalance is measured from the
-//! per-worker claim counts the run actually produced.
+//! **Why per-query stealing failed (PR 4):** the previous scheduler stole
+//! whole queries from a shared atomic index. That granularity has two
+//! fatal shapes: with `queries < workers` the surplus workers idle (the
+//! degenerate 1 query × N workers case runs fully serial), and even with
+//! plenty of queries every worker re-streams the entire reference from
+//! DRAM for each claim, so the memory system — not the core count — sets
+//! the ceiling. `batch_parallel4_vs_serial` measured **0.98×**.
+//!
+//! **This scheduler steals `(query-group, reference-slice)` pairs.** A
+//! [`SlicePlan`](crate::slice_plan::SlicePlan) cuts the reference into
+//! cache-friendly slices with exactly `window − 1` bases of trailing
+//! overlap (the `shard_with_overlap` math), so per-slice scans partition
+//! the alignment-position space and
+//! [`merge_shard_hits`](crate::hits::merge_shard_hits) reassembles the
+//! serial hit list bit-identically — even for one query on many workers.
+//! Orthogonally, bit-parallel-eligible queries are packed into
+//! [`LANES`]-wide groups scored by one [`MultiQueryEngine`] pass per
+//! slice, amortising column decode and table evaluation across queries.
+//!
+//! Scheduling remains **work-stealing** (an atomic claim index over the
+//! flattened item list) rather than static chunking: a worker that draws
+//! cheap slices immediately steals the next unclaimed one. Telemetry is
+//! honest about utilisation: per-worker **busy-nanosecond histograms**
+//! (`fabp_batch_worker_busy_ns`) replace the old claim-count gauges that
+//! hid the 0.98× pathology, the imbalance gauge reports the busy-time
+//! spread in microseconds, and `fabp_batch_lane_occupancy_pct` exposes
+//! how full the SIMD lanes ran.
 
-use crate::aligner::{Engine, FabpAligner, SearchOutcome, Threshold};
+use crate::aligner::{merge_hits, Engine, FabpAligner, SearchOutcome, Threshold};
+use crate::bitparallel::{BitParallelEngine, MultiQueryEngine, LANES};
+use crate::hits::{merge_shard_hits, Hit};
+use crate::slice_plan::{SliceOptions, SlicePlan};
 use fabp_bio::seq::{ProteinSeq, RnaSeq};
 use fabp_resilience::{FabpError, FabpResult};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Searches every query against the reference, returning one outcome per
 /// query (input order preserved).
 ///
-/// `threads` parallelises across queries (each query's scan is serial, so
-/// total CPU use stays bounded). Workers claim queries from a shared
-/// atomic index — no query is lost or duplicated regardless of per-query
-/// cost skew or `threads > queries`.
+/// `threads` parallelises across `(query-group, reference-slice)` work
+/// items (see the module docs) — no query or slice is lost or duplicated
+/// regardless of per-query cost skew, `threads > queries`, or slice
+/// boundaries straddling match windows.
 ///
 /// # Errors
 ///
@@ -69,95 +93,500 @@ pub fn search_all_prebuilt<A: std::borrow::Borrow<FabpAligner> + Sync>(
     reference: &RnaSeq,
     threads: usize,
 ) -> FabpResult<Vec<SearchOutcome>> {
-    let threads = threads.max(1).min(aligners.len().max(1));
-    if threads <= 1 {
-        return Ok(aligners
+    search_all_prebuilt_with_stats(aligners, reference, threads, SliceOptions::default())
+        .map(|(outcomes, _)| outcomes)
+}
+
+/// How the scheduler actually ran one batch: work-item mix, lane packing
+/// and the per-worker busy time the critical-path analysis needs.
+///
+/// Busy time is what the old claim-count gauges could not show: with
+/// per-query stealing, `1 query × 4 workers` reported a perfectly
+/// balanced `1/0/0/0` claim split while three workers did nothing. The
+/// busy-nanosecond vector makes that pathology (and its fix) measurable:
+/// the batch's critical path is `max(per_worker_busy_ns)`, and speedup
+/// over serial is `serial_ns / max(per_worker_busy_ns)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchRunStats {
+    /// Workers actually spawned (≤ requested threads).
+    pub workers: usize,
+    /// Total work items scheduled.
+    pub items: usize,
+    /// Items that were lane-group reference slices.
+    pub group_slices: usize,
+    /// Items that were scalar `(query, pass)` reference slices.
+    pub scalar_slices: usize,
+    /// Items that were whole queries (cycle-accurate backend).
+    pub whole_queries: usize,
+    /// Multi-query lane groups formed.
+    pub lane_groups: usize,
+    /// Occupied lanes as a percentage of `lane_groups × LANES`
+    /// (100.0 when every group is full; 0.0 when no groups formed).
+    pub lane_occupancy_pct: f64,
+    /// Busy CPU nanoseconds per worker (thread CPU time spent inside
+    /// claimed items — immune to preemption on oversubscribed hosts).
+    pub per_worker_busy_ns: Vec<u64>,
+}
+
+impl BatchRunStats {
+    /// The batch's critical path: the busiest worker's busy time.
+    pub fn critical_path_ns(&self) -> u64 {
+        self.per_worker_busy_ns.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// One schedulable unit of batch work.
+enum WorkItem {
+    /// Scan one reference slice for one multi-query lane group.
+    GroupSlice { group: usize, slice: usize },
+    /// Scan positions `start..end` for one scalar software pass.
+    ScalarSlice {
+        query: usize,
+        pass: usize,
+        start: usize,
+        end: usize,
+    },
+    /// Run one whole query (cycle-accurate backend: its per-run
+    /// statistics must accumulate inside a single run).
+    Whole { query: usize },
+}
+
+/// The engine scoring one lane group's slices.
+enum GroupEngine {
+    /// Ragged tail of one query: the plain fused scan (cheaper than a
+    /// one-lane multi-query pass, which still ripples [`LANES`] counter
+    /// words).
+    Single(BitParallelEngine),
+    /// 2 ..= [`LANES`] queries per pass.
+    Multi(MultiQueryEngine),
+}
+
+/// A group of bit-parallel-eligible queries scanned together.
+struct LaneGroup {
+    /// Query indices (into `aligners`), one per lane.
+    members: Vec<usize>,
+    /// Per-lane absolute thresholds.
+    thresholds: Vec<u32>,
+    engine: GroupEngine,
+    /// Slices planned against the group-maximum window.
+    plan: SlicePlan,
+}
+
+/// What one claimed item produced.
+enum ItemResult {
+    GroupSlice {
+        group: usize,
+        /// Position-translated hits, one vector per lane.
+        per_lane: Vec<Vec<Hit>>,
+    },
+    ScalarSlice {
+        query: usize,
+        pass: usize,
+        hits: Vec<Hit>,
+    },
+    Whole {
+        query: usize,
+        outcome: SearchOutcome,
+    },
+}
+
+/// CPU nanoseconds consumed by the calling thread
+/// (`CLOCK_THREAD_CPUTIME_ID`).
+///
+/// Busy time must be CPU time, not wall time: on a host with fewer
+/// cores than workers, a worker preempted mid-item would be charged
+/// wall-clock for cycles *another* worker consumed, every worker's
+/// "busy" time would converge on the total wall time, and
+/// [`BatchRunStats::critical_path_ns`] would degenerate to the serial
+/// time. The thread CPU clock counts only cycles this thread actually
+/// executed, so the critical path stays meaningful on any core count.
+#[cfg(target_os = "linux")]
+fn thread_cpu_ns() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: `ts` is a valid writable timespec and the clock id is a
+    // constant every Linux kernel supports.
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    if rc == 0 {
+        ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+    } else {
+        0
+    }
+}
+
+/// Wall-clock fallback where no per-thread CPU clock is exposed.
+#[cfg(not(target_os = "linux"))]
+fn thread_cpu_ns() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// [`search_all_prebuilt`] with explicit slice sizing and scheduler
+/// statistics — the benchmarking and property-testing entry point (the
+/// proptest matrix draws `options` to force slice boundaries through
+/// match windows).
+///
+/// # Errors
+///
+/// [`FabpError::Internal`] only on a scheduler invariant violation.
+pub fn search_all_prebuilt_with_stats<A: std::borrow::Borrow<FabpAligner> + Sync>(
+    aligners: &[A],
+    reference: &RnaSeq,
+    threads: usize,
+    options: SliceOptions,
+) -> FabpResult<(Vec<SearchOutcome>, BatchRunStats)> {
+    let threads = threads.max(1);
+    if threads <= 1 || aligners.is_empty() {
+        let start = Instant::now();
+        let outcomes: Vec<SearchOutcome> = aligners
             .iter()
             .map(|a| a.borrow().search(reference))
-            .collect());
+            .collect();
+        let stats = BatchRunStats {
+            workers: 1,
+            items: aligners.len(),
+            whole_queries: aligners.len(),
+            per_worker_busy_ns: vec![start.elapsed().as_nanos() as u64],
+            ..BatchRunStats::default()
+        };
+        return Ok((outcomes, stats));
+    }
+
+    // Classify queries: bit-parallel-eligible single-pass software
+    // queries become lane-group candidates; other software queries
+    // (multi-pass extended-Ser, or unsupported patterns) scan
+    // scalar-sliced; cycle-accurate queries stay whole.
+    let mut candidates: Vec<(usize, BitParallelEngine)> = Vec::new();
+    let mut scalar: Vec<usize> = Vec::new();
+    let mut whole: Vec<usize> = Vec::new();
+    for (q, a) in aligners.iter().enumerate() {
+        let a = a.borrow();
+        match a.software_passes() {
+            None => whole.push(q),
+            Some(passes) => {
+                let eligible = if passes.len() == 1 {
+                    BitParallelEngine::new(a.query()).ok()
+                } else {
+                    None
+                };
+                match eligible {
+                    Some(engine) => candidates.push((q, engine)),
+                    None => scalar.push(q),
+                }
+            }
+        }
+    }
+
+    // Pack candidates into LANES-wide groups, each with its own slice
+    // plan against the group-maximum window.
+    let lane_capacity = candidates.len().div_ceil(LANES) * LANES;
+    let occupied_lanes = candidates.len();
+    let mut groups: Vec<LaneGroup> = Vec::new();
+    while !candidates.is_empty() {
+        let take = candidates.len().min(LANES);
+        let chunk: Vec<(usize, BitParallelEngine)> = candidates.drain(..take).collect();
+        let members: Vec<usize> = chunk.iter().map(|&(q, _)| q).collect();
+        let thresholds: Vec<u32> = members
+            .iter()
+            .map(|&q| aligners[q].borrow().threshold())
+            .collect();
+        let (engine, window) = if chunk.len() == 1 {
+            let (_, single) = &chunk[0];
+            let window = single.query_len();
+            (GroupEngine::Single(single.clone()), window)
+        } else {
+            let queries: Vec<_> = members
+                .iter()
+                .map(|&q| aligners[q].borrow().query())
+                .collect();
+            // Eligibility was verified per query above, so the union
+            // build cannot fail; degrade to an invariant error if it
+            // somehow does rather than panicking mid-batch.
+            let multi = MultiQueryEngine::new(&queries).map_err(|e| {
+                FabpError::Internal(format!("lane-group build failed after eligibility: {e}"))
+            })?;
+            let window = multi.max_query_len();
+            (GroupEngine::Multi(multi), window)
+        };
+        let plan = SlicePlan::build(reference.len(), window.max(1), threads, options);
+        groups.push(LaneGroup {
+            members,
+            thresholds,
+            engine,
+            plan,
+        });
+    }
+
+    // Flatten every unit of work into one steal queue. Scalar passes get
+    // their own per-pass plans (extended-Ser passes may differ in
+    // length); vacuous slices (no positions) schedule nothing.
+    let mut items: Vec<WorkItem> = Vec::new();
+    for (g, group) in groups.iter().enumerate() {
+        for (s, slice) in group.plan.slices().iter().enumerate() {
+            if slice.positions > 0 {
+                items.push(WorkItem::GroupSlice { group: g, slice: s });
+            }
+        }
+    }
+    for &q in &scalar {
+        if let Some(passes) = aligners[q].borrow().software_passes() {
+            for (pass, engine) in passes.iter().enumerate() {
+                let plan =
+                    SlicePlan::build(reference.len(), engine.query_len().max(1), threads, options);
+                for slice in plan.slices() {
+                    if slice.positions > 0 {
+                        items.push(WorkItem::ScalarSlice {
+                            query: q,
+                            pass,
+                            start: slice.start,
+                            end: slice.start + slice.positions,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for &q in &whole {
+        items.push(WorkItem::Whole { query: q });
     }
 
     // Telemetry handles are resolved once per batch, before any worker
-    // spawns — the hot claim loop pays only atomic ops, never a registry
-    // lookup.
+    // spawns — the hot claim loop pays only atomic ops and one CPU-clock
+    // read per item, never a registry lookup.
     let telemetry = fabp_telemetry::Registry::global();
     let pending_gauge = telemetry.gauge(
         "fabp_batch_queue_depth",
-        "Queries not yet claimed from the shared work-stealing queue",
+        "Work items not yet claimed from the shared work-stealing queue",
     );
     let imbalance_gauge = telemetry.gauge(
         "fabp_batch_queue_imbalance",
-        "Largest minus smallest per-worker query count in the last batch",
+        "Busiest minus idlest per-worker busy time in the last batch, microseconds",
     );
-    let worker_depth_gauges: Vec<_> = (0..threads)
+    let occupancy_gauge = telemetry.gauge(
+        "fabp_batch_lane_occupancy_pct",
+        "Occupied SIMD lanes as a percentage of lane-group capacity in the last batch",
+    );
+    let items_ctr = telemetry.counter(
+        "fabp_batch_items_claimed_total",
+        "Work items (reference slices or whole queries) claimed from the batch queue",
+    );
+    let slice_steals_ctr = telemetry.counter(
+        "fabp_batch_slice_steals_total",
+        "Reference-slice work items stolen by batch workers",
+    );
+    let busy_hists: Vec<_> = (0..threads.min(items.len().max(1)))
         .map(|w| {
-            telemetry.gauge_with(
-                "fabp_batch_worker_queue_depth",
-                "Queries claimed but not yet finished per batch worker",
+            telemetry.histogram_with(
+                "fabp_batch_worker_busy_ns",
+                "CPU nanoseconds each batch worker spent inside claimed work items",
                 fabp_telemetry::labels(&[("worker", &w.to_string())]),
             )
         })
         .collect();
-    let steals_ctr = telemetry.counter(
-        "fabp_batch_queries_claimed_total",
-        "Queries claimed from the shared batch queue",
-    );
 
+    let workers = threads.min(items.len().max(1));
     let next = AtomicUsize::new(0);
-    pending_gauge.set(aligners.len() as i64);
+    pending_gauge.set(items.len() as i64);
 
-    let mut per_worker: Vec<Vec<(usize, SearchOutcome)>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                let next = &next;
-                let aligners = &aligners;
-                let depth = &worker_depth_gauges[w];
-                let pending = &pending_gauge;
-                let steals = &steals_ctr;
-                scope.spawn(move || {
-                    let mut claimed: Vec<(usize, SearchOutcome)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= aligners.len() {
-                            break;
-                        }
-                        pending.dec();
-                        steals.inc();
-                        depth.set(1);
-                        claimed.push((i, aligners[i].borrow().search(reference)));
-                        depth.set(0);
+    let run_item = |item: &WorkItem| -> ItemResult {
+        match *item {
+            WorkItem::GroupSlice { group, slice } => {
+                let g = &groups[group];
+                let s = g.plan.slices()[slice];
+                let sub = &reference.as_slice()[s.start..s.end];
+                let mut per_lane = match &g.engine {
+                    GroupEngine::Single(engine) => vec![engine.search(sub, g.thresholds[0])],
+                    GroupEngine::Multi(engine) => engine.search(sub, &g.thresholds),
+                };
+                for lane in &mut per_lane {
+                    for hit in lane.iter_mut() {
+                        hit.position += s.start;
                     }
-                    claimed
-                })
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(claimed) => per_worker.push(claimed),
-                // Forward a worker panic instead of masking it behind a
-                // generic `expect` message.
-                Err(payload) => std::panic::resume_unwind(payload),
+                }
+                ItemResult::GroupSlice { group, per_lane }
             }
+            WorkItem::ScalarSlice {
+                query,
+                pass,
+                start,
+                end,
+            } => {
+                let aligner = aligners[query].borrow();
+                let hits = match aligner.software_passes() {
+                    Some(passes) => passes[pass].search_range(
+                        reference.as_slice(),
+                        aligner.threshold(),
+                        start,
+                        end,
+                    ),
+                    None => Vec::new(), // unreachable: items built from software passes
+                };
+                ItemResult::ScalarSlice { query, pass, hits }
+            }
+            WorkItem::Whole { query } => ItemResult::Whole {
+                query,
+                outcome: aligners[query].borrow().search(reference),
+            },
         }
-    });
+    };
 
-    // Imbalance as actually realised by stealing (typically 0 or 1 when
-    // costs are uniform; larger only when one query dominated a worker).
-    let max_claims = per_worker.iter().map(Vec::len).max().unwrap_or(0);
-    let min_claims = per_worker.iter().map(Vec::len).min().unwrap_or(0);
-    imbalance_gauge.set((max_claims - min_claims) as i64);
+    let mut per_worker: Vec<(Vec<ItemResult>, u64)> = Vec::with_capacity(workers);
+    if !items.is_empty() {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let next = &next;
+                    let items = &items;
+                    let run_item = &run_item;
+                    let pending = &pending_gauge;
+                    let items_ctr = &items_ctr;
+                    let slice_steals = &slice_steals_ctr;
+                    let busy_hist = &busy_hists[w];
+                    scope.spawn(move || {
+                        let mut results: Vec<ItemResult> = Vec::new();
+                        let mut busy_ns: u64 = 0;
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            pending.dec();
+                            items_ctr.inc();
+                            if !matches!(items[i], WorkItem::Whole { .. }) {
+                                slice_steals.inc();
+                            }
+                            let started = thread_cpu_ns();
+                            results.push(run_item(&items[i]));
+                            let ns = thread_cpu_ns().saturating_sub(started);
+                            busy_ns += ns;
+                            busy_hist.observe(ns);
+                        }
+                        (results, busy_ns)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(worker_out) => per_worker.push(worker_out),
+                    // Forward a worker panic instead of masking it behind a
+                    // generic `expect` message.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+    }
 
+    // Honest utilisation telemetry: busy-time spread, not claim counts.
+    let busy: Vec<u64> = per_worker.iter().map(|(_, ns)| *ns).collect();
+    let max_busy = busy.iter().copied().max().unwrap_or(0);
+    let min_busy = busy.iter().copied().min().unwrap_or(0);
+    imbalance_gauge.set(((max_busy - min_busy) / 1_000) as i64);
+    let lane_occupancy_pct = if lane_capacity > 0 {
+        occupied_lanes as f64 * 100.0 / lane_capacity as f64
+    } else {
+        0.0
+    };
+    occupancy_gauge.set(lane_occupancy_pct.round() as i64);
+
+    // Reassemble per-query outcomes from the slice results.
+    let mut group_acc: Vec<Vec<Vec<Vec<Hit>>>> = groups
+        .iter()
+        .map(|g| vec![Vec::new(); g.members.len()])
+        .collect();
+    let mut scalar_acc: Vec<Vec<Vec<Vec<Hit>>>> = aligners
+        .iter()
+        .enumerate()
+        .map(|(q, a)| {
+            if scalar.contains(&q) {
+                vec![Vec::new(); a.borrow().passes()]
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
     let mut outcomes: Vec<Option<SearchOutcome>> = Vec::new();
     outcomes.resize_with(aligners.len(), || None);
-    for (i, outcome) in per_worker.into_iter().flatten() {
-        if outcomes[i].replace(outcome).is_some() {
+
+    let mut group_slices = 0usize;
+    let mut scalar_slices = 0usize;
+    for result in per_worker.into_iter().flat_map(|(results, _)| results) {
+        match result {
+            ItemResult::GroupSlice { group, per_lane } => {
+                group_slices += 1;
+                for (lane, hits) in per_lane.into_iter().enumerate() {
+                    group_acc[group][lane].push(hits);
+                }
+            }
+            ItemResult::ScalarSlice { query, pass, hits } => {
+                scalar_slices += 1;
+                scalar_acc[query][pass].push(hits);
+            }
+            ItemResult::Whole { query, outcome } => {
+                if outcomes[query].replace(outcome).is_some() {
+                    return Err(FabpError::Internal(format!(
+                        "batch workers produced outcome slot {query} twice"
+                    )));
+                }
+            }
+        }
+    }
+
+    // Lane groups: slices arrive in steal order; the shard merge restores
+    // position order and drops the exact boundary duplicates shorter
+    // lanes re-report across slice overlaps.
+    for (g, group) in groups.iter().enumerate() {
+        for (lane, &q) in group.members.iter().enumerate() {
+            let hits = merge_shard_hits(std::mem::take(&mut group_acc[g][lane]));
+            let aligner = aligners[q].borrow();
+            let outcome = SearchOutcome {
+                hits,
+                threshold: aligner.threshold(),
+                query_len: aligner.query().len(),
+                stats: None,
+            };
+            if outcomes[q].replace(outcome).is_some() {
+                return Err(FabpError::Internal(format!(
+                    "batch workers produced outcome slot {q} twice"
+                )));
+            }
+        }
+    }
+    // Scalar queries: merge slices within each pass, then reduce passes
+    // with the same best-score merge the serial aligner uses.
+    for &q in &scalar {
+        let per_pass = std::mem::take(&mut scalar_acc[q]);
+        let hits = per_pass
+            .into_iter()
+            .map(merge_shard_hits)
+            .reduce(merge_hits)
+            .unwrap_or_default();
+        let aligner = aligners[q].borrow();
+        let outcome = SearchOutcome {
+            hits,
+            threshold: aligner.threshold(),
+            query_len: aligner.query().len(),
+            stats: None,
+        };
+        if outcomes[q].replace(outcome).is_some() {
             return Err(FabpError::Internal(format!(
-                "batch workers produced outcome slot {i} twice"
+                "batch workers produced outcome slot {q} twice"
             )));
         }
     }
-    outcomes
+
+    let outcomes = outcomes
         .into_iter()
         .enumerate()
         .map(|(i, o)| {
@@ -165,7 +594,19 @@ pub fn search_all_prebuilt<A: std::borrow::Borrow<FabpAligner> + Sync>(
                 FabpError::Internal(format!("batch worker left outcome slot {i} unfilled"))
             })
         })
-        .collect()
+        .collect::<FabpResult<Vec<SearchOutcome>>>()?;
+
+    let stats = BatchRunStats {
+        workers,
+        items: items.len(),
+        group_slices,
+        scalar_slices,
+        whole_queries: whole.len(),
+        lane_groups: groups.len(),
+        lane_occupancy_pct,
+        per_worker_busy_ns: busy,
+    };
+    Ok((outcomes, stats))
 }
 
 /// Summary of a batch run: how many queries produced at least one hit.
@@ -194,6 +635,12 @@ mod tests {
     use fabp_bio::generate::{random_protein, PlantedDatabase, PlantedDatabaseConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// Small slices so even test-sized references exercise real stealing.
+    const TEST_SLICES: SliceOptions = SliceOptions {
+        slices_per_worker: 2,
+        min_slice_positions: 256,
+    };
 
     #[test]
     fn batch_finds_every_planted_query() {
@@ -243,9 +690,123 @@ mod tests {
     }
 
     #[test]
+    fn one_query_many_workers_is_sliced_and_exact() {
+        // The shape per-query stealing could not touch: one query, eight
+        // workers. The sliced scheduler must fan the reference out across
+        // all workers and still match serial bit-for-bit.
+        let mut rng = StdRng::seed_from_u64(76);
+        let queries = [random_protein(20, &mut rng)];
+        let reference = fabp_bio::generate::random_rna(50_000, &mut rng);
+        let aligners: Vec<FabpAligner> = queries
+            .iter()
+            .map(|q| {
+                FabpAligner::builder()
+                    .protein_query(q)
+                    .threshold(Threshold::Fraction(0.7))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let serial = search_all_prebuilt(&aligners, &reference, 1).unwrap();
+        let (sliced, stats) =
+            search_all_prebuilt_with_stats(&aligners, &reference, 8, TEST_SLICES).unwrap();
+        assert_eq!(serial[0].hits, sliced[0].hits);
+        assert!(
+            stats.items >= 8,
+            "1 query × 8 workers must schedule ≥ 8 slices, got {}",
+            stats.items
+        );
+        assert_eq!(stats.group_slices, stats.items);
+        assert_eq!(stats.lane_groups, 1);
+        assert_eq!(stats.workers, 8);
+        assert_eq!(stats.per_worker_busy_ns.len(), 8);
+    }
+
+    #[test]
+    fn lane_groups_are_packed_and_exact() {
+        // 9 queries → two full LANES-wide groups plus a single-lane tail;
+        // every lane must match its serial outcome.
+        let mut rng = StdRng::seed_from_u64(77);
+        let queries: Vec<_> = (0..9).map(|i| random_protein(8 + i, &mut rng)).collect();
+        let reference = fabp_bio::generate::random_rna(20_000, &mut rng);
+        let aligners: Vec<FabpAligner> = queries
+            .iter()
+            .map(|q| {
+                FabpAligner::builder()
+                    .protein_query(q)
+                    .threshold(Threshold::Fraction(0.6))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let serial = search_all_prebuilt(&aligners, &reference, 1).unwrap();
+        let (sliced, stats) =
+            search_all_prebuilt_with_stats(&aligners, &reference, 4, TEST_SLICES).unwrap();
+        for (i, (a, b)) in serial.iter().zip(&sliced).enumerate() {
+            assert_eq!(a.hits, b.hits, "query {i}");
+        }
+        assert_eq!(stats.lane_groups, 3);
+        assert!((stats.lane_occupancy_pct - 75.0).abs() < 1e-9); // 9 of 12 lanes
+    }
+
+    #[test]
+    fn extended_ser_batch_goes_scalar_sliced_and_exact() {
+        use fabp_bio::backtranslate::BackTranslationMode;
+        let mut rng = StdRng::seed_from_u64(78);
+        let protein: fabp_bio::seq::ProteinSeq = "MSSKWVF".parse().unwrap();
+        let reference = fabp_bio::generate::random_rna(15_000, &mut rng);
+        let aligner = FabpAligner::builder()
+            .protein_query(&protein)
+            .threshold(Threshold::Fraction(0.6))
+            .mode(BackTranslationMode::ExtendedSer)
+            .build()
+            .unwrap();
+        assert_eq!(aligner.passes(), 3);
+        let serial = aligner.search(&reference);
+        let (sliced, stats) =
+            search_all_prebuilt_with_stats(&[&aligner], &reference, 4, TEST_SLICES).unwrap();
+        assert_eq!(serial.hits, sliced[0].hits);
+        assert_eq!(stats.group_slices, 0, "multi-pass queries must go scalar");
+        assert!(stats.scalar_slices >= 3, "one plan per pass");
+    }
+
+    #[test]
+    fn mixed_backends_in_one_batch_are_exact() {
+        // Software and cycle-accurate aligners in one batch: the cycle
+        // query stays whole (stats intact), software queries slice.
+        let mut rng = StdRng::seed_from_u64(79);
+        let p1 = random_protein(10, &mut rng);
+        let p2 = random_protein(12, &mut rng);
+        let reference = fabp_bio::generate::random_rna(6_000, &mut rng);
+        let soft = FabpAligner::builder()
+            .protein_query(&p1)
+            .threshold(Threshold::Fraction(0.6))
+            .build()
+            .unwrap();
+        let cycle = FabpAligner::builder()
+            .protein_query(&p2)
+            .threshold(Threshold::Fraction(0.6))
+            .engine(Engine::CycleAccurate(Box::new(
+                fabp_fpga::engine::EngineConfig::kintex7(0),
+            )))
+            .build()
+            .unwrap();
+        let serial_soft = soft.search(&reference);
+        let serial_cycle = cycle.search(&reference);
+        let (batch, stats) =
+            search_all_prebuilt_with_stats(&[&soft, &cycle], &reference, 4, TEST_SLICES).unwrap();
+        assert_eq!(batch[0].hits, serial_soft.hits);
+        assert_eq!(batch[1].hits, serial_cycle.hits);
+        assert!(batch[1].stats.is_some(), "cycle stats must survive");
+        assert_eq!(stats.whole_queries, 1);
+        assert!(stats.group_slices >= 1);
+    }
+
+    #[test]
     fn more_threads_than_queries_loses_nothing() {
-        // threads > queries: the overshooting workers must claim nothing
-        // and every query must appear exactly once, in input order.
+        // threads > queries: the surplus workers now eat reference slices
+        // instead of idling, and every query appears exactly once, in
+        // input order.
         let mut rng = StdRng::seed_from_u64(73);
         let db = PlantedDatabase::generate(
             &PlantedDatabaseConfig {
@@ -268,7 +829,7 @@ mod tests {
     fn adversarial_cost_skew_is_exact() {
         // One query is ~20× more expensive than the rest (long query over
         // the same reference); under static chunking the worker that drew
-        // it would also own a chunk of cheap queries. Work-stealing must
+        // it would also own a chunk of cheap queries. Slice stealing must
         // still return every outcome, input-ordered, identical to serial.
         let mut rng = StdRng::seed_from_u64(74);
         let mut queries = vec![random_protein(120, &mut rng)];
@@ -285,7 +846,7 @@ mod tests {
     }
 
     #[test]
-    fn queue_gauges_are_exported_under_stealing() {
+    fn honest_telemetry_is_exported_under_slice_stealing() {
         let mut rng = StdRng::seed_from_u64(75);
         let db = PlantedDatabase::generate(
             &PlantedDatabaseConfig {
@@ -299,10 +860,14 @@ mod tests {
         search_all(&db.queries, &db.reference, Threshold::Fraction(0.9), 3).unwrap();
         let snapshot = fabp_telemetry::Registry::global().snapshot();
         let text = snapshot.to_prometheus();
-        assert!(text.contains("fabp_batch_queue_imbalance"));
-        assert!(text.contains("fabp_batch_worker_queue_depth"));
         assert!(text.contains("fabp_batch_queue_depth"));
-        assert!(text.contains("fabp_batch_queries_claimed_total"));
+        assert!(text.contains("fabp_batch_queue_imbalance"));
+        assert!(text.contains("fabp_batch_lane_occupancy_pct"));
+        assert!(text.contains("fabp_batch_items_claimed_total"));
+        assert!(text.contains("fabp_batch_slice_steals_total"));
+        // The satellite fix: busy-time histograms, not claim-count gauges.
+        assert!(text.contains("fabp_batch_worker_busy_ns"));
+        assert!(!text.contains("fabp_batch_worker_queue_depth"));
     }
 
     #[test]
@@ -311,6 +876,16 @@ mod tests {
         let outcomes = search_all(&[], &reference, Threshold::Absolute(0), 4).unwrap();
         assert!(outcomes.is_empty());
         assert_eq!(summarize(&outcomes).queries, 0);
+    }
+
+    #[test]
+    fn empty_reference_yields_empty_outcomes() {
+        let mut rng = StdRng::seed_from_u64(80);
+        let queries = vec![random_protein(5, &mut rng), random_protein(7, &mut rng)];
+        let reference = RnaSeq::new();
+        let outcomes = search_all(&queries, &reference, Threshold::Absolute(1), 4).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.hits.is_empty()));
     }
 
     #[test]

@@ -128,43 +128,17 @@ impl BitParallelEngine {
         registry: &Registry,
     ) -> Result<BitParallelEngine, UnsupportedQuery> {
         assert!(!query.is_empty(), "query must be non-empty");
-        let elements = query.decode();
+        let per_element = fused_element_tables(query)?;
         let mut tables: Vec<u64> = Vec::new();
-        let mut element_table = Vec::with_capacity(elements.len());
-
-        for (i, &element) in elements.elements().iter().enumerate() {
-            if i < 2 {
-                if let PatternElement::Dependent(f) = element {
-                    if f != DependentFn::Any {
-                        return Err(UnsupportedQuery { element_index: i });
-                    }
-                }
-            }
-            // Fused 64-entry table over absolute context
-            // ctx = prev2 << 4 | prev1 << 2 | cur.
-            let mut table = 0u64;
-            for ctx in 0..64u8 {
-                let cur = Nucleotide::from_code2(ctx & 0b11);
-                let prev1 = Some(Nucleotide::from_code2((ctx >> 2) & 0b11));
-                let prev2 = Some(Nucleotide::from_code2((ctx >> 4) & 0b11));
-                if element.matches(cur, prev1, prev2) {
-                    table |= 1 << ctx;
-                }
-            }
-            let slot = match tables.iter().position(|&t| t == table) {
-                Some(slot) => slot,
-                None => {
-                    tables.push(table);
-                    tables.len() - 1
-                }
-            };
-            element_table.push(slot as u16);
+        let mut element_table = Vec::with_capacity(per_element.len());
+        for table in per_element {
+            element_table.push(intern_table(&mut tables, table));
         }
 
         debug_assert!(tables.len() <= MAX_TABLES, "{} fused tables", tables.len());
         let evals: Vec<TableEval> = tables.iter().map(|&t| TableEval::plan(t)).collect();
 
-        let query_len = elements.len();
+        let query_len = element_table.len();
         let nplanes = (usize::BITS - query_len.leading_zeros()) as usize;
         let engine = labels(&[("engine", "bitparallel")]);
         Ok(BitParallelEngine {
@@ -440,6 +414,369 @@ impl BitParallelEngine {
             block_base += 64;
         }
         hits
+    }
+}
+
+/// Queries scored per pass by [`MultiQueryEngine`]: the SIMD width of the
+/// portable `[u64; 4]` lane abstraction (one 256-bit AVX2 register's
+/// worth of 64-bit words; the element-wise array loops below are
+/// auto-vectorized on targets that have the registers, and compile to
+/// four scalar ops on targets that do not).
+pub const LANES: usize = 4;
+
+/// Per-element fused 64-entry comparator tables for one encoded query
+/// (bit `ctx = prev2 << 4 | prev1 << 2 | cur`), validating that no
+/// context-dependent element sits at index 0 or 1.
+fn fused_element_tables(query: &EncodedQuery) -> Result<Vec<u64>, UnsupportedQuery> {
+    let elements = query.decode();
+    let mut tables = Vec::with_capacity(elements.len());
+    for (i, &element) in elements.elements().iter().enumerate() {
+        if i < 2 {
+            if let PatternElement::Dependent(f) = element {
+                if f != DependentFn::Any {
+                    return Err(UnsupportedQuery { element_index: i });
+                }
+            }
+        }
+        let mut table = 0u64;
+        for ctx in 0..64u8 {
+            let cur = Nucleotide::from_code2(ctx & 0b11);
+            let prev1 = Some(Nucleotide::from_code2((ctx >> 2) & 0b11));
+            let prev2 = Some(Nucleotide::from_code2((ctx >> 4) & 0b11));
+            if element.matches(cur, prev1, prev2) {
+                table |= 1 << ctx;
+            }
+        }
+        tables.push(table);
+    }
+    Ok(tables)
+}
+
+/// Interns `table` into `tables`, returning its slot.
+fn intern_table(tables: &mut Vec<u64>, table: u64) -> u16 {
+    match tables.iter().position(|&t| t == table) {
+        Some(slot) => slot as u16,
+        None => {
+            tables.push(table);
+            (tables.len() - 1) as u16
+        }
+    }
+}
+
+/// One query's view of a [`MultiQueryEngine`] lane.
+#[derive(Debug, Clone)]
+struct LaneQuery {
+    /// Per query element: slot into the engine's *union* table set.
+    element_table: Vec<u16>,
+    query_len: usize,
+    /// Counter planes a single-query engine would use for this query —
+    /// determines the saturated-score cap, matching
+    /// [`BitParallelEngine`] bit-for-bit.
+    nplanes: usize,
+}
+
+/// Multi-query bit-sliced engine: scores up to [`LANES`] queries in one
+/// fused pass over a single decoded column stream.
+///
+/// This is the software analogue of the paper's FPGA running many
+/// alignment instances against one streamed reference: the expensive
+/// per-reference work — packing 64 bases into nucleotide bit-planes,
+/// expanding the one-hot current/prev1/prev2 lane masks, and evaluating
+/// every distinct comparator table through its factored [`TableEval`]
+/// plan — is paid **once per tile** and shared by all lanes, because the
+/// lanes' fused tables are interned into one *union* table set
+/// (protein-derived queries draw from at most [`MAX_TABLES`] distinct
+/// tables total, so four queries' union is no wider than one query's
+/// worst case). Only the per-element counter accumulation remains
+/// per-query: each 64-position block of the hot tile is scored by every
+/// lane in turn, each lane running the exact single-query vertical
+/// counter loop — its own plane count, carry exit and early abandon —
+/// so the shared fill is amortised without giving up any per-lane
+/// control-flow shortcut.
+///
+/// Each lane's hit list is bit-identical to what its own
+/// [`BitParallelEngine::search`] / [`BitParallelEngine::search_two_pass`]
+/// would report (property-tested), including per-lane thresholds,
+/// per-lane early abandon, and per-lane score saturation. Lanes with
+/// different query lengths are supported: shorter lanes simply stop
+/// contributing columns once their elements are exhausted, and their
+/// counters freeze until extraction.
+#[derive(Debug, Clone)]
+pub struct MultiQueryEngine {
+    /// Union of the lanes' distinct fused tables.
+    tables: Vec<u64>,
+    evals: Vec<TableEval>,
+    lanes: Vec<LaneQuery>,
+    max_qlen: usize,
+    queries_ctr: Counter,
+    residues_ctr: Counter,
+    hits_ctr: Counter,
+}
+
+impl MultiQueryEngine {
+    /// Builds a multi-query engine over `queries` (1 ..= [`LANES`] of
+    /// them; telemetry goes to the global registry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedQuery`] when any query has a
+    /// context-dependent element at index 0 or 1 (impossible for
+    /// protein-derived queries) — the caller falls back to per-query
+    /// scalar scanning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty, longer than [`LANES`], or contains
+    /// an empty query.
+    pub fn new(queries: &[&EncodedQuery]) -> Result<MultiQueryEngine, UnsupportedQuery> {
+        MultiQueryEngine::with_registry(queries, Registry::global())
+    }
+
+    /// Builds the engine, publishing telemetry to `registry`. See
+    /// [`MultiQueryEngine::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedQuery`] when any query has a
+    /// context-dependent element at index 0 or 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty, longer than [`LANES`], or contains
+    /// an empty query.
+    pub fn with_registry(
+        queries: &[&EncodedQuery],
+        registry: &Registry,
+    ) -> Result<MultiQueryEngine, UnsupportedQuery> {
+        assert!(
+            !queries.is_empty() && queries.len() <= LANES,
+            "1..={LANES} queries per multi-query engine, got {}",
+            queries.len()
+        );
+        let mut tables: Vec<u64> = Vec::new();
+        let mut lanes = Vec::with_capacity(queries.len());
+        for query in queries {
+            assert!(!query.is_empty(), "query must be non-empty");
+            let per_element = fused_element_tables(query)?;
+            let element_table: Vec<u16> = per_element
+                .into_iter()
+                .map(|t| intern_table(&mut tables, t))
+                .collect();
+            let query_len = element_table.len();
+            let nplanes = (usize::BITS - query_len.leading_zeros()) as usize;
+            lanes.push(LaneQuery {
+                element_table,
+                query_len,
+                nplanes: nplanes.clamp(1, MAX_PLANES),
+            });
+        }
+        let evals: Vec<TableEval> = tables.iter().map(|&t| TableEval::plan(t)).collect();
+        let max_qlen = lanes.iter().map(|l| l.query_len).max().unwrap_or(1);
+        let engine = labels(&[("engine", "multiquery")]);
+        Ok(MultiQueryEngine {
+            tables,
+            evals,
+            lanes,
+            max_qlen,
+            queries_ctr: registry.counter_with(
+                "fabp_queries_processed_total",
+                "Query scans started, by engine",
+                engine.clone(),
+            ),
+            residues_ctr: registry.counter_with(
+                "fabp_residues_scanned_total",
+                "Alignment positions evaluated, by engine",
+                engine.clone(),
+            ),
+            hits_ctr: registry.counter_with("fabp_hits_total", "Hits emitted, by engine", engine),
+        })
+    }
+
+    /// Number of occupied lanes (1 ..= [`LANES`]).
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Longest lane's query length — the window for slice planning.
+    pub fn max_query_len(&self) -> usize {
+        self.max_qlen
+    }
+
+    /// Query length of `lane`.
+    pub fn query_len(&self, lane: usize) -> usize {
+        self.lanes[lane].query_len
+    }
+
+    /// Distinct comparator tables in the lanes' union.
+    pub fn distinct_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Scans the reference once, scoring every lane against its own
+    /// threshold (`thresholds[l]` applies to lane `l`). Returns one
+    /// position-sorted hit list per lane, each bit-identical to that
+    /// lane's single-query [`BitParallelEngine::search`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thresholds.len() != self.lanes()`.
+    pub fn search(&self, reference: &[Nucleotide], thresholds: &[u32]) -> Vec<Vec<Hit>> {
+        assert_eq!(thresholds.len(), self.lanes.len(), "one threshold per lane");
+        let nlanes = self.lanes.len();
+        let mut results: Vec<Vec<Hit>> = vec![Vec::new(); nlanes];
+        let mut lane_positions = [0usize; LANES];
+        let mut positions = 0usize;
+        for (l, lane) in self.lanes.iter().enumerate() {
+            lane_positions[l] = reference.len().saturating_sub(lane.query_len - 1);
+            if reference.len() < lane.query_len {
+                lane_positions[l] = 0;
+            }
+            positions = positions.max(lane_positions[l]);
+        }
+        if positions == 0 {
+            return results;
+        }
+        self.queries_ctr.add(nlanes as u64);
+        self.residues_ctr
+            .add(lane_positions.iter().map(|&p| p as u64).sum());
+
+        let tile_positions = TILE_BLOCKS * 64;
+        let overhang_words = (self.max_qlen - 1).div_ceil(64);
+        let tile_words = TILE_BLOCKS + overhang_words + 2;
+        let ntables = self.tables.len();
+        let mut cols = vec![0u64; ntables * tile_words];
+
+        let mut frontier = 0usize;
+        let mut tile_start = 0usize;
+        while tile_start < positions {
+            let tile_valid = (positions - tile_start).min(tile_positions);
+            let need_until = (tile_start + tile_positions + self.max_qlen - 1).min(reference.len());
+            if tile_start > 0 {
+                for t in 0..ntables {
+                    let buf = &mut cols[t * tile_words..(t + 1) * tile_words];
+                    buf.copy_within(TILE_BLOCKS.., 0);
+                    for w in &mut buf[tile_words - TILE_BLOCKS..] {
+                        *w = 0;
+                    }
+                }
+            }
+            debug_assert!(frontier >= tile_start && frontier <= need_until);
+            // Pass 1: one shared column fill for every lane — identical
+            // to the single-query fused fill, over the union tables.
+            let mut w_pos = frontier & !63;
+            while w_pos < need_until {
+                let end = (w_pos + 64).min(reference.len());
+                let mut b0 = 0u64;
+                let mut b1 = 0u64;
+                for (i, base) in reference[w_pos..end].iter().enumerate() {
+                    let c = u64::from(base.code2());
+                    b0 |= (c & 1) << i;
+                    b1 |= (c >> 1) << i;
+                }
+                let (n0, n1) = (!b0, !b1);
+                let e0 = [n1 & n0, n1 & b0, b1 & n0, b1 & b0];
+                let pc1 = prev_code(reference, w_pos, 1);
+                let pc2 = prev_code(reference, w_pos, 2);
+                let mut e1 = [0u64; 4];
+                let mut e2 = [0u64; 4];
+                for v in 0..4 {
+                    e1[v] = (e0[v] << 1) | u64::from(pc1 == v as u8);
+                    e2[v] =
+                        (e0[v] << 2) | (u64::from(pc1 == v as u8) << 1) | u64::from(pc2 == v as u8);
+                }
+                let word = (w_pos - tile_start) / 64;
+                for (t, eval) in self.evals.iter().enumerate() {
+                    let m = eval.eval(&e0, &e1, &e2);
+                    if m != 0 {
+                        cols[t * tile_words + word] |= m;
+                    }
+                }
+                w_pos += 64;
+            }
+            frontier = need_until;
+
+            // Pass 2: block-interleaved per-lane vertical counters. Each
+            // lane runs the single-query accumulation loop — its own
+            // plane count, its own carry exit, its own 16-element early
+            // abandon — over the *shared*, still-cache-hot tile. An
+            // interleaved `[u64; LANES]` ripple was tried first and
+            // measured ~3× slower per lane: rippling the full lane array
+            // per element forfeits the per-lane all-zero-carry exit and
+            // keeps every lane accumulating until the *last* lane
+            // abandons (see docs/PERFORMANCE.md). Lane independence is
+            // what makes this exact: counters never interact across
+            // lanes, only the column fill is shared.
+            let mut block = 0usize;
+            while block < tile_valid {
+                for (l, lane) in self.lanes.iter().enumerate() {
+                    let valid = lane_positions[l].saturating_sub(tile_start + block).min(64);
+                    if valid == 0 {
+                        continue;
+                    }
+                    let lane_mask = if valid == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << valid) - 1
+                    };
+                    let threshold = thresholds[l];
+                    let mut plane_store = [0u64; MAX_PLANES];
+                    let planes = &mut plane_store[..lane.nplanes];
+                    let mut saturated = 0u64;
+                    let mut abandoned = false;
+                    for (i, &slot) in lane.element_table[..lane.query_len].iter().enumerate() {
+                        let col =
+                            &cols[slot as usize * tile_words..(slot as usize + 1) * tile_words];
+                        let mut carry = read_unaligned(col, block + i);
+                        for plane in planes.iter_mut() {
+                            if carry == 0 {
+                                break;
+                            }
+                            let t = *plane & carry;
+                            *plane ^= carry;
+                            carry = t;
+                        }
+                        saturated |= carry;
+                        if i & 15 == 15 {
+                            let remaining = (lane.query_len - 1 - i) as u32;
+                            let needed = threshold.saturating_sub(remaining);
+                            if needed > 0
+                                && (ge_threshold_mask(planes, needed) | saturated) & lane_mask == 0
+                            {
+                                abandoned = true;
+                                break;
+                            }
+                        }
+                    }
+                    if abandoned {
+                        continue;
+                    }
+                    let mut hit_mask =
+                        (ge_threshold_mask(planes, threshold) | saturated) & lane_mask;
+                    while hit_mask != 0 {
+                        let j = hit_mask.trailing_zeros() as usize;
+                        hit_mask &= hit_mask - 1;
+                        let score = if (saturated >> j) & 1 == 1 {
+                            ((1u64 << lane.nplanes) - 1) as u32
+                        } else {
+                            let mut s = 0u32;
+                            for (b, &plane) in planes.iter().enumerate() {
+                                s |= (((plane >> j) & 1) as u32) << b;
+                            }
+                            s
+                        };
+                        results[l].push(Hit {
+                            position: tile_start + block + j,
+                            score,
+                        });
+                    }
+                }
+                block += 64;
+            }
+            tile_start += tile_positions;
+        }
+        self.hits_ctr
+            .add(results.iter().map(|r| r.len() as u64).sum());
+        results
     }
 }
 
@@ -876,5 +1213,131 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn multiquery_lanes_match_single_engines() {
+        // Four queries of different lengths, one shared pass: every lane
+        // must be bit-identical to its own single-query engine at its own
+        // threshold.
+        let mut rng = StdRng::seed_from_u64(0xB17F);
+        let proteins: Vec<_> = [5usize, 9, 12, 20]
+            .iter()
+            .map(|&aa| random_protein(aa, &mut rng))
+            .collect();
+        let queries: Vec<_> = proteins.iter().map(EncodedQuery::from_protein).collect();
+        let refs: Vec<&EncodedQuery> = queries.iter().collect();
+        let multi = MultiQueryEngine::new(&refs).unwrap();
+        assert_eq!(multi.lanes(), 4);
+        assert_eq!(multi.max_query_len(), queries[3].len());
+        let reference = random_rna(10_000, &mut rng);
+        let thresholds: Vec<u32> = queries.iter().map(|q| (q.len() as u32) * 2 / 3).collect();
+        let got = multi.search(reference.as_slice(), &thresholds);
+        for (l, query) in queries.iter().enumerate() {
+            let single = BitParallelEngine::new(query).unwrap();
+            assert_eq!(
+                got[l],
+                single.search_two_pass(reference.as_slice(), thresholds[l]),
+                "lane {l} disagrees with its single-query oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn multiquery_partial_occupancy_and_short_references() {
+        // 1-, 2- and 3-lane groups (the ragged tail the batch layer
+        // produces), including references shorter than the longest lane
+        // but not the shortest.
+        let mut rng = StdRng::seed_from_u64(0xB180);
+        for nlanes in 1..=3usize {
+            let proteins: Vec<_> = (0..nlanes)
+                .map(|i| random_protein(4 + 6 * i, &mut rng))
+                .collect();
+            let queries: Vec<_> = proteins.iter().map(EncodedQuery::from_protein).collect();
+            let refs: Vec<&EncodedQuery> = queries.iter().collect();
+            let multi = MultiQueryEngine::new(&refs).unwrap();
+            let max_qlen = multi.max_query_len();
+            for len in [0usize, 5, max_qlen - 1, max_qlen, max_qlen + 100] {
+                let reference = random_rna(len, &mut rng);
+                let thresholds = vec![3u32; nlanes];
+                let got = multi.search(reference.as_slice(), &thresholds);
+                assert_eq!(got.len(), nlanes);
+                for (l, query) in queries.iter().enumerate() {
+                    let single = BitParallelEngine::new(query).unwrap();
+                    assert_eq!(
+                        got[l],
+                        single.search_two_pass(reference.as_slice(), 3),
+                        "lanes {nlanes} len {len} lane {l}"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Multi-query lanes are bit-identical to per-lane `search_two_pass`
+        /// across lane counts, ragged query lengths, per-lane thresholds and
+        /// tile-boundary-straddling reference lengths.
+        #[test]
+        fn multiquery_matches_two_pass_oracle(
+            nlanes in 1usize..=LANES,
+            len_a in 3usize..=15,
+            len_b in 3usize..=15,
+            len_c in 3usize..=15,
+            len_d in 3usize..=15,
+            len_class in 0usize..4,
+            jitter in 0usize..130,
+            seed in 0u64..1_000_000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let lens = [len_a, len_b, len_c, len_d];
+            let proteins: Vec<_> = lens[..nlanes]
+                .iter()
+                .map(|&aa| random_protein(aa, &mut rng))
+                .collect();
+            let queries: Vec<_> = proteins
+                .iter()
+                .map(EncodedQuery::from_protein)
+                .collect();
+            let refs: Vec<&EncodedQuery> = queries.iter().collect();
+            let multi = MultiQueryEngine::new(&refs).unwrap();
+            let max_qlen = multi.max_query_len();
+            let len = match len_class {
+                0 => max_qlen.saturating_sub(jitter % 5),
+                1 => max_qlen + jitter % 70,
+                2 => max_qlen - 1 + TILE_POSITIONS - 65 + jitter,
+                _ => max_qlen - 1 + TILE_POSITIONS + jitter,
+            };
+            let reference = random_rna(len, &mut rng);
+            let thresholds: Vec<u32> = queries
+                .iter()
+                .enumerate()
+                .map(|(l, q)| (q.len() as u32).saturating_sub(1 + (l as u32 + jitter as u32) % 7))
+                .collect();
+            let got = multi.search(reference.as_slice(), &thresholds);
+            for (l, query) in queries.iter().enumerate() {
+                let single = BitParallelEngine::new(query).unwrap();
+                prop_assert_eq!(
+                    &got[l],
+                    &single.search_two_pass(reference.as_slice(), thresholds[l]),
+                    "nlanes {} len {} lane {}", nlanes, len, l
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiquery_unions_distinct_tables() {
+        // Identical queries in every lane intern down to one query's worth
+        // of tables — the amortization the lane pass depends on.
+        let mut rng = StdRng::seed_from_u64(0xB181);
+        let protein = random_protein(10, &mut rng);
+        let query = EncodedQuery::from_protein(&protein);
+        let single = BitParallelEngine::new(&query).unwrap();
+        let multi = MultiQueryEngine::new(&[&query, &query, &query, &query]).unwrap();
+        assert_eq!(multi.distinct_tables(), single.distinct_tables());
+        assert!(multi.distinct_tables() <= MAX_TABLES);
     }
 }

@@ -650,17 +650,14 @@ pub fn try_shard_with_overlap(
     nodes: usize,
     overlap: usize,
 ) -> FabpResult<(Vec<RnaSeq>, Vec<usize>)> {
-    let sizes = try_shard_database(reference.len() as u64, nodes)?;
+    // The range math is shared with the batch scheduler's reference
+    // slicing — one proof of the overlap-partition invariant serves both.
+    let ranges = crate::slice_plan::overlap_ranges(reference.len(), nodes, overlap)?;
     let mut shards = Vec::with_capacity(nodes);
     let mut offsets = Vec::with_capacity(nodes);
-    let mut start = 0usize;
-    for size in sizes {
-        let end = (start + size as usize)
-            .saturating_add(overlap)
-            .min(reference.len());
+    for (start, end) in ranges {
         shards.push(reference.as_slice()[start..end].iter().copied().collect());
         offsets.push(start);
-        start += size as usize;
     }
     Ok((shards, offsets))
 }

@@ -42,16 +42,18 @@ pub mod cluster;
 pub mod fleet;
 pub mod hits;
 pub mod host;
+pub mod slice_plan;
 pub mod software;
 pub mod streaming;
 
 pub use aligner::{BuildError, Engine, FabpAligner, SearchOutcome, Threshold};
-pub use bitparallel::BitParallelEngine;
+pub use bitparallel::{BitParallelEngine, MultiQueryEngine, LANES};
 pub use fleet::{place_replicas, FleetSearchOutcome, FpgaFleet, ShardDispatch};
 pub use hits::{
     best_hit, dedup_sorted_hits, merge_overlapping, merge_overlapping_unsorted, merge_shard_hits,
     top_k, Hit, HitRegion,
 };
+pub use slice_plan::{Slice, SliceOptions, SlicePlan};
 pub use software::SoftwareEngine;
 pub use streaming::StreamingAligner;
 

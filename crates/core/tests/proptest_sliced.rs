@@ -1,0 +1,162 @@
+//! Property tests: sliced-scan bit-identity.
+//!
+//! The sliced batch scheduler (reference slices stolen by workers,
+//! multi-query SIMD lane groups per slice) must be **invisible** in the
+//! hit stream: whatever the slice size, worker count, lane packing or
+//! query mix, the per-query hits after
+//! [`merge_shard_hits`](fabp_core::hits::merge_shard_hits) must equal
+//! the serial oracle — [`BitParallelEngine::search_two_pass`] for
+//! bit-parallel-eligible queries, the serial aligner for the rest. The
+//! draws deliberately force slice boundaries *through* match windows
+//! (tiny `min_slice_positions` against planted coding regions) so the
+//! `window − 1` overlap arithmetic is exercised where it can actually
+//! fail.
+
+use fabp_bio::generate::{coding_rna_for_paper_patterns, random_protein, random_rna};
+use fabp_bio::seq::RnaSeq;
+use fabp_core::aligner::{FabpAligner, Threshold};
+use fabp_core::batch::search_all_prebuilt_with_stats;
+use fabp_core::slice_plan::{SliceOptions, SlicePlan};
+use fabp_core::BitParallelEngine;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// **Sliced-batch bit-identity.** Random query count/lengths,
+    /// reference length, worker count and slice sizing: every query's
+    /// batch hits equal its own serial `search_two_pass` oracle.
+    #[test]
+    fn sliced_batch_matches_two_pass_oracle(
+        num_queries in 1usize..=6,
+        query_aa in 3usize..=14,
+        reference_len in 200usize..=6_000,
+        workers in 2usize..=8,
+        min_slice in 32usize..=512,
+        slices_per_worker in 1usize..=4,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let proteins: Vec<_> = (0..num_queries)
+            .map(|i| random_protein(query_aa + i % 3, &mut rng))
+            .collect();
+        // Plant one real coding region per query so hits actually exist
+        // for slice boundaries to straddle.
+        let mut bases = random_rna(reference_len, &mut rng).into_inner();
+        for protein in &proteins {
+            let coding = coding_rna_for_paper_patterns(protein, &mut rng);
+            if coding.len() < bases.len() {
+                let at = (seed as usize) % (bases.len() - coding.len());
+                bases.splice(at..at + coding.len(), coding.iter().copied());
+            }
+        }
+        let reference = RnaSeq::from(bases);
+        let aligners: Vec<FabpAligner> = proteins
+            .iter()
+            .map(|p| {
+                FabpAligner::builder()
+                    .protein_query(p)
+                    .threshold(Threshold::Fraction(0.6))
+                    .build()
+                    .expect("non-empty query")
+            })
+            .collect();
+
+        let options = SliceOptions { slices_per_worker, min_slice_positions: min_slice };
+        let (sliced, stats) =
+            search_all_prebuilt_with_stats(&aligners, &reference, workers, options).expect("batch runs");
+        prop_assert_eq!(sliced.len(), aligners.len());
+        prop_assert_eq!(stats.per_worker_busy_ns.len(), stats.workers);
+
+        for (i, (aligner, outcome)) in aligners.iter().zip(&sliced).enumerate() {
+            let oracle = BitParallelEngine::new(aligner.query())
+                .expect("protein queries are bit-parallel eligible")
+                .search_two_pass(reference.as_slice(), aligner.threshold());
+            prop_assert_eq!(
+                &outcome.hits, &oracle,
+                "query {} of {} (workers {}, min_slice {}, spw {})",
+                i, num_queries, workers, min_slice, slices_per_worker
+            );
+        }
+    }
+
+    /// **Boundary-straddling planted hits.** One query, a planted exact
+    /// match positioned *on* a slice boundary computed from the plan
+    /// itself, pathologically small slices: the hit must survive with
+    /// its exact score, once.
+    #[test]
+    fn planted_hit_straddling_a_slice_boundary_survives(
+        query_aa in 3usize..=10,
+        workers in 2usize..=8,
+        min_slice in 16usize..=128,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let protein = random_protein(query_aa, &mut rng);
+        let coding = coding_rna_for_paper_patterns(&protein, &mut rng);
+        let window = coding.len();
+        let reference_len = 4_000usize;
+
+        // Plan first, then plant the coding region so it straddles the
+        // first interior slice boundary (starts window/2 before it).
+        let options = SliceOptions { slices_per_worker: 2, min_slice_positions: min_slice };
+        let plan = SlicePlan::build(reference_len, window, workers, options);
+        let mut bases = random_rna(reference_len, &mut rng).into_inner();
+        let boundary = plan.slices().get(1).map(|s| s.start).unwrap_or(reference_len / 2);
+        let at = boundary.saturating_sub(window / 2).min(reference_len - window);
+        bases.splice(at..at + window, coding.iter().copied());
+        let reference = RnaSeq::from(bases);
+
+        let aligner = FabpAligner::builder()
+            .protein_query(&protein)
+            .threshold(Threshold::Fraction(1.0))
+            .build()
+            .expect("non-empty query");
+        let (sliced, _) =
+            search_all_prebuilt_with_stats(&[&aligner], &reference, workers, options).expect("batch runs");
+        let oracle = BitParallelEngine::new(aligner.query())
+            .expect("eligible")
+            .search_two_pass(reference.as_slice(), aligner.threshold());
+        prop_assert_eq!(&sliced[0].hits, &oracle);
+        // The planted full-score hit is present exactly once.
+        let planted: Vec<_> = sliced[0]
+            .hits
+            .iter()
+            .filter(|h| h.position == at && h.score == window as u32)
+            .collect();
+        prop_assert_eq!(planted.len(), 1, "planted hit at {} (boundary {})", at, boundary);
+    }
+
+    /// **Serial/parallel equivalence stays total.** The public
+    /// `search_all_prebuilt` (default slice sizing) agrees with the
+    /// serial path for any worker count, including `workers = 1`.
+    #[test]
+    fn default_options_match_serial_for_any_worker_count(
+        num_queries in 1usize..=5,
+        workers in 1usize..=9,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let proteins: Vec<_> = (0..num_queries)
+            .map(|_| random_protein(8, &mut rng))
+            .collect();
+        let reference = random_rna(3_000, &mut rng);
+        let aligners: Vec<FabpAligner> = proteins
+            .iter()
+            .map(|p| {
+                FabpAligner::builder()
+                    .protein_query(p)
+                    .threshold(Threshold::Fraction(0.7))
+                    .build()
+                    .expect("non-empty query")
+            })
+            .collect();
+        let serial: Vec<_> = aligners.iter().map(|a| a.search(&reference)).collect();
+        let parallel = fabp_core::batch::search_all_prebuilt(&aligners, &reference, workers).expect("batch runs");
+        for (a, b) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(&a.hits, &b.hits);
+        }
+    }
+}

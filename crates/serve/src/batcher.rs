@@ -32,6 +32,13 @@ pub struct BatchPolicy {
     pub prior_query_us: f64,
     /// EWMA smoothing factor in `(0, 1]`; higher adapts faster.
     pub alpha: f64,
+    /// SIMD lane width of the downstream batch engine
+    /// ([`fabp_core::LANES`]). When the queue holds more work than one
+    /// dispatch takes, targets are rounded down to a lane multiple so
+    /// micro-batches land on lane-group boundaries instead of paying a
+    /// partially-filled multi-query pass; depth-limited dispatches (the
+    /// queue fits entirely) are never rounded. `1` disables rounding.
+    pub lanes: usize,
 }
 
 impl Default for BatchPolicy {
@@ -41,6 +48,7 @@ impl Default for BatchPolicy {
             slo_us: 50_000,
             prior_query_us: 1_000.0,
             alpha: 0.3,
+            lanes: fabp_core::LANES,
         }
     }
 }
@@ -99,10 +107,16 @@ impl AdaptiveBatcher {
             return 0;
         }
         let slo_limited = (self.policy.slo_us as f64 / self.ewma_query_us).floor() as usize;
-        let target = queue_depth
-            .min(slo_limited)
-            .min(self.policy.max_batch)
-            .max(1);
+        let capped = slo_limited.min(self.policy.max_batch);
+        let target = if capped < queue_depth {
+            // Lane-aware rounding: the queue can refill the next batch, so
+            // don't dispatch a ragged tail that leaves SIMD lanes empty.
+            let lanes = self.policy.lanes.max(1);
+            (capped / lanes) * lanes
+        } else {
+            queue_depth // taking the whole queue: a remainder is unavoidable
+        }
+        .max(1);
         self.target_gauge.set(target as i64);
         target
     }
@@ -139,10 +153,12 @@ mod tests {
             slo_us: 10_000,
             prior_query_us: 1_000.0,
             alpha: 0.3,
+            lanes: 4,
         });
-        // slo/prior = 10: depth-limited below, SLO-limited above.
+        // slo/prior = 10: depth-limited below, SLO-limited (and rounded
+        // down to the lane boundary) above.
         assert_eq!(b.target_batch(4), 4);
-        assert_eq!(b.target_batch(100), 10);
+        assert_eq!(b.target_batch(100), 8);
     }
 
     #[test]
@@ -152,6 +168,7 @@ mod tests {
             slo_us: 100, // SLO below even one query's cost
             prior_query_us: 1_000.0,
             alpha: 0.3,
+            lanes: 4,
         });
         assert_eq!(b.target_batch(0), 0);
         assert_eq!(b.target_batch(5), 1, "always makes forward progress");
@@ -164,13 +181,14 @@ mod tests {
             slo_us: 10_000,
             prior_query_us: 100.0,
             alpha: 1.0, // adapt instantly for the test
+            lanes: 4,
         });
-        assert_eq!(b.target_batch(1_000), 100); // 10_000 / 100
+        assert_eq!(b.target_batch(1_000), 100); // 10_000 / 100, lane-aligned
         b.observe(10, 20_000.0); // 2_000 us/query observed
-        assert_eq!(b.target_batch(1_000), 5); // 10_000 / 2_000
+        assert_eq!(b.target_batch(1_000), 4); // 10_000 / 2_000 → 5, rounded to lanes
         b.observe(5, 50.0); // 10 us/query observed
         assert_eq!(b.target_batch(1_000), 1_000); // SLO allows 1000
-        assert_eq!(b.target_batch(7), 7); // still depth-limited
+        assert_eq!(b.target_batch(7), 7); // depth-limited: never rounded
     }
 
     #[test]
@@ -180,6 +198,7 @@ mod tests {
             slo_us: 1_000_000,
             prior_query_us: 1.0,
             alpha: 0.1,
+            lanes: 4,
         });
         b.observe(4, 4_000.0); // 1_000 us/query
         assert!((b.ewma_query_us() - 1_000.0).abs() < 1e-9);
@@ -195,8 +214,43 @@ mod tests {
             slo_us: 1_000_000,
             prior_query_us: 1.0,
             alpha: 0.3,
+            lanes: 4,
         });
         assert_eq!(b.target_batch(10_000), 8);
+    }
+
+    #[test]
+    fn lane_rounding_only_applies_above_queue_depth() {
+        let mut b = batcher(BatchPolicy {
+            max_batch: 64,
+            slo_us: 10_000,
+            prior_query_us: 1_000.0, // SLO-limited at 10
+            alpha: 0.3,
+            lanes: 4,
+        });
+        // Queue deeper than the cap: 10 rounds down to the lane boundary.
+        assert_eq!(b.target_batch(50), 8);
+        // Queue shallower than the cap: take it all, ragged or not.
+        assert_eq!(b.target_batch(7), 7);
+        // Rounding never starves progress: a cap under one lane group
+        // still dispatches.
+        let mut tiny = batcher(BatchPolicy {
+            max_batch: 64,
+            slo_us: 3_000, // SLO-limited at 3 < lanes
+            prior_query_us: 1_000.0,
+            alpha: 0.3,
+            lanes: 4,
+        });
+        assert_eq!(tiny.target_batch(50), 1);
+        // lanes = 1 disables rounding entirely.
+        let mut unrounded = batcher(BatchPolicy {
+            max_batch: 64,
+            slo_us: 10_000,
+            prior_query_us: 1_000.0,
+            alpha: 0.3,
+            lanes: 1,
+        });
+        assert_eq!(unrounded.target_batch(50), 10);
     }
 
     #[test]

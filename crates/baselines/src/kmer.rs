@@ -9,11 +9,17 @@
 
 use fabp_bio::alphabet::AminoAcid;
 use fabp_bio::blosum::blosum62;
+use fabp_resilience::{FabpError, FabpResult};
 
 /// Number of protein symbols (20 amino acids + Stop).
-const SYMBOLS: usize = 21;
+pub const SYMBOLS: usize = 21;
 
 /// Packs a protein word into a dense table key (`Σ aa_i · 21^i`).
+///
+/// The key is only meaningful against an index whose `word_size` equals
+/// `word.len()`; a longer word packs to a key outside that index's
+/// `21^word_size` table. Use [`WordIndex::try_lookup`] for a checked
+/// lookup that rejects mismatched lengths with a typed error.
 pub fn pack_word(word: &[AminoAcid]) -> usize {
     word.iter()
         .fold(0usize, |acc, aa| acc * SYMBOLS + aa.index())
@@ -57,11 +63,24 @@ impl WordIndex {
     /// # Panics
     ///
     /// Panics if `word_size` is 0 or greater than 5 (table size 21^w).
+    /// Use [`WordIndex::try_build`] for a non-panicking variant.
     pub fn build(query: &[AminoAcid], word_size: usize, t: i32) -> WordIndex {
-        assert!(
-            (1..=5).contains(&word_size),
-            "word size {word_size} out of supported range"
-        );
+        match WordIndex::try_build(query, word_size, t) {
+            Ok(index) => index,
+            Err(e) => panic!("word size {word_size} out of supported range: {e}"),
+        }
+    }
+
+    /// Builds the index like [`WordIndex::build`] but returns a typed
+    /// [`FabpError::InvalidWord`] instead of panicking when `word_size`
+    /// is outside the supported `1..=5` range.
+    pub fn try_build(query: &[AminoAcid], word_size: usize, t: i32) -> FabpResult<WordIndex> {
+        if !(1..=5).contains(&word_size) {
+            return Err(FabpError::InvalidWord {
+                word_size,
+                detail: "supported word sizes are 1..=5 (table size 21^w)".to_string(),
+            });
+        }
         let table_size = SYMBOLS.pow(word_size as u32);
         let mut pairs: Vec<(u32, u32)> = Vec::new();
 
@@ -70,7 +89,10 @@ impl WordIndex {
             for pos in 0..=query.len() - word_size {
                 let qword = &query[pos..pos + word_size];
                 enumerate_neighbourhood(qword, t, &mut scratch, 0, 0, &mut |word| {
-                    pairs.push((pack_word(word) as u32, pos as u32));
+                    // Safe: each residue index < 21, word_size ≤ 5, so the
+                    // packed key < 21^5 < 2^32. Checked, not assumed.
+                    let key = u32::try_from(pack_word(word)).expect("key fits u32 for w <= 5");
+                    pairs.push((key, pos as u32));
                 });
             }
         }
@@ -93,12 +115,12 @@ impl WordIndex {
             cursor[key as usize] += 1;
         }
 
-        WordIndex {
+        Ok(WordIndex {
             word_size,
             offsets,
             postings,
             words_stored,
-        }
+        })
     }
 
     /// The configured word size.
@@ -111,26 +133,68 @@ impl WordIndex {
         self.words_stored
     }
 
+    /// Size of the dense key space, `21^word_size`.
+    pub fn table_size(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
     /// Query positions seeded by the packed word `key`.
     ///
     /// # Panics
     ///
-    /// Panics if `key >= 21^word_size`.
+    /// Panics if `key >= 21^word_size`. Use
+    /// [`WordIndex::try_lookup_key`] for a checked variant.
     #[inline]
     pub fn lookup_key(&self, key: usize) -> &[u32] {
+        match self.try_lookup_key(key) {
+            Ok(postings) => postings,
+            Err(e) => panic!("packed key out of range: {e}"),
+        }
+    }
+
+    /// Query positions seeded by the packed word `key`, or a typed
+    /// [`FabpError::InvalidWord`] if `key` is at or beyond the
+    /// `21^word_size` table — as happens when a word longer than
+    /// `word_size` is packed and its key used here.
+    #[inline]
+    pub fn try_lookup_key(&self, key: usize) -> FabpResult<&[u32]> {
+        if key + 1 >= self.offsets.len() {
+            return Err(FabpError::InvalidWord {
+                word_size: self.word_size,
+                detail: format!(
+                    "packed key {key} is outside the table of {} entries",
+                    self.table_size()
+                ),
+            });
+        }
         let start = self.offsets[key] as usize;
         let end = self.offsets[key + 1] as usize;
-        &self.postings[start..end]
+        Ok(&self.postings[start..end])
     }
 
     /// Query positions seeded by `word`.
     ///
     /// # Panics
     ///
-    /// Panics if `word.len() != self.word_size()`.
+    /// Panics if `word.len() != self.word_size()`. Use
+    /// [`WordIndex::try_lookup`] for a checked variant.
     pub fn lookup(&self, word: &[AminoAcid]) -> &[u32] {
         assert_eq!(word.len(), self.word_size, "word length mismatch");
         self.lookup_key(pack_word(word))
+    }
+
+    /// Query positions seeded by `word`, or a typed
+    /// [`FabpError::InvalidWord`] if `word.len() != self.word_size()`
+    /// (packing a mismatched word would silently alias or overflow the
+    /// key space).
+    pub fn try_lookup(&self, word: &[AminoAcid]) -> FabpResult<&[u32]> {
+        if word.len() != self.word_size {
+            return Err(FabpError::InvalidWord {
+                word_size: self.word_size,
+                detail: format!("word has {} residue(s)", word.len()),
+            });
+        }
+        self.try_lookup_key(pack_word(word))
     }
 
     /// Modulus for rolling-key updates: `21^(word_size − 1)`.
@@ -256,5 +320,74 @@ mod tests {
         let q = protein("WW");
         let index = WordIndex::build(&q, 2, 15);
         assert!(index.lookup(&protein("WW")).contains(&0));
+    }
+
+    // --- Regressions for the silent-truncation / unchecked-bounds bug.
+    // Before the checked APIs existed, packing an over-long word produced
+    // a key outside the `21^word_size` table and `lookup_key` indexed
+    // `offsets[key + 1]` unchecked — an index-out-of-bounds panic at
+    // best, a silently aliased posting list at worst.
+
+    #[test]
+    fn try_build_rejects_unsupported_word_size_with_typed_error() {
+        let q = protein("MKWVF");
+        for bad in [0usize, 6, 9] {
+            match WordIndex::try_build(&q, bad, 11) {
+                Err(FabpError::InvalidWord { word_size, .. }) => assert_eq!(word_size, bad),
+                other => panic!("word_size {bad} accepted: {other:?}"),
+            }
+        }
+        assert!(WordIndex::try_build(&q, 3, 11).is_ok());
+    }
+
+    #[test]
+    fn try_lookup_rejects_mismatched_word_length_with_typed_error() {
+        let q = protein("MKWVF");
+        let index = WordIndex::try_build(&q, 3, 11).unwrap();
+        // A 4-residue word packs to a key up to 21^4 − 1, far past the
+        // 21^3-entry table; the checked API must refuse, not truncate.
+        let long = protein("MKWV");
+        match index.try_lookup(&long) {
+            Err(FabpError::InvalidWord { word_size, detail }) => {
+                assert_eq!(word_size, 3);
+                assert!(detail.contains("4 residue"), "detail: {detail}");
+            }
+            other => panic!("over-long word accepted: {other:?}"),
+        }
+        assert!(index.try_lookup(&protein("MK")).is_err());
+        assert!(index.try_lookup(&q[0..3]).is_ok());
+    }
+
+    #[test]
+    fn try_lookup_key_bounds_checks_the_table() {
+        let q = protein("MKWVF");
+        let index = WordIndex::try_build(&q, 3, 11).unwrap();
+        let table = index.table_size();
+        assert_eq!(table, SYMBOLS.pow(3));
+        assert!(index.try_lookup_key(table - 1).is_ok());
+        // The first out-of-range key: exactly what pack_word yields for
+        // an over-long word. Typed error, no panic, no aliasing.
+        match index.try_lookup_key(table) {
+            Err(FabpError::InvalidWord { .. }) => {}
+            other => panic!("out-of-range key accepted: {other:?}"),
+        }
+        assert!(index.try_lookup_key(pack_word(&protein("MKWV"))).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of supported range")]
+    fn build_still_panics_for_compat() {
+        let q = protein("MKWVF");
+        let _ = WordIndex::build(&q, 7, 11);
+    }
+
+    #[test]
+    fn checked_and_panicking_lookups_agree() {
+        let q = protein("MKWVFACDE");
+        let index = WordIndex::build(&q, 3, 11);
+        for pos in 0..=q.len() - 3 {
+            let word = &q[pos..pos + 3];
+            assert_eq!(index.lookup(word), index.try_lookup(word).unwrap());
+        }
     }
 }

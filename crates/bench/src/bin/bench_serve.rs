@@ -18,13 +18,26 @@
 //! ```text
 //! cargo run --release -p fabp-bench --bin bench_serve -- \
 //!     [--quick] [--out BENCH_serve.json] \
+//!     [--min-speedup ID:FLOOR]... \
 //!     [--baseline BENCH_serve.json --check [--tolerance 0.50]]
 //! ```
+//!
+//! The persistent-index entries (`index_build`, `index_cold_load`,
+//! `index_warm_reload`, `index_warm_vs_cold`, `index_seeded_recall`)
+//! cover the on-disk packed-shard format: cold loads CRC-verify every
+//! shard frame, warm re-loads come from the resident store, and recall
+//! is measured against planted ground truth at BLAST-default seeding
+//! (w=3, T=11) with a hard-asserted 0.99 floor.
 
 use fabp_bio::generate::{coding_rna_for_paper_patterns, random_protein, random_rna};
 use fabp_bio::seq::{ProteinSeq, RnaSeq};
 use fabp_core::aligner::{Engine, FabpAligner, Threshold};
-use fabp_serve::{BatchPolicy, FabpError, FabpServer, Response, ServeBackend, ServeConfig};
+use fabp_core::index::{
+    search_index, IndexBuildOptions, PrefilterMode, ReferenceIndex, SeedParams,
+};
+use fabp_serve::{
+    BatchPolicy, FabpError, FabpServer, IndexStore, Response, ServeBackend, ServeConfig,
+};
 use fabp_telemetry::Registry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -55,6 +68,18 @@ impl Entry {
         Entry {
             id: id.to_string(),
             kind: "rate",
+            value,
+            note,
+        }
+    }
+
+    /// Machine-relative ratio (higher is better). Gated only by
+    /// `--min-speedup` absolute floors, never by the relative check —
+    /// load-time ratios swing too much run-to-run for a tolerance gate.
+    fn speedup(id: &str, value: f64, note: String) -> Entry {
+        Entry {
+            id: id.to_string(),
+            kind: "speedup",
             value,
             note,
         }
@@ -129,7 +154,171 @@ fn config(shape: &Shape) -> ServeConfig {
         reference_cache: 4,
         default_deadline_us: None,
         max_query_aa: 128,
+        prefilter: PrefilterMode::Off,
     }
+}
+
+/// Persistent-index lifecycle on the pinned workload: build + write the
+/// packed shards, then time a cold (full CRC-verified read) load against
+/// a warm re-load of the resident copy through [`IndexStore`]. Both
+/// loads take the best of [`LOAD_REPS`] repetitions (evicting between
+/// cold reps) — a single sub-millisecond disk read swings several-fold
+/// with page-cache state, and the minimum is the stable, comparable
+/// number for the committed baseline.
+const LOAD_REPS: usize = 5;
+
+fn index_persistence(shape: &Shape, entries: &mut Vec<Entry>) {
+    let (reference, _) = workload(shape);
+    let tag = shape.tag;
+    let options = IndexBuildOptions {
+        overlap: 3 * 128, // covers the config()'s max_query_aa
+        target_shard_bases: (shape.reference_bases / 8).max(4_096),
+    };
+    let started = std::time::Instant::now();
+    let index = ReferenceIndex::build_from_rna(&reference, options).expect("index builds");
+    let build_ns = started.elapsed().as_nanos() as f64;
+    let path = std::env::temp_dir().join(format!("bench_serve_{tag}.fabpidx"));
+    index.write_to(&path).expect("index writes");
+    assert!(index.shards().len() > 1, "{tag}: exercise multi-shard");
+
+    let mut store = IndexStore::new();
+    let mut cold = store.load(&path, false).expect("cold load");
+    let mut warm = store.load(&path, false).expect("warm load");
+    assert!(cold.cold && !warm.cold, "{tag}: store cold/warm split");
+    assert_eq!(cold.index.fingerprint(), index.fingerprint());
+    for _ in 1..LOAD_REPS {
+        store.evict(&path);
+        let c = store.load(&path, false).expect("cold load rep");
+        let w = store.load(&path, false).expect("warm load rep");
+        assert!(c.cold && !w.cold, "{tag}: store cold/warm split");
+        if c.load_us < cold.load_us {
+            cold = c;
+        }
+        if w.load_us < warm.load_us {
+            warm = w;
+        }
+    }
+    std::fs::remove_file(&path).ok();
+
+    entries.push(Entry::time(
+        &format!("index_build_{tag}"),
+        build_ns,
+        format!(
+            "pack {} bases into {} shard(s), overlap {}",
+            index.total_bases(),
+            index.shards().len(),
+            index.overlap()
+        ),
+    ));
+    entries.push(Entry::time(
+        &format!("index_cold_load_{tag}"),
+        cold.load_us as f64 * 1e3,
+        "disk read + CRC verification of every shard frame (best of 5)".to_string(),
+    ));
+    entries.push(Entry::time(
+        &format!("index_warm_reload_{tag}"),
+        // warm re-loads are sub-microsecond; clamp to the 1 us tick so
+        // the relative baseline check never divides by zero
+        (warm.load_us.max(1)) as f64 * 1e3,
+        "resident re-load from the index store (no disk, no CRC; best of 5)".to_string(),
+    ));
+    entries.push(Entry::speedup(
+        &format!("index_warm_vs_cold_{tag}"),
+        cold.load_us as f64 / (warm.load_us as f64).max(1.0),
+        "cold CRC-verified load over warm resident re-load".to_string(),
+    ));
+}
+
+/// Seeded-prefilter recall against planted ground truth at BLAST-default
+/// seeding (w=3, T=11). Deterministic: fixed seed, substitution-only
+/// mutations, both scans exact. Recall is measured over the plants the
+/// *exhaustive* scan recovers, so the entry isolates what the prefilter
+/// loses — the committed floor is 0.99 and the run hard-asserts it.
+fn index_recall(shape: &Shape, entries: &mut Vec<Entry>) {
+    use fabp_bio::generate::{PlantedDatabase, PlantedDatabaseConfig};
+    use fabp_bio::mutate::{IndelModel, SubstitutionModel};
+
+    let tag = shape.tag;
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x1D3C);
+    let db = PlantedDatabase::generate(
+        &PlantedDatabaseConfig {
+            reference_len: shape.reference_bases,
+            num_queries: shape.unique_queries,
+            query_len: shape.query_aa,
+            substitutions: SubstitutionModel::new(0.02),
+            indels: IndelModel::none(),
+            paper_codons_only: false,
+        },
+        &mut rng,
+    );
+    let index = ReferenceIndex::build_from_rna(
+        &db.reference,
+        IndexBuildOptions {
+            overlap: 3 * 128,
+            target_shard_bases: (shape.reference_bases / 8).max(4_096),
+        },
+    )
+    .expect("index builds");
+    let threshold = Threshold::Fraction(0.9);
+    let params = SeedParams::default(); // BLAST defaults: w=3, T=11
+    let (off, _) = search_index(
+        &index,
+        &db.queries,
+        threshold,
+        PrefilterMode::Off,
+        params,
+        shape.threads,
+    )
+    .expect("exhaustive scan");
+    let (seeded, stats) = search_index(
+        &index,
+        &db.queries,
+        threshold,
+        PrefilterMode::Seeded,
+        params,
+        shape.threads,
+    )
+    .expect("seeded scan");
+    for (q, hits) in seeded.iter().enumerate() {
+        for hit in hits {
+            assert!(
+                off[q].contains(hit),
+                "{tag}: seeded hit {hit:?} absent from the full scan"
+            );
+        }
+    }
+    let mut findable = 0usize;
+    let mut found = 0usize;
+    for region in &db.regions {
+        if off[region.query_index]
+            .iter()
+            .any(|h| h.position == region.position)
+        {
+            findable += 1;
+            if seeded[region.query_index]
+                .iter()
+                .any(|h| h.position == region.position)
+            {
+                found += 1;
+            }
+        }
+    }
+    assert!(findable > 0, "{tag}: planted workload must be findable");
+    let recall = found as f64 / findable as f64;
+    fabp_core::index::record_recall(recall);
+    assert!(
+        recall >= 0.99,
+        "{tag}: seeded recall {recall:.4} ({found}/{findable}) below the 0.99 floor"
+    );
+    entries.push(Entry::rate(
+        &format!("index_seeded_recall_{tag}"),
+        recall,
+        format!(
+            "{found}/{findable} full-scan-findable plants recovered at w=3 T=11, \
+             2 % substitutions; scanned fraction {:.4}",
+            stats.scanned_fraction()
+        ),
+    ));
 }
 
 /// Sustained closed-loop throughput + latency over the repeated stream.
@@ -446,6 +635,7 @@ fn emit_json(mode: &str, entries: &[Entry]) -> String {
     for (i, e) in entries.iter().enumerate() {
         let field = match e.kind {
             "time" => format!("\"ns_per_op\": {:.1}", e.value),
+            "speedup" => format!("\"speedup\": {:.3}", e.value),
             _ => format!("\"rate\": {:.6}", e.value),
         };
         let comma = if i + 1 == entries.len() { "" } else { "," };
@@ -483,6 +673,7 @@ fn parse_entries(text: &str) -> Vec<(String, String, f64)> {
             let value = match kind {
                 "time" => field_num(line, "ns_per_op")?,
                 "rate" => field_num(line, "rate")?,
+                "speedup" => field_num(line, "speedup")?,
                 _ => return None,
             };
             Some((id.to_string(), kind.to_string(), value))
@@ -492,13 +683,22 @@ fn parse_entries(text: &str) -> Vec<(String, String, f64)> {
 
 /// `time` entries may not regress beyond `tolerance`; `rate` entries may
 /// not drop below `baseline × (1 − rate_slack)` where the slack is tight
-/// (rates are deterministic).
+/// (rates are deterministic). `speedup` entries never enter the relative
+/// check — they gate only through `--min-speedup` absolute floors, the
+/// repeatable form for ratios that swing on loaded runners.
 fn check_against_baseline(entries: &[Entry], baseline_text: &str, tolerance: f64) -> usize {
     const RATE_SLACK: f64 = 1e-6;
     let baseline = parse_entries(baseline_text);
     let mut regressions = 0usize;
     let mut compared = 0usize;
     for e in entries {
+        if e.kind == "speedup" {
+            eprintln!(
+                "bench_serve: note: `{}` gates via --min-speedup floors only",
+                e.id
+            );
+            continue;
+        }
         let Some((_, _, base)) = baseline
             .iter()
             .find(|(id, kind, _)| *id == e.id && *kind == e.kind)
@@ -558,6 +758,7 @@ fn main() {
     let mut check = false;
     let mut baseline_path: Option<String> = None;
     let mut tolerance = 0.50f64;
+    let mut min_speedups: Vec<(String, f64)> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -572,9 +773,20 @@ fn main() {
                     .parse()
                     .expect("--tolerance takes a fraction, e.g. 0.50")
             }
+            "--min-speedup" => {
+                let spec = it.next().expect("missing value for --min-speedup");
+                let (id, floor) = spec
+                    .split_once(':')
+                    .expect("--min-speedup takes id:value, e.g. index_warm_vs_cold_quick:2.0");
+                min_speedups.push((
+                    id.to_string(),
+                    floor.parse().expect("--min-speedup floor is a number"),
+                ));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: bench_serve [--quick] [--out BENCH_serve.json] \
+                     [--min-speedup ID:FLOOR]... \
                      [--baseline FILE --check [--tolerance 0.50]]"
                 );
                 std::process::exit(2);
@@ -591,12 +803,16 @@ fn main() {
     shed_burst(&QUICK, &mut entries);
     backpressure_flood(&QUICK, &mut entries);
     fleet_chaos_availability(&QUICK, &mut entries);
+    index_persistence(&QUICK, &mut entries);
+    index_recall(&QUICK, &mut entries);
     let mode = if quick {
         "quick"
     } else {
         sustained(&FULL, &mut entries);
         shed_burst(&FULL, &mut entries);
         backpressure_flood(&FULL, &mut entries);
+        index_persistence(&FULL, &mut entries);
+        index_recall(&FULL, &mut entries);
         "full"
     };
     fleet_sweep(&mut entries);
@@ -606,6 +822,10 @@ fn main() {
         match e.kind {
             "time" => eprintln!(
                 "bench_serve: {:<34} {:>14.0} ns   ({})",
+                e.id, e.value, e.note
+            ),
+            "speedup" => eprintln!(
+                "bench_serve: {:<34} {:>13.2}x      ({})",
                 e.id, e.value, e.note
             ),
             _ => eprintln!(
@@ -618,6 +838,35 @@ fn main() {
     let json = emit_json(mode, &entries);
     std::fs::write(&out_path, &json).expect("write benchmark snapshot");
     eprintln!("bench_serve: snapshot written to {out_path}");
+
+    // Absolute speedup floors: repeatable on loaded runners, and they
+    // hold even when the committed baseline itself regresses.
+    let mut floor_failures = 0usize;
+    for (id, floor) in &min_speedups {
+        match entries.iter().find(|e| e.id == *id) {
+            Some(e) if e.value >= *floor => {
+                eprintln!(
+                    "bench_serve: floor ok `{id}`: {:.2}x >= {floor:.2}x",
+                    e.value
+                );
+            }
+            Some(e) => {
+                floor_failures += 1;
+                eprintln!(
+                    "bench_serve: FLOOR VIOLATION `{id}`: {:.2}x < required {floor:.2}x",
+                    e.value
+                );
+            }
+            None => {
+                floor_failures += 1;
+                eprintln!("bench_serve: FLOOR VIOLATION `{id}`: no such entry in this run");
+            }
+        }
+    }
+    if floor_failures > 0 {
+        eprintln!("bench_serve: {floor_failures} floor violation(s)");
+        std::process::exit(1);
+    }
 
     if check {
         let path = baseline_path.expect("--check requires --baseline FILE");

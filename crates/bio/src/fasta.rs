@@ -52,6 +52,24 @@ pub enum FastaError {
         /// 1-based line number of the offending line.
         line: usize,
     },
+    /// A `>` header was followed by no sequence lines (or only gap
+    /// characters) before the next header or end of input.
+    EmptyRecord {
+        /// Identifier from the offending header.
+        id: String,
+        /// 1-based line number of the offending header.
+        line: usize,
+    },
+    /// A residue failed to parse as the requested alphabet, with the
+    /// record it came from for context.
+    Symbol {
+        /// Identifier of the record the bad residue is in.
+        id: String,
+        /// 1-based line number of the record's header.
+        line: usize,
+        /// The underlying symbol error.
+        source: ParseSymbolError,
+    },
 }
 
 impl fmt::Display for FastaError {
@@ -61,6 +79,15 @@ impl fmt::Display for FastaError {
             FastaError::MissingHeader { line } => {
                 write!(f, "sequence data before first '>' header at line {line}")
             }
+            FastaError::EmptyRecord { id, line } => {
+                write!(
+                    f,
+                    "record '{id}' (header at line {line}) has no sequence data"
+                )
+            }
+            FastaError::Symbol { id, line, source } => {
+                write!(f, "record '{id}' (header at line {line}): {source}")
+            }
         }
     }
 }
@@ -69,7 +96,8 @@ impl std::error::Error for FastaError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FastaError::Io(e) => Some(e),
-            FastaError::MissingHeader { .. } => None,
+            FastaError::Symbol { source, .. } => Some(source),
+            FastaError::MissingHeader { .. } | FastaError::EmptyRecord { .. } => None,
         }
     }
 }
@@ -80,29 +108,45 @@ impl From<io::Error> for FastaError {
     }
 }
 
-/// Reads all FASTA records from `reader`.
+/// Reads all FASTA records from `reader`, normalizing real-world mess.
 ///
 /// Blank lines are ignored; `;` comment lines (an old FASTA dialect) are
-/// skipped. A `&mut R` can be passed for readers you want to keep.
+/// skipped. CRLF line endings are accepted, lowercase residues are
+/// uppercased (the NCBI soft-masking convention), and `-`/`.` alignment
+/// gap characters are stripped, so the returned sequences contain only
+/// residue symbols. A `&mut R` can be passed for readers you want to
+/// keep.
 ///
 /// # Errors
 ///
-/// Returns [`FastaError`] on I/O failure or malformed structure.
+/// Returns [`FastaError`] on I/O failure, sequence data before the first
+/// header, or a header with no sequence data at all
+/// ([`FastaError::EmptyRecord`]).
 ///
 /// # Examples
 ///
 /// ```
 /// use fabp_bio::fasta::read_records;
-/// let text = ">q1 demo\nMFSR\nMK\n>q2\nACGT\n";
+/// let text = ">q1 demo\r\nmfsr\nMK\n>q2\nac-gt..\n";
 /// let records = read_records(text.as_bytes())?;
 /// assert_eq!(records.len(), 2);
 /// assert_eq!(records[0].id, "q1");
 /// assert_eq!(records[0].sequence, "MFSRMK");
+/// assert_eq!(records[1].sequence, "ACGT");
 /// # Ok::<(), fabp_bio::fasta::FastaError>(())
 /// ```
 pub fn read_records<R: Read>(reader: R) -> Result<Vec<Record>, FastaError> {
+    Ok(read_records_with_lines(reader)?
+        .into_iter()
+        .map(|(record, _)| record)
+        .collect())
+}
+
+/// Like [`read_records`] but pairs each record with the 1-based line
+/// number of its header, for error context in the typed readers.
+fn read_records_with_lines<R: Read>(reader: R) -> Result<Vec<(Record, usize)>, FastaError> {
     let buf = BufReader::new(reader);
-    let mut records: Vec<Record> = Vec::new();
+    let mut records: Vec<(Record, usize)> = Vec::new();
     for (idx, line) in buf.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
@@ -110,21 +154,43 @@ pub fn read_records<R: Read>(reader: R) -> Result<Vec<Record>, FastaError> {
             continue;
         }
         if let Some(header) = trimmed.strip_prefix('>') {
+            if let Some((last, header_line)) = records.last() {
+                if last.sequence.is_empty() {
+                    return Err(FastaError::EmptyRecord {
+                        id: last.id.clone(),
+                        line: *header_line,
+                    });
+                }
+            }
             let mut parts = header.splitn(2, char::is_whitespace);
             let id = parts.next().unwrap_or("").to_string();
             let description = parts.next().unwrap_or("").trim().to_string();
-            records.push(Record {
-                id,
-                description,
-                sequence: String::new(),
-            });
+            records.push((
+                Record {
+                    id,
+                    description,
+                    sequence: String::new(),
+                },
+                idx + 1,
+            ));
         } else {
-            let record = records
+            let (record, _) = records
                 .last_mut()
                 .ok_or(FastaError::MissingHeader { line: idx + 1 })?;
-            record
-                .sequence
-                .extend(trimmed.chars().filter(|c| !c.is_whitespace()));
+            record.sequence.extend(
+                trimmed
+                    .chars()
+                    .filter(|c| !c.is_whitespace() && *c != '-' && *c != '.')
+                    .map(|c| c.to_ascii_uppercase()),
+            );
+        }
+    }
+    if let Some((last, header_line)) = records.last() {
+        if last.sequence.is_empty() {
+            return Err(FastaError::EmptyRecord {
+                id: last.id.clone(),
+                line: *header_line,
+            });
         }
     }
     Ok(records)
@@ -156,11 +222,9 @@ pub fn write_records<W: Write>(mut writer: W, records: &[Record], width: usize) 
 ///
 /// # Errors
 ///
-/// Returns the FASTA error or the first symbol that fails to parse
-/// (as a boxed error, since the two error types differ).
-pub fn read_proteins<R: Read>(
-    reader: R,
-) -> Result<Vec<(String, ProteinSeq)>, Box<dyn std::error::Error + Send + Sync>> {
+/// Returns the structural FASTA error, or [`FastaError::Symbol`] naming
+/// the record (id + header line) whose residues failed to parse.
+pub fn read_proteins<R: Read>(reader: R) -> Result<Vec<(String, ProteinSeq)>, FastaError> {
     read_typed(reader)
 }
 
@@ -169,9 +233,7 @@ pub fn read_proteins<R: Read>(
 /// # Errors
 ///
 /// See [`read_proteins`].
-pub fn read_dna<R: Read>(
-    reader: R,
-) -> Result<Vec<(String, DnaSeq)>, Box<dyn std::error::Error + Send + Sync>> {
+pub fn read_dna<R: Read>(reader: R) -> Result<Vec<(String, DnaSeq)>, FastaError> {
     read_typed(reader)
 }
 
@@ -180,19 +242,24 @@ pub fn read_dna<R: Read>(
 /// # Errors
 ///
 /// See [`read_proteins`].
-pub fn read_rna<R: Read>(
-    reader: R,
-) -> Result<Vec<(String, RnaSeq)>, Box<dyn std::error::Error + Send + Sync>> {
+pub fn read_rna<R: Read>(reader: R) -> Result<Vec<(String, RnaSeq)>, FastaError> {
     read_typed(reader)
 }
 
 fn read_typed<R: Read, S: FromStr<Err = ParseSymbolError>>(
     reader: R,
-) -> Result<Vec<(String, S)>, Box<dyn std::error::Error + Send + Sync>> {
-    let records = read_records(reader)?;
+) -> Result<Vec<(String, S)>, FastaError> {
+    let records = read_records_with_lines(reader)?;
     records
         .into_iter()
-        .map(|r| Ok((r.id.clone(), r.parse_as::<S>()?)))
+        .map(|(r, line)| match r.parse_as::<S>() {
+            Ok(seq) => Ok((r.id, seq)),
+            Err(source) => Err(FastaError::Symbol {
+                id: r.id,
+                line,
+                source,
+            }),
+        })
         .collect()
 }
 
@@ -265,5 +332,74 @@ mod tests {
         let records = read_records(">only_id\nAC\n".as_bytes()).unwrap();
         assert_eq!(records[0].id, "only_id");
         assert!(records[0].description.is_empty());
+    }
+
+    // --- Regressions for real-world messy inputs that used to corrupt
+    // sequences or pass silently: CRLF, lowercase soft-masking, gap
+    // characters, and headers with no sequence.
+
+    #[test]
+    fn crlf_line_endings_are_normalized() {
+        let text = ">q1 desc here\r\nMFSR\r\nMK\r\n>q2\r\nACGU\r\n";
+        let records = read_records(text.as_bytes()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "q1");
+        assert_eq!(records[0].description, "desc here");
+        assert_eq!(records[0].sequence, "MFSRMK");
+        assert_eq!(records[1].sequence, "ACGU");
+    }
+
+    #[test]
+    fn lowercase_residues_are_uppercased() {
+        // NCBI soft-masks repeats as lowercase; they are the same
+        // residues and must not fail the alphabet parse downstream.
+        let records = read_records(">r\nacgUAcg\n".as_bytes()).unwrap();
+        assert_eq!(records[0].sequence, "ACGUACG");
+        let rna = read_rna(">r\nacgu\n".as_bytes()).unwrap();
+        assert_eq!(rna[0].1.to_string(), "ACGU");
+    }
+
+    #[test]
+    fn gap_characters_are_stripped() {
+        let records = read_records(">aln\nAC-GU\n..AC--GU.\n".as_bytes()).unwrap();
+        assert_eq!(records[0].sequence, "ACGUACGU");
+    }
+
+    #[test]
+    fn empty_record_after_header_is_a_typed_error() {
+        // Mid-file: header immediately followed by another header.
+        let err = read_records(">empty\n>full\nACGU\n".as_bytes()).unwrap_err();
+        match err {
+            FastaError::EmptyRecord { id, line } => {
+                assert_eq!(id, "empty");
+                assert_eq!(line, 1);
+            }
+            other => panic!("expected EmptyRecord, got {other:?}"),
+        }
+        // Trailing: header at end of input.
+        let err = read_records(">full\nACGU\n>tail junk\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, FastaError::EmptyRecord { line: 3, .. }));
+        // A record whose lines are all gaps is empty too.
+        let err = read_records(">gaps\n---\n...\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, FastaError::EmptyRecord { line: 1, .. }));
+        assert!(err.to_string().contains("gaps"));
+    }
+
+    #[test]
+    fn symbol_errors_carry_record_context() {
+        let err = read_proteins(">good\nMFW\n>bad one\nMF!\n".as_bytes()).unwrap_err();
+        match &err {
+            FastaError::Symbol { id, line, .. } => {
+                assert_eq!(id, "bad");
+                assert_eq!(*line, 3);
+            }
+            other => panic!("expected Symbol, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(
+            msg.contains("'bad'") && msg.contains("line 3"),
+            "msg: {msg}"
+        );
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

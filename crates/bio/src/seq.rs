@@ -253,6 +253,29 @@ impl PackedSeq {
         packed
     }
 
+    /// Reassembles a packed sequence from raw words previously exposed
+    /// by [`PackedSeq::words`] — the zero-re-encode load path of the
+    /// persistent reference index.
+    ///
+    /// Returns `None` when the word count does not match `len` or when
+    /// the unused high bits of the last word are non-zero (either means
+    /// the words did not come from a `PackedSeq` of that length, and
+    /// accepting them would break `Eq`/round-trip guarantees).
+    pub fn from_words(words: Vec<u64>, len: usize) -> Option<PackedSeq> {
+        if words.len() != len.div_ceil(Self::BASES_PER_WORD) {
+            return None;
+        }
+        let tail_bases = len % Self::BASES_PER_WORD;
+        if tail_bases != 0 {
+            let used_bits = 2 * tail_bases;
+            let last = *words.last().expect("len > 0 implies a last word");
+            if used_bits < 64 && (last >> used_bits) != 0 {
+                return None;
+            }
+        }
+        Some(PackedSeq { words, len })
+    }
+
     /// Creates an empty packed sequence with room for `bases` bases.
     pub fn with_capacity(bases: usize) -> PackedSeq {
         PackedSeq {

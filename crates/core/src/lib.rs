@@ -42,6 +42,7 @@ pub mod cluster;
 pub mod fleet;
 pub mod hits;
 pub mod host;
+pub mod index;
 pub mod slice_plan;
 pub mod software;
 pub mod streaming;
@@ -52,6 +53,9 @@ pub use fleet::{place_replicas, FleetSearchOutcome, FpgaFleet, ShardDispatch};
 pub use hits::{
     best_hit, dedup_sorted_hits, merge_overlapping, merge_overlapping_unsorted, merge_shard_hits,
     top_k, Hit, HitRegion,
+};
+pub use index::{
+    search_index, IndexBuildOptions, IndexSearchStats, PrefilterMode, ReferenceIndex, SeedParams,
 };
 pub use slice_plan::{Slice, SliceOptions, SlicePlan};
 pub use software::SoftwareEngine;

@@ -210,8 +210,12 @@ fn position_ranges(total: usize, count: usize) -> Vec<(usize, usize)> {
 /// [`crate::cluster::try_shard_with_overlap`] and [`SlicePlan`].
 ///
 /// Part sizes (before overlap) differ by at most one base. With more
-/// parts than bases some parts are zero-sized; they still receive
-/// overlap context, and the downstream merge deduplicates.
+/// parts than bases the surplus parts are zero-sized; they sort to the
+/// end of the split where the clamp leaves them as empty `(total,
+/// total)` ranges — they scan nothing and contribute no hits, so the
+/// downstream merge sees no duplicates from them. Consecutive non-empty
+/// ranges overlap by exactly `overlap` bases (clamped at the reference
+/// end), never more.
 ///
 /// # Errors
 ///
@@ -330,12 +334,115 @@ mod tests {
         let ranges = overlap_ranges(100, 4, 5).unwrap();
         assert_eq!(ranges, vec![(0, 30), (25, 55), (50, 80), (75, 100)]);
         // Degenerate: more parts than bases → zero-sized parts that
-        // still read overlap context.
+        // sort to the end as empty (total, total) ranges.
         let tiny = overlap_ranges(3, 5, 2).unwrap();
         assert_eq!(tiny.len(), 5);
         assert_eq!(tiny[0], (0, 3));
         assert_eq!(tiny[4], (3, 3));
         // Zero parts is a typed error.
         assert!(overlap_ranges(10, 0, 1).is_err());
+    }
+
+    // --- Directed degenerate-geometry pins (ISSUE 10): shapes that
+    // historically produce duplicate hits or malformed slices in
+    // sharded scanners.
+
+    #[test]
+    fn consecutive_slices_overlap_by_exactly_window_minus_one() {
+        // Interior boundaries must overlap by window − 1 bases — enough
+        // for every straddling alignment window, never enough to score
+        // the same position twice.
+        for (len, window, workers) in [(10_000, 60, 4), (1_001, 7, 8), (333, 3, 5), (4_096, 33, 3)]
+        {
+            let opts = SliceOptions {
+                slices_per_worker: 2,
+                min_slice_positions: 16,
+            };
+            let plan = SlicePlan::build(len, window, workers, opts);
+            for pair in plan.slices().windows(2) {
+                let overlap = pair[0].end - pair[1].start;
+                assert_eq!(
+                    overlap,
+                    window - 1,
+                    "len {len} window {window} workers {workers}: slices {pair:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_length_equal_to_overlap_stays_disjoint_in_positions() {
+        // Pathological sizing: every slice owns exactly one position, so
+        // the slice body length equals the overlap (window − 1) + 1.
+        let window = 9;
+        let opts = SliceOptions {
+            slices_per_worker: 1,
+            min_slice_positions: 1,
+        };
+        let plan = SlicePlan::build(window + 3, window, 4, opts);
+        assert_eq!(plan.total_positions(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for s in plan.slices() {
+            assert!(s.positions > 0, "no empty slices: {s:?}");
+            assert!(s.end <= plan.reference_len());
+            assert!(s.bases() < s.positions + window, "over-wide slice {s:?}");
+            for p in s.start..s.start + s.positions {
+                assert!(seen.insert(p), "position {p} owned twice");
+            }
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn overlap_ranges_part_length_equal_to_overlap() {
+        // Each part's body length equals the overlap: consecutive parts
+        // overlap by exactly `overlap`, never more, and nothing escapes
+        // the reference.
+        let ranges = overlap_ranges(12, 4, 3).unwrap();
+        assert_eq!(ranges, vec![(0, 6), (3, 9), (6, 12), (9, 12)]);
+        for pair in ranges.windows(2) {
+            let overlap = pair[0].1.saturating_sub(pair[1].0);
+            assert!(overlap <= 3, "over-wide overlap in {pair:?}");
+        }
+    }
+
+    #[test]
+    fn single_slice_plan_covers_everything_once() {
+        let opts = SliceOptions {
+            slices_per_worker: 1,
+            min_slice_positions: 1,
+        };
+        let plan = SlicePlan::build(500, 20, 1, opts);
+        assert_eq!(plan.len(), 1);
+        let s = plan.slices()[0];
+        assert_eq!((s.start, s.end), (0, 500));
+        assert_eq!(s.positions, 481);
+        assert_eq!(plan.total_positions(), 481);
+        // Same via overlap_ranges: one part is the whole reference.
+        assert_eq!(overlap_ranges(500, 1, 19).unwrap(), vec![(0, 500)]);
+    }
+
+    #[test]
+    fn reference_equal_to_window_is_one_single_position_slice() {
+        let plan = SlicePlan::build(10, 10, 8, OPTS);
+        assert_eq!(plan.len(), 1);
+        let s = plan.slices()[0];
+        assert_eq!((s.start, s.end, s.positions), (0, 10, 1));
+    }
+
+    #[test]
+    fn zero_sized_overlap_parts_are_empty_not_overreaching() {
+        // More parts than bases: the trailing zero-length parts must be
+        // empty ranges, not ranges that re-read the tail and duplicate
+        // hits.
+        let ranges = overlap_ranges(5, 9, 4).unwrap();
+        assert_eq!(ranges.len(), 9);
+        for &(start, end) in &ranges {
+            assert!(end <= 5);
+            assert!(start <= end);
+        }
+        let empties = ranges.iter().filter(|(s, e)| s == e).count();
+        assert_eq!(empties, 4, "9 parts over 5 bases leave 4 empty");
+        assert!(ranges[5..].iter().all(|&(s, e)| (s, e) == (5, 5)));
     }
 }

@@ -129,6 +129,66 @@ proptest! {
         prop_assert_eq!(planted.len(), 1, "planted hit at {} (boundary {})", at, boundary);
     }
 
+    /// **Degenerate geometry stays exact and duplicate-free.** Tiny
+    /// references (shorter than, equal to, or barely longer than the
+    /// window), pathologically small slices (slice length equal to the
+    /// window−1 overlap), and single-slice plans: hits still equal the
+    /// serial oracle and no `(position, score)` pair appears twice.
+    #[test]
+    fn degenerate_geometry_matches_oracle_without_duplicates(
+        query_aa in 2usize..=8,
+        extra_bases in 0usize..=40,
+        workers in 1usize..=8,
+        min_slice in 1usize..=4,
+        slices_per_worker in 1usize..=4,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let protein = random_protein(query_aa, &mut rng);
+        let window = protein.len() * 3;
+        // Sweep the reference length across the degenerate boundary:
+        // shorter than the window (no positions), exactly the window
+        // (one position), and slightly longer (slice len ≈ overlap).
+        let reference_len = window.saturating_sub(extra_bases % (window + 1)) + extra_bases;
+        let mut bases = random_rna(reference_len, &mut rng).into_inner();
+        if reference_len >= window {
+            let coding = coding_rna_for_paper_patterns(&protein, &mut rng);
+            let at = (seed as usize) % (reference_len - window + 1);
+            bases.splice(at..at + window, coding.iter().copied());
+        }
+        let reference = RnaSeq::from(bases);
+        let aligner = FabpAligner::builder()
+            .protein_query(&protein)
+            .threshold(Threshold::Fraction(0.6))
+            .build()
+            .expect("non-empty query");
+
+        let options = SliceOptions { slices_per_worker, min_slice_positions: min_slice };
+        // The plan itself must be well-formed: positions partition the
+        // position space and interior overlaps are exactly window − 1.
+        let plan = SlicePlan::build(reference_len, window, workers, options);
+        prop_assert_eq!(
+            plan.total_positions(),
+            reference_len.saturating_sub(window - 1)
+        );
+        for pair in plan.slices().windows(2) {
+            prop_assert_eq!(pair[0].end - pair[1].start, window - 1);
+        }
+
+        let (sliced, _) =
+            search_all_prebuilt_with_stats(&[&aligner], &reference, workers, options).expect("batch runs");
+        let oracle = BitParallelEngine::new(aligner.query())
+            .expect("eligible")
+            .search_two_pass(reference.as_slice(), aligner.threshold());
+        prop_assert_eq!(&sliced[0].hits, &oracle,
+            "ref {} window {} workers {} min_slice {}", reference_len, window, workers, min_slice);
+        // No duplicate (position, score) pairs survive the merge.
+        let mut pairs: Vec<_> = sliced[0].hits.iter().map(|h| (h.position, h.score)).collect();
+        let before = pairs.len();
+        pairs.dedup();
+        prop_assert_eq!(pairs.len(), before, "duplicate hits leaked through the merge");
+    }
+
     /// **Serial/parallel equivalence stays total.** The public
     /// `search_all_prebuilt` (default slice sizing) agrees with the
     /// serial path for any worker count, including `workers = 1`.

@@ -18,6 +18,10 @@ pub enum StreamKind {
     AxiReference,
     /// The packed 2-bit query bitstream transferred at configure time.
     PackedQuery,
+    /// A packed-shard payload in the persistent on-disk reference index.
+    IndexShard,
+    /// The fixed-size header of the persistent on-disk reference index.
+    IndexHeader,
 }
 
 impl StreamKind {
@@ -26,6 +30,8 @@ impl StreamKind {
         match self {
             StreamKind::AxiReference => "axi_reference",
             StreamKind::PackedQuery => "packed_query",
+            StreamKind::IndexShard => "index_shard",
+            StreamKind::IndexHeader => "index_header",
         }
     }
 }
@@ -116,6 +122,15 @@ pub enum FabpError {
         /// Total nodes in the fleet.
         fleet_nodes: usize,
     },
+    /// A k-mer seed-index word or packed key does not fit the index's
+    /// `21^word_size` table geometry — wrong residue count, or a packed
+    /// key at or beyond `21^word_size`.
+    InvalidWord {
+        /// The index's configured word size in residues.
+        word_size: usize,
+        /// What the caller supplied and why it was rejected.
+        detail: String,
+    },
     /// A user-supplied fault-schedule or CLI spec failed to parse.
     InvalidSpec(String),
     /// An invariant the code relies on was violated — the typed
@@ -152,6 +167,7 @@ impl FabpError {
             FabpError::DeadlineExceeded { .. } => "deadline_exceeded",
             FabpError::Draining => "draining",
             FabpError::Brownout { .. } => "brownout",
+            FabpError::InvalidWord { .. } => "invalid_word",
             FabpError::InvalidSpec(_) => "invalid_spec",
             FabpError::Internal(_) => "internal",
         }
@@ -211,6 +227,10 @@ impl fmt::Display for FabpError {
             } => write!(
                 f,
                 "fleet browned out ({routable_nodes}/{fleet_nodes} nodes routable); request shed by tenant priority"
+            ),
+            FabpError::InvalidWord { word_size, detail } => write!(
+                f,
+                "invalid k-mer word for word_size {word_size}: {detail}"
             ),
             FabpError::InvalidSpec(msg) => write!(f, "invalid fault spec: {msg}"),
             FabpError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),

@@ -1,0 +1,193 @@
+//! Resident-index store: cold load vs warm re-load of persistent
+//! reference indexes.
+//!
+//! A **cold** load reads the whole on-disk index, CRC-verifying every
+//! shard frame ([`ReferenceIndex::load`]). A **warm** re-load of the
+//! same path hands back the resident [`Arc`] — the in-process
+//! equivalent of an mmap whose pages are already hot, and the backend
+//! path `bench_serve` times as `index_warm_reload`. Entries are keyed
+//! by canonicalized path and validated by fingerprint, so a file
+//! overwritten on disk is *not* silently served stale: pass
+//! `revalidate = true` to force a fresh read.
+
+use fabp_core::index::ReferenceIndex;
+use fabp_resilience::{FabpError, FabpResult};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One completed load, with provenance and timing.
+#[derive(Debug, Clone)]
+pub struct IndexLoad {
+    /// The loaded (or resident) index.
+    pub index: Arc<ReferenceIndex>,
+    /// `true` when the bytes were read and CRC-verified from disk;
+    /// `false` for a warm hit on the resident copy.
+    pub cold: bool,
+    /// Wall-clock load time, microseconds.
+    pub load_us: u64,
+}
+
+/// Keeps loaded [`ReferenceIndex`]es resident, one per path.
+#[derive(Debug, Default)]
+pub struct IndexStore {
+    resident: HashMap<PathBuf, Arc<ReferenceIndex>>,
+    cold_loads: u64,
+    warm_hits: u64,
+}
+
+impl IndexStore {
+    /// An empty store.
+    pub fn new() -> IndexStore {
+        IndexStore::default()
+    }
+
+    /// Loads `path`, cold on first touch and warm afterwards. With
+    /// `revalidate` the disk copy is re-read even when resident (and
+    /// replaces the resident copy on success).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReferenceIndex::load`] failures — typed CRC or
+    /// decode errors; a corrupted file never yields an index.
+    pub fn load(&mut self, path: impl AsRef<Path>, revalidate: bool) -> FabpResult<IndexLoad> {
+        let key = path
+            .as_ref()
+            .canonicalize()
+            .map_err(|e| FabpError::Decode(format!("index path: {e}")))?;
+        let start = Instant::now();
+        if !revalidate {
+            if let Some(resident) = self.resident.get(&key) {
+                self.warm_hits += 1;
+                self.publish();
+                return Ok(IndexLoad {
+                    index: Arc::clone(resident),
+                    cold: false,
+                    load_us: start.elapsed().as_micros() as u64,
+                });
+            }
+        }
+        let index = Arc::new(ReferenceIndex::load(&key)?);
+        self.resident.insert(key, Arc::clone(&index));
+        self.cold_loads += 1;
+        self.publish();
+        Ok(IndexLoad {
+            index,
+            cold: true,
+            load_us: start.elapsed().as_micros() as u64,
+        })
+    }
+
+    /// Drops the resident copy for `path` (the next load is cold).
+    pub fn evict(&mut self, path: impl AsRef<Path>) {
+        if let Ok(key) = path.as_ref().canonicalize() {
+            self.resident.remove(&key);
+        }
+    }
+
+    /// Cold loads performed since construction.
+    pub fn cold_loads(&self) -> u64 {
+        self.cold_loads
+    }
+
+    /// Warm (resident) hits since construction.
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits
+    }
+
+    fn publish(&self) {
+        let registry = fabp_telemetry::Registry::global();
+        registry
+            .gauge(
+                "fabp_index_store_resident",
+                "Reference indexes held resident by the store",
+            )
+            .set(self.resident.len() as i64);
+        registry
+            .counter(
+                "fabp_index_store_cold_loads_total",
+                "Cold (disk, CRC-verified) index loads",
+            )
+            .add(0); // registered so the series exists even before a cold load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabp_bio::generate::random_rna;
+    use fabp_core::index::IndexBuildOptions;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn write_index(name: &str) -> PathBuf {
+        let mut rng = StdRng::seed_from_u64(99);
+        let reference = random_rna(2_000, &mut rng);
+        let index = ReferenceIndex::build_from_rna(
+            &reference,
+            IndexBuildOptions {
+                overlap: 32,
+                target_shard_bases: 512,
+            },
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("fabp_index_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        index.write_to(&path).unwrap();
+        path
+    }
+
+    #[test]
+    fn cold_then_warm_loads_share_one_resident_copy() {
+        let path = write_index("cold_warm.fabpidx");
+        let mut store = IndexStore::new();
+        let first = store.load(&path, false).unwrap();
+        assert!(first.cold);
+        let second = store.load(&path, false).unwrap();
+        assert!(!second.cold);
+        assert!(Arc::ptr_eq(&first.index, &second.index));
+        assert_eq!(store.cold_loads(), 1);
+        assert_eq!(store.warm_hits(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn revalidate_rereads_from_disk() {
+        let path = write_index("revalidate.fabpidx");
+        let mut store = IndexStore::new();
+        let first = store.load(&path, false).unwrap();
+        let second = store.load(&path, true).unwrap();
+        assert!(second.cold);
+        assert_eq!(first.index.fingerprint(), second.index.fingerprint());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eviction_makes_the_next_load_cold() {
+        let path = write_index("evict.fabpidx");
+        let mut store = IndexStore::new();
+        store.load(&path, false).unwrap();
+        store.evict(&path);
+        assert!(store.load(&path, false).unwrap().cold);
+        assert_eq!(store.cold_loads(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_file_load_fails_typed_and_leaves_store_clean() {
+        let path = write_index("corrupt.fabpidx");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut store = IndexStore::new();
+        match store.load(&path, false) {
+            Err(FabpError::CrcMismatch { .. }) => {}
+            other => panic!("expected CRC mismatch, got {other:?}"),
+        }
+        assert_eq!(store.cold_loads(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -58,11 +58,13 @@
 
 pub mod batcher;
 pub mod cache;
+pub mod index_store;
 pub mod queue;
 pub mod server;
 
 pub use batcher::{AdaptiveBatcher, BatchPolicy};
 pub use cache::{content_hash, LruCache};
+pub use index_store::{IndexLoad, IndexStore};
 pub use queue::{AdmissionQueue, Request};
 pub use server::{
     AnomalyDump, FabpServer, Response, ServeBackend, ServeConfig, ServerStats, MAX_ANOMALY_DUMPS,

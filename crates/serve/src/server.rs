@@ -41,6 +41,7 @@ use fabp_core::batch::search_all_prebuilt;
 use fabp_core::cluster::{try_shard_with_overlap, FpgaCluster};
 use fabp_core::fleet::FpgaFleet;
 use fabp_core::hits::Hit;
+use fabp_core::index::{search_index, PrefilterMode, ReferenceIndex, SeedParams};
 use fabp_encoding::encoder::EncodedQuery;
 use fabp_fpga::engine::EngineConfig;
 use fabp_resilience::health::FailureDetector;
@@ -132,6 +133,12 @@ pub struct ServeConfig {
     /// queries are rejected at submit instead of silently losing
     /// cross-shard hits.
     pub max_query_aa: usize,
+    /// Prefilter routing for index-backed servers
+    /// ([`FabpServer::with_index`]): [`PrefilterMode::Seeded`] routes
+    /// the software backend through the k-mer seed-and-verify path;
+    /// [`PrefilterMode::Off`] (the default) keeps the exhaustive scan.
+    /// Ignored without an index.
+    pub prefilter: PrefilterMode,
 }
 
 impl Default for ServeConfig {
@@ -145,6 +152,7 @@ impl Default for ServeConfig {
             reference_cache: 8,
             default_deadline_us: None,
             max_query_aa: 128,
+            prefilter: PrefilterMode::Off,
         }
     }
 }
@@ -270,6 +278,10 @@ pub struct FabpServer {
     drain_gauge: Gauge,
     /// Packed shard sets, keyed by reference hash.
     packed_cache: LruCache<Arc<Vec<PackedSeq>>>,
+    /// The persistent packed index this server was built from (None for
+    /// plain in-memory references). Enables the seeded-prefilter
+    /// dispatch path and supplies the reference cache key.
+    index: Option<Arc<ReferenceIndex>>,
     /// Overlapped shards for the cluster backend (empty for software).
     shards: Vec<RnaSeq>,
     shard_offsets: Vec<usize>,
@@ -314,6 +326,66 @@ impl FabpServer {
         registry: &Registry,
     ) -> FabpResult<FabpServer> {
         FabpServer::build(reference, config, registry, Clock::Manual(0))
+    }
+
+    /// Builds a wall-clock server over a loaded persistent index. The
+    /// reference cache key becomes [`ReferenceIndex::fingerprint`] — no
+    /// O(n) re-hash of the decoded bases — and
+    /// [`ServeConfig::prefilter`] selects between the exhaustive scan
+    /// and the seeded seed-and-verify dispatch on the software backend.
+    ///
+    /// # Errors
+    ///
+    /// [`FabpError::InvalidShardPlan`] when the index's shard overlap is
+    /// too small for `max_query_aa` under [`PrefilterMode::Seeded`] (a
+    /// boundary-straddling window could be lost), or for a zero-node
+    /// cluster backend.
+    pub fn with_index(
+        index: Arc<ReferenceIndex>,
+        config: ServeConfig,
+        registry: &Registry,
+    ) -> FabpResult<FabpServer> {
+        FabpServer::build_with_index(index, config, registry, Clock::Wall(Instant::now()))
+    }
+
+    /// [`FabpServer::with_index`] on a manual clock (tests).
+    ///
+    /// # Errors
+    ///
+    /// As [`FabpServer::with_index`].
+    pub fn with_index_manual_clock(
+        index: Arc<ReferenceIndex>,
+        config: ServeConfig,
+        registry: &Registry,
+    ) -> FabpResult<FabpServer> {
+        FabpServer::build_with_index(index, config, registry, Clock::Manual(0))
+    }
+
+    fn build_with_index(
+        index: Arc<ReferenceIndex>,
+        config: ServeConfig,
+        registry: &Registry,
+        clock: Clock,
+    ) -> FabpResult<FabpServer> {
+        if config.prefilter == PrefilterMode::Seeded
+            && index.shards().len() > 1
+            && 3 * config.max_query_aa > index.overlap() + 1
+        {
+            return Err(FabpError::InvalidShardPlan(format!(
+                "index overlap {} cannot cover max_query_aa {} windows ({} bases); \
+                 rebuild the index with --overlap >= {} or lower max_query_aa",
+                index.overlap(),
+                config.max_query_aa,
+                3 * config.max_query_aa,
+                3 * config.max_query_aa - 1,
+            )));
+        }
+        let reference = index.decode_reference();
+        let mut server = FabpServer::build(reference, config, registry, clock)?;
+        server.reference_key = index.fingerprint();
+        server.trace_seed = 0xFAB6_0006 ^ index.fingerprint();
+        server.index = Some(index);
+        Ok(server)
     }
 
     fn build(
@@ -405,6 +477,7 @@ impl FabpServer {
             shards,
             shard_offsets,
             reference_key,
+            index: None,
             stats: ServerStats::default(),
         })
     }
@@ -857,6 +930,11 @@ impl FabpServer {
         batch: Vec<Request>,
         threads: usize,
     ) -> Vec<(Request, bool, bool, FabpResult<Vec<Hit>>)> {
+        if self.config.prefilter == PrefilterMode::Seeded {
+            if let Some(index) = self.index.clone() {
+                return self.dispatch_indexed(batch, &index, threads);
+            }
+        }
         let threshold = self.config.threshold;
         let start_us = self.clock.now_us() as f64;
         let flight = self.flight.clone();
@@ -931,6 +1009,85 @@ impl FabpServer {
                     Err(e) => Err(e),
                 };
                 (request, cached, false, result)
+            })
+            .collect()
+    }
+
+    /// Index-backed seeded dispatch: the whole batch rides one
+    /// [`search_index`] call — per shard, one three-frame translation
+    /// pass seeds every query's word table, then the exact engine
+    /// verifies only the coalesced candidate regions. Hits are
+    /// bit-identical to the exhaustive scan on everything the filter
+    /// admits (the serving transparency invariant is unchanged for
+    /// admitted windows).
+    fn dispatch_indexed(
+        &mut self,
+        batch: Vec<Request>,
+        index: &ReferenceIndex,
+        threads: usize,
+    ) -> Vec<(Request, bool, bool, FabpResult<Vec<Hit>>)> {
+        let threshold = self.config.threshold;
+        let start_us = self.clock.now_us() as f64;
+        let flight = self.flight.clone();
+        // Pre-validate so one bad query cannot fail its batch-mates.
+        let prepared: Vec<(Request, Option<FabpError>)> = batch
+            .into_iter()
+            .map(|request| {
+                let err = request.protein.is_empty().then_some(FabpError::EmptyQuery);
+                (request, err)
+            })
+            .collect();
+        let proteins: Vec<ProteinSeq> = prepared
+            .iter()
+            .filter(|(_, err)| err.is_none())
+            .map(|(r, _)| r.protein.clone())
+            .collect();
+        let verify_start = Instant::now();
+        let searched = search_index(
+            index,
+            &proteins,
+            threshold,
+            PrefilterMode::Seeded,
+            SeedParams::default(),
+            threads,
+        );
+        let verify_us = verify_start.elapsed().as_secs_f64() * 1e6;
+        let mut per_query = match searched {
+            Ok((hits, _stats)) => hits.into_iter(),
+            Err(e) => {
+                return prepared
+                    .into_iter()
+                    .map(|(request, err)| {
+                        let failure = err.unwrap_or_else(|| e.clone());
+                        (request, false, false, Err(failure))
+                    })
+                    .collect();
+            }
+        };
+        prepared
+            .into_iter()
+            .map(|(request, err)| {
+                let result = match err {
+                    Some(e) => Err(e),
+                    None => match per_query.next() {
+                        Some(hits) => {
+                            flight.record(
+                                TraceEvent::new(
+                                    request.trace.child(1).child(200),
+                                    "seed_verify",
+                                    start_us,
+                                    verify_us,
+                                )
+                                .with_track(1),
+                            );
+                            Ok(hits)
+                        }
+                        None => Err(FabpError::Internal(
+                            "index dispatch returned fewer hit lists than queries".to_string(),
+                        )),
+                    },
+                };
+                (request, false, false, result)
             })
             .collect()
     }
@@ -1611,6 +1768,96 @@ mod tests {
             .anomaly_dumps()
             .iter()
             .any(|d| d.reason == "brownout"));
+    }
+
+    #[test]
+    fn seeded_index_serving_is_transparent() {
+        use fabp_core::index::IndexBuildOptions;
+        let mut rng = StdRng::seed_from_u64(106);
+        let proteins: Vec<ProteinSeq> = (0..4).map(|_| random_protein(8, &mut rng)).collect();
+        let reference = planted_reference(&proteins, &mut rng);
+        let index = Arc::new(
+            ReferenceIndex::build_from_rna(
+                &reference,
+                IndexBuildOptions {
+                    overlap: 3 * 64, // covers max_query_aa = 64 windows
+                    target_shard_bases: 1_024,
+                },
+            )
+            .unwrap(),
+        );
+        assert!(index.shards().len() > 1, "test must exercise multi-shard");
+        let mut per_mode = Vec::new();
+        for prefilter in [PrefilterMode::Off, PrefilterMode::Seeded] {
+            let registry = Registry::new();
+            let config = ServeConfig {
+                threshold: Threshold::Fraction(0.9),
+                prefilter,
+                max_query_aa: 64,
+                ..ServeConfig::default()
+            };
+            let mut server = FabpServer::with_index(Arc::clone(&index), config, &registry).unwrap();
+            let tickets: Vec<u64> = proteins
+                .iter()
+                .map(|p| server.submit("a", p).unwrap())
+                .collect();
+            let responses = server.run_to_completion();
+            let hits: Vec<Vec<Hit>> = tickets
+                .iter()
+                .map(|t| {
+                    responses
+                        .iter()
+                        .find(|r| r.id == *t)
+                        .unwrap()
+                        .result
+                        .clone()
+                        .unwrap()
+                })
+                .collect();
+            per_mode.push(hits);
+        }
+        assert!(
+            per_mode[0].iter().any(|h| !h.is_empty()),
+            "planted queries must hit"
+        );
+        // Seeded serving is bit-identical to the exhaustive scan, which
+        // itself matches sequential single-query runs.
+        assert_eq!(per_mode[0], per_mode[1]);
+        for (protein, hits) in proteins.iter().zip(&per_mode[0]) {
+            let expected = sequential_hits(protein, &reference, Threshold::Fraction(0.9));
+            assert_eq!(hits, &expected);
+        }
+    }
+
+    #[test]
+    fn with_index_rejects_overlap_too_small_for_max_query() {
+        use fabp_core::index::IndexBuildOptions;
+        let mut rng = StdRng::seed_from_u64(107);
+        let reference = random_rna(4_000, &mut rng);
+        let index = Arc::new(
+            ReferenceIndex::build_from_rna(
+                &reference,
+                IndexBuildOptions {
+                    overlap: 16, // far below 3 * max_query_aa
+                    target_shard_bases: 1_024,
+                },
+            )
+            .unwrap(),
+        );
+        let registry = Registry::new();
+        let config = ServeConfig {
+            prefilter: PrefilterMode::Seeded,
+            ..ServeConfig::default()
+        };
+        match FabpServer::with_index(Arc::clone(&index), config, &registry) {
+            Err(FabpError::InvalidShardPlan(msg)) => {
+                assert!(msg.contains("overlap"), "{msg}");
+            }
+            other => panic!("expected InvalidShardPlan, got {other:?}"),
+        }
+        // The exhaustive path over the same index stays available.
+        let off = ServeConfig::default();
+        assert!(FabpServer::with_index(index, off, &registry).is_ok());
     }
 
     #[test]

@@ -72,6 +72,7 @@ proptest! {
             reference_cache: 2,
             default_deadline_us: None,
             max_query_aa: 64,
+            prefilter: fabp_core::index::PrefilterMode::Off,
         };
         let mut server =
             FabpServer::new(reference.clone(), config, &registry).expect("server builds");

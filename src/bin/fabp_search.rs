@@ -36,6 +36,9 @@ use fabp::bio::fasta::{read_proteins, read_records};
 use fabp::bio::seq::{PackedSeq, RnaSeq};
 use fabp::core::aligner::{Engine, FabpAligner, SearchOutcome, Threshold};
 use fabp::core::host::HostConfig;
+use fabp::core::index::{
+    search_index, IndexBuildOptions, PrefilterMode, ReferenceIndex, SeedParams,
+};
 use fabp::fpga::engine::{EngineConfig, FabpEngine};
 use fabp::resilience::{FaultSchedule, ResilienceLevel, ResilientRunner};
 use fabp_telemetry::{chrome_trace_for_events, MetricValue, Registry, TraceContext, TraceEvent};
@@ -57,6 +60,11 @@ struct Args {
     flight_out: Option<String>,
     resilience: ResilienceLevel,
     inject_faults: Option<String>,
+    build_index: Option<String>,
+    index_path: Option<String>,
+    prefilter: PrefilterMode,
+    index_overlap: usize,
+    index_shard_bases: usize,
 }
 
 fn usage() -> ! {
@@ -65,7 +73,13 @@ fn usage() -> ! {
          [--threshold 0.9] [--engine software|bitparallel|cycle] [--threads 4] \
          [--top 10] [--stats] [--metrics-out m.prom] [--trace-out t.json] \
          [--flight-out f.json] [--quiet] [--disasm] \
-         [--resilience off|detect|recover] [--inject-faults <spec>]"
+         [--resilience off|detect|recover] [--inject-faults <spec>]\n\
+         \n\
+         persistent index:\n\
+           fabp-search --reference <db.fna> --build-index <out.fabpidx> \
+         [--index-overlap 384] [--index-shard-bases 4194304]\n\
+           fabp-search --query <queries.faa> --index <db.fabpidx> \
+         [--prefilter off|seeded] [--threshold 0.9] [--threads 4] [--top 10]"
     );
     std::process::exit(2);
 }
@@ -104,12 +118,24 @@ fn parse_args() -> Args {
         flight_out: None,
         resilience: ResilienceLevel::Off,
         inject_faults: None,
+        build_index: None,
+        index_path: None,
+        prefilter: PrefilterMode::Seeded,
+        index_overlap: IndexBuildOptions::default().overlap,
+        index_shard_bases: IndexBuildOptions::default().target_shard_bases,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--query" => args.query_path = value_for("--query", &mut it),
             "--reference" => args.reference_path = value_for("--reference", &mut it),
+            "--build-index" => args.build_index = Some(value_for("--build-index", &mut it)),
+            "--index" => args.index_path = Some(value_for("--index", &mut it)),
+            "--prefilter" => args.prefilter = parse_for("--prefilter", &mut it),
+            "--index-overlap" => args.index_overlap = parse_for("--index-overlap", &mut it),
+            "--index-shard-bases" => {
+                args.index_shard_bases = parse_for("--index-shard-bases", &mut it)
+            }
             "--threshold" => args.threshold = parse_for("--threshold", &mut it),
             "--engine" => args.engine = value_for("--engine", &mut it),
             "--threads" => args.threads = parse_for("--threads", &mut it),
@@ -129,10 +155,144 @@ fn parse_args() -> Args {
             }
         }
     }
-    if args.query_path.is_empty() || args.reference_path.is_empty() {
+    if args.build_index.is_some() {
+        // Build mode: only the reference is needed.
+        if args.reference_path.is_empty() {
+            usage();
+        }
+    } else if args.index_path.is_some() {
+        // Index search mode: queries come from FASTA, the reference from
+        // the persistent index.
+        if args.query_path.is_empty() || !args.reference_path.is_empty() {
+            usage();
+        }
+    } else if args.query_path.is_empty() || args.reference_path.is_empty() {
         usage();
     }
     args
+}
+
+/// `--build-index`: pack the reference FASTA (records concatenated in
+/// file order) into the persistent shard format and exit.
+fn run_build_index(args: &Args, out: &str) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let reference_records = read_records(File::open(&args.reference_path)?)?;
+    if reference_records.is_empty() {
+        return Err("reference file contains no records".into());
+    }
+    let mut bases = Vec::new();
+    for record in &reference_records {
+        let seq: RnaSeq = record.sequence.parse()?;
+        bases.extend_from_slice(seq.as_slice());
+    }
+    let reference = RnaSeq::from(bases);
+    let started = std::time::Instant::now();
+    let index = ReferenceIndex::build_from_rna(
+        &reference,
+        IndexBuildOptions {
+            overlap: args.index_overlap,
+            target_shard_bases: args.index_shard_bases,
+        },
+    )?;
+    index.write_to(out)?;
+    let build_ms = started.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "# index: {} bases in {} shard(s), overlap {}, fingerprint {:016x}, \
+         built+written in {build_ms:.1} ms -> {out}",
+        index.total_bases(),
+        index.shards().len(),
+        index.overlap(),
+        index.fingerprint(),
+    );
+    Ok(())
+}
+
+/// `--index`: search the persistent index (exhaustive or seeded) and
+/// print the same region TSV as the FASTA-reference path.
+fn run_index_search(
+    args: &Args,
+    index_path: &str,
+    telemetry: &Registry,
+) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    if args.engine != "software" {
+        return Err("--index implies the software engine; drop --engine".into());
+    }
+    let queries = read_proteins(File::open(&args.query_path)?)?;
+    if queries.is_empty() {
+        return Err("query file contains no records".into());
+    }
+    let started = std::time::Instant::now();
+    let index = ReferenceIndex::load(index_path)?;
+    let load_ms = started.elapsed().as_secs_f64() * 1e3;
+    if !args.quiet {
+        eprintln!(
+            "# index: loaded {} bases ({} shard(s), fingerprint {:016x}) in {load_ms:.1} ms, \
+             prefilter {}",
+            index.total_bases(),
+            index.shards().len(),
+            index.fingerprint(),
+            args.prefilter.label(),
+        );
+    }
+    let proteins: Vec<_> = queries.iter().map(|(_, p)| p.clone()).collect();
+    let searched = std::time::Instant::now();
+    let (all_hits, istats) = search_index(
+        &index,
+        &proteins,
+        Threshold::Fraction(args.threshold),
+        args.prefilter,
+        SeedParams::default(),
+        args.threads,
+    )?;
+    let search_ms = searched.elapsed().as_secs_f64() * 1e3;
+    println!("# query\treference\tregion_start\tregion_end\tbest_pos\tscore\tmax_score\thits");
+    for ((query_id, protein), hits) in queries.iter().zip(all_hits) {
+        let query_len = 3 * protein.len();
+        let outcome = SearchOutcome {
+            hits,
+            threshold: Threshold::Fraction(args.threshold).resolve(query_len),
+            query_len,
+            stats: None,
+        };
+        let mut regions = outcome.regions();
+        regions.sort_by_key(|r| std::cmp::Reverse(r.best.score));
+        for region in regions.iter().take(args.top) {
+            println!(
+                "{query_id}\t{index_path}\t{}\t{}\t{}\t{}\t{}\t{}",
+                region.start,
+                region.end,
+                region.best.position,
+                region.best.score,
+                outcome.query_len,
+                region.hit_count
+            );
+        }
+    }
+    if !args.quiet {
+        eprintln!(
+            "# index: search {search_ms:.1} ms, seed_hits={} candidate_windows={} \
+             scanned_fraction={:.4}",
+            istats.seed_hits,
+            istats.candidate_windows,
+            istats.scanned_fraction(),
+        );
+    }
+    if args.stats {
+        print_stats_report(telemetry);
+    }
+    let snapshot = telemetry.snapshot();
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, snapshot.to_prometheus())?;
+        if !args.quiet {
+            eprintln!("# metrics written to {path}");
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, snapshot.to_chrome_trace())?;
+        if !args.quiet {
+            eprintln!("# trace written to {path}");
+        }
+    }
+    Ok(())
 }
 
 /// Prints the telemetry-backed `--stats` report to stderr.
@@ -164,6 +324,15 @@ fn print_stats_report(registry: &Registry) {
 fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let args = parse_args();
     let telemetry = Registry::global();
+    if let Some(out) = args.build_index.clone() {
+        return run_build_index(&args, &out);
+    }
+    if let Some(index_path) = args.index_path.clone() {
+        if args.resilience != ResilienceLevel::Off || args.inject_faults.is_some() {
+            return Err("--resilience/--inject-faults are not supported with --index".into());
+        }
+        return run_index_search(&args, &index_path, telemetry);
+    }
     let flight = telemetry.flight_recorder();
     // One trace id per (query, reference) search; spans share a
     // deterministic synthetic timeline so dumps replay identically.

@@ -9,11 +9,18 @@
 //!
 //! ```text
 //! fabp-serve --reference db.fna --queries q.faa [options]
+//! fabp-serve --index db.fabpidx --queries q.faa [--prefilter seeded] [options]
 //! fabp-serve --synthetic-bases 200000 --synthetic-queries 64 [options]
 //!
 //! Options:
 //!   --queries <faa>          protein queries (FASTA)
 //!   --reference <fna>        reference database (FASTA, first record)
+//!   --index <fabpidx>        persistent packed index (see fabp-search
+//!                            --build-index); cold + warm load timings
+//!                            are reported on the `# index:` line
+//!   --prefilter <off|seeded> exhaustive scan or k-mer seeded
+//!                            seed-and-verify (requires --index,
+//!                            software backend; default off)
 //!   --synthetic-bases <n>    generate a random reference of n bases
 //!   --synthetic-queries <n>  generate n random queries (planted in the
 //!                            synthetic reference so they hit)
@@ -53,8 +60,9 @@ use fabp::bio::fasta::{read_proteins, read_records};
 use fabp::bio::generate::{coding_rna_for_paper_patterns, random_protein, random_rna};
 use fabp::bio::seq::{ProteinSeq, RnaSeq};
 use fabp::core::aligner::Threshold;
+use fabp::core::index::PrefilterMode;
 use fabp::resilience::ResilienceLevel;
-use fabp::serve::{BatchPolicy, FabpServer, Response, ServeBackend, ServeConfig};
+use fabp::serve::{BatchPolicy, FabpServer, IndexStore, Response, ServeBackend, ServeConfig};
 use fabp_telemetry::Registry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,6 +72,8 @@ use std::process::ExitCode;
 struct Args {
     query_path: Option<String>,
     reference_path: Option<String>,
+    index_path: Option<String>,
+    prefilter: PrefilterMode,
     synthetic_bases: usize,
     synthetic_queries: usize,
     query_len: usize,
@@ -95,6 +105,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: fabp-serve (--queries <q.faa> --reference <db.fna> | \
+         --queries <q.faa> --index <db.fabpidx> [--prefilter off|seeded] | \
          --synthetic-bases <n> --synthetic-queries <n>) [--query-len 12] \
          [--seed 1] [--tenants 2] [--repeat 1] \
          [--backend software|cluster|fleet] [--threads 4] [--nodes 4] \
@@ -127,6 +138,8 @@ fn parse_args() -> Args {
     let mut args = Args {
         query_path: None,
         reference_path: None,
+        index_path: None,
+        prefilter: PrefilterMode::Off,
         synthetic_bases: 0,
         synthetic_queries: 0,
         query_len: 12,
@@ -159,6 +172,8 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--queries" => args.query_path = Some(value_for("--queries", &mut it)),
             "--reference" => args.reference_path = Some(value_for("--reference", &mut it)),
+            "--index" => args.index_path = Some(value_for("--index", &mut it)),
+            "--prefilter" => args.prefilter = parse_for("--prefilter", &mut it),
             "--synthetic-bases" => args.synthetic_bases = parse_for("--synthetic-bases", &mut it),
             "--synthetic-queries" => {
                 args.synthetic_queries = parse_for("--synthetic-queries", &mut it)
@@ -196,7 +211,12 @@ fn parse_args() -> Args {
     }
     let file_mode = args.query_path.is_some() && args.reference_path.is_some();
     let synth_mode = args.synthetic_bases > 0 && args.synthetic_queries > 0;
-    if !(file_mode || synth_mode) {
+    let index_mode = args.index_path.is_some() && args.query_path.is_some();
+    if !(file_mode || synth_mode || index_mode) {
+        usage();
+    }
+    if args.prefilter == PrefilterMode::Seeded && args.index_path.is_none() {
+        eprintln!("--prefilter seeded requires --index");
         usage();
     }
     args
@@ -261,7 +281,9 @@ fn error_label(response: &Response) -> &'static str {
 fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let args = parse_args();
     let registry = Registry::global();
-    let (reference, queries) = load_workload(&args)?;
+    if args.prefilter == PrefilterMode::Seeded && args.backend != "software" {
+        return Err("--prefilter seeded runs on the software backend only".into());
+    }
 
     let backend = match args.backend.as_str() {
         "software" => ServeBackend::Software {
@@ -292,6 +314,42 @@ fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         reference_cache: 8,
         default_deadline_us: args.deadline_us,
         max_query_aa: args.max_query_aa,
+        prefilter: args.prefilter,
+    };
+
+    // Workload + server: FASTA/synthetic reference, or a persistent
+    // packed index (cold load timed, then a warm re-load for the
+    // resident-store comparison the CI smoke greps for).
+    let (mut server, queries, resident_bases) = if let Some(index_path) = &args.index_path {
+        let query_path = args
+            .query_path
+            .as_ref()
+            .ok_or("--index requires --queries")?;
+        let queries = read_proteins(File::open(query_path)?)?;
+        if queries.is_empty() {
+            return Err("query file contains no records".into());
+        }
+        let mut store = IndexStore::new();
+        let cold = store.load(index_path, false)?;
+        let warm = store.load(index_path, false)?;
+        eprintln!(
+            "# index: cold_load_ms={:.3} warm_reload_ms={:.3} bases={} shards={} \
+             fingerprint={:016x} prefilter={}",
+            cold.load_us as f64 / 1e3,
+            warm.load_us as f64 / 1e3,
+            cold.index.total_bases(),
+            cold.index.shards().len(),
+            cold.index.fingerprint(),
+            args.prefilter.label(),
+        );
+        let bases = cold.index.total_bases();
+        let server = FabpServer::with_index(cold.index, config, registry)?;
+        (server, queries, bases)
+    } else {
+        let (reference, queries) = load_workload(&args)?;
+        let bases = reference.len();
+        let server = FabpServer::new(reference, config, registry)?;
+        (server, queries, bases)
     };
     if !args.quiet {
         eprintln!(
@@ -300,11 +358,10 @@ fn run() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             if queries.len() == 1 { "y" } else { "ies" },
             args.repeat,
             args.tenants,
-            reference.len(),
+            resident_bases,
             args.backend,
         );
     }
-    let mut server = FabpServer::new(reference, config, registry)?;
 
     // Closed-loop driver: submit the stream; on backpressure, pump the
     // server to drain a batch and retry the same request.
